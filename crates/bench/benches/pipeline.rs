@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the monitoring pipeline's hot paths, plus
+//! one group per paper artefact so `cargo bench` regenerates every number.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dcdb_bench::experiments;
+use dcdb_collectagent::CollectAgent;
+use dcdb_mqtt::codec::{decode_packet, encode_packet, Packet, QoS};
+use dcdb_mqtt::payload::encode_readings;
+use dcdb_pusher::mqtt_out::{MqttBackend, MqttOut, SendPolicy};
+use dcdb_pusher::plugins::TesterPlugin;
+use dcdb_pusher::scheduler::{Pusher, PusherConfig};
+use dcdb_sid::{SensorId, TopicRegistry};
+use dcdb_store::reading::TimeRange;
+use dcdb_store::StoreCluster;
+
+fn bench_mqtt_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mqtt_codec");
+    let packet = Packet::Publish {
+        topic: "/lrz/sys/rack03/node12/cpu07/instructions".into(),
+        payload: encode_readings(&[(1_000_000_000, 1234.5)]),
+        qos: QoS::AtMostOnce,
+        retain: false,
+        dup: false,
+        pid: None,
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_publish", |b| {
+        b.iter_batched(
+            bytes::BytesMut::new,
+            |mut buf| encode_packet(&packet, &mut buf).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut encoded = bytes::BytesMut::new();
+    encode_packet(&packet, &mut encoded).unwrap();
+    g.bench_function("decode_publish", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut buf| decode_packet(&mut buf).unwrap().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_store_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("insert_1k", |b| {
+        let sid = SensorId::from_topic("/bench/node/sensor").unwrap();
+        b.iter_batched(
+            StoreCluster::single,
+            |cluster| {
+                for ts in 0..1000 {
+                    cluster.insert(sid, ts, ts as f64);
+                }
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // range query over a populated store
+    let cluster = StoreCluster::single();
+    let sid = SensorId::from_topic("/bench/node/sensor").unwrap();
+    for ts in 0..100_000 {
+        cluster.insert(sid, ts, ts as f64);
+    }
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("query_10k_of_100k", |b| {
+        b.iter(|| cluster.query(sid, TimeRange::new(40_000, 50_000)))
+    });
+    g.finish();
+}
+
+fn bench_collect_agent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collect_agent");
+    let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+    // steady state: topic pre-registered
+    agent.handle_publish("/bench/host0/t0", &encode_readings(&[(0, 1.0)]));
+    let payload = encode_readings(&[(1_000_000_000, 42.0)]);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("handle_publish", |b| {
+        b.iter(|| agent.handle_publish("/bench/host0/t0", &payload))
+    });
+    g.finish();
+}
+
+fn bench_pusher_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pusher");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("sample_1k_tester_sensors", |b| {
+        b.iter_batched(
+            || {
+                let p = Pusher::new(
+                    PusherConfig::default(),
+                    MqttOut::new(MqttBackend::Null, SendPolicy::Continuous),
+                );
+                p.add_plugin(Box::new(TesterPlugin::new(1000, 1000)));
+                p
+            },
+            |p| p.sample_due(0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sid_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sid");
+    let registry = TopicRegistry::new();
+    registry.resolve("/lrz/sys/rack03/node12/cpu07/instructions").unwrap();
+    g.bench_function("resolve_hot", |b| {
+        b.iter(|| registry.resolve("/lrz/sys/rack03/node12/cpu07/instructions").unwrap())
+    });
+    g.bench_function("sid_from_topic", |b| {
+        b.iter(|| SensorId::from_topic("/lrz/sys/rack03/node12/cpu07/instructions").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_paper_artefacts(c: &mut Criterion) {
+    // One sample per artefact: regenerating every table/figure is the
+    // deliverable; Criterion gives the regeneration cost.
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(experiments::table1::run));
+    g.bench_function("fig4", |b| b.iter(experiments::fig4::run));
+    g.bench_function("fig5", |b| b.iter(experiments::fig5::run));
+    g.bench_function("fig6", |b| b.iter(experiments::fig6::run));
+    g.bench_function("fig7", |b| b.iter(experiments::fig7::run));
+    g.bench_function("fig8_point", |b| b.iter(|| experiments::fig8::measure(5, 1000, 1.0)));
+    g.bench_function("fig9_1h", |b| {
+        b.iter(|| experiments::fig9::run(3600.0)) // hourly steps: fast smoke
+    });
+    g.bench_function("fig10_1min", |b| b.iter(|| experiments::fig10::run(1)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mqtt_codec,
+    bench_store_ingest,
+    bench_collect_agent,
+    bench_pusher_sampling,
+    bench_sid_resolution,
+    bench_paper_artefacts
+);
+criterion_main!(benches);

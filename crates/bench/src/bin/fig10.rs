@@ -1,0 +1,18 @@
+//! Regenerates Figure 10 (use case 2): application characterisation.
+fn main() {
+    println!("Figure 10: instructions-per-Watt densities of the CORAL-2 apps (KNL, 100 ms)\n");
+    let apps = dcdb_bench::experiments::fig10::run(30);
+    print!("{}", dcdb_bench::experiments::fig10::render(&apps));
+    dcdb_bench::report::write_csv(
+        "fig10",
+        &["app", "mean_instr_per_watt", "modes"],
+        &apps
+            .iter()
+            .map(|a| vec![
+                a.workload.to_string(),
+                format!("{:.1}", a.mean),
+                a.modes.to_string(),
+            ])
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 4: Pusher overhead on CORAL-2 benchmarks, weak scaling.
+fn main() {
+    let pts = dcdb_bench::experiments::fig4::run();
+    println!("Figure 4: Pusher overhead on CORAL-2 MPI benchmarks (SuperMUC-NG)\n");
+    print!("{}", dcdb_bench::experiments::fig4::render(&pts));
+    let (cont, burst) = dcdb_bench::experiments::fig4::amg_burst_ablation();
+    println!("\nAMG@1024 send-policy ablation: continuous {cont:.2}% vs 2/min bursts {burst:.2}%");
+    dcdb_bench::report::write_csv(
+        "fig4",
+        &["benchmark", "nodes", "total_percent", "core_percent"],
+        &pts.iter()
+            .map(|p| vec![
+                p.workload.to_string(),
+                p.nodes.to_string(),
+                format!("{:.3}", p.total_percent),
+                format!("{:.3}", p.core_percent),
+            ])
+            .collect::<Vec<_>>(),
+    );
+}

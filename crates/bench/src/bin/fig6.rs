@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: Pusher CPU load and memory usage grid.
+fn main() {
+    let pts = dcdb_bench::experiments::fig6::run();
+    println!("Figure 6: Pusher per-core CPU load and memory usage (Skylake)\n");
+    print!("{}", dcdb_bench::experiments::fig6::render(&pts));
+    dcdb_bench::report::write_csv(
+        "fig6",
+        &["sensors", "interval_ms", "cpu_load_percent", "memory_mb"],
+        &pts.iter()
+            .map(|p| vec![
+                p.sensors.to_string(),
+                p.interval_ms.to_string(),
+                format!("{:.4}", p.cpu_load_percent),
+                format!("{:.1}", p.memory_mb),
+            ])
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7 + Equation 1: CPU load scaling model.
+fn main() {
+    let curves = dcdb_bench::experiments::fig7::run();
+    println!("Figure 7: CPU load vs sensor rate, with least-squares fits\n");
+    print!("{}", dcdb_bench::experiments::fig7::render(&curves));
+    println!("Equation 1 check (interpolate 5000 sensors from 1000 and 10000):");
+    for arch in dcdb_sim::Arch::ALL {
+        let (interp, direct) = dcdb_bench::experiments::fig7::eq1_check(arch, 1000, 10000, 5000);
+        println!("  {arch}: Eq.1 → {interp:.4}%, model → {direct:.4}%");
+    }
+}

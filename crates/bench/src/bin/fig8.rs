@@ -1,0 +1,24 @@
+//! Regenerates Figure 8: Collect Agent CPU load (real pipeline execution).
+fn main() {
+    println!("Figure 8: Collect Agent per-core CPU load (measured on this machine)\n");
+    let full = std::env::args().any(|a| a == "--full");
+    let pts = if full {
+        dcdb_bench::experiments::fig8::run_full()
+    } else {
+        println!("(reduced grid; pass --full for the paper's 6×5 grid)\n");
+        dcdb_bench::experiments::fig8::run_reduced()
+    };
+    print!("{}", dcdb_bench::experiments::fig8::render(&pts));
+    dcdb_bench::report::write_csv(
+        "fig8",
+        &["hosts", "sensors", "rate", "cpu_load_percent"],
+        &pts.iter()
+            .map(|p| vec![
+                p.hosts.to_string(),
+                p.sensors.to_string(),
+                format!("{:.0}", p.rate),
+                format!("{:.2}", p.cpu_load_percent),
+            ])
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 9 (use case 1): efficiency of heat removal.
+fn main() {
+    println!("Figure 9: CooLMUC-3 heat-removal efficiency (full pipeline, 24 h)\n");
+    let cs = dcdb_bench::experiments::fig9::run(60.0);
+    print!("{}", dcdb_bench::experiments::fig9::render(&cs));
+    dcdb_bench::report::write_csv(
+        "fig9",
+        &["hour", "power_kw", "heat_removed_kw", "inlet_c"],
+        &cs.series
+            .iter()
+            .map(|(h, p, q, t)| vec![
+                format!("{h:.3}"),
+                format!("{p:.2}"),
+                format!("{q:.2}"),
+                format!("{t:.2}"),
+            ])
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,154 @@
+//! **Figure 10** (use case 2): application characterisation through
+//! high-frequency monitoring.
+//!
+//! Single-node CooLMUC-3 (KNL) runs of the four CORAL-2 applications are
+//! monitored at 100 ms; for every sample the ratio of per-core retired
+//! instructions to node power is computed, and the resulting time series is
+//! fitted with a probability density (Gaussian KDE).
+//!
+//! Expected shape: Kripke and Quicksilver show high means (high
+//! computational density); LAMMPS and AMG sit lower, with multi-modal
+//! densities betraying their phase changes.
+
+use dcdb_sim::arch::KNIGHTS_LANDING;
+use dcdb_sim::workloads::BehaviorTrace;
+use dcdb_sim::{Workload, NS_PER_MS};
+
+use crate::kde::Kde;
+
+/// Characterisation of one application.
+#[derive(Debug, Clone)]
+pub struct AppDensity {
+    /// Application.
+    pub workload: Workload,
+    /// Instructions-per-Watt samples (per 100 ms interval).
+    pub samples: Vec<f64>,
+    /// Mean instructions per Watt.
+    pub mean: f64,
+    /// Density curve `(x, pdf)` over the figure's x range.
+    pub curve: Vec<(f64, f64)>,
+    /// Number of local maxima in the density (modes).
+    pub modes: usize,
+}
+
+/// The figure's x range (instructions per Watt): 0 to 4.5 × 10⁵.
+pub const X_MAX: f64 = 4.5e5;
+
+/// Run the characterisation: `minutes` of virtual runtime per application.
+pub fn run(minutes: usize) -> Vec<AppDensity> {
+    let samples_per_app = minutes * 60 * 10; // 100 ms sampling
+    Workload::CORAL2
+        .iter()
+        .map(|&workload| {
+            let mut trace =
+                BehaviorTrace::new(workload, &KNIGHTS_LANDING, 100 * NS_PER_MS, 0xF16);
+            let samples: Vec<f64> = (0..samples_per_app)
+                .map(|_| {
+                    let s = trace.next_sample();
+                    s.instructions_per_core / s.power_w
+                })
+                .collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let kde = Kde::fit(&samples);
+            let curve = kde.curve(0.0, X_MAX, 200);
+            let modes = count_modes(&curve);
+            AppDensity { workload, samples, mean, curve, modes }
+        })
+        .collect()
+}
+
+/// Count local maxima above 5% of the global peak (mode detection).
+fn count_modes(curve: &[(f64, f64)]) -> usize {
+    let peak = curve.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let threshold = peak * 0.05;
+    curve
+        .windows(3)
+        .filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1 && w[1].1 > threshold)
+        .count()
+}
+
+/// Render an ASCII version of the figure.
+pub fn render(apps: &[AppDensity]) -> String {
+    let mut out = String::new();
+    for app in apps {
+        out.push_str(&format!(
+            "{:<12} mean = {:.2e} instr/W, {} mode(s)\n",
+            app.workload.to_string(),
+            app.mean,
+            app.modes
+        ));
+        // sparkline of the density
+        let peak = app.curve.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-300);
+        let glyphs: String = app
+            .curve
+            .iter()
+            .step_by(4)
+            .map(|(_, d)| {
+                let level = (d / peak * 7.0).round() as usize;
+                [' ', '.', ':', '-', '=', '+', '*', '#'][level.min(7)]
+            })
+            .collect();
+        out.push_str(&format!("  0 |{glyphs}| {:.1e}\n", X_MAX));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by(apps: &[AppDensity], w: Workload) -> &AppDensity {
+        apps.iter().find(|a| a.workload == w).unwrap()
+    }
+
+    #[test]
+    fn kripke_quicksilver_high_lammps_amg_low() {
+        let apps = run(5);
+        let kripke = by(&apps, Workload::Kripke).mean;
+        let quick = by(&apps, Workload::Quicksilver).mean;
+        let lammps = by(&apps, Workload::Lammps).mean;
+        let amg = by(&apps, Workload::Amg).mean;
+        assert!(kripke > 1.5 * lammps, "kripke {kripke:.2e} vs lammps {lammps:.2e}");
+        assert!(kripke > 2.0 * amg, "kripke {kripke:.2e} vs amg {amg:.2e}");
+        assert!(quick > 1.5 * amg, "quicksilver {quick:.2e} vs amg {amg:.2e}");
+    }
+
+    #[test]
+    fn lammps_and_amg_are_multimodal() {
+        let apps = run(10);
+        assert!(by(&apps, Workload::Lammps).modes >= 2, "LAMMPS modes");
+        assert!(by(&apps, Workload::Amg).modes >= 2, "AMG modes");
+    }
+
+    #[test]
+    fn compute_dense_apps_are_narrow() {
+        let apps = run(5);
+        let spread = |a: &AppDensity| {
+            let m = a.mean;
+            (a.samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / a.samples.len() as f64)
+                .sqrt()
+                / m
+        };
+        let q = spread(by(&apps, Workload::Quicksilver));
+        let l = spread(by(&apps, Workload::Lammps));
+        assert!(q < l, "quicksilver rel-spread {q:.3} vs lammps {l:.3}");
+    }
+
+    #[test]
+    fn samples_fit_figure_range() {
+        let apps = run(3);
+        for a in &apps {
+            let max = a.samples.iter().copied().fold(f64::MIN, f64::max);
+            assert!(max < X_MAX, "{}: max {max:.2e} beyond figure range", a.workload);
+            assert!(a.samples.iter().all(|s| *s > 0.0));
+        }
+    }
+
+    #[test]
+    fn render_contains_all_apps() {
+        let text = render(&run(1));
+        for w in ["kripke", "quicksilver", "lammps", "amg"] {
+            assert!(text.contains(w), "{w} missing");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! **Figure 4**: Pusher overhead on the CORAL-2 MPI benchmarks on
+//! SuperMUC-NG, weak-scaling 128 → 1024 nodes, with the production plugin
+//! set (`total`) and a tester configuration of equal sensor count (`core`).
+//!
+//! Expected shape: LAMMPS/Quicksilver/Kripke stay below 3% with minimal
+//! growth; AMG grows roughly linearly with node count and peaks near 9% at
+//! 1024 nodes, with the tester runs showing that AMG's overhead is mostly
+//! network interference while the others' is mostly sampling cost.
+
+use dcdb_sim::overhead::{mpi_overhead_percent, PusherConfig, SendPolicy};
+use dcdb_sim::{Arch, Workload};
+
+use super::measurement_noise;
+
+/// Node counts of the paper's weak-scaling study.
+pub const NODE_COUNTS: [usize; 4] = [128, 256, 512, 1024];
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Benchmark.
+    pub workload: Workload,
+    /// Node count.
+    pub nodes: usize,
+    /// Production-config overhead, percent (`total`).
+    pub total_percent: f64,
+    /// Tester-config overhead, percent (`core`).
+    pub core_percent: f64,
+}
+
+/// Run the full sweep (deterministic seed).
+pub fn run() -> Vec<Point> {
+    let arch = Arch::Skylake;
+    let total_cfg = PusherConfig::production(arch);
+    let core_cfg = PusherConfig::tester(total_cfg.total_sensors(), 1000);
+    let mut out = Vec::new();
+    for workload in Workload::CORAL2 {
+        for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+            let seed = (workload as u64 + 1) * 1000 + i as u64;
+            let noise = measurement_noise(seed, 0.15);
+            out.push(Point {
+                workload,
+                nodes,
+                total_percent: mpi_overhead_percent(workload, nodes, &total_cfg, arch, noise),
+                core_percent: mpi_overhead_percent(
+                    workload,
+                    nodes,
+                    &core_cfg,
+                    arch,
+                    noise * 0.5,
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The burst-policy ablation for AMG (paper §6.2.1: bursts twice per minute
+/// performed best for AMG).  Returns `(continuous, burst)` overhead at
+/// 1024 nodes.
+pub fn amg_burst_ablation() -> (f64, f64) {
+    let arch = Arch::Skylake;
+    let mut cfg = PusherConfig::production(arch);
+    let cont = mpi_overhead_percent(Workload::Amg, 1024, &cfg, arch, 0.0);
+    cfg.policy = SendPolicy::Burst { per_minute: 2 };
+    let burst = mpi_overhead_percent(Workload::Amg, 1024, &cfg, arch, 0.0);
+    (cont, burst)
+}
+
+/// Render the figure as a table.
+pub fn render(points: &[Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.to_string(),
+                p.nodes.to_string(),
+                format!("{:.2}", p.total_percent),
+                format!("{:.2}", p.core_percent),
+            ]
+        })
+        .collect();
+    crate::report::table(&["benchmark", "nodes", "total [%]", "core [%]"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points_for(w: Workload) -> Vec<Point> {
+        run().into_iter().filter(|p| p.workload == w).collect()
+    }
+
+    #[test]
+    fn amg_grows_and_peaks_near_nine_percent() {
+        let amg = points_for(Workload::Amg);
+        for w in amg.windows(2) {
+            assert!(w[1].total_percent > w[0].total_percent, "AMG must grow with nodes");
+        }
+        let peak = amg.last().unwrap().total_percent;
+        assert!((6.0..12.0).contains(&peak), "AMG@1024 = {peak:.2}%");
+    }
+
+    #[test]
+    fn other_benchmarks_stay_low_and_flat() {
+        for w in [Workload::Lammps, Workload::Kripke, Workload::Quicksilver] {
+            let pts = points_for(w);
+            for p in &pts {
+                assert!(p.total_percent < 3.0, "{w}@{} = {:.2}%", p.nodes, p.total_percent);
+            }
+            let growth =
+                pts.last().unwrap().total_percent - pts.first().unwrap().total_percent;
+            assert!(growth < 1.0, "{w} grows {growth:.2}% over the sweep");
+        }
+    }
+
+    #[test]
+    fn core_config_reveals_network_share() {
+        // AMG: core ≈ total (network-dominated); Kripke: core ≪ total.
+        let amg = points_for(Workload::Amg).pop().unwrap();
+        assert!(amg.core_percent > 0.5 * amg.total_percent);
+        let kripke = points_for(Workload::Kripke).pop().unwrap();
+        assert!(kripke.core_percent < 0.5 * kripke.total_percent);
+    }
+
+    #[test]
+    fn bursting_reduces_amg_interference() {
+        let (cont, burst) = amg_burst_ablation();
+        assert!(burst < cont, "burst {burst:.2}% !< continuous {cont:.2}%");
+        assert!(burst > 0.0);
+    }
+
+    #[test]
+    fn full_grid_rendered() {
+        let pts = run();
+        assert_eq!(pts.len(), 4 * NODE_COUNTS.len());
+        let text = render(&pts);
+        assert!(text.contains("amg") && text.contains("1024"));
+    }
+}

@@ -1,0 +1,127 @@
+//! **Figure 5**: heat maps of Pusher overhead vs HPL for 25 tester-plugin
+//! configurations (sampling interval × sensor count) on each of the three
+//! architectures.
+//!
+//! Expected shape: everything with ≤1000 sensors stays below 1%; gradients
+//! increase toward many sensors at short intervals; Skylake stays nearly
+//! flat, Knights Landing shows the steepest gradient with a worst case of a
+//! few percent; many cells read exactly 0 (median monitored run not slower).
+
+use dcdb_sim::overhead::{hpl_overhead_percent, PusherConfig};
+use dcdb_sim::Arch;
+
+use super::measurement_noise;
+
+/// Sensor counts on the x axis.
+pub const SENSORS: [usize; 5] = [10, 100, 1000, 5000, 10000];
+
+/// Sampling intervals (ms) on the y axis.
+pub const INTERVALS_MS: [u64; 5] = [100, 250, 500, 1000, 10000];
+
+/// One architecture's heat map: `values[interval_idx][sensor_idx]`, percent.
+#[derive(Debug, Clone)]
+pub struct HeatMap {
+    /// Architecture.
+    pub arch: Arch,
+    /// Overhead values in percent.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// Compute the three heat maps.
+pub fn run() -> Vec<HeatMap> {
+    Arch::ALL
+        .iter()
+        .map(|&arch| {
+            let values = INTERVALS_MS
+                .iter()
+                .enumerate()
+                .map(|(yi, &interval)| {
+                    SENSORS
+                        .iter()
+                        .enumerate()
+                        .map(|(xi, &sensors)| {
+                            let cfg = PusherConfig::tester(sensors, interval);
+                            let seed =
+                                (arch as u64) << 16 | (yi as u64) << 8 | xi as u64;
+                            // jitter comparable to the paper's cell scatter
+                            let noise = measurement_noise(seed, 0.25);
+                            hpl_overhead_percent(&cfg, arch, noise)
+                        })
+                        .collect()
+                })
+                .collect();
+            HeatMap { arch, values }
+        })
+        .collect()
+}
+
+/// Render one heat map.
+pub fn render(map: &HeatMap) -> String {
+    crate::report::heatmap(
+        &format!("Overhead [%] on the {} architecture (tester plugin, vs HPL)", map.arch),
+        &SENSORS.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &INTERVALS_MS.iter().map(|i| format!("{i}ms")).collect::<Vec<_>>(),
+        &map.values,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_for(arch: Arch) -> HeatMap {
+        run().into_iter().find(|m| m.arch == arch).unwrap()
+    }
+
+    #[test]
+    fn small_configs_below_one_percent() {
+        // paper: "in all configurations with 1,000 sensors or less ... below 1%"
+        for m in run() {
+            for row in &m.values {
+                for (xi, v) in row.iter().enumerate() {
+                    if SENSORS[xi] <= 1000 {
+                        assert!(*v < 1.0, "{:?}: {} sensors → {v:.2}%", m.arch, SENSORS[xi]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knl_has_steepest_corner() {
+        // worst cell = most sensors (x=4) at shortest interval (y=0)
+        let knl = map_for(Arch::KnightsLanding).values[0][4];
+        let sky = map_for(Arch::Skylake).values[0][4];
+        let has = map_for(Arch::Haswell).values[0][4];
+        assert!(knl > has && has > sky, "corner: knl {knl:.2} has {has:.2} sky {sky:.2}");
+        assert!((2.0..5.0).contains(&knl), "KNL worst case {knl:.2}%");
+        assert!(sky < 1.0, "Skylake stays flat: {sky:.2}%");
+    }
+
+    #[test]
+    fn gradient_along_both_axes() {
+        let knl = map_for(Arch::KnightsLanding);
+        // more sensors at fixed interval → no less overhead (model+noise: compare extremes)
+        assert!(knl.values[0][4] > knl.values[0][0]);
+        // longer interval at fixed sensors → less overhead
+        assert!(knl.values[0][4] > knl.values[4][4]);
+    }
+
+    #[test]
+    fn some_cells_are_zero() {
+        // the paper's maps are full of exact zeros
+        let zeros: usize = run()
+            .iter()
+            .flat_map(|m| m.values.iter().flatten())
+            .filter(|v| **v == 0.0)
+            .count();
+        assert!(zeros >= 5, "only {zeros} zero cells");
+    }
+
+    #[test]
+    fn render_shows_axes() {
+        let text = render(&map_for(Arch::Skylake));
+        assert!(text.contains("10000"));
+        assert!(text.contains("100ms"));
+    }
+}

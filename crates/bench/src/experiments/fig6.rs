@@ -1,0 +1,101 @@
+//! **Figure 6**: average Pusher per-core CPU load (a) and memory usage (b)
+//! on SuperMUC-NG nodes across the tester-plugin configuration grid.
+//!
+//! Expected shape: CPU load peaks near 3% in the most intensive
+//! configuration (100,000 readings/s); memory peaks near 350 MB there, and
+//! stays well below 50 MB for production-scale configurations (≤1000
+//! sensors), shrinking further with longer intervals (smaller caches).
+
+use dcdb_sim::overhead::{pusher_cpu_load_percent, pusher_memory_mb, PusherConfig};
+use dcdb_sim::Arch;
+
+pub use super::fig5::{INTERVALS_MS, SENSORS};
+
+/// One grid point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Sensor count.
+    pub sensors: usize,
+    /// Sampling interval, ms.
+    pub interval_ms: u64,
+    /// Per-core CPU load, percent.
+    pub cpu_load_percent: f64,
+    /// Memory usage, MB.
+    pub memory_mb: f64,
+}
+
+/// Compute the grid (Skylake, like the paper).
+pub fn run() -> Vec<Point> {
+    let mut out = Vec::new();
+    for &interval_ms in &INTERVALS_MS {
+        for &sensors in &SENSORS {
+            let cfg = PusherConfig::tester(sensors, interval_ms);
+            out.push(Point {
+                sensors,
+                interval_ms,
+                cpu_load_percent: pusher_cpu_load_percent(&cfg, Arch::Skylake),
+                memory_mb: pusher_memory_mb(&cfg, Arch::Skylake),
+            });
+        }
+    }
+    out
+}
+
+/// Render both panels.
+pub fn render(points: &[Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.sensors.to_string(),
+                p.interval_ms.to_string(),
+                format!("{:.3}", p.cpu_load_percent),
+                format!("{:.1}", p.memory_mb),
+            ]
+        })
+        .collect();
+    crate::report::table(&["sensors", "interval [ms]", "CPU load [%]", "memory [MB]"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(points: &[Point], sensors: usize, interval: u64) -> &Point {
+        points.iter().find(|p| p.sensors == sensors && p.interval_ms == interval).unwrap()
+    }
+
+    #[test]
+    fn most_intensive_config_matches_paper() {
+        let pts = run();
+        let worst = at(&pts, 10_000, 100);
+        assert!((2.4..3.6).contains(&worst.cpu_load_percent), "{}", worst.cpu_load_percent);
+        assert!((300.0..420.0).contains(&worst.memory_mb), "{}", worst.memory_mb);
+    }
+
+    #[test]
+    fn production_configs_cheap() {
+        let pts = run();
+        for p in pts.iter().filter(|p| p.sensors <= 1000 && p.interval_ms >= 1000) {
+            assert!(p.memory_mb < 50.0, "{p:?}");
+            assert!(p.cpu_load_percent < 0.1, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_rate_along_both_axes() {
+        let pts = run();
+        assert!(at(&pts, 10_000, 100).memory_mb > at(&pts, 1_000, 100).memory_mb);
+        assert!(at(&pts, 10_000, 100).memory_mb > at(&pts, 10_000, 1000).memory_mb);
+        assert!(at(&pts, 10_000, 10_000).memory_mb < 60.0);
+    }
+
+    #[test]
+    fn cpu_load_depends_on_rate_only() {
+        let pts = run();
+        // same rate (1000 readings/s) via different combinations
+        let a = at(&pts, 1_000, 1000).cpu_load_percent;
+        let b = at(&pts, 100, 100).cpu_load_percent;
+        assert!((a - b).abs() < 1e-9);
+    }
+}

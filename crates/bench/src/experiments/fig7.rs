@@ -1,0 +1,131 @@
+//! **Figure 7 + Equation 1**: per-core CPU load as a function of the sensor
+//! rate for the three architectures, with the least-squares fit showing
+//! distinctly linear scaling — which justifies Eq. 1's two-point linear
+//! interpolation for capacity planning.
+//!
+//! Expected shape: all three curves linear (r² ≈ 1); peak loads around
+//! 3% (Skylake), 5% (Haswell) and 8% (KNL) at 10⁵ readings/s; below 1% for
+//! rates ≤1000 on every architecture.
+
+use dcdb_sim::overhead::{eq1_interpolate, linear_fit, pusher_cpu_load_percent, PusherConfig};
+use dcdb_sim::Arch;
+
+pub use super::fig5::{INTERVALS_MS, SENSORS};
+
+/// One architecture's curve and fit.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Architecture.
+    pub arch: Arch,
+    /// `(sensor rate [1/s], CPU load [%])` points.
+    pub points: Vec<(f64, f64)>,
+    /// Intercept of the linear fit.
+    pub intercept: f64,
+    /// Slope of the linear fit (% per reading/s).
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Compute the three curves over the full configuration grid.
+pub fn run() -> Vec<Curve> {
+    Arch::ALL
+        .iter()
+        .map(|&arch| {
+            let mut points = Vec::new();
+            for &interval in &INTERVALS_MS {
+                for &sensors in &SENSORS {
+                    let cfg = PusherConfig::tester(sensors, interval);
+                    points.push((cfg.sensor_rate(), pusher_cpu_load_percent(&cfg, arch)));
+                }
+            }
+            points.sort_by(|a, b| a.0.total_cmp(&b.0));
+            points.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+            let (intercept, slope, r2) = linear_fit(&points);
+            Curve { arch, points, intercept, slope, r2 }
+        })
+        .collect()
+}
+
+/// Validate Eq. 1 against the model: interpolate the load at `target_rate`
+/// from measurements at `a` and `b`; returns `(interpolated, direct)`.
+pub fn eq1_check(arch: Arch, a: usize, b: usize, target: usize) -> (f64, f64) {
+    let rate = |n: usize| PusherConfig::tester(n, 1000).sensor_rate();
+    let load = |n: usize| pusher_cpu_load_percent(&PusherConfig::tester(n, 1000), arch);
+    let interp = eq1_interpolate(rate(target), (rate(a), load(a)), (rate(b), load(b)));
+    (interp, load(target))
+}
+
+/// Render the curves.
+pub fn render(curves: &[Curve]) -> String {
+    let mut out = String::new();
+    for c in curves {
+        out.push_str(&format!(
+            "{}: load% = {:.4} + {:.3e} · rate   (r² = {:.5})\n",
+            c.arch, c.intercept, c.slope, c.r2
+        ));
+        for (rate, load) in &c.points {
+            out.push_str(&format!("  rate {rate:>9.1}/s → {load:>7.3}%\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_curves_linear() {
+        for c in run() {
+            assert!(c.r2 > 0.999, "{}: r² = {}", c.arch, c.r2);
+            assert!(c.slope > 0.0);
+        }
+    }
+
+    #[test]
+    fn peak_loads_match_figure() {
+        for (arch, expect) in
+            [(Arch::Skylake, 3.0), (Arch::Haswell, 5.0), (Arch::KnightsLanding, 8.0)]
+        {
+            let c = run().into_iter().find(|c| c.arch == arch).unwrap();
+            let peak = c.points.last().unwrap().1;
+            assert!(
+                (peak - expect).abs() / expect < 0.25,
+                "{arch:?}: peak {peak:.2}% vs ~{expect}%"
+            );
+        }
+    }
+
+    #[test]
+    fn low_rates_below_one_percent() {
+        for c in run() {
+            for &(rate, load) in &c.points {
+                if rate <= 1000.0 {
+                    assert!(load < 1.0, "{}: {rate}/s → {load}%", c.arch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arch_ordering_holds_at_every_rate() {
+        let curves = run();
+        let get = |a: Arch| curves.iter().find(|c| c.arch == a).unwrap();
+        for (i, &(rate, sky)) in get(Arch::Skylake).points.iter().enumerate() {
+            let has = get(Arch::Haswell).points[i].1;
+            let knl = get(Arch::KnightsLanding).points[i].1;
+            if rate >= 100.0 {
+                assert!(knl > has && has > sky, "ordering broken at rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_interpolation_is_exact_on_linear_model() {
+        for arch in Arch::ALL {
+            let (interp, direct) = eq1_check(arch, 1000, 10_000, 5_000);
+            assert!((interp - direct).abs() < 1e-9, "{arch:?}: {interp} vs {direct}");
+        }
+    }
+}

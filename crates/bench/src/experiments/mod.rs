@@ -1,0 +1,22 @@
+//! One module per paper artefact; see the crate docs for the index.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic measurement jitter for the overhead heat maps: the paper's
+/// cells scatter around the model value and clamp at zero (a monitored run
+/// is often not measurably slower than the median reference run).
+pub fn measurement_noise(seed: u64, magnitude: f64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.gen_range(-magnitude..magnitude)
+}

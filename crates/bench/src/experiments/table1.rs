@@ -1,0 +1,140 @@
+//! **Table 1**: the three production environments, their per-node Pusher
+//! configurations and the overhead measured against HPL — plus the memory
+//! and CPU-load figures quoted in §6.2.1 (25–72 MB, 1–9% per-core load).
+
+use dcdb_sim::overhead::{
+    hpl_overhead_percent, pusher_cpu_load_percent, pusher_memory_mb, PusherConfig,
+};
+use dcdb_sim::Arch;
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Architecture.
+    pub arch: Arch,
+    /// HPC system name.
+    pub system: &'static str,
+    /// Node count of the production system.
+    pub nodes: usize,
+    /// Plugin list.
+    pub plugins: Vec<&'static str>,
+    /// Per-node sensor count.
+    pub sensors: usize,
+    /// Predicted overhead vs HPL, percent.
+    pub overhead_percent: f64,
+    /// Overhead the paper measured, percent.
+    pub paper_overhead_percent: f64,
+    /// Predicted Pusher memory, MB.
+    pub memory_mb: f64,
+    /// Predicted per-core CPU load, percent.
+    pub cpu_load_percent: f64,
+}
+
+/// Compute all three rows.
+pub fn run() -> Vec<Row> {
+    Arch::ALL
+        .iter()
+        .map(|&arch| {
+            let spec = arch.spec();
+            let cfg = PusherConfig::production(arch);
+            Row {
+                arch,
+                system: spec.system,
+                nodes: spec.system_nodes,
+                plugins: spec.plugins.to_vec(),
+                sensors: cfg.total_sensors(),
+                overhead_percent: hpl_overhead_percent(&cfg, arch, 0.0),
+                paper_overhead_percent: spec.paper_overhead_percent,
+                memory_mb: pusher_memory_mb(&cfg, arch),
+                cpu_load_percent: pusher_cpu_load_percent(&cfg, arch),
+            }
+        })
+        .collect()
+}
+
+/// Render the table.
+pub fn render(rows: &[Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                format!("{} {}", r.nodes, r.arch),
+                r.plugins.join("+"),
+                r.sensors.to_string(),
+                format!("{:.2}%", r.overhead_percent),
+                format!("{:.2}%", r.paper_overhead_percent),
+                format!("{:.0} MB", r.memory_mb),
+                format!("{:.1}%", r.cpu_load_percent),
+            ]
+        })
+        .collect();
+    crate::report::table(
+        &[
+            "HPC System",
+            "Nodes",
+            "Plugins",
+            "Sensors",
+            "Overhead",
+            "Paper",
+            "Memory",
+            "CPU load",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensors_match_paper_exactly() {
+        let rows = run();
+        assert_eq!(rows[0].sensors, 2477);
+        assert_eq!(rows[1].sensors, 750);
+        assert_eq!(rows[2].sensors, 3176);
+    }
+
+    #[test]
+    fn overheads_within_fifteen_percent_of_paper() {
+        for r in run() {
+            let rel = (r.overhead_percent - r.paper_overhead_percent).abs()
+                / r.paper_overhead_percent;
+            assert!(
+                rel < 0.15,
+                "{}: {:.2}% vs paper {:.2}%",
+                r.system,
+                r.overhead_percent,
+                r.paper_overhead_percent
+            );
+        }
+    }
+
+    #[test]
+    fn knl_worst_haswell_best() {
+        let rows = run();
+        let by = |a: Arch| rows.iter().find(|r| r.arch == a).unwrap().overhead_percent;
+        assert!(by(Arch::KnightsLanding) > by(Arch::Skylake));
+        assert!(by(Arch::Skylake) > by(Arch::Haswell));
+    }
+
+    #[test]
+    fn memory_in_reported_band() {
+        // §6.2.1: average memory usage ranges between 25 MB (Haswell) and
+        // 72 MB (KNL)
+        let rows = run();
+        let mem = |a: Arch| rows.iter().find(|r| r.arch == a).unwrap().memory_mb;
+        assert!((20.0..45.0).contains(&mem(Arch::Haswell)), "{}", mem(Arch::Haswell));
+        assert!((60.0..110.0).contains(&mem(Arch::KnightsLanding)));
+        assert!(mem(Arch::KnightsLanding) > mem(Arch::Skylake));
+    }
+
+    #[test]
+    fn render_mentions_all_systems() {
+        let text = render(&run());
+        for s in ["SuperMUC-NG", "CooLMUC-2", "CooLMUC-3"] {
+            assert!(text.contains(s));
+        }
+    }
+}

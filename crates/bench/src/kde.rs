@@ -1,0 +1,111 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 10 plots "the fitted probability density functions" of the
+//! instructions-per-Watt time series; this is the standard Gaussian KDE with
+//! Silverman's rule-of-thumb bandwidth.
+
+/// A fitted density.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    /// Bandwidth (h).
+    pub bandwidth: f64,
+}
+
+impl Kde {
+    /// Fit a KDE with Silverman's bandwidth.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn fit(samples: &[f64]) -> Kde {
+        assert!(!samples.is_empty(), "KDE needs samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+        // Silverman: h = 1.06 σ n^(−1/5); guard degenerate σ
+        let bandwidth = (1.06 * std * n.powf(-0.2)).max(1e-12);
+        Kde { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// Fit with an explicit bandwidth.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Kde {
+        assert!(!samples.is_empty() && bandwidth > 0.0);
+        Kde { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.samples.len() as f64);
+        self.samples
+            .iter()
+            .map(|&s| {
+                let u = (x - s) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluate on `points` evenly-spaced x values in `[lo, hi]`.
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && hi > lo);
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+
+    /// The x value of the density's highest evaluated point.
+    pub fn mode(&self, lo: f64, hi: f64, points: usize) -> f64 {
+        self.curve(lo, hi, points)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(x, _)| x)
+            .expect("non-empty curve")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_to_one() {
+        let samples: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let kde = Kde::fit(&samples);
+        // numeric integral over a generous range
+        let curve = kde.curve(-20.0, 40.0, 2000);
+        let dx = curve[1].0 - curve[0].0;
+        let total: f64 = curve.iter().map(|(_, d)| d * dx).sum();
+        assert!((total - 1.0).abs() < 0.01, "integral = {total}");
+    }
+
+    #[test]
+    fn mode_near_sample_mass() {
+        let samples = vec![10.0; 50];
+        let kde = Kde::with_bandwidth(&samples, 1.0);
+        let mode = kde.mode(0.0, 20.0, 201);
+        assert!((mode - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn bimodal_distribution_has_two_humps() {
+        let mut samples = vec![0.0; 100];
+        samples.extend(vec![10.0; 100]);
+        let kde = Kde::with_bandwidth(&samples, 0.8);
+        let d_peak0 = kde.density(0.0);
+        let d_peak1 = kde.density(10.0);
+        let d_valley = kde.density(5.0);
+        assert!(d_valley < d_peak0 * 0.3);
+        assert!(d_valley < d_peak1 * 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "KDE needs samples")]
+    fn empty_panics() {
+        Kde::fit(&[]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Report formatting: the ASCII tables and heat maps the `figN`/`tableN`
+//! binaries print, plus CSV writers so results can be re-plotted.
+
+use std::fmt::Write as _;
+
+/// Render a table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, "| {cell:<w$} ");
+        }
+        out.push_str("|\n");
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&mut out, &sep);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render a heat map: `values[y][x]` with axis labels (Fig. 5 style).
+pub fn heatmap(
+    title: &str,
+    x_labels: &[String],
+    y_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    let mut out = format!("{title}\n");
+    let ylw = y_labels.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+    let _ = write!(out, "{:>ylw$} ", "");
+    for xl in x_labels {
+        let _ = write!(out, "{xl:>8} ");
+    }
+    out.push('\n');
+    for (y, row) in values.iter().enumerate() {
+        let _ = write!(out, "{:>ylw$} ", y_labels.get(y).map(String::as_str).unwrap_or(""));
+        for v in row {
+            let _ = write!(out, "{v:>8.3} ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write `(x, series...)` rows as CSV to `results/<name>.csv` (best-effort;
+/// printing is the primary output).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut text = headers.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    let _ = std::fs::write(dir.join(format!("{name}.csv")), text);
+}
+
+/// Format a float tersely.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("| a"));
+        // all lines same length
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let h = heatmap(
+            "demo",
+            &["10".into(), "100".into()],
+            &["100ms".into(), "1s".into()],
+            &[vec![0.1, 0.2], vec![0.3, 0.4]],
+        );
+        assert!(h.contains("demo"));
+        assert!(h.contains("0.400"));
+        assert_eq!(h.lines().count(), 4);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(42.4242), "42.42");
+        assert_eq!(f(0.0421), "0.042");
+    }
+}

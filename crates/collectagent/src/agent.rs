@@ -1,0 +1,252 @@
+//! The Collect Agent core: message handling and storage writing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use dcdb_mqtt::broker::{Broker, BrokerConfig, PublishSink};
+use dcdb_mqtt::inproc::InprocBus;
+use dcdb_mqtt::payload::decode_readings;
+use dcdb_sid::TopicRegistry;
+use dcdb_store::reading::Reading;
+use dcdb_store::StoreCluster;
+use parking_lot::RwLock;
+
+/// Collect Agent counters.
+///
+/// `busy_ns` accumulates the *measured* processing time of the message
+/// handler; the Fig. 8 harness derives per-core CPU load from it the same
+/// way the paper derives it from `ps`.
+#[derive(Debug, Default)]
+pub struct CollectAgentStats {
+    /// MQTT messages processed.
+    pub messages: AtomicU64,
+    /// Readings written to storage.
+    pub readings: AtomicU64,
+    /// Messages dropped (bad topic or torn payload).
+    pub dropped: AtomicU64,
+    /// Wall-clock nanoseconds spent inside the handler.
+    pub busy_ns: AtomicU64,
+}
+
+/// Observer callback invoked for every stored reading: `(topic, ts, value)`.
+/// This is the hook the streaming-analytics layer attaches to
+/// (see [`crate::analytics`]).
+pub type ReadingObserver = Arc<dyn Fn(&str, i64, f64) + Send + Sync>;
+
+/// The Collect Agent.
+pub struct CollectAgent {
+    registry: Arc<TopicRegistry>,
+    store: Arc<StoreCluster>,
+    stats: Arc<CollectAgentStats>,
+    /// Cache of the latest reading per topic (REST API).
+    cache: Arc<RwLock<std::collections::HashMap<String, Reading>>>,
+    observers: RwLock<Vec<ReadingObserver>>,
+}
+
+impl CollectAgent {
+    /// Create an agent writing to `store`.
+    pub fn new(store: Arc<StoreCluster>) -> Arc<CollectAgent> {
+        CollectAgent::with_registry(store, Arc::new(TopicRegistry::new()))
+    }
+
+    /// Create an agent sharing an existing topic registry — deployments with
+    /// several Collect Agents over one storage cluster share the topic→SID
+    /// mapping so SIDs stay bijective site-wide (paper §3.2's "many Collect
+    /// Agents, one or more Storage Backends").
+    pub fn with_registry(
+        store: Arc<StoreCluster>,
+        registry: Arc<TopicRegistry>,
+    ) -> Arc<CollectAgent> {
+        Arc::new(CollectAgent {
+            registry,
+            store,
+            stats: Arc::new(CollectAgentStats::default()),
+            cache: Arc::new(RwLock::new(std::collections::HashMap::new())),
+            observers: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Handle one publish: topic → SID, payload → readings, write to store.
+    pub fn handle_publish(&self, topic: &str, payload: &[u8]) {
+        let start = Instant::now();
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        let outcome = (|| -> Option<usize> {
+            let sid = self.registry.resolve(topic).ok()?;
+            let decoded = decode_readings(payload)?;
+            if decoded.is_empty() {
+                return Some(0);
+            }
+            let readings: Vec<Reading> =
+                decoded.iter().map(|&(ts, value)| Reading::new(ts, value)).collect();
+            self.store.insert_batch(sid, &readings);
+            if let Some(last) = readings.last() {
+                self.cache.write().insert(topic.to_string(), *last);
+            }
+            {
+                let observers = self.observers.read();
+                if !observers.is_empty() {
+                    for r in &readings {
+                        for obs in observers.iter() {
+                            obs(topic, r.ts, r.value);
+                        }
+                    }
+                }
+            }
+            Some(readings.len())
+        })();
+        match outcome {
+            Some(n) => {
+                self.stats.readings.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stats.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Register an observer called for every stored reading (live data
+    /// access for on-the-fly analysis or online tuning, paper §3.1).
+    pub fn add_observer(&self, observer: ReadingObserver) {
+        self.observers.write().push(observer);
+    }
+
+    /// The topic ↔ SID registry (shared with query tooling).
+    pub fn registry(&self) -> &Arc<TopicRegistry> {
+        &self.registry
+    }
+
+    /// The storage cluster.
+    pub fn store(&self) -> &Arc<StoreCluster> {
+        &self.store
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CollectAgentStats {
+        &self.stats
+    }
+
+    /// Latest cached reading of `topic`.
+    pub fn cached_latest(&self, topic: &str) -> Option<Reading> {
+        self.cache.read().get(&dcdb_sid::topic::normalize(topic)).copied().or_else(|| {
+            self.cache.read().get(topic).copied()
+        })
+    }
+
+    /// All cached topics, sorted.
+    pub fn cached_topics(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cache.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// A [`PublishSink`] for wiring into an MQTT broker or inproc bus.
+    pub fn sink(self: &Arc<Self>) -> PublishSink {
+        let agent = Arc::clone(self);
+        Arc::new(move |topic: &str, payload: &Bytes, _qos| {
+            agent.handle_publish(topic, payload);
+        })
+    }
+
+    /// Start a real TCP MQTT broker feeding this agent.
+    ///
+    /// # Errors
+    /// Propagates socket bind failures.
+    pub fn start_broker(self: &Arc<Self>, cfg: BrokerConfig) -> std::io::Result<Broker> {
+        Broker::start(cfg, Some(self.sink()))
+    }
+
+    /// Attach this agent to an in-process bus (simulation harness).
+    pub fn attach_inproc(self: &Arc<Self>, bus: &InprocBus) {
+        bus.set_sink(self.sink());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_mqtt::payload::encode_readings;
+    use dcdb_store::reading::TimeRange;
+
+    fn agent() -> Arc<CollectAgent> {
+        CollectAgent::new(Arc::new(StoreCluster::single()))
+    }
+
+    #[test]
+    fn publish_lands_in_store() {
+        let a = agent();
+        let payload = encode_readings(&[(1_000, 42.0), (2_000, 43.0)]);
+        a.handle_publish("/sys/node0/power", &payload);
+        let sid = a.registry().get("/sys/node0/power").unwrap();
+        let got = a.store().query(sid, TimeRange::all());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].value, 43.0);
+        assert_eq!(a.stats().readings.load(Ordering::Relaxed), 2);
+        assert_eq!(a.stats().messages.load(Ordering::Relaxed), 1);
+        assert!(a.stats().busy_ns.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn cache_keeps_latest() {
+        let a = agent();
+        a.handle_publish("/s/x", &encode_readings(&[(10, 1.0)]));
+        a.handle_publish("/s/x", &encode_readings(&[(20, 2.0)]));
+        assert_eq!(a.cached_latest("/s/x").unwrap().value, 2.0);
+        assert_eq!(a.cached_topics(), vec!["/s/x".to_string()]);
+        assert!(a.cached_latest("/s/none").is_none());
+    }
+
+    #[test]
+    fn malformed_input_is_dropped_not_stored() {
+        let a = agent();
+        a.handle_publish("/bad topic!", &encode_readings(&[(1, 1.0)]));
+        a.handle_publish("/good/topic", &[0u8; 7]); // torn payload
+        assert_eq!(a.stats().dropped.load(Ordering::Relaxed), 2);
+        assert_eq!(a.stats().readings.load(Ordering::Relaxed), 0);
+        assert_eq!(a.store().total_entries(), 0);
+    }
+
+    #[test]
+    fn inproc_bus_wiring() {
+        let a = agent();
+        let bus = InprocBus::new();
+        a.attach_inproc(&bus);
+        bus.publish(
+            "/bus/s1",
+            &encode_readings(&[(5, 9.0)]),
+            dcdb_mqtt::codec::QoS::AtMostOnce,
+        );
+        assert_eq!(a.stats().readings.load(Ordering::Relaxed), 1);
+        let sid = a.registry().get("/bus/s1").unwrap();
+        assert_eq!(a.store().query(sid, TimeRange::all()).len(), 1);
+    }
+
+    #[test]
+    fn tcp_broker_end_to_end() {
+        let a = agent();
+        let broker = a.start_broker(BrokerConfig::default()).unwrap();
+        let client = dcdb_mqtt::Client::connect(dcdb_mqtt::ClientConfig::new(
+            broker.local_addr(),
+            "pusher-e2e",
+        ))
+        .unwrap();
+        let payload = encode_readings(&[(100, 7.5)]);
+        client.publish_qos1("/e2e/power", &payload).unwrap();
+        let sid = a.registry().get("/e2e/power").unwrap();
+        let got = a.store().query(sid, TimeRange::all());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 7.5);
+        client.disconnect();
+    }
+
+    #[test]
+    fn empty_payload_is_noop_but_counted() {
+        let a = agent();
+        a.handle_publish("/s/e", &[]);
+        assert_eq!(a.stats().messages.load(Ordering::Relaxed), 1);
+        assert_eq!(a.stats().dropped.load(Ordering::Relaxed), 0);
+        assert_eq!(a.stats().readings.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! A pull-based collector — the ablation counterpart.
+//!
+//! DCDB deliberately uses push-based collection; the paper's related-work
+//! section criticises pull-based designs (LDMS) because polling "is
+//! problematic for fine-grained monitoring, which requires high sampling
+//! accuracy and precise timing" (§8).  To quantify that claim with real
+//! code, this module implements the pull alternative: a central collector
+//! that walks a list of Pusher REST endpoints *sequentially* each round,
+//! scrapes their sensor caches, and stores the latest readings.  The
+//! timestamps it records are collection times, not read times — exactly the
+//! skew the push design avoids.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcdb_http::client;
+use dcdb_http::json::Json;
+
+use crate::agent::CollectAgent;
+
+/// Statistics of a pull collector.
+#[derive(Debug, Default)]
+pub struct PullStats {
+    /// Polling rounds completed.
+    pub rounds: AtomicU64,
+    /// Readings scraped.
+    pub readings: AtomicU64,
+    /// Hosts that failed to answer.
+    pub failures: AtomicU64,
+}
+
+/// The pull collector.
+pub struct PullCollector {
+    agent: Arc<CollectAgent>,
+    hosts: Vec<SocketAddr>,
+    stats: PullStats,
+}
+
+impl PullCollector {
+    /// A collector scraping `hosts` (Pusher REST endpoints) into `agent`.
+    pub fn new(agent: Arc<CollectAgent>, hosts: Vec<SocketAddr>) -> PullCollector {
+        PullCollector { agent, hosts, stats: PullStats::default() }
+    }
+
+    /// Execute one polling round; returns per-host *collection* timestamps
+    /// (ns since the round started) — the skew measurement of the ablation.
+    pub fn poll_round(&self) -> Vec<(SocketAddr, i64)> {
+        let round_start = std::time::Instant::now();
+        let mut collection_times = Vec::with_capacity(self.hosts.len());
+        for &host in &self.hosts {
+            let collected_at = round_start.elapsed().as_nanos() as i64;
+            match self.scrape(host, collected_at) {
+                Ok(n) => {
+                    self.stats.readings.fetch_add(n as u64, Ordering::Relaxed);
+                    collection_times.push((host, collected_at));
+                }
+                Err(_) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        collection_times
+    }
+
+    fn scrape(&self, host: SocketAddr, collected_at: i64) -> std::io::Result<usize> {
+        let resp = client::get(host, "/sensors")?;
+        let list = Json::parse(&resp.text())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut count = 0usize;
+        for topic in list.as_arr().unwrap_or(&[]) {
+            let Some(topic) = topic.as_str() else { continue };
+            let path = format!("/cache{topic}");
+            let Ok(resp) = client::get(host, &path) else { continue };
+            let Ok(doc) = Json::parse(&resp.text()) else { continue };
+            let Some(readings) = doc.get("readings").and_then(Json::as_arr) else { continue };
+            // pull semantics: only the latest value, stamped at collection time
+            if let Some(last) = readings.last() {
+                if let Some(value) = last.get("value").and_then(Json::as_f64) {
+                    let payload =
+                        dcdb_mqtt::payload::encode_readings(&[(collected_at, value)]);
+                    self.agent.handle_publish(topic, &payload);
+                    count += 1;
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    /// Collector statistics.
+    pub fn stats(&self) -> &PullStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_store::reading::TimeRange;
+    use dcdb_store::StoreCluster;
+
+    fn pusher_with_rest(prefix: &str) -> (Arc<dcdb_pusher::Pusher>, dcdb_http::HttpServer) {
+        use dcdb_pusher::mqtt_out::{MqttBackend, MqttOut, SendPolicy};
+        use dcdb_pusher::plugins::TesterPlugin;
+        use dcdb_pusher::scheduler::{Pusher, PusherConfig};
+        let p = Arc::new(Pusher::new(
+            PusherConfig { prefix: prefix.into(), ..Default::default() },
+            MqttOut::new(MqttBackend::Null, SendPolicy::Continuous),
+        ));
+        p.add_plugin(Box::new(TesterPlugin::new(4, 1000)));
+        p.run_virtual(2_000_000_000); // warm the caches
+        let srv =
+            dcdb_pusher::rest::serve(Arc::clone(&p), "127.0.0.1:0".parse().unwrap()).unwrap();
+        (p, srv)
+    }
+
+    #[test]
+    fn pull_round_scrapes_all_hosts() {
+        let (_p1, s1) = pusher_with_rest("/pull/h1");
+        let (_p2, s2) = pusher_with_rest("/pull/h2");
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        let collector =
+            PullCollector::new(Arc::clone(&agent), vec![s1.local_addr(), s2.local_addr()]);
+        let times = collector.poll_round();
+        assert_eq!(times.len(), 2);
+        assert_eq!(collector.stats().readings.load(Ordering::Relaxed), 8);
+        // data landed in the store under the pushers' topics
+        let sid = agent.registry().get("/pull/h1/tester/t0").unwrap();
+        assert_eq!(agent.store().query(sid, TimeRange::all()).len(), 1);
+    }
+
+    #[test]
+    fn hosts_are_polled_sequentially() {
+        let (_p1, s1) = pusher_with_rest("/seq/h1");
+        let (_p2, s2) = pusher_with_rest("/seq/h2");
+        let (_p3, s3) = pusher_with_rest("/seq/h3");
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        let collector = PullCollector::new(
+            agent,
+            vec![s1.local_addr(), s2.local_addr(), s3.local_addr()],
+        );
+        let times = collector.poll_round();
+        // strictly increasing collection times: the pull skew exists
+        assert!(times.windows(2).all(|w| w[1].1 > w[0].1), "{times:?}");
+        let spread = times.last().unwrap().1 - times.first().unwrap().1;
+        assert!(spread > 0, "sequential polling must spread timestamps");
+    }
+
+    #[test]
+    fn dead_hosts_counted_not_fatal() {
+        let (_p1, s1) = pusher_with_rest("/dead/h1");
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let collector = PullCollector::new(agent, vec![dead, s1.local_addr()]);
+        let times = collector.poll_round();
+        assert_eq!(times.len(), 1);
+        assert_eq!(collector.stats().failures.load(Ordering::Relaxed), 1);
+        assert_eq!(collector.stats().readings.load(Ordering::Relaxed), 4);
+    }
+}

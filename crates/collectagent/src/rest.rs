@@ -1,0 +1,78 @@
+//! The Collect Agent's RESTful API (paper §5.3).
+//!
+//! Analogous to the Pusher's: a sensor cache with the most recent readings
+//! of all connected Pushers, plus hierarchy navigation backing tools like
+//! the Grafana data source.
+//!
+//! * `GET /sensors` — all known sensor topics,
+//! * `GET /cache/*topic` — latest reading of one sensor,
+//! * `GET /hierarchy?prefix=/a/b&level=N` — children at a hierarchy level,
+//! * `GET /stats` — agent counters.
+
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dcdb_http::json::Json;
+use dcdb_http::server::{HttpServer, Method, Response, StatusCode};
+use dcdb_http::Router;
+
+use crate::agent::CollectAgent;
+
+/// Build the REST router for a Collect Agent.
+pub fn router(agent: Arc<CollectAgent>) -> Router {
+    let mut r = Router::new();
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/sensors", move |_req| {
+        let topics: Vec<Json> = a.cached_topics().into_iter().map(Json::Str).collect();
+        Response::json(&Json::Arr(topics))
+    });
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/cache/*topic", move |req| {
+        let topic = format!("/{}", req.param("topic").unwrap_or(""));
+        match a.cached_latest(&topic) {
+            Some(r) => Response::json(&Json::obj([
+                ("topic", Json::str(topic)),
+                ("ts", Json::Num(r.ts as f64)),
+                ("value", Json::Num(r.value)),
+            ])),
+            None => Response::error(StatusCode::NotFound, "unknown sensor"),
+        }
+    });
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/hierarchy", move |req| {
+        let prefix = req.query_param("prefix").unwrap_or("/").to_string();
+        let level: usize = req.query_param("level").and_then(|l| l.parse().ok()).unwrap_or(0);
+        let children: Vec<Json> =
+            a.registry().children_at(&prefix, level).into_iter().map(Json::Str).collect();
+        Response::json(&Json::obj([
+            ("prefix", Json::str(prefix)),
+            ("level", Json::Num(level as f64)),
+            ("children", Json::Arr(children)),
+        ]))
+    });
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/stats", move |_req| {
+        let s = a.stats();
+        Response::json(&Json::obj([
+            ("messages", Json::Num(s.messages.load(Ordering::Relaxed) as f64)),
+            ("readings", Json::Num(s.readings.load(Ordering::Relaxed) as f64)),
+            ("dropped", Json::Num(s.dropped.load(Ordering::Relaxed) as f64)),
+            ("busyNs", Json::Num(s.busy_ns.load(Ordering::Relaxed) as f64)),
+        ]))
+    });
+
+    r
+}
+
+/// Serve the REST API on `bind`.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(agent: Arc<CollectAgent>, bind: SocketAddr) -> std::io::Result<HttpServer> {
+    HttpServer::start(bind, router(agent).into_handler())
+}

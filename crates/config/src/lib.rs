@@ -1,0 +1,51 @@
+//! # dcdb-config
+//!
+//! DCDB's Pushers and Collect Agents are configured with Boost property-tree
+//! files in the INFO format: an "intuitive property tree format" of nested
+//! `key value` pairs and `{ ... }` blocks (paper §4.1).  This crate is a
+//! self-contained work-alike:
+//!
+//! ```text
+//! global {
+//!     mqttBroker   localhost:1883
+//!     threads      2
+//! }
+//! template_group cpu {
+//!     interval     1000
+//! }
+//! group cpu0 {
+//!     default      cpu          ; inherit from template_group cpu
+//!     sensor instructions {
+//!         mqttsuffix /instructions
+//!     }
+//! }
+//! ```
+//!
+//! * `;` starts a line comment,
+//! * values may be bare words or `"quoted strings"`,
+//! * `default <name>` in a block merges the keys of the named
+//!   `template_<kind>` block (DCDB's template/default inheritance),
+//! * typed getters ([`Node::get_u64`], [`Node::get_f64`], [`Node::get_bool`],
+//!   [`Node::get_str`]) with helpful error messages.
+
+pub mod parser;
+pub mod tree;
+
+pub use parser::{parse, ParseError};
+pub use tree::{ConfigError, Node};
+
+/// Parse a configuration file from disk.
+///
+/// # Errors
+/// Returns [`ParseError`] on syntax errors, with line information, or an
+/// `Io` variant when the file cannot be read.
+pub fn from_file(path: &std::path::Path) -> Result<Node, ParseError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseError::Io(format!("{}: {e}", path.display())))?;
+    parse(&text)
+}
+
+/// Parse configuration text.
+pub fn from_str(text: &str) -> Result<Node, ParseError> {
+    parse(text)
+}

@@ -1,0 +1,347 @@
+//! Tokeniser and recursive-descent parser for the INFO-like format.
+
+use std::fmt;
+
+use crate::tree::Node;
+
+/// Parse failures, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Underlying I/O problem (only from [`crate::from_file`]).
+    Io(String),
+    /// Unterminated quoted string.
+    UnterminatedString { line: usize },
+    /// A `}` without a matching `{`.
+    UnbalancedClose { line: usize },
+    /// End of input reached with unclosed blocks.
+    UnclosedBlock { opened_line: usize },
+    /// A `{` with no key before it.
+    BlockWithoutKey { line: usize },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::UnterminatedString { line } => {
+                write!(f, "line {line}: unterminated string")
+            }
+            ParseError::UnbalancedClose { line } => {
+                write!(f, "line {line}: unexpected '}}'")
+            }
+            ParseError::UnclosedBlock { opened_line } => {
+                write!(f, "block opened on line {opened_line} never closed")
+            }
+            ParseError::BlockWithoutKey { line } => {
+                write!(f, "line {line}: '{{' without preceding key")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Open,
+    Close,
+    Newline,
+}
+
+fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                toks.push((Tok::Newline, line));
+                line += 1;
+            }
+            ' ' | '\t' | '\r' => {}
+            ';' => {
+                // comment to end of line
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        toks.push((Tok::Newline, line));
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => toks.push((Tok::Open, line)),
+            '}' => toks.push((Tok::Close, line)),
+            '"' => {
+                let start = line;
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c2) = chars.next() {
+                    match c2 {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => s.push(other),
+                            None => break,
+                        },
+                        '\n' => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::UnterminatedString { line: start });
+                }
+                toks.push((Tok::Word(s), line));
+            }
+            other => {
+                let mut s = String::new();
+                s.push(other);
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_whitespace() || matches!(c2, '{' | '}' | ';' | '"') {
+                        break;
+                    }
+                    s.push(c2);
+                    chars.next();
+                }
+                toks.push((Tok::Word(s), line));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Parse INFO-like text into a property tree, applying `default`-key template
+/// inheritance (see crate docs).
+pub fn parse(text: &str) -> Result<Node, ParseError> {
+    let toks = tokenize(text)?;
+    let mut pos = 0usize;
+    let mut root = parse_block(&toks, &mut pos, None)?;
+    if pos < toks.len() {
+        // parse_block stops at a stray Close
+        let (_, line) = toks[pos];
+        return Err(ParseError::UnbalancedClose { line });
+    }
+    apply_templates(&mut root);
+    Ok(root)
+}
+
+// When parsing stops at a Close token inside parse_block at depth 0 we report
+// the error from `parse`; `opened` carries the line of the enclosing `{`.
+fn parse_block(
+    toks: &[(Tok, usize)],
+    pos: &mut usize,
+    opened: Option<usize>,
+) -> Result<Node, ParseError> {
+    let mut node = Node::new();
+    // words accumulated on the current line: [key, value...]
+    let mut pending: Vec<(String, usize)> = Vec::new();
+
+    fn flush(node: &mut Node, pending: &mut Vec<(String, usize)>) {
+        if pending.is_empty() {
+            return;
+        }
+        let key = pending[0].0.clone();
+        let value = if pending.len() > 1 {
+            Some(pending[1..].iter().map(|(w, _)| w.as_str()).collect::<Vec<_>>().join(" "))
+        } else {
+            None
+        };
+        let mut child = Node::new();
+        child.value = value;
+        node.push(key, child);
+        pending.clear();
+    }
+
+    while *pos < toks.len() {
+        let (tok, line_ref) = &toks[*pos];
+        let line = *line_ref;
+        *pos += 1;
+        match tok {
+            Tok::Word(w) => pending.push((w.clone(), line)),
+            Tok::Newline => {
+                // Allow `{` on the line after the key (Boost INFO style):
+                // keep the pending key when the next non-blank token opens a block.
+                let next_opens = toks[*pos..]
+                    .iter()
+                    .find(|(t, _)| !matches!(t, Tok::Newline))
+                    .is_some_and(|(t, _)| matches!(t, Tok::Open));
+                if !next_opens || pending.is_empty() {
+                    flush(&mut node, &mut pending);
+                }
+            }
+            Tok::Open => {
+                if pending.is_empty() {
+                    return Err(ParseError::BlockWithoutKey { line });
+                }
+                let key = pending[0].0.clone();
+                let value = if pending.len() > 1 {
+                    Some(
+                        pending[1..]
+                            .iter()
+                            .map(|(w, _)| w.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    )
+                } else {
+                    None
+                };
+                pending.clear();
+                let mut child = parse_block(toks, pos, Some(line))?;
+                child.value = value;
+                node.push(key, child);
+            }
+            Tok::Close => {
+                if opened.is_none() {
+                    // stray close at top level: rewind so `parse` reports it
+                    *pos -= 1;
+                    flush(&mut node, &mut pending);
+                    return Ok(node);
+                }
+                flush(&mut node, &mut pending);
+                return Ok(node);
+            }
+        }
+    }
+    if let Some(opened_line) = opened {
+        return Err(ParseError::UnclosedBlock { opened_line });
+    }
+    flush(&mut node, &mut pending);
+    Ok(node)
+}
+
+/// Resolve `default <template-name>` references: a block containing
+/// `default foo` inherits the children of the sibling block
+/// `template_<kind> foo` (where `<kind>` is the block's own key name).
+fn apply_templates(root: &mut Node) {
+    // collect templates: name -> node, per kind
+    let mut templates: Vec<(String, String, Node)> = Vec::new(); // (kind, name, node)
+    for (key, child) in &root.children {
+        if let Some(kind) = key.strip_prefix("template_") {
+            if let Some(name) = &child.value {
+                templates.push((kind.to_string(), name.clone(), child.clone()));
+            }
+        }
+    }
+    fn walk(node: &mut Node, templates: &[(String, String, Node)]) {
+        for (key, child) in node.children.iter_mut() {
+            if let Some(def) = child.child("default").and_then(|d| d.value.clone()) {
+                if let Some((_, _, tmpl)) = templates
+                    .iter()
+                    .find(|(kind, name, _)| key == kind && *name == def)
+                {
+                    child.merge_defaults(tmpl);
+                }
+            }
+            walk(child, templates);
+        }
+    }
+    walk(root, &templates);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_keys() {
+        let n = parse("a 1\nb hello\nc \"two words\"\n").unwrap();
+        assert_eq!(n.get_u64("a").unwrap(), 1);
+        assert_eq!(n.get_str("b").unwrap(), "hello");
+        assert_eq!(n.get_str("c").unwrap(), "two words");
+    }
+
+    #[test]
+    fn parses_nested_blocks() {
+        let text = r#"
+global {
+    mqttBroker localhost:1883
+    threads 2
+}
+group cpu {
+    interval 1000
+    sensor instr {
+        mqttsuffix /instr
+    }
+}
+"#;
+        let n = parse(text).unwrap();
+        assert_eq!(n.get_str("global.mqttBroker").unwrap(), "localhost:1883");
+        assert_eq!(n.get_u64("group.interval").unwrap(), 1000);
+        assert_eq!(n.child("group").unwrap().value.as_deref(), Some("cpu"));
+        assert_eq!(n.get_str("group.sensor.mqttsuffix").unwrap(), "/instr");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let n = parse("a 1 ; trailing comment\n; full line\nb 2\n").unwrap();
+        assert_eq!(n.get_u64("a").unwrap(), 1);
+        assert_eq!(n.get_u64("b").unwrap(), 2);
+    }
+
+    #[test]
+    fn brace_on_same_line_or_next() {
+        let n = parse("blk {\n x 1\n}\n").unwrap();
+        assert_eq!(n.get_u64("blk.x").unwrap(), 1);
+        let n2 = parse("blk\n{\n x 1\n}\n").unwrap();
+        assert_eq!(n2.get_u64("blk.x").unwrap(), 1);
+    }
+
+    #[test]
+    fn error_positions() {
+        assert_eq!(
+            parse("a \"oops\n"),
+            Err(ParseError::UnterminatedString { line: 1 })
+        );
+        assert_eq!(parse("}\n"), Err(ParseError::UnbalancedClose { line: 1 }));
+        assert_eq!(
+            parse("a {\nb 1\n"),
+            Err(ParseError::UnclosedBlock { opened_line: 1 })
+        );
+        assert_eq!(parse("{\n}\n"), Err(ParseError::BlockWithoutKey { line: 1 }));
+    }
+
+    #[test]
+    fn template_inheritance() {
+        let text = r#"
+template_group cpu {
+    interval 1000
+    minValues 3
+}
+group cpu0 {
+    default cpu
+    interval 100
+}
+"#;
+        let n = parse(text).unwrap();
+        let g = n.child("group").unwrap();
+        assert_eq!(g.get_u64("interval").unwrap(), 100); // own key wins
+        assert_eq!(g.get_u64("minValues").unwrap(), 3); // inherited
+    }
+
+    #[test]
+    fn multiword_values_joined() {
+        let n = parse("cmd run --fast --now\n").unwrap();
+        assert_eq!(n.get_str("cmd").unwrap(), "run --fast --now");
+    }
+
+    #[test]
+    fn roundtrip_through_to_text() {
+        let text = "global {\n    broker localhost\n}\nkey value\n";
+        let n = parse(text).unwrap();
+        let n2 = parse(&n.to_text()).unwrap();
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    fn escaped_strings() {
+        let n = parse("s \"a\\\"b\\nc\"\n").unwrap();
+        assert_eq!(n.get_str("s").unwrap(), "a\"b\nc");
+    }
+}

@@ -1,0 +1,264 @@
+//! The property tree itself.
+
+use std::fmt;
+
+/// Errors raised by typed accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The requested key does not exist.
+    Missing(String),
+    /// The key exists but its value failed to parse as the requested type.
+    Type { key: String, value: String, wanted: &'static str },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Missing(k) => write!(f, "missing config key {k:?}"),
+            ConfigError::Type { key, value, wanted } => {
+                write!(f, "config key {key:?}: {value:?} is not a valid {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One node of the property tree.
+///
+/// A node has an optional scalar `value` and an ordered list of named
+/// children.  Child names are not unique (DCDB configs repeat `sensor` and
+/// `group` blocks), so lookups return the *first* match and
+/// [`Node::children_named`] returns all of them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Node {
+    /// The scalar value attached to this node, if any.
+    pub value: Option<String>,
+    /// Ordered `(name, child)` pairs.
+    pub children: Vec<(String, Node)>,
+}
+
+impl Node {
+    /// An empty node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A leaf node carrying `value`.
+    pub fn leaf<S: Into<String>>(value: S) -> Self {
+        Node { value: Some(value.into()), children: Vec::new() }
+    }
+
+    /// Append a child.
+    pub fn push<S: Into<String>>(&mut self, name: S, child: Node) -> &mut Self {
+        self.children.push((name.into(), child));
+        self
+    }
+
+    /// First child with the given name.
+    pub fn child(&self, name: &str) -> Option<&Node> {
+        self.children.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// All children with the given name, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
+        self.children.iter().filter(move |(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Resolve a dotted path (`"global.mqttBroker"`) to a node.
+    pub fn at(&self, path: &str) -> Option<&Node> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.child(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// The scalar value at a dotted path.
+    pub fn get_str(&self, path: &str) -> Result<&str, ConfigError> {
+        self.at(path)
+            .and_then(|n| n.value.as_deref())
+            .ok_or_else(|| ConfigError::Missing(path.to_string()))
+    }
+
+    /// The scalar at `path`, or `default` when absent.
+    pub fn get_str_or<'a>(&'a self, path: &str, default: &'a str) -> &'a str {
+        self.at(path).and_then(|n| n.value.as_deref()).unwrap_or(default)
+    }
+
+    /// Unsigned integer accessor.
+    pub fn get_u64(&self, path: &str) -> Result<u64, ConfigError> {
+        let s = self.get_str(path)?;
+        s.parse().map_err(|_| ConfigError::Type {
+            key: path.to_string(),
+            value: s.to_string(),
+            wanted: "unsigned integer",
+        })
+    }
+
+    /// Unsigned integer accessor with default.
+    pub fn get_u64_or(&self, path: &str, default: u64) -> u64 {
+        match self.get_u64(path) {
+            Ok(v) => v,
+            Err(_) => default,
+        }
+    }
+
+    /// Float accessor.
+    pub fn get_f64(&self, path: &str) -> Result<f64, ConfigError> {
+        let s = self.get_str(path)?;
+        s.parse().map_err(|_| ConfigError::Type {
+            key: path.to_string(),
+            value: s.to_string(),
+            wanted: "float",
+        })
+    }
+
+    /// Float accessor with default.
+    pub fn get_f64_or(&self, path: &str, default: f64) -> f64 {
+        self.get_f64(path).unwrap_or(default)
+    }
+
+    /// Boolean accessor: accepts `true/false/on/off/1/0/yes/no`.
+    pub fn get_bool(&self, path: &str) -> Result<bool, ConfigError> {
+        let s = self.get_str(path)?;
+        match s.to_ascii_lowercase().as_str() {
+            "true" | "on" | "1" | "yes" => Ok(true),
+            "false" | "off" | "0" | "no" => Ok(false),
+            _ => Err(ConfigError::Type {
+                key: path.to_string(),
+                value: s.to_string(),
+                wanted: "boolean",
+            }),
+        }
+    }
+
+    /// Boolean accessor with default.
+    pub fn get_bool_or(&self, path: &str, default: bool) -> bool {
+        self.get_bool(path).unwrap_or(default)
+    }
+
+    /// Merge keys from `template` into `self`: keys already present in
+    /// `self` win, template-only keys are appended.  Used by the `default`
+    /// inheritance mechanism.
+    pub fn merge_defaults(&mut self, template: &Node) {
+        for (name, child) in &template.children {
+            if self.child(name).is_none() {
+                self.children.push((name.clone(), child.clone()));
+            }
+        }
+        if self.value.is_none() {
+            self.value = template.value.clone();
+        }
+    }
+
+    /// Serialise back to the INFO-like text form (stable round-trip form).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write_children(&mut out, 0);
+        out
+    }
+
+    fn write_children(&self, out: &mut String, indent: usize) {
+        for (name, child) in &self.children {
+            for _ in 0..indent {
+                out.push_str("    ");
+            }
+            out.push_str(name);
+            if let Some(v) = &child.value {
+                out.push(' ');
+                if v.is_empty() || v.contains(char::is_whitespace) {
+                    out.push('"');
+                    out.push_str(&v.replace('\\', "\\\\").replace('"', "\\\""));
+                    out.push('"');
+                } else {
+                    out.push_str(v);
+                }
+            }
+            if !child.children.is_empty() {
+                out.push_str(" {\n");
+                child.write_children(out, indent + 1);
+                for _ in 0..indent {
+                    out.push_str("    ");
+                }
+                out.push_str("}\n");
+            } else {
+                out.push('\n');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Node {
+        let mut root = Node::new();
+        let mut global = Node::new();
+        global.push("mqttBroker", Node::leaf("localhost:1883"));
+        global.push("threads", Node::leaf("2"));
+        global.push("verbose", Node::leaf("on"));
+        global.push("scale", Node::leaf("0.5"));
+        root.push("global", global);
+        root
+    }
+
+    #[test]
+    fn typed_getters() {
+        let n = sample();
+        assert_eq!(n.get_str("global.mqttBroker").unwrap(), "localhost:1883");
+        assert_eq!(n.get_u64("global.threads").unwrap(), 2);
+        assert!(n.get_bool("global.verbose").unwrap());
+        assert_eq!(n.get_f64("global.scale").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn missing_and_type_errors() {
+        let n = sample();
+        assert_eq!(
+            n.get_str("global.nothing"),
+            Err(ConfigError::Missing("global.nothing".into()))
+        );
+        assert!(matches!(
+            n.get_u64("global.mqttBroker"),
+            Err(ConfigError::Type { .. })
+        ));
+        assert_eq!(n.get_u64_or("global.nothing", 7), 7);
+        assert_eq!(n.get_str_or("global.nothing", "dflt"), "dflt");
+        assert!(n.get_bool_or("global.nothing", true));
+        assert_eq!(n.get_f64_or("global.nothing", 1.5), 1.5);
+    }
+
+    #[test]
+    fn repeated_children() {
+        let mut root = Node::new();
+        root.push("sensor", Node::leaf("a"));
+        root.push("sensor", Node::leaf("b"));
+        let all: Vec<_> = root.children_named("sensor").collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(root.child("sensor").unwrap().value.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn merge_defaults_prefers_existing() {
+        let mut g = Node::new();
+        g.push("interval", Node::leaf("100"));
+        let mut tmpl = Node::new();
+        tmpl.push("interval", Node::leaf("1000"));
+        tmpl.push("minValues", Node::leaf("3"));
+        g.merge_defaults(&tmpl);
+        assert_eq!(g.get_u64("interval").unwrap(), 100);
+        assert_eq!(g.get_u64("minValues").unwrap(), 3);
+    }
+
+    #[test]
+    fn to_text_quotes_when_needed() {
+        let mut root = Node::new();
+        root.push("name", Node::leaf("hello world"));
+        root.push("plain", Node::leaf("x"));
+        let text = root.to_text();
+        assert!(text.contains("\"hello world\""));
+        assert!(text.contains("plain x"));
+    }
+}

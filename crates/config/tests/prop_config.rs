@@ -1,0 +1,76 @@
+//! Property tests: property trees round-trip through their text form and
+//! the parser never panics.
+
+use dcdb_config::{parse, Node};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,11}"
+}
+
+fn value_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9_./:@-]{1,16}",
+        "[a-zA-Z0-9 ]{1,20}", // values with spaces get quoted
+    ]
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        Just(Node::new()),
+        value_strategy().prop_map(Node::leaf),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop::collection::vec((key_strategy(), inner), 0..5).prop_map(|children| {
+            let mut n = Node::new();
+            for (k, c) in children {
+                n.push(k, c);
+            }
+            n
+        })
+    })
+    .prop_map(|mut n| {
+        // root scalar values are not representable in the text form
+        n.value = None;
+        n
+    })
+}
+
+/// Normalise: trim trailing whitespace in values (the format joins words
+/// with single spaces, so runs of spaces collapse).
+fn canonical(node: &Node) -> Node {
+    let mut out = Node::new();
+    out.value = node
+        .value
+        .as_ref()
+        .map(|v| v.split_whitespace().collect::<Vec<_>>().join(" "))
+        .filter(|v| !v.is_empty());
+    for (k, c) in &node.children {
+        out.push(k.clone(), canonical(c));
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_through_text(node in node_strategy()) {
+        let canon = canonical(&node);
+        let text = canon.to_text();
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(canonical(&parsed), canon, "text was:\n{}", text);
+    }
+
+    #[test]
+    fn parser_never_panics(text in ".{0,512}") {
+        let _ = parse(&text);
+    }
+
+    #[test]
+    fn getters_never_panic(node in node_strategy(), path in "[a-z.]{0,20}") {
+        let _ = node.get_str(&path);
+        let _ = node.get_u64(&path);
+        let _ = node.get_f64(&path);
+        let _ = node.get_bool(&path);
+        let _ = node.at(&path);
+    }
+}

@@ -1,0 +1,266 @@
+//! The database-independent access API.
+//!
+//! [`SensorDb`] bundles the storage cluster, the topic registry and sensor
+//! metadata (units, scaling factors — maintained via `dcdbconfig` in the
+//! paper, §5.2) behind one handle.  Virtual sensors registered on the
+//! handle are queried exactly like physical ones (paper §3.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dcdb_sid::{SensorId, TopicRegistry};
+use dcdb_store::reading::{Reading, TimeRange};
+use dcdb_store::StoreCluster;
+use parking_lot::RwLock;
+
+use crate::units::Unit;
+use crate::vsensor::{VirtualSensor, VsError};
+
+/// Metadata attached to a sensor (`dcdbconfig sensor` properties).
+#[derive(Debug, Clone, Default)]
+pub struct SensorMeta {
+    /// Unit of the stored values.
+    pub unit: Unit,
+    /// Multiplied into values on query.
+    pub scale: f64,
+    /// Free-text description.
+    pub description: String,
+}
+
+impl SensorMeta {
+    /// Metadata with a unit and neutral scaling.
+    pub fn with_unit(unit: Unit) -> SensorMeta {
+        SensorMeta { unit, scale: 1.0, description: String::new() }
+    }
+}
+
+/// A queried time series plus its unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// The sensor topic.
+    pub topic: String,
+    /// Readings in time order.
+    pub readings: Vec<Reading>,
+    /// Unit of `readings` values.
+    pub unit: Unit,
+}
+
+/// The libDCDB handle.
+pub struct SensorDb {
+    store: Arc<StoreCluster>,
+    registry: Arc<TopicRegistry>,
+    meta: RwLock<HashMap<String, SensorMeta>>,
+    virtuals: RwLock<HashMap<String, Arc<VirtualSensor>>>,
+}
+
+impl SensorDb {
+    /// Wrap an existing cluster + registry (e.g. the Collect Agent's).
+    pub fn new(store: Arc<StoreCluster>, registry: Arc<TopicRegistry>) -> Arc<SensorDb> {
+        Arc::new(SensorDb {
+            store,
+            registry,
+            meta: RwLock::new(HashMap::new()),
+            virtuals: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// A fresh single-node database (tests, examples).
+    pub fn in_memory() -> Arc<SensorDb> {
+        SensorDb::new(Arc::new(StoreCluster::single()), Arc::new(TopicRegistry::new()))
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<StoreCluster> {
+        &self.store
+    }
+
+    /// The topic registry.
+    pub fn registry(&self) -> &Arc<TopicRegistry> {
+        &self.registry
+    }
+
+    /// Insert one reading under `topic`.
+    ///
+    /// # Errors
+    /// Fails on invalid topics.
+    pub fn insert(&self, topic: &str, ts: i64, value: f64) -> Result<(), dcdb_sid::SidError> {
+        let sid = self.registry.resolve(topic)?;
+        self.store.insert(sid, ts, value);
+        Ok(())
+    }
+
+    /// Set sensor metadata (`dcdbconfig sensor set`).
+    pub fn set_meta(&self, topic: &str, meta: SensorMeta) {
+        self.meta.write().insert(dcdb_sid::topic::normalize(topic), meta);
+    }
+
+    /// Get sensor metadata.
+    pub fn meta(&self, topic: &str) -> SensorMeta {
+        self.meta
+            .read()
+            .get(&dcdb_sid::topic::normalize(topic))
+            .cloned()
+            .unwrap_or(SensorMeta { unit: Unit::NONE, scale: 1.0, description: String::new() })
+    }
+
+    /// Register a virtual sensor under its own topic.
+    ///
+    /// # Errors
+    /// Propagates expression compilation failures.
+    pub fn define_virtual(
+        self: &Arc<Self>,
+        topic: &str,
+        expression: &str,
+        unit: Unit,
+    ) -> Result<(), VsError> {
+        let vs = VirtualSensor::compile(topic, expression, unit)?;
+        self.virtuals.write().insert(dcdb_sid::topic::normalize(topic), Arc::new(vs));
+        Ok(())
+    }
+
+    /// Names of registered virtual sensors.
+    pub fn virtual_topics(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.virtuals.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Query a sensor (physical or virtual) in `[start, end)`.
+    ///
+    /// Physical sensors apply their metadata scale; virtual sensors are
+    /// evaluated lazily over the queried period only (paper §3.2).
+    ///
+    /// # Errors
+    /// Virtual-sensor evaluation errors propagate; unknown physical topics
+    /// yield an empty series.
+    pub fn query(self: &Arc<Self>, topic: &str, range: TimeRange) -> Result<Series, VsError> {
+        let norm = dcdb_sid::topic::normalize(topic);
+        if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
+            return vs.evaluate(self, range);
+        }
+        let meta = self.meta(&norm);
+        let readings = match self.registry.get(&norm) {
+            Some(sid) => {
+                let mut r = self.store.query(sid, range);
+                if meta.scale != 1.0 {
+                    for reading in &mut r {
+                        reading.value *= meta.scale;
+                    }
+                }
+                r
+            }
+            None => Vec::new(),
+        };
+        Ok(Series { topic: norm, readings, unit: meta.unit })
+    }
+
+    /// Latest reading of a physical sensor.
+    pub fn latest(&self, topic: &str) -> Option<Reading> {
+        let sid = self.registry.get(&dcdb_sid::topic::normalize(topic))?;
+        self.store.latest(sid)
+    }
+
+    /// All known physical topics under `prefix` (hierarchical listing).
+    pub fn topics_under(&self, prefix: &str) -> Vec<(String, SensorId)> {
+        self.registry.sids_under(prefix)
+    }
+
+    /// Query every sensor below `prefix` in one call — the holistic
+    /// cross-source correlation pattern ("aggregate the power sensors of
+    /// individual compute nodes", paper §3.2).  Virtual sensors are not
+    /// included (they live outside the physical hierarchy).
+    ///
+    /// # Errors
+    /// Propagates per-sensor query failures.
+    pub fn query_subtree(
+        self: &Arc<Self>,
+        prefix: &str,
+        range: TimeRange,
+    ) -> Result<Vec<Series>, VsError> {
+        self.registry
+            .sids_under(prefix)
+            .into_iter()
+            .map(|(topic, _)| self.query(&topic, range))
+            .collect()
+    }
+
+    /// Sum all sensors below `prefix` on the union of their timestamps with
+    /// linear interpolation — a one-shot aggregate without defining a
+    /// virtual sensor (rack power, system power, ...).
+    pub fn aggregate_subtree(
+        self: &Arc<Self>,
+        prefix: &str,
+        range: TimeRange,
+    ) -> Result<Series, VsError> {
+        let series = self.query_subtree(prefix, range)?;
+        let unit = series.first().map(|s| s.unit).unwrap_or_default();
+        let slices: Vec<&[Reading]> =
+            series.iter().map(|s| s.readings.as_slice()).collect();
+        let grid = crate::interp::timestamp_union(&slices);
+        let readings = grid
+            .into_iter()
+            .map(|ts| Reading {
+                ts,
+                value: slices
+                    .iter()
+                    .filter_map(|s| crate::interp::sample_at(s, ts))
+                    .sum(),
+            })
+            .collect();
+        Ok(Series { topic: format!("{}/+sum", dcdb_sid::topic::normalize(prefix)), readings, unit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let db = SensorDb::in_memory();
+        db.insert("/a/power", 1_000, 100.0).unwrap();
+        db.insert("/a/power", 2_000, 110.0).unwrap();
+        let s = db.query("/a/power", TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 2);
+        assert_eq!(s.unit, Unit::NONE);
+        assert_eq!(db.latest("/a/power").unwrap().value, 110.0);
+    }
+
+    #[test]
+    fn metadata_scale_applies_on_query() {
+        let db = SensorDb::in_memory();
+        db.insert("/a/energy", 1, 1_000_000.0).unwrap();
+        db.set_meta(
+            "/a/energy",
+            SensorMeta { unit: Unit::JOULE, scale: 1e-6, description: "RAPL".into() },
+        );
+        let s = db.query("/a/energy", TimeRange::all()).unwrap();
+        assert_eq!(s.readings[0].value, 1.0);
+        assert_eq!(s.unit, Unit::JOULE);
+        assert_eq!(db.meta("/a/energy").description, "RAPL");
+    }
+
+    #[test]
+    fn unknown_topic_is_empty() {
+        let db = SensorDb::in_memory();
+        let s = db.query("/no/such", TimeRange::all()).unwrap();
+        assert!(s.readings.is_empty());
+        assert!(db.latest("/no/such").is_none());
+    }
+
+    #[test]
+    fn invalid_topic_rejected() {
+        let db = SensorDb::in_memory();
+        assert!(db.insert("/a//b", 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn hierarchical_listing() {
+        let db = SensorDb::in_memory();
+        db.insert("/sys/r0/n0/power", 1, 1.0).unwrap();
+        db.insert("/sys/r0/n1/power", 1, 1.0).unwrap();
+        db.insert("/sys/r1/n0/power", 1, 1.0).unwrap();
+        assert_eq!(db.topics_under("/sys/r0").len(), 2);
+        assert_eq!(db.topics_under("/sys").len(), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Grafana data-source API (paper §5.4, Fig. 3).
+//!
+//! Grafana has no Cassandra plugin, so the paper implements one on top of
+//! libDCDB.  Its distinguishing feature — absent from other data sources —
+//! is *hierarchical* metric selection: drop-down menus per hierarchy level
+//! (system → rack → chassis → node) backed by the sensor tree.  This module
+//! provides the same operations as a JSON/HTTP API:
+//!
+//! * `GET /search?prefix=/a/b&level=N` — children at one hierarchy level
+//!   (fills one drop-down),
+//! * `GET /query?topic=/a/b/c&start=NS&end=NS&maxDataPoints=N` — a series,
+//!   downsampled for display,
+//! * `GET /annotations` style stats: `GET /stats?topic=...` (min/max/avg of
+//!   the plotted metric, like the panel legend).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dcdb_http::json::Json;
+use dcdb_http::server::{HttpServer, Method, Response, StatusCode};
+use dcdb_http::Router;
+use dcdb_store::reading::TimeRange;
+
+use crate::api::SensorDb;
+use crate::ops;
+
+/// Build the data-source router over `db`.
+pub fn router(db: Arc<SensorDb>) -> Router {
+    let mut r = Router::new();
+
+    let d = Arc::clone(&db);
+    r.add(Method::Get, "/search", move |req| {
+        let prefix = req.query_param("prefix").unwrap_or("/").to_string();
+        let level: usize = req.query_param("level").and_then(|l| l.parse().ok()).unwrap_or(0);
+        let children: Vec<Json> =
+            d.registry().children_at(&prefix, level).into_iter().map(Json::Str).collect();
+        Response::json(&Json::Arr(children))
+    });
+
+    let d = Arc::clone(&db);
+    r.add(Method::Get, "/query", move |req| {
+        let Some(topic) = req.query_param("topic") else {
+            return Response::error(StatusCode::BadRequest, "missing topic");
+        };
+        let start: i64 = req.query_param("start").and_then(|v| v.parse().ok()).unwrap_or(0);
+        let end: i64 =
+            req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
+        let max_points: usize =
+            req.query_param("maxDataPoints").and_then(|v| v.parse().ok()).unwrap_or(1_000);
+        if start >= end {
+            return Response::error(StatusCode::BadRequest, "start must precede end");
+        }
+        match d.query(topic, TimeRange::new(start, end)) {
+            Ok(series) => {
+                let points = ops::downsample(&series.readings, max_points);
+                let datapoints: Vec<Json> = points
+                    .iter()
+                    .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
+                    .collect();
+                Response::json(&Json::obj([
+                    ("target", Json::str(series.topic)),
+                    ("unit", Json::str(series.unit.name)),
+                    ("datapoints", Json::Arr(datapoints)),
+                ]))
+            }
+            Err(e) => Response::error(StatusCode::InternalError, &e.to_string()),
+        }
+    });
+
+    let d = Arc::clone(&db);
+    r.add(Method::Get, "/stats", move |req| {
+        let Some(topic) = req.query_param("topic") else {
+            return Response::error(StatusCode::BadRequest, "missing topic");
+        };
+        let start: i64 = req.query_param("start").and_then(|v| v.parse().ok()).unwrap_or(0);
+        let end: i64 =
+            req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
+        match d.query(topic, TimeRange::new(start, end)) {
+            Ok(series) => match ops::stats(&series.readings) {
+                Some(st) => Response::json(&Json::obj([
+                    ("count", Json::Num(st.count as f64)),
+                    ("min", Json::Num(st.min)),
+                    ("max", Json::Num(st.max)),
+                    ("avg", Json::Num(st.mean)),
+                ])),
+                None => Response::error(StatusCode::NotFound, "no data in range"),
+            },
+            Err(e) => Response::error(StatusCode::InternalError, &e.to_string()),
+        }
+    });
+
+    r
+}
+
+/// Serve the data source on `bind`.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(db: Arc<SensorDb>, bind: SocketAddr) -> std::io::Result<HttpServer> {
+    HttpServer::start(bind, router(db).into_handler())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_http::server::Request;
+    use std::collections::HashMap;
+
+    fn handler() -> (Arc<SensorDb>, dcdb_http::server::Handler) {
+        let db = SensorDb::in_memory();
+        for rack in 0..2 {
+            for node in 0..3 {
+                let t = format!("/lrz/sys/rack{rack}/node{node}/power");
+                for ts in 0..100 {
+                    db.insert(&t, ts * 1_000_000, 200.0 + node as f64).unwrap();
+                }
+            }
+        }
+        let h = router(Arc::clone(&db)).into_handler();
+        (db, h)
+    }
+
+    fn get(h: &dcdb_http::server::Handler, path: &str, query: &[(&str, &str)]) -> (u16, Json) {
+        let req = Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        let resp = h(&req);
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        (resp.status.code(), Json::parse(&body).unwrap_or(Json::Null))
+    }
+
+    #[test]
+    fn search_walks_hierarchy_levels() {
+        let (_db, h) = handler();
+        let (code, j) = get(&h, "/search", &[("prefix", "/lrz/sys"), ("level", "2")]);
+        assert_eq!(code, 200);
+        let racks: Vec<&str> = j.as_arr().unwrap().iter().filter_map(Json::as_str).collect();
+        assert_eq!(racks, vec!["rack0", "rack1"]);
+        let (_, j) = get(&h, "/search", &[("prefix", "/lrz/sys/rack0"), ("level", "3")]);
+        assert_eq!(j.as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn query_returns_grafana_datapoints() {
+        let (_db, h) = handler();
+        let (code, j) = get(
+            &h,
+            "/query",
+            &[("topic", "/lrz/sys/rack0/node1/power"), ("start", "0"), ("end", "100000000")],
+        );
+        assert_eq!(code, 200);
+        assert_eq!(j.get("unit").unwrap().as_str(), Some(""));
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 100);
+        // [value, timestamp] pairs
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(201.0));
+    }
+
+    #[test]
+    fn query_downsamples() {
+        let (_db, h) = handler();
+        let (_, j) = get(
+            &h,
+            "/query",
+            &[
+                ("topic", "/lrz/sys/rack0/node0/power"),
+                ("maxDataPoints", "10"),
+            ],
+        );
+        assert!(j.get("datapoints").unwrap().as_arr().unwrap().len() <= 10);
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let (_db, h) = handler();
+        assert_eq!(get(&h, "/query", &[]).0, 400);
+        assert_eq!(get(&h, "/query", &[("topic", "/x"), ("start", "9"), ("end", "1")]).0, 400);
+        assert_eq!(get(&h, "/stats", &[("topic", "/nope/x")]).0, 404);
+    }
+
+    #[test]
+    fn stats_summarise_series() {
+        let (_db, h) = handler();
+        let (code, j) = get(&h, "/stats", &[("topic", "/lrz/sys/rack1/node2/power")]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("count").unwrap().as_f64(), Some(100.0));
+        assert_eq!(j.get("avg").unwrap().as_f64(), Some(202.0));
+    }
+
+    #[test]
+    fn virtual_sensors_visible_to_grafana() {
+        let (db, h) = handler();
+        db.define_virtual(
+            "/v/rack0_power",
+            "\"/lrz/sys/rack0/node0/power\" + \"/lrz/sys/rack0/node1/power\" + \"/lrz/sys/rack0/node2/power\"",
+            crate::units::Unit::WATT,
+        )
+        .unwrap();
+        let (code, j) = get(&h, "/query", &[("topic", "/v/rack0_power")]);
+        assert_eq!(code, 200);
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 100);
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(603.0));
+    }
+}

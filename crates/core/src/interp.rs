@@ -1,0 +1,106 @@
+//! Linear interpolation and series alignment.
+//!
+//! Virtual sensors combine operands sampled at different frequencies; DCDB
+//! "account\[s\] for different sampling frequencies by linear interpolation"
+//! (paper §3.2).  Alignment evaluates every operand on the union of operand
+//! timestamps within the queried range.
+
+use dcdb_store::reading::Reading;
+
+/// Linearly interpolate `series` at `ts`.
+///
+/// Outside the series' span the nearest edge value is held (constant
+/// extrapolation); `None` only for an empty series.
+pub fn sample_at(series: &[Reading], ts: i64) -> Option<f64> {
+    if series.is_empty() {
+        return None;
+    }
+    let first = series.first().expect("non-empty");
+    let last = series.last().expect("non-empty");
+    if ts <= first.ts {
+        return Some(first.value);
+    }
+    if ts >= last.ts {
+        return Some(last.value);
+    }
+    // binary search for the bracketing pair
+    let idx = series.partition_point(|r| r.ts <= ts);
+    let right = series[idx];
+    let left = series[idx - 1];
+    if right.ts == left.ts {
+        return Some(left.value);
+    }
+    let frac = (ts - left.ts) as f64 / (right.ts - left.ts) as f64;
+    Some(left.value + frac * (right.value - left.value))
+}
+
+/// The sorted union of all timestamps across `series_list`.
+pub fn timestamp_union(series_list: &[&[Reading]]) -> Vec<i64> {
+    let mut all: Vec<i64> =
+        series_list.iter().flat_map(|s| s.iter().map(|r| r.ts)).collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+/// Resample `series` onto an explicit timestamp grid.
+pub fn resample(series: &[Reading], grid: &[i64]) -> Vec<Reading> {
+    grid.iter()
+        .filter_map(|&ts| sample_at(series, ts).map(|value| Reading { ts, value }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(i64, f64)]) -> Vec<Reading> {
+        points.iter().map(|&(ts, value)| Reading { ts, value }).collect()
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let s = series(&[(0, 0.0), (10, 100.0)]);
+        assert_eq!(sample_at(&s, 5), Some(50.0));
+        assert_eq!(sample_at(&s, 1), Some(10.0));
+        assert_eq!(sample_at(&s, 10), Some(100.0));
+    }
+
+    #[test]
+    fn holds_edges() {
+        let s = series(&[(10, 5.0), (20, 6.0)]);
+        assert_eq!(sample_at(&s, 0), Some(5.0));
+        assert_eq!(sample_at(&s, 100), Some(6.0));
+    }
+
+    #[test]
+    fn empty_series_is_none() {
+        assert_eq!(sample_at(&[], 5), None);
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let s = series(&[(10, 7.0)]);
+        assert_eq!(sample_at(&s, 0), Some(7.0));
+        assert_eq!(sample_at(&s, 10), Some(7.0));
+        assert_eq!(sample_at(&s, 20), Some(7.0));
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let a = series(&[(0, 0.0), (10, 1.0)]);
+        let b = series(&[(5, 0.0), (10, 1.0), (15, 2.0)]);
+        assert_eq!(timestamp_union(&[&a, &b]), vec![0, 5, 10, 15]);
+        assert!(timestamp_union(&[]).is_empty());
+    }
+
+    #[test]
+    fn resample_follows_grid() {
+        let s = series(&[(0, 0.0), (10, 10.0)]);
+        let r = resample(&s, &[0, 2, 4, 10, 12]);
+        assert_eq!(
+            r.iter().map(|x| (x.ts, x.value)).collect::<Vec<_>>(),
+            vec![(0, 0.0), (2, 2.0), (4, 4.0), (10, 10.0), (12, 10.0)]
+        );
+    }
+}

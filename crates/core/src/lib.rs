@@ -1,0 +1,30 @@
+//! # dcdb-core — libDCDB
+//!
+//! The database-independent data-access layer of dcdb-rs (paper §5.1).  All
+//! access to Storage Backends goes through this API, so the backing store
+//! can be swapped without touching upstream components.  On top of raw
+//! queries it implements the paper's analysis features:
+//!
+//! * [`units`] — sensor units with automatic conversion (virtual sensors
+//!   convert operand units transparently, §3.2),
+//! * [`interp`] — linear interpolation to align series sampled at different
+//!   frequencies (§3.2),
+//! * [`ops`] — the `dcdbquery` analysis operations: integrals, derivatives,
+//!   windowed aggregation, downsampling (§5.2),
+//! * [`api`] — [`api::SensorDb`]: topics + metadata + queries in one handle,
+//! * [`vsensor`] — virtual sensors: lazily-evaluated arithmetic expressions
+//!   over sensors, with unit conversion, interpolation and write-back
+//!   caching of results (§3.2),
+//! * [`grafana`] — the hierarchy-aware data-source API backing the Grafana
+//!   integration (§5.4, Fig. 3).
+
+pub mod api;
+pub mod grafana;
+pub mod interp;
+pub mod ops;
+pub mod units;
+pub mod vsensor;
+
+pub use api::{SensorDb, SensorMeta, Series};
+pub use units::Unit;
+pub use vsensor::{VirtualSensor, VsError};

@@ -1,0 +1,144 @@
+//! Analysis operations of the `dcdbquery` tool (paper §5.2): integrals and
+//! derivatives of sensor data, plus windowed aggregation and downsampling
+//! for the Grafana data source.
+
+use dcdb_store::reading::Reading;
+
+/// Trapezoidal integral of a series over its span.
+///
+/// Timestamps are nanoseconds; the result is `value-unit · seconds` (e.g.
+/// W → J).  Returns 0 for fewer than two points.
+pub fn integral(series: &[Reading]) -> f64 {
+    series
+        .windows(2)
+        .map(|w| {
+            let dt_s = (w[1].ts - w[0].ts) as f64 / 1e9;
+            0.5 * (w[0].value + w[1].value) * dt_s
+        })
+        .sum()
+}
+
+/// Per-interval derivative: `(v[i+1] − v[i]) / dt_seconds`, stamped at the
+/// right edge.  Returns an empty vec for fewer than two points.
+pub fn derivative(series: &[Reading]) -> Vec<Reading> {
+    series
+        .windows(2)
+        .filter(|w| w[1].ts > w[0].ts)
+        .map(|w| {
+            let dt_s = (w[1].ts - w[0].ts) as f64 / 1e9;
+            Reading { ts: w[1].ts, value: (w[1].value - w[0].value) / dt_s }
+        })
+        .collect()
+}
+
+/// Summary statistics of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of readings.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Compute [`Stats`]; `None` for an empty series.
+pub fn stats(series: &[Reading]) -> Option<Stats> {
+    if series.is_empty() {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().map(|r| r.value).sum::<f64>() / n;
+    let var = series.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>() / n;
+    Some(Stats {
+        count: series.len(),
+        min: series.iter().map(|r| r.value).fold(f64::INFINITY, f64::min),
+        max: series.iter().map(|r| r.value).fold(f64::NEG_INFINITY, f64::max),
+        mean,
+        stddev: var.sqrt(),
+    })
+}
+
+/// Downsample to at most `max_points` by averaging fixed-width buckets
+/// (Grafana's `maxDataPoints`).  Bucket timestamps are the bucket means.
+pub fn downsample(series: &[Reading], max_points: usize) -> Vec<Reading> {
+    if max_points == 0 || series.len() <= max_points {
+        return series.to_vec();
+    }
+    let bucket = series.len().div_ceil(max_points);
+    series
+        .chunks(bucket)
+        .map(|chunk| {
+            let n = chunk.len() as f64;
+            Reading {
+                ts: (chunk.iter().map(|r| r.ts as i128).sum::<i128>() / chunk.len() as i128)
+                    as i64,
+                value: chunk.iter().map(|r| r.value).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(i64, f64)]) -> Vec<Reading> {
+        points.iter().map(|&(ts, value)| Reading { ts, value }).collect()
+    }
+
+    #[test]
+    fn integral_of_constant_power() {
+        // 100 W for 10 s = 1000 J
+        let s = series(&[(0, 100.0), (10_000_000_000, 100.0)]);
+        assert!((integral(&s) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_trapezoid() {
+        // ramp 0→100 W over 2 s = 100 J
+        let s = series(&[(0, 0.0), (2_000_000_000, 100.0)]);
+        assert!((integral(&s) - 100.0).abs() < 1e-9);
+        assert_eq!(integral(&series(&[(0, 5.0)])), 0.0);
+    }
+
+    #[test]
+    fn derivative_of_energy_gives_power() {
+        // energy counter: 0, 100 J, 300 J at 1 s steps → 100 W then 200 W
+        let s = series(&[(0, 0.0), (1_000_000_000, 100.0), (2_000_000_000, 300.0)]);
+        let d = derivative(&s);
+        assert_eq!(d.len(), 2);
+        assert!((d[0].value - 100.0).abs() < 1e-9);
+        assert!((d[1].value - 200.0).abs() < 1e-9);
+        assert_eq!(d[1].ts, 2_000_000_000);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = series(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        let st = stats(&s).unwrap();
+        assert_eq!(st.count, 4);
+        assert_eq!(st.min, 1.0);
+        assert_eq!(st.max, 4.0);
+        assert!((st.mean - 2.5).abs() < 1e-12);
+        assert!((st.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!(stats(&[]).is_none());
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let s: Vec<Reading> = (0..1000).map(|i| Reading { ts: i, value: i as f64 }).collect();
+        let d = downsample(&s, 10);
+        assert!(d.len() <= 10);
+        let full_mean = stats(&s).unwrap().mean;
+        let ds_mean = stats(&d).unwrap().mean;
+        assert!((full_mean - ds_mean).abs() < 1.0);
+        // short series passes through untouched
+        assert_eq!(downsample(&s[..5], 10).len(), 5);
+        assert_eq!(downsample(&s, 0).len(), 1000);
+    }
+}

@@ -1,0 +1,684 @@
+//! Virtual sensors.
+//!
+//! "DCDB supports the definition of virtual sensors, which supply a layer of
+//! abstraction over raw sensor data [...].  They are generated according to
+//! user-specified arithmetic expressions of arbitrary length, whose operands
+//! may either be sensors or virtual sensors themselves." (paper §3.2)
+//!
+//! * expressions: `+ - * / ^`, unary minus, parentheses, numeric literals,
+//!   sensor operands as quoted topics (`"/sys/node0/power"`), and the
+//!   aggregation functions `min max avg sum abs`,
+//! * units of operands are converted automatically to the virtual sensor's
+//!   unit (within a dimension),
+//! * different sampling frequencies are reconciled by linear interpolation
+//!   on the union of operand timestamps,
+//! * evaluation is lazy — only on query and only for the queried period —
+//!   and results are written back to the Storage Backend so subsequent
+//!   queries of a covered period are served from the store.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dcdb_store::reading::{Reading, TimeRange};
+use parking_lot::Mutex;
+
+use crate::api::{SensorDb, Series};
+use crate::interp;
+use crate::units::Unit;
+
+/// Virtual sensor errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VsError {
+    /// Expression failed to parse (byte offset + message).
+    Parse { pos: usize, message: String },
+    /// An operand's unit cannot convert to the virtual sensor's unit.
+    UnitMismatch { operand: String },
+    /// Evaluation recursed too deep (virtual sensor cycle).
+    CycleDetected,
+}
+
+impl fmt::Display for VsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VsError::Parse { pos, message } => {
+                write!(f, "expression error at byte {pos}: {message}")
+            }
+            VsError::UnitMismatch { operand } => {
+                write!(f, "operand {operand:?} has an incompatible unit")
+            }
+            VsError::CycleDetected => write!(f, "virtual sensor cycle detected"),
+        }
+    }
+}
+
+impl std::error::Error for VsError {}
+
+// ------------------------------------------------------------------ lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Sensor(String),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, VsError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, i));
+                i += 1;
+            }
+            '/' => {
+                toks.push((Tok::Slash, i));
+                i += 1;
+            }
+            '^' => {
+                toks.push((Tok::Caret, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != b'"' {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(VsError::Parse {
+                        pos: start,
+                        message: "unterminated sensor reference".into(),
+                    });
+                }
+                i += 1;
+                toks.push((Tok::Sensor(s), start));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    // only allow +/- right after an exponent marker
+                    if matches!(bytes[i], b'+' | b'-')
+                        && !matches!(bytes[i - 1], b'e' | b'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| VsError::Parse {
+                    pos: start,
+                    message: format!("bad number {text:?}"),
+                })?;
+                toks.push((Tok::Num(n), start));
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            other => {
+                return Err(VsError::Parse {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ------------------------------------------------------------------ parser
+
+/// Aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Func {
+    Min,
+    Max,
+    Avg,
+    Sum,
+    Abs,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Num(f64),
+    Sensor(String),
+    Neg(Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Pow(Box<Expr>, Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+struct Parser<'a> {
+    toks: &'a [(Tok, usize)],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(_, p)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), VsError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(VsError::Parse { pos: self.here(), message: format!("expected {what}") })
+        }
+    }
+
+    // precedence climbing: expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self) -> Result<Expr, VsError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.parse_term()?));
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.parse_term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, VsError> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.parse_power()?));
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    lhs = Expr::Div(Box::new(lhs), Box::new(self.parse_power()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    // right-associative '^'
+    fn parse_power(&mut self) -> Result<Expr, VsError> {
+        let base = self.parse_unary()?;
+        if self.peek() == Some(&Tok::Caret) {
+            self.pos += 1;
+            let exp = self.parse_power()?;
+            return Ok(Expr::Pow(Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, VsError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, VsError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Sensor(s)) => Ok(Expr::Sensor(s)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                let func = match name.as_str() {
+                    "min" => Func::Min,
+                    "max" => Func::Max,
+                    "avg" => Func::Avg,
+                    "sum" => Func::Sum,
+                    "abs" => Func::Abs,
+                    _ => {
+                        return Err(VsError::Parse {
+                            pos,
+                            message: format!("unknown function {name:?}"),
+                        })
+                    }
+                };
+                self.expect(Tok::LParen, "'(' after function name")?;
+                let mut args = vec![self.parse_expr()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    args.push(self.parse_expr()?);
+                }
+                self.expect(Tok::RParen, "')'")?;
+                if func == Func::Abs && args.len() != 1 {
+                    return Err(VsError::Parse {
+                        pos,
+                        message: "abs takes exactly one argument".into(),
+                    });
+                }
+                Ok(Expr::Call(func, args))
+            }
+            _ => Err(VsError::Parse { pos, message: "expected operand".into() }),
+        }
+    }
+}
+
+fn parse_expression(src: &str) -> Result<Expr, VsError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks: &toks, pos: 0 };
+    let expr = p.parse_expr()?;
+    if p.pos != toks.len() {
+        return Err(VsError::Parse { pos: p.here(), message: "trailing tokens".into() });
+    }
+    Ok(expr)
+}
+
+fn collect_sensors(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Sensor(s) => {
+            if !out.contains(s) {
+                out.push(s.clone());
+            }
+        }
+        Expr::Neg(e) => collect_sensors(e, out),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
+        | Expr::Pow(a, b) => {
+            collect_sensors(a, out);
+            collect_sensors(b, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_sensors(a, out);
+            }
+        }
+        Expr::Num(_) => {}
+    }
+}
+
+fn eval_at(expr: &Expr, lookup: &dyn Fn(&str) -> f64) -> f64 {
+    match expr {
+        Expr::Num(n) => *n,
+        Expr::Sensor(s) => lookup(s),
+        Expr::Neg(e) => -eval_at(e, lookup),
+        Expr::Add(a, b) => eval_at(a, lookup) + eval_at(b, lookup),
+        Expr::Sub(a, b) => eval_at(a, lookup) - eval_at(b, lookup),
+        Expr::Mul(a, b) => eval_at(a, lookup) * eval_at(b, lookup),
+        Expr::Div(a, b) => eval_at(a, lookup) / eval_at(b, lookup),
+        Expr::Pow(a, b) => eval_at(a, lookup).powf(eval_at(b, lookup)),
+        Expr::Call(func, args) => {
+            let vals: Vec<f64> = args.iter().map(|a| eval_at(a, lookup)).collect();
+            match func {
+                Func::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                Func::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Func::Sum => vals.iter().sum(),
+                Func::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
+                Func::Abs => vals[0].abs(),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- the sensor
+
+thread_local! {
+    static EVAL_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+const MAX_EVAL_DEPTH: usize = 16;
+
+/// A compiled virtual sensor.
+pub struct VirtualSensor {
+    topic: String,
+    expr: Expr,
+    unit: Unit,
+    operands: Vec<String>,
+    /// Time ranges already evaluated and written back to the store.
+    cached: Mutex<Vec<TimeRange>>,
+}
+
+impl VirtualSensor {
+    /// Compile `expression` for the virtual sensor `topic`.
+    ///
+    /// # Errors
+    /// Returns parse errors with positions.
+    pub fn compile(topic: &str, expression: &str, unit: Unit) -> Result<VirtualSensor, VsError> {
+        let expr = parse_expression(expression)?;
+        let mut operands = Vec::new();
+        collect_sensors(&expr, &mut operands);
+        Ok(VirtualSensor {
+            topic: dcdb_sid::topic::normalize(topic),
+            expr,
+            unit,
+            operands,
+            cached: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The virtual sensor's own topic.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Topics of the operand sensors.
+    pub fn operands(&self) -> &[String] {
+        &self.operands
+    }
+
+    /// Number of evaluations served from the write-back cache (testing).
+    pub fn cached_ranges(&self) -> usize {
+        self.cached.lock().len()
+    }
+
+    fn is_cached(&self, range: &TimeRange) -> bool {
+        self.cached
+            .lock()
+            .iter()
+            .any(|c| c.start <= range.start && range.end <= c.end)
+    }
+
+    fn add_cached(&self, range: TimeRange) {
+        let mut cached = self.cached.lock();
+        cached.push(range);
+        // merge overlapping/adjacent ranges
+        cached.sort_by_key(|r| r.start);
+        let mut merged: Vec<TimeRange> = Vec::with_capacity(cached.len());
+        for r in cached.drain(..) {
+            match merged.last_mut() {
+                Some(last) if r.start <= last.end => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => merged.push(r),
+            }
+        }
+        *cached = merged;
+    }
+
+    /// Evaluate over `range`, reading operands through `db`.
+    ///
+    /// Results of previous evaluations are reused from the store; new
+    /// results are written back (paper §3.2).
+    ///
+    /// # Errors
+    /// Unit mismatches and cycles are reported.
+    pub fn evaluate(&self, db: &Arc<SensorDb>, range: TimeRange) -> Result<Series, VsError> {
+        // cached path: the whole range was evaluated before
+        if self.is_cached(&range) {
+            if let Some(sid) = db.registry().get(&self.topic) {
+                let readings = db.store().query(sid, range);
+                return Ok(Series { topic: self.topic.clone(), readings, unit: self.unit });
+            }
+        }
+
+        let depth = EVAL_DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        let result = (|| {
+            if depth >= MAX_EVAL_DEPTH {
+                return Err(VsError::CycleDetected);
+            }
+            // fetch + unit-convert every operand
+            let mut operand_series: Vec<(String, Vec<Reading>)> = Vec::new();
+            for op in &self.operands {
+                let series = db.query(op, range)?;
+                let mut readings = series.readings;
+                if series.unit != self.unit {
+                    for r in &mut readings {
+                        r.value = series.unit.convert(r.value, &self.unit).ok_or_else(|| {
+                            VsError::UnitMismatch { operand: op.clone() }
+                        })?;
+                    }
+                }
+                operand_series.push((op.clone(), readings));
+            }
+            // align on the union of operand timestamps
+            let slices: Vec<&[Reading]> =
+                operand_series.iter().map(|(_, s)| s.as_slice()).collect();
+            let grid = interp::timestamp_union(&slices);
+            let mut readings = Vec::with_capacity(grid.len());
+            for ts in grid {
+                let lookup = |name: &str| -> f64 {
+                    operand_series
+                        .iter()
+                        .find(|(op, _)| op == name)
+                        .and_then(|(_, s)| interp::sample_at(s, ts))
+                        .unwrap_or(f64::NAN)
+                };
+                let value = eval_at(&self.expr, &lookup);
+                if value.is_finite() {
+                    readings.push(Reading { ts, value });
+                }
+            }
+            Ok(readings)
+        })();
+        EVAL_DEPTH.with(|d| d.set(depth));
+
+        let readings = result?;
+        // write back for reuse
+        if let Ok(sid) = db.registry().resolve(&self.topic) {
+            db.store().insert_batch(sid, &readings);
+            self.add_cached(range);
+        }
+        Ok(Series { topic: self.topic.clone(), readings, unit: self.unit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_power() -> Arc<SensorDb> {
+        let db = SensorDb::in_memory();
+        for node in 0..3 {
+            let topic = format!("/sys/n{node}/power");
+            for ts in 0..10 {
+                db.insert(&topic, ts * 1_000, 100.0 * (node + 1) as f64).unwrap();
+            }
+            db.set_meta(&topic, crate::api::SensorMeta::with_unit(Unit::WATT));
+        }
+        db
+    }
+
+    #[test]
+    fn parses_arithmetic() {
+        for (src, ok) in [
+            ("1 + 2 * 3", true),
+            ("(\"/a/b\" + \"/c/d\") / 2", true),
+            ("-\"/a/b\" ^ 2", true),
+            ("min(\"/a/b\", \"/c/d\", 5)", true),
+            ("1 +", false),
+            ("foo(1)", false),
+            ("\"unterminated", false),
+            ("1 2", false),
+            ("abs(1, 2)", false),
+        ] {
+            let r = VirtualSensor::compile("/v/x", src, Unit::NONE);
+            assert_eq!(r.is_ok(), ok, "{src}: {:?}", r.err());
+        }
+    }
+
+    #[test]
+    fn constant_expression() {
+        let db = db_with_power();
+        let vs = VirtualSensor::compile("/v/c", "2 ^ 3 + 1", Unit::NONE).unwrap();
+        // no operands → empty grid → empty series
+        let s = vs.evaluate(&db, TimeRange::all()).unwrap();
+        assert!(s.readings.is_empty());
+        assert!(vs.operands().is_empty());
+    }
+
+    #[test]
+    fn aggregates_node_power() {
+        let db = db_with_power();
+        db.define_virtual(
+            "/v/total_power",
+            "\"/sys/n0/power\" + \"/sys/n1/power\" + \"/sys/n2/power\"",
+            Unit::WATT,
+        )
+        .unwrap();
+        let s = db.query("/v/total_power", TimeRange::new(0, 10_000)).unwrap();
+        assert_eq!(s.readings.len(), 10);
+        assert!(s.readings.iter().all(|r| (r.value - 600.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn unit_conversion_of_operands() {
+        let db = SensorDb::in_memory();
+        db.insert("/a/p_w", 0, 1500.0).unwrap();
+        db.insert("/a/p_kw", 0, 2.0).unwrap();
+        db.set_meta("/a/p_w", crate::api::SensorMeta::with_unit(Unit::WATT));
+        db.set_meta("/a/p_kw", crate::api::SensorMeta::with_unit(Unit::KILOWATT));
+        db.define_virtual("/v/sum_kw", "\"/a/p_w\" + \"/a/p_kw\"", Unit::KILOWATT).unwrap();
+        let s = db.query("/v/sum_kw", TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 1);
+        assert!((s.readings[0].value - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incompatible_units_error() {
+        let db = SensorDb::in_memory();
+        db.insert("/a/temp", 0, 30.0).unwrap();
+        db.set_meta("/a/temp", crate::api::SensorMeta::with_unit(Unit::CELSIUS));
+        db.define_virtual("/v/bad", "\"/a/temp\" * 2", Unit::WATT).unwrap();
+        let err = db.query("/v/bad", TimeRange::all()).unwrap_err();
+        assert!(matches!(err, VsError::UnitMismatch { .. }));
+    }
+
+    #[test]
+    fn interpolation_aligns_frequencies() {
+        let db = SensorDb::in_memory();
+        // fast sensor every 1000, slow sensor every 4000
+        for ts in (0..=8_000).step_by(1_000) {
+            db.insert("/a/fast", ts, ts as f64).unwrap();
+        }
+        for ts in (0..=8_000).step_by(4_000) {
+            db.insert("/a/slow", ts, (ts * 10) as f64).unwrap();
+        }
+        db.define_virtual("/v/mix", "\"/a/slow\" - 10 * \"/a/fast\"", Unit::NONE).unwrap();
+        let s = db.query("/v/mix", TimeRange::new(0, 9_000)).unwrap();
+        // slow interpolates linearly to 10×fast everywhere → difference 0
+        assert_eq!(s.readings.len(), 9);
+        assert!(s.readings.iter().all(|r| r.value.abs() < 1e-9), "{:?}", s.readings);
+    }
+
+    #[test]
+    fn virtual_over_virtual() {
+        let db = db_with_power();
+        db.define_virtual("/v/a", "\"/sys/n0/power\" * 2", Unit::WATT).unwrap();
+        db.define_virtual("/v/b", "\"/v/a\" + 100", Unit::WATT).unwrap();
+        let s = db.query("/v/b", TimeRange::new(0, 10_000)).unwrap();
+        assert!(s.readings.iter().all(|r| (r.value - 300.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let db = db_with_power();
+        db.define_virtual("/v/x", "\"/v/y\" + 1", Unit::NONE).unwrap();
+        db.define_virtual("/v/y", "\"/v/x\" + 1", Unit::NONE).unwrap();
+        let err = db.query("/v/x", TimeRange::new(0, 1_000)).unwrap_err();
+        assert_eq!(err, VsError::CycleDetected);
+    }
+
+    #[test]
+    fn write_back_cache_reuses_results() {
+        let db = db_with_power();
+        db.define_virtual("/v/sum", "\"/sys/n0/power\" + \"/sys/n1/power\"", Unit::WATT)
+            .unwrap();
+        let r = TimeRange::new(0, 5_000);
+        let first = db.query("/v/sum", r).unwrap();
+        // second query of the same range is served from the store
+        let second = db.query("/v/sum", r).unwrap();
+        assert_eq!(first.readings, second.readings);
+        // the store now physically holds the virtual sensor's readings
+        let sid = db.registry().get("/v/sum").unwrap();
+        assert_eq!(db.store().query(sid, r).len(), first.readings.len());
+    }
+
+    #[test]
+    fn lazy_evaluation_only_covers_queried_period() {
+        let db = db_with_power();
+        db.define_virtual("/v/lazy", "\"/sys/n0/power\"", Unit::WATT).unwrap();
+        db.query("/v/lazy", TimeRange::new(0, 2_000)).unwrap();
+        let sid = db.registry().get("/v/lazy").unwrap();
+        // only the queried period was materialised
+        assert_eq!(db.store().query(sid, TimeRange::all()).len(), 2);
+    }
+
+    #[test]
+    fn functions_evaluate() {
+        let db = db_with_power();
+        db.define_virtual(
+            "/v/peak",
+            "max(\"/sys/n0/power\", \"/sys/n1/power\", \"/sys/n2/power\")",
+            Unit::WATT,
+        )
+        .unwrap();
+        let s = db.query("/v/peak", TimeRange::new(0, 1_000)).unwrap();
+        assert_eq!(s.readings[0].value, 300.0);
+        db.define_virtual(
+            "/v/mean",
+            "avg(\"/sys/n0/power\", \"/sys/n1/power\", \"/sys/n2/power\")",
+            Unit::WATT,
+        )
+        .unwrap();
+        let s = db.query("/v/mean", TimeRange::new(0, 1_000)).unwrap();
+        assert_eq!(s.readings[0].value, 200.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for libDCDB: interpolation, ops, units and virtual-sensor
+//! evaluation invariants.
+
+use std::sync::Arc;
+
+use dcdb_core::{interp, ops, SensorDb, SensorMeta, Unit};
+use dcdb_store::reading::{Reading, TimeRange};
+use proptest::prelude::*;
+
+fn series_strategy() -> impl Strategy<Value = Vec<Reading>> {
+    prop::collection::btree_map(0i64..100_000, -1e6f64..1e6, 1..100)
+        .prop_map(|m| m.into_iter().map(|(ts, value)| Reading { ts, value }).collect())
+}
+
+proptest! {
+    #[test]
+    fn interpolation_bounded_by_neighbours(series in series_strategy(), ts in 0i64..100_000) {
+        let v = interp::sample_at(&series, ts).unwrap();
+        let lo = series.iter().map(|r| r.value).fold(f64::INFINITY, f64::min);
+        let hi = series.iter().map(|r| r.value).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn interpolation_exact_at_sample_points(series in series_strategy()) {
+        for r in &series {
+            prop_assert_eq!(interp::sample_at(&series, r.ts), Some(r.value));
+        }
+    }
+
+    #[test]
+    fn integral_sign_of_positive_series(series in series_strategy()) {
+        let positive: Vec<Reading> =
+            series.iter().map(|r| Reading { ts: r.ts, value: r.value.abs() }).collect();
+        prop_assert!(ops::integral(&positive) >= 0.0);
+    }
+
+    #[test]
+    fn derivative_of_cumsum_recovers_rate(rate in 1.0f64..1e3, n in 2usize..50) {
+        // energy counter growing at a constant rate → derivative == rate
+        let series: Vec<Reading> = (0..n as i64)
+            .map(|i| Reading { ts: i * 1_000_000_000, value: rate * i as f64 })
+            .collect();
+        let d = ops::derivative(&series);
+        prop_assert_eq!(d.len(), n - 1);
+        for r in d {
+            prop_assert!((r.value - rate).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn downsample_means_within_range(series in series_strategy(), k in 1usize..20) {
+        let d = ops::downsample(&series, k);
+        prop_assert!(d.len() <= k.max(series.len().min(k)));
+        let lo = series.iter().map(|r| r.value).fold(f64::INFINITY, f64::min);
+        let hi = series.iter().map(|r| r.value).fold(f64::NEG_INFINITY, f64::max);
+        for r in &d {
+            prop_assert!(r.value >= lo - 1e-9 && r.value <= hi + 1e-9);
+        }
+        // timestamps stay sorted
+        prop_assert!(d.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn unit_conversion_roundtrips(v in -1e9f64..1e9) {
+        for (a, b) in [
+            (Unit::WATT, Unit::KILOWATT),
+            (Unit::JOULE, Unit::KILOWATTHOUR),
+            (Unit::CELSIUS, Unit::FAHRENHEIT),
+            (Unit::BYTE, Unit::GIGABYTE),
+            (Unit::MILLISECOND, Unit::NANOSECOND),
+        ] {
+            let there = a.convert(v, &b).unwrap();
+            let back = b.convert(there, &a).unwrap();
+            prop_assert!((back - v).abs() <= v.abs() * 1e-12 + 1e-9, "{a:?}→{b:?}: {v} → {back}");
+        }
+    }
+
+    #[test]
+    fn vsensor_linearity(values in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..30),
+                         ka in -5.0f64..5.0, kb in -5.0f64..5.0) {
+        // query(k_a·A + k_b·B) == k_a·query(A) + k_b·query(B) pointwise
+        let db = SensorDb::in_memory();
+        for (i, (a, b)) in values.iter().enumerate() {
+            db.insert("/p/a", i as i64 * 1000, *a).unwrap();
+            db.insert("/p/b", i as i64 * 1000, *b).unwrap();
+        }
+        db.define_virtual(
+            "/v/lin",
+            &format!("{ka} * \"/p/a\" + {kb} * \"/p/b\""),
+            Unit::NONE,
+        ).unwrap();
+        let got = db.query("/v/lin", TimeRange::all()).unwrap();
+        prop_assert_eq!(got.readings.len(), values.len());
+        for (r, (a, b)) in got.readings.iter().zip(&values) {
+            let want = ka * a + kb * b;
+            prop_assert!((r.value - want).abs() < 1e-6, "{} vs {}", r.value, want);
+        }
+    }
+
+    #[test]
+    fn vsensor_cache_consistent_with_fresh_eval(values in prop::collection::vec(-1e3f64..1e3, 2..40)) {
+        let db = SensorDb::in_memory();
+        for (i, v) in values.iter().enumerate() {
+            db.insert("/c/s", i as i64 * 100, *v).unwrap();
+        }
+        db.set_meta("/c/s", SensorMeta::with_unit(Unit::WATT));
+        db.define_virtual("/v/c", "\"/c/s\" * 2", Unit::WATT).unwrap();
+        let range = TimeRange::new(0, values.len() as i64 * 100);
+        let first = db.query("/v/c", range).unwrap();
+        let second = db.query("/v/c", range).unwrap(); // served from write-back
+        prop_assert_eq!(first.readings, second.readings);
+    }
+}
+
+#[test]
+fn timestamp_union_is_sorted_superset() {
+    let a: Vec<Reading> = (0..10).map(|i| Reading { ts: i * 7, value: 0.0 }).collect();
+    let b: Vec<Reading> = (0..10).map(|i| Reading { ts: i * 11, value: 0.0 }).collect();
+    let u = interp::timestamp_union(&[&a, &b]);
+    assert!(u.windows(2).all(|w| w[0] < w[1]));
+    for r in a.iter().chain(b.iter()) {
+        assert!(u.contains(&r.ts));
+    }
+}
+
+#[test]
+fn sensordb_shared_between_threads() {
+    let db = SensorDb::in_memory();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..500 {
+                db.insert(&format!("/mt/t{t}/s"), i, i as f64).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..4 {
+        let s = db.query(&format!("/mt/t{t}/s"), TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 500);
+    }
+}

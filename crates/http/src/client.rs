@@ -1,0 +1,102 @@
+//! A tiny blocking HTTP client.
+//!
+//! Used by the Pusher's REST plugin (which scrapes RESTful data sources,
+//! paper §3.1) and by integration tests against the REST APIs.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code (e.g. 200).
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: HashMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue a GET request to `addr` with `path` (must start with `/`).
+///
+/// # Errors
+/// Propagates socket errors; malformed responses yield `InvalidData`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// Issue a PUT request with an optional body.
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn put(addr: SocketAddr, path: &str, body: Option<&[u8]>) -> std::io::Result<ClientResponse> {
+    request(addr, "PUT", path, body)
+}
+
+/// Issue a POST request with an optional body.
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn post(addr: SocketAddr, path: &str, body: Option<&[u8]>) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, body)
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let body = body.unwrap_or(&[]);
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    let mut resp_body = Vec::new();
+    if let Some(len) = headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        resp_body.resize(len, 0);
+        reader.read_exact(&mut resp_body)?;
+    } else {
+        reader.read_to_end(&mut resp_body)?;
+    }
+    Ok(ClientResponse { status, headers, body: resp_body })
+}

@@ -1,0 +1,423 @@
+//! A small JSON implementation (serializer + recursive-descent parser).
+//!
+//! DCDB's REST endpoints and the Grafana data-source protocol speak JSON;
+//! since `serde_json` is outside the allowed dependency set, this module
+//! implements the subset needed: objects, arrays, strings, f64 numbers,
+//! booleans and null, with correct string escaping.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// All numbers are f64, like JavaScript.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member access for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array element access.
+    pub fn idx(&self, i: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(v) => v.get(i),
+            _ => None,
+        }
+    }
+
+    /// Extract an f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialise to a compact string.
+    pub fn to_string_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // integral values print without trailing ".0"
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    /// Returns a message with the byte offset of the first error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError { pos, message: "trailing characters" });
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(JsonError { pos: *pos, message: "unexpected end of input" });
+    };
+    match c {
+        b'n' => expect_lit(b, pos, "null", Json::Null),
+        b't' => expect_lit(b, pos, "true", Json::Bool(true)),
+        b'f' => expect_lit(b, pos, "false", Json::Bool(false)),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError { pos: *pos, message: "expected ',' or ']'" }),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(JsonError { pos: *pos, message: "expected ':'" });
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(JsonError { pos: *pos, message: "expected ',' or '}'" }),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => Err(JsonError { pos: *pos, message: "unexpected character" }),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError { pos: *pos, message: "invalid literal" })
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError { pos: *pos, message: "expected string" });
+    }
+    *pos += 1;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(s);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(JsonError { pos: *pos, message: "truncated escape" });
+                };
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or(JsonError { pos: *pos, message: "truncated \\u escape" })?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| JsonError { pos: *pos, message: "bad \\u escape" })?,
+                            16,
+                        )
+                        .map_err(|_| JsonError { pos: *pos, message: "bad \\u escape" })?;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError { pos: *pos, message: "unknown escape" }),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // copy one UTF-8 character
+                let start = *pos;
+                let len = utf8_len(c);
+                let end = (start + len).min(b.len());
+                let chunk = std::str::from_utf8(&b[start..end])
+                    .map_err(|_| JsonError { pos: start, message: "invalid UTF-8" })?;
+                let ch = chunk
+                    .chars()
+                    .next()
+                    .ok_or(JsonError { pos: start, message: "invalid UTF-8" })?;
+                s.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err(JsonError { pos: *pos, message: "unterminated string" })
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or(JsonError { pos: start, message: "invalid number" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_compact() {
+        let j = Json::obj([
+            ("name", Json::str("power")),
+            ("value", Json::Num(240.5)),
+            ("ok", Json::Bool(true)),
+            ("tags", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+        ]);
+        assert_eq!(
+            j.to_string_compact(),
+            r#"{"name":"power","ok":true,"tags":[1,null],"value":240.5}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.to_string_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let src = r#"{"a":[1,2.5,-3e2],"b":{"c":"x","d":null},"e":false}"#;
+        let j = Json::parse(src).unwrap();
+        assert_eq!(Json::parse(&j.to_string_compact()).unwrap(), j);
+        assert_eq!(j.get("a").unwrap().idx(2).unwrap().as_f64(), Some(-300.0));
+        assert_eq!(j.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(j.get("e").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let j = Json::parse(r#""éA""#).unwrap();
+        assert_eq!(j.as_str(), Some("éA"));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("123abc").is_err());
+        let e = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(e.pos, 4);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn nested_accessors_tolerate_wrong_types() {
+        let j = Json::Num(5.0);
+        assert!(j.get("x").is_none());
+        assert!(j.idx(0).is_none());
+        assert!(j.as_str().is_none());
+        assert!(j.as_arr().is_none());
+    }
+
+    #[test]
+    fn parses_utf8_strings() {
+        let j = Json::parse(r#""héllo wörld 🚀""#).unwrap();
+        assert_eq!(j.as_str(), Some("héllo wörld 🚀"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Path routing with `:param` captures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::server::{Handler, Method, Request, Response, StatusCode};
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+    /// Trailing `*rest` capture: matches the remainder of the path.
+    Rest(String),
+}
+
+/// A method+path router producing a [`Handler`].
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a route.  Patterns: `/plugins/:name/start`, `/cache/*topic`.
+    pub fn add<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let segments = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Segment::Rest(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route { method, segments, handler: Arc::new(handler) });
+        self
+    }
+
+    fn match_route<'a>(
+        &'a self,
+        method: Method,
+        path: &str,
+    ) -> Result<(&'a Route, HashMap<String, String>), StatusCode> {
+        let parts: Vec<&str> =
+            path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_exists = false;
+        for route in &self.routes {
+            if let Some(params) = match_segments(&route.segments, &parts) {
+                path_exists = true;
+                if route.method == method {
+                    return Ok((route, params));
+                }
+            }
+        }
+        Err(if path_exists { StatusCode::MethodNotAllowed } else { StatusCode::NotFound })
+    }
+
+    /// Convert into a [`Handler`] for [`crate::server::HttpServer`].
+    pub fn into_handler(self) -> Handler {
+        Arc::new(move |req: &Request| match self.match_route(req.method, &req.path) {
+            Ok((route, params)) => {
+                let mut req = req.clone();
+                req.params = params;
+                (route.handler)(&req)
+            }
+            Err(status) => Response::error(status, "no matching route"),
+        })
+    }
+}
+
+fn match_segments(segments: &[Segment], parts: &[&str]) -> Option<HashMap<String, String>> {
+    let mut params = HashMap::new();
+    let mut i = 0;
+    for seg in segments {
+        match seg {
+            Segment::Literal(lit) => {
+                if parts.get(i) != Some(&lit.as_str()) {
+                    return None;
+                }
+                i += 1;
+            }
+            Segment::Param(name) => {
+                let part = parts.get(i)?;
+                params.insert(name.clone(), (*part).to_string());
+                i += 1;
+            }
+            Segment::Rest(name) => {
+                let rest = parts[i.min(parts.len())..].join("/");
+                params.insert(name.clone(), rest);
+                return Some(params);
+            }
+        }
+    }
+    (i == parts.len()).then_some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn make_req(method: Method, path: &str) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: HashMap::new(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn router() -> Handler {
+        let mut r = Router::new();
+        r.add(Method::Get, "/plugins", |_| Response::text("list"));
+        r.add(Method::Get, "/plugins/:name", |req| {
+            Response::text(format!("plugin {}", req.param("name").unwrap()))
+        });
+        r.add(Method::Put, "/plugins/:name/start", |req| {
+            Response::json(&Json::obj([("started", Json::str(req.param("name").unwrap()))]))
+        });
+        r.add(Method::Get, "/cache/*topic", |req| {
+            Response::text(format!("topic={}", req.param("topic").unwrap()))
+        });
+        r.into_handler()
+    }
+
+    #[test]
+    fn literal_and_param_routes() {
+        let h = router();
+        assert_eq!(h(&make_req(Method::Get, "/plugins")).body, b"list");
+        assert_eq!(h(&make_req(Method::Get, "/plugins/procfs")).body, b"plugin procfs");
+        let r = h(&make_req(Method::Put, "/plugins/procfs/start"));
+        assert!(String::from_utf8_lossy(&r.body).contains("procfs"));
+    }
+
+    #[test]
+    fn rest_capture() {
+        let h = router();
+        let r = h(&make_req(Method::Get, "/cache/lrz/sys/node0/power"));
+        assert_eq!(r.body, b"topic=lrz/sys/node0/power");
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let h = router();
+        assert_eq!(h(&make_req(Method::Get, "/nothing")).status.code(), 404);
+        assert_eq!(h(&make_req(Method::Put, "/plugins")).status.code(), 405);
+        // wrong method on a param route
+        assert_eq!(h(&make_req(Method::Delete, "/plugins/x")).status.code(), 405);
+    }
+
+    #[test]
+    fn trailing_slashes_ignored() {
+        let h = router();
+        assert_eq!(h(&make_req(Method::Get, "/plugins/")).body, b"list");
+        assert_eq!(h(&make_req(Method::Get, "plugins")).body, b"list");
+    }
+}

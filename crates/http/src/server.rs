@@ -1,0 +1,396 @@
+//! A threaded HTTP/1.1 server.
+//!
+//! Parses request line, headers, query string and body (Content-Length);
+//! one thread per connection with keep-alive support.  This carries DCDB's
+//! Pusher/Collect Agent REST endpoints.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Request methods supported by the REST APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve data.
+    Get,
+    /// Change state (start/stop/reload plugins).
+    Put,
+    /// Create/trigger.
+    Post,
+    /// Remove.
+    Delete,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "GET" => Method::Get,
+            "PUT" => Method::Put,
+            "POST" => Method::Post,
+            "DELETE" => Method::Delete,
+            _ => return None,
+        })
+    }
+}
+
+/// Status codes used by the APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// 200
+    Ok,
+    /// 204
+    NoContent,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 500
+    InternalError,
+}
+
+impl StatusCode {
+    fn line(&self) -> &'static str {
+        match self {
+            StatusCode::Ok => "200 OK",
+            StatusCode::NoContent => "204 No Content",
+            StatusCode::BadRequest => "400 Bad Request",
+            StatusCode::NotFound => "404 Not Found",
+            StatusCode::MethodNotAllowed => "405 Method Not Allowed",
+            StatusCode::InternalError => "500 Internal Server Error",
+        }
+    }
+
+    /// Numeric code.
+    pub fn code(&self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::NoContent => 204,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::MethodNotAllowed => 405,
+            StatusCode::InternalError => 500,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// HTTP method.
+    pub method: Method,
+    /// Decoded path without the query string.
+    pub path: String,
+    /// Query-string parameters.
+    pub query: HashMap<String, String>,
+    /// Path parameters captured by the router (`:name` segments).
+    pub params: HashMap<String, String>,
+    /// Headers, lower-cased keys.
+    pub headers: HashMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Query parameter accessor.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// Path parameter accessor.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(value: &Json) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: "application/json",
+            body: value.to_string_compact().into_bytes(),
+        }
+    }
+
+    /// 200 with a plain-text body.
+    pub fn text(s: impl Into<String>) -> Response {
+        Response { status: StatusCode::Ok, content_type: "text/plain", body: s.into().into_bytes() }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: StatusCode, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: Json::obj([("error", Json::str(message))]).to_string_compact().into_bytes(),
+        }
+    }
+
+    /// 204.
+    pub fn no_content() -> Response {
+        Response { status: StatusCode::NoContent, content_type: "text/plain", body: Vec::new() }
+    }
+}
+
+/// Request handler signature.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server; dropping it stops the listener.
+pub struct HttpServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Start serving `handler` on `bind` (use port 0 for ephemeral).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(bind: SocketAddr, handler: Handler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let r2 = Arc::clone(&running);
+        let accept_thread = std::thread::Builder::new()
+            .name("http-accept".into())
+            .spawn(move || {
+                while r2.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let h = Arc::clone(&handler);
+                            let rc = Arc::clone(&r2);
+                            let _ = std::thread::Builder::new().name("http-conn".into()).spawn(
+                                move || {
+                                    let _ = serve_connection(stream, h, rc);
+                                },
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(HttpServer { addr, running, accept_thread: Some(accept_thread) })
+    }
+
+    /// Bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: Handler,
+    running: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    while running.load(Ordering::SeqCst) {
+        let Some(req) = read_request(&mut reader)? else {
+            return Ok(()); // connection closed
+        };
+        let keep_alive = req
+            .headers
+            .get("connection")
+            .map(|v| !v.eq_ignore_ascii_case("close"))
+            .unwrap_or(true);
+        let resp = handler(&req);
+        write_response(&mut writer, &resp, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Percent-decode a URL component.
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 => {
+                if let Some(hex) = bytes.get(i + 1..i + 3) {
+                    if let Ok(v) =
+                        u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
+                    {
+                        out.push(v);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse the query string into a map.
+pub fn parse_query(q: &str) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(url_decode(k), url_decode(v));
+    }
+    map
+}
+
+fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            return Ok(None)
+        }
+        Err(e) => return Err(e),
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let Some(method) = Method::parse(method) else { return Ok(None) };
+    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    let path = url_decode(raw_path);
+    let query = parse_query(raw_query);
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len.min(16 * 1024 * 1024)];
+    if len > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Some(Request { method, path, query, params: HashMap::new(), headers, body }))
+}
+
+fn write_response<W: Write>(w: &mut W, resp: &Response, keep_alive: bool) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status.line(),
+        resp.content_type,
+        resp.body.len()
+    );
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_decoding() {
+        assert_eq!(url_decode("a%20b+c"), "a b c");
+        assert_eq!(url_decode("%2Fpath%2Fx"), "/path/x");
+        assert_eq!(url_decode("plain"), "plain");
+        assert_eq!(url_decode("bad%zz"), "bad%zz");
+        assert_eq!(url_decode("%"), "%");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("a=1&b=hello%20world&flag&empty=");
+        assert_eq!(q["a"], "1");
+        assert_eq!(q["b"], "hello world");
+        assert_eq!(q["flag"], "");
+        assert_eq!(q["empty"], "");
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn response_constructors() {
+        let r = Response::json(&Json::obj([("x", Json::Num(1.0))]));
+        assert_eq!(r.status, StatusCode::Ok);
+        assert_eq!(r.body, br#"{"x":1}"#);
+        let e = Response::error(StatusCode::NotFound, "no such sensor");
+        assert_eq!(e.status.code(), 404);
+        assert!(String::from_utf8_lossy(&e.body).contains("no such sensor"));
+        assert!(Response::no_content().body.is_empty());
+    }
+
+    #[test]
+    fn read_request_parses_everything() {
+        let raw = "GET /sensors/cpu0?start=5&end=9 HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/sensors/cpu0");
+        assert_eq!(req.query_param("start"), Some("5"));
+        assert_eq!(req.query_param("end"), Some("9"));
+        assert_eq!(req.headers["host"], "x");
+        assert_eq!(req.body, b"abc");
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end tests of the HTTP server + client over real sockets.
+
+use dcdb_http::{client, json::Json, HttpServer, Method, Response, Router};
+
+fn demo_server() -> HttpServer {
+    let mut r = Router::new();
+    r.add(Method::Get, "/hello", |_| Response::text("world"));
+    r.add(Method::Get, "/echo/:what", |req| {
+        Response::json(&Json::obj([("echo", Json::str(req.param("what").unwrap()))]))
+    });
+    r.add(Method::Put, "/store", |req| {
+        Response::json(&Json::obj([("bytes", Json::Num(req.body.len() as f64))]))
+    });
+    r.add(Method::Get, "/query", |req| {
+        let a = req.query_param("a").unwrap_or("none").to_string();
+        Response::text(a)
+    });
+    HttpServer::start("127.0.0.1:0".parse().unwrap(), r.into_handler()).expect("server start")
+}
+
+#[test]
+fn get_text() {
+    let srv = demo_server();
+    let resp = client::get(srv.local_addr(), "/hello").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), "world");
+}
+
+#[test]
+fn get_json_with_param() {
+    let srv = demo_server();
+    let resp = client::get(srv.local_addr(), "/echo/sensor42").unwrap();
+    let j = Json::parse(&resp.text()).unwrap();
+    assert_eq!(j.get("echo").unwrap().as_str(), Some("sensor42"));
+}
+
+#[test]
+fn put_with_body() {
+    let srv = demo_server();
+    let resp = client::put(srv.local_addr(), "/store", Some(b"0123456789")).unwrap();
+    let j = Json::parse(&resp.text()).unwrap();
+    assert_eq!(j.get("bytes").unwrap().as_f64(), Some(10.0));
+}
+
+#[test]
+fn query_params_reach_handler() {
+    let srv = demo_server();
+    let resp = client::get(srv.local_addr(), "/query?a=hello%20there").unwrap();
+    assert_eq!(resp.text(), "hello there");
+}
+
+#[test]
+fn missing_route_is_404() {
+    let srv = demo_server();
+    let resp = client::get(srv.local_addr(), "/nope").unwrap();
+    assert_eq!(resp.status, 404);
+}
+
+#[test]
+fn wrong_method_is_405() {
+    let srv = demo_server();
+    let resp = client::put(srv.local_addr(), "/hello", None).unwrap();
+    assert_eq!(resp.status, 405);
+}
+
+#[test]
+fn concurrent_requests() {
+    let srv = demo_server();
+    let addr = srv.local_addr();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let resp = client::get(addr, &format!("/echo/t{i}")).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests: JSON serialisation round-trips arbitrary values and the
+//! parser never panics on arbitrary input.
+
+use dcdb_http::json::Json;
+use proptest::prelude::*;
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // finite numbers only: JSON has no NaN/Inf (serialised as null)
+        (-1e12f64..1e12).prop_map(Json::Num),
+        "[a-zA-Z0-9 _/\\-\\.\\n\"\\\\]{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(value in json_strategy()) {
+        let text = value.to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn parser_never_panics(text in ".{0,256}") {
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(text) = std::str::from_utf8(&data) {
+            let _ = Json::parse(text);
+        }
+    }
+
+    #[test]
+    fn numbers_roundtrip_precisely(n in -1e15f64..1e15) {
+        let text = Json::Num(n).to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        let got = parsed.as_f64().unwrap();
+        // integral shortcut prints as i64; allow 1 ULP-ish slack
+        prop_assert!((got - n).abs() <= n.abs() * 1e-12 + 1e-9, "{n} → {text} → {got}");
+    }
+}

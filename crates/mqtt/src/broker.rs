@@ -1,0 +1,327 @@
+//! A threaded MQTT 3.1.1 TCP broker.
+//!
+//! The DCDB Collect Agent embeds a *custom MQTT implementation that only
+//! provides a subset of features necessary for its tasks*: it supports the
+//! publish interface but not the subscribe interface, because the Storage
+//! Backend is the only consumer and filtering every message through a topic
+//! trie would be wasted work (paper §4.2).  This broker reproduces that
+//! design: every received PUBLISH is handed to a [`PublishSink`] callback,
+//! and SUBSCRIBE support can be switched on for the general-purpose case
+//! (the paper notes additional subscribers, e.g. on-line analytics, are
+//! possible).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::codec::{decode_packet, encode_packet, ConnectReturnCode, Packet, QoS};
+use crate::topic::filter_matches;
+
+/// Callback receiving every PUBLISH accepted by the broker.
+///
+/// Arguments: topic, payload, QoS.  This is the hook the Collect Agent uses
+/// to forward readings to Storage Backends without a subscription round-trip.
+pub type PublishSink = Arc<dyn Fn(&str, &Bytes, QoS) + Send + Sync>;
+
+/// Broker tuning knobs.
+#[derive(Clone)]
+pub struct BrokerConfig {
+    /// Address to bind (use port 0 for an ephemeral port in tests).
+    pub bind: SocketAddr,
+    /// Whether SUBSCRIBE/UNSUBSCRIBE are honoured.  Defaults to `false`,
+    /// mirroring the publish-only Collect Agent broker.
+    pub allow_subscribe: bool,
+    /// Read timeout used to poll for shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            bind: "127.0.0.1:0".parse().expect("static addr"),
+            allow_subscribe: false,
+            read_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    /// CONNECTs accepted.
+    pub connects: AtomicU64,
+    /// PUBLISH packets received.
+    pub publishes: AtomicU64,
+    /// Total payload bytes received in PUBLISH packets.
+    pub publish_bytes: AtomicU64,
+    /// Messages forwarded to subscribers.
+    pub forwarded: AtomicU64,
+    /// Protocol errors observed.
+    pub errors: AtomicU64,
+}
+
+struct Subscriber {
+    filters: Vec<(String, QoS)>,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+struct Shared {
+    cfg: BrokerConfig,
+    sink: Option<PublishSink>,
+    stats: BrokerStats,
+    running: AtomicBool,
+    subscribers: Mutex<HashMap<u64, Subscriber>>,
+    next_conn_id: AtomicU64,
+}
+
+/// Handle to a running broker; dropping it stops the broker.
+pub struct Broker {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Broker {
+    /// Start a broker with `cfg`, forwarding publishes to `sink`.
+    ///
+    /// # Errors
+    /// Propagates socket bind failures.
+    pub fn start(cfg: BrokerConfig, sink: Option<PublishSink>) -> std::io::Result<Broker> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            sink,
+            stats: BrokerStats::default(),
+            running: AtomicBool::new(true),
+            subscribers: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("mqtt-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Broker { shared, local_addr, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the broker actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live statistics.
+    pub fn stats(&self) -> &BrokerStats {
+        &self.shared.stats
+    }
+
+    /// Request shutdown and join the accept thread.
+    pub fn shutdown(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("mqtt-conn".into())
+                    .spawn(move || {
+                        if connection_loop(stream, &conn_shared).is_err() {
+                            conn_shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn send(writer: &Mutex<TcpStream>, packet: &Packet) -> std::io::Result<()> {
+    let mut out = BytesMut::new();
+    encode_packet(packet, &mut out)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut w = writer.lock();
+    w.write_all(&out)
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.cfg.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut connected = false;
+
+    let result = loop {
+        if !shared.running.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        // Drain complete packets already buffered.
+        loop {
+            match decode_packet(&mut buf) {
+                Ok(Some(packet)) => {
+                    match handle_packet(packet, shared, conn_id, &writer, &mut connected) {
+                        Ok(HandleOutcome::Continue) => {}
+                        Ok(HandleOutcome::Disconnect) => {
+                            shared.subscribers.lock().remove(&conn_id);
+                            return Ok(());
+                        }
+                        Err(()) => {
+                            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                            shared.subscribers.lock().remove(&conn_id);
+                            return Ok(());
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.subscribers.lock().remove(&conn_id);
+                    return Ok(());
+                }
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break Ok(()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => break Err(e),
+        }
+    };
+    shared.subscribers.lock().remove(&conn_id);
+    result
+}
+
+enum HandleOutcome {
+    Continue,
+    Disconnect,
+}
+
+fn handle_packet(
+    packet: Packet,
+    shared: &Shared,
+    conn_id: u64,
+    writer: &Arc<Mutex<TcpStream>>,
+    connected: &mut bool,
+) -> Result<HandleOutcome, ()> {
+    match packet {
+        Packet::Connect { .. } => {
+            *connected = true;
+            shared.stats.connects.fetch_add(1, Ordering::Relaxed);
+            send(
+                writer,
+                &Packet::Connack { session_present: false, code: ConnectReturnCode::Accepted },
+            )
+            .map_err(|_| ())?;
+        }
+        Packet::Publish { topic, payload, qos, pid, .. } => {
+            if !*connected {
+                return Err(());
+            }
+            shared.stats.publishes.fetch_add(1, Ordering::Relaxed);
+            shared.stats.publish_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+            if let Some(sink) = &shared.sink {
+                sink(&topic, &payload, qos);
+            }
+            if qos == QoS::AtLeastOnce {
+                if let Some(pid) = pid {
+                    send(writer, &Packet::Puback { pid }).map_err(|_| ())?;
+                }
+            }
+            if shared.cfg.allow_subscribe {
+                forward_to_subscribers(shared, conn_id, &topic, &payload);
+            }
+        }
+        Packet::Subscribe { pid, filters } => {
+            if !shared.cfg.allow_subscribe {
+                // publish-only broker: reject all filters
+                let codes = vec![0x80u8; filters.len()];
+                send(writer, &Packet::Suback { pid, return_codes: codes }).map_err(|_| ())?;
+            } else {
+                let codes: Vec<u8> = filters
+                    .iter()
+                    .map(|(f, q)| if crate::topic::is_valid_filter(f) { *q as u8 } else { 0x80 })
+                    .collect();
+                let accepted: Vec<(String, QoS)> = filters
+                    .into_iter()
+                    .filter(|(f, _)| crate::topic::is_valid_filter(f))
+                    .collect();
+                let mut subs = shared.subscribers.lock();
+                let entry = subs.entry(conn_id).or_insert_with(|| Subscriber {
+                    filters: Vec::new(),
+                    writer: Arc::clone(writer),
+                });
+                entry.filters.extend(accepted);
+                drop(subs);
+                send(writer, &Packet::Suback { pid, return_codes: codes }).map_err(|_| ())?;
+            }
+        }
+        Packet::Unsubscribe { pid, filters } => {
+            let mut subs = shared.subscribers.lock();
+            if let Some(sub) = subs.get_mut(&conn_id) {
+                sub.filters.retain(|(f, _)| !filters.contains(f));
+            }
+            drop(subs);
+            send(writer, &Packet::Unsuback { pid }).map_err(|_| ())?;
+        }
+        Packet::Pingreq => {
+            send(writer, &Packet::Pingresp).map_err(|_| ())?;
+        }
+        Packet::Disconnect => return Ok(HandleOutcome::Disconnect),
+        Packet::Pubrel { pid } => {
+            send(writer, &Packet::Pubcomp { pid }).map_err(|_| ())?;
+        }
+        // Packets a broker does not expect from clients are ignored.
+        _ => {}
+    }
+    Ok(HandleOutcome::Continue)
+}
+
+fn forward_to_subscribers(shared: &Shared, from_conn: u64, topic: &str, payload: &Bytes) {
+    let subs = shared.subscribers.lock();
+    for (id, sub) in subs.iter() {
+        if *id == from_conn {
+            continue;
+        }
+        if sub.filters.iter().any(|(f, _)| filter_matches(f, topic)) {
+            let pkt = Packet::Publish {
+                topic: topic.to_string(),
+                payload: payload.clone(),
+                qos: QoS::AtMostOnce,
+                retain: false,
+                dup: false,
+                pid: None,
+            };
+            if send(&sub.writer, &pkt).is_ok() {
+                shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! A blocking MQTT 3.1.1 client.
+//!
+//! This is the Pusher side of the transport: QoS 0/1 publishing, keep-alive
+//! pings and automatic reconnection, mirroring the role the Mosquitto
+//! library plays in the C++ implementation (paper §4.1).  Incoming publishes
+//! (when the client subscribes) are dispatched to a user callback from a
+//! background reader thread.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::codec::{decode_packet, encode_packet, Packet, QoS};
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Broker address.
+    pub broker: SocketAddr,
+    /// MQTT client identifier.
+    pub client_id: String,
+    /// Keep-alive interval (seconds granularity on the wire).
+    pub keep_alive: Duration,
+    /// How long QoS 1 publishes wait for their PUBACK.
+    pub ack_timeout: Duration,
+    /// Number of reconnect attempts before a publish fails.
+    pub max_reconnects: u32,
+}
+
+impl ClientConfig {
+    /// Reasonable defaults for `broker`.
+    pub fn new(broker: SocketAddr, client_id: impl Into<String>) -> Self {
+        ClientConfig {
+            broker,
+            client_id: client_id.into(),
+            keep_alive: Duration::from_secs(60),
+            ack_timeout: Duration::from_secs(5),
+            max_reconnects: 3,
+        }
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure after exhausting reconnect attempts.
+    Io(std::io::Error),
+    /// The broker rejected the connection.
+    Rejected,
+    /// A QoS 1 publish was not acknowledged within the timeout.
+    AckTimeout,
+    /// The client has been closed.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Rejected => write!(f, "connection rejected by broker"),
+            ClientError::AckTimeout => write!(f, "PUBACK timeout"),
+            ClientError::Closed => write!(f, "client closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Callback for received publishes: `(topic, payload)`.
+pub type MessageCallback = Arc<dyn Fn(&str, &Bytes) + Send + Sync>;
+
+struct Conn {
+    stream: TcpStream,
+    reader_stop: Arc<AtomicBool>,
+}
+
+/// Counters for the evaluation harness.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// PUBLISH packets sent.
+    pub published: AtomicU64,
+    /// Payload bytes sent.
+    pub published_bytes: AtomicU64,
+    /// Reconnections performed.
+    pub reconnects: AtomicU64,
+}
+
+/// The blocking client.
+pub struct Client {
+    cfg: ClientConfig,
+    conn: Mutex<Option<Conn>>,
+    next_pid: AtomicU16,
+    acks: Receiver<u16>,
+    acks_tx: Sender<u16>,
+    on_message: Arc<Mutex<Option<MessageCallback>>>,
+    stats: ClientStats,
+    closed: AtomicBool,
+}
+
+impl Client {
+    /// Connect to the broker.
+    ///
+    /// # Errors
+    /// Fails when the TCP connection or the MQTT handshake fails.
+    pub fn connect(cfg: ClientConfig) -> Result<Arc<Client>, ClientError> {
+        let (acks_tx, acks) = bounded(1024);
+        let client = Arc::new(Client {
+            cfg,
+            conn: Mutex::new(None),
+            next_pid: AtomicU16::new(1),
+            acks,
+            acks_tx,
+            on_message: Arc::new(Mutex::new(None)),
+            stats: ClientStats::default(),
+            closed: AtomicBool::new(false),
+        });
+        client.reconnect_locked(&mut client.conn.lock())?;
+        Ok(client)
+    }
+
+    /// Register a callback for publishes delivered to this client.
+    pub fn on_message(&self, cb: MessageCallback) {
+        *self.on_message.lock() = Some(cb);
+    }
+
+    /// Client statistics.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    fn handshake(&self, stream: &mut TcpStream) -> Result<(), ClientError> {
+        let mut out = BytesMut::new();
+        encode_packet(
+            &Packet::Connect {
+                client_id: self.cfg.client_id.clone(),
+                keep_alive: self.cfg.keep_alive.as_secs().min(u16::MAX as u64) as u16,
+                clean_session: true,
+                will: None,
+                username: None,
+                password: None,
+            },
+            &mut out,
+        )
+        .expect("CONNECT always encodes");
+        stream.write_all(&out)?;
+        // Wait for CONNACK synchronously.
+        let mut buf = BytesMut::new();
+        let mut chunk = [0u8; 1024];
+        let deadline = Instant::now() + self.cfg.ack_timeout;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        loop {
+            if let Some(pkt) = decode_packet(&mut buf)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                return match pkt {
+                    Packet::Connack { code: crate::codec::ConnectReturnCode::Accepted, .. } => {
+                        Ok(())
+                    }
+                    Packet::Connack { .. } => Err(ClientError::Rejected),
+                    _ => Err(ClientError::Rejected),
+                };
+            }
+            if Instant::now() > deadline {
+                return Err(ClientError::AckTimeout);
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Rejected),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn reconnect_locked(&self, slot: &mut Option<Conn>) -> Result<(), ClientError> {
+        if let Some(old) = slot.take() {
+            old.reader_stop.store(true, Ordering::SeqCst);
+        }
+        let mut last_err: Option<ClientError> = None;
+        for attempt in 0..=self.cfg.max_reconnects {
+            if attempt > 0 {
+                self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(20 * attempt as u64));
+            }
+            match TcpStream::connect(self.cfg.broker) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true).ok();
+                    match self.handshake(&mut stream) {
+                        Ok(()) => {
+                            let reader_stop = Arc::new(AtomicBool::new(false));
+                            self.spawn_reader(stream.try_clone()?, Arc::clone(&reader_stop));
+                            *slot = Some(Conn { stream, reader_stop });
+                            return Ok(());
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Closed))
+    }
+
+    fn spawn_reader(&self, mut stream: TcpStream, stop: Arc<AtomicBool>) {
+        let acks_tx = self.acks_tx.clone();
+        // The callback is looked up per message so it can be registered or
+        // swapped after the connection is already up.
+        let cb_slot = Arc::clone(&self.on_message);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        std::thread::Builder::new()
+            .name("mqtt-client-reader".into())
+            .spawn(move || {
+                let mut buf = BytesMut::new();
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    while let Ok(Some(pkt)) = decode_packet(&mut buf) {
+                        match pkt {
+                            Packet::Puback { pid } => {
+                                let _ = acks_tx.try_send(pid);
+                            }
+                            Packet::Publish { topic, payload, .. } => {
+                                if let Some(cb) = cb_slot.lock().as_ref() {
+                                    cb(&topic, &payload);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    match stream.read(&mut chunk) {
+                        Ok(0) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn reader");
+    }
+
+    fn send_packet(&self, packet: &Packet) -> Result<(), ClientError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(ClientError::Closed);
+        }
+        let mut out = BytesMut::new();
+        encode_packet(packet, &mut out)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut conn = self.conn.lock();
+        for _ in 0..2 {
+            if conn.is_none() {
+                self.reconnect_locked(&mut conn)?;
+            }
+            let stream = &mut conn.as_mut().expect("just reconnected").stream;
+            match stream.write_all(&out) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // drop the broken connection and retry once
+                    if let Some(old) = conn.take() {
+                        old.reader_stop.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+        Err(ClientError::Closed)
+    }
+
+    /// Publish with QoS 0 (fire and forget) — DCDB's hot path.
+    pub fn publish_qos0(&self, topic: &str, payload: &[u8]) -> Result<(), ClientError> {
+        self.send_packet(&Packet::Publish {
+            topic: topic.to_string(),
+            payload: Bytes::copy_from_slice(payload),
+            qos: QoS::AtMostOnce,
+            retain: false,
+            dup: false,
+            pid: None,
+        })?;
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        self.stats.published_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Publish with QoS 1 and wait for the PUBACK.
+    pub fn publish_qos1(&self, topic: &str, payload: &[u8]) -> Result<(), ClientError> {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed).max(1);
+        self.send_packet(&Packet::Publish {
+            topic: topic.to_string(),
+            payload: Bytes::copy_from_slice(payload),
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            dup: false,
+            pid: Some(pid),
+        })?;
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        self.stats.published_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let deadline = Instant::now() + self.cfg.ack_timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::AckTimeout);
+            }
+            match self.acks.recv_timeout(deadline - now) {
+                Ok(got) if got == pid => return Ok(()),
+                Ok(_) => continue, // ack for an earlier pid
+                Err(_) => return Err(ClientError::AckTimeout),
+            }
+        }
+    }
+
+    /// Subscribe to `filters` (requires a broker with subscriptions enabled).
+    pub fn subscribe(&self, filters: &[(&str, QoS)]) -> Result<(), ClientError> {
+        let pid = self.next_pid.fetch_add(1, Ordering::Relaxed).max(1);
+        self.send_packet(&Packet::Subscribe {
+            pid,
+            filters: filters.iter().map(|(f, q)| (f.to_string(), *q)).collect(),
+        })
+    }
+
+    /// Send a keep-alive ping.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        self.send_packet(&Packet::Pingreq)
+    }
+
+    /// Cleanly disconnect.
+    pub fn disconnect(&self) {
+        let _ = self.send_packet(&Packet::Disconnect);
+        self.closed.store(true, Ordering::SeqCst);
+        if let Some(conn) = self.conn.lock().take() {
+            conn.reader_stop.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::SeqCst) {
+            self.disconnect();
+        }
+    }
+}

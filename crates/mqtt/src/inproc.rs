@@ -1,0 +1,123 @@
+//! In-process MQTT transport.
+//!
+//! The evaluation harness pushes up to 500,000 sensor readings per second
+//! through a Collect Agent (paper Fig. 8).  Running those volumes through
+//! kernel sockets would measure the host OS rather than the framework, so
+//! the simulation uses this in-process bus: the same publish semantics as
+//! [`crate::broker::Broker`] (topic + payload delivered to a sink, optional
+//! subscriber fan-out with wildcard filters) with plain function calls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::codec::QoS;
+use crate::topic::filter_matches;
+
+/// Subscriber callback: `(topic, payload)`.
+pub type InprocCallback = Arc<dyn Fn(&str, &Bytes) + Send + Sync>;
+
+struct Subscription {
+    id: u64,
+    filter: String,
+    callback: InprocCallback,
+}
+
+/// An in-process publish/subscribe bus with MQTT topic semantics.
+#[derive(Default)]
+pub struct InprocBus {
+    sink: RwLock<Option<crate::broker::PublishSink>>,
+    subs: RwLock<Vec<Subscription>>,
+    next_id: AtomicU64,
+    /// PUBLISH count, mirroring [`crate::broker::BrokerStats::publishes`].
+    pub publishes: AtomicU64,
+    /// Total payload bytes published.
+    pub publish_bytes: AtomicU64,
+}
+
+impl InprocBus {
+    /// Create an empty bus.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Install the broker-side sink that receives *every* publish
+    /// (the Collect Agent's storage writer).
+    pub fn set_sink(&self, sink: crate::broker::PublishSink) {
+        *self.sink.write() = Some(sink);
+    }
+
+    /// Register a wildcard subscription; returns an id for unsubscribing.
+    pub fn subscribe(&self, filter: &str, callback: InprocCallback) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subs.write().push(Subscription { id, filter: filter.to_string(), callback });
+        id
+    }
+
+    /// Remove a subscription by id; returns whether it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut subs = self.subs.write();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        subs.len() != before
+    }
+
+    /// Publish a message to the bus.
+    pub fn publish(&self, topic: &str, payload: &Bytes, qos: QoS) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.publish_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink(topic, payload, qos);
+        }
+        let subs = self.subs.read();
+        for s in subs.iter() {
+            if filter_matches(&s.filter, topic) {
+                (s.callback)(topic, payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sink_sees_everything() {
+        let bus = InprocBus::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        bus.set_sink(Arc::new(move |_t, _p, _q| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        for i in 0..10 {
+            bus.publish(&format!("/a/{i}"), &Bytes::from_static(b"x"), QoS::AtMostOnce);
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        assert_eq!(bus.publishes.load(Ordering::Relaxed), 10);
+        assert_eq!(bus.publish_bytes.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn subscriptions_filter() {
+        let bus = InprocBus::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        let id = bus.subscribe(
+            "/a/#",
+            Arc::new(move |_t, _p| {
+                h2.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        bus.publish("/a/x", &Bytes::new(), QoS::AtMostOnce);
+        bus.publish("/b/x", &Bytes::new(), QoS::AtMostOnce);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(bus.unsubscribe(id));
+        assert!(!bus.unsubscribe(id));
+        bus.publish("/a/y", &Bytes::new(), QoS::AtMostOnce);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dcdb-mqtt
+//!
+//! A self-contained MQTT 3.1.1 implementation: the transport layer between
+//! DCDB Pushers and Collect Agents (paper §3.1).  MQTT was chosen by the
+//! paper because it is lightweight, telemetry-oriented and widely supported;
+//! this crate reproduces the protocol surface the framework relies on:
+//!
+//! * [`codec`] — wire format for all fourteen 3.1.1 control packets,
+//! * [`topic`] — topic filters with `+`/`#` wildcard matching,
+//! * [`broker`] — a threaded TCP broker.  Like DCDB's Collect Agent it is
+//!   *publish-only by default*: subscriptions can be disabled entirely so no
+//!   topic-filtering overhead is paid (paper §4.2), with an in-process sink
+//!   callback receiving every publish instead,
+//! * [`client`] — a blocking client with QoS 0/1 publish, keep-alive and
+//!   automatic reconnect,
+//! * [`inproc`] — an in-process transport used by the simulation harness so
+//!   millions of messages per second can be pushed without kernel sockets.
+
+pub mod broker;
+pub mod client;
+pub mod codec;
+pub mod inproc;
+pub mod payload;
+pub mod topic;
+
+pub use broker::{Broker, BrokerConfig, BrokerStats, PublishSink};
+pub use client::{Client, ClientConfig, ClientError};
+pub use codec::{decode_packet, encode_packet, ConnectReturnCode, Packet, QoS};
+pub use topic::{filter_matches, is_valid_filter};

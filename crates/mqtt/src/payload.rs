@@ -1,0 +1,73 @@
+//! The sensor-reading payload format used on top of MQTT.
+//!
+//! Pushers publish each sensor's readings under the sensor's topic; the
+//! payload is one or more `(timestamp, value)` records — more than one when
+//! the Pusher accumulates readings and sends in bursts (paper §6.2.1 studies
+//! bursty vs. continuous sending).  Records are fixed-width little-endian:
+//! `i64` nanosecond timestamp followed by `f64` value, 16 bytes per reading.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Size of one encoded reading.
+pub const RECORD_SIZE: usize = 16;
+
+/// Encode readings into a payload.
+pub fn encode_readings(readings: &[(i64, f64)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(readings.len() * RECORD_SIZE);
+    for &(ts, value) in readings {
+        buf.put_i64_le(ts);
+        buf.put_f64_le(value);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload into readings.
+///
+/// Returns `None` when the payload length is not a multiple of
+/// [`RECORD_SIZE`] (malformed).
+pub fn decode_readings(payload: &[u8]) -> Option<Vec<(i64, f64)>> {
+    if !payload.len().is_multiple_of(RECORD_SIZE) {
+        return None;
+    }
+    let mut buf = payload;
+    let mut out = Vec::with_capacity(payload.len() / RECORD_SIZE);
+    while buf.has_remaining() {
+        let ts = buf.get_i64_le();
+        let value = buf.get_f64_le();
+        out.push((ts, value));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let payload = encode_readings(&[(1_000_000_000, 240.5)]);
+        assert_eq!(payload.len(), RECORD_SIZE);
+        assert_eq!(decode_readings(&payload).unwrap(), vec![(1_000_000_000, 240.5)]);
+    }
+
+    #[test]
+    fn roundtrip_burst() {
+        let readings: Vec<(i64, f64)> = (0..120).map(|i| (i * 1_000, i as f64 * 0.1)).collect();
+        let payload = encode_readings(&readings);
+        assert_eq!(payload.len(), 120 * RECORD_SIZE);
+        assert_eq!(decode_readings(&payload).unwrap(), readings);
+    }
+
+    #[test]
+    fn rejects_torn_payload() {
+        assert!(decode_readings(&[0u8; 15]).is_none());
+        assert!(decode_readings(&[0u8; 17]).is_none());
+        assert_eq!(decode_readings(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let vals = vec![(0i64, f64::MAX), (1, f64::MIN_POSITIVE), (2, -0.0), (i64::MAX, 1e-300)];
+        assert_eq!(decode_readings(&encode_readings(&vals)).unwrap(), vals);
+    }
+}

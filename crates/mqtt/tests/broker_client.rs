@@ -1,0 +1,141 @@
+//! End-to-end tests: real TCP broker + client.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use dcdb_mqtt::{Broker, BrokerConfig, Client, ClientConfig, QoS};
+
+fn start_broker(allow_subscribe: bool) -> (Broker, Arc<AtomicUsize>) {
+    let received = Arc::new(AtomicUsize::new(0));
+    let r2 = Arc::clone(&received);
+    let sink: dcdb_mqtt::PublishSink = Arc::new(move |_t, _p, _q| {
+        r2.fetch_add(1, Ordering::Relaxed);
+    });
+    let broker = Broker::start(
+        BrokerConfig { allow_subscribe, ..BrokerConfig::default() },
+        Some(sink),
+    )
+    .expect("broker start");
+    (broker, received)
+}
+
+#[test]
+fn qos0_publish_reaches_sink() {
+    let (broker, received) = start_broker(false);
+    let client =
+        Client::connect(ClientConfig::new(broker.local_addr(), "test-0")).expect("connect");
+    for i in 0..50 {
+        client.publish_qos0(&format!("/t/{i}"), b"payload").unwrap();
+    }
+    // QoS0 is fire-and-forget; wait for broker to drain.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while received.load(Ordering::Relaxed) < 50 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(received.load(Ordering::Relaxed), 50);
+    assert_eq!(broker.stats().publishes.load(Ordering::Relaxed), 50);
+    client.disconnect();
+}
+
+#[test]
+fn qos1_publish_is_acked() {
+    let (broker, received) = start_broker(false);
+    let client =
+        Client::connect(ClientConfig::new(broker.local_addr(), "test-1")).expect("connect");
+    for i in 0..20 {
+        client.publish_qos1(&format!("/q1/{i}"), &i.to_string().into_bytes()).unwrap();
+    }
+    // QoS1 waits for PUBACK, so the sink must have seen every message already.
+    assert_eq!(received.load(Ordering::Relaxed), 20);
+    client.disconnect();
+}
+
+#[test]
+fn many_concurrent_publishers() {
+    let (broker, received) = start_broker(false);
+    let addr = broker.local_addr();
+    let mut handles = Vec::new();
+    for p in 0..8 {
+        handles.push(std::thread::spawn(move || {
+            let client =
+                Client::connect(ClientConfig::new(addr, format!("pusher-{p}"))).expect("connect");
+            for i in 0..100 {
+                client.publish_qos0(&format!("/host{p}/s{i}"), b"1234567890123456").unwrap();
+            }
+            client.disconnect();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while received.load(Ordering::Relaxed) < 800 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(received.load(Ordering::Relaxed), 800);
+    assert_eq!(broker.stats().publish_bytes.load(Ordering::Relaxed), 800 * 16);
+}
+
+#[test]
+fn publish_only_broker_rejects_subscriptions() {
+    let (broker, _received) = start_broker(false);
+    let client =
+        Client::connect(ClientConfig::new(broker.local_addr(), "sub-reject")).expect("connect");
+    // Subscribe succeeds at the transport level; broker answers 0x80 per filter.
+    client.subscribe(&[("/a/#", QoS::AtMostOnce)]).unwrap();
+    // Messages published by another client must not be forwarded.
+    let publisher =
+        Client::connect(ClientConfig::new(broker.local_addr(), "pub")).expect("connect");
+    let got = Arc::new(AtomicUsize::new(0));
+    let g2 = Arc::clone(&got);
+    client.on_message(Arc::new(move |_t, _p| {
+        g2.fetch_add(1, Ordering::Relaxed);
+    }));
+    publisher.publish_qos1("/a/x", b"data").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(got.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn subscribe_enabled_broker_forwards() {
+    let (broker, _received) = start_broker(true);
+    let subscriber =
+        Client::connect(ClientConfig::new(broker.local_addr(), "sub")).expect("connect");
+    let got = Arc::new(AtomicUsize::new(0));
+    let payloads = Arc::new(parking_lot::Mutex::new(Vec::<Bytes>::new()));
+    let g2 = Arc::clone(&got);
+    let p2 = Arc::clone(&payloads);
+    subscriber.on_message(Arc::new(move |_t, p| {
+        g2.fetch_add(1, Ordering::Relaxed);
+        p2.lock().push(p.clone());
+    }));
+    subscriber.subscribe(&[("/fwd/#", QoS::AtMostOnce)]).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let publisher =
+        Client::connect(ClientConfig::new(broker.local_addr(), "pub2")).expect("connect");
+    publisher.publish_qos1("/fwd/a", b"hello").unwrap();
+    publisher.publish_qos1("/other/a", b"nope").unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while got.load(Ordering::Relaxed) < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(got.load(Ordering::Relaxed), 1);
+    assert_eq!(payloads.lock()[0], Bytes::from_static(b"hello"));
+    assert_eq!(broker.stats().forwarded.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn ping_keeps_connection() {
+    let (broker, _r) = start_broker(false);
+    let client =
+        Client::connect(ClientConfig::new(broker.local_addr(), "pinger")).expect("connect");
+    for _ in 0..3 {
+        client.ping().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    client.publish_qos1("/after/ping", b"ok").unwrap();
+}

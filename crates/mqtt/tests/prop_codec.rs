@@ -1,0 +1,101 @@
+//! Property tests: the codec round-trips arbitrary packets and never panics
+//! on arbitrary input bytes.
+
+use bytes::{Bytes, BytesMut};
+use dcdb_mqtt::codec::{decode_packet, encode_packet, Packet, QoS};
+use proptest::prelude::*;
+
+fn qos_strategy() -> impl Strategy<Value = QoS> {
+    prop_oneof![Just(QoS::AtMostOnce), Just(QoS::AtLeastOnce), Just(QoS::ExactlyOnce)]
+}
+
+fn topic_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9/_]{1,60}"
+}
+
+fn publish_strategy() -> impl Strategy<Value = Packet> {
+    (
+        topic_strategy(),
+        prop::collection::vec(any::<u8>(), 0..512),
+        qos_strategy(),
+        any::<bool>(),
+        any::<bool>(),
+        1u16..u16::MAX,
+    )
+        .prop_map(|(topic, payload, qos, retain, dup, pid)| Packet::Publish {
+            topic,
+            payload: Bytes::from(payload),
+            qos,
+            retain,
+            dup,
+            pid: if qos == QoS::AtMostOnce { None } else { Some(pid) },
+        })
+}
+
+fn packet_strategy() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        publish_strategy(),
+        any::<u16>().prop_map(|pid| Packet::Puback { pid }),
+        any::<u16>().prop_map(|pid| Packet::Pubrec { pid }),
+        any::<u16>().prop_map(|pid| Packet::Pubrel { pid }),
+        any::<u16>().prop_map(|pid| Packet::Pubcomp { pid }),
+        any::<u16>().prop_map(|pid| Packet::Unsuback { pid }),
+        Just(Packet::Pingreq),
+        Just(Packet::Pingresp),
+        Just(Packet::Disconnect),
+        (any::<u16>(), prop::collection::vec((topic_strategy(), qos_strategy()), 1..5))
+            .prop_map(|(pid, filters)| Packet::Subscribe { pid, filters }),
+        (any::<u16>(), prop::collection::vec(topic_strategy(), 1..5))
+            .prop_map(|(pid, filters)| Packet::Unsubscribe { pid, filters }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(pkt in packet_strategy()) {
+        let mut buf = BytesMut::new();
+        encode_packet(&pkt, &mut buf).unwrap();
+        let decoded = decode_packet(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, pkt);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = BytesMut::from(&data[..]);
+        // Decode until error or exhaustion; must never panic.
+        while let Ok(Some(_)) = decode_packet(&mut buf) {}
+    }
+
+    #[test]
+    fn split_stream_reassembles(pkts in prop::collection::vec(publish_strategy(), 1..8),
+                                cut in any::<prop::sample::Index>()) {
+        let mut full = BytesMut::new();
+        for p in &pkts {
+            encode_packet(p, &mut full).unwrap();
+        }
+        let cut_at = cut.index(full.len().max(1));
+        let (a, b) = full.split_at(cut_at);
+        let mut buf = BytesMut::from(a);
+        let mut decoded = Vec::new();
+        while let Ok(Some(p)) = decode_packet(&mut buf) {
+            decoded.push(p);
+        }
+        buf.extend_from_slice(b);
+        while let Ok(Some(p)) = decode_packet(&mut buf) {
+            decoded.push(p);
+        }
+        prop_assert_eq!(decoded, pkts);
+    }
+
+    #[test]
+    fn filter_matching_consistent_with_manual(topic in "[a-z]{1,5}(/[a-z]{1,5}){0,4}") {
+        // '#' matches everything
+        prop_assert!(dcdb_mqtt::filter_matches("#", &topic));
+        // exact filter matches itself
+        prop_assert!(dcdb_mqtt::filter_matches(&topic, &topic));
+        // one-level-deeper filter never matches
+        let deeper = format!("{topic}/zzz");
+        prop_assert!(!dcdb_mqtt::filter_matches(&deeper, &topic));
+    }
+}

@@ -1,0 +1,163 @@
+//! The sensor cache.
+//!
+//! Every Pusher (and Collect Agent) keeps the latest readings of all sensors
+//! in a cache "configurable in size" by a time window, so other processes
+//! can read all kinds of sensors from user space via the REST API without
+//! touching the sensor protocols (paper §5.3).  The production configuration
+//! uses a two-minute window.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::RwLock;
+
+/// One cached reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedReading {
+    /// Timestamp, ns.
+    pub ts: i64,
+    /// Value after scaling/delta.
+    pub value: f64,
+}
+
+#[derive(Debug, Default)]
+struct SensorSlot {
+    readings: VecDeque<CachedReading>,
+}
+
+/// A windowed per-sensor cache.
+pub struct SensorCache {
+    window_ns: i64,
+    slots: RwLock<HashMap<String, SensorSlot>>,
+}
+
+impl SensorCache {
+    /// A cache keeping `window_ns` of history per sensor.
+    pub fn new(window_ns: i64) -> SensorCache {
+        assert!(window_ns > 0);
+        SensorCache { window_ns, slots: RwLock::new(HashMap::new()) }
+    }
+
+    /// Insert a reading for `topic`, evicting entries older than the window.
+    pub fn insert(&self, topic: &str, ts: i64, value: f64) {
+        let mut slots = self.slots.write();
+        let slot = slots.entry(topic.to_string()).or_default();
+        slot.readings.push_back(CachedReading { ts, value });
+        let cutoff = ts - self.window_ns;
+        while slot.readings.front().is_some_and(|r| r.ts < cutoff) {
+            slot.readings.pop_front();
+        }
+    }
+
+    /// Latest reading of `topic`.
+    pub fn latest(&self, topic: &str) -> Option<CachedReading> {
+        self.slots.read().get(topic).and_then(|s| s.readings.back().copied())
+    }
+
+    /// All readings of `topic` currently in the window.
+    pub fn window(&self, topic: &str) -> Vec<CachedReading> {
+        self.slots
+            .read()
+            .get(topic)
+            .map(|s| s.readings.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Average over the last `window_ns` of `topic` (REST `/average`).
+    pub fn average(&self, topic: &str, window_ns: i64) -> Option<f64> {
+        let slots = self.slots.read();
+        let slot = slots.get(topic)?;
+        let newest = slot.readings.back()?.ts;
+        let cutoff = newest - window_ns;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in slot.readings.iter().rev() {
+            if r.ts < cutoff {
+                break;
+            }
+            sum += r.value;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// All cached topics, sorted.
+    pub fn topics(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.slots.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total readings held (for footprint accounting).
+    pub fn total_readings(&self) -> usize {
+        self.slots.read().values().map(|s| s.readings.len()).sum()
+    }
+
+    /// Approximate memory footprint in bytes (entries + key overhead).
+    pub fn approx_bytes(&self) -> usize {
+        let slots = self.slots.read();
+        let entries: usize = slots.values().map(|s| s.readings.len()).sum();
+        let keys: usize = slots.keys().map(|k| k.len() + 48).sum();
+        entries * std::mem::size_of::<CachedReading>() + keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_latest() {
+        let c = SensorCache::new(1_000);
+        c.insert("/a/x", 10, 1.0);
+        c.insert("/a/x", 20, 2.0);
+        assert_eq!(c.latest("/a/x").unwrap().value, 2.0);
+        assert!(c.latest("/a/y").is_none());
+        assert_eq!(c.window("/a/x").len(), 2);
+    }
+
+    #[test]
+    fn window_evicts_old_entries() {
+        let c = SensorCache::new(100);
+        for ts in (0..500).step_by(10) {
+            c.insert("/s", ts, ts as f64);
+        }
+        let w = c.window("/s");
+        assert!(w.first().unwrap().ts >= 490 - 100);
+        assert_eq!(w.last().unwrap().ts, 490);
+        assert!(w.len() <= 11);
+    }
+
+    #[test]
+    fn average_over_subwindow() {
+        let c = SensorCache::new(1_000);
+        for ts in 0..10 {
+            c.insert("/s", ts * 100, ts as f64);
+        }
+        // last 200 ns from newest (900): readings at 700, 800, 900 → avg 8
+        assert_eq!(c.average("/s", 200), Some(8.0));
+        assert_eq!(c.average("/s", 0), Some(9.0));
+        assert!(c.average("/nope", 100).is_none());
+    }
+
+    #[test]
+    fn topics_sorted() {
+        let c = SensorCache::new(100);
+        c.insert("/b", 1, 0.0);
+        c.insert("/a", 1, 0.0);
+        assert_eq!(c.topics(), vec!["/a".to_string(), "/b".to_string()]);
+        assert_eq!(c.total_readings(), 2);
+        assert!(c.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn footprint_bounded_by_window() {
+        // 100 sensors at 10 ns period with a 1000 ns window → ≤ ~101 each
+        let c = SensorCache::new(1_000);
+        for s in 0..100 {
+            for ts in (0..10_000).step_by(10) {
+                c.insert(&format!("/s{s}"), ts, 0.0);
+            }
+        }
+        assert!(c.total_readings() <= 100 * 102);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dcdb-pusher
+//!
+//! The DCDB Pusher: the component that collects monitoring data, either
+//! in-band on compute nodes or out-of-band on management servers
+//! (paper §3.1, §4.1).  A Pusher comprises:
+//!
+//! * a set of **plugins** performing the actual data acquisition, each
+//!   structured as *Sensors* ⊂ *Groups* ⊂ optional *Entities* and built by a
+//!   *Configurator* from property-tree configuration ([`plugin`], the ten
+//!   implementations live in [`plugins`]),
+//! * a **sensor cache** holding the most recent readings of every sensor,
+//!   sized by a time window, queryable through the REST API ([`cache`]),
+//! * an **MQTT client** pushing readings to the Collect Agent, with
+//!   continuous or bursty send policies ([`mqtt_out`]),
+//! * a **sampling scheduler** that reads groups on an interval grid aligned
+//!   across plugins and Pushers — NTP-style synchronisation keeps parallel
+//!   applications interrupted at the same time ([`scheduler`]),
+//! * an **HTTP server** exposing configuration, plugin start/stop/reload and
+//!   the sensor cache RESTfully ([`rest`]).
+//!
+//! The scheduler runs in two modes: real threads against the wall clock
+//! (production / examples) and a virtual-time loop driven by
+//! [`dcdb_sim::SimClock`] (evaluation harness), exercising identical plugin
+//! and cache code.
+
+pub mod cache;
+pub mod mqtt_out;
+pub mod plugin;
+pub mod plugins;
+pub mod rest;
+pub mod scheduler;
+
+pub use cache::SensorCache;
+pub use mqtt_out::{MqttOut, SendPolicy};
+pub use plugin::{Plugin, PluginError, SensorGroup, SensorSpec};
+pub use scheduler::{Pusher, PusherConfig, PusherStats};

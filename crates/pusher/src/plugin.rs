@@ -1,0 +1,191 @@
+//! The plugin interface: Sensors, Groups, Entities, Configurators.
+//!
+//! DCDB plugins consist of up to four logical components (paper §4.1):
+//!
+//! * **Sensor** — the most basic unit, a single indivisible data source
+//!   sampled as a numerical time series,
+//! * **Group** — multiple sensors sharing one sampling interval, always read
+//!   collectively at the same point in time (logically-related sensors such
+//!   as all cache counters of a core),
+//! * **Entity** — an optional level that aggregates groups needing a shared
+//!   resource (e.g. the connection to one remote host),
+//! * **Configurator** — reads the plugin's configuration file and
+//!   instantiates the components.
+
+use std::fmt;
+
+/// Declarative description of one sensor inside a group.
+#[derive(Debug, Clone)]
+pub struct SensorSpec {
+    /// Short name (unique within the group).
+    pub name: String,
+    /// Topic suffix appended to the Pusher's prefix (e.g. `/cpu0/instr`).
+    pub mqtt_suffix: String,
+    /// Unit string stored as sensor metadata (e.g. `W`, `C`, `instr`).
+    pub unit: Option<String>,
+    /// Multiplied into every raw value.
+    pub scale: f64,
+    /// Monotonic-counter semantics: publish per-interval deltas instead of
+    /// raw values (perf counters, energy meters).
+    pub delta: bool,
+}
+
+impl SensorSpec {
+    /// A plain gauge sensor.
+    pub fn gauge(name: impl Into<String>, suffix: impl Into<String>) -> SensorSpec {
+        SensorSpec {
+            name: name.into(),
+            mqtt_suffix: suffix.into(),
+            unit: None,
+            scale: 1.0,
+            delta: false,
+        }
+    }
+
+    /// A monotonic counter sensor (delta on publish).
+    pub fn counter(name: impl Into<String>, suffix: impl Into<String>) -> SensorSpec {
+        SensorSpec { delta: true, ..SensorSpec::gauge(name, suffix) }
+    }
+
+    /// Attach a unit.
+    pub fn with_unit(mut self, unit: impl Into<String>) -> SensorSpec {
+        self.unit = Some(unit.into());
+        self
+    }
+
+    /// Attach a scaling factor.
+    pub fn with_scale(mut self, scale: f64) -> SensorSpec {
+        self.scale = scale;
+        self
+    }
+}
+
+/// A group of sensors sharing a sampling interval.
+#[derive(Debug, Clone)]
+pub struct SensorGroup {
+    /// Group name.
+    pub name: String,
+    /// Sampling interval in milliseconds.
+    pub interval_ms: u64,
+    /// Sensors read collectively.
+    pub sensors: Vec<SensorSpec>,
+    /// Entity this group communicates through, if any (index into the
+    /// plugin's entity table).
+    pub entity: Option<usize>,
+}
+
+impl SensorGroup {
+    /// A group with the given interval.
+    pub fn new(name: impl Into<String>, interval_ms: u64) -> SensorGroup {
+        SensorGroup { name: name.into(), interval_ms, sensors: Vec::new(), entity: None }
+    }
+
+    /// Builder: add a sensor.
+    pub fn sensor(mut self, spec: SensorSpec) -> SensorGroup {
+        self.sensors.push(spec);
+        self
+    }
+
+    /// Builder: attach to an entity.
+    pub fn with_entity(mut self, entity: usize) -> SensorGroup {
+        self.entity = Some(entity);
+        self
+    }
+}
+
+/// Plugin-level failures.
+#[derive(Debug, Clone)]
+pub enum PluginError {
+    /// Configuration was invalid.
+    Config(String),
+    /// The data source is unreachable or returned garbage.
+    Source(String),
+}
+
+impl fmt::Display for PluginError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PluginError::Config(m) => write!(f, "plugin config error: {m}"),
+            PluginError::Source(m) => write!(f, "plugin source error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PluginError {}
+
+/// A data-acquisition plugin.
+///
+/// Implementations declare their groups once (topology is fixed between
+/// reconfigurations) and produce raw values on demand.  Scaling, delta
+/// computation, caching and publishing are handled by the framework — the
+/// plugin only reads its source.
+pub trait Plugin: Send + Sync {
+    /// Plugin name (`procfs`, `perfevents`, ...).
+    fn name(&self) -> &str;
+
+    /// The sensor groups this plugin samples.
+    fn groups(&self) -> &[SensorGroup];
+
+    /// Read all sensors of `group` at time `now_ns`.
+    ///
+    /// Returns `(sensor index, raw value)` pairs; sensors that could not be
+    /// read are simply absent (DCDB tolerates partial reads).
+    fn read_group(&self, group: usize, now_ns: i64) -> Vec<(usize, f64)>;
+
+    /// Entity names, if the plugin uses entities (informational).
+    fn entities(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Total number of sensors across groups.
+    fn sensor_count(&self) -> usize {
+        self.groups().iter().map(|g| g.sensors.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        groups: Vec<SensorGroup>,
+    }
+
+    impl Plugin for Fake {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn groups(&self) -> &[SensorGroup] {
+            &self.groups
+        }
+        fn read_group(&self, group: usize, _now_ns: i64) -> Vec<(usize, f64)> {
+            (0..self.groups[group].sensors.len()).map(|i| (i, i as f64)).collect()
+        }
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = SensorSpec::counter("instr", "/cpu0/instr").with_unit("instr").with_scale(2.0);
+        assert!(s.delta);
+        assert_eq!(s.scale, 2.0);
+        assert_eq!(s.unit.as_deref(), Some("instr"));
+        let g = SensorGroup::new("cpu", 1000).sensor(s).with_entity(0);
+        assert_eq!(g.sensors.len(), 1);
+        assert_eq!(g.entity, Some(0));
+    }
+
+    #[test]
+    fn sensor_count_sums_groups() {
+        let p = Fake {
+            groups: vec![
+                SensorGroup::new("a", 100)
+                    .sensor(SensorSpec::gauge("x", "/x"))
+                    .sensor(SensorSpec::gauge("y", "/y")),
+                SensorGroup::new("b", 200).sensor(SensorSpec::gauge("z", "/z")),
+            ],
+        };
+        assert_eq!(p.sensor_count(), 3);
+        assert_eq!(p.read_group(0, 0).len(), 2);
+        assert!(p.entities().is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! The GPU plugin — the paper's future-work extension (§9): "we plan to
+//! further extend DCDB and develop further plugins in order to support a
+//! broader range of sensors and performance events, such as those deriving
+//! from GPU usage".  Samples NVML-style metrics from each accelerator; one
+//! group per device.
+
+use std::sync::Arc;
+
+use dcdb_sim::devices::gpu::GpuDevice;
+
+use crate::plugin::{Plugin, SensorGroup, SensorSpec};
+
+const METRICS: [(&str, &str); 5] = [
+    ("utilization", "%"),
+    ("memory_used", "MiB"),
+    ("power", "W"),
+    ("temperature", "C"),
+    ("sm_clock", "MHz"),
+];
+
+/// The GPU plugin.
+pub struct GpuPlugin {
+    devices: Vec<Arc<GpuDevice>>,
+    groups: Vec<SensorGroup>,
+}
+
+impl GpuPlugin {
+    /// Monitor `devices` (one group per GPU) every `interval_ms`.
+    pub fn new(devices: Vec<Arc<GpuDevice>>, interval_ms: u64) -> GpuPlugin {
+        let groups = devices
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut g = SensorGroup::new(format!("gpu{i}"), interval_ms);
+                for (name, unit) in METRICS {
+                    g = g.sensor(
+                        SensorSpec::gauge(name, format!("/gpu{i}/{name}")).with_unit(unit),
+                    );
+                }
+                g
+            })
+            .collect();
+        GpuPlugin { devices, groups }
+    }
+}
+
+impl Plugin for GpuPlugin {
+    fn name(&self) -> &str {
+        "gpu"
+    }
+
+    fn groups(&self) -> &[SensorGroup] {
+        &self.groups
+    }
+
+    fn read_group(&self, group: usize, _now_ns: i64) -> Vec<(usize, f64)> {
+        let m = self.devices[group].read_metrics();
+        vec![
+            (0, m.utilization_percent),
+            (1, m.memory_used_mib),
+            (2, m.power_w),
+            (3, m.temperature_c),
+            (4, m.sm_clock_mhz),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_group_per_device() {
+        let plugin =
+            GpuPlugin::new(vec![Arc::new(GpuDevice::new()), Arc::new(GpuDevice::new())], 1000);
+        assert_eq!(plugin.groups().len(), 2);
+        assert_eq!(plugin.sensor_count(), 10);
+        assert_eq!(plugin.groups()[1].sensors[2].unit.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn reads_track_device_state() {
+        let gpu = Arc::new(GpuDevice::new());
+        let plugin = GpuPlugin::new(vec![Arc::clone(&gpu)], 1000);
+        let idle = plugin.read_group(0, 0);
+        assert_eq!(idle[0].1, 0.0);
+        for _ in 0..60 {
+            gpu.advance(1.0, 0.9);
+        }
+        let busy = plugin.read_group(0, 0);
+        assert_eq!(busy[0].1, 90.0);
+        assert!(busy[2].1 > idle[2].1, "power rose under load");
+    }
+}

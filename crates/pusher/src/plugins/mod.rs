@@ -1,0 +1,35 @@
+//! The ten data-acquisition plugins shipped with DCDB (paper §3.1):
+//! in-band application metrics ([`perfevents`]), server-side metrics
+//! ([`procfs`], [`sysfs`]), I/O metrics ([`gpfs`], [`opa`]), out-of-band IT
+//! sensors ([`ipmi`], [`snmp`]), RESTful APIs ([`rest`]), building management
+//! ([`bacnet`]), and the synthetic [`tester`] used to isolate the Pusher
+//! core's overhead in the evaluation (§6.2) — plus the [`gpu`] plugin the
+//! paper names as future work (§9).
+//!
+//! Each plugin reads through the corresponding `dcdb-sim` device interface —
+//! the procfs/sysfs plugins also accept [`dcdb_sim::devices::HostFs`] so the
+//! examples can monitor the real machine.
+
+pub mod bacnet;
+pub mod gpfs;
+pub mod gpu;
+pub mod ipmi;
+pub mod opa;
+pub mod perfevents;
+pub mod procfs;
+pub mod rest;
+pub mod snmp;
+pub mod sysfs;
+pub mod tester;
+
+pub use bacnet::BacnetPlugin;
+pub use gpfs::GpfsPlugin;
+pub use gpu::GpuPlugin;
+pub use ipmi::IpmiPlugin;
+pub use opa::OpaPlugin;
+pub use perfevents::PerfeventsPlugin;
+pub use procfs::ProcFsPlugin;
+pub use rest::RestPlugin;
+pub use snmp::SnmpPlugin;
+pub use sysfs::SysFsPlugin;
+pub use tester::TesterPlugin;

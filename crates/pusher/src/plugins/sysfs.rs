@@ -1,0 +1,129 @@
+//! The SysFS plugin: samples sysfs value files (hwmon temperatures, RAPL
+//! energy counters) — "various temperature and energy sensors" in the
+//! production configurations (paper §6.2.1).  Each sysfs file holds one
+//! integer; energy counters are published as deltas.
+
+use std::sync::Arc;
+
+use dcdb_sim::devices::TextFileSource;
+
+use crate::plugin::{Plugin, SensorGroup, SensorSpec};
+
+/// The SysFS plugin.
+pub struct SysFsPlugin {
+    source: Arc<dyn TextFileSource>,
+    groups: Vec<SensorGroup>,
+    /// Paths backing each sensor of the single group.
+    paths: Vec<String>,
+}
+
+impl SysFsPlugin {
+    /// Sample the given `(path, sensor name)` pairs every `interval_ms`.
+    /// Energy counters (paths containing `energy`) are delta sensors scaled
+    /// to joules; temperatures (paths containing `temp`) are scaled from
+    /// millidegrees to °C.
+    pub fn new(
+        source: Arc<dyn TextFileSource>,
+        files: &[(String, String)],
+        interval_ms: u64,
+    ) -> SysFsPlugin {
+        let mut group = SensorGroup::new("sysfs", interval_ms);
+        let mut paths = Vec::new();
+        for (path, name) in files {
+            let spec = if path.contains("energy") {
+                SensorSpec::counter(name.clone(), format!("/sysfs/{name}"))
+                    .with_unit("J")
+                    .with_scale(1e-6)
+            } else if path.contains("temp") {
+                SensorSpec::gauge(name.clone(), format!("/sysfs/{name}"))
+                    .with_unit("C")
+                    .with_scale(1e-3)
+            } else {
+                SensorSpec::gauge(name.clone(), format!("/sysfs/{name}"))
+            };
+            group = group.sensor(spec);
+            paths.push(path.clone());
+        }
+        SysFsPlugin { source, groups: vec![group], paths }
+    }
+
+    /// Standard set for a simulated node: all paths its sysfs exposes.
+    pub fn for_sim_node(
+        source: Arc<dcdb_sim::devices::sysfs::SimSysFs>,
+        interval_ms: u64,
+    ) -> SysFsPlugin {
+        let files: Vec<(String, String)> = source
+            .paths()
+            .into_iter()
+            .map(|p| {
+                let name = p.rsplit('/').take(2).collect::<Vec<_>>().join("_");
+                (p, name)
+            })
+            .collect();
+        SysFsPlugin::new(source, &files, interval_ms)
+    }
+}
+
+impl Plugin for SysFsPlugin {
+    fn name(&self) -> &str {
+        "sysfs"
+    }
+
+    fn groups(&self) -> &[SensorGroup] {
+        &self.groups
+    }
+
+    fn read_group(&self, _group: usize, _now_ns: i64) -> Vec<(usize, f64)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .filter_map(|(i, path)| {
+                let text = self.source.read_file(path)?;
+                let value: f64 = text.trim().parse().ok()?;
+                Some((i, value))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_sim::devices::sysfs::SimSysFs;
+
+    #[test]
+    fn reads_all_sim_paths() {
+        let fs = Arc::new(SimSysFs::new(2, 4));
+        fs.advance(10.0, 300.0, 0.7);
+        let plugin = SysFsPlugin::for_sim_node(fs, 1000);
+        assert_eq!(plugin.sensor_count(), 6);
+        let readings = plugin.read_group(0, 0);
+        assert_eq!(readings.len(), 6);
+    }
+
+    #[test]
+    fn scaling_and_delta_semantics() {
+        let fs = Arc::new(SimSysFs::new(1, 1));
+        let plugin = SysFsPlugin::for_sim_node(fs, 1000);
+        let specs = &plugin.groups()[0].sensors;
+        let temp = specs.iter().find(|s| s.name.contains("temp")).unwrap();
+        assert_eq!(temp.scale, 1e-3);
+        assert!(!temp.delta);
+        let energy = specs.iter().find(|s| s.name.contains("energy")).unwrap();
+        assert_eq!(energy.scale, 1e-6);
+        assert!(energy.delta);
+    }
+
+    #[test]
+    fn tolerates_unreadable_files() {
+        let fs = Arc::new(SimSysFs::new(1, 1));
+        let files = vec![
+            ("/sys/class/hwmon/hwmon0/temp1_input".to_string(), "t1".to_string()),
+            ("/sys/missing".to_string(), "gone".to_string()),
+        ];
+        let plugin = SysFsPlugin::new(fs, &files, 1000);
+        let readings = plugin.read_group(0, 0);
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].0, 0);
+    }
+}

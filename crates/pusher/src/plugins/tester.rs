@@ -1,0 +1,100 @@
+//! The tester plugin.
+//!
+//! Generates "an arbitrary number of sensors with negligible overhead",
+//! isolating the cost of the Pusher core (sampling loop, cache, MQTT) from
+//! the monitoring backends — the paper's `core` configurations in §6.2 use
+//! exactly this.  Values are a deterministic ramp so tests can assert them.
+
+use dcdb_config::Node;
+
+use crate::plugin::{Plugin, PluginError, SensorGroup, SensorSpec};
+
+/// The tester plugin.
+pub struct TesterPlugin {
+    groups: Vec<SensorGroup>,
+}
+
+impl TesterPlugin {
+    /// `sensors` synthetic sensors sampled every `interval_ms`.
+    pub fn new(sensors: usize, interval_ms: u64) -> TesterPlugin {
+        let mut group = SensorGroup::new("tester", interval_ms);
+        for i in 0..sensors {
+            group = group.sensor(SensorSpec::gauge(format!("t{i}"), format!("/tester/t{i}")));
+        }
+        TesterPlugin { groups: vec![group] }
+    }
+
+    /// Configurator: reads `sensors` and `interval` from a config block:
+    ///
+    /// ```text
+    /// plugin tester {
+    ///     sensors  1000
+    ///     interval 100
+    /// }
+    /// ```
+    pub fn from_config(cfg: &Node) -> Result<TesterPlugin, PluginError> {
+        let sensors = cfg
+            .get_u64("sensors")
+            .map_err(|e| PluginError::Config(e.to_string()))? as usize;
+        let interval = cfg.get_u64_or("interval", 1000);
+        if sensors == 0 {
+            return Err(PluginError::Config("tester needs at least one sensor".into()));
+        }
+        Ok(TesterPlugin::new(sensors, interval))
+    }
+}
+
+impl Plugin for TesterPlugin {
+    fn name(&self) -> &str {
+        "tester"
+    }
+
+    fn groups(&self) -> &[SensorGroup] {
+        &self.groups
+    }
+
+    fn read_group(&self, group: usize, now_ns: i64) -> Vec<(usize, f64)> {
+        let n = self.groups[group].sensors.len();
+        // deterministic ramp: value = seconds + sensor index / 1000
+        let base = now_ns as f64 / 1e9;
+        (0..n).map(|i| (i, base + i as f64 * 1e-3)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sensor_count() {
+        let p = TesterPlugin::new(500, 100);
+        assert_eq!(p.sensor_count(), 500);
+        assert_eq!(p.read_group(0, 2_000_000_000).len(), 500);
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        let p = TesterPlugin::new(3, 100);
+        let a = p.read_group(0, 1_000_000_000);
+        let b = p.read_group(0, 1_000_000_000);
+        assert_eq!(a, b);
+        assert_eq!(a[0].1, 1.0);
+        assert!((a[2].1 - 1.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configurator_parses() {
+        let cfg = dcdb_config::from_str("sensors 42\ninterval 250\n").unwrap();
+        let p = TesterPlugin::from_config(&cfg).unwrap();
+        assert_eq!(p.sensor_count(), 42);
+        assert_eq!(p.groups()[0].interval_ms, 250);
+    }
+
+    #[test]
+    fn configurator_rejects_bad_config() {
+        let cfg = dcdb_config::from_str("interval 250\n").unwrap();
+        assert!(TesterPlugin::from_config(&cfg).is_err());
+        let cfg = dcdb_config::from_str("sensors 0\n").unwrap();
+        assert!(TesterPlugin::from_config(&cfg).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! The Pusher's RESTful API (paper §5.3).
+//!
+//! Endpoints:
+//!
+//! * `GET /plugins` — list plugins and their state,
+//! * `GET /sensors` — list cached sensor topics,
+//! * `PUT /plugins/:name/start` / `PUT /plugins/:name/stop` — control a
+//!   plugin at runtime (e.g. to avoid conflicts with user software reading
+//!   the same source),
+//! * `GET /cache/*topic` — the recent readings of one sensor,
+//! * `GET /average/*topic?window=NS` — windowed average of one sensor,
+//! * `GET /config` — the Pusher's global configuration.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dcdb_http::json::Json;
+use dcdb_http::server::{HttpServer, Method, Response, StatusCode};
+use dcdb_http::Router;
+
+use crate::plugin::{Plugin, PluginError};
+use crate::scheduler::Pusher;
+
+/// Factory rebuilding a plugin from a configuration block (used by the
+/// `reload` endpoint).
+pub type PluginFactory =
+    Arc<dyn Fn(&dcdb_config::Node) -> Result<Box<dyn Plugin>, PluginError> + Send + Sync>;
+
+/// The default factory set: plugins that are fully config-constructible.
+pub fn default_factories() -> HashMap<String, PluginFactory> {
+    let mut m: HashMap<String, PluginFactory> = HashMap::new();
+    m.insert(
+        "tester".to_string(),
+        Arc::new(|cfg| {
+            crate::plugins::TesterPlugin::from_config(cfg)
+                .map(|p| Box::new(p) as Box<dyn Plugin>)
+        }),
+    );
+    m
+}
+
+/// Build the REST router for a Pusher.
+pub fn router(pusher: Arc<Pusher>) -> Router {
+    router_with_factories(pusher, default_factories())
+}
+
+/// Build the router with an explicit plugin-factory set for `reload`.
+pub fn router_with_factories(
+    pusher: Arc<Pusher>,
+    factories: HashMap<String, PluginFactory>,
+) -> Router {
+    let mut r = Router::new();
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Put, "/plugins/:name/reload", move |req| {
+        let name = req.param("name").unwrap_or("").to_string();
+        let Some(factory) = factories.get(&name) else {
+            return Response::error(
+                StatusCode::NotFound,
+                "no reload factory registered for this plugin",
+            );
+        };
+        let text = String::from_utf8_lossy(&req.body);
+        let cfg = match dcdb_config::from_str(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => return Response::error(StatusCode::BadRequest, &e.to_string()),
+        };
+        match factory(&cfg) {
+            Ok(plugin) => {
+                if p.replace_plugin(&name, plugin) {
+                    Response::json(&Json::obj([
+                        ("plugin", Json::str(name)),
+                        ("reloaded", Json::Bool(true)),
+                        ("sensors", Json::Num(p.sensor_count() as f64)),
+                    ]))
+                } else {
+                    Response::error(StatusCode::NotFound, "no such plugin")
+                }
+            }
+            Err(e) => Response::error(StatusCode::BadRequest, &e.to_string()),
+        }
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Get, "/plugins", move |_req| {
+        let list: Vec<Json> = p
+            .plugin_names()
+            .into_iter()
+            .map(|name| {
+                let enabled = p.plugin_enabled(&name).unwrap_or(false);
+                Json::obj([("name", Json::str(name)), ("running", Json::Bool(enabled))])
+            })
+            .collect();
+        Response::json(&Json::Arr(list))
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Get, "/sensors", move |_req| {
+        let topics: Vec<Json> = p.cache().topics().into_iter().map(Json::Str).collect();
+        Response::json(&Json::Arr(topics))
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Put, "/plugins/:name/start", move |req| {
+        plugin_toggle(&p, req.param("name").unwrap_or(""), true)
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Put, "/plugins/:name/stop", move |req| {
+        plugin_toggle(&p, req.param("name").unwrap_or(""), false)
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Get, "/cache/*topic", move |req| {
+        let topic = format!("/{}", req.param("topic").unwrap_or(""));
+        let readings = p.cache().window(&topic);
+        if readings.is_empty() {
+            return Response::error(StatusCode::NotFound, "unknown sensor or empty cache");
+        }
+        let arr: Vec<Json> = readings
+            .iter()
+            .map(|r| {
+                Json::obj([("ts", Json::Num(r.ts as f64)), ("value", Json::Num(r.value))])
+            })
+            .collect();
+        Response::json(&Json::obj([("topic", Json::str(topic)), ("readings", Json::Arr(arr))]))
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Get, "/average/*topic", move |req| {
+        let topic = format!("/{}", req.param("topic").unwrap_or(""));
+        let window: i64 = req
+            .query_param("window")
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(60_000_000_000);
+        match p.cache().average(&topic, window) {
+            Some(avg) => Response::json(&Json::obj([
+                ("topic", Json::str(topic)),
+                ("window_ns", Json::Num(window as f64)),
+                ("average", Json::Num(avg)),
+            ])),
+            None => Response::error(StatusCode::NotFound, "unknown sensor or empty cache"),
+        }
+    });
+
+    let p = Arc::clone(&pusher);
+    r.add(Method::Get, "/config", move |_req| {
+        let cfg = p.config();
+        Response::json(&Json::obj([
+            ("prefix", Json::str(cfg.prefix.clone())),
+            ("cacheWindowNs", Json::Num(cfg.cache_window_ns as f64)),
+            ("samplingThreads", Json::Num(cfg.sampling_threads as f64)),
+            ("sensors", Json::Num(p.sensor_count() as f64)),
+        ]))
+    });
+
+    r
+}
+
+fn plugin_toggle(pusher: &Pusher, name: &str, enable: bool) -> Response {
+    if pusher.set_plugin_enabled(name, enable) {
+        Response::json(&Json::obj([
+            ("plugin", Json::str(name)),
+            ("running", Json::Bool(enable)),
+        ]))
+    } else {
+        Response::error(StatusCode::NotFound, "no such plugin")
+    }
+}
+
+/// Start the REST server for `pusher` on `bind`.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(pusher: Arc<Pusher>, bind: SocketAddr) -> std::io::Result<HttpServer> {
+    HttpServer::start(bind, router(pusher).into_handler())
+}

@@ -1,0 +1,169 @@
+//! Property tests for the Pusher scheduler and sensor cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcdb_pusher::cache::SensorCache;
+use dcdb_pusher::mqtt_out::{MqttBackend, MqttOut, SendPolicy};
+use dcdb_pusher::plugin::{Plugin, SensorGroup, SensorSpec};
+use dcdb_pusher::scheduler::{Pusher, PusherConfig};
+use proptest::prelude::*;
+
+struct Synthetic {
+    groups: Vec<SensorGroup>,
+}
+
+impl Plugin for Synthetic {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+    fn groups(&self) -> &[SensorGroup] {
+        &self.groups
+    }
+    fn read_group(&self, group: usize, now_ns: i64) -> Vec<(usize, f64)> {
+        (0..self.groups[group].sensors.len()).map(|i| (i, now_ns as f64 + i as f64)).collect()
+    }
+}
+
+fn plugin(groups: &[(usize, u64)]) -> Box<Synthetic> {
+    let groups = groups
+        .iter()
+        .enumerate()
+        .map(|(gi, &(sensors, interval))| {
+            let mut g = SensorGroup::new(format!("g{gi}"), interval);
+            for i in 0..sensors {
+                g = g.sensor(SensorSpec::gauge(format!("s{i}"), format!("/g{gi}/s{i}")));
+            }
+            g
+        })
+        .collect();
+    Box::new(Synthetic { groups })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reading_count_matches_schedule(
+        groups in prop::collection::vec((1usize..8, 50u64..2000), 1..4),
+        horizon_ms in 100i64..5000,
+    ) {
+        let p = Pusher::new(
+            PusherConfig::default(),
+            MqttOut::new(MqttBackend::Null, SendPolicy::Continuous),
+        );
+        p.add_plugin(plugin(&groups));
+        let produced = p.run_virtual(horizon_ms * 1_000_000);
+        // each group reads at 0, interval, 2·interval, ... ≤ horizon
+        let expected: usize = groups
+            .iter()
+            .map(|&(sensors, interval)| {
+                let rounds = (horizon_ms as u64 / interval) as usize + 1;
+                sensors * rounds
+            })
+            .sum();
+        prop_assert_eq!(produced, expected);
+    }
+
+    #[test]
+    fn virtual_run_is_deterministic(
+        groups in prop::collection::vec((1usize..5, 100u64..1500), 1..3),
+    ) {
+        let run = || {
+            let log = Arc::new(AtomicU64::new(0));
+            let l2 = Arc::clone(&log);
+            let out = MqttOut::new(
+                MqttBackend::Callback(Arc::new(move |topic, payload| {
+                    // fold topic + payload into a checksum
+                    let mut h = 0u64;
+                    for b in topic.bytes().chain(payload.iter().copied()) {
+                        h = h.wrapping_mul(31).wrapping_add(b as u64);
+                    }
+                    l2.fetch_add(h, Ordering::Relaxed);
+                })),
+                SendPolicy::Continuous,
+            );
+            let p = Pusher::new(PusherConfig::default(), out);
+            p.add_plugin(plugin(&groups));
+            p.run_virtual(2_000_000_000);
+            log.load(Ordering::Relaxed)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn incremental_equals_batch_run(
+        sensors in 1usize..6, interval in 100u64..900, steps in 2usize..10,
+    ) {
+        // driving sample_due step by step produces the same count as one
+        // run_virtual over the whole horizon
+        let horizon = steps as i64 * 500_000_000;
+        let batch = {
+            let p = Pusher::new(
+                PusherConfig::default(),
+                MqttOut::new(MqttBackend::Null, SendPolicy::Continuous),
+            );
+            p.add_plugin(plugin(&[(sensors, interval)]));
+            p.run_virtual(horizon)
+        };
+        let incremental = {
+            let p = Pusher::new(
+                PusherConfig::default(),
+                MqttOut::new(MqttBackend::Null, SendPolicy::Continuous),
+            );
+            p.add_plugin(plugin(&[(sensors, interval)]));
+            let mut total = 0;
+            for s in 0..=steps {
+                total += p.sample_due(s as i64 * 500_000_000);
+            }
+            total
+        };
+        prop_assert_eq!(batch, incremental);
+    }
+
+    #[test]
+    fn cache_window_invariant(window in 1i64..10_000,
+                              readings in prop::collection::vec((0i64..100_000, -1e3f64..1e3), 1..200)) {
+        let cache = SensorCache::new(window);
+        let mut sorted = readings.clone();
+        sorted.sort_by_key(|r| r.0);
+        for (ts, v) in &sorted {
+            cache.insert("/w/s", *ts, *v);
+        }
+        let w = cache.window("/w/s");
+        let newest = sorted.last().unwrap().0;
+        // everything in the window is within [newest - window, newest]
+        prop_assert!(w.iter().all(|r| r.ts >= newest - window && r.ts <= newest));
+        // the newest reading is always present
+        prop_assert_eq!(cache.latest("/w/s").unwrap().ts, newest);
+    }
+
+    #[test]
+    fn burst_and_continuous_deliver_identical_readings(
+        sensors in 1usize..5, burst_ns in 1_000_000i64..5_000_000_000,
+    ) {
+        use parking_lot::Mutex;
+        let collect = |policy: SendPolicy| {
+            let log: Arc<Mutex<Vec<(String, i64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+            let l2 = Arc::clone(&log);
+            let out = MqttOut::new(
+                MqttBackend::Callback(Arc::new(move |topic, payload| {
+                    for (ts, v) in dcdb_mqtt::payload::decode_readings(payload).unwrap() {
+                        l2.lock().push((topic.to_string(), ts, v.to_bits()));
+                    }
+                })),
+                policy,
+            );
+            let p = Pusher::new(PusherConfig::default(), out);
+            p.add_plugin(plugin(&[(sensors, 250)]));
+            p.run_virtual(2_000_000_000);
+            p.out().flush();
+            let mut v = log.lock().clone();
+            v.sort();
+            v
+        };
+        let continuous = collect(SendPolicy::Continuous);
+        let burst = collect(SendPolicy::Burst { interval_ns: burst_ns });
+        prop_assert_eq!(continuous, burst);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dcdb-sid
+//!
+//! Hierarchical sensor identification for dcdb-rs.
+//!
+//! DCDB associates a unique MQTT topic to each sensor; topics are organised
+//! like filesystem paths and implicitly define a *sensor hierarchy* (room /
+//! system / rack / chassis / node / CPU / sensor, by convention).  Collect
+//! Agents translate each topic into a unique numerical **Sensor ID (SID)**:
+//! a 128-bit value in which every hierarchy component occupies a bit field,
+//! preserving the hierarchy so that sub-trees map onto contiguous SID ranges.
+//! The storage backend uses SID prefixes as partition keys, which places a
+//! sensor sub-tree on a specific database server (paper §4.2–4.3).
+//!
+//! This crate provides:
+//!
+//! * [`topic`] — topic validation and manipulation,
+//! * [`SensorId`] — the 128-bit hierarchical identifier,
+//! * [`mapping`] — the 1:1 topic ↔ SID registry maintained by Collect Agents,
+//! * [`partition`] — the SID-prefix partitioner used by the store cluster.
+
+pub mod mapping;
+pub mod partition;
+pub mod sid;
+pub mod topic;
+
+pub use mapping::TopicRegistry;
+pub use partition::{PartitionMap, Partitioner};
+pub use sid::{SensorId, SidError, LEVELS, LEVEL_BITS};
+pub use topic::{is_valid_topic, normalize, split_levels, TopicError};

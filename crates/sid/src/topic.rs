@@ -1,0 +1,201 @@
+//! MQTT-style sensor topics.
+//!
+//! A DCDB topic is a `/`-separated path naming one sensor, e.g.
+//! `/lrz/smucng/rack03/chassis1/node12/cpu07/instructions`.  Topics are the
+//! human-facing side of the sensor hierarchy; [`crate::SensorId`] is the
+//! numeric side.  This module validates, normalises and splits topics.
+
+use std::fmt;
+
+/// Maximum number of hierarchy levels a topic may have.
+///
+/// Matches the number of bit fields in a [`crate::SensorId`].
+pub const MAX_LEVELS: usize = 8;
+
+/// Maximum length in bytes of a single topic.
+pub const MAX_TOPIC_LEN: usize = 512;
+
+/// Errors produced while validating a topic string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicError {
+    /// The topic was empty or consisted only of separators.
+    Empty,
+    /// The topic exceeded [`MAX_TOPIC_LEN`] bytes.
+    TooLong(usize),
+    /// The topic had more than [`MAX_LEVELS`] hierarchy components.
+    TooManyLevels(usize),
+    /// The topic contained an empty component (`a//b`).
+    EmptyComponent(usize),
+    /// The topic contained a character outside `[A-Za-z0-9_.:+-]`.
+    InvalidChar(char),
+    /// MQTT wildcards are not allowed in sensor topics (only in filters).
+    WildcardInTopic,
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::Empty => write!(f, "topic is empty"),
+            TopicError::TooLong(n) => write!(f, "topic is {n} bytes, max {MAX_TOPIC_LEN}"),
+            TopicError::TooManyLevels(n) => {
+                write!(f, "topic has {n} levels, max {MAX_LEVELS}")
+            }
+            TopicError::EmptyComponent(i) => write!(f, "empty component at level {i}"),
+            TopicError::InvalidChar(c) => write!(f, "invalid character {c:?} in topic"),
+            TopicError::WildcardInTopic => write!(f, "wildcards (+/#) not allowed in topics"),
+        }
+    }
+}
+
+impl std::error::Error for TopicError {}
+
+fn valid_component_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-')
+}
+
+/// Check whether `topic` is a valid concrete sensor topic.
+///
+/// Valid topics consist of 1..=[`MAX_LEVELS`] non-empty components separated
+/// by `/`, each made of `[A-Za-z0-9_.:-]`.  A leading `/` is allowed and
+/// ignored (the paper's examples write topics with a leading slash).
+pub fn is_valid_topic(topic: &str) -> Result<(), TopicError> {
+    if topic.len() > MAX_TOPIC_LEN {
+        return Err(TopicError::TooLong(topic.len()));
+    }
+    let trimmed = topic.strip_prefix('/').unwrap_or(topic);
+    if trimmed.is_empty() {
+        return Err(TopicError::Empty);
+    }
+    let mut levels = 0usize;
+    for (i, comp) in trimmed.split('/').enumerate() {
+        levels += 1;
+        if levels > MAX_LEVELS {
+            return Err(TopicError::TooManyLevels(trimmed.split('/').count()));
+        }
+        if comp.is_empty() {
+            return Err(TopicError::EmptyComponent(i));
+        }
+        for c in comp.chars() {
+            if c == '+' || c == '#' {
+                return Err(TopicError::WildcardInTopic);
+            }
+            if !valid_component_char(c) {
+                return Err(TopicError::InvalidChar(c));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Normalise a topic: ensure exactly one leading `/`, no trailing `/`.
+pub fn normalize(topic: &str) -> String {
+    let trimmed = topic.trim_matches('/');
+    let mut s = String::with_capacity(trimmed.len() + 1);
+    s.push('/');
+    s.push_str(trimmed);
+    s
+}
+
+/// Split a topic into its hierarchy components.
+pub fn split_levels(topic: &str) -> Vec<&str> {
+    topic
+        .trim_matches('/')
+        .split('/')
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+/// Join hierarchy components back into a normalised topic.
+pub fn join_levels<S: AsRef<str>>(levels: &[S]) -> String {
+    let mut s = String::new();
+    for l in levels {
+        s.push('/');
+        s.push_str(l.as_ref());
+    }
+    if s.is_empty() {
+        s.push('/');
+    }
+    s
+}
+
+/// Return the parent topic of `topic` (one level up), or `None` at the root.
+pub fn parent(topic: &str) -> Option<String> {
+    let levels = split_levels(topic);
+    if levels.len() <= 1 {
+        return None;
+    }
+    Some(join_levels(&levels[..levels.len() - 1]))
+}
+
+/// True if `ancestor` is a (non-strict) prefix of `topic` in the hierarchy.
+pub fn is_ancestor(ancestor: &str, topic: &str) -> bool {
+    let a = split_levels(ancestor);
+    let t = split_levels(topic);
+    a.len() <= t.len() && a.iter().zip(t.iter()).all(|(x, y)| x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_typical_topics() {
+        for t in [
+            "/lrz/smucng/rack03/chassis1/node12/cpu07/instructions",
+            "room1/system2/power",
+            "/a",
+            "/building/bms/chiller-2/flow.rate",
+            "/host:4711/mem_free",
+        ] {
+            assert!(is_valid_topic(t).is_ok(), "{t} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_topics() {
+        assert_eq!(is_valid_topic(""), Err(TopicError::Empty));
+        assert_eq!(is_valid_topic("/"), Err(TopicError::Empty));
+        assert_eq!(is_valid_topic("/a//b"), Err(TopicError::EmptyComponent(1)));
+        assert_eq!(is_valid_topic("/a/+/b"), Err(TopicError::WildcardInTopic));
+        assert_eq!(is_valid_topic("/a/#"), Err(TopicError::WildcardInTopic));
+        assert_eq!(is_valid_topic("/a b"), Err(TopicError::InvalidChar(' ')));
+        let long = "x".repeat(MAX_TOPIC_LEN + 1);
+        assert!(matches!(is_valid_topic(&long), Err(TopicError::TooLong(_))));
+        let deep = (0..MAX_LEVELS + 1).map(|i| i.to_string()).collect::<Vec<_>>();
+        assert!(matches!(
+            is_valid_topic(&join_levels(&deep)),
+            Err(TopicError::TooManyLevels(_))
+        ));
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        assert_eq!(normalize("a/b/c"), "/a/b/c");
+        assert_eq!(normalize("/a/b/c/"), "/a/b/c");
+        assert_eq!(normalize("///a"), "/a");
+    }
+
+    #[test]
+    fn split_and_join() {
+        let t = "/a/b/c";
+        let levels = split_levels(t);
+        assert_eq!(levels, vec!["a", "b", "c"]);
+        assert_eq!(join_levels(&levels), t);
+        assert_eq!(join_levels::<&str>(&[]), "/");
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        assert_eq!(parent("/a/b/c").as_deref(), Some("/a/b"));
+        assert_eq!(parent("/a/b").as_deref(), Some("/a"));
+        assert_eq!(parent("/a"), None);
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        assert!(is_ancestor("/a/b", "/a/b/c"));
+        assert!(is_ancestor("/a/b/c", "/a/b/c"));
+        assert!(!is_ancestor("/a/x", "/a/b/c"));
+        assert!(!is_ancestor("/a/b/c/d", "/a/b/c"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the SID subsystem.
+
+use dcdb_sid::{mapping::TopicRegistry, sid::SensorId, topic};
+use proptest::prelude::*;
+
+fn component() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,11}"
+}
+
+fn topic_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(component(), 1..=topic::MAX_LEVELS)
+        .prop_map(|parts| topic::join_levels(&parts))
+}
+
+proptest! {
+    #[test]
+    fn valid_topics_always_produce_sids(t in topic_strategy()) {
+        let sid = SensorId::from_topic(&t).unwrap();
+        prop_assert_eq!(sid.depth(), topic::split_levels(&t).len());
+    }
+
+    #[test]
+    fn normalization_idempotent(t in topic_strategy()) {
+        let n1 = topic::normalize(&t);
+        let n2 = topic::normalize(&n1);
+        prop_assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn split_join_roundtrip(t in topic_strategy()) {
+        let parts = topic::split_levels(&t);
+        prop_assert_eq!(topic::join_levels(&parts), topic::normalize(&t));
+    }
+
+    #[test]
+    fn prefix_is_monotone(t in topic_strategy(), d1 in 0usize..=8, d2 in 0usize..=8) {
+        let sid = SensorId::from_topic(&t).unwrap();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        // shallower prefix of deeper prefix == shallower prefix
+        prop_assert_eq!(sid.prefix(hi).prefix(lo), sid.prefix(lo));
+    }
+
+    #[test]
+    fn ancestors_share_prefixes(t in topic_strategy()) {
+        let parts = topic::split_levels(&t);
+        let sid = SensorId::from_topic(&t).unwrap();
+        for d in 1..parts.len() {
+            let anc = topic::join_levels(&parts[..d]);
+            let anc_sid = SensorId::from_topic(&anc).unwrap();
+            prop_assert!(sid.has_prefix(anc_sid, d), "{} not under {}", t, anc);
+        }
+    }
+
+    #[test]
+    fn registry_is_bijective(topics in prop::collection::hash_set(topic_strategy(), 1..200)) {
+        let reg = TopicRegistry::new();
+        let mut seen = std::collections::HashMap::new();
+        for t in &topics {
+            let sid = reg.resolve(t).unwrap();
+            if let Some(prev) = seen.insert(sid, t.clone()) {
+                prop_assert_eq!(&topic::normalize(&prev), &topic::normalize(t));
+            }
+            prop_assert_eq!(reg.topic_of(sid).unwrap(), topic::normalize(t));
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip_any_raw(v in any::<u128>()) {
+        let sid = SensorId(v);
+        prop_assert_eq!(SensorId::from_hex(&sid.to_hex()), Some(sid));
+    }
+}

@@ -1,0 +1,183 @@
+//! Architecture models of the paper's three evaluation systems (Table 1).
+//!
+//! | System       | CPU                          | Cores            | Plugins                        | Sensors |
+//! |--------------|------------------------------|------------------|--------------------------------|---------|
+//! | SuperMUC-NG  | Skylake Xeon Platinum 8174   | 2 × 24 × 2 SMT   | Perfevents, ProcFS, SysFS, OPA | 2477    |
+//! | CooLMUC-2    | Haswell Xeon E5-2697 v3      | 2 × 14           | Perfevents, ProcFS, SysFS      | 750     |
+//! | CooLMUC-3    | KNL Xeon Phi 7210-F          | 64 × 4 SMT       | Perfevents, ProcFS, SysFS, OPA | 3176    |
+//!
+//! The quantity the overhead experiments hinge on is *single-thread
+//! performance*: the paper attributes the KNL's 4.14% overhead (vs. 1.77%
+//! Skylake / 0.69% Haswell) to its weak cores and larger sensor count.  Each
+//! [`ArchSpec`] therefore carries a single-thread performance factor and the
+//! per-sensor sampling cost observed on that class of core.
+
+/// The three reference architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// SuperMUC-NG node (Intel Xeon Platinum 8174).
+    Skylake,
+    /// CooLMUC-2 node (Intel Xeon E5-2697 v3).
+    Haswell,
+    /// CooLMUC-3 node (Intel Xeon Phi 7210-F).
+    KnightsLanding,
+}
+
+impl Arch {
+    /// All architectures in Table 1 order.
+    pub const ALL: [Arch; 3] = [Arch::Skylake, Arch::Haswell, Arch::KnightsLanding];
+
+    /// The architecture's parameter set.
+    pub fn spec(&self) -> &'static ArchSpec {
+        match self {
+            Arch::Skylake => &SKYLAKE,
+            Arch::Haswell => &HASWELL,
+            Arch::KnightsLanding => &KNIGHTS_LANDING,
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// Parameters of one node architecture.
+#[derive(Debug, Clone)]
+pub struct ArchSpec {
+    /// Human name used in reports.
+    pub name: &'static str,
+    /// HPC system the paper deploys it in.
+    pub system: &'static str,
+    /// Number of nodes in the production system (Table 1).
+    pub system_nodes: usize,
+    /// Physical cores per node.
+    pub cores: usize,
+    /// Hardware threads per core (SMT).
+    pub threads_per_core: usize,
+    /// Memory per node, bytes.
+    pub memory_bytes: u64,
+    /// Single-thread performance relative to Skylake (=1.0).
+    pub single_thread_perf: f64,
+    /// Virtual cost of sampling one sensor (read + cache insert), ns on this
+    /// architecture's core.
+    pub sensor_read_cost_ns: f64,
+    /// Virtual cost of assembling+sending one MQTT message, ns.
+    pub mqtt_msg_cost_ns: f64,
+    /// Production Pusher plugin set (Table 1).
+    pub plugins: &'static [&'static str],
+    /// Production per-node sensor count (Table 1).
+    pub production_sensors: usize,
+    /// Overhead the paper measured against HPL with the production config.
+    pub paper_overhead_percent: f64,
+    /// Interconnect name.
+    pub interconnect: &'static str,
+    /// Node interconnect bandwidth, bytes/s (100 Gb/s OPA ≈ 12.5 GB/s,
+    /// FDR14 IB ≈ 6.8 GB/s).
+    pub link_bandwidth: f64,
+}
+
+impl ArchSpec {
+    /// Total hardware threads.
+    pub fn hw_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Aggregate compute capacity relative to one Skylake core.
+    pub fn total_capacity(&self) -> f64 {
+        self.cores as f64 * self.single_thread_perf
+    }
+}
+
+/// SuperMUC-NG (Skylake) node.
+pub static SKYLAKE: ArchSpec = ArchSpec {
+    name: "Skylake",
+    system: "SuperMUC-NG",
+    system_nodes: 6480,
+    cores: 48,
+    threads_per_core: 2,
+    memory_bytes: 96 * 1024 * 1024 * 1024,
+    single_thread_perf: 1.0,
+    sensor_read_cost_ns: 1_450.0,
+    mqtt_msg_cost_ns: 2_600.0,
+    plugins: &["perfevents", "procfs", "sysfs", "opa"],
+    production_sensors: 2477,
+    paper_overhead_percent: 1.77,
+    interconnect: "Intel OmniPath",
+    link_bandwidth: 12.5e9,
+};
+
+/// CooLMUC-2 (Haswell) node.
+pub static HASWELL: ArchSpec = ArchSpec {
+    name: "Haswell",
+    system: "CooLMUC-2",
+    system_nodes: 384,
+    cores: 28,
+    threads_per_core: 1,
+    memory_bytes: 64 * 1024 * 1024 * 1024,
+    single_thread_perf: 0.85,
+    sensor_read_cost_ns: 1_750.0,
+    mqtt_msg_cost_ns: 3_100.0,
+    plugins: &["perfevents", "procfs", "sysfs"],
+    production_sensors: 750,
+    paper_overhead_percent: 0.69,
+    interconnect: "Mellanox Infiniband",
+    link_bandwidth: 6.8e9,
+};
+
+/// CooLMUC-3 (Knights Landing) node.
+pub static KNIGHTS_LANDING: ArchSpec = ArchSpec {
+    name: "Knights Landing",
+    system: "CooLMUC-3",
+    system_nodes: 148,
+    cores: 64,
+    threads_per_core: 4,
+    memory_bytes: (96 + 16) * 1024 * 1024 * 1024,
+    single_thread_perf: 0.28,
+    sensor_read_cost_ns: 5_100.0,
+    mqtt_msg_cost_ns: 9_500.0,
+    plugins: &["perfevents", "procfs", "sysfs", "opa"],
+    production_sensors: 3176,
+    paper_overhead_percent: 4.14,
+    interconnect: "Intel OmniPath",
+    link_bandwidth: 12.5e9,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters_present() {
+        assert_eq!(Arch::Skylake.spec().production_sensors, 2477);
+        assert_eq!(Arch::Haswell.spec().production_sensors, 750);
+        assert_eq!(Arch::KnightsLanding.spec().production_sensors, 3176);
+        assert_eq!(Arch::Skylake.spec().system_nodes, 6480);
+        assert_eq!(Arch::Haswell.spec().plugins.len(), 3);
+        assert_eq!(Arch::KnightsLanding.spec().plugins.len(), 4);
+    }
+
+    #[test]
+    fn knl_is_weakest_per_thread() {
+        let sky = Arch::Skylake.spec();
+        let has = Arch::Haswell.spec();
+        let knl = Arch::KnightsLanding.spec();
+        assert!(knl.single_thread_perf < has.single_thread_perf);
+        assert!(has.single_thread_perf < sky.single_thread_perf);
+        assert!(knl.sensor_read_cost_ns > sky.sensor_read_cost_ns);
+    }
+
+    #[test]
+    fn hw_threads_match_table() {
+        assert_eq!(Arch::Skylake.spec().hw_threads(), 96); // 2×24×2
+        assert_eq!(Arch::Haswell.spec().hw_threads(), 28); // 2×14
+        assert_eq!(Arch::KnightsLanding.spec().hw_threads(), 256); // 64×4
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Arch::Skylake.to_string(), "Skylake");
+        assert_eq!(Arch::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Virtual time.
+//!
+//! All simulation components share a [`SimClock`] advanced by the harness.
+//! Each simulated node views it through a [`NodeClock`] with a configurable
+//! drift (ppm) and offset; periodic NTP-style synchronisation pulls the
+//! offset back to zero.  DCDB synchronises sensor read intervals across
+//! plugins and Pushers via NTP so that parallel applications are interrupted
+//! at the same time (paper §4.1); the clock model lets the harness quantify
+//! exactly that alignment.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: i64 = 1_000_000;
+
+/// Nanoseconds per second.
+pub const NS_PER_SEC: i64 = 1_000_000_000;
+
+/// The global simulated clock (nanoseconds).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_ns: AtomicI64,
+}
+
+impl SimClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock::default())
+    }
+
+    /// A clock starting at `start_ns`.
+    pub fn starting_at(start_ns: i64) -> Arc<SimClock> {
+        let c = SimClock::default();
+        c.now_ns.store(start_ns, Ordering::Relaxed);
+        Arc::new(c)
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> i64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+
+    /// Advance by `delta_ns`; returns the new time.
+    ///
+    /// # Panics
+    /// Panics when `delta_ns` is negative — virtual time is monotonic.
+    pub fn advance(&self, delta_ns: i64) -> i64 {
+        assert!(delta_ns >= 0, "virtual time cannot go backwards");
+        self.now_ns.fetch_add(delta_ns, Ordering::Relaxed) + delta_ns
+    }
+
+    /// Advance to an absolute time (no-op when already past it).
+    pub fn advance_to(&self, target_ns: i64) {
+        self.now_ns.fetch_max(target_ns, Ordering::Relaxed);
+    }
+}
+
+/// A per-node view of the global clock with drift and offset.
+#[derive(Debug)]
+pub struct NodeClock {
+    base: Arc<SimClock>,
+    /// Clock drift in parts-per-million (positive = runs fast).
+    drift_ppm: f64,
+    /// Offset accumulated since the last NTP sync, in ns.
+    offset_ns: AtomicI64,
+    /// Base time of the last sync (drift accrues from here).
+    synced_at: AtomicI64,
+}
+
+impl NodeClock {
+    /// A node clock over `base` with the given drift.
+    pub fn new(base: Arc<SimClock>, drift_ppm: f64) -> NodeClock {
+        let synced_at = base.now();
+        NodeClock {
+            base,
+            drift_ppm,
+            offset_ns: AtomicI64::new(0),
+            synced_at: AtomicI64::new(synced_at),
+        }
+    }
+
+    /// The node's local notion of now.
+    pub fn now(&self) -> i64 {
+        let t = self.base.now();
+        let since_sync = t - self.synced_at.load(Ordering::Relaxed);
+        let drift = (since_sync as f64 * self.drift_ppm / 1e6) as i64;
+        t + drift + self.offset_ns.load(Ordering::Relaxed)
+    }
+
+    /// Absolute error vs. the reference clock, in ns.
+    pub fn error_ns(&self) -> i64 {
+        (self.now() - self.base.now()).abs()
+    }
+
+    /// NTP-style resynchronisation: zero the error.
+    pub fn ntp_sync(&self) {
+        self.offset_ns.store(0, Ordering::Relaxed);
+        self.synced_at.store(self.base.now(), Ordering::Relaxed);
+    }
+
+    /// Reference (true) time — what a perfectly synced node would read.
+    pub fn reference_now(&self) -> i64 {
+        self.base.now()
+    }
+}
+
+/// Align `ts` up to the next multiple of `interval_ns` (sampling grid).
+///
+/// DCDB reads sensor groups on a grid aligned across plugins and Pushers so
+/// readings share timestamps without interpolation.
+pub fn align_up(ts: i64, interval_ns: i64) -> i64 {
+    assert!(interval_ns > 0);
+    ts.div_euclid(interval_ns) * interval_ns
+        + if ts.rem_euclid(interval_ns) == 0 { 0 } else { interval_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(100), 100);
+        c.advance_to(50); // no-op
+        assert_eq!(c.now(), 100);
+        c.advance_to(500);
+        assert_eq!(c.now(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot go backwards")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1);
+    }
+
+    #[test]
+    fn drifting_node_clock_accrues_error() {
+        let base = SimClock::new();
+        let node = NodeClock::new(Arc::clone(&base), 100.0); // 100 ppm fast
+        base.advance(NS_PER_SEC); // 1 s
+        // 100 ppm over 1 s = 100 µs
+        assert_eq!(node.error_ns(), 100_000);
+        node.ntp_sync();
+        assert_eq!(node.error_ns(), 0);
+        base.advance(NS_PER_SEC);
+        assert_eq!(node.error_ns(), 100_000);
+    }
+
+    #[test]
+    fn zero_drift_is_exact() {
+        let base = SimClock::new();
+        let node = NodeClock::new(Arc::clone(&base), 0.0);
+        base.advance(123_456_789);
+        assert_eq!(node.now(), 123_456_789);
+        assert_eq!(node.error_ns(), 0);
+    }
+
+    #[test]
+    fn align_up_grid() {
+        assert_eq!(align_up(0, 1000), 0);
+        assert_eq!(align_up(1, 1000), 1000);
+        assert_eq!(align_up(999, 1000), 1000);
+        assert_eq!(align_up(1000, 1000), 1000);
+        assert_eq!(align_up(1001, 1000), 2000);
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let c = SimClock::starting_at(5_000);
+        assert_eq!(c.now(), 5_000);
+    }
+}

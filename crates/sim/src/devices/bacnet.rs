@@ -1,0 +1,116 @@
+//! Synthetic BACnet building-automation controller.
+//!
+//! BACnet (ANSI/ASHRAE 135) is how DCDB reads the data-centre building
+//! management system — chillers, pumps, air handlers (paper §3.1).  The
+//! simulator exposes the BACnet object model's essentials: objects addressed
+//! by `(type, instance)` with a readable *Present_Value* property.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// BACnet object types used by facility monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObjectType {
+    /// `analog-input` (0): measured values.
+    AnalogInput,
+    /// `analog-value` (2): setpoints and computed values.
+    AnalogValue,
+    /// `binary-input` (3): on/off states.
+    BinaryInput,
+}
+
+/// A BACnet object identifier.
+pub type ObjectId = (ObjectType, u32);
+
+/// One BACnet object.
+#[derive(Debug, Clone)]
+pub struct BacnetObject {
+    /// Object name (e.g. `CHILLER-1 SUPPLY TEMP`).
+    pub name: String,
+    /// Engineering unit string.
+    pub unit: &'static str,
+    /// Present_Value.
+    pub present_value: f64,
+}
+
+/// A simulated controller.
+pub struct BacnetDevice {
+    objects: RwLock<BTreeMap<ObjectId, BacnetObject>>,
+}
+
+impl BacnetDevice {
+    /// An empty device.
+    pub fn new() -> BacnetDevice {
+        BacnetDevice { objects: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// A device modelling a small chilled-water plant.
+    pub fn chiller_plant() -> BacnetDevice {
+        let dev = BacnetDevice::new();
+        dev.add((ObjectType::AnalogInput, 1), "CHW SUPPLY TEMP", "degC", 16.0);
+        dev.add((ObjectType::AnalogInput, 2), "CHW RETURN TEMP", "degC", 22.0);
+        dev.add((ObjectType::AnalogInput, 3), "CHW FLOW", "m3/h", 120.0);
+        dev.add((ObjectType::AnalogInput, 4), "CHILLER-1 POWER", "kW", 85.0);
+        dev.add((ObjectType::AnalogValue, 1), "CHW SETPOINT", "degC", 16.0);
+        dev.add((ObjectType::BinaryInput, 1), "PUMP-1 STATUS", "", 1.0);
+        dev
+    }
+
+    /// Register an object.
+    pub fn add(&self, id: ObjectId, name: &str, unit: &'static str, value: f64) {
+        self.objects
+            .write()
+            .insert(id, BacnetObject { name: name.to_string(), unit, present_value: value });
+    }
+
+    /// ReadProperty(Present_Value).
+    pub fn read_present_value(&self, id: ObjectId) -> Option<f64> {
+        self.objects.read().get(&id).map(|o| o.present_value)
+    }
+
+    /// WriteProperty(Present_Value) — used by the simulation loop.
+    pub fn write_present_value(&self, id: ObjectId, value: f64) -> bool {
+        if let Some(o) = self.objects.write().get_mut(&id) {
+            o.present_value = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Who-Is style object discovery.
+    pub fn discover(&self) -> Vec<(ObjectId, String)> {
+        self.objects.read().iter().map(|(id, o)| (*id, o.name.clone())).collect()
+    }
+}
+
+impl Default for BacnetDevice {
+    fn default() -> Self {
+        BacnetDevice::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chiller_plant_objects_discoverable() {
+        let dev = BacnetDevice::chiller_plant();
+        let objs = dev.discover();
+        assert_eq!(objs.len(), 6);
+        assert!(objs.iter().any(|(_, n)| n.contains("CHW SUPPLY")));
+    }
+
+    #[test]
+    fn read_write_present_value() {
+        let dev = BacnetDevice::chiller_plant();
+        let id = (ObjectType::AnalogInput, 3);
+        assert_eq!(dev.read_present_value(id), Some(120.0));
+        assert!(dev.write_present_value(id, 130.5));
+        assert_eq!(dev.read_present_value(id), Some(130.5));
+        assert!(!dev.write_present_value((ObjectType::AnalogInput, 99), 1.0));
+        assert!(dev.read_present_value((ObjectType::AnalogInput, 99)).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Synthetic GPFS (IBM Spectrum Scale) I/O counters.
+//!
+//! DCDB's GPFS plugin samples the `mmpmon`-style cumulative I/O statistics
+//! of the parallel filesystem client: bytes read/written, open/close and
+//! read/write call counts.
+
+use parking_lot::RwLock;
+
+/// Cumulative GPFS client counters (the `mmpmon fs_io_s` fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpfsCounters {
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// open() calls.
+    pub opens: u64,
+    /// close() calls.
+    pub closes: u64,
+    /// Read calls.
+    pub reads: u64,
+    /// Write calls.
+    pub writes: u64,
+}
+
+/// A simulated GPFS client mount.
+pub struct GpfsClient {
+    counters: RwLock<GpfsCounters>,
+}
+
+impl GpfsClient {
+    /// A fresh mount.
+    pub fn new() -> GpfsClient {
+        GpfsClient { counters: RwLock::new(GpfsCounters::default()) }
+    }
+
+    /// Advance by `dt_s` seconds with `read_mb_s`/`write_mb_s` of I/O.
+    pub fn advance(&self, dt_s: f64, read_mb_s: f64, write_mb_s: f64) {
+        let mut c = self.counters.write();
+        let rbytes = (read_mb_s * dt_s * 1e6) as u64;
+        let wbytes = (write_mb_s * dt_s * 1e6) as u64;
+        c.bytes_read += rbytes;
+        c.bytes_written += wbytes;
+        c.reads += rbytes / (4 * 1024 * 1024); // 4 MiB blocks
+        c.writes += wbytes / (4 * 1024 * 1024);
+        c.opens += (dt_s * 2.0) as u64;
+        c.closes += (dt_s * 2.0) as u64;
+    }
+
+    /// Snapshot the counters (what the plugin samples).
+    pub fn read_counters(&self) -> GpfsCounters {
+        *self.counters.read()
+    }
+}
+
+impl Default for GpfsClient {
+    fn default() -> Self {
+        GpfsClient::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let g = GpfsClient::new();
+        g.advance(10.0, 100.0, 50.0);
+        let c = g.read_counters();
+        assert_eq!(c.bytes_read, 1_000_000_000);
+        assert_eq!(c.bytes_written, 500_000_000);
+        assert!(c.reads > 0 && c.writes > 0);
+        g.advance(10.0, 0.0, 0.0);
+        let c2 = g.read_counters();
+        assert_eq!(c2.bytes_read, c.bytes_read);
+        assert!(c2.opens > c.opens);
+    }
+}

@@ -1,0 +1,129 @@
+//! Synthetic GPU (NVML-style device).
+//!
+//! The paper's future work (§9) plans plugins for "sensors ... deriving from
+//! GPU usage"; dcdb-rs implements that extension.  The simulator models an
+//! accelerator with the metric set NVML exposes per device: utilisation,
+//! memory occupancy, power draw, temperature and SM clock, driven by the
+//! node's workload intensity.
+
+use parking_lot::RwLock;
+
+/// Snapshot of one GPU's NVML-style metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuMetrics {
+    /// SM utilisation, percent.
+    pub utilization_percent: f64,
+    /// Device memory in use, MiB.
+    pub memory_used_mib: f64,
+    /// Board power draw, W.
+    pub power_w: f64,
+    /// Core temperature, °C.
+    pub temperature_c: f64,
+    /// SM clock, MHz.
+    pub sm_clock_mhz: f64,
+}
+
+/// One simulated accelerator.
+pub struct GpuDevice {
+    metrics: RwLock<GpuMetrics>,
+    /// Total device memory, MiB.
+    pub memory_total_mib: f64,
+    /// TDP, W.
+    pub tdp_w: f64,
+}
+
+impl GpuDevice {
+    /// A 16 GiB, 300 W device (V100-class, contemporary with the paper).
+    pub fn new() -> GpuDevice {
+        GpuDevice {
+            metrics: RwLock::new(GpuMetrics {
+                utilization_percent: 0.0,
+                memory_used_mib: 450.0,
+                power_w: 40.0,
+                temperature_c: 32.0,
+                sm_clock_mhz: 135.0,
+            }),
+            memory_total_mib: 16_384.0,
+            tdp_w: 300.0,
+        }
+    }
+
+    /// Advance by `dt_s` seconds at workload `intensity` in `[0,1]`.
+    pub fn advance(&self, dt_s: f64, intensity: f64) {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut m = self.metrics.write();
+        m.utilization_percent = intensity * 100.0;
+        // memory ramps toward the working set, first-order
+        let mem_target = 450.0 + intensity * (self.memory_total_mib * 0.8 - 450.0);
+        m.memory_used_mib += (mem_target - m.memory_used_mib) * (dt_s / 5.0).min(1.0);
+        m.power_w = 40.0 + intensity * (self.tdp_w - 40.0);
+        let temp_target = 32.0 + intensity * 46.0;
+        m.temperature_c += (temp_target - m.temperature_c) * (dt_s / 20.0).min(1.0);
+        // boost clocks under load, throttle when hot
+        let boost = if m.temperature_c > 75.0 { 0.92 } else { 1.0 };
+        m.sm_clock_mhz = (135.0 + intensity * (1530.0 - 135.0)) * boost;
+    }
+
+    /// NVML-style snapshot read.
+    pub fn read_metrics(&self) -> GpuMetrics {
+        *self.metrics.read()
+    }
+}
+
+impl Default for GpuDevice {
+    fn default() -> Self {
+        GpuDevice::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_device_is_cool_and_slow() {
+        let gpu = GpuDevice::new();
+        let m = gpu.read_metrics();
+        assert_eq!(m.utilization_percent, 0.0);
+        assert!(m.power_w < 50.0);
+        assert!(m.sm_clock_mhz < 200.0);
+    }
+
+    #[test]
+    fn load_raises_everything() {
+        let gpu = GpuDevice::new();
+        for _ in 0..120 {
+            gpu.advance(1.0, 1.0);
+        }
+        let m = gpu.read_metrics();
+        assert_eq!(m.utilization_percent, 100.0);
+        assert!(m.power_w > 250.0);
+        assert!(m.memory_used_mib > 10_000.0);
+        assert!(m.temperature_c > 70.0);
+    }
+
+    #[test]
+    fn thermal_throttling_caps_clock() {
+        let gpu = GpuDevice::new();
+        for _ in 0..300 {
+            gpu.advance(1.0, 1.0);
+        }
+        let hot = gpu.read_metrics();
+        assert!(hot.temperature_c > 75.0);
+        assert!(hot.sm_clock_mhz < 1530.0, "throttled: {}", hot.sm_clock_mhz);
+    }
+
+    #[test]
+    fn cooldown_recovers() {
+        let gpu = GpuDevice::new();
+        for _ in 0..100 {
+            gpu.advance(1.0, 1.0);
+        }
+        for _ in 0..300 {
+            gpu.advance(1.0, 0.0);
+        }
+        let m = gpu.read_metrics();
+        assert!(m.temperature_c < 40.0);
+        assert!(m.power_w < 50.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Synthetic IPMI BMC.
+//!
+//! Out-of-band node telemetry: a baseboard management controller exposing an
+//! IPMI-style sensor data repository (sensor number → name, unit, reading).
+//! DCDB's IPMI plugin reads these through a management network; the
+//! simulator exposes the same get-sensor-reading semantics.
+
+use parking_lot::RwLock;
+
+/// One sensor record in the BMC's repository.
+#[derive(Debug, Clone)]
+pub struct SdrRecord {
+    /// IPMI sensor number.
+    pub number: u8,
+    /// Sensor name (e.g. `PS1 Input Power`).
+    pub name: String,
+    /// Unit string (`W`, `degrees C`, `RPM`, `V`).
+    pub unit: &'static str,
+    /// Current reading.
+    pub reading: f64,
+}
+
+/// A simulated BMC.
+pub struct IpmiBmc {
+    sensors: RwLock<Vec<SdrRecord>>,
+}
+
+impl IpmiBmc {
+    /// A BMC with the typical server sensor set.
+    pub fn new() -> IpmiBmc {
+        let sensors = vec![
+            SdrRecord { number: 1, name: "PS1 Input Power".into(), unit: "W", reading: 180.0 },
+            SdrRecord { number: 2, name: "PS2 Input Power".into(), unit: "W", reading: 175.0 },
+            SdrRecord { number: 3, name: "Inlet Temp".into(), unit: "degrees C", reading: 26.0 },
+            SdrRecord { number: 4, name: "CPU1 Temp".into(), unit: "degrees C", reading: 40.0 },
+            SdrRecord { number: 5, name: "CPU2 Temp".into(), unit: "degrees C", reading: 41.0 },
+            SdrRecord { number: 6, name: "FAN1".into(), unit: "RPM", reading: 0.0 },
+            SdrRecord { number: 7, name: "12V Rail".into(), unit: "V", reading: 12.05 },
+        ];
+        IpmiBmc { sensors: RwLock::new(sensors) }
+    }
+
+    /// Advance the node state: power draw and temperature follow load.
+    pub fn advance(&self, power_w: f64, intensity: f64) {
+        let mut s = self.sensors.write();
+        for rec in s.iter_mut() {
+            match rec.name.as_str() {
+                "PS1 Input Power" => rec.reading = power_w * 0.52,
+                "PS2 Input Power" => rec.reading = power_w * 0.48,
+                "CPU1 Temp" => rec.reading = 35.0 + intensity * 45.0,
+                "CPU2 Temp" => rec.reading = 36.0 + intensity * 44.0,
+                _ => {}
+            }
+        }
+    }
+
+    /// IPMI "Get Sensor Reading" by sensor number.
+    pub fn get_sensor_reading(&self, number: u8) -> Option<f64> {
+        self.sensors.read().iter().find(|r| r.number == number).map(|r| r.reading)
+    }
+
+    /// List the full SDR (used by plugin auto-configuration).
+    pub fn sdr(&self) -> Vec<SdrRecord> {
+        self.sensors.read().clone()
+    }
+}
+
+impl Default for IpmiBmc {
+    fn default() -> Self {
+        IpmiBmc::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdr_lists_standard_sensors() {
+        let bmc = IpmiBmc::new();
+        let sdr = bmc.sdr();
+        assert!(sdr.len() >= 5);
+        assert!(sdr.iter().any(|r| r.name.contains("Power")));
+        assert!(sdr.iter().any(|r| r.unit == "degrees C"));
+    }
+
+    #[test]
+    fn readings_track_state() {
+        let bmc = IpmiBmc::new();
+        bmc.advance(400.0, 1.0);
+        let p1 = bmc.get_sensor_reading(1).unwrap();
+        let p2 = bmc.get_sensor_reading(2).unwrap();
+        assert!((p1 + p2 - 400.0).abs() < 1.0);
+        assert!(bmc.get_sensor_reading(4).unwrap() > 70.0);
+    }
+
+    #[test]
+    fn unknown_sensor_is_none() {
+        assert!(IpmiBmc::new().get_sensor_reading(99).is_none());
+    }
+}

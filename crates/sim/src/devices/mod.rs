@@ -1,0 +1,63 @@
+//! Synthetic data sources.
+//!
+//! Each module emulates one class of device the DCDB Pusher plugins read
+//! from, *emitting the genuine wire/file format* so the plugins exercise
+//! their real parsing code:
+//!
+//! * [`procfs`] — `/proc/meminfo`, `/proc/vmstat`, `/proc/stat` text,
+//! * [`sysfs`] — sysfs value files (hwmon temperatures, RAPL energy),
+//! * [`perf`] — per-hardware-thread performance counters,
+//! * [`ipmi`] — a BMC with an IPMI-style sensor repository,
+//! * [`snmp`] — an SNMP agent with an OID tree (PDUs, cooling loop),
+//! * [`bacnet`] — building-automation objects (chillers, pumps),
+//! * [`gpfs`] — parallel-filesystem I/O counters,
+//! * [`gpu`] — an NVML-style accelerator (the paper's future-work plugin),
+//! * [`opa`] — Omni-Path port counters,
+//! * [`rest`] — a JSON endpoint like those scraped by the REST plugin,
+//! * [`cooling`] — the CooLMUC-3 warm-water cooling circuit of Fig. 9.
+
+pub mod bacnet;
+pub mod cooling;
+pub mod gpfs;
+pub mod gpu;
+pub mod ipmi;
+pub mod opa;
+pub mod perf;
+pub mod procfs;
+pub mod rest;
+pub mod snmp;
+pub mod sysfs;
+
+/// A source of text files (the interface Pusher's ProcFS/SysFS plugins read
+/// through).  Implemented by the simulators and by [`HostFs`] for reading a
+/// real Linux host.
+pub trait TextFileSource: Send + Sync {
+    /// Read the full contents of `path`, if it exists.
+    fn read_file(&self, path: &str) -> Option<String>;
+}
+
+/// Pass-through to the host filesystem: lets the ProcFS/SysFS plugins
+/// monitor the actual machine in the examples.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostFs;
+
+impl TextFileSource for HostFs {
+    fn read_file(&self, path: &str) -> Option<String> {
+        std::fs::read_to_string(path).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostfs_reads_real_files_when_present() {
+        // /proc/meminfo exists on Linux CI; tolerate other platforms.
+        if std::path::Path::new("/proc/meminfo").exists() {
+            let text = HostFs.read_file("/proc/meminfo").unwrap();
+            assert!(text.contains("MemTotal"));
+        }
+        assert!(HostFs.read_file("/definitely/not/a/file").is_none());
+    }
+}

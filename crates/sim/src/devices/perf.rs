@@ -1,0 +1,152 @@
+//! Synthetic per-thread performance counters.
+//!
+//! Stands in for `perf_event_open`: cumulative counters per hardware thread
+//! (instructions, cycles, cache misses, branch misses), advanced from the
+//! running workload's instruction throughput.  The Perfevents plugin reads
+//! these exactly like the real one reads counter fds.
+
+use parking_lot::RwLock;
+
+/// Counter kinds exposed per hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterKind {
+    /// Retired instructions.
+    Instructions,
+    /// CPU cycles.
+    Cycles,
+    /// Last-level cache misses.
+    CacheMisses,
+    /// Mispredicted branches.
+    BranchMisses,
+}
+
+impl CounterKind {
+    /// All counters, in the order plugins typically configure them.
+    pub const ALL: [CounterKind; 4] = [
+        CounterKind::Instructions,
+        CounterKind::Cycles,
+        CounterKind::CacheMisses,
+        CounterKind::BranchMisses,
+    ];
+
+    /// Event name as used in configuration files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CounterKind::Instructions => "instructions",
+            CounterKind::Cycles => "cycles",
+            CounterKind::CacheMisses => "cache-misses",
+            CounterKind::BranchMisses => "branch-misses",
+        }
+    }
+
+    /// Parse a configuration name.
+    pub fn parse(s: &str) -> Option<CounterKind> {
+        Some(match s {
+            "instructions" => CounterKind::Instructions,
+            "cycles" => CounterKind::Cycles,
+            "cache-misses" => CounterKind::CacheMisses,
+            "branch-misses" => CounterKind::BranchMisses,
+            _ => return None,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ThreadCounters {
+    instructions: u64,
+    cycles: u64,
+    cache_misses: u64,
+    branch_misses: u64,
+}
+
+/// The per-node counter bank.
+pub struct PerfCounters {
+    threads: RwLock<Vec<ThreadCounters>>,
+    /// Nominal clock in Hz (cycles advance at this rate when busy).
+    clock_hz: f64,
+}
+
+impl PerfCounters {
+    /// A bank for `hw_threads` hardware threads at `clock_ghz`.
+    pub fn new(hw_threads: usize, clock_ghz: f64) -> PerfCounters {
+        PerfCounters {
+            threads: RwLock::new(vec![ThreadCounters::default(); hw_threads]),
+            clock_hz: clock_ghz * 1e9,
+        }
+    }
+
+    /// Advance all threads by `dt_s` seconds executing
+    /// `instr_per_core_s` instructions per second per thread.
+    pub fn advance(&self, dt_s: f64, instr_per_core_s: f64) {
+        let mut threads = self.threads.write();
+        let instr = (instr_per_core_s * dt_s) as u64;
+        let cycles = (self.clock_hz * dt_s) as u64;
+        for t in threads.iter_mut() {
+            t.instructions = t.instructions.wrapping_add(instr);
+            t.cycles = t.cycles.wrapping_add(cycles);
+            // typical miss rates: ~2 LLC misses and ~4 branch misses per 1k instr
+            t.cache_misses = t.cache_misses.wrapping_add(instr / 500);
+            t.branch_misses = t.branch_misses.wrapping_add(instr / 250);
+        }
+    }
+
+    /// Read a cumulative counter (like reading the perf fd).
+    pub fn read(&self, thread: usize, kind: CounterKind) -> Option<u64> {
+        let threads = self.threads.read();
+        let t = threads.get(thread)?;
+        Some(match kind {
+            CounterKind::Instructions => t.instructions,
+            CounterKind::Cycles => t.cycles,
+            CounterKind::CacheMisses => t.cache_misses,
+            CounterKind::BranchMisses => t.branch_misses,
+        })
+    }
+
+    /// Number of hardware threads.
+    pub fn hw_threads(&self) -> usize {
+        self.threads.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_cumulative() {
+        let pc = PerfCounters::new(4, 2.0);
+        pc.advance(1.0, 1e9);
+        let a = pc.read(0, CounterKind::Instructions).unwrap();
+        pc.advance(1.0, 1e9);
+        let b = pc.read(0, CounterKind::Instructions).unwrap();
+        assert_eq!(a, 1_000_000_000);
+        assert_eq!(b, 2_000_000_000);
+        assert_eq!(pc.read(0, CounterKind::Cycles).unwrap(), 4_000_000_000);
+    }
+
+    #[test]
+    fn derived_counters_scale_with_instructions() {
+        let pc = PerfCounters::new(1, 1.0);
+        pc.advance(1.0, 1e9);
+        let i = pc.read(0, CounterKind::Instructions).unwrap();
+        let cm = pc.read(0, CounterKind::CacheMisses).unwrap();
+        let bm = pc.read(0, CounterKind::BranchMisses).unwrap();
+        assert_eq!(cm, i / 500);
+        assert_eq!(bm, i / 250);
+    }
+
+    #[test]
+    fn out_of_range_thread_is_none() {
+        let pc = PerfCounters::new(2, 1.0);
+        assert!(pc.read(2, CounterKind::Cycles).is_none());
+        assert_eq!(pc.hw_threads(), 2);
+    }
+
+    #[test]
+    fn counter_names_roundtrip() {
+        for k in CounterKind::ALL {
+            assert_eq!(CounterKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(CounterKind::parse("flops"), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Synthetic `/proc` filesystem.
+//!
+//! Generates `meminfo`, `vmstat` and `stat` in the genuine kernel text
+//! formats, with contents evolving from a workload intensity signal, so the
+//! ProcFS plugin runs its real parsers (the production configuration samples
+//! exactly these three files, paper §6.2.1).
+
+use parking_lot::RwLock;
+
+use super::TextFileSource;
+
+/// State snapshot the generator evolves.
+#[derive(Debug, Clone)]
+struct ProcState {
+    /// Total memory, kB.
+    mem_total_kb: u64,
+    /// Free memory, kB.
+    mem_free_kb: u64,
+    /// Cached, kB.
+    cached_kb: u64,
+    /// Cumulative pages faulted in.
+    pgfault: u64,
+    /// Cumulative pages swapped.
+    pswpin: u64,
+    /// Per-cpu (user, system, idle) jiffies.
+    cpu_jiffies: Vec<(u64, u64, u64)>,
+    /// Context switches.
+    ctxt: u64,
+    /// Boot time epoch.
+    btime: u64,
+}
+
+/// The synthetic `/proc`.
+pub struct SimProcFs {
+    state: RwLock<ProcState>,
+}
+
+impl SimProcFs {
+    /// A node with `cpus` hardware threads and `mem_gb` GiB of RAM.
+    pub fn new(cpus: usize, mem_gb: u64) -> SimProcFs {
+        let mem_total_kb = mem_gb * 1024 * 1024;
+        SimProcFs {
+            state: RwLock::new(ProcState {
+                mem_total_kb,
+                mem_free_kb: mem_total_kb * 9 / 10,
+                cached_kb: mem_total_kb / 20,
+                pgfault: 1000,
+                pswpin: 0,
+                cpu_jiffies: vec![(0, 0, 0); cpus],
+                ctxt: 0,
+                btime: 1_700_000_000,
+            }),
+        }
+    }
+
+    /// Advance the machine state by `dt_s` seconds at the given workload
+    /// `intensity` in `[0, 1]` (fraction of CPU busy, memory pressure).
+    pub fn advance(&self, dt_s: f64, intensity: f64) {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut st = self.state.write();
+        let jiffies = (dt_s * 100.0) as u64; // USER_HZ = 100
+        for cpu in st.cpu_jiffies.iter_mut() {
+            let busy = (jiffies as f64 * intensity) as u64;
+            cpu.0 += busy * 9 / 10; // user
+            cpu.1 += busy / 10; // system
+            cpu.2 += jiffies - busy.min(jiffies); // idle
+        }
+        st.pgfault += (dt_s * intensity * 50_000.0) as u64;
+        st.ctxt += (dt_s * (500.0 + intensity * 20_000.0)) as u64;
+        let used_target = st.mem_total_kb as f64 * (0.10 + 0.65 * intensity);
+        let free_target = st.mem_total_kb as f64 - used_target;
+        // move 20% of the gap per step (first-order lag, like real allocators)
+        let free = st.mem_free_kb as f64;
+        st.mem_free_kb = (free + 0.2 * (free_target - free)).max(0.0) as u64;
+    }
+}
+
+impl TextFileSource for SimProcFs {
+    fn read_file(&self, path: &str) -> Option<String> {
+        let st = self.state.read();
+        match path {
+            "/proc/meminfo" => Some(format!(
+                "MemTotal:       {:>8} kB\nMemFree:        {:>8} kB\nMemAvailable:   {:>8} kB\n\
+                 Buffers:        {:>8} kB\nCached:         {:>8} kB\nSwapTotal:      {:>8} kB\n\
+                 SwapFree:       {:>8} kB\nDirty:          {:>8} kB\n",
+                st.mem_total_kb,
+                st.mem_free_kb,
+                st.mem_free_kb + st.cached_kb,
+                st.mem_total_kb / 200,
+                st.cached_kb,
+                0,
+                0,
+                st.pgfault % 10_000,
+            )),
+            "/proc/vmstat" => Some(format!(
+                "nr_free_pages {}\nnr_mapped {}\npgfault {}\npswpin {}\npswpout {}\npgpgin {}\n",
+                st.mem_free_kb / 4,
+                st.cached_kb / 4,
+                st.pgfault,
+                st.pswpin,
+                st.pswpin,
+                st.pgfault / 2,
+            )),
+            "/proc/stat" => {
+                let mut out = String::new();
+                let (tu, ts_, ti) = st.cpu_jiffies.iter().fold((0, 0, 0), |acc, c| {
+                    (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2)
+                });
+                out.push_str(&format!("cpu  {tu} 0 {ts_} {ti} 0 0 0 0 0 0\n"));
+                for (i, (u, s, idle)) in st.cpu_jiffies.iter().enumerate() {
+                    out.push_str(&format!("cpu{i} {u} 0 {s} {idle} 0 0 0 0 0 0\n"));
+                }
+                out.push_str(&format!("ctxt {}\nbtime {}\nprocesses 4242\n", st.ctxt, st.btime));
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meminfo_has_kernel_format() {
+        let fs = SimProcFs::new(4, 64);
+        let text = fs.read_file("/proc/meminfo").unwrap();
+        assert!(text.contains("MemTotal:"));
+        assert!(text.contains("kB"));
+        // MemTotal for 64 GiB
+        let total: u64 = text
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(total, 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn stat_has_per_cpu_lines() {
+        let fs = SimProcFs::new(8, 16);
+        fs.advance(1.0, 0.5);
+        let text = fs.read_file("/proc/stat").unwrap();
+        assert!(text.starts_with("cpu "));
+        assert_eq!(text.lines().filter(|l| l.starts_with("cpu")).count(), 9);
+        assert!(text.contains("ctxt "));
+    }
+
+    #[test]
+    fn workload_consumes_memory_and_cpu() {
+        let fs = SimProcFs::new(4, 64);
+        let before = fs.read_file("/proc/meminfo").unwrap();
+        for _ in 0..50 {
+            fs.advance(1.0, 1.0);
+        }
+        let after = fs.read_file("/proc/meminfo").unwrap();
+        let free = |text: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with("MemFree"))
+                .unwrap()
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(free(&after) < free(&before));
+        let stat = fs.read_file("/proc/stat").unwrap();
+        let user: u64 =
+            stat.lines().next().unwrap().split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(user > 0);
+    }
+
+    #[test]
+    fn vmstat_counters_monotonic() {
+        let fs = SimProcFs::new(2, 8);
+        let pgfault = |fs: &SimProcFs| -> u64 {
+            fs.read_file("/proc/vmstat")
+                .unwrap()
+                .lines()
+                .find(|l| l.starts_with("pgfault"))
+                .unwrap()
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let a = pgfault(&fs);
+        fs.advance(2.0, 0.8);
+        assert!(pgfault(&fs) > a);
+    }
+
+    #[test]
+    fn unknown_path_is_none() {
+        assert!(SimProcFs::new(1, 1).read_file("/proc/nope").is_none());
+    }
+}

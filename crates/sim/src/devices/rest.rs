@@ -1,0 +1,97 @@
+//! Synthetic RESTful data source.
+//!
+//! DCDB's REST plugin scrapes JSON endpoints of third-party services
+//! (paper §3.1); the Fig. 9 case study collects part of the cooling-circuit
+//! data through it.  The simulator produces the JSON documents such an
+//! endpoint would serve; `serve_http` optionally exposes them over a real
+//! socket via `dcdb-http` for end-to-end tests.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// An endpoint serving `{"metrics": {name: value, ...}, "timestamp": ts}`.
+pub struct RestSource {
+    metrics: RwLock<BTreeMap<String, f64>>,
+    timestamp: RwLock<i64>,
+}
+
+impl RestSource {
+    /// An empty endpoint.
+    pub fn new() -> RestSource {
+        RestSource { metrics: RwLock::new(BTreeMap::new()), timestamp: RwLock::new(0) }
+    }
+
+    /// Update one metric.
+    pub fn set(&self, name: &str, value: f64) {
+        self.metrics.write().insert(name.to_string(), value);
+    }
+
+    /// Update the document timestamp.
+    pub fn set_timestamp(&self, ts: i64) {
+        *self.timestamp.write() = ts;
+    }
+
+    /// Render the JSON document (what a GET returns).
+    pub fn get_json(&self) -> String {
+        let metrics = self.metrics.read();
+        let mut body = String::from("{\"metrics\":{");
+        for (i, (k, v)) in metrics.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{k}\":{v}"));
+        }
+        body.push_str(&format!("}},\"timestamp\":{}}}", *self.timestamp.read()));
+        body
+    }
+
+    /// Read one metric directly (plugin fast path after parsing once).
+    pub fn get_metric(&self, name: &str) -> Option<f64> {
+        self.metrics.read().get(name).copied()
+    }
+
+    /// All metric names.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.metrics.read().keys().cloned().collect()
+    }
+}
+
+impl Default for RestSource {
+    fn default() -> Self {
+        RestSource::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_shape() {
+        let src = RestSource::new();
+        src.set("power_kw", 21.5);
+        src.set("flow_m3h", 12.0);
+        src.set_timestamp(123456);
+        let doc = src.get_json();
+        assert!(doc.contains("\"power_kw\":21.5"));
+        assert!(doc.contains("\"flow_m3h\":12"));
+        assert!(doc.contains("\"timestamp\":123456"));
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let src = RestSource::new();
+        src.set("x", 1.0);
+        assert_eq!(src.get_metric("x"), Some(1.0));
+        assert_eq!(src.get_metric("y"), None);
+        assert_eq!(src.metric_names(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn empty_document_is_valid() {
+        let doc = RestSource::new().get_json();
+        assert_eq!(doc, "{\"metrics\":{},\"timestamp\":0}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Synthetic SNMP agent.
+//!
+//! An OID tree with GET and GETNEXT (walk) semantics, modelling the power
+//! distribution units and cooling-loop instrumentation DCDB monitors
+//! out-of-band via SNMP (paper §3.1, §7.1).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// A numeric OID like `1.3.6.1.4.1.318.1.1.12.1.16.0`.
+pub type Oid = String;
+
+/// A simulated SNMP agent.
+pub struct SnmpAgent {
+    tree: RwLock<BTreeMap<Oid, f64>>,
+}
+
+impl SnmpAgent {
+    /// An empty agent.
+    pub fn new() -> SnmpAgent {
+        SnmpAgent { tree: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// An agent modelling a PDU with `outlets` metered outlets under the
+    /// APC-like prefix `1.3.6.1.4.1.318.1.1.12`.
+    pub fn pdu(outlets: usize) -> SnmpAgent {
+        let agent = SnmpAgent::new();
+        for i in 0..outlets {
+            agent.set(&format!("1.3.6.1.4.1.318.1.1.12.1.{}.0", 16 + i), 230.0 + i as f64);
+        }
+        agent
+    }
+
+    /// SET an OID value (simulation updates).
+    pub fn set(&self, oid: &str, value: f64) {
+        self.tree.write().insert(oid.to_string(), value);
+    }
+
+    /// SNMP GET.
+    pub fn get(&self, oid: &str) -> Option<f64> {
+        self.tree.read().get(oid).copied()
+    }
+
+    /// SNMP GETNEXT: the lexicographically next OID after `oid`.
+    pub fn get_next(&self, oid: &str) -> Option<(Oid, f64)> {
+        let tree = self.tree.read();
+        tree.range::<String, _>((
+            std::ops::Bound::Excluded(&oid.to_string()),
+            std::ops::Bound::Unbounded,
+        ))
+        .next()
+        .map(|(k, v)| (k.clone(), *v))
+    }
+
+    /// Walk all OIDs under `prefix` (GETNEXT loop, like `snmpwalk`).
+    pub fn walk(&self, prefix: &str) -> Vec<(Oid, f64)> {
+        self.tree
+            .read()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+impl Default for SnmpAgent {
+    fn default() -> Self {
+        SnmpAgent::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let a = SnmpAgent::new();
+        a.set("1.3.6.1.2.1.1.3.0", 42.0);
+        assert_eq!(a.get("1.3.6.1.2.1.1.3.0"), Some(42.0));
+        assert_eq!(a.get("1.3.6.1.2.1.1.4.0"), None);
+    }
+
+    #[test]
+    fn getnext_walks_lexicographically() {
+        let a = SnmpAgent::new();
+        a.set("1.1", 1.0);
+        a.set("1.2", 2.0);
+        a.set("1.3", 3.0);
+        let (oid, v) = a.get_next("1.1").unwrap();
+        assert_eq!((oid.as_str(), v), ("1.2", 2.0));
+        assert!(a.get_next("1.3").is_none());
+    }
+
+    #[test]
+    fn pdu_walk_covers_outlets() {
+        let a = SnmpAgent::pdu(8);
+        let rows = a.walk("1.3.6.1.4.1.318.1.1.12");
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|(_, v)| *v > 200.0));
+        assert!(a.walk("9.9").is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic sysfs tree: hwmon temperature sensors and RAPL energy counters.
+//!
+//! The production SysFS plugin samples "various temperature and energy
+//! sensors" (paper §6.2.1).  Real sysfs exposes one integer per file —
+//! `temp<N>_input` in millidegrees, `energy_uj` in microjoules — and so does
+//! this simulator.
+
+use parking_lot::RwLock;
+
+use super::TextFileSource;
+
+#[derive(Debug)]
+struct SysState {
+    /// Temperatures in milli-°C per sensor.
+    temps_mdeg: Vec<i64>,
+    /// Cumulative package energy in µJ per socket.
+    energy_uj: Vec<u64>,
+    /// Ambient baseline, milli-°C.
+    ambient_mdeg: i64,
+}
+
+/// The synthetic sysfs.
+pub struct SimSysFs {
+    state: RwLock<SysState>,
+    sockets: usize,
+    temp_sensors: usize,
+}
+
+impl SimSysFs {
+    /// A node with `sockets` packages and `temp_sensors` thermal probes.
+    pub fn new(sockets: usize, temp_sensors: usize) -> SimSysFs {
+        SimSysFs {
+            state: RwLock::new(SysState {
+                temps_mdeg: vec![35_000; temp_sensors],
+                energy_uj: vec![0; sockets],
+                ambient_mdeg: 28_000,
+            }),
+            sockets,
+            temp_sensors,
+        }
+    }
+
+    /// Advance by `dt_s` seconds with node power `power_w` and workload
+    /// `intensity` in `[0,1]`.  Temperatures follow a first-order thermal
+    /// model; energy integrates power.
+    pub fn advance(&self, dt_s: f64, power_w: f64, intensity: f64) {
+        let mut st = self.state.write();
+        let target = st.ambient_mdeg + (intensity * 45_000.0) as i64;
+        for (i, t) in st.temps_mdeg.iter_mut().enumerate() {
+            // sensors near hot spots run a bit hotter
+            let skew = (i as i64 % 5) * 1200;
+            let goal = target + skew;
+            *t += ((goal - *t) as f64 * (dt_s / 8.0).min(1.0)) as i64;
+        }
+        let per_socket_uj = (power_w * dt_s * 1e6 / self.sockets as f64) as u64;
+        for e in st.energy_uj.iter_mut() {
+            *e = e.wrapping_add(per_socket_uj);
+        }
+    }
+
+    /// Paths this tree exposes (used to configure the SysFS plugin).
+    pub fn paths(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for i in 0..self.temp_sensors {
+            v.push(format!("/sys/class/hwmon/hwmon0/temp{}_input", i + 1));
+        }
+        for s in 0..self.sockets {
+            v.push(format!("/sys/class/powercap/intel-rapl:{s}/energy_uj"));
+        }
+        v
+    }
+}
+
+impl TextFileSource for SimSysFs {
+    fn read_file(&self, path: &str) -> Option<String> {
+        let st = self.state.read();
+        if let Some(rest) = path.strip_prefix("/sys/class/hwmon/hwmon0/temp") {
+            let n: usize = rest.strip_suffix("_input")?.parse().ok()?;
+            let t = st.temps_mdeg.get(n.checked_sub(1)?)?;
+            return Some(format!("{t}\n"));
+        }
+        if let Some(rest) = path.strip_prefix("/sys/class/powercap/intel-rapl:") {
+            let n: usize = rest.strip_suffix("/energy_uj")?.parse().ok()?;
+            let e = st.energy_uj.get(n)?;
+            return Some(format!("{e}\n"));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposes_integer_files() {
+        let fs = SimSysFs::new(2, 3);
+        let t = fs.read_file("/sys/class/hwmon/hwmon0/temp1_input").unwrap();
+        let v: i64 = t.trim().parse().unwrap();
+        assert!(v > 20_000 && v < 110_000);
+        let e = fs.read_file("/sys/class/powercap/intel-rapl:1/energy_uj").unwrap();
+        assert_eq!(e.trim().parse::<u64>().unwrap(), 0);
+    }
+
+    #[test]
+    fn temperature_rises_under_load() {
+        let fs = SimSysFs::new(1, 1);
+        let read = |fs: &SimSysFs| -> i64 {
+            fs.read_file("/sys/class/hwmon/hwmon0/temp1_input").unwrap().trim().parse().unwrap()
+        };
+        let cold = read(&fs);
+        for _ in 0..100 {
+            fs.advance(1.0, 300.0, 1.0);
+        }
+        let hot = read(&fs);
+        assert!(hot > cold + 20_000, "temp should rise: {cold} → {hot}");
+        // cooling down when idle
+        for _ in 0..200 {
+            fs.advance(1.0, 60.0, 0.0);
+        }
+        assert!(read(&fs) < hot - 20_000);
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let fs = SimSysFs::new(2, 1);
+        fs.advance(10.0, 400.0, 0.5);
+        let e: u64 = fs
+            .read_file("/sys/class/powercap/intel-rapl:0/energy_uj")
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        // 400 W × 10 s / 2 sockets = 2000 J = 2e9 µJ
+        assert_eq!(e, 2_000_000_000);
+    }
+
+    #[test]
+    fn paths_enumeration_matches_reads() {
+        let fs = SimSysFs::new(2, 4);
+        for p in fs.paths() {
+            assert!(fs.read_file(&p).is_some(), "{p} must be readable");
+        }
+        assert_eq!(fs.paths().len(), 6);
+    }
+
+    #[test]
+    fn bad_paths_are_none() {
+        let fs = SimSysFs::new(1, 1);
+        assert!(fs.read_file("/sys/class/hwmon/hwmon0/temp9_input").is_none());
+        assert!(fs.read_file("/sys/other").is_none());
+        assert!(fs.read_file("/sys/class/hwmon/hwmon0/tempX_input").is_none());
+    }
+}

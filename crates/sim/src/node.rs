@@ -1,0 +1,171 @@
+//! A simulated compute node.
+//!
+//! Ties one architecture, one running workload and the in-band device
+//! simulators together: advancing the node in virtual time advances the
+//! workload trace and propagates intensity/power into `/proc`, sysfs, perf
+//! counters, the BMC, GPFS and the OPA port — so a Pusher's plugins observe
+//! a coherent machine.
+
+use std::sync::Arc;
+
+use crate::arch::{Arch, ArchSpec};
+use crate::clock::{NodeClock, SimClock};
+use crate::devices::gpfs::GpfsClient;
+use crate::devices::ipmi::IpmiBmc;
+use crate::devices::opa::OpaPort;
+use crate::devices::perf::PerfCounters;
+use crate::devices::procfs::SimProcFs;
+use crate::devices::sysfs::SimSysFs;
+use crate::workloads::{BehaviorTrace, TraceSample, Workload};
+
+/// One simulated node.
+pub struct SimNode {
+    /// Node architecture.
+    pub arch: Arch,
+    /// Node hostname (used in topics).
+    pub hostname: String,
+    /// The node-local clock (drift + NTP).
+    pub clock: NodeClock,
+    /// Synthetic `/proc`.
+    pub procfs: Arc<SimProcFs>,
+    /// Synthetic sysfs.
+    pub sysfs: Arc<SimSysFs>,
+    /// Performance counters.
+    pub perf: Arc<PerfCounters>,
+    /// Out-of-band BMC.
+    pub bmc: Arc<IpmiBmc>,
+    /// GPFS client counters.
+    pub gpfs: Arc<GpfsClient>,
+    /// Omni-Path port.
+    pub opa: Arc<OpaPort>,
+    trace: BehaviorTrace,
+    last_advance_ns: i64,
+    last_sample: TraceSample,
+}
+
+impl SimNode {
+    /// Create a node running `workload`.
+    pub fn new(
+        arch: Arch,
+        hostname: impl Into<String>,
+        clock: Arc<SimClock>,
+        workload: Workload,
+        seed: u64,
+    ) -> SimNode {
+        let spec: &ArchSpec = arch.spec();
+        let hostname = hostname.into();
+        let drift_ppm = ((seed % 41) as f64) - 20.0; // ±20 ppm spread
+        let mut trace =
+            BehaviorTrace::new(workload, spec, 100 * crate::NS_PER_MS, seed);
+        let last_sample = trace.next_sample();
+        SimNode {
+            arch,
+            hostname,
+            clock: NodeClock::new(clock, drift_ppm),
+            procfs: Arc::new(SimProcFs::new(
+                spec.hw_threads(),
+                spec.memory_bytes / (1024 * 1024 * 1024),
+            )),
+            sysfs: Arc::new(SimSysFs::new(2, 8)),
+            perf: Arc::new(PerfCounters::new(spec.hw_threads(), 2.0)),
+            bmc: Arc::new(IpmiBmc::new()),
+            gpfs: Arc::new(GpfsClient::new()),
+            opa: Arc::new(OpaPort::new()),
+            trace,
+            last_advance_ns: 0,
+            last_sample,
+        }
+    }
+
+    /// Advance the node's device state to reference time `ts_ns`.
+    pub fn advance_to(&mut self, ts_ns: i64) {
+        if ts_ns <= self.last_advance_ns {
+            return;
+        }
+        let dt_s = (ts_ns - self.last_advance_ns) as f64 / 1e9;
+        self.last_advance_ns = ts_ns;
+        // draw a fresh behaviour sample when we've outrun the current one
+        while self.last_sample.ts + 100 * crate::NS_PER_MS < ts_ns {
+            self.last_sample = self.trace.next_sample();
+        }
+        let s = self.last_sample;
+        let intensity = (s.instructions_per_core / 2.4e9).clamp(0.05, 1.0);
+        self.procfs.advance(dt_s, intensity);
+        self.sysfs.advance(dt_s, s.power_w, intensity);
+        self.perf.advance(dt_s, s.instructions_per_core / 0.1); // per-second rate
+        self.bmc.advance(s.power_w, intensity);
+        self.gpfs.advance(dt_s, 20.0 * intensity, 8.0 * intensity);
+        let spec = self.arch.spec();
+        self.opa.advance(
+            dt_s,
+            spec.link_bandwidth / 1e6 * 0.05 * intensity,
+            spec.link_bandwidth / 1e6 * 0.05 * intensity,
+            2048.0,
+        );
+    }
+
+    /// Current node power in W (from the latest behaviour sample).
+    pub fn power_w(&self) -> f64 {
+        self.last_sample.power_w
+    }
+
+    /// Current per-core instruction rate (instructions per 100 ms interval).
+    pub fn instructions_per_core(&self) -> f64 {
+        self.last_sample.instructions_per_core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::TextFileSource;
+
+    fn node() -> SimNode {
+        SimNode::new(Arch::KnightsLanding, "knl-01", SimClock::new(), Workload::Kripke, 9)
+    }
+
+    #[test]
+    fn devices_progress_coherently() {
+        let mut n = node();
+        n.advance_to(10 * crate::NS_PER_SEC);
+        // perf counters moved
+        let instr = n.perf.read(0, crate::devices::perf::CounterKind::Instructions).unwrap();
+        assert!(instr > 0);
+        // procfs shows busy CPUs
+        let stat = n.procfs.read_file("/proc/stat").unwrap();
+        let user: u64 =
+            stat.lines().next().unwrap().split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(user > 0);
+        // BMC power follows the workload
+        let p1 = n.bmc.get_sensor_reading(1).unwrap();
+        assert!(p1 > 50.0);
+        // energy accumulated
+        let e: u64 = n
+            .sysfs
+            .read_file("/sys/class/powercap/intel-rapl:0/energy_uj")
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(e > 0);
+    }
+
+    #[test]
+    fn advance_is_monotonic_and_idempotent() {
+        let mut n = node();
+        n.advance_to(5 * crate::NS_PER_SEC);
+        let instr1 = n.perf.read(0, crate::devices::perf::CounterKind::Instructions).unwrap();
+        n.advance_to(3 * crate::NS_PER_SEC); // going back is a no-op
+        let instr2 = n.perf.read(0, crate::devices::perf::CounterKind::Instructions).unwrap();
+        assert_eq!(instr1, instr2);
+        n.advance_to(6 * crate::NS_PER_SEC);
+        let instr3 = n.perf.read(0, crate::devices::perf::CounterKind::Instructions).unwrap();
+        assert!(instr3 > instr2);
+    }
+
+    #[test]
+    fn hw_thread_count_matches_arch() {
+        let n = node();
+        assert_eq!(n.perf.hw_threads(), Arch::KnightsLanding.spec().hw_threads());
+    }
+}

@@ -1,0 +1,466 @@
+//! The interference model: from Pusher activity to application slowdown.
+//!
+//! The paper measures overhead `O = (Tp − Tr)/Tr` — the relative runtime
+//! increase of a reference application when a Pusher runs alongside it
+//! (§6.1).  Two mechanisms produce that increase:
+//!
+//! 1. **Compute competition.**  Sampling steals CPU time from application
+//!    threads.  For tightly-coupled parallel codes an interruption on one
+//!    core stalls the synchronised peers, so the *fraction of one core* the
+//!    Pusher keeps busy maps to whole-application slowdown through a
+//!    per-architecture amplification factor.
+//! 2. **Network interference.**  MQTT traffic shares the interconnect with
+//!    MPI; applications dominated by many small messages and fine-grained
+//!    synchronisation (AMG) lose disproportionally, and the loss grows with
+//!    node count (Fig. 4).
+//!
+//! Calibration: the per-architecture constants are fitted so that (a) the
+//! tester-plugin heat maps reproduce Fig. 5's gradients, (b) per-core CPU
+//! load reproduces Fig. 7's linear curves (3%/5%/8% at 10⁵ readings/s), and
+//! (c) the production configurations land on Table 1's overheads
+//! (1.77% / 0.69% / 4.14%).  Absolute values are inherited from the paper;
+//! the *model structure* (linearity in sensor rate, arch ordering, AMG's
+//! node-count growth) is what the benches verify.
+
+use crate::arch::{Arch, ArchSpec};
+use crate::workloads::Workload;
+
+/// How the Pusher ships readings to its Collect Agent (paper §6.2.1: AMG
+/// performed best with bursts twice per minute; the other benchmarks with
+/// continuous sending).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendPolicy {
+    /// Send readings as they are sampled.
+    Continuous,
+    /// Accumulate and send in regular bursts (`burst_per_minute` times/min).
+    Burst {
+        /// Bursts per minute (the paper's best AMG setting used 2).
+        per_minute: u32,
+    },
+}
+
+/// The Pusher-side plugin backends whose read costs differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PluginKind {
+    /// perf_event counter reads.
+    Perfevents,
+    /// /proc file sampling (meminfo, vmstat, stat).
+    ProcFs,
+    /// sysfs value files (hwmon temperatures, energy).
+    SysFs,
+    /// Omni-Path port counters.
+    Opa,
+    /// GPFS I/O counters.
+    Gpfs,
+    /// The tester plugin: generates sensors with negligible backend cost,
+    /// isolating the Pusher core (paper §6.2).
+    Tester,
+    /// IPMI (out-of-band; listed for completeness).
+    Ipmi,
+    /// SNMP (out-of-band).
+    Snmp,
+    /// REST scraping (out-of-band).
+    Rest,
+    /// BACnet building automation (out-of-band).
+    Bacnet,
+}
+
+impl PluginKind {
+    /// Effective cost of producing one reading through this backend, in ns,
+    /// on the given architecture.  Includes syscall, parsing and cache
+    /// pollution as an aggregate (calibrated, see module docs).
+    pub fn read_cost_ns(&self, arch: Arch) -> f64 {
+        
+        match self {
+            PluginKind::Perfevents => match arch {
+                Arch::Skylake => 43_000.0,
+                Arch::Haswell => 30_000.0,
+                Arch::KnightsLanding => 34_000.0,
+            },
+            PluginKind::ProcFs => match arch {
+                Arch::Skylake => 4_000.0,
+                Arch::Haswell => 5_000.0,
+                Arch::KnightsLanding => 12_000.0,
+            },
+            PluginKind::SysFs => match arch {
+                Arch::Skylake => 25_000.0,
+                Arch::Haswell => 28_000.0,
+                Arch::KnightsLanding => 60_000.0,
+            },
+            PluginKind::Opa => match arch {
+                Arch::Skylake => 15_000.0,
+                Arch::Haswell => 18_000.0,
+                Arch::KnightsLanding => 25_000.0,
+            },
+            PluginKind::Gpfs => 8_000.0,
+            PluginKind::Tester => 50.0,
+            // out-of-band backends: dominated by network round-trips, they
+            // never run on compute nodes so their cost is informational
+            PluginKind::Ipmi => 5_000_000.0,
+            PluginKind::Snmp => 2_000_000.0,
+            PluginKind::Rest => 1_000_000.0,
+            PluginKind::Bacnet => 3_000_000.0,
+        }
+    }
+}
+
+/// The production sensor mix of an architecture (Table 1 plugin sets).
+pub fn production_mix(arch: Arch) -> Vec<(PluginKind, usize)> {
+    match arch {
+        // 2477 sensors: 2 sockets × 24 cores × 2 threads × 20 events = 1920
+        Arch::Skylake => vec![
+            (PluginKind::Perfevents, 1920),
+            (PluginKind::ProcFs, 250),
+            (PluginKind::SysFs, 107),
+            (PluginKind::Opa, 200),
+        ],
+        // 750 sensors: 28 cores × 20 events = 560
+        Arch::Haswell => {
+            vec![(PluginKind::Perfevents, 560), (PluginKind::ProcFs, 140), (PluginKind::SysFs, 50)]
+        }
+        // 3176 sensors: 256 threads × 11 events = 2816
+        Arch::KnightsLanding => vec![
+            (PluginKind::Perfevents, 2816),
+            (PluginKind::ProcFs, 250),
+            (PluginKind::SysFs, 60),
+            (PluginKind::Opa, 50),
+        ],
+    }
+}
+
+/// Per-reading Pusher *core* cost (sampling loop + cache insert + MQTT
+/// client), ns — fitted to Fig. 7's CPU-load curves.
+pub fn core_cost_ns(arch: Arch) -> f64 {
+    match arch {
+        Arch::Skylake => 300.0,
+        Arch::Haswell => 500.0,
+        Arch::KnightsLanding => 800.0,
+    }
+}
+
+/// Amplification from per-core Pusher load to whole-application overhead
+/// against HPL — fitted to Fig. 5's heat maps and Table 1.
+pub fn sync_amplification(arch: Arch) -> f64 {
+    match arch {
+        Arch::Skylake => 0.20,
+        Arch::Haswell => 0.36,
+        Arch::KnightsLanding => 0.40,
+    }
+}
+
+/// A Pusher configuration, for overhead/footprint prediction.
+#[derive(Debug, Clone)]
+pub struct PusherConfig {
+    /// `(plugin, sensor count)` pairs.
+    pub sensors: Vec<(PluginKind, usize)>,
+    /// Sampling interval in milliseconds.
+    pub interval_ms: u64,
+    /// Send policy.
+    pub policy: SendPolicy,
+    /// Sensor cache window, seconds (production default: 120 s).
+    pub cache_window_s: u64,
+}
+
+impl PusherConfig {
+    /// Production configuration of `arch` (Table 1): 1 s sampling, 2-minute
+    /// cache, continuous sending.
+    pub fn production(arch: Arch) -> PusherConfig {
+        PusherConfig {
+            sensors: production_mix(arch),
+            interval_ms: 1000,
+            policy: SendPolicy::Continuous,
+            cache_window_s: 120,
+        }
+    }
+
+    /// A tester-only configuration (paper's `core` setup).
+    pub fn tester(sensors: usize, interval_ms: u64) -> PusherConfig {
+        PusherConfig {
+            sensors: vec![(PluginKind::Tester, sensors)],
+            interval_ms,
+            policy: SendPolicy::Continuous,
+            cache_window_s: 120,
+        }
+    }
+
+    /// Total sensors.
+    pub fn total_sensors(&self) -> usize {
+        self.sensors.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Readings produced per second.
+    pub fn sensor_rate(&self) -> f64 {
+        self.total_sensors() as f64 * 1000.0 / self.interval_ms as f64
+    }
+}
+
+/// Predicted per-core CPU load of the Pusher process, percent of one core
+/// (Figs. 6a and 7).
+pub fn pusher_cpu_load_percent(cfg: &PusherConfig, arch: Arch) -> f64 {
+    let mut busy_ns_per_s = 0.0;
+    for &(plugin, n) in &cfg.sensors {
+        let rate = n as f64 * 1000.0 / cfg.interval_ms as f64;
+        // backend cost applies only to the read; core cost covers caching+send
+        let backend = if plugin == PluginKind::Tester { 0.0 } else { plugin.read_cost_ns(arch) };
+        busy_ns_per_s += rate * (core_cost_ns(arch) + backend);
+    }
+    busy_ns_per_s / 1e9 * 100.0
+}
+
+/// Predicted Pusher memory usage in MB (Fig. 6b): a per-architecture base
+/// footprint, ~2 KB of metadata per sensor, and the sensor cache holding
+/// `cache_window / interval` readings per sensor.
+pub fn pusher_memory_mb(cfg: &PusherConfig, arch: Arch) -> f64 {
+    let base_mb = match arch {
+        Arch::Skylake => 30.0,
+        Arch::Haswell => 25.0,
+        Arch::KnightsLanding => 72.0,
+    };
+    let sensors = cfg.total_sensors() as f64;
+    let per_sensor_kb = 2.0;
+    let cache_entries = (cfg.cache_window_s as f64 * 1000.0 / cfg.interval_ms as f64).max(1.0);
+    let cache_mb = sensors * cache_entries * 28.0 / 1e6;
+    base_mb + sensors * per_sensor_kb / 1024.0 + cache_mb
+}
+
+/// Overhead (percent) of running the Pusher next to HPL on one node —
+/// compute competition only (Figs. 5, Table 1 single-node rows).
+///
+/// `noise` adds the measurement jitter visible in the paper's heat maps
+/// (many cells read 0 because the median monitored run was no slower);
+/// pass 0.0 for the deterministic model value.
+pub fn hpl_overhead_percent(cfg: &PusherConfig, arch: Arch, noise: f64) -> f64 {
+    let load = pusher_cpu_load_percent(cfg, arch);
+    let oh = load * sync_amplification(arch);
+    (oh + noise).max(0.0)
+}
+
+/// Relative monitoring traffic injected into the interconnect by one node's
+/// Pusher, used by the network-interference term.  Bursty sending compresses
+/// the duty cycle: fewer, larger transfers interfere less with latency-bound
+/// small-message traffic.
+pub fn monitoring_traffic_factor(cfg: &PusherConfig) -> f64 {
+    // ~64 B per reading on the wire (topic + payload + framing)
+    let bytes_per_s = cfg.sensor_rate() * 64.0;
+    let duty = match cfg.policy {
+        SendPolicy::Continuous => 1.0,
+        SendPolicy::Burst { per_minute } => {
+            // bursts once per 60/per_minute seconds: the link is disturbed
+            // only during the burst window
+            (per_minute as f64 / 60.0).clamp(0.02, 1.0).sqrt()
+        }
+    };
+    bytes_per_s / 160_000.0 * duty
+}
+
+/// Network-interference overhead (percent) for an MPI workload on `nodes`
+/// nodes (Fig. 4).  Grows with node count (more synchronised participants,
+/// more victims per disturbance); AMG's `net_sensitivity` makes it the
+/// stand-out.
+pub fn network_overhead_percent(
+    workload: Workload,
+    nodes: usize,
+    cfg: &PusherConfig,
+    _arch: Arch,
+) -> f64 {
+    let w = workload.spec();
+    if w.net_sensitivity == 0.0 || nodes <= 1 {
+        return 0.0;
+    }
+    let traffic = monitoring_traffic_factor(cfg);
+    w.net_sensitivity * traffic * nodes as f64 / 1024.0
+}
+
+/// Total overhead for an MPI workload: compute competition scaled by the
+/// workload's own synchronisation profile, plus network interference
+/// (Fig. 4's `total` bars; use a tester config for the `core` bars).
+pub fn mpi_overhead_percent(
+    workload: Workload,
+    nodes: usize,
+    cfg: &PusherConfig,
+    arch: Arch,
+    noise: f64,
+) -> f64 {
+    let w = workload.spec();
+    let compute =
+        pusher_cpu_load_percent(cfg, arch) * sync_amplification(arch) * w.sync_amplification;
+    let net = network_overhead_percent(workload, nodes, cfg, arch);
+    (compute + net + noise).max(0.0)
+}
+
+/// Least-squares linear fit `y = a + b·x`; returns `(a, b, r²)`.
+///
+/// Used to verify Fig. 7's observation that CPU load scales linearly with
+/// sensor rate (Eq. 1 interpolates between two measured rates).
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let b = if denom.abs() < 1e-12 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let a = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// Equation 1 of the paper: interpolate CPU load at sensor rate `s` from two
+/// measured reference points `(a, load_a)` and `(b, load_b)`.
+pub fn eq1_interpolate(s: f64, a: (f64, f64), b: (f64, f64)) -> f64 {
+    a.1 + (s - a.0) * (b.1 - a.1) / (b.0 - a.0)
+}
+
+/// Convenience: per-arch ArchSpec accessor used by report binaries.
+pub fn spec(arch: Arch) -> &'static ArchSpec {
+    arch.spec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_overheads_reproduced() {
+        // Production configs must land near Table 1's measured overheads.
+        for (arch, expect) in
+            [(Arch::Skylake, 1.77), (Arch::Haswell, 0.69), (Arch::KnightsLanding, 4.14)]
+        {
+            let cfg = PusherConfig::production(arch);
+            let got = hpl_overhead_percent(&cfg, arch, 0.0);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.15, "{arch:?}: predicted {got:.2}% vs paper {expect}%");
+        }
+    }
+
+    #[test]
+    fn fig7_cpu_load_reproduced() {
+        // 10,000 sensors @100 ms = 1e5 readings/s → ~3% / 5% / 8% per-core load.
+        let cfg = PusherConfig::tester(10_000, 100);
+        let sky = pusher_cpu_load_percent(&cfg, Arch::Skylake);
+        let has = pusher_cpu_load_percent(&cfg, Arch::Haswell);
+        let knl = pusher_cpu_load_percent(&cfg, Arch::KnightsLanding);
+        assert!((sky - 3.0).abs() < 0.6, "skylake load {sky}");
+        assert!((has - 5.0).abs() < 1.0, "haswell load {has}");
+        assert!((knl - 8.0).abs() < 1.5, "knl load {knl}");
+    }
+
+    #[test]
+    fn cpu_load_is_linear_in_rate() {
+        let pts: Vec<(f64, f64)> = [100u64, 250, 500, 1000, 10000]
+            .iter()
+            .flat_map(|&interval| {
+                [10usize, 100, 1000, 5000, 10000].iter().map(move |&n| {
+                    let cfg = PusherConfig::tester(n, interval);
+                    (cfg.sensor_rate(), pusher_cpu_load_percent(&cfg, Arch::Skylake))
+                })
+            })
+            .collect();
+        let (_a, b, r2) = linear_fit(&pts);
+        assert!(b > 0.0);
+        assert!(r2 > 0.999, "linear fit r² = {r2}");
+    }
+
+    #[test]
+    fn eq1_matches_model_for_linear_load() {
+        let rate = |n: usize| PusherConfig::tester(n, 1000).sensor_rate();
+        let load = |n: usize| {
+            pusher_cpu_load_percent(&PusherConfig::tester(n, 1000), Arch::Haswell)
+        };
+        let interp = eq1_interpolate(rate(5000), (rate(1000), load(1000)), (rate(10000), load(10000)));
+        assert!((interp - load(5000)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_memory_footprint_shape() {
+        // most intensive config: 10,000 sensors @100 ms ≈ 350 MB
+        let big = PusherConfig::tester(10_000, 100);
+        let mb = pusher_memory_mb(&big, Arch::Skylake);
+        assert!((300.0..420.0).contains(&mb), "big config {mb} MB");
+        // production-scale: ≤1000 sensors stays well below 50 MB
+        let small = PusherConfig::tester(1_000, 1000);
+        let mb = pusher_memory_mb(&small, Arch::Skylake);
+        assert!(mb < 50.0, "small config {mb} MB");
+        // memory grows when interval shrinks (bigger cache)
+        let fast = PusherConfig::tester(1_000, 100);
+        assert!(pusher_memory_mb(&fast, Arch::Skylake) > mb);
+    }
+
+    #[test]
+    fn fig5_heatmap_bounds() {
+        // ≤1000 sensors: overhead below 1% everywhere; worst case (KNL,
+        // 10k sensors @100 ms) stays under 5%.
+        for arch in Arch::ALL {
+            for interval in [100u64, 250, 500, 1000, 10000] {
+                for sensors in [10usize, 100, 1000] {
+                    let cfg = PusherConfig::tester(sensors, interval);
+                    let oh = hpl_overhead_percent(&cfg, arch, 0.0);
+                    assert!(oh < 1.0, "{arch:?} {sensors}@{interval}ms → {oh:.2}%");
+                }
+            }
+        }
+        let worst = hpl_overhead_percent(&PusherConfig::tester(10_000, 100), Arch::KnightsLanding, 0.0);
+        assert!((2.0..5.0).contains(&worst), "KNL worst case {worst:.2}%");
+        let sky_worst = hpl_overhead_percent(&PusherConfig::tester(10_000, 100), Arch::Skylake, 0.0);
+        assert!(sky_worst < 1.0, "Skylake stays flat: {sky_worst:.2}%");
+    }
+
+    #[test]
+    fn fig4_amg_grows_with_nodes() {
+        let cfg = PusherConfig::production(Arch::Skylake);
+        let mut prev = 0.0;
+        for nodes in [128usize, 256, 512, 1024] {
+            let oh = mpi_overhead_percent(Workload::Amg, nodes, &cfg, Arch::Skylake, 0.0);
+            assert!(oh > prev, "AMG overhead must grow with node count");
+            prev = oh;
+        }
+        // ~9% at 1024 nodes, and clearly above the others
+        assert!((6.0..12.0).contains(&prev), "AMG@1024 = {prev:.2}%");
+        for w in [Workload::Lammps, Workload::Kripke, Workload::Quicksilver] {
+            let oh = mpi_overhead_percent(w, 1024, &cfg, Arch::Skylake, 0.0);
+            assert!(oh < 3.0, "{w} overhead {oh:.2}% must stay below 3%");
+        }
+    }
+
+    #[test]
+    fn fig4_core_config_isolates_network_share() {
+        // With the tester plugin ("core"), AMG keeps most of its overhead
+        // (network-driven) while the others lose most of theirs.
+        let total = PusherConfig::production(Arch::Skylake);
+        let core = PusherConfig::tester(total.total_sensors(), 1000);
+        let amg_total = mpi_overhead_percent(Workload::Amg, 1024, &total, Arch::Skylake, 0.0);
+        let amg_core = mpi_overhead_percent(Workload::Amg, 1024, &core, Arch::Skylake, 0.0);
+        assert!(amg_core > 0.6 * amg_total, "AMG: core {amg_core:.2} vs total {amg_total:.2}");
+        let k_total = mpi_overhead_percent(Workload::Kripke, 1024, &total, Arch::Skylake, 0.0);
+        let k_core = mpi_overhead_percent(Workload::Kripke, 1024, &core, Arch::Skylake, 0.0);
+        assert!(k_core < 0.4 * k_total, "Kripke: core {k_core:.2} vs total {k_total:.2}");
+    }
+
+    #[test]
+    fn burst_sending_helps_amg() {
+        let mut cfg = PusherConfig::production(Arch::Skylake);
+        let cont = mpi_overhead_percent(Workload::Amg, 1024, &cfg, Arch::Skylake, 0.0);
+        cfg.policy = SendPolicy::Burst { per_minute: 2 };
+        let burst = mpi_overhead_percent(Workload::Amg, 1024, &cfg, Arch::Skylake, 0.0);
+        assert!(burst < cont, "bursting must reduce AMG interference");
+    }
+
+    #[test]
+    fn linear_fit_recovers_known_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 0.5 * i as f64)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_noise_clamps_to_zero() {
+        let cfg = PusherConfig::tester(10, 10000);
+        assert_eq!(hpl_overhead_percent(&cfg, Arch::Skylake, -99.0), 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Phase-based application models.
+//!
+//! The paper's overhead experiments run HPL (shared-memory, compute-bound;
+//! the worst case for in-band monitoring) and four CORAL-2 MPI proxies whose
+//! communication behaviour spans the spectrum of real HPC workloads
+//! (paper §6.1):
+//!
+//! * **AMG** — algebraic multigrid; notorious for many small MPI messages and
+//!   fine-grained synchronisation, hence extremely network-sensitive,
+//! * **LAMMPS** — molecular dynamics; moderate communication, phase changes,
+//! * **Kripke** — deterministic transport; high computational density,
+//! * **Quicksilver** — Monte-Carlo transport; compute-heavy, few messages.
+//!
+//! Each [`WorkloadSpec`] carries the MPI/communication profile used by the
+//! interference model (Fig. 4) and a *behaviour mixture* of execution phases
+//! used to synthesise per-interval instruction/power traces — the input to
+//! the application-characterisation case study (Fig. 10), where Kripke and
+//! Quicksilver show high, narrow instructions-per-Watt densities while
+//! LAMMPS and AMG are lower and multi-modal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arch::ArchSpec;
+
+/// The modelled applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// High-Performance Linpack (shared-memory, Intel MKL build).
+    Hpl,
+    /// CORAL-2 AMG (BoomerAMG proxy).
+    Amg,
+    /// CORAL-2 LAMMPS.
+    Lammps,
+    /// CORAL-2 Kripke.
+    Kripke,
+    /// CORAL-2 Quicksilver.
+    Quicksilver,
+}
+
+impl Workload {
+    /// The CORAL-2 subset used in Fig. 4 / Fig. 10.
+    pub const CORAL2: [Workload; 4] =
+        [Workload::Kripke, Workload::Quicksilver, Workload::Lammps, Workload::Amg];
+
+    /// Model parameters.
+    pub fn spec(&self) -> &'static WorkloadSpec {
+        match self {
+            Workload::Hpl => &HPL,
+            Workload::Amg => &AMG,
+            Workload::Lammps => &LAMMPS,
+            Workload::Kripke => &KRIPKE,
+            Workload::Quicksilver => &QUICKSILVER,
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// One execution phase of an application (e.g. LAMMPS force computation vs.
+/// neighbour-list rebuild).  `weight` is the fraction of runtime spent in
+/// the phase.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase label (documentation / traces).
+    pub name: &'static str,
+    /// Fraction of runtime spent here (phases sum to 1).
+    pub weight: f64,
+    /// Instructions retired per core per second, ×1e9.
+    pub ginstr_per_core_s: f64,
+    /// Node dynamic power draw in this phase, W (on the KNL reference node).
+    pub power_w: f64,
+    /// Relative std-dev of per-interval noise.
+    pub noise: f64,
+}
+
+/// Parameters of one application model.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Application name.
+    pub name: &'static str,
+    /// Execution phases (mixture model for traces).
+    pub phases: &'static [Phase],
+    /// MPI messages per second per node (order of magnitude).
+    pub mpi_msg_rate: f64,
+    /// Sensitivity of runtime to network interference: the fraction of
+    /// additional runtime incurred per unit of relative monitoring traffic,
+    /// scaled by node count (AMG ≫ others).
+    pub net_sensitivity: f64,
+    /// Synchronisation amplification: fraction of Pusher CPU time that
+    /// translates into whole-application slowdown (tightly-coupled codes
+    /// amplify interruptions; see `overhead` module).
+    pub sync_amplification: f64,
+    /// Mean phase duration in seconds (controls multi-modality visibility).
+    pub phase_duration_s: f64,
+}
+
+/// HPL: one long compute phase, high power.
+pub static HPL: WorkloadSpec = WorkloadSpec {
+    name: "hpl",
+    phases: &[Phase {
+        name: "dgemm",
+        weight: 1.0,
+        ginstr_per_core_s: 2.4,
+        power_w: 260.0,
+        noise: 0.03,
+    }],
+    mpi_msg_rate: 0.0,
+    net_sensitivity: 0.0,
+    sync_amplification: 1.0, // scaled per-arch in the overhead model
+    phase_duration_s: 10.0,
+};
+
+/// AMG: setup/solve cycles, many small messages.
+pub static AMG: WorkloadSpec = WorkloadSpec {
+    name: "amg",
+    phases: &[
+        Phase { name: "setup", weight: 0.35, ginstr_per_core_s: 0.55, power_w: 205.0, noise: 0.10 },
+        Phase { name: "solve", weight: 0.50, ginstr_per_core_s: 0.30, power_w: 225.0, noise: 0.08 },
+        Phase { name: "comm", weight: 0.15, ginstr_per_core_s: 0.10, power_w: 190.0, noise: 0.12 },
+    ],
+    mpi_msg_rate: 25_000.0,
+    net_sensitivity: 7.0,
+    sync_amplification: 0.75,
+    phase_duration_s: 2.0,
+};
+
+/// LAMMPS: force computation + neighbour rebuild, two visible modes.
+pub static LAMMPS: WorkloadSpec = WorkloadSpec {
+    name: "lammps",
+    phases: &[
+        Phase { name: "force", weight: 0.60, ginstr_per_core_s: 0.70, power_w: 240.0, noise: 0.06 },
+        Phase {
+            name: "neighbor",
+            weight: 0.25,
+            ginstr_per_core_s: 0.40,
+            power_w: 215.0,
+            noise: 0.10,
+        },
+        Phase { name: "io", weight: 0.15, ginstr_per_core_s: 0.15, power_w: 195.0, noise: 0.12 },
+    ],
+    mpi_msg_rate: 4_000.0,
+    net_sensitivity: 0.45,
+    sync_amplification: 0.9,
+    phase_duration_s: 3.0,
+};
+
+/// Kripke: sweep kernels, very high computational density.
+pub static KRIPKE: WorkloadSpec = WorkloadSpec {
+    name: "kripke",
+    phases: &[
+        Phase { name: "sweep", weight: 0.9, ginstr_per_core_s: 1.05, power_w: 235.0, noise: 0.045 },
+        Phase { name: "ltimes", weight: 0.1, ginstr_per_core_s: 0.9, power_w: 225.0, noise: 0.05 },
+    ],
+    mpi_msg_rate: 6_000.0,
+    net_sensitivity: 0.6,
+    sync_amplification: 1.1,
+    phase_duration_s: 6.0,
+};
+
+/// Quicksilver: Monte-Carlo tracking, compute-heavy, few messages.
+pub static QUICKSILVER: WorkloadSpec = WorkloadSpec {
+    name: "quicksilver",
+    phases: &[Phase {
+        name: "tracking",
+        weight: 1.0,
+        ginstr_per_core_s: 0.85,
+        power_w: 230.0,
+        noise: 0.055,
+    }],
+    mpi_msg_rate: 1_500.0,
+    net_sensitivity: 0.35,
+    sync_amplification: 0.7,
+    phase_duration_s: 8.0,
+};
+
+/// One sample of an application behaviour trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Sample timestamp, ns.
+    pub ts: i64,
+    /// Instructions retired per core during the interval.
+    pub instructions_per_core: f64,
+    /// Average node power during the interval, W.
+    pub power_w: f64,
+}
+
+/// Generator of per-interval instruction/power traces for a workload running
+/// on `arch` — the synthetic stand-in for the Perfevents + power-sensor data
+/// of the Fig. 10 case study.
+pub struct BehaviorTrace {
+    spec: &'static WorkloadSpec,
+    arch: &'static ArchSpec,
+    rng: StdRng,
+    interval_ns: i64,
+    now_ns: i64,
+    phase_idx: usize,
+    phase_left_ns: i64,
+    /// Static node power floor, W.
+    idle_power_w: f64,
+}
+
+impl BehaviorTrace {
+    /// Create a trace generator with a deterministic seed.
+    pub fn new(
+        workload: Workload,
+        arch: &'static ArchSpec,
+        interval_ns: i64,
+        seed: u64,
+    ) -> BehaviorTrace {
+        assert!(interval_ns > 0);
+        let spec = workload.spec();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDCDB);
+        let phase_idx = pick_phase(spec, &mut rng);
+        let phase_left_ns = phase_len_ns(spec, &mut rng);
+        BehaviorTrace {
+            spec,
+            arch,
+            rng,
+            interval_ns,
+            now_ns: 0,
+            phase_idx,
+            phase_left_ns,
+            idle_power_w: 75.0,
+        }
+    }
+
+    /// Produce the next sample.
+    pub fn next_sample(&mut self) -> TraceSample {
+        let phase = &self.spec.phases[self.phase_idx];
+        let dt_s = self.interval_ns as f64 / 1e9;
+        // scale instruction throughput with single-thread performance
+        let gips = phase.ginstr_per_core_s * self.arch.single_thread_perf / 0.28;
+        // (phase tables are calibrated on the KNL node, st perf 0.28)
+        let noise_i = 1.0 + phase.noise * self.rng.gen_range(-1.0..1.0);
+        let noise_p = 1.0 + (phase.noise * 0.6) * self.rng.gen_range(-1.0..1.0);
+        let instructions = (gips * 1e9 * dt_s * noise_i).max(0.0);
+        let power = (self.idle_power_w + phase.power_w * noise_p).max(1.0);
+
+        let sample =
+            TraceSample { ts: self.now_ns, instructions_per_core: instructions, power_w: power };
+        self.now_ns += self.interval_ns;
+        self.phase_left_ns -= self.interval_ns;
+        if self.phase_left_ns <= 0 {
+            self.phase_idx = pick_phase(self.spec, &mut self.rng);
+            self.phase_left_ns = phase_len_ns(self.spec, &mut self.rng);
+        }
+        sample
+    }
+
+    /// Generate `n` samples.
+    pub fn take(&mut self, n: usize) -> Vec<TraceSample> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+
+    /// Current phase name (for tests/traces).
+    pub fn phase_name(&self) -> &'static str {
+        self.spec.phases[self.phase_idx].name
+    }
+}
+
+fn pick_phase(spec: &WorkloadSpec, rng: &mut StdRng) -> usize {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, p) in spec.phases.iter().enumerate() {
+        acc += p.weight;
+        if x < acc {
+            return i;
+        }
+    }
+    spec.phases.len() - 1
+}
+
+fn phase_len_ns(spec: &WorkloadSpec, rng: &mut StdRng) -> i64 {
+    let mean = spec.phase_duration_s;
+    let len_s = rng.gen_range(0.5 * mean..1.5 * mean);
+    (len_s * 1e9) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::KNIGHTS_LANDING;
+
+    fn mean_ipw(w: Workload, n: usize) -> f64 {
+        let mut t = BehaviorTrace::new(w, &KNIGHTS_LANDING, 100 * crate::NS_PER_MS, 7);
+        let samples = t.take(n);
+        samples.iter().map(|s| s.instructions_per_core / s.power_w).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn phase_weights_sum_to_one() {
+        for w in [Workload::Hpl, Workload::Amg, Workload::Lammps, Workload::Kripke, Workload::Quicksilver]
+        {
+            let total: f64 = w.spec().phases.iter().map(|p| p.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{w}: weights sum to {total}");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = BehaviorTrace::new(Workload::Lammps, &KNIGHTS_LANDING, 1_000_000, 42).take(50);
+        let b = BehaviorTrace::new(Workload::Lammps, &KNIGHTS_LANDING, 1_000_000, 42).take(50);
+        let c = BehaviorTrace::new(Workload::Lammps, &KNIGHTS_LANDING, 1_000_000, 43).take(50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fig10_ordering_kripke_quicksilver_above_lammps_amg() {
+        // Fig. 10: Kripke and Quicksilver show much higher instructions/Watt
+        // than LAMMPS and AMG.
+        let kripke = mean_ipw(Workload::Kripke, 3000);
+        let quick = mean_ipw(Workload::Quicksilver, 3000);
+        let lammps = mean_ipw(Workload::Lammps, 3000);
+        let amg = mean_ipw(Workload::Amg, 3000);
+        assert!(kripke > lammps * 1.5, "kripke {kripke} vs lammps {lammps}");
+        assert!(kripke > amg * 2.0, "kripke {kripke} vs amg {amg}");
+        assert!(quick > amg * 1.5, "quicksilver {quick} vs amg {amg}");
+    }
+
+    #[test]
+    fn multimodal_apps_visit_all_phases() {
+        let mut t = BehaviorTrace::new(Workload::Amg, &KNIGHTS_LANDING, 100_000_000, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            t.next_sample();
+            seen.insert(t.phase_name());
+        }
+        assert_eq!(seen.len(), Workload::Amg.spec().phases.len());
+    }
+
+    #[test]
+    fn samples_advance_time() {
+        let mut t = BehaviorTrace::new(Workload::Hpl, &KNIGHTS_LANDING, 1_000, 1);
+        let s0 = t.next_sample();
+        let s1 = t.next_sample();
+        assert_eq!(s0.ts, 0);
+        assert_eq!(s1.ts, 1_000);
+        assert!(s0.power_w > 0.0 && s0.instructions_per_core > 0.0);
+    }
+
+    #[test]
+    fn amg_is_most_network_sensitive() {
+        let amg = Workload::Amg.spec();
+        for w in [Workload::Lammps, Workload::Kripke, Workload::Quicksilver] {
+            assert!(amg.net_sensitivity > 5.0 * w.spec().net_sensitivity);
+            assert!(amg.mpi_msg_rate > w.spec().mpi_msg_rate);
+        }
+    }
+}

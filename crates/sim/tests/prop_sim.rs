@@ -1,0 +1,96 @@
+//! Property tests for the simulation substrate: clock invariants, overhead
+//! model monotonicity and workload trace sanity.
+
+use std::sync::Arc;
+
+use dcdb_sim::clock::align_up;
+use dcdb_sim::overhead::{
+    hpl_overhead_percent, mpi_overhead_percent, pusher_cpu_load_percent, pusher_memory_mb,
+    PusherConfig,
+};
+use dcdb_sim::workloads::BehaviorTrace;
+use dcdb_sim::{Arch, NodeClock, SimClock, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn align_up_properties(ts in -1_000_000i64..1_000_000, interval in 1i64..100_000) {
+        let aligned = align_up(ts, interval);
+        prop_assert!(aligned >= ts);
+        prop_assert_eq!(aligned % interval, 0);
+        prop_assert!(aligned - ts < interval);
+    }
+
+    #[test]
+    fn node_clock_error_linear_in_drift(drift_ppm in -500.0f64..500.0, secs in 1i64..10_000) {
+        let base = SimClock::new();
+        let node = NodeClock::new(Arc::clone(&base), drift_ppm);
+        base.advance(secs * 1_000_000_000);
+        let expect = (secs as f64 * drift_ppm * 1e3).abs() as i64; // ppm of a second in ns
+        let got = node.error_ns();
+        prop_assert!((got - expect).abs() <= expect / 100 + 2, "{got} vs {expect}");
+        node.ntp_sync();
+        prop_assert_eq!(node.error_ns(), 0);
+    }
+
+    #[test]
+    fn cpu_load_monotone_in_sensors(arch_idx in 0usize..3,
+                                    a in 1usize..5_000, b in 1usize..5_000,
+                                    interval in 100u64..10_000) {
+        let arch = Arch::ALL[arch_idx];
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let load_lo = pusher_cpu_load_percent(&PusherConfig::tester(lo, interval), arch);
+        let load_hi = pusher_cpu_load_percent(&PusherConfig::tester(hi, interval), arch);
+        prop_assert!(load_hi >= load_lo);
+    }
+
+    #[test]
+    fn overhead_monotone_in_interval(arch_idx in 0usize..3, sensors in 10usize..10_000,
+                                     i1 in 100u64..10_000, i2 in 100u64..10_000) {
+        let arch = Arch::ALL[arch_idx];
+        let (fast, slow) = if i1 <= i2 { (i1, i2) } else { (i2, i1) };
+        let oh_fast = hpl_overhead_percent(&PusherConfig::tester(sensors, fast), arch, 0.0);
+        let oh_slow = hpl_overhead_percent(&PusherConfig::tester(sensors, slow), arch, 0.0);
+        prop_assert!(oh_fast >= oh_slow, "shorter interval must cost at least as much");
+    }
+
+    #[test]
+    fn memory_model_monotone(sensors in 1usize..20_000, interval in 100u64..10_000) {
+        for arch in Arch::ALL {
+            let small = pusher_memory_mb(&PusherConfig::tester(sensors, interval), arch);
+            let bigger =
+                pusher_memory_mb(&PusherConfig::tester(sensors + 1000, interval), arch);
+            prop_assert!(bigger > small);
+            prop_assert!(small > 0.0);
+        }
+    }
+
+    #[test]
+    fn amg_always_worst_at_scale(nodes in 256usize..2048) {
+        // below ~128 nodes AMG's network term is small and compute-heavier
+        // codes (Kripke) can edge it out — exactly Fig. 4's near-tie at 128.
+        let cfg = PusherConfig::production(Arch::Skylake);
+        let amg = mpi_overhead_percent(Workload::Amg, nodes, &cfg, Arch::Skylake, 0.0);
+        for w in [Workload::Lammps, Workload::Kripke, Workload::Quicksilver] {
+            let other = mpi_overhead_percent(w, nodes, &cfg, Arch::Skylake, 0.0);
+            prop_assert!(amg >= other, "{w}@{nodes}: {other} > amg {amg}");
+        }
+    }
+
+    #[test]
+    fn traces_always_physical(wl_idx in 0usize..4, seed in 0u64..1000) {
+        let workload = Workload::CORAL2[wl_idx];
+        let mut t = BehaviorTrace::new(
+            workload,
+            &dcdb_sim::arch::KNIGHTS_LANDING,
+            100 * dcdb_sim::NS_PER_MS,
+            seed,
+        );
+        for _ in 0..200 {
+            let s = t.next_sample();
+            prop_assert!(s.power_w > 0.0 && s.power_w < 500.0, "power {}", s.power_w);
+            prop_assert!(s.instructions_per_core >= 0.0);
+            prop_assert!(s.instructions_per_core < 5e8, "instr {}", s.instructions_per_core);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The distributed layer: several [`StoreNode`]s behind a partition map.
+//!
+//! Cassandra distributes one database over multiple servers for redundancy,
+//! scalability or both; DCDB controls the distribution with hierarchical
+//! SIDs as partition keys so a sensor sub-tree maps to a particular server
+//! (paper §4.3).  This logic lives in libDCDB in the original and is fully
+//! transparent to Collect Agents and users — same here: the cluster exposes
+//! the plain insert/query API of a single node.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcdb_sid::{PartitionMap, SensorId};
+
+use crate::node::{NodeConfig, StoreNode};
+use crate::reading::{Reading, TimeRange, Timestamp};
+
+/// Cluster-wide counters.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Inserts routed to their primary (nearest) node.
+    pub local_writes: AtomicU64,
+    /// Replica writes (beyond the primary).
+    pub replica_writes: AtomicU64,
+}
+
+/// A cluster of storage nodes.
+pub struct StoreCluster {
+    nodes: Vec<Arc<StoreNode>>,
+    partition: PartitionMap,
+    replication: usize,
+    stats: ClusterStats,
+}
+
+impl StoreCluster {
+    /// Build a cluster of `n` nodes with the given partition map and
+    /// replication factor (1 = no replicas).
+    pub fn new(
+        node_cfg: NodeConfig,
+        partition: PartitionMap,
+        replication: usize,
+    ) -> StoreCluster {
+        let n = partition.nodes();
+        assert!(n > 0, "cluster needs at least one node");
+        let replication = replication.clamp(1, n);
+        StoreCluster {
+            nodes: (0..n).map(|_| Arc::new(StoreNode::new(node_cfg.clone()))).collect(),
+            partition,
+            replication,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Convenience: a single-node cluster with defaults (tests, quickstart).
+    pub fn single() -> StoreCluster {
+        StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(1, 3), 1)
+    }
+
+    /// Convenience: `n` nodes, prefix partitioning at `depth`, RF 1.
+    pub fn prefix_cluster(n: usize, depth: usize) -> StoreCluster {
+        StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(n, depth), 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Direct access to a node (evaluation harness / tools).
+    pub fn node(&self, i: usize) -> &Arc<StoreNode> {
+        &self.nodes[i]
+    }
+
+    /// The index of the primary node owning `sid`.
+    pub fn primary_for(&self, sid: SensorId) -> usize {
+        self.partition.node_for(sid)
+    }
+
+    fn replica_indices(&self, sid: SensorId) -> impl Iterator<Item = usize> + '_ {
+        let primary = self.primary_for(sid);
+        let n = self.nodes.len();
+        (0..self.replication).map(move |k| (primary + k) % n)
+    }
+
+    /// Insert one reading (fans out to `replication` nodes).
+    pub fn insert(&self, sid: SensorId, ts: Timestamp, value: f64) {
+        for (k, idx) in self.replica_indices(sid).enumerate() {
+            self.nodes[idx].insert(sid, ts, value);
+            if k == 0 {
+                self.stats.local_writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.replica_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Insert a batch for one sensor.
+    pub fn insert_batch(&self, sid: SensorId, readings: &[Reading]) {
+        for (k, idx) in self.replica_indices(sid).enumerate() {
+            self.nodes[idx].insert_batch(sid, readings);
+            if k == 0 {
+                self.stats.local_writes.fetch_add(readings.len() as u64, Ordering::Relaxed);
+            } else {
+                self.stats.replica_writes.fetch_add(readings.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Query a sensor's readings in `[start, end)` from its primary node.
+    pub fn query_range(&self, sid: SensorId, start: Timestamp, end: Timestamp) -> Vec<Reading> {
+        self.query(sid, TimeRange::new(start, end))
+    }
+
+    /// Query with an explicit [`TimeRange`].
+    pub fn query(&self, sid: SensorId, range: TimeRange) -> Vec<Reading> {
+        self.nodes[self.primary_for(sid)].query_range(sid, range)
+    }
+
+    /// Latest reading of a sensor.
+    pub fn latest(&self, sid: SensorId) -> Option<Reading> {
+        self.nodes[self.primary_for(sid)].latest(sid)
+    }
+
+    /// Delete a sensor's readings in `range` on all replicas.
+    pub fn delete_range(&self, sid: SensorId, range: TimeRange) {
+        for idx in self.replica_indices(sid).collect::<Vec<_>>() {
+            self.nodes[idx].delete_range(sid, range);
+        }
+    }
+
+    /// Delete all data older than `cutoff` on every node.
+    pub fn delete_all_before(&self, cutoff: Timestamp) {
+        for n in &self.nodes {
+            n.delete_all_before(cutoff);
+        }
+    }
+
+    /// Flush and compact every node.
+    pub fn maintain(&self) {
+        for n in &self.nodes {
+            n.flush();
+            n.compact();
+        }
+    }
+
+    /// Advance "now" on every node (TTL base).
+    pub fn set_now(&self, ts: Timestamp) {
+        for n in &self.nodes {
+            n.set_now(ts);
+        }
+    }
+
+    /// Total entries stored across all nodes.
+    pub fn total_entries(&self) -> usize {
+        self.nodes.iter().map(|n| n.approx_entries()).sum()
+    }
+
+    /// Cluster counters.
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(t: &str) -> SensorId {
+        SensorId::from_topic(t).unwrap()
+    }
+
+    #[test]
+    fn single_node_roundtrip() {
+        let c = StoreCluster::single();
+        let s = sid("/a/b/c");
+        c.insert(s, 10, 1.5);
+        c.insert(s, 20, 2.5);
+        let got = c.query_range(s, 0, 100);
+        assert_eq!(got.len(), 2);
+        assert_eq!(c.latest(s).unwrap().value, 2.5);
+    }
+
+    #[test]
+    fn subtree_locality() {
+        let c = StoreCluster::prefix_cluster(4, 3);
+        // all sensors of one node-subtree land on the same store node
+        let owner = c.primary_for(sid("/sys/rack0/node0/power"));
+        for s in ["temp", "energy", "instr"] {
+            assert_eq!(c.primary_for(sid(&format!("/sys/rack0/node0/{s}"))), owner);
+        }
+    }
+
+    #[test]
+    fn data_actually_distributed() {
+        let c = StoreCluster::prefix_cluster(4, 3);
+        for node in 0..32 {
+            let s = sid(&format!("/sys/rack0/node{node}/power"));
+            for ts in 0..10 {
+                c.insert(s, ts, 0.0);
+            }
+        }
+        let per_node: Vec<usize> = (0..4).map(|i| c.node(i).approx_entries()).collect();
+        assert_eq!(per_node.iter().sum::<usize>(), 320);
+        assert!(per_node.iter().filter(|&&n| n > 0).count() >= 2, "{per_node:?}");
+        // queries still find everything
+        for node in 0..32 {
+            let s = sid(&format!("/sys/rack0/node{node}/power"));
+            assert_eq!(c.query_range(s, 0, 100).len(), 10);
+        }
+    }
+
+    #[test]
+    fn replication_writes_copies() {
+        let c = StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(3, 2), 2);
+        let s = sid("/a/b/c");
+        c.insert(s, 1, 1.0);
+        assert_eq!(c.stats().local_writes.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats().replica_writes.load(Ordering::Relaxed), 1);
+        assert_eq!(c.total_entries(), 2);
+        // primary failure simulation: replica holds the data
+        let primary = c.primary_for(s);
+        let replica = (primary + 1) % 3;
+        assert_eq!(c.node(replica).query_range(s, TimeRange::all()).len(), 1);
+    }
+
+    #[test]
+    fn delete_and_maintain() {
+        let c = StoreCluster::prefix_cluster(2, 2);
+        let s = sid("/x/y/z");
+        for ts in 0..10 {
+            c.insert(s, ts, 0.0);
+        }
+        c.delete_range(s, TimeRange::new(0, 5));
+        assert_eq!(c.query_range(s, 0, 100).len(), 5);
+        c.maintain();
+        assert_eq!(c.total_entries(), 5);
+    }
+
+    #[test]
+    fn batch_insert() {
+        let c = StoreCluster::single();
+        let s = sid("/b/a/t");
+        let batch: Vec<Reading> = (0..100).map(|i| Reading::new(i, i as f64)).collect();
+        c.insert_batch(s, &batch);
+        assert_eq!(c.query_range(s, 0, 1000).len(), 100);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dcdb-store
+//!
+//! The Storage Backend substrate: a from-scratch wide-column time-series
+//! store standing in for Apache Cassandra (paper §3.1, §4.3).
+//!
+//! Monitoring data is time-series data acquired and consumed in bulk; each
+//! data point is a `<sensor, timestamp, reading>` tuple.  The paper picks a
+//! wide-column noSQL store for its ingest/retrieval performance on streaming
+//! data and for its data-distribution mechanism.  This crate reproduces the
+//! relevant machinery:
+//!
+//! * [`reading`] — the reading tuple and time-range types,
+//! * [`memtable`] — the mutable in-memory write buffer,
+//! * [`sstable`] — immutable sorted runs flushed from memtables, with a
+//!   per-sensor index and binary on-disk format,
+//! * [`node`] — one storage server: memtable + SSTables + tombstones + TTL +
+//!   size-tiered compaction,
+//! * [`cluster`] — the distributed layer: SID-prefix partitioning (DCDB's
+//!   "store a sensor's readings on the nearest server"), replication and
+//!   cluster-wide queries,
+//! * [`csv`] — CSV import/export used by the `csvimport`/`dcdbquery` tools.
+
+pub mod cluster;
+pub mod csv;
+pub mod memtable;
+pub mod node;
+pub mod reading;
+pub mod sstable;
+
+pub use cluster::{ClusterStats, StoreCluster};
+pub use node::{NodeConfig, StoreNode};
+pub use reading::{Reading, TimeRange};

@@ -1,0 +1,173 @@
+//! The mutable write buffer of a storage node.
+//!
+//! Inserts land in a per-sensor ordered map; when the memtable exceeds its
+//! size budget the node freezes it into an immutable [`crate::sstable`] run.
+//! This mirrors the LSM write path that gives wide-column stores their high
+//! ingest rates — the property the paper selected Cassandra for.
+
+use std::collections::BTreeMap;
+
+use dcdb_sid::SensorId;
+
+use crate::reading::{Reading, TimeRange, Timestamp};
+
+/// In-memory, per-sensor sorted write buffer.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    data: BTreeMap<SensorId, BTreeMap<Timestamp, f64>>,
+    entries: usize,
+}
+
+/// Approximate bytes per entry: key (16) + ts (8) + value (8) + BTree overhead.
+pub const ENTRY_COST: usize = 48;
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a reading; a second write to the same `(sensor, ts)` overwrites
+    /// (last-write-wins, like Cassandra upserts).
+    pub fn insert(&mut self, sid: SensorId, ts: Timestamp, value: f64) {
+        let prev = self.data.entry(sid).or_default().insert(ts, value);
+        if prev.is_none() {
+            self.entries += 1;
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries * ENTRY_COST
+    }
+
+    /// Readings of `sid` within `range`, in timestamp order.
+    pub fn query(&self, sid: SensorId, range: TimeRange, out: &mut Vec<Reading>) {
+        if let Some(series) = self.data.get(&sid) {
+            for (&ts, &value) in series.range(range.start..range.end) {
+                out.push(Reading { ts, value });
+            }
+        }
+    }
+
+    /// Latest reading of `sid`, if any.
+    pub fn latest(&self, sid: SensorId) -> Option<Reading> {
+        self.data
+            .get(&sid)
+            .and_then(|s| s.iter().next_back())
+            .map(|(&ts, &value)| Reading { ts, value })
+    }
+
+    /// Drain into a sorted `(sid, ts, value)` stream for SSTable building.
+    pub fn into_sorted_entries(self) -> Vec<(SensorId, Timestamp, f64)> {
+        let mut v = Vec::with_capacity(self.entries);
+        for (sid, series) in self.data {
+            for (ts, value) in series {
+                v.push((sid, ts, value));
+            }
+        }
+        // BTreeMap iteration is already (sid, ts)-ordered.
+        v
+    }
+
+    /// All distinct sensors present.
+    pub fn sensors(&self) -> impl Iterator<Item = SensorId> + '_ {
+        self.data.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u16) -> SensorId {
+        SensorId::from_fields(&[1, n]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_query_ordered() {
+        let mut mt = MemTable::new();
+        for ts in [30, 10, 20] {
+            mt.insert(sid(1), ts, ts as f64);
+        }
+        let mut out = Vec::new();
+        mt.query(sid(1), TimeRange::new(0, 100), &mut out);
+        assert_eq!(out.iter().map(|r| r.ts).collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let mut mt = MemTable::new();
+        mt.insert(sid(1), 10, 1.0);
+        mt.insert(sid(1), 20, 2.0);
+        let mut out = Vec::new();
+        mt.query(sid(1), TimeRange::new(10, 20), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts, 10);
+    }
+
+    #[test]
+    fn upsert_overwrites() {
+        let mut mt = MemTable::new();
+        mt.insert(sid(1), 10, 1.0);
+        mt.insert(sid(1), 10, 9.0);
+        assert_eq!(mt.len(), 1);
+        let mut out = Vec::new();
+        mt.query(sid(1), TimeRange::all(), &mut out);
+        assert_eq!(out[0].value, 9.0);
+    }
+
+    #[test]
+    fn sensors_are_isolated() {
+        let mut mt = MemTable::new();
+        mt.insert(sid(1), 10, 1.0);
+        mt.insert(sid(2), 10, 2.0);
+        let mut out = Vec::new();
+        mt.query(sid(1), TimeRange::all(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 1.0);
+        assert_eq!(mt.sensors().count(), 2);
+    }
+
+    #[test]
+    fn latest_reading() {
+        let mut mt = MemTable::new();
+        assert!(mt.latest(sid(1)).is_none());
+        mt.insert(sid(1), 10, 1.0);
+        mt.insert(sid(1), 30, 3.0);
+        mt.insert(sid(1), 20, 2.0);
+        assert_eq!(mt.latest(sid(1)).unwrap().ts, 30);
+    }
+
+    #[test]
+    fn into_sorted_entries_is_sorted() {
+        let mut mt = MemTable::new();
+        mt.insert(sid(2), 20, 1.0);
+        mt.insert(sid(1), 30, 2.0);
+        mt.insert(sid(1), 10, 3.0);
+        let entries = mt.into_sorted_entries();
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|&(s, t, _)| (s, t));
+        assert_eq!(entries, sorted);
+    }
+
+    #[test]
+    fn footprint_tracks_entries() {
+        let mut mt = MemTable::new();
+        assert!(mt.is_empty());
+        for i in 0..100 {
+            mt.insert(sid(1), i, 0.0);
+        }
+        assert_eq!(mt.approx_bytes(), 100 * ENTRY_COST);
+    }
+}

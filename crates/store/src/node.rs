@@ -1,0 +1,443 @@
+//! A single storage server.
+//!
+//! Combines the LSM pieces: an active [`MemTable`], a stack of immutable
+//! [`SsTable`] runs, range tombstones for deletes, TTL expiry and
+//! size-tiered compaction.  `dcdbconfig`'s database-management tasks
+//! ("deleting old data or compacting", paper §5.2) map to [`StoreNode::delete_range`]
+//! and [`StoreNode::compact`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dcdb_sid::SensorId;
+use parking_lot::RwLock;
+
+use crate::memtable::MemTable;
+use crate::reading::{Reading, TimeRange, Timestamp};
+use crate::sstable::SsTable;
+
+/// Tuning for one storage node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Memtable size that triggers a flush, in entries.
+    pub memtable_flush_entries: usize,
+    /// Number of SSTables that triggers an automatic compaction.
+    pub compaction_threshold: usize,
+    /// Time-to-live for readings; `None` keeps data forever.
+    pub ttl: Option<i64>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            memtable_flush_entries: 256 * 1024,
+            compaction_threshold: 8,
+            ttl: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tombstones {
+    /// Deleted `(sid, range)` pairs; `None` sid = all sensors.
+    ranges: Vec<(Option<SensorId>, TimeRange)>,
+}
+
+impl Tombstones {
+    fn covers(&self, sid: SensorId, ts: Timestamp) -> bool {
+        self.ranges
+            .iter()
+            .any(|(s, r)| (s.is_none() || *s == Some(sid)) && r.contains(ts))
+    }
+    fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Ingest/query counters for the evaluation harness.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Readings inserted.
+    pub inserts: AtomicU64,
+    /// Range queries served.
+    pub queries: AtomicU64,
+    /// Memtable flushes performed.
+    pub flushes: AtomicU64,
+    /// Compactions performed.
+    pub compactions: AtomicU64,
+}
+
+/// One storage server (one Cassandra node in the paper's deployment).
+pub struct StoreNode {
+    cfg: NodeConfig,
+    memtable: RwLock<MemTable>,
+    sstables: RwLock<Vec<SsTable>>,
+    tombstones: RwLock<Tombstones>,
+    stats: NodeStats,
+    /// Monotonic "now" for TTL decisions, advanced by the caller; avoids
+    /// wall-clock reads in the hot path and keeps simulations deterministic.
+    now: AtomicU64,
+}
+
+impl StoreNode {
+    /// Create a node.
+    pub fn new(cfg: NodeConfig) -> Self {
+        StoreNode {
+            cfg,
+            memtable: RwLock::new(MemTable::new()),
+            sstables: RwLock::new(Vec::new()),
+            tombstones: RwLock::new(Tombstones::default()),
+            stats: NodeStats::default(),
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the node's notion of now (nanoseconds), used for TTL expiry.
+    pub fn set_now(&self, ts: Timestamp) {
+        self.now.store(ts.max(0) as u64, Ordering::Relaxed);
+    }
+
+    fn ttl_cutoff(&self) -> Option<Timestamp> {
+        self.cfg.ttl.map(|ttl| self.now.load(Ordering::Relaxed) as Timestamp - ttl)
+    }
+
+    /// Insert one reading.
+    pub fn insert(&self, sid: SensorId, ts: Timestamp, value: f64) {
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        let mut mt = self.memtable.write();
+        mt.insert(sid, ts, value);
+        if mt.len() >= self.cfg.memtable_flush_entries {
+            let full = std::mem::take(&mut *mt);
+            drop(mt);
+            self.flush_memtable(full);
+        }
+    }
+
+    /// Insert a batch of readings for one sensor (the Collect Agent's path).
+    pub fn insert_batch(&self, sid: SensorId, readings: &[Reading]) {
+        self.stats.inserts.fetch_add(readings.len() as u64, Ordering::Relaxed);
+        let mut mt = self.memtable.write();
+        for r in readings {
+            mt.insert(sid, r.ts, r.value);
+        }
+        if mt.len() >= self.cfg.memtable_flush_entries {
+            let full = std::mem::take(&mut *mt);
+            drop(mt);
+            self.flush_memtable(full);
+        }
+    }
+
+    fn flush_memtable(&self, mt: MemTable) {
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let table = SsTable::from_sorted(mt.into_sorted_entries());
+        let should_compact = {
+            let mut tables = self.sstables.write();
+            tables.push(table);
+            tables.len() >= self.cfg.compaction_threshold
+        };
+        if should_compact {
+            self.compact();
+        }
+    }
+
+    /// Force a flush of the active memtable (used before persistence).
+    pub fn flush(&self) {
+        let mut mt = self.memtable.write();
+        if mt.is_empty() {
+            return;
+        }
+        let full = std::mem::take(&mut *mt);
+        drop(mt);
+        self.flush_memtable(full);
+    }
+
+    /// Merge all SSTables into one, dropping tombstoned and expired entries.
+    pub fn compact(&self) {
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        let cutoff = self.ttl_cutoff();
+        let mut tables = self.sstables.write();
+        if tables.len() <= 1 && self.tombstones.read().is_empty() && cutoff.is_none() {
+            return;
+        }
+        let refs: Vec<&SsTable> = tables.iter().collect();
+        let tombs = self.tombstones.read();
+        let merged = SsTable::merge(&refs, |sid, ts| {
+            tombs.covers(sid, ts) || cutoff.is_some_and(|c| ts < c)
+        });
+        drop(tombs);
+        *tables = if merged.is_empty() { Vec::new() } else { vec![merged] };
+        // Tombstones are fully applied to the merged data; fresh memtable
+        // data may still contain covered entries, so only clear tombstones
+        // after also filtering the memtable.
+        let mut mt = self.memtable.write();
+        let tombs = std::mem::take(&mut *self.tombstones.write());
+        if !tombs.is_empty() {
+            let old = std::mem::take(&mut *mt);
+            let mut filtered = MemTable::new();
+            for (sid, ts, value) in old.into_sorted_entries() {
+                if !tombs.covers(sid, ts) {
+                    filtered.insert(sid, ts, value);
+                }
+            }
+            *mt = filtered;
+        }
+    }
+
+    /// Delete readings of `sid` within `range`.
+    ///
+    /// Deletes are admin-path operations (`dcdbconfig`'s "deleting old
+    /// data"), so they are applied *eagerly*: the tombstone is registered and
+    /// a flush + compaction immediately purges covered entries.  Data written
+    /// after this call is unaffected, matching Cassandra's timestamped
+    /// tombstone semantics without carrying per-entry write-times.
+    pub fn delete_range(&self, sid: SensorId, range: TimeRange) {
+        self.tombstones.write().ranges.push((Some(sid), range));
+        self.flush();
+        self.compact();
+    }
+
+    /// Delete readings of *all* sensors before `cutoff` ("delete old data").
+    pub fn delete_all_before(&self, cutoff: Timestamp) {
+        self.tombstones
+            .write()
+            .ranges
+            .push((None, TimeRange::new(Timestamp::MIN, cutoff)));
+        self.flush();
+        self.compact();
+    }
+
+    /// Query readings of `sid` within `range`, in timestamp order.
+    pub fn query_range(&self, sid: SensorId, range: TimeRange) -> Vec<Reading> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        {
+            let tables = self.sstables.read();
+            for t in tables.iter() {
+                t.query(sid, range, &mut out);
+            }
+        }
+        self.memtable.read().query(sid, range, &mut out);
+        // Multiple runs may contain the same (sid, ts); sources were pushed
+        // oldest → newest, so for equal timestamps the later entry wins.
+        out.sort_by_key(|r| r.ts); // stable: preserves push order within a ts
+        let mut deduped: Vec<Reading> = Vec::with_capacity(out.len());
+        for r in out {
+            match deduped.last_mut() {
+                Some(last) if last.ts == r.ts => *last = r,
+                _ => deduped.push(r),
+            }
+        }
+        let mut out = deduped;
+        let tombs = self.tombstones.read();
+        let cutoff = self.ttl_cutoff();
+        if !tombs.is_empty() || cutoff.is_some() {
+            out.retain(|r| {
+                !tombs.covers(sid, r.ts) && cutoff.is_none_or(|c| r.ts >= c)
+            });
+        }
+        out
+    }
+
+    /// Most recent reading of `sid`.
+    pub fn latest(&self, sid: SensorId) -> Option<Reading> {
+        let mut best = self.memtable.read().latest(sid);
+        let tables = self.sstables.read();
+        for t in tables.iter() {
+            if let Some(r) = t.latest(sid) {
+                if best.is_none_or(|b| r.ts > b.ts) {
+                    best = Some(r);
+                }
+            }
+        }
+        let tombs = self.tombstones.read();
+        best.filter(|r| !tombs.covers(sid, r.ts))
+    }
+
+    /// Total entries across memtable and SSTables (duplicates included).
+    pub fn approx_entries(&self) -> usize {
+        self.memtable.read().len()
+            + self.sstables.read().iter().map(|t| t.len()).sum::<usize>()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.memtable.read().approx_bytes()
+            + self.sstables.read().iter().map(|t| t.approx_bytes()).sum::<usize>()
+    }
+
+    /// Node counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Persist every SSTable (after a [`Self::flush`]) into `dir`.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn persist(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let tables = self.sstables.read();
+        for (i, t) in tables.iter().enumerate() {
+            let mut f = std::fs::File::create(dir.join(format!("{i:06}.sst")))?;
+            t.write_to(&mut f)?;
+        }
+        Ok(tables.len())
+    }
+
+    /// Load SSTables previously written by [`Self::persist`].
+    ///
+    /// # Errors
+    /// Propagates filesystem and format failures.
+    pub fn load(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "sst"))
+            .collect();
+        paths.sort();
+        let mut loaded = 0;
+        let mut tables = self.sstables.write();
+        for p in paths {
+            let mut f = std::fs::File::open(&p)?;
+            tables.push(SsTable::read_from(&mut f)?);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+impl Default for StoreNode {
+    fn default() -> Self {
+        StoreNode::new(NodeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u16) -> SensorId {
+        SensorId::from_fields(&[3, n]).unwrap()
+    }
+
+    #[test]
+    fn insert_query_through_flush() {
+        let node = StoreNode::new(NodeConfig { memtable_flush_entries: 10, ..Default::default() });
+        for ts in 0..25 {
+            node.insert(sid(1), ts, ts as f64);
+        }
+        let got = node.query_range(sid(1), TimeRange::new(0, 100));
+        assert_eq!(got.len(), 25);
+        assert!(node.stats().flushes.load(Ordering::Relaxed) >= 2);
+        // order and values survive the flush boundary
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.ts, i as i64);
+            assert_eq!(r.value, i as f64);
+        }
+    }
+
+    #[test]
+    fn delete_range_hides_and_compaction_purges() {
+        let node = StoreNode::default();
+        for ts in 0..10 {
+            node.insert(sid(1), ts, 1.0);
+        }
+        node.delete_range(sid(1), TimeRange::new(3, 7));
+        let got = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(got.iter().map(|r| r.ts).collect::<Vec<_>>(), vec![0, 1, 2, 7, 8, 9]);
+        node.flush();
+        node.compact();
+        let got = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(got.len(), 6);
+        assert_eq!(node.approx_entries(), 6);
+    }
+
+    #[test]
+    fn delete_all_before_cleans_every_sensor() {
+        let node = StoreNode::default();
+        for s in 1..4 {
+            for ts in 0..10 {
+                node.insert(sid(s), ts, 0.0);
+            }
+        }
+        node.delete_all_before(5);
+        for s in 1..4 {
+            assert_eq!(node.query_range(sid(s), TimeRange::all()).len(), 5);
+        }
+    }
+
+    #[test]
+    fn ttl_expires_old_data() {
+        let node = StoreNode::new(NodeConfig { ttl: Some(100), ..Default::default() });
+        for ts in 0..200 {
+            node.insert(sid(1), ts, 0.0);
+        }
+        node.set_now(200);
+        let got = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(got.first().unwrap().ts, 100);
+        assert_eq!(got.len(), 100);
+        // compaction physically drops them
+        node.flush();
+        node.compact();
+        assert_eq!(node.approx_entries(), 100);
+    }
+
+    #[test]
+    fn latest_across_runs() {
+        let node = StoreNode::new(NodeConfig { memtable_flush_entries: 5, ..Default::default() });
+        for ts in 0..12 {
+            node.insert(sid(1), ts, ts as f64);
+        }
+        assert_eq!(node.latest(sid(1)).unwrap().ts, 11);
+        node.delete_range(sid(1), TimeRange::new(11, 12));
+        // latest is tombstoned → hidden
+        assert!(node.latest(sid(1)).is_none_or(|r| r.ts != 11));
+    }
+
+    #[test]
+    fn upsert_across_flush_newest_wins() {
+        let node = StoreNode::new(NodeConfig { memtable_flush_entries: 4, ..Default::default() });
+        node.insert(sid(1), 10, 1.0);
+        node.flush();
+        node.insert(sid(1), 10, 2.0);
+        let got = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 2.0);
+        node.flush();
+        node.compact();
+        let got = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(got[0].value, 2.0);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dcdb-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let node = StoreNode::default();
+        for ts in 0..50 {
+            node.insert(sid(1), ts, ts as f64 * 0.5);
+        }
+        node.flush();
+        node.persist(&dir).unwrap();
+
+        let restored = StoreNode::default();
+        assert_eq!(restored.load(&dir).unwrap(), 1);
+        let got = restored.query_range(sid(1), TimeRange::all());
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[10].value, 5.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reduces_table_count() {
+        let node = StoreNode::new(NodeConfig {
+            memtable_flush_entries: 10,
+            compaction_threshold: 4,
+            ttl: None,
+        });
+        for ts in 0..100 {
+            node.insert(sid(1), ts, 0.0);
+        }
+        // auto-compaction kept the table count below the threshold
+        assert!(node.stats().compactions.load(Ordering::Relaxed) >= 1);
+        assert_eq!(node.query_range(sid(1), TimeRange::all()).len(), 100);
+    }
+}

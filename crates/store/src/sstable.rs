@@ -1,0 +1,292 @@
+//! Immutable sorted runs ("SSTables").
+//!
+//! A frozen memtable becomes an SSTable: a `(sid, ts, value)` array sorted by
+//! `(sid, ts)` plus a per-sensor index of sub-ranges, so range queries are a
+//! binary search + contiguous scan.  SSTables can be serialised to a simple
+//! binary format for persistence and reloaded at start-up.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::ops::Range;
+
+use bytes::{Buf, BufMut, BytesMut};
+use dcdb_sid::SensorId;
+
+use crate::reading::{Reading, TimeRange, Timestamp};
+
+/// Magic bytes of the on-disk format.
+const MAGIC: &[u8; 8] = b"DCDBSST1";
+
+/// An immutable sorted run.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    entries: Vec<(SensorId, Timestamp, f64)>,
+    index: BTreeMap<SensorId, Range<usize>>,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+}
+
+impl SsTable {
+    /// Build from `(sid, ts, value)` entries sorted by `(sid, ts)`.
+    ///
+    /// # Panics
+    /// Debug-asserts the sort order.
+    pub fn from_sorted(entries: Vec<(SensorId, Timestamp, f64)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
+            "entries must be sorted by (sid, ts)"
+        );
+        let mut index: BTreeMap<SensorId, Range<usize>> = BTreeMap::new();
+        let mut min_ts = Timestamp::MAX;
+        let mut max_ts = Timestamp::MIN;
+        let mut i = 0;
+        while i < entries.len() {
+            let sid = entries[i].0;
+            let start = i;
+            while i < entries.len() && entries[i].0 == sid {
+                min_ts = min_ts.min(entries[i].1);
+                max_ts = max_ts.max(entries[i].1);
+                i += 1;
+            }
+            index.insert(sid, start..i);
+        }
+        SsTable { entries, index, min_ts, max_ts }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest timestamp stored (or `MAX` when empty).
+    pub fn min_ts(&self) -> Timestamp {
+        self.min_ts
+    }
+
+    /// Largest timestamp stored (or `MIN` when empty).
+    pub fn max_ts(&self) -> Timestamp {
+        self.max_ts
+    }
+
+    /// Approximate in-memory footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.len() * 32 + self.index.len() * 48
+    }
+
+    /// Append readings of `sid` within `range` to `out` (timestamp order).
+    pub fn query(&self, sid: SensorId, range: TimeRange, out: &mut Vec<Reading>) {
+        let Some(span) = self.index.get(&sid) else { return };
+        let slice = &self.entries[span.clone()];
+        // binary search the first entry >= range.start
+        let lo = slice.partition_point(|&(_, ts, _)| ts < range.start);
+        for &(_, ts, value) in &slice[lo..] {
+            if ts >= range.end {
+                break;
+            }
+            out.push(Reading { ts, value });
+        }
+    }
+
+    /// Latest reading of `sid`.
+    pub fn latest(&self, sid: SensorId) -> Option<Reading> {
+        let span = self.index.get(&sid)?;
+        self.entries[span.clone()].last().map(|&(_, ts, value)| Reading { ts, value })
+    }
+
+    /// Iterate over all entries (used by compaction).
+    pub fn iter(&self) -> impl Iterator<Item = &(SensorId, Timestamp, f64)> {
+        self.entries.iter()
+    }
+
+    /// All sensors with data in this table.
+    pub fn sensors(&self) -> impl Iterator<Item = SensorId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Merge several tables into one, newest table winning on `(sid, ts)`
+    /// duplicates; entries matched by `drop_if` (tombstone/TTL filter) are
+    /// discarded.  `tables` must be ordered oldest → newest.
+    pub fn merge<F>(tables: &[&SsTable], mut drop_if: F) -> SsTable
+    where
+        F: FnMut(SensorId, Timestamp) -> bool,
+    {
+        // Collect with newest-wins: later tables overwrite earlier ones.
+        let mut map: BTreeMap<(SensorId, Timestamp), f64> = BTreeMap::new();
+        for t in tables {
+            for &(sid, ts, value) in t.iter() {
+                map.insert((sid, ts), value);
+            }
+        }
+        let entries: Vec<(SensorId, Timestamp, f64)> = map
+            .into_iter()
+            .filter(|&((sid, ts), _)| !drop_if(sid, ts))
+            .map(|((sid, ts), value)| (sid, ts, value))
+            .collect();
+        SsTable::from_sorted(entries)
+    }
+
+    // ------------------------------------------------------------ persistence
+
+    /// Serialise to the binary on-disk format.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf = BytesMut::with_capacity(16 + self.entries.len() * 32);
+        buf.put_slice(MAGIC);
+        buf.put_u64(self.entries.len() as u64);
+        for &(sid, ts, value) in &self.entries {
+            buf.put_u128(sid.raw());
+            buf.put_i64(ts);
+            buf.put_f64(value);
+        }
+        w.write_all(&buf)
+    }
+
+    /// Read back what [`Self::write_to`] wrote.
+    ///
+    /// # Errors
+    /// `InvalidData` on bad magic or truncation.
+    pub fn read_from<R: Read>(r: &mut R) -> std::io::Result<SsTable> {
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        let mut buf = &raw[..];
+        if buf.len() < 16 || &buf[..8] != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad SSTable magic",
+            ));
+        }
+        buf.advance(8);
+        let n = buf.get_u64() as usize;
+        if buf.remaining() < n * 32 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "truncated SSTable",
+            ));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sid = SensorId(buf.get_u128());
+            let ts = buf.get_i64();
+            let value = buf.get_f64();
+            entries.push((sid, ts, value));
+        }
+        if !entries.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "SSTable entries out of order",
+            ));
+        }
+        Ok(SsTable::from_sorted(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u16) -> SensorId {
+        SensorId::from_fields(&[7, n]).unwrap()
+    }
+
+    fn table() -> SsTable {
+        let mut entries = Vec::new();
+        for s in 1..=3u16 {
+            for ts in (0..100).step_by(10) {
+                entries.push((sid(s), ts as Timestamp, (s as f64) * 1000.0 + ts as f64));
+            }
+        }
+        entries.sort_by_key(|&(s, t, _)| (s, t));
+        SsTable::from_sorted(entries)
+    }
+
+    #[test]
+    fn query_range_subset() {
+        let t = table();
+        let mut out = Vec::new();
+        t.query(sid(2), TimeRange::new(25, 55), &mut out);
+        assert_eq!(out.iter().map(|r| r.ts).collect::<Vec<_>>(), vec![30, 40, 50]);
+        assert_eq!(out[0].value, 2030.0);
+    }
+
+    #[test]
+    fn query_missing_sensor_is_empty() {
+        let t = table();
+        let mut out = Vec::new();
+        t.query(sid(99), TimeRange::all(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_max_ts() {
+        let t = table();
+        assert_eq!(t.min_ts(), 0);
+        assert_eq!(t.max_ts(), 90);
+        assert_eq!(t.len(), 30);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn latest_per_sensor() {
+        let t = table();
+        assert_eq!(t.latest(sid(1)).unwrap().ts, 90);
+        assert!(t.latest(sid(9)).is_none());
+    }
+
+    #[test]
+    fn merge_newest_wins() {
+        let old = SsTable::from_sorted(vec![(sid(1), 10, 1.0), (sid(1), 20, 2.0)]);
+        let new = SsTable::from_sorted(vec![(sid(1), 20, 99.0), (sid(1), 30, 3.0)]);
+        let merged = SsTable::merge(&[&old, &new], |_, _| false);
+        let mut out = Vec::new();
+        merged.query(sid(1), TimeRange::all(), &mut out);
+        assert_eq!(
+            out.iter().map(|r| (r.ts, r.value)).collect::<Vec<_>>(),
+            vec![(10, 1.0), (20, 99.0), (30, 3.0)]
+        );
+    }
+
+    #[test]
+    fn merge_applies_drop_filter() {
+        let a = SsTable::from_sorted(vec![(sid(1), 10, 1.0), (sid(1), 20, 2.0)]);
+        let merged = SsTable::merge(&[&a], |_, ts| ts < 15);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.min_ts(), 20);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = table();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let t2 = SsTable::read_from(&mut &buf[..]).unwrap();
+        assert_eq!(t2.len(), t.len());
+        let mut out1 = Vec::new();
+        let mut out2 = Vec::new();
+        t.query(sid(3), TimeRange::all(), &mut out1);
+        t2.query(sid(3), TimeRange::all(), &mut out2);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(SsTable::read_from(&mut &b"not a table"[..]).is_err());
+        let mut buf = Vec::new();
+        table().write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(SsTable::read_from(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SsTable::from_sorted(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.sensors().count(), 0);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert!(SsTable::read_from(&mut &buf[..]).unwrap().is_empty());
+    }
+}

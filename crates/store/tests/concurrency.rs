@@ -1,0 +1,106 @@
+//! Concurrency: the store must stay consistent under parallel ingest,
+//! queries and maintenance — the Collect Agent writes from several broker
+//! connection threads while libDCDB queries concurrently.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dcdb_sid::{PartitionMap, SensorId};
+use dcdb_store::reading::TimeRange;
+use dcdb_store::{NodeConfig, StoreCluster};
+
+fn sid(n: usize) -> SensorId {
+    SensorId::from_topic(&format!("/conc/rack{}/node{}/s", n % 4, n)).unwrap()
+}
+
+#[test]
+fn parallel_writers_lose_nothing() {
+    let cluster = Arc::new(StoreCluster::new(
+        NodeConfig { memtable_flush_entries: 512, ..Default::default() },
+        PartitionMap::prefix(3, 2),
+        1,
+    ));
+    let writers = 8;
+    let per_writer = 2_000;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let s = sid(w);
+                for i in 0..per_writer {
+                    cluster.insert(s, i as i64, (w * per_writer + i) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for w in 0..writers {
+        let got = cluster.query(sid(w), TimeRange::all());
+        assert_eq!(got.len(), per_writer, "writer {w} lost readings");
+        // values are intact and ordered
+        assert!(got.windows(2).all(|p| p[0].ts < p[1].ts));
+        assert_eq!(got[0].value, (w * per_writer) as f64);
+    }
+}
+
+#[test]
+fn readers_during_writes_see_consistent_prefixes() {
+    let cluster = Arc::new(StoreCluster::single());
+    let stop = Arc::new(AtomicBool::new(false));
+    let s = sid(0);
+
+    let writer = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut ts = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                cluster.insert(s, ts, ts as f64);
+                ts += 1;
+            }
+            ts
+        })
+    };
+    // readers: every observed series must be a dense prefix 0..n
+    for _ in 0..200 {
+        let got = cluster.query(s, TimeRange::all());
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.ts, i as i64, "hole in observed series");
+            assert_eq!(r.value, i as f64);
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total = writer.join().unwrap();
+    assert_eq!(cluster.query(s, TimeRange::all()).len(), total as usize);
+}
+
+#[test]
+fn maintenance_during_writes_is_safe() {
+    let cluster = Arc::new(StoreCluster::new(
+        NodeConfig { memtable_flush_entries: 256, compaction_threshold: 3, ttl: None },
+        PartitionMap::prefix(1, 2),
+        1,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let maintainer = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                cluster.maintain();
+                std::thread::yield_now();
+            }
+        })
+    };
+    let s = sid(7);
+    for ts in 0..20_000 {
+        cluster.insert(s, ts, 1.0);
+    }
+    stop.store(true, Ordering::Relaxed);
+    maintainer.join().unwrap();
+    cluster.maintain();
+    assert_eq!(cluster.query(s, TimeRange::all()).len(), 20_000);
+    assert_eq!(cluster.total_entries(), 20_000);
+}

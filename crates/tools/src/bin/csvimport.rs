@@ -1,0 +1,55 @@
+//! `csvimport` — import CSV sensor data into a database directory
+//! (paper §5.2).
+//!
+//! ```text
+//! csvimport --db <dir> <file.csv>...
+//! ```
+//!
+//! Rows are `sensor,timestamp,value` with an optional header.
+
+use dcdb_tools::{open_db, save_db, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let Some(db_dir) = args.get("db") else {
+        eprintln!("usage: csvimport --db <dir> <file.csv>...");
+        std::process::exit(2);
+    };
+    let files = args.positional();
+    if files.is_empty() {
+        eprintln!("csvimport: no input files");
+        std::process::exit(2);
+    }
+    let db = match open_db(std::path::Path::new(db_dir)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("csvimport: cannot open {db_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut total = 0usize;
+    for file in files {
+        let reader = match std::fs::File::open(file) {
+            Ok(f) => std::io::BufReader::new(f),
+            Err(e) => {
+                eprintln!("csvimport: {file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match dcdb_store::csv::import(db.store(), db.registry(), reader) {
+            Ok(n) => {
+                println!("{file}: imported {n} readings");
+                total += n;
+            }
+            Err(e) => {
+                eprintln!("csvimport: {file}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = save_db(&db, std::path::Path::new(db_dir)) {
+        eprintln!("csvimport: saving database: {e}");
+        std::process::exit(1);
+    }
+    println!("total: {total} readings into {db_dir}");
+}

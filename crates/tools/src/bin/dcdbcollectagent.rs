@@ -1,0 +1,73 @@
+//! `dcdbcollectagent` — run a Collect Agent: publish-only MQTT broker,
+//! storage backend, REST API (paper §4.2, §5.3).
+//!
+//! ```text
+//! dcdbcollectagent [--mqtt 127.0.0.1:1883] [--rest 127.0.0.1:8080]
+//!                  [--duration SECONDS] [--db <dir>]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dcdb_collectagent::CollectAgent;
+use dcdb_mqtt::broker::BrokerConfig;
+use dcdb_store::StoreCluster;
+use dcdb_tools::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let mqtt_addr = args.get("mqtt").unwrap_or("127.0.0.1:1883").to_string();
+    let rest_addr = args.get("rest").unwrap_or("127.0.0.1:8080").to_string();
+    let duration: u64 = args.get("duration").and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let store = Arc::new(StoreCluster::single());
+    let agent = CollectAgent::new(store);
+
+    let broker_cfg = BrokerConfig {
+        bind: mqtt_addr.parse().expect("valid --mqtt address"),
+        ..BrokerConfig::default()
+    };
+    let broker = match agent.start_broker(broker_cfg) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("dcdbcollectagent: cannot bind MQTT {mqtt_addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rest = match dcdb_collectagent::rest::serve(
+        Arc::clone(&agent),
+        rest_addr.parse().expect("valid --rest address"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dcdbcollectagent: cannot bind REST {rest_addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "collect agent up: mqtt://{} rest http://{} (running {duration}s)",
+        broker.local_addr(),
+        rest.local_addr()
+    );
+    std::thread::sleep(Duration::from_secs(duration));
+
+    let stats = agent.stats();
+    println!(
+        "processed {} messages / {} readings ({} dropped)",
+        stats.messages.load(std::sync::atomic::Ordering::Relaxed),
+        stats.readings.load(std::sync::atomic::Ordering::Relaxed),
+        stats.dropped.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    if let Some(dir) = args.get("db") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).expect("create db dir");
+        let mut f = std::fs::File::create(dir.join("topics.list")).expect("topics.list");
+        use std::io::Write;
+        for (topic, _) in agent.registry().sids_under("/") {
+            writeln!(f, "{topic}").expect("write topic");
+        }
+        agent.store().node(0).flush();
+        agent.store().node(0).persist(&dir.join("node0")).expect("persist");
+        println!("database saved to {}", dir.display());
+    }
+}

@@ -1,0 +1,82 @@
+//! `dcdbconfig` — database management tasks (paper §5.2): list sensors,
+//! set sensor properties (units, scaling factors), define virtual sensors,
+//! delete old data, compact.
+//!
+//! ```text
+//! dcdbconfig --db <dir> sensor list
+//! dcdbconfig --db <dir> sensor set <topic> --unit W --scale 0.001
+//! dcdbconfig --db <dir> vsensor define <topic> --expr '<expression>' [--unit U]
+//! dcdbconfig --db <dir> db cleanup --before <NS>
+//! dcdbconfig --db <dir> db compact
+//! ```
+
+use dcdb_core::{SensorMeta, Unit};
+use dcdb_tools::{open_db, save_db, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let Some(db_dir) = args.get("db") else {
+        eprintln!("usage: dcdbconfig --db <dir> <command> ...");
+        std::process::exit(2);
+    };
+    let dir = std::path::Path::new(db_dir);
+    let db = match open_db(dir) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("dcdbconfig: cannot open {db_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let pos = args.positional();
+    match pos.as_slice() {
+        ["sensor", "list"] => {
+            for (topic, sid) in db.registry().sids_under("/") {
+                println!("{sid} {topic}");
+            }
+        }
+        ["sensor", "set", topic] => {
+            let unit = args
+                .get("unit")
+                .and_then(Unit::parse)
+                .unwrap_or(Unit::NONE);
+            let scale: f64 = args.get("scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            db.set_meta(topic, SensorMeta { unit, scale, description: String::new() });
+            println!("{topic}: unit={} scale={scale}", unit.name);
+        }
+        ["vsensor", "define", topic] => {
+            let Some(expr) = args.get("expr") else {
+                eprintln!("dcdbconfig: vsensor define requires --expr");
+                std::process::exit(2);
+            };
+            let unit = args.get("unit").and_then(Unit::parse).unwrap_or(Unit::NONE);
+            match db.define_virtual(topic, expr, unit) {
+                Ok(()) => println!("defined virtual sensor {topic} = {expr}"),
+                Err(e) => {
+                    eprintln!("dcdbconfig: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        ["db", "cleanup"] => {
+            let Some(before) = args.get("before").and_then(|s| s.parse::<i64>().ok()) else {
+                eprintln!("dcdbconfig: db cleanup requires --before <NS>");
+                std::process::exit(2);
+            };
+            db.store().delete_all_before(before);
+            db.store().maintain();
+            println!("deleted readings before {before}");
+        }
+        ["db", "compact"] => {
+            db.store().maintain();
+            println!("compacted {} entries", db.store().total_entries());
+        }
+        _ => {
+            eprintln!("dcdbconfig: unknown command {pos:?}");
+            std::process::exit(2);
+        }
+    }
+    if let Err(e) = save_db(&db, dir) {
+        eprintln!("dcdbconfig: saving database: {e}");
+        std::process::exit(1);
+    }
+}

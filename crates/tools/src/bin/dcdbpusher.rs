@@ -1,0 +1,70 @@
+//! `dcdbpusher` — run a Pusher against an MQTT broker (paper §4.1).
+//!
+//! ```text
+//! dcdbpusher --broker 127.0.0.1:1883 --prefix /site/node0
+//!            [--plugins tester,procfs] [--sensors N] [--interval MS]
+//!            [--duration SECONDS] [--rest 127.0.0.1:8081]
+//! ```
+//!
+//! The `procfs` plugin reads the *host's* real `/proc` (Linux); `tester`
+//! generates synthetic sensors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dcdb_pusher::mqtt_out::{MqttBackend, MqttOut, SendPolicy};
+use dcdb_pusher::plugins::{ProcFsPlugin, TesterPlugin};
+use dcdb_pusher::scheduler::{Pusher, PusherConfig};
+use dcdb_sim::devices::HostFs;
+use dcdb_tools::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let Some(broker) = args.get("broker") else {
+        eprintln!("usage: dcdbpusher --broker <addr> --prefix </site/node> [options]");
+        std::process::exit(2);
+    };
+    let prefix = args.get("prefix").unwrap_or("/dcdb/node0").to_string();
+    let plugins = args.get("plugins").unwrap_or("tester,procfs");
+    let sensors: usize = args.get("sensors").and_then(|s| s.parse().ok()).unwrap_or(100);
+    let interval: u64 = args.get("interval").and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let duration: u64 = args.get("duration").and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let client = match dcdb_mqtt::Client::connect(dcdb_mqtt::ClientConfig::new(
+        broker.parse().expect("valid --broker address"),
+        format!("dcdbpusher-{}", std::process::id()),
+    )) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dcdbpusher: cannot connect to {broker}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = MqttOut::new(MqttBackend::Tcp(client), SendPolicy::Continuous);
+    let pusher = Arc::new(Pusher::new(
+        PusherConfig { prefix, ..PusherConfig::default() },
+        out,
+    ));
+    for p in plugins.split(',') {
+        match p.trim() {
+            "tester" => {
+                pusher.add_plugin(Box::new(TesterPlugin::new(sensors, interval)));
+            }
+            "procfs" => {
+                pusher.add_plugin(Box::new(ProcFsPlugin::standard(Arc::new(HostFs), interval)));
+            }
+            other => eprintln!("dcdbpusher: skipping unknown plugin {other:?}"),
+        }
+    }
+    let _rest = args.get("rest").map(|addr| {
+        dcdb_pusher::rest::serve(Arc::clone(&pusher), addr.parse().expect("valid --rest"))
+            .expect("REST server")
+    });
+    println!(
+        "pusher up: {} sensors via {} plugin(s), pushing to {broker} for {duration}s",
+        pusher.sensor_count(),
+        pusher.plugin_names().len()
+    );
+    let produced = pusher.run_real(Duration::from_secs(duration));
+    println!("pushed {produced} readings");
+}

@@ -1,0 +1,82 @@
+//! `dcdbquery` — query sensor data in CSV form (paper §5.2).
+//!
+//! ```text
+//! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats] <topic>...
+//! ```
+
+use dcdb_core::ops;
+use dcdb_store::reading::TimeRange;
+use dcdb_tools::{open_db, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let Some(db_dir) = args.get("db") else {
+        eprintln!("usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] <topic>...");
+        std::process::exit(2);
+    };
+    let topics = args.positional();
+    if topics.is_empty() {
+        eprintln!("dcdbquery: no topics given");
+        std::process::exit(2);
+    }
+    let start: i64 = args.get("start").and_then(|s| s.parse().ok()).unwrap_or(i64::MIN);
+    let end: i64 = args.get("end").and_then(|s| s.parse().ok()).unwrap_or(i64::MAX);
+    let db = match open_db(std::path::Path::new(db_dir)) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("dcdbquery: cannot open {db_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let range = TimeRange::new(start, end);
+    match args.get("op") {
+        None => {
+            println!("sensor,timestamp,value");
+            for topic in topics {
+                match db.query(topic, range) {
+                    Ok(series) => {
+                        for r in &series.readings {
+                            println!("{topic},{},{}", r.ts, r.value);
+                        }
+                    }
+                    Err(e) => eprintln!("dcdbquery: {topic}: {e}"),
+                }
+            }
+        }
+        Some("integral") => {
+            println!("sensor,integral");
+            for topic in topics {
+                if let Ok(series) = db.query(topic, range) {
+                    println!("{topic},{}", ops::integral(&series.readings));
+                }
+            }
+        }
+        Some("derivative") => {
+            println!("sensor,timestamp,derivative");
+            for topic in topics {
+                if let Ok(series) = db.query(topic, range) {
+                    for r in ops::derivative(&series.readings) {
+                        println!("{topic},{},{}", r.ts, r.value);
+                    }
+                }
+            }
+        }
+        Some("stats") => {
+            println!("sensor,count,min,max,mean,stddev");
+            for topic in topics {
+                if let Ok(series) = db.query(topic, range) {
+                    if let Some(s) = ops::stats(&series.readings) {
+                        println!(
+                            "{topic},{},{},{},{},{}",
+                            s.count, s.min, s.max, s.mean, s.stddev
+                        );
+                    }
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("dcdbquery: unknown op {other:?} (integral|derivative|stats)");
+            std::process::exit(2);
+        }
+    }
+}

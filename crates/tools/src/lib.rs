@@ -1,0 +1,163 @@
+//! # dcdb-tools
+//!
+//! The DCDB command line tools (paper §5.2), built on libDCDB:
+//!
+//! * `dcdbquery` — query sensor data for a time period in CSV form, with
+//!   integral/derivative analysis operations,
+//! * `dcdbconfig` — database management: list sensors, set units/scaling
+//!   factors, define virtual sensors, delete old data, compact,
+//! * `csvimport` — bulk-import CSV data into Storage Backends,
+//! * `dcdbpusher` — run a Pusher (tester plugin or the host's real
+//!   `/proc`) against an MQTT broker,
+//! * `dcdbcollectagent` — run a Collect Agent: MQTT broker + storage +
+//!   REST API.
+//!
+//! Tools exchange persistent state through a *database directory* holding
+//! the store's SSTables plus the topic registry (`topics.list`).
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use dcdb_core::SensorDb;
+use dcdb_sid::TopicRegistry;
+use dcdb_store::StoreCluster;
+
+/// Open (or create) a database directory.
+///
+/// Layout: `<dir>/topics.list` (one topic per line, registration order) and
+/// `<dir>/node0/*.sst` (the single local storage node's runs).
+///
+/// # Errors
+/// Propagates I/O failures; a missing directory yields an empty database.
+pub fn open_db(dir: &Path) -> std::io::Result<Arc<SensorDb>> {
+    let registry = Arc::new(TopicRegistry::new());
+    let store = Arc::new(StoreCluster::single());
+    let topics_path = dir.join("topics.list");
+    if topics_path.exists() {
+        let file = std::fs::File::open(&topics_path)?;
+        for line in std::io::BufReader::new(file).lines() {
+            let line = line?;
+            let t = line.trim();
+            if !t.is_empty() {
+                registry.resolve(t).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+            }
+        }
+    }
+    let node_dir = dir.join("node0");
+    if node_dir.exists() {
+        store.node(0).load(&node_dir)?;
+    }
+    Ok(SensorDb::new(store, registry))
+}
+
+/// Persist the database directory written by [`open_db`].
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_db(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join("topics.list"))?;
+    for (topic, _) in db.registry().sids_under("/") {
+        writeln!(f, "{topic}")?;
+    }
+    db.store().node(0).flush();
+    db.store().node(0).persist(&dir.join("node0"))?;
+    Ok(())
+}
+
+/// Minimal `--flag value` argument parser shared by the binaries.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments (without `argv[0]`).
+    pub fn from_env() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Build from a slice (tests).
+    pub fn from_slice(args: &[&str]) -> Args {
+        Args { raw: args.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Presence of a boolean `--name` flag.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+
+    /// Positional arguments (not starting with `--` and not a flag value).
+    pub fn positional(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in self.raw.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                // flags with a following non-flag token consume it
+                if self.raw.get(i + 1).is_some_and(|n| !n.starts_with("--")) {
+                    skip = true;
+                }
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_store::reading::TimeRange;
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_slice(&["query", "--db", "/tmp/x", "--csv", "/a/b", "--verbose"]);
+        assert_eq!(a.get("db"), Some("/tmp/x"));
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.positional(), vec!["query"]);
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn db_roundtrip_through_directory() {
+        let dir = std::env::temp_dir().join(format!("dcdb-tools-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = SensorDb::in_memory();
+            db.insert("/t/a", 100, 1.5).unwrap();
+            db.insert("/t/b", 200, 2.5).unwrap();
+            save_db(&db, &dir).unwrap();
+        }
+        let db = open_db(&dir).unwrap();
+        let s = db.query("/t/a", TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 1);
+        assert_eq!(s.readings[0].value, 1.5);
+        assert_eq!(db.registry().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dir_is_empty_db() {
+        let db = open_db(Path::new("/definitely/missing/dcdb")).unwrap();
+        assert_eq!(db.registry().len(), 0);
+    }
+}

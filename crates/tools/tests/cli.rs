@@ -1,0 +1,180 @@
+//! End-to-end tests of the command-line tools as real processes:
+//! csvimport → dcdbconfig → dcdbquery over a shared database directory, and
+//! a live dcdbpusher → dcdbcollectagent pipeline over TCP.
+
+use std::process::Command;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcdb-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn csvimport_then_query_roundtrip() {
+    let dir = tmp_dir("csv");
+    let db = dir.join("db");
+    let csv = dir.join("data.csv");
+    std::fs::write(
+        &csv,
+        "sensor,timestamp,value\n/cli/power,1000000000,100\n/cli/power,2000000000,200\n/cli/temp,1000000000,40\n",
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_csvimport"))
+        .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("imported 3 readings"));
+
+    // plain CSV query
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "/cli/power"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("/cli/power,1000000000,100"), "{text}");
+    assert!(text.contains("/cli/power,2000000000,200"));
+
+    // analysis op: integral of 100→200 over 1 s = 150 (value·s)
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--op", "integral", "/cli/power"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("/cli/power,150"), "{text}");
+
+    // stats op
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--op", "stats", "/cli/power"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("/cli/power,2,100,200,150,50"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dcdbconfig_manages_the_database() {
+    let dir = tmp_dir("cfg");
+    let db = dir.join("db");
+    let csv = dir.join("data.csv");
+    let rows: String = (0..20i64)
+        .map(|i| format!("/cfg/s,{},{}\n", i * 1_000_000_000, i))
+        .collect();
+    std::fs::write(&csv, rows).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_csvimport"))
+        .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // sensor list shows the SID and topic
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbconfig"))
+        .args(["--db", db.to_str().unwrap(), "sensor", "list"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("/cfg/s"), "{text}");
+
+    // cleanup deletes old data
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbconfig"))
+        .args(["--db", db.to_str().unwrap(), "db", "cleanup", "--before", "10000000000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "/cfg/s"])
+        .output()
+        .unwrap();
+    let remaining = String::from_utf8_lossy(&out.stdout).lines().count() - 1; // header
+    assert_eq!(remaining, 10, "half the readings survive the cleanup");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pusher_and_collectagent_binaries_talk() {
+    let dir = tmp_dir("live");
+    let db = dir.join("db");
+    // pick a free port by binding and releasing
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let mqtt = format!("127.0.0.1:{port}");
+    let rest_port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let agent = Command::new(env!("CARGO_BIN_EXE_dcdbcollectagent"))
+        .args([
+            "--mqtt",
+            &mqtt,
+            "--rest",
+            &format!("127.0.0.1:{rest_port}"),
+            "--duration",
+            "6",
+            "--db",
+            db.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(700)); // broker up
+
+    let pusher = Command::new(env!("CARGO_BIN_EXE_dcdbpusher"))
+        .args([
+            "--broker", &mqtt,
+            "--prefix", "/cli/node0",
+            "--plugins", "tester",
+            "--sensors", "20",
+            "--interval", "200",
+            "--duration", "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(pusher.status.success(), "{}", String::from_utf8_lossy(&pusher.stderr));
+    assert!(String::from_utf8_lossy(&pusher.stdout).contains("pushed"));
+
+    let out = agent.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("processed"), "{text}");
+    assert!(text.contains("database saved"), "{text}");
+
+    // the persisted database is queryable by dcdbquery
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "/cli/node0/tester/t0"])
+        .output()
+        .unwrap();
+    let lines = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert!(lines > 5, "expected stored readings, got {lines} lines");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dcdbgenplugin_generates_compilable_shape() {
+    let dir = tmp_dir("gen");
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbgenplugin"))
+        .args(["--name", "my_device", "--out", dir.to_str().unwrap(), "--interval", "500"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let skeleton = std::fs::read_to_string(dir.join("my_device.rs")).unwrap();
+    assert!(skeleton.contains("pub struct MyDevicePlugin"));
+    assert!(skeleton.contains("impl Plugin for MyDevicePlugin"));
+    assert!(skeleton.contains("CUSTOM CODE"));
+    let conf = std::fs::read_to_string(dir.join("my_device.conf")).unwrap();
+    assert!(conf.contains("interval 500"));
+    // invalid names rejected
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbgenplugin"))
+        .args(["--name", "Bad-Name", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,81 @@
+//! Grafana data source: the hierarchy-aware query API of §5.4 / Fig. 3.
+//!
+//! Populates a sensor hierarchy (system → rack → node → sensor), serves the
+//! data-source API over HTTP, and walks it exactly like the Grafana panel's
+//! drop-down menus would: list racks, list nodes, then query a node's power
+//! series and a virtual rack-aggregate.
+//!
+//! ```text
+//! cargo run --example grafana_datasource
+//! ```
+
+use std::sync::Arc;
+
+use dcdb::core::{grafana, SensorDb, SensorMeta, Unit};
+use dcdb::http::client;
+use dcdb::http::json::Json;
+
+fn main() {
+    // Populate a day of per-node power data.
+    let db = SensorDb::in_memory();
+    for rack in 0..3 {
+        for node in 0..4 {
+            let topic = format!("/lrz/smucng/rack{rack}/node{node}/power");
+            for minute in 0..60 {
+                let ts = minute * 60_000_000_000i64;
+                let value = 350.0 + 40.0 * ((minute + node * 7 + rack * 13) % 17) as f64 / 17.0;
+                db.insert(&topic, ts, value).unwrap();
+            }
+            db.set_meta(&topic, SensorMeta::with_unit(Unit::WATT));
+        }
+    }
+    db.define_virtual(
+        "/v/rack0/power",
+        "\"/lrz/smucng/rack0/node0/power\" + \"/lrz/smucng/rack0/node1/power\" \
+         + \"/lrz/smucng/rack0/node2/power\" + \"/lrz/smucng/rack0/node3/power\"",
+        Unit::WATT,
+    )
+    .unwrap();
+
+    // Serve the data-source API.
+    let server =
+        grafana::serve(Arc::clone(&db), "127.0.0.1:0".parse().unwrap()).expect("serve");
+    let addr = server.local_addr();
+    println!("grafana data source at http://{addr}\n");
+
+    // Drop-down 1: racks below /lrz/smucng (hierarchy level 2).
+    let racks = client::get(addr, "/search?prefix=/lrz/smucng&level=2").unwrap();
+    println!("racks: {}", racks.text());
+
+    // Drop-down 2: nodes below rack1.
+    let nodes = client::get(addr, "/search?prefix=/lrz/smucng/rack1&level=3").unwrap();
+    println!("rack1 nodes: {}", nodes.text());
+
+    // Panel query: one node's power, downsampled to 12 points.
+    let resp = client::get(
+        addr,
+        "/query?topic=/lrz/smucng/rack1/node2/power&maxDataPoints=12",
+    )
+    .unwrap();
+    let j = Json::parse(&resp.text()).unwrap();
+    let points = j.get("datapoints").unwrap().as_arr().unwrap();
+    println!(
+        "\n/lrz/smucng/rack1/node2/power ({}; {} points):",
+        j.get("unit").unwrap().as_str().unwrap_or("?"),
+        points.len()
+    );
+    for p in points {
+        println!("  value={:8.2} ts={}", p.idx(0).unwrap().as_f64().unwrap(), {
+            p.idx(1).unwrap().as_f64().unwrap()
+        });
+    }
+    assert!(points.len() <= 12 && !points.is_empty());
+
+    // Panel legend: stats of the virtual rack aggregate.
+    let stats = client::get(addr, "/stats?topic=/v/rack0/power").unwrap();
+    println!("\nrack0 aggregate stats: {}", stats.text());
+    let sj = Json::parse(&stats.text()).unwrap();
+    let avg = sj.get("avg").unwrap().as_f64().unwrap();
+    assert!(avg > 4.0 * 330.0, "four nodes aggregate: {avg}");
+    println!("\ngrafana datasource OK");
+}

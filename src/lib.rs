@@ -1,0 +1,40 @@
+//! # dcdb
+//!
+//! Facade crate for **dcdb-rs**, a Rust reproduction of
+//! *"From Facility to Application Sensor Data: Modular, Continuous and
+//! Holistic Monitoring with DCDB"* (Netti et al., SC 2019).
+//!
+//! The workspace is organised like the paper's architecture:
+//!
+//! * [`sid`] — 128-bit hierarchical sensor identifiers and MQTT topic mapping
+//! * [`config`] — property-tree configuration files
+//! * [`mqtt`] — MQTT 3.1.1 codec, broker and client (the transport layer)
+//! * [`store`] — the wide-column distributed storage backend (Cassandra stand-in)
+//! * [`http`] — minimal HTTP/1.1 + JSON for the RESTful APIs
+//! * [`sim`] — simulated HPC cluster substrate (architectures, devices, workloads)
+//! * [`pusher`] — the plugin-based data-collection agent
+//! * [`collectagent`] — the publish-only MQTT broker writing to storage
+//! * [`core`] — libDCDB: queries, virtual sensors, units, analysis operations
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dcdb::store::cluster::StoreCluster;
+//! use dcdb::sid::SensorId;
+//!
+//! let cluster = StoreCluster::single();
+//! let sid = SensorId::from_topic("/lrz/system1/rack0/node0/power").unwrap();
+//! cluster.insert(sid, 1_000_000, 240.0);
+//! let readings = cluster.query_range(sid, 0, 2_000_000);
+//! assert_eq!(readings.len(), 1);
+//! ```
+
+pub use dcdb_collectagent as collectagent;
+pub use dcdb_config as config;
+pub use dcdb_core as core;
+pub use dcdb_http as http;
+pub use dcdb_mqtt as mqtt;
+pub use dcdb_pusher as pusher;
+pub use dcdb_sid as sid;
+pub use dcdb_sim as sim;
+pub use dcdb_store as store;

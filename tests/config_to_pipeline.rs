@@ -1,0 +1,113 @@
+//! Integration: property-tree configuration files driving Pusher
+//! construction, CSV round-trips through the tools layer, and store
+//! persistence across process boundaries (simulated by reopening).
+
+
+use dcdb::config;
+use dcdb::core::SensorDb;
+use dcdb::pusher::mqtt_out::{MqttBackend, MqttOut, SendPolicy};
+use dcdb::pusher::plugins::TesterPlugin;
+use dcdb::pusher::Plugin as _;
+use dcdb::pusher::scheduler::{Pusher, PusherConfig};
+use dcdb::store::reading::TimeRange;
+
+#[test]
+fn pusher_from_config_file_text() {
+    let text = r#"
+global {
+    mqttPrefix /cfg/node7
+    cacheInterval 120
+    threads 2
+}
+template_plugin fast {
+    interval 100
+}
+plugin tester {
+    default fast
+    sensors 25
+}
+"#;
+    let cfg = config::from_str(text).expect("parse");
+    let prefix = cfg.get_str("global.mqttPrefix").unwrap().to_string();
+    let cache_s = cfg.get_u64_or("global.cacheInterval", 120);
+    let pusher = Pusher::new(
+        PusherConfig {
+            prefix,
+            cache_window_ns: cache_s as i64 * 1_000_000_000,
+            sampling_threads: cfg.get_u64_or("global.threads", 2) as usize,
+        },
+        MqttOut::new(MqttBackend::Null, SendPolicy::Continuous),
+    );
+    // the plugin block inherited interval=100 from the template
+    let plugin_cfg = cfg.child("plugin").expect("plugin block");
+    let tester = TesterPlugin::from_config(plugin_cfg).expect("tester config");
+    assert_eq!(tester.groups()[0].interval_ms, 100);
+    pusher.add_plugin(Box::new(tester));
+    assert_eq!(pusher.sensor_count(), 25);
+
+    let produced = pusher.run_virtual(1_000_000_000);
+    assert_eq!(produced, 25 * 11);
+    assert!(pusher.cache().latest("/cfg/node7/tester/t0").is_some());
+}
+
+#[test]
+fn csv_database_roundtrip_via_tools() {
+    let dir = std::env::temp_dir().join(format!("dcdb-it-csv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // import CSV into a fresh database directory
+    {
+        let db = SensorDb::in_memory();
+        let csv = "sensor,timestamp,value\n/it/power,1000,100.5\n/it/power,2000,101.5\n/it/temp,1000,42\n";
+        let n = dcdb::store::csv::import(db.store(), db.registry(), csv.as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        dcdb_tools::save_db(&db, &dir).unwrap();
+    }
+    // reopen: data and topics survive
+    {
+        let db = dcdb_tools::open_db(&dir).unwrap();
+        let s = db.query("/it/power", TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 2);
+        assert_eq!(s.readings[1].value, 101.5);
+        // export matches what was imported
+        let sensors = db.registry().sids_under("/it");
+        let out = dcdb::store::csv::export_to_string(db.store(), &sensors, TimeRange::all());
+        assert!(out.contains("/it/power,1000,100.5"));
+        assert!(out.contains("/it/temp,1000,42"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn virtual_sensors_survive_interleaved_ingest() {
+    // define a virtual sensor, ingest more data, query again: the write-back
+    // cache must not hide fresh data outside the cached range
+    let db = SensorDb::in_memory();
+    for ts in 0..5 {
+        db.insert("/x/a", ts * 1_000, 10.0).unwrap();
+    }
+    db.define_virtual("/v/x", "\"/x/a\" * 2", dcdb::core::Unit::NONE).unwrap();
+    let first = db.query("/v/x", TimeRange::new(0, 5_000)).unwrap();
+    assert_eq!(first.readings.len(), 5);
+    // new data arrives later
+    for ts in 5..10 {
+        db.insert("/x/a", ts * 1_000, 20.0).unwrap();
+    }
+    let second = db.query("/v/x", TimeRange::new(0, 10_000)).unwrap();
+    assert_eq!(second.readings.len(), 10);
+    assert_eq!(second.readings[9].value, 40.0);
+}
+
+#[test]
+fn store_maintenance_through_sensordb() {
+    let db = SensorDb::in_memory();
+    for ts in 0..100 {
+        db.insert("/m/s", ts, ts as f64).unwrap();
+    }
+    db.store().delete_all_before(50);
+    db.store().maintain();
+    let s = db.query("/m/s", TimeRange::all()).unwrap();
+    assert_eq!(s.readings.len(), 50);
+    assert_eq!(s.readings[0].ts, 50);
+    assert_eq!(db.store().total_entries(), 50);
+}
