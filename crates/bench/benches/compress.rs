@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the Gorilla codec: encode/decode
+//! throughput and the SSTable v2 serialisation path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dcdb_compress::{decode_series, encode_series};
+use dcdb_sid::SensorId;
+use dcdb_store::reading::Timestamp;
+use dcdb_store::sstable::SsTable;
+
+fn power_series(n: usize) -> Vec<(i64, f64)> {
+    (0..n)
+        .map(|i| {
+            (
+                1_600_000_000_000_000_000 + i as i64 * 1_000_000_000,
+                240.0 + ((i as f64) * 0.05).sin() * 3.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_series_codec(c: &mut Criterion) {
+    let series = power_series(10_000);
+    let encoded = encode_series(&series);
+    let mut g = c.benchmark_group("compress_series");
+    g.throughput(Throughput::Elements(series.len() as u64));
+    g.bench_function("encode_10k", |b| b.iter(|| encode_series(std::hint::black_box(&series))));
+    g.bench_function("decode_10k", |b| {
+        b.iter(|| decode_series(std::hint::black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sstable_v2(c: &mut Criterion) {
+    let sid = SensorId::from_fields(&[1, 2]).unwrap();
+    let entries: Vec<(SensorId, Timestamp, f64)> =
+        power_series(10_000).into_iter().map(|(ts, v)| (sid, ts, v)).collect();
+    let table = SsTable::from_sorted(entries);
+    let mut v2 = Vec::new();
+    table.write_to(&mut v2).unwrap();
+    let mut g = c.benchmark_group("sstable_v2");
+    g.throughput(Throughput::Elements(table.len() as u64));
+    g.bench_function("write_10k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(v2.len());
+            table.write_to(&mut buf).unwrap();
+            buf
+        })
+    });
+    g.bench_function("read_10k", |b| b.iter(|| SsTable::read_from(&mut &v2[..]).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_series_codec, bench_sstable_v2);
+criterion_main!(benches);

@@ -6,7 +6,9 @@ fn main() {
         "  {} servers: prefix partitioner touches {:.2} server(s)/query, random {:.2}",
         p.servers, p.prefix_fanout, p.random_fanout
     );
-    println!("\nAblation 2: push vs pull read-timestamp alignment (50 hosts, 1 h since NTP sync)\n");
+    println!(
+        "\nAblation 2: push vs pull read-timestamp alignment (50 hosts, 1 h since NTP sync)\n"
+    );
     let t = dcdb_bench::experiments::ablations::timing_ablation(50, 1000, 10);
     println!(
         "  push spread {:.1} ms vs pull spread {:.1} ms",

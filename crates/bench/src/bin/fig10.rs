@@ -8,11 +8,7 @@ fn main() {
         &["app", "mean_instr_per_watt", "modes"],
         &apps
             .iter()
-            .map(|a| vec![
-                a.workload.to_string(),
-                format!("{:.1}", a.mean),
-                a.modes.to_string(),
-            ])
+            .map(|a| vec![a.workload.to_string(), format!("{:.1}", a.mean), a.modes.to_string()])
             .collect::<Vec<_>>(),
     );
 }

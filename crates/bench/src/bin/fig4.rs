@@ -9,12 +9,14 @@ fn main() {
         "fig4",
         &["benchmark", "nodes", "total_percent", "core_percent"],
         &pts.iter()
-            .map(|p| vec![
-                p.workload.to_string(),
-                p.nodes.to_string(),
-                format!("{:.3}", p.total_percent),
-                format!("{:.3}", p.core_percent),
-            ])
+            .map(|p| {
+                vec![
+                    p.workload.to_string(),
+                    p.nodes.to_string(),
+                    format!("{:.3}", p.total_percent),
+                    format!("{:.3}", p.core_percent),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 }

@@ -7,12 +7,14 @@ fn main() {
         "fig6",
         &["sensors", "interval_ms", "cpu_load_percent", "memory_mb"],
         &pts.iter()
-            .map(|p| vec![
-                p.sensors.to_string(),
-                p.interval_ms.to_string(),
-                format!("{:.4}", p.cpu_load_percent),
-                format!("{:.1}", p.memory_mb),
-            ])
+            .map(|p| {
+                vec![
+                    p.sensors.to_string(),
+                    p.interval_ms.to_string(),
+                    format!("{:.4}", p.cpu_load_percent),
+                    format!("{:.1}", p.memory_mb),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 }

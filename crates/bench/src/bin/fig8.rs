@@ -13,12 +13,14 @@ fn main() {
         "fig8",
         &["hosts", "sensors", "rate", "cpu_load_percent"],
         &pts.iter()
-            .map(|p| vec![
-                p.hosts.to_string(),
-                p.sensors.to_string(),
-                format!("{:.0}", p.rate),
-                format!("{:.2}", p.cpu_load_percent),
-            ])
+            .map(|p| {
+                vec![
+                    p.hosts.to_string(),
+                    p.sensors.to_string(),
+                    format!("{:.0}", p.rate),
+                    format!("{:.2}", p.cpu_load_percent),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 }

@@ -8,12 +8,9 @@ fn main() {
         &["hour", "power_kw", "heat_removed_kw", "inlet_c"],
         &cs.series
             .iter()
-            .map(|(h, p, q, t)| vec![
-                format!("{h:.3}"),
-                format!("{p:.2}"),
-                format!("{q:.2}"),
-                format!("{t:.2}"),
-            ])
+            .map(|(h, p, q, t)| {
+                vec![format!("{h:.3}"), format!("{p:.2}"), format!("{q:.2}"), format!("{t:.2}")]
+            })
             .collect::<Vec<_>>(),
     );
 }

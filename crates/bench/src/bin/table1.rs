@@ -5,18 +5,28 @@ fn main() {
     print!("{}", dcdb_bench::experiments::table1::render(&rows));
     dcdb_bench::report::write_csv(
         "table1",
-        &["system", "arch", "sensors", "overhead_percent", "paper_percent", "memory_mb", "cpu_load_percent"],
+        &[
+            "system",
+            "arch",
+            "sensors",
+            "overhead_percent",
+            "paper_percent",
+            "memory_mb",
+            "cpu_load_percent",
+        ],
         &rows
             .iter()
-            .map(|r| vec![
-                r.system.to_string(),
-                r.arch.to_string(),
-                r.sensors.to_string(),
-                format!("{:.3}", r.overhead_percent),
-                format!("{:.3}", r.paper_overhead_percent),
-                format!("{:.1}", r.memory_mb),
-                format!("{:.2}", r.cpu_load_percent),
-            ])
+            .map(|r| {
+                vec![
+                    r.system.to_string(),
+                    r.arch.to_string(),
+                    r.sensors.to_string(),
+                    format!("{:.3}", r.overhead_percent),
+                    format!("{:.3}", r.paper_overhead_percent),
+                    format!("{:.1}", r.memory_mb),
+                    format!("{:.2}", r.cpu_load_percent),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 }

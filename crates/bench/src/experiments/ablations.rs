@@ -30,7 +30,11 @@ pub struct PartitionAblation {
 }
 
 /// Query fan-out of node-level queries under both partitioners.
-pub fn partition_ablation(servers: usize, nodes: usize, sensors_per_node: usize) -> PartitionAblation {
+pub fn partition_ablation(
+    servers: usize,
+    nodes: usize,
+    sensors_per_node: usize,
+) -> PartitionAblation {
     let prefix = PartitionMap::prefix(servers, 3);
     let random = PartitionMap::random(servers);
     let fanout = |map: &PartitionMap| -> f64 {
@@ -46,11 +50,7 @@ pub fn partition_ablation(servers: usize, nodes: usize, sensors_per_node: usize)
         }
         total as f64 / nodes as f64
     };
-    PartitionAblation {
-        servers,
-        prefix_fanout: fanout(&prefix),
-        random_fanout: fanout(&random),
-    }
+    PartitionAblation { servers, prefix_fanout: fanout(&prefix), random_fanout: fanout(&random) }
 }
 
 /// Push-vs-pull timing ablation result.
@@ -73,9 +73,8 @@ pub struct TimingAblation {
 pub fn timing_ablation(hosts: usize, interval_ms: i64, poll_gap_ms: i64) -> TimingAblation {
     let base = SimClock::new();
     let mut rng = StdRng::seed_from_u64(42);
-    let clocks: Vec<NodeClock> = (0..hosts)
-        .map(|_| NodeClock::new(Arc::clone(&base), rng.gen_range(-20.0..20.0)))
-        .collect();
+    let clocks: Vec<NodeClock> =
+        (0..hosts).map(|_| NodeClock::new(Arc::clone(&base), rng.gen_range(-20.0..20.0))).collect();
     // an hour since the last NTP sync accrues realistic drift
     base.advance(3600 * 1_000_000_000);
 
@@ -103,11 +102,7 @@ mod tests {
     fn prefix_partitioning_keeps_queries_local() {
         let a = partition_ablation(8, 64, 100);
         assert_eq!(a.prefix_fanout, 1.0, "node sub-tree must live on one server");
-        assert!(
-            a.random_fanout > 6.0,
-            "random partitioning scatters: fan-out {}",
-            a.random_fanout
-        );
+        assert!(a.random_fanout > 6.0, "random partitioning scatters: fan-out {}", a.random_fanout);
     }
 
     #[test]

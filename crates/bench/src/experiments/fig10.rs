@@ -40,8 +40,7 @@ pub fn run(minutes: usize) -> Vec<AppDensity> {
     Workload::CORAL2
         .iter()
         .map(|&workload| {
-            let mut trace =
-                BehaviorTrace::new(workload, &KNIGHTS_LANDING, 100 * NS_PER_MS, 0xF16);
+            let mut trace = BehaviorTrace::new(workload, &KNIGHTS_LANDING, 100 * NS_PER_MS, 0xF16);
             let samples: Vec<f64> = (0..samples_per_app)
                 .map(|_| {
                     let s = trace.next_sample();
@@ -61,10 +60,7 @@ pub fn run(minutes: usize) -> Vec<AppDensity> {
 fn count_modes(curve: &[(f64, f64)]) -> usize {
     let peak = curve.iter().map(|p| p.1).fold(0.0f64, f64::max);
     let threshold = peak * 0.05;
-    curve
-        .windows(3)
-        .filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1 && w[1].1 > threshold)
-        .count()
+    curve.windows(3).filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1 && w[1].1 > threshold).count()
 }
 
 /// Render an ASCII version of the figure.
@@ -125,8 +121,7 @@ mod tests {
         let apps = run(5);
         let spread = |a: &AppDensity| {
             let m = a.mean;
-            (a.samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / a.samples.len() as f64)
-                .sqrt()
+            (a.samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / a.samples.len() as f64).sqrt()
                 / m
         };
         let q = spread(by(&apps, Workload::Quicksilver));

@@ -42,13 +42,7 @@ pub fn run() -> Vec<Point> {
                 workload,
                 nodes,
                 total_percent: mpi_overhead_percent(workload, nodes, &total_cfg, arch, noise),
-                core_percent: mpi_overhead_percent(
-                    workload,
-                    nodes,
-                    &core_cfg,
-                    arch,
-                    noise * 0.5,
-                ),
+                core_percent: mpi_overhead_percent(workload, nodes, &core_cfg, arch, noise * 0.5),
             });
         }
     }
@@ -108,8 +102,7 @@ mod tests {
             for p in &pts {
                 assert!(p.total_percent < 3.0, "{w}@{} = {:.2}%", p.nodes, p.total_percent);
             }
-            let growth =
-                pts.last().unwrap().total_percent - pts.first().unwrap().total_percent;
+            let growth = pts.last().unwrap().total_percent - pts.first().unwrap().total_percent;
             assert!(growth < 1.0, "{w} grows {growth:.2}% over the sweep");
         }
     }

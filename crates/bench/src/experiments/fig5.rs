@@ -41,8 +41,7 @@ pub fn run() -> Vec<HeatMap> {
                         .enumerate()
                         .map(|(xi, &sensors)| {
                             let cfg = PusherConfig::tester(sensors, interval);
-                            let seed =
-                                (arch as u64) << 16 | (yi as u64) << 8 | xi as u64;
+                            let seed = (arch as u64) << 16 | (yi as u64) << 8 | xi as u64;
                             // jitter comparable to the paper's cell scatter
                             let noise = measurement_noise(seed, 0.25);
                             hpl_overhead_percent(&cfg, arch, noise)
@@ -110,11 +109,8 @@ mod tests {
     #[test]
     fn some_cells_are_zero() {
         // the paper's maps are full of exact zeros
-        let zeros: usize = run()
-            .iter()
-            .flat_map(|m| m.values.iter().flatten())
-            .filter(|v| **v == 0.0)
-            .count();
+        let zeros: usize =
+            run().iter().flat_map(|m| m.values.iter().flatten()).filter(|v| **v == 0.0).count();
         assert!(zeros >= 5, "only {zeros} zero cells");
     }
 

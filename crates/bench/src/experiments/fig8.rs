@@ -55,9 +55,8 @@ pub fn measure(hosts: usize, sensors: usize, window_s: f64) -> Point {
     // Warm-up: register every topic once (steady-state behaviour; the
     // paper's agent also resolves each topic once and then reuses the SID).
     let payload = encode_readings(&[(0, 1.0)]);
-    let topics: Vec<Vec<String>> = (0..hosts)
-        .map(|h| (0..sensors).map(|s| format!("/test/host{h}/t{s}")).collect())
-        .collect();
+    let topics: Vec<Vec<String>> =
+        (0..hosts).map(|h| (0..sensors).map(|s| format!("/test/host{h}/t{s}")).collect()).collect();
     for host in &topics {
         for t in host {
             agent.handle_publish(t, &payload);
@@ -78,8 +77,7 @@ pub fn measure(hosts: usize, sensors: usize, window_s: f64) -> Point {
         }
         ts += 1_000_000_000;
     }
-    let busy =
-        agent.stats().busy_ns.load(std::sync::atomic::Ordering::Relaxed) - warmup_busy;
+    let busy = agent.stats().busy_ns.load(std::sync::atomic::Ordering::Relaxed) - warmup_busy;
     let busy_per_window = busy as f64 / rounds as f64;
     let rate = (hosts * sensors) as f64;
     Point {
@@ -137,9 +135,12 @@ mod tests {
     fn load_grows_with_rate() {
         let small = measure(1, 100, 1.0);
         let big = measure(10, 1000, 1.0);
-        assert!(big.cpu_load_percent > small.cpu_load_percent * 5.0,
+        assert!(
+            big.cpu_load_percent > small.cpu_load_percent * 5.0,
             "10k/s ({:.2}%) should dwarf 100/s ({:.2}%)",
-            big.cpu_load_percent, small.cpu_load_percent);
+            big.cpu_load_percent,
+            small.cpu_load_percent
+        );
     }
 
     #[test]

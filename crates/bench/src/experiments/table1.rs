@@ -70,16 +70,7 @@ pub fn render(rows: &[Row]) -> String {
         })
         .collect();
     crate::report::table(
-        &[
-            "HPC System",
-            "Nodes",
-            "Plugins",
-            "Sensors",
-            "Overhead",
-            "Paper",
-            "Memory",
-            "CPU load",
-        ],
+        &["HPC System", "Nodes", "Plugins", "Sensors", "Overhead", "Paper", "Memory", "CPU load"],
         &data,
     )
 }
@@ -99,8 +90,8 @@ mod tests {
     #[test]
     fn overheads_within_fifteen_percent_of_paper() {
         for r in run() {
-            let rel = (r.overhead_percent - r.paper_overhead_percent).abs()
-                / r.paper_overhead_percent;
+            let rel =
+                (r.overhead_percent - r.paper_overhead_percent).abs() / r.paper_overhead_percent;
             assert!(
                 rel < 0.15,
                 "{}: {:.2}% vs paper {:.2}%",

@@ -17,6 +17,7 @@
 //! | Fig. 9 (heat-removal case study)         | [`experiments::fig9`]   | `fig9`   |
 //! | Fig. 10 (application characterisation)   | [`experiments::fig10`]  | `fig10`  |
 //! | Design ablations (DESIGN.md §5)          | [`experiments::ablations`] | `ablations` |
+//! | Compression study (dcdb-compress)        | [`experiments::compression`] | `compression` |
 
 pub mod experiments;
 pub mod kde;

@@ -91,10 +91,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "2.5".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2.5".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -7,7 +7,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use dcdb_mqtt::broker::{Broker, BrokerConfig, PublishSink};
 use dcdb_mqtt::inproc::InprocBus;
-use dcdb_mqtt::payload::decode_readings;
+use dcdb_mqtt::payload::{decode_payload, PayloadEncoding};
 use dcdb_sid::TopicRegistry;
 use dcdb_store::reading::Reading;
 use dcdb_store::StoreCluster;
@@ -28,6 +28,13 @@ pub struct CollectAgentStats {
     pub dropped: AtomicU64,
     /// Wall-clock nanoseconds spent inside the handler.
     pub busy_ns: AtomicU64,
+    /// Messages that arrived with the compressed payload encoding.
+    pub compressed_messages: AtomicU64,
+    /// Payload bytes received (either encoding).
+    pub payload_bytes: AtomicU64,
+    /// Bytes the same readings would have cost fixed-width — the spread
+    /// against `payload_bytes` is the transport saving from compression.
+    pub fixed_width_bytes: AtomicU64,
 }
 
 /// Observer callback invoked for every stored reading: `(topic, ts, value)`.
@@ -42,6 +49,9 @@ pub struct CollectAgent {
     stats: Arc<CollectAgentStats>,
     /// Cache of the latest reading per topic (REST API).
     cache: Arc<RwLock<std::collections::HashMap<String, Reading>>>,
+    /// Payload encoding negotiated per topic (recorded on first contact,
+    /// upgraded when a publisher switches to compression).
+    encodings: RwLock<std::collections::HashMap<String, PayloadEncoding>>,
     observers: RwLock<Vec<ReadingObserver>>,
 }
 
@@ -64,6 +74,7 @@ impl CollectAgent {
             store,
             stats: Arc::new(CollectAgentStats::default()),
             cache: Arc::new(RwLock::new(std::collections::HashMap::new())),
+            encodings: RwLock::new(std::collections::HashMap::new()),
             observers: RwLock::new(Vec::new()),
         })
     }
@@ -74,7 +85,24 @@ impl CollectAgent {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         let outcome = (|| -> Option<usize> {
             let sid = self.registry.resolve(topic).ok()?;
-            let decoded = decode_readings(payload)?;
+            let (encoding, decoded) = decode_payload(payload)?;
+            self.stats.payload_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+            self.stats.fixed_width_bytes.fetch_add(
+                (decoded.len() * dcdb_mqtt::payload::RECORD_SIZE) as u64,
+                Ordering::Relaxed,
+            );
+            if encoding == PayloadEncoding::Compressed {
+                self.stats.compressed_messages.fetch_add(1, Ordering::Relaxed);
+            }
+            // record the per-topic negotiation; fixed → compressed upgrades
+            // are allowed (a pusher enabling bursts mid-run), downgrades kept
+            // too so stats reflect what the publisher currently sends.  The
+            // encoding is stable for virtually every message after the first,
+            // so check under the shared lock and only write on change — the
+            // handler is the ingest hot path (fig. 8 measures its busy_ns)
+            if self.encodings.read().get(topic) != Some(&encoding) {
+                self.encodings.write().insert(topic.to_string(), encoding);
+            }
             if decoded.is_empty() {
                 return Some(0);
             }
@@ -128,11 +156,19 @@ impl CollectAgent {
         &self.stats
     }
 
+    /// The payload encoding last negotiated on `topic` (None before the
+    /// first successfully decoded publish).
+    pub fn topic_encoding(&self, topic: &str) -> Option<PayloadEncoding> {
+        self.encodings.read().get(topic).copied()
+    }
+
     /// Latest cached reading of `topic`.
     pub fn cached_latest(&self, topic: &str) -> Option<Reading> {
-        self.cache.read().get(&dcdb_sid::topic::normalize(topic)).copied().or_else(|| {
-            self.cache.read().get(topic).copied()
-        })
+        self.cache
+            .read()
+            .get(&dcdb_sid::topic::normalize(topic))
+            .copied()
+            .or_else(|| self.cache.read().get(topic).copied())
     }
 
     /// All cached topics, sorted.
@@ -213,11 +249,7 @@ mod tests {
         let a = agent();
         let bus = InprocBus::new();
         a.attach_inproc(&bus);
-        bus.publish(
-            "/bus/s1",
-            &encode_readings(&[(5, 9.0)]),
-            dcdb_mqtt::codec::QoS::AtMostOnce,
-        );
+        bus.publish("/bus/s1", &encode_readings(&[(5, 9.0)]), dcdb_mqtt::codec::QoS::AtMostOnce);
         assert_eq!(a.stats().readings.load(Ordering::Relaxed), 1);
         let sid = a.registry().get("/bus/s1").unwrap();
         assert_eq!(a.store().query(sid, TimeRange::all()).len(), 1);
@@ -248,5 +280,36 @@ mod tests {
         assert_eq!(a.stats().messages.load(Ordering::Relaxed), 1);
         assert_eq!(a.stats().dropped.load(Ordering::Relaxed), 0);
         assert_eq!(a.stats().readings.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn compressed_publish_lands_in_store() {
+        use dcdb_mqtt::payload::{encode_readings_compressed, PayloadEncoding};
+        let a = agent();
+        let readings: Vec<(i64, f64)> =
+            (0..60).map(|i| (i * 1_000_000_000, 300.0 + (i % 2) as f64)).collect();
+        a.handle_publish("/sys/node1/power", &encode_readings_compressed(&readings));
+        let sid = a.registry().get("/sys/node1/power").unwrap();
+        let got = a.store().query(sid, TimeRange::all());
+        assert_eq!(got.len(), 60);
+        assert_eq!(got[13].value, 301.0);
+        assert_eq!(a.stats().compressed_messages.load(Ordering::Relaxed), 1);
+        assert_eq!(a.topic_encoding("/sys/node1/power"), Some(PayloadEncoding::Compressed));
+        let sent = a.stats().payload_bytes.load(Ordering::Relaxed);
+        let fixed = a.stats().fixed_width_bytes.load(Ordering::Relaxed);
+        assert!(sent < fixed, "compressed payload {sent} should undercut fixed {fixed}");
+    }
+
+    #[test]
+    fn per_topic_encoding_negotiation_upgrades() {
+        use dcdb_mqtt::payload::{encode_readings_compressed, PayloadEncoding};
+        let a = agent();
+        a.handle_publish("/s/mix", &encode_readings(&[(10, 1.0)]));
+        assert_eq!(a.topic_encoding("/s/mix"), Some(PayloadEncoding::Fixed));
+        a.handle_publish("/s/mix", &encode_readings_compressed(&[(20, 2.0), (30, 3.0)]));
+        assert_eq!(a.topic_encoding("/s/mix"), Some(PayloadEncoding::Compressed));
+        let sid = a.registry().get("/s/mix").unwrap();
+        assert_eq!(a.store().query(sid, TimeRange::all()).len(), 3);
+        assert!(a.topic_encoding("/s/never").is_none());
     }
 }

@@ -231,11 +231,7 @@ impl Operator for RateOfChange {
         if let Some((pts, pval)) = prev {
             if ts > pts {
                 let rate = (value - pval) / ((ts - pts) as f64 / 1e9);
-                derived.push(Derived {
-                    topic: format!("/analytics/rate{topic}"),
-                    ts,
-                    value: rate,
-                });
+                derived.push(Derived { topic: format!("/analytics/rate{topic}"), ts, value: rate });
             }
         }
         Emit { derived, events: Vec::new() }

@@ -78,8 +78,7 @@ impl PullCollector {
             // pull semantics: only the latest value, stamped at collection time
             if let Some(last) = readings.last() {
                 if let Some(value) = last.get("value").and_then(Json::as_f64) {
-                    let payload =
-                        dcdb_mqtt::payload::encode_readings(&[(collected_at, value)]);
+                    let payload = dcdb_mqtt::payload::encode_readings(&[(collected_at, value)]);
                     self.agent.handle_publish(topic, &payload);
                     count += 1;
                 }
@@ -110,8 +109,7 @@ mod tests {
         ));
         p.add_plugin(Box::new(TesterPlugin::new(4, 1000)));
         p.run_virtual(2_000_000_000); // warm the caches
-        let srv =
-            dcdb_pusher::rest::serve(Arc::clone(&p), "127.0.0.1:0".parse().unwrap()).unwrap();
+        let srv = dcdb_pusher::rest::serve(Arc::clone(&p), "127.0.0.1:0".parse().unwrap()).unwrap();
         (p, srv)
     }
 
@@ -136,10 +134,8 @@ mod tests {
         let (_p2, s2) = pusher_with_rest("/seq/h2");
         let (_p3, s3) = pusher_with_rest("/seq/h3");
         let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
-        let collector = PullCollector::new(
-            agent,
-            vec![s1.local_addr(), s2.local_addr(), s3.local_addr()],
-        );
+        let collector =
+            PullCollector::new(agent, vec![s1.local_addr(), s2.local_addr(), s3.local_addr()]);
         let times = collector.poll_round();
         // strictly increasing collection times: the pull skew exists
         assert!(times.windows(2).all(|w| w[1].1 > w[0].1), "{times:?}");

@@ -1,0 +1,305 @@
+//! Self-describing compressed series and blocks.
+//!
+//! Two framing levels share the same Gorilla payload:
+//!
+//! * a **series** — `[flags u8][count u32 LE][data…]` — used where the
+//!   sensor is identified out of band (an MQTT topic, an SSTable run),
+//! * a **block** — a series prefixed with `[magic "DCBK"][version u8]
+//!   [sid u128 LE][min_ts i64 LE][max_ts i64 LE]` — fully self-describing,
+//!   used for standalone storage and interchange.
+//!
+//! `flags` bit 0 is the **raw fallback**: when the compressed bitstream
+//! would be no smaller than the fixed-width representation (16 bytes per
+//! reading: `i64` timestamp then `f64` value, little-endian), the encoder
+//! stores fixed-width records instead.  Pathological series (random
+//! timestamps, white-noise values) therefore cost at most `5 + 16·n` bytes.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::gorilla::{TsDecoder, TsEncoder, ValDecoder, ValEncoder};
+
+/// Magic bytes opening a [`Block`].
+pub const BLOCK_MAGIC: &[u8; 4] = b"DCBK";
+/// Current block format version.
+pub const BLOCK_VERSION: u8 = 1;
+/// Series flag: payload is fixed-width records, not a Gorilla bitstream.
+pub const FLAG_RAW: u8 = 0b0000_0001;
+/// Bytes of one fixed-width `(ts, value)` record.
+pub const RAW_RECORD_BYTES: usize = 16;
+/// Bytes of the series framing (`flags` + `count`).
+pub const SERIES_HEADER_BYTES: usize = 5;
+/// Bytes of the block framing in front of the series.
+pub const BLOCK_HEADER_BYTES: usize = 4 + 1 + 16 + 8 + 8;
+
+/// Decode failure causes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic / version byte.
+    BadHeader,
+    /// The payload ended before `count` readings were decoded.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadHeader => write!(f, "bad compressed-series header"),
+            DecodeError::Truncated => write!(f, "truncated compressed series"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Compress `readings` into the series framing, appending to `out`.
+///
+/// Timestamps need not be sorted or distinct; the codec is order-preserving
+/// and lossless either way.  Falls back to fixed-width records when the
+/// Gorilla streams do not win (see module docs).
+pub fn encode_series_into(readings: &[(i64, f64)], out: &mut Vec<u8>) {
+    let mut w = BitWriter::with_capacity(readings.len() * 4);
+    let mut ts_enc = TsEncoder::new();
+    let mut val_enc = ValEncoder::new();
+    for &(ts, value) in readings {
+        ts_enc.push(&mut w, ts);
+        val_enc.push(&mut w, value);
+    }
+    let compressed = w.finish();
+    let raw_len = readings.len() * RAW_RECORD_BYTES;
+    if compressed.len() >= raw_len && !readings.is_empty() {
+        out.push(FLAG_RAW);
+        out.extend_from_slice(&(readings.len() as u32).to_le_bytes());
+        for &(ts, value) in readings {
+            out.extend_from_slice(&ts.to_le_bytes());
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+    } else {
+        out.push(0);
+        out.extend_from_slice(&(readings.len() as u32).to_le_bytes());
+        out.extend_from_slice(&compressed);
+    }
+}
+
+/// Compress `readings` into a standalone series buffer.
+pub fn encode_series(readings: &[(i64, f64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SERIES_HEADER_BYTES + readings.len() * 4);
+    encode_series_into(readings, &mut out);
+    out
+}
+
+/// Decode a series produced by [`encode_series`].
+///
+/// # Errors
+/// [`DecodeError::BadHeader`] on short/unknown framing,
+/// [`DecodeError::Truncated`] when the payload runs out early.
+pub fn decode_series(buf: &[u8]) -> Result<Vec<(i64, f64)>, DecodeError> {
+    let (readings, used) = decode_series_prefix(buf)?;
+    // standalone series may carry bit-padding but not whole trailing bytes
+    if buf.len() > used {
+        return Err(DecodeError::BadHeader);
+    }
+    Ok(readings)
+}
+
+/// Decode a series from the front of `buf`, returning the readings and the
+/// number of bytes consumed (used when series are concatenated, as in the
+/// SSTable v2 format).
+///
+/// # Errors
+/// See [`decode_series`].
+pub fn decode_series_prefix(buf: &[u8]) -> Result<(Vec<(i64, f64)>, usize), DecodeError> {
+    if buf.len() < SERIES_HEADER_BYTES {
+        return Err(DecodeError::BadHeader);
+    }
+    let flags = buf[0];
+    if flags & !FLAG_RAW != 0 {
+        return Err(DecodeError::BadHeader);
+    }
+    let count = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+    let body = &buf[SERIES_HEADER_BYTES..];
+    if flags & FLAG_RAW != 0 {
+        let need = count * RAW_RECORD_BYTES;
+        if body.len() < need {
+            return Err(DecodeError::Truncated);
+        }
+        let mut out = Vec::with_capacity(count);
+        for rec in body[..need].chunks_exact(RAW_RECORD_BYTES) {
+            let ts = i64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            let value = f64::from_bits(u64::from_le_bytes(rec[8..].try_into().expect("8 bytes")));
+            out.push((ts, value));
+        }
+        return Ok((out, SERIES_HEADER_BYTES + need));
+    }
+    let mut r = BitReader::new(body);
+    let mut ts_dec = TsDecoder::new();
+    let mut val_dec = ValDecoder::new();
+    // `count` is untrusted (network payloads land here): a reading costs at
+    // least 2 bits, so cap the pre-allocation by what `body` could hold and
+    // let the per-reading Truncated check reject the lie
+    let mut out = Vec::with_capacity(count.min(body.len().saturating_mul(4)));
+    for _ in 0..count {
+        let ts = ts_dec.next(&mut r).ok_or(DecodeError::Truncated)?;
+        let value = val_dec.next(&mut r).ok_or(DecodeError::Truncated)?;
+        out.push((ts, value));
+    }
+    let used_bits = body.len() * 8 - r.remaining_bits();
+    Ok((out, SERIES_HEADER_BYTES + used_bits.div_ceil(8)))
+}
+
+/// A decoded self-describing block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Raw 128-bit sensor id the block belongs to.
+    pub sid: u128,
+    /// Smallest timestamp in the block (0 when empty).
+    pub min_ts: i64,
+    /// Largest timestamp in the block (0 when empty).
+    pub max_ts: i64,
+    /// The readings, in encode order.
+    pub readings: Vec<(i64, f64)>,
+}
+
+impl Block {
+    /// Compress `readings` for `sid` into a self-describing block.
+    pub fn encode(sid: u128, readings: &[(i64, f64)]) -> Vec<u8> {
+        let (min_ts, max_ts) = readings
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(lo, hi), &(ts, _)| (lo.min(ts), hi.max(ts)));
+        let (min_ts, max_ts) = if readings.is_empty() { (0, 0) } else { (min_ts, max_ts) };
+        let mut out =
+            Vec::with_capacity(BLOCK_HEADER_BYTES + SERIES_HEADER_BYTES + readings.len() * 4);
+        out.extend_from_slice(BLOCK_MAGIC);
+        out.push(BLOCK_VERSION);
+        out.extend_from_slice(&sid.to_le_bytes());
+        out.extend_from_slice(&min_ts.to_le_bytes());
+        out.extend_from_slice(&max_ts.to_le_bytes());
+        encode_series_into(readings, &mut out);
+        out
+    }
+
+    /// Decode a block produced by [`Block::encode`].
+    ///
+    /// # Errors
+    /// See [`decode_series`].
+    pub fn decode(buf: &[u8]) -> Result<Block, DecodeError> {
+        if buf.len() < BLOCK_HEADER_BYTES || &buf[..4] != BLOCK_MAGIC || buf[4] != BLOCK_VERSION {
+            return Err(DecodeError::BadHeader);
+        }
+        let sid = u128::from_le_bytes(buf[5..21].try_into().expect("16 bytes"));
+        let min_ts = i64::from_le_bytes(buf[21..29].try_into().expect("8 bytes"));
+        let max_ts = i64::from_le_bytes(buf[29..37].try_into().expect("8 bytes"));
+        let readings = decode_series(&buf[BLOCK_HEADER_BYTES..])?;
+        Ok(Block { sid, min_ts, max_ts, readings })
+    }
+}
+
+/// Compression ratio of a series vs. its fixed-width representation
+/// (`raw / compressed`; > 1 means the codec won).
+pub fn compression_ratio(readings: &[(i64, f64)]) -> f64 {
+    if readings.is_empty() {
+        return 1.0;
+    }
+    let raw = (readings.len() * RAW_RECORD_BYTES) as f64;
+    let compressed = encode_series(readings).len() as f64;
+    raw / compressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power_series(n: usize) -> Vec<(i64, f64)> {
+        (0..n)
+            .map(|i| (1_600_000_000_000_000_000 + i as i64 * 1_000_000_000, 240.0 + (i % 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn series_roundtrip_and_ratio() {
+        let s = power_series(1000);
+        let enc = encode_series(&s);
+        assert!(enc.len() * 4 < s.len() * RAW_RECORD_BYTES, "expected ≥ 4× ratio");
+        assert_eq!(decode_series(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(decode_series(&encode_series(&[])).unwrap(), vec![]);
+        let one = vec![(i64::MIN, f64::NAN)];
+        let dec = decode_series(&encode_series(&one)).unwrap();
+        assert_eq!(dec.len(), 1);
+        assert_eq!(dec[0].0, i64::MIN);
+        assert_eq!(dec[0].1.to_bits(), one[0].1.to_bits());
+    }
+
+    #[test]
+    fn pathological_series_uses_raw_fallback() {
+        // hash-random timestamps and bit-noise values defeat both codecs
+        let mix = |x: u64| {
+            let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z ^= z >> 29;
+            z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 32)
+        };
+        let s: Vec<(i64, f64)> =
+            (0..64u64).map(|i| (mix(2 * i) as i64, f64::from_bits(mix(2 * i + 1)))).collect();
+        let enc = encode_series(&s);
+        assert_eq!(enc[0] & FLAG_RAW, FLAG_RAW, "expected raw fallback");
+        assert_eq!(enc.len(), SERIES_HEADER_BYTES + s.len() * RAW_RECORD_BYTES);
+        let dec = decode_series(&enc).unwrap();
+        assert_eq!(dec.len(), s.len());
+        for (a, b) in dec.iter().zip(&s) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_header_carries_metadata() {
+        let s = power_series(100);
+        let sid = 0xDEAD_BEEF_0000_0001u128;
+        let buf = Block::encode(sid, &s);
+        let block = Block::decode(&buf).unwrap();
+        assert_eq!(block.sid, sid);
+        assert_eq!(block.min_ts, s[0].0);
+        assert_eq!(block.max_ts, s.last().unwrap().0);
+        assert_eq!(block.readings, s);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_series(&[]).is_err());
+        assert!(decode_series(&[0xFF, 0, 0, 0, 0]).is_err());
+        assert!(Block::decode(b"NOPE").is_err());
+        let mut buf = Block::encode(1, &power_series(10));
+        buf.truncate(buf.len() - 3);
+        assert_eq!(Block::decode(&buf), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn truncated_count_is_error_not_panic() {
+        let mut enc = encode_series(&power_series(50));
+        // claim more readings than the bitstream holds
+        enc[1..5].copy_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(decode_series(&enc), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn prefix_decode_reports_consumed_bytes() {
+        let a = power_series(20);
+        let b = vec![(5i64, 1.0f64), (6, 2.0)];
+        let mut buf = encode_series(&a);
+        let a_len = buf.len();
+        buf.extend_from_slice(&encode_series(&b));
+        let (got_a, used) = decode_series_prefix(&buf).unwrap();
+        assert_eq!(got_a, a);
+        assert_eq!(used, a_len);
+        let (got_b, _) = decode_series_prefix(&buf[used..]).unwrap();
+        assert_eq!(got_b, b);
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert!(compression_ratio(&power_series(1000)) >= 4.0);
+        assert_eq!(compression_ratio(&[]), 1.0);
+    }
+}

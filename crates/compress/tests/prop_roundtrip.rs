@@ -1,0 +1,114 @@
+//! Property tests: compress → decompress is the identity on arbitrary
+//! series, including NaN payloads, infinities, irregular spacing and
+//! single-point series.
+
+use dcdb_compress::{
+    compression_ratio, decode_series, encode_series, Block, RAW_RECORD_BYTES, SERIES_HEADER_BYTES,
+};
+use proptest::prelude::*;
+
+/// Bit-exact comparison (NaN != NaN under `==`, so compare patterns).
+fn assert_bit_identical(got: &[(i64, f64)], want: &[(i64, f64)]) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.0, w.0, "timestamp mismatch");
+        assert_eq!(g.1.to_bits(), w.1.to_bits(), "value bit-pattern mismatch");
+    }
+}
+
+/// Any f64 bit pattern — covers every NaN payload, ±∞, subnormals, −0.0.
+fn any_f64_bits() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+/// A fully adversarial series: arbitrary timestamps and value patterns.
+fn arbitrary_series() -> impl Strategy<Value = Vec<(i64, f64)>> {
+    prop::collection::vec((any::<i64>(), any_f64_bits()), 0..200)
+}
+
+/// A realistic monitoring series: mostly-regular spacing with jitter and
+/// occasional gaps, slowly-varying values with occasional specials.
+fn monitoring_series() -> impl Strategy<Value = Vec<(i64, f64)>> {
+    (
+        any::<i64>(),
+        1i64..10_000_000_000,
+        prop::collection::vec((-1000i64..1000, -50.0f64..50.0, 0u8..100), 1..300),
+    )
+        .prop_map(|(start, interval, steps)| {
+            let mut ts = start;
+            let mut value = 240.0;
+            steps
+                .into_iter()
+                .map(|(jitter, dv, special)| {
+                    ts = ts.wrapping_add(interval).wrapping_add(jitter);
+                    value += dv * 0.01;
+                    let v = match special {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => f64::NEG_INFINITY,
+                        3 => -0.0,
+                        _ => value,
+                    };
+                    (ts, v)
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_series_roundtrips(series in arbitrary_series()) {
+        let encoded = encode_series(&series);
+        let decoded = decode_series(&encoded).unwrap();
+        assert_bit_identical(&decoded, &series);
+        // the raw fallback bounds the worst case
+        prop_assert!(encoded.len() <= SERIES_HEADER_BYTES + series.len() * RAW_RECORD_BYTES);
+    }
+
+    #[test]
+    fn monitoring_series_roundtrips(series in monitoring_series()) {
+        let decoded = decode_series(&encode_series(&series)).unwrap();
+        assert_bit_identical(&decoded, &series);
+    }
+
+    #[test]
+    fn block_roundtrips(sid in any::<u128>(), series in arbitrary_series()) {
+        let block = Block::decode(&Block::encode(sid, &series)).unwrap();
+        prop_assert_eq!(block.sid, sid);
+        assert_bit_identical(&block.readings, &series);
+        if let (Some(lo), Some(hi)) = (
+            series.iter().map(|r| r.0).min(),
+            series.iter().map(|r| r.0).max(),
+        ) {
+            prop_assert_eq!(block.min_ts, lo);
+            prop_assert_eq!(block.max_ts, hi);
+        }
+    }
+
+    #[test]
+    fn single_point_series(ts in any::<i64>(), bits in any::<u64>()) {
+        let series = vec![(ts, f64::from_bits(bits))];
+        let decoded = decode_series(&encode_series(&series)).unwrap();
+        assert_bit_identical(&decoded, &series);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_series(&bytes);
+        let _ = Block::decode(&bytes);
+    }
+
+    #[test]
+    fn regular_series_compress_well(
+        start in -1_000_000_000_000i64..1_000_000_000_000,
+        interval in 1_000i64..10_000_000_000,
+        n in 64usize..512,
+    ) {
+        let series: Vec<(i64, f64)> = (0..n)
+            .map(|i| (start + i as i64 * interval, 240.0 + (i % 5) as f64))
+            .collect();
+        prop_assert!(compression_ratio(&series) >= 4.0,
+            "fixed-interval series must compress ≥ 4×, got {}",
+            compression_ratio(&series));
+    }
+}

@@ -182,13 +182,7 @@ fn parse_block(
                 }
                 let key = pending[0].0.clone();
                 let value = if pending.len() > 1 {
-                    Some(
-                        pending[1..]
-                            .iter()
-                            .map(|(w, _)| w.as_str())
-                            .collect::<Vec<_>>()
-                            .join(" "),
-                    )
+                    Some(pending[1..].iter().map(|(w, _)| w.as_str()).collect::<Vec<_>>().join(" "))
                 } else {
                     None
                 };
@@ -232,9 +226,8 @@ fn apply_templates(root: &mut Node) {
     fn walk(node: &mut Node, templates: &[(String, String, Node)]) {
         for (key, child) in node.children.iter_mut() {
             if let Some(def) = child.child("default").and_then(|d| d.value.clone()) {
-                if let Some((_, _, tmpl)) = templates
-                    .iter()
-                    .find(|(kind, name, _)| key == kind && *name == def)
+                if let Some((_, _, tmpl)) =
+                    templates.iter().find(|(kind, name, _)| key == kind && *name == def)
                 {
                     child.merge_defaults(tmpl);
                 }
@@ -295,15 +288,9 @@ group cpu {
 
     #[test]
     fn error_positions() {
-        assert_eq!(
-            parse("a \"oops\n"),
-            Err(ParseError::UnterminatedString { line: 1 })
-        );
+        assert_eq!(parse("a \"oops\n"), Err(ParseError::UnterminatedString { line: 1 }));
         assert_eq!(parse("}\n"), Err(ParseError::UnbalancedClose { line: 1 }));
-        assert_eq!(
-            parse("a {\nb 1\n"),
-            Err(ParseError::UnclosedBlock { opened_line: 1 })
-        );
+        assert_eq!(parse("a {\nb 1\n"), Err(ParseError::UnclosedBlock { opened_line: 1 }));
         assert_eq!(parse("{\n}\n"), Err(ParseError::BlockWithoutKey { line: 1 }));
     }
 

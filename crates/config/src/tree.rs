@@ -216,14 +216,8 @@ mod tests {
     #[test]
     fn missing_and_type_errors() {
         let n = sample();
-        assert_eq!(
-            n.get_str("global.nothing"),
-            Err(ConfigError::Missing("global.nothing".into()))
-        );
-        assert!(matches!(
-            n.get_u64("global.mqttBroker"),
-            Err(ConfigError::Type { .. })
-        ));
+        assert_eq!(n.get_str("global.nothing"), Err(ConfigError::Missing("global.nothing".into())));
+        assert!(matches!(n.get_u64("global.mqttBroker"), Err(ConfigError::Type { .. })));
         assert_eq!(n.get_u64_or("global.nothing", 7), 7);
         assert_eq!(n.get_str_or("global.nothing", "dflt"), "dflt");
         assert!(n.get_bool_or("global.nothing", true));

@@ -16,10 +16,7 @@ fn value_strategy() -> impl Strategy<Value = String> {
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        Just(Node::new()),
-        value_strategy().prop_map(Node::leaf),
-    ];
+    let leaf = prop_oneof![Just(Node::new()), value_strategy().prop_map(Node::leaf),];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop::collection::vec((key_strategy(), inner), 0..5).prop_map(|children| {
             let mut n = Node::new();

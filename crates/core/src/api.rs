@@ -96,11 +96,11 @@ impl SensorDb {
 
     /// Get sensor metadata.
     pub fn meta(&self, topic: &str) -> SensorMeta {
-        self.meta
-            .read()
-            .get(&dcdb_sid::topic::normalize(topic))
-            .cloned()
-            .unwrap_or(SensorMeta { unit: Unit::NONE, scale: 1.0, description: String::new() })
+        self.meta.read().get(&dcdb_sid::topic::normalize(topic)).cloned().unwrap_or(SensorMeta {
+            unit: Unit::NONE,
+            scale: 1.0,
+            description: String::new(),
+        })
     }
 
     /// Register a virtual sensor under its own topic.
@@ -194,17 +194,13 @@ impl SensorDb {
     ) -> Result<Series, VsError> {
         let series = self.query_subtree(prefix, range)?;
         let unit = series.first().map(|s| s.unit).unwrap_or_default();
-        let slices: Vec<&[Reading]> =
-            series.iter().map(|s| s.readings.as_slice()).collect();
+        let slices: Vec<&[Reading]> = series.iter().map(|s| s.readings.as_slice()).collect();
         let grid = crate::interp::timestamp_union(&slices);
         let readings = grid
             .into_iter()
             .map(|ts| Reading {
                 ts,
-                value: slices
-                    .iter()
-                    .filter_map(|s| crate::interp::sample_at(s, ts))
-                    .sum(),
+                value: slices.iter().filter_map(|s| crate::interp::sample_at(s, ts)).sum(),
             })
             .collect();
         Ok(Series { topic: format!("{}/+sum", dcdb_sid::topic::normalize(prefix)), readings, unit })

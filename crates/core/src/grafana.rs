@@ -43,8 +43,7 @@ pub fn router(db: Arc<SensorDb>) -> Router {
             return Response::error(StatusCode::BadRequest, "missing topic");
         };
         let start: i64 = req.query_param("start").and_then(|v| v.parse().ok()).unwrap_or(0);
-        let end: i64 =
-            req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
+        let end: i64 = req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
         let max_points: usize =
             req.query_param("maxDataPoints").and_then(|v| v.parse().ok()).unwrap_or(1_000);
         if start >= end {
@@ -73,8 +72,7 @@ pub fn router(db: Arc<SensorDb>) -> Router {
             return Response::error(StatusCode::BadRequest, "missing topic");
         };
         let start: i64 = req.query_param("start").and_then(|v| v.parse().ok()).unwrap_or(0);
-        let end: i64 =
-            req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
+        let end: i64 = req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
         match d.query(topic, TimeRange::new(start, end)) {
             Ok(series) => match ops::stats(&series.readings) {
                 Some(st) => Response::json(&Json::obj([
@@ -164,14 +162,8 @@ mod tests {
     #[test]
     fn query_downsamples() {
         let (_db, h) = handler();
-        let (_, j) = get(
-            &h,
-            "/query",
-            &[
-                ("topic", "/lrz/sys/rack0/node0/power"),
-                ("maxDataPoints", "10"),
-            ],
-        );
+        let (_, j) =
+            get(&h, "/query", &[("topic", "/lrz/sys/rack0/node0/power"), ("maxDataPoints", "10")]);
         assert!(j.get("datapoints").unwrap().as_arr().unwrap().len() <= 10);
     }
 

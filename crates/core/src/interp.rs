@@ -36,8 +36,7 @@ pub fn sample_at(series: &[Reading], ts: i64) -> Option<f64> {
 
 /// The sorted union of all timestamps across `series_list`.
 pub fn timestamp_union(series_list: &[&[Reading]]) -> Vec<i64> {
-    let mut all: Vec<i64> =
-        series_list.iter().flat_map(|s| s.iter().map(|r| r.ts)).collect();
+    let mut all: Vec<i64> = series_list.iter().flat_map(|s| s.iter().map(|r| r.ts)).collect();
     all.sort_unstable();
     all.dedup();
     all
@@ -45,9 +44,7 @@ pub fn timestamp_union(series_list: &[&[Reading]]) -> Vec<i64> {
 
 /// Resample `series` onto an explicit timestamp grid.
 pub fn resample(series: &[Reading], grid: &[i64]) -> Vec<Reading> {
-    grid.iter()
-        .filter_map(|&ts| sample_at(series, ts).map(|value| Reading { ts, value }))
-        .collect()
+    grid.iter().filter_map(|&ts| sample_at(series, ts).map(|value| Reading { ts, value })).collect()
 }
 
 #[cfg(test)]

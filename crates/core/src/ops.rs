@@ -75,8 +75,7 @@ pub fn downsample(series: &[Reading], max_points: usize) -> Vec<Reading> {
         .map(|chunk| {
             let n = chunk.len() as f64;
             Reading {
-                ts: (chunk.iter().map(|r| r.ts as i128).sum::<i128>() / chunk.len() as i128)
-                    as i64,
+                ts: (chunk.iter().map(|r| r.ts as i128).sum::<i128>() / chunk.len() as i128) as i64,
                 value: chunk.iter().map(|r| r.value).sum::<f64>() / n,
             }
         })

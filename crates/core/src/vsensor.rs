@@ -133,9 +133,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, VsError> {
                     && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
                 {
                     // only allow +/- right after an exponent marker
-                    if matches!(bytes[i], b'+' | b'-')
-                        && !matches!(bytes[i - 1], b'e' | b'E')
-                    {
+                    if matches!(bytes[i], b'+' | b'-') && !matches!(bytes[i - 1], b'e' | b'E') {
                         break;
                     }
                     i += 1;
@@ -149,9 +147,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, VsError> {
             }
             c if c.is_ascii_alphabetic() => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(src[start..i].to_string()), start));
@@ -337,8 +333,7 @@ fn collect_sensors(expr: &Expr, out: &mut Vec<String>) {
             }
         }
         Expr::Neg(e) => collect_sensors(e, out),
-        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b)
-        | Expr::Pow(a, b) => {
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Pow(a, b) => {
             collect_sensors(a, out);
             collect_sensors(b, out);
         }
@@ -426,10 +421,7 @@ impl VirtualSensor {
     }
 
     fn is_cached(&self, range: &TimeRange) -> bool {
-        self.cached
-            .lock()
-            .iter()
-            .any(|c| c.start <= range.start && range.end <= c.end)
+        self.cached.lock().iter().any(|c| c.start <= range.start && range.end <= c.end)
     }
 
     fn add_cached(&self, range: TimeRange) {
@@ -481,9 +473,10 @@ impl VirtualSensor {
                 let mut readings = series.readings;
                 if series.unit != self.unit {
                     for r in &mut readings {
-                        r.value = series.unit.convert(r.value, &self.unit).ok_or_else(|| {
-                            VsError::UnitMismatch { operand: op.clone() }
-                        })?;
+                        r.value = series
+                            .unit
+                            .convert(r.value, &self.unit)
+                            .ok_or_else(|| VsError::UnitMismatch { operand: op.clone() })?;
                     }
                 }
                 operand_series.push((op.clone(), readings));
@@ -639,8 +632,7 @@ mod tests {
     #[test]
     fn write_back_cache_reuses_results() {
         let db = db_with_power();
-        db.define_virtual("/v/sum", "\"/sys/n0/power\" + \"/sys/n1/power\"", Unit::WATT)
-            .unwrap();
+        db.define_virtual("/v/sum", "\"/sys/n0/power\" + \"/sys/n1/power\"", Unit::WATT).unwrap();
         let r = TimeRange::new(0, 5_000);
         let first = db.query("/v/sum", r).unwrap();
         // second query of the same range is served from the store

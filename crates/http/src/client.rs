@@ -72,11 +72,8 @@ fn request(
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
         })?;
     let mut headers = HashMap::new();

@@ -172,9 +172,8 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
         let r2 = Arc::clone(&running);
-        let accept_thread = std::thread::Builder::new()
-            .name("http-accept".into())
-            .spawn(move || {
+        let accept_thread =
+            std::thread::Builder::new().name("http-accept".into()).spawn(move || {
                 while r2.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
@@ -229,11 +228,8 @@ fn serve_connection(
         let Some(req) = read_request(&mut reader)? else {
             return Ok(()); // connection closed
         };
-        let keep_alive = req
-            .headers
-            .get("connection")
-            .map(|v| !v.eq_ignore_ascii_case("close"))
-            .unwrap_or(true);
+        let keep_alive =
+            req.headers.get("connection").map(|v| !v.eq_ignore_ascii_case("close")).unwrap_or(true);
         let resp = handler(&req);
         write_response(&mut writer, &resp, keep_alive)?;
         if !keep_alive {
@@ -252,8 +248,7 @@ pub fn url_decode(s: &str) -> String {
         match bytes[i] {
             b'%' if i + 2 < bytes.len() + 1 => {
                 if let Some(hex) = bytes.get(i + 1..i + 3) {
-                    if let Ok(v) =
-                        u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
+                    if let Ok(v) = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
                     {
                         out.push(v);
                         i += 3;
@@ -320,10 +315,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> 
             headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
         }
     }
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
     let mut body = vec![0u8; len.min(16 * 1024 * 1024)];
     if len > 0 {
         reader.read_exact(&mut body)?;
@@ -383,7 +375,8 @@ mod tests {
 
     #[test]
     fn read_request_parses_everything() {
-        let raw = "GET /sensors/cpu0?start=5&end=9 HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc";
+        let raw =
+            "GET /sensors/cpu0?start=5&end=9 HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc";
         let mut reader = std::io::BufReader::new(raw.as_bytes());
         let req = read_request(&mut reader).unwrap().unwrap();
         assert_eq!(req.method, Method::Get);

@@ -143,13 +143,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn_shared = Arc::clone(&shared);
-                let _ = std::thread::Builder::new()
-                    .name("mqtt-conn".into())
-                    .spawn(move || {
-                        if connection_loop(stream, &conn_shared).is_err() {
-                            conn_shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    });
+                let _ = std::thread::Builder::new().name("mqtt-conn".into()).spawn(move || {
+                    if connection_loop(stream, &conn_shared).is_err() {
+                        conn_shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -269,10 +267,8 @@ fn handle_packet(
                     .iter()
                     .map(|(f, q)| if crate::topic::is_valid_filter(f) { *q as u8 } else { 0x80 })
                     .collect();
-                let accepted: Vec<(String, QoS)> = filters
-                    .into_iter()
-                    .filter(|(f, _)| crate::topic::is_valid_filter(f))
-                    .collect();
+                let accepted: Vec<(String, QoS)> =
+                    filters.into_iter().filter(|(f, _)| crate::topic::is_valid_filter(f)).collect();
                 let mut subs = shared.subscribers.lock();
                 let entry = subs.entry(conn_id).or_insert_with(|| Subscriber {
                     filters: Vec::new(),

@@ -443,8 +443,7 @@ pub fn decode_packet(buf: &mut BytesMut) -> Result<Option<Packet>, CodecError> {
             } else {
                 None
             };
-            let username =
-                if cflags & 0x80 != 0 { Some(get_string(&mut body)?) } else { None };
+            let username = if cflags & 0x80 != 0 { Some(get_string(&mut body)?) } else { None };
             let password = if cflags & 0x40 != 0 {
                 let plen = get_u16(&mut body)? as usize;
                 if body.remaining() < plen {
@@ -569,10 +568,7 @@ mod tests {
 
     #[test]
     fn roundtrip_connack() {
-        roundtrip(Packet::Connack {
-            session_present: true,
-            code: ConnectReturnCode::Accepted,
-        });
+        roundtrip(Packet::Connack { session_present: true, code: ConnectReturnCode::Accepted });
         roundtrip(Packet::Connack {
             session_present: false,
             code: ConnectReturnCode::NotAuthorized,

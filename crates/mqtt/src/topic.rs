@@ -23,10 +23,9 @@ pub fn is_valid_filter(filter: &str) -> bool {
         if level.is_empty() {
             return false;
         }
-        if level.contains('#')
-            && (*level != "#" || i != levels.len() - 1) {
-                return false;
-            }
+        if level.contains('#') && (*level != "#" || i != levels.len() - 1) {
+            return false;
+        }
         if level.contains('+') && *level != "+" {
             return false;
         }

@@ -13,11 +13,9 @@ fn start_broker(allow_subscribe: bool) -> (Broker, Arc<AtomicUsize>) {
     let sink: dcdb_mqtt::PublishSink = Arc::new(move |_t, _p, _q| {
         r2.fetch_add(1, Ordering::Relaxed);
     });
-    let broker = Broker::start(
-        BrokerConfig { allow_subscribe, ..BrokerConfig::default() },
-        Some(sink),
-    )
-    .expect("broker start");
+    let broker =
+        Broker::start(BrokerConfig { allow_subscribe, ..BrokerConfig::default() }, Some(sink))
+            .expect("broker start");
     (broker, received)
 }
 

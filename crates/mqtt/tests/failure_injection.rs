@@ -33,8 +33,7 @@ fn broker_survives_garbage_bytes() {
     }
     std::thread::sleep(Duration::from_millis(100));
     // a well-behaved client still works afterwards
-    let client =
-        Client::connect(ClientConfig::new(broker.local_addr(), "after-garbage")).unwrap();
+    let client = Client::connect(ClientConfig::new(broker.local_addr(), "after-garbage")).unwrap();
     client.publish_qos1("/ok", b"fine").unwrap();
     assert_eq!(received.load(Ordering::Relaxed), 1);
     assert!(broker.stats().errors.load(Ordering::Relaxed) >= 1);

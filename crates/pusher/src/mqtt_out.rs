@@ -17,7 +17,7 @@ use bytes::Bytes;
 use dcdb_mqtt::client::Client;
 use dcdb_mqtt::codec::QoS;
 use dcdb_mqtt::inproc::InprocBus;
-use dcdb_mqtt::payload::encode_readings;
+use dcdb_mqtt::payload::{encode_readings, encode_readings_compressed, RECORD_SIZE};
 use parking_lot::Mutex;
 
 /// When to ship accumulated readings.
@@ -31,6 +31,32 @@ pub enum SendPolicy {
         /// Nanoseconds between flushes.
         interval_ns: i64,
     },
+}
+
+/// Payload compression for pusher → collect-agent publishes.
+///
+/// Compression is negotiated per topic by construction: each publish
+/// carries one topic's batch, and batches of at least `min_batch` readings
+/// are sent as `dcdb-compress` Gorilla payloads (self-describing via the
+/// payload magic, so the Collect Agent detects the encoding per topic).
+/// Smaller batches — e.g. continuous single readings — stay fixed-width,
+/// where the compressed framing overhead would not pay off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compression {
+    /// Always publish fixed-width payloads.
+    Off,
+    /// Compress batches of at least `min_batch` readings.
+    Batches {
+        /// Minimum readings in a batch before compression is applied.
+        min_batch: usize,
+    },
+}
+
+impl Compression {
+    /// Compress every batch of ≥ 2 readings (the usual burst setting).
+    pub fn bursts() -> Compression {
+        Compression::Batches { min_batch: 2 }
+    }
 }
 
 /// Raw publish callback: `(topic, payload)`.
@@ -57,12 +83,19 @@ pub struct OutStats {
     pub readings: AtomicU64,
     /// Flush rounds executed.
     pub flushes: AtomicU64,
+    /// Messages published with the compressed payload encoding.
+    pub compressed_messages: AtomicU64,
+    /// Payload bytes actually published.
+    pub payload_bytes: AtomicU64,
+    /// Payload bytes the same readings would cost fixed-width.
+    pub fixed_width_bytes: AtomicU64,
 }
 
 /// The buffering publisher.
 pub struct MqttOut {
     backend: MqttBackend,
     policy: SendPolicy,
+    compression: Compression,
     qos: QoS,
     queue: Mutex<HashMap<String, Vec<(i64, f64)>>>,
     next_flush_ns: Mutex<i64>,
@@ -70,11 +103,21 @@ pub struct MqttOut {
 }
 
 impl MqttOut {
-    /// Create an output stage.
+    /// Create an output stage publishing fixed-width payloads.
     pub fn new(backend: MqttBackend, policy: SendPolicy) -> MqttOut {
+        MqttOut::with_compression(backend, policy, Compression::Off)
+    }
+
+    /// Create an output stage with a payload [`Compression`] setting.
+    pub fn with_compression(
+        backend: MqttBackend,
+        policy: SendPolicy,
+        compression: Compression,
+    ) -> MqttOut {
         MqttOut {
             backend,
             policy,
+            compression,
             qos: QoS::AtMostOnce,
             queue: Mutex::new(HashMap::new()),
             next_flush_ns: Mutex::new(0),
@@ -121,7 +164,17 @@ impl MqttOut {
     }
 
     fn publish(&self, topic: &str, readings: &[(i64, f64)]) {
-        let payload = encode_readings(readings);
+        let payload = match self.compression {
+            Compression::Batches { min_batch } if readings.len() >= min_batch => {
+                self.stats.compressed_messages.fetch_add(1, Ordering::Relaxed);
+                encode_readings_compressed(readings)
+            }
+            _ => encode_readings(readings),
+        };
+        self.stats.payload_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .fixed_width_bytes
+            .fetch_add((readings.len() * RECORD_SIZE) as u64, Ordering::Relaxed);
         match &self.backend {
             MqttBackend::Tcp(client) => {
                 let _ = client.publish_qos0(topic, &payload);
@@ -202,5 +255,51 @@ mod tests {
         let out = MqttOut::new(MqttBackend::Null, SendPolicy::Continuous);
         out.push("/x", 1, 1.0);
         assert_eq!(out.stats().messages.load(Ordering::Relaxed), 1);
+    }
+
+    fn capture_any() -> (MqttBackend, CaptureLog) {
+        let log = Arc::new(PMutex::new(Vec::new()));
+        let l2 = Arc::clone(&log);
+        let backend = MqttBackend::Callback(Arc::new(move |topic: &str, payload: &Bytes| {
+            let (_, readings) = dcdb_mqtt::payload::decode_payload(payload).unwrap();
+            l2.lock().push((topic.to_string(), readings));
+        }));
+        (backend, log)
+    }
+
+    #[test]
+    fn compressed_bursts_shrink_payloads() {
+        let (backend, log) = capture_any();
+        let out = MqttOut::with_compression(
+            backend,
+            SendPolicy::Burst { interval_ns: 60_000_000_000 },
+            Compression::bursts(),
+        );
+        for i in 0..120i64 {
+            out.push("/rack0/node0/power", i * 250_000_000, 240.0 + (i % 3) as f64);
+        }
+        out.flush();
+        let entries = log.lock();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1.len(), 120);
+        assert_eq!(entries[0].1[7], (7 * 250_000_000, 241.0));
+        assert_eq!(out.stats().compressed_messages.load(Ordering::Relaxed), 1);
+        let sent = out.stats().payload_bytes.load(Ordering::Relaxed);
+        let fixed = out.stats().fixed_width_bytes.load(Ordering::Relaxed);
+        assert!(sent * 4 < fixed, "expected ≥ 4× payload shrink, sent {sent} vs fixed {fixed}");
+    }
+
+    #[test]
+    fn small_batches_stay_fixed_width() {
+        let (backend, log) = capture_any();
+        let out = MqttOut::with_compression(backend, SendPolicy::Continuous, Compression::bursts());
+        out.push("/a", 1, 1.0);
+        out.push("/a", 2, 2.0);
+        assert_eq!(log.lock().len(), 2);
+        assert_eq!(out.stats().compressed_messages.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            out.stats().payload_bytes.load(Ordering::Relaxed),
+            out.stats().fixed_width_bytes.load(Ordering::Relaxed)
+        );
     }
 }

@@ -31,8 +31,7 @@ impl BacnetPlugin {
         let name = name.into();
         let entity = self.devices.len();
         let objects = device.discover();
-        let mut group =
-            SensorGroup::new(format!("bacnet-{name}"), interval_ms).with_entity(entity);
+        let mut group = SensorGroup::new(format!("bacnet-{name}"), interval_ms).with_entity(entity);
         let mut ids = Vec::new();
         for (id, obj_name) in &objects {
             let slug = obj_name.to_lowercase().replace([' ', '-'], "_");

@@ -33,9 +33,8 @@ impl GpuPlugin {
             .map(|(i, _)| {
                 let mut g = SensorGroup::new(format!("gpu{i}"), interval_ms);
                 for (name, unit) in METRICS {
-                    g = g.sensor(
-                        SensorSpec::gauge(name, format!("/gpu{i}/{name}")).with_unit(unit),
-                    );
+                    g = g
+                        .sensor(SensorSpec::gauge(name, format!("/gpu{i}/{name}")).with_unit(unit));
                 }
                 g
             })

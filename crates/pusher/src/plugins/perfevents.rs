@@ -62,9 +62,7 @@ impl Plugin for PerfeventsPlugin {
         kinds
             .iter()
             .enumerate()
-            .filter_map(|(i, kind)| {
-                self.counters.read(*thread, *kind).map(|v| (i, v as f64))
-            })
+            .filter_map(|(i, kind)| self.counters.read(*thread, *kind).map(|v| (i, v as f64)))
             .collect()
     }
 }

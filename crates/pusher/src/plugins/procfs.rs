@@ -145,9 +145,7 @@ impl Plugin for ProcFsPlugin {
         }
         keys.iter()
             .enumerate()
-            .filter_map(|(i, key)| {
-                parsed.iter().find(|(k, _)| k == key).map(|(_, v)| (i, *v))
-            })
+            .filter_map(|(i, key)| parsed.iter().find(|(k, _)| k == key).map(|(_, v)| (i, *v)))
             .collect()
     }
 }

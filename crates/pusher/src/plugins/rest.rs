@@ -97,11 +97,7 @@ mod tests {
         assert_eq!(readings.len(), 2);
         src.set("power_kw", 25.0);
         let readings = plugin.read_group(0, 0);
-        let idx = plugin.groups()[0]
-            .sensors
-            .iter()
-            .position(|s| s.name == "power_kw")
-            .unwrap();
+        let idx = plugin.groups()[0].sensors.iter().position(|s| s.name == "power_kw").unwrap();
         assert!(readings.iter().any(|&(i, v)| i == idx && v == 25.0));
     }
 

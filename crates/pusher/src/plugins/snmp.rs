@@ -34,13 +34,11 @@ impl SnmpPlugin {
         let host = host.into();
         let entity = self.agents.len();
         let rows = agent.walk(prefix);
-        let mut group =
-            SensorGroup::new(format!("snmp-{host}"), interval_ms).with_entity(entity);
+        let mut group = SensorGroup::new(format!("snmp-{host}"), interval_ms).with_entity(entity);
         let mut oids = Vec::new();
         for (oid, _) in &rows {
             let slug = oid.replace('.', "_");
-            group = group
-                .sensor(SensorSpec::gauge(slug.clone(), format!("/{host}/snmp/{slug}")));
+            group = group.sensor(SensorSpec::gauge(slug.clone(), format!("/{host}/snmp/{slug}")));
             oids.push(oid.clone());
         }
         self.groups.push(group);
@@ -68,10 +66,7 @@ impl Plugin for SnmpPlugin {
     fn read_group(&self, group: usize, _now_ns: i64) -> Vec<(usize, f64)> {
         let (entity, oids) = &self.layout[group];
         let agent = &self.agents[*entity].1;
-        oids.iter()
-            .enumerate()
-            .filter_map(|(i, oid)| agent.get(oid).map(|v| (i, v)))
-            .collect()
+        oids.iter().enumerate().filter_map(|(i, oid)| agent.get(oid).map(|v| (i, v))).collect()
     }
 
     fn entities(&self) -> Vec<String> {

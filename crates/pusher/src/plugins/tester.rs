@@ -33,9 +33,8 @@ impl TesterPlugin {
     /// }
     /// ```
     pub fn from_config(cfg: &Node) -> Result<TesterPlugin, PluginError> {
-        let sensors = cfg
-            .get_u64("sensors")
-            .map_err(|e| PluginError::Config(e.to_string()))? as usize;
+        let sensors =
+            cfg.get_u64("sensors").map_err(|e| PluginError::Config(e.to_string()))? as usize;
         let interval = cfg.get_u64_or("interval", 1000);
         if sensors == 0 {
             return Err(PluginError::Config("tester needs at least one sensor".into()));

@@ -33,8 +33,7 @@ pub fn default_factories() -> HashMap<String, PluginFactory> {
     m.insert(
         "tester".to_string(),
         Arc::new(|cfg| {
-            crate::plugins::TesterPlugin::from_config(cfg)
-                .map(|p| Box::new(p) as Box<dyn Plugin>)
+            crate::plugins::TesterPlugin::from_config(cfg).map(|p| Box::new(p) as Box<dyn Plugin>)
         }),
     );
     m
@@ -120,9 +119,7 @@ pub fn router_with_factories(
         }
         let arr: Vec<Json> = readings
             .iter()
-            .map(|r| {
-                Json::obj([("ts", Json::Num(r.ts as f64)), ("value", Json::Num(r.value))])
-            })
+            .map(|r| Json::obj([("ts", Json::Num(r.ts as f64)), ("value", Json::Num(r.value))]))
             .collect();
         Response::json(&Json::obj([("topic", Json::str(topic)), ("readings", Json::Arr(arr))]))
     });
@@ -130,10 +127,8 @@ pub fn router_with_factories(
     let p = Arc::clone(&pusher);
     r.add(Method::Get, "/average/*topic", move |req| {
         let topic = format!("/{}", req.param("topic").unwrap_or(""));
-        let window: i64 = req
-            .query_param("window")
-            .and_then(|w| w.parse().ok())
-            .unwrap_or(60_000_000_000);
+        let window: i64 =
+            req.query_param("window").and_then(|w| w.parse().ok()).unwrap_or(60_000_000_000);
         match p.cache().average(&topic, window) {
             Some(avg) => Response::json(&Json::obj([
                 ("topic", Json::str(topic)),
@@ -160,10 +155,7 @@ pub fn router_with_factories(
 
 fn plugin_toggle(pusher: &Pusher, name: &str, enable: bool) -> Response {
     if pusher.set_plugin_enabled(name, enable) {
-        Response::json(&Json::obj([
-            ("plugin", Json::str(name)),
-            ("running", Json::Bool(enable)),
-        ]))
+        Response::json(&Json::obj([("plugin", Json::str(name)), ("running", Json::Bool(enable))]))
     } else {
         Response::error(StatusCode::NotFound, "no such plugin")
     }

@@ -177,10 +177,7 @@ impl Pusher {
         // Disabled plugins are included so their schedule keeps advancing
         // (skipped reads are counted and re-enabling resumes on-grid).
         let plugins = self.plugins.read();
-        plugins
-            .iter()
-            .flat_map(|s| s.next_due.lock().iter().copied().collect::<Vec<_>>())
-            .min()
+        plugins.iter().flat_map(|s| s.next_due.lock().iter().copied().collect::<Vec<_>>()).min()
     }
 
     /// Sample every group due at or before `now_ns`; returns readings made.
@@ -211,8 +208,7 @@ impl Pusher {
                         break;
                     }
                     produced += self.read_one_group(slot, g, due);
-                    let interval_ns =
-                        slot.plugin.groups()[g].interval_ms.max(1) as i64 * 1_000_000;
+                    let interval_ns = slot.plugin.groups()[g].interval_ms.max(1) as i64 * 1_000_000;
                     let mut nd = slot.next_due.lock();
                     nd[g] = due + interval_ns;
                 }

@@ -35,9 +35,7 @@ impl Partitioner {
         assert!(nodes > 0, "cluster must have at least one node");
         match self {
             Partitioner::Random => mix(sid.raw()) as usize % nodes,
-            Partitioner::Prefix { depth } => {
-                mix(sid.prefix(*depth).raw()) as usize % nodes
-            }
+            Partitioner::Prefix { depth } => mix(sid.prefix(*depth).raw()) as usize % nodes,
         }
     }
 }

@@ -98,11 +98,7 @@ pub fn normalize(topic: &str) -> String {
 
 /// Split a topic into its hierarchy components.
 pub fn split_levels(topic: &str) -> Vec<&str> {
-    topic
-        .trim_matches('/')
-        .split('/')
-        .filter(|c| !c.is_empty())
-        .collect()
+    topic.trim_matches('/').split('/').filter(|c| !c.is_empty()).collect()
 }
 
 /// Join hierarchy components back into a normalised topic.
@@ -162,10 +158,7 @@ mod tests {
         let long = "x".repeat(MAX_TOPIC_LEN + 1);
         assert!(matches!(is_valid_topic(&long), Err(TopicError::TooLong(_))));
         let deep = (0..MAX_LEVELS + 1).map(|i| i.to_string()).collect::<Vec<_>>();
-        assert!(matches!(
-            is_valid_topic(&join_levels(&deep)),
-            Err(TopicError::TooManyLevels(_))
-        ));
+        assert!(matches!(is_valid_topic(&join_levels(&deep)), Err(TopicError::TooManyLevels(_))));
     }
 
     #[test]

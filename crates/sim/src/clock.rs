@@ -141,7 +141,7 @@ mod tests {
         let base = SimClock::new();
         let node = NodeClock::new(Arc::clone(&base), 100.0); // 100 ppm fast
         base.advance(NS_PER_SEC); // 1 s
-        // 100 ppm over 1 s = 100 µs
+                                  // 100 ppm over 1 s = 100 µs
         assert_eq!(node.error_ns(), 100_000);
         node.ntp_sync();
         assert_eq!(node.error_ns(), 0);

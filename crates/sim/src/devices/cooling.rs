@@ -80,8 +80,8 @@ mod tests {
     #[test]
     fn efficiency_is_about_ninety_percent() {
         let trace = day_trace();
-        let ratio: f64 = trace.iter().map(|s| s.heat_removed_kw / s.power_kw).sum::<f64>()
-            / trace.len() as f64;
+        let ratio: f64 =
+            trace.iter().map(|s| s.heat_removed_kw / s.power_kw).sum::<f64>() / trace.len() as f64;
         assert!((0.88..0.92).contains(&ratio), "mean efficiency {ratio:.3}");
     }
 
@@ -90,15 +90,12 @@ mod tests {
         // Fig. 9's key observation: the power/heat gap does not widen as
         // inlet temperature rises.  Correlate efficiency with temperature.
         let trace = day_trace();
-        let (temps, effs): (Vec<f64>, Vec<f64>) = trace
-            .iter()
-            .map(|s| (s.inlet_temp_c, s.heat_removed_kw / s.power_kw))
-            .unzip();
+        let (temps, effs): (Vec<f64>, Vec<f64>) =
+            trace.iter().map(|s| (s.inlet_temp_c, s.heat_removed_kw / s.power_kw)).unzip();
         let n = temps.len() as f64;
         let mt = temps.iter().sum::<f64>() / n;
         let me = effs.iter().sum::<f64>() / n;
-        let cov: f64 =
-            temps.iter().zip(&effs).map(|(t, e)| (t - mt) * (e - me)).sum::<f64>() / n;
+        let cov: f64 = temps.iter().zip(&effs).map(|(t, e)| (t - mt) * (e - me)).sum::<f64>() / n;
         let st = (temps.iter().map(|t| (t - mt).powi(2)).sum::<f64>() / n).sqrt();
         let se = (effs.iter().map(|e| (e - me).powi(2)).sum::<f64>() / n).sqrt();
         let corr = cov / (st * se);

@@ -103,9 +103,10 @@ impl TextFileSource for SimProcFs {
             )),
             "/proc/stat" => {
                 let mut out = String::new();
-                let (tu, ts_, ti) = st.cpu_jiffies.iter().fold((0, 0, 0), |acc, c| {
-                    (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2)
-                });
+                let (tu, ts_, ti) = st
+                    .cpu_jiffies
+                    .iter()
+                    .fold((0, 0, 0), |acc, c| (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2));
                 out.push_str(&format!("cpu  {tu} 0 {ts_} {ti} 0 0 0 0 0 0\n"));
                 for (i, (u, s, idle)) in st.cpu_jiffies.iter().enumerate() {
                     out.push_str(&format!("cpu{i} {u} 0 {s} {idle} 0 0 0 0 0 0\n"));
@@ -129,15 +130,8 @@ mod tests {
         assert!(text.contains("MemTotal:"));
         assert!(text.contains("kB"));
         // MemTotal for 64 GiB
-        let total: u64 = text
-            .lines()
-            .next()
-            .unwrap()
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let total: u64 =
+            text.lines().next().unwrap().split_whitespace().nth(1).unwrap().parse().unwrap();
         assert_eq!(total, 64 * 1024 * 1024);
     }
 

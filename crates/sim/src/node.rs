@@ -55,8 +55,7 @@ impl SimNode {
         let spec: &ArchSpec = arch.spec();
         let hostname = hostname.into();
         let drift_ppm = ((seed % 41) as f64) - 20.0; // ±20 ppm spread
-        let mut trace =
-            BehaviorTrace::new(workload, spec, 100 * crate::NS_PER_MS, seed);
+        let mut trace = BehaviorTrace::new(workload, spec, 100 * crate::NS_PER_MS, seed);
         let last_sample = trace.next_sample();
         SimNode {
             arch,

@@ -70,7 +70,6 @@ impl PluginKind {
     /// on the given architecture.  Includes syscall, parsing and cache
     /// pollution as an aggregate (calibrated, see module docs).
     pub fn read_cost_ns(&self, arch: Arch) -> f64 {
-        
         match self {
             PluginKind::Perfevents => match arch {
                 Arch::Skylake => 43_000.0,
@@ -368,10 +367,10 @@ mod tests {
     #[test]
     fn eq1_matches_model_for_linear_load() {
         let rate = |n: usize| PusherConfig::tester(n, 1000).sensor_rate();
-        let load = |n: usize| {
-            pusher_cpu_load_percent(&PusherConfig::tester(n, 1000), Arch::Haswell)
-        };
-        let interp = eq1_interpolate(rate(5000), (rate(1000), load(1000)), (rate(10000), load(10000)));
+        let load =
+            |n: usize| pusher_cpu_load_percent(&PusherConfig::tester(n, 1000), Arch::Haswell);
+        let interp =
+            eq1_interpolate(rate(5000), (rate(1000), load(1000)), (rate(10000), load(10000)));
         assert!((interp - load(5000)).abs() < 1e-9);
     }
 
@@ -403,9 +402,11 @@ mod tests {
                 }
             }
         }
-        let worst = hpl_overhead_percent(&PusherConfig::tester(10_000, 100), Arch::KnightsLanding, 0.0);
+        let worst =
+            hpl_overhead_percent(&PusherConfig::tester(10_000, 100), Arch::KnightsLanding, 0.0);
         assert!((2.0..5.0).contains(&worst), "KNL worst case {worst:.2}%");
-        let sky_worst = hpl_overhead_percent(&PusherConfig::tester(10_000, 100), Arch::Skylake, 0.0);
+        let sky_worst =
+            hpl_overhead_percent(&PusherConfig::tester(10_000, 100), Arch::Skylake, 0.0);
         assert!(sky_worst < 1.0, "Skylake stays flat: {sky_worst:.2}%");
     }
 

@@ -294,8 +294,13 @@ mod tests {
 
     #[test]
     fn phase_weights_sum_to_one() {
-        for w in [Workload::Hpl, Workload::Amg, Workload::Lammps, Workload::Kripke, Workload::Quicksilver]
-        {
+        for w in [
+            Workload::Hpl,
+            Workload::Amg,
+            Workload::Lammps,
+            Workload::Kripke,
+            Workload::Quicksilver,
+        ] {
             let total: f64 = w.spec().phases.iter().map(|p| p.weight).sum();
             assert!((total - 1.0).abs() < 1e-9, "{w}: weights sum to {total}");
         }

@@ -35,11 +35,7 @@ pub struct StoreCluster {
 impl StoreCluster {
     /// Build a cluster of `n` nodes with the given partition map and
     /// replication factor (1 = no replicas).
-    pub fn new(
-        node_cfg: NodeConfig,
-        partition: PartitionMap,
-        replication: usize,
-    ) -> StoreCluster {
+    pub fn new(node_cfg: NodeConfig, partition: PartitionMap, replication: usize) -> StoreCluster {
         let n = partition.nodes();
         assert!(n > 0, "cluster needs at least one node");
         let replication = replication.clamp(1, n);

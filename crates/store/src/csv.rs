@@ -122,7 +122,8 @@ mod tests {
     fn import_then_export_roundtrip() {
         let cluster = StoreCluster::single();
         let registry = TopicRegistry::new();
-        let csv = "sensor,timestamp,value\n/a/power,100,240.5\n/a/power,200,241.0\n/a/temp,100,35\n";
+        let csv =
+            "sensor,timestamp,value\n/a/power,100,240.5\n/a/power,200,241.0\n/a/temp,100,35\n";
         let n = import(&cluster, &registry, csv.as_bytes()).unwrap();
         assert_eq!(n, 3);
 
@@ -164,11 +165,7 @@ mod tests {
         for ts in 0..10 {
             cluster.insert(sid, ts * 100, ts as f64);
         }
-        let out = export_to_string(
-            &cluster,
-            &[("/r/s".into(), sid)],
-            TimeRange::new(200, 500),
-        );
+        let out = export_to_string(&cluster, &[("/r/s".into(), sid)], TimeRange::new(200, 500));
         assert_eq!(out.lines().count(), 1 + 3); // 200,300,400
     }
 }

@@ -28,11 +28,7 @@ pub struct NodeConfig {
 
 impl Default for NodeConfig {
     fn default() -> Self {
-        NodeConfig {
-            memtable_flush_entries: 256 * 1024,
-            compaction_threshold: 8,
-            ttl: None,
-        }
+        NodeConfig { memtable_flush_entries: 256 * 1024, compaction_threshold: 8, ttl: None }
     }
 }
 
@@ -44,9 +40,7 @@ struct Tombstones {
 
 impl Tombstones {
     fn covers(&self, sid: SensorId, ts: Timestamp) -> bool {
-        self.ranges
-            .iter()
-            .any(|(s, r)| (s.is_none() || *s == Some(sid)) && r.contains(ts))
+        self.ranges.iter().any(|(s, r)| (s.is_none() || *s == Some(sid)) && r.contains(ts))
     }
     fn is_empty(&self) -> bool {
         self.ranges.is_empty()
@@ -197,10 +191,7 @@ impl StoreNode {
 
     /// Delete readings of *all* sensors before `cutoff` ("delete old data").
     pub fn delete_all_before(&self, cutoff: Timestamp) {
-        self.tombstones
-            .write()
-            .ranges
-            .push((None, TimeRange::new(Timestamp::MIN, cutoff)));
+        self.tombstones.write().ranges.push((None, TimeRange::new(Timestamp::MIN, cutoff)));
         self.flush();
         self.compact();
     }
@@ -230,9 +221,7 @@ impl StoreNode {
         let tombs = self.tombstones.read();
         let cutoff = self.ttl_cutoff();
         if !tombs.is_empty() || cutoff.is_some() {
-            out.retain(|r| {
-                !tombs.covers(sid, r.ts) && cutoff.is_none_or(|c| r.ts >= c)
-            });
+            out.retain(|r| !tombs.covers(sid, r.ts) && cutoff.is_none_or(|c| r.ts >= c));
         }
         out
     }
@@ -254,8 +243,7 @@ impl StoreNode {
 
     /// Total entries across memtable and SSTables (duplicates included).
     pub fn approx_entries(&self) -> usize {
-        self.memtable.read().len()
-            + self.sstables.read().iter().map(|t| t.len()).sum::<usize>()
+        self.memtable.read().len() + self.sstables.read().iter().map(|t| t.len()).sum::<usize>()
     }
 
     /// Approximate memory footprint in bytes.

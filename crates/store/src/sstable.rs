@@ -2,8 +2,23 @@
 //!
 //! A frozen memtable becomes an SSTable: a `(sid, ts, value)` array sorted by
 //! `(sid, ts)` plus a per-sensor index of sub-ranges, so range queries are a
-//! binary search + contiguous scan.  SSTables can be serialised to a simple
-//! binary format for persistence and reloaded at start-up.
+//! binary search + contiguous scan.  SSTables can be serialised to a binary
+//! format for persistence and reloaded at start-up.
+//!
+//! Two on-disk formats exist:
+//!
+//! * **`DCDBSST1`** (legacy) — fixed-width records: `u128` sid, `i64`
+//!   timestamp, `f64` value, 32 bytes per entry.  Still readable and
+//!   writable (see [`SsTable::write_to_v1`]) for backward compatibility.
+//! * **`DCDBSST2`** (current, written by [`SsTable::write_to`]) — each
+//!   sensor's run is one `dcdb-compress` Gorilla series
+//!   (delta-of-delta timestamps + XOR floats, with a raw fallback for
+//!   pathological runs): `[magic][u64 entries][u64 sensors]` then per
+//!   sensor `[u128 sid][series]`.  Monitoring runs typically shrink well
+//!   over 4× versus v1.
+//!
+//! [`SsTable::read_from`] dispatches on the magic, so directories holding a
+//! mix of v1 and v2 runs load transparently.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -14,8 +29,14 @@ use dcdb_sid::SensorId;
 
 use crate::reading::{Reading, TimeRange, Timestamp};
 
-/// Magic bytes of the on-disk format.
-const MAGIC: &[u8; 8] = b"DCDBSST1";
+/// Magic bytes of the legacy fixed-width on-disk format.
+const MAGIC_V1: &[u8; 8] = b"DCDBSST1";
+/// Magic bytes of the compressed on-disk format.
+const MAGIC_V2: &[u8; 8] = b"DCDBSST2";
+
+/// Bytes per entry in the v1 fixed-width format (sid + ts + value); the
+/// yardstick compression ratios are quoted against.
+pub const V1_RECORD_BYTES: usize = 32;
 
 /// An immutable sorted run.
 #[derive(Debug, Clone)]
@@ -132,10 +153,32 @@ impl SsTable {
 
     // ------------------------------------------------------------ persistence
 
-    /// Serialise to the binary on-disk format.
+    /// Serialise to the current (v2, compressed) on-disk format.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        let mut buf = BytesMut::with_capacity(16 + self.entries.len() * 32);
-        buf.put_slice(MAGIC);
+        w.write_all(&self.encode_v2())
+    }
+
+    /// The v2 byte image: per-sensor Gorilla-compressed runs.
+    pub fn encode_v2(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.entries.len() * 4);
+        out.extend_from_slice(MAGIC_V2);
+        out.extend_from_slice(&(self.entries.len() as u64).to_be_bytes());
+        out.extend_from_slice(&(self.index.len() as u64).to_be_bytes());
+        let mut run: Vec<(i64, f64)> = Vec::new();
+        for (sid, span) in &self.index {
+            run.clear();
+            run.extend(self.entries[span.clone()].iter().map(|&(_, ts, v)| (ts, v)));
+            out.extend_from_slice(&sid.raw().to_be_bytes());
+            dcdb_compress::encode_series_into(&run, &mut out);
+        }
+        out
+    }
+
+    /// Serialise to the legacy v1 fixed-width format (kept so deployments
+    /// can write runs readable by pre-v2 binaries).
+    pub fn write_to_v1<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf = BytesMut::with_capacity(16 + self.entries.len() * V1_RECORD_BYTES);
+        buf.put_slice(MAGIC_V1);
         buf.put_u64(self.entries.len() as u64);
         for &(sid, ts, value) in &self.entries {
             buf.put_u128(sid.raw());
@@ -145,27 +188,24 @@ impl SsTable {
         w.write_all(&buf)
     }
 
-    /// Read back what [`Self::write_to`] wrote.
+    /// Read back either on-disk format, dispatching on the magic bytes.
     ///
     /// # Errors
-    /// `InvalidData` on bad magic or truncation.
+    /// `InvalidData` on bad magic, truncation or unsorted entries.
     pub fn read_from<R: Read>(r: &mut R) -> std::io::Result<SsTable> {
         let mut raw = Vec::new();
         r.read_to_end(&mut raw)?;
+        if raw.len() >= 8 && &raw[..8] == MAGIC_V2 {
+            return SsTable::decode_v2(&raw[8..]);
+        }
         let mut buf = &raw[..];
-        if buf.len() < 16 || &buf[..8] != MAGIC {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "bad SSTable magic",
-            ));
+        if buf.len() < 16 || &buf[..8] != MAGIC_V1 {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad SSTable magic"));
         }
         buf.advance(8);
         let n = buf.get_u64() as usize;
-        if buf.remaining() < n * 32 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "truncated SSTable",
-            ));
+        if buf.remaining() < n * V1_RECORD_BYTES {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated SSTable"));
         }
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
@@ -174,13 +214,47 @@ impl SsTable {
             let value = buf.get_f64();
             entries.push((sid, ts, value));
         }
-        if !entries.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)) {
-            return Err(std::io::Error::new(
+        Self::check_sorted(&entries)?;
+        Ok(SsTable::from_sorted(entries))
+    }
+
+    fn decode_v2(mut buf: &[u8]) -> std::io::Result<SsTable> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        if buf.len() < 16 {
+            return Err(bad("truncated SSTable header"));
+        }
+        let n_entries = buf.get_u64() as usize;
+        let n_sensors = buf.get_u64() as usize;
+        // the counts are untrusted: cap the pre-allocation by what the
+        // remaining bytes could possibly hold (≥ 2 bits per reading), so a
+        // corrupt header yields InvalidData below instead of an OOM/panic
+        let mut entries = Vec::with_capacity(n_entries.min(buf.remaining().saturating_mul(4)));
+        for _ in 0..n_sensors {
+            if buf.remaining() < 16 {
+                return Err(bad("truncated SSTable sensor header"));
+            }
+            let sid = SensorId(buf.get_u128());
+            let (run, used) = dcdb_compress::decode_series_prefix(buf)
+                .map_err(|e| bad(&format!("bad SSTable run: {e}")))?;
+            buf.advance(used);
+            entries.extend(run.into_iter().map(|(ts, v)| (sid, ts, v)));
+        }
+        if entries.len() != n_entries {
+            return Err(bad("SSTable entry count mismatch"));
+        }
+        Self::check_sorted(&entries)?;
+        Ok(SsTable::from_sorted(entries))
+    }
+
+    fn check_sorted(entries: &[(SensorId, Timestamp, f64)]) -> std::io::Result<()> {
+        if entries.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)) {
+            Ok(())
+        } else {
+            Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "SSTable entries out of order",
-            ));
+            ))
         }
-        Ok(SsTable::from_sorted(entries))
     }
 }
 
@@ -278,6 +352,79 @@ mod tests {
         table().write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 5);
         assert!(SsTable::read_from(&mut &buf[..]).is_err());
+        let mut v1 = Vec::new();
+        table().write_to_v1(&mut v1).unwrap();
+        v1.truncate(v1.len() - 5);
+        assert!(SsTable::read_from(&mut &v1[..]).is_err());
+    }
+
+    #[test]
+    fn v1_tables_still_load() {
+        let t = table();
+        let mut v1 = Vec::new();
+        t.write_to_v1(&mut v1).unwrap();
+        assert_eq!(&v1[..8], b"DCDBSST1");
+        let t2 = SsTable::read_from(&mut &v1[..]).unwrap();
+        assert_eq!(t2.len(), t.len());
+        for s in 1..=3u16 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            t.query(sid(s), TimeRange::all(), &mut a);
+            t2.query(sid(s), TimeRange::all(), &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn v2_is_current_format_and_compresses() {
+        // a realistic run: fixed interval, slowly-varying values
+        let entries: Vec<(SensorId, Timestamp, f64)> = (0..2000)
+            .map(|i| (sid(1), i as Timestamp * 1_000_000_000, 240.0 + (i % 5) as f64))
+            .collect();
+        let t = SsTable::from_sorted(entries);
+        let v2 = t.encode_v2();
+        assert_eq!(&v2[..8], b"DCDBSST2");
+        let mut v1 = Vec::new();
+        t.write_to_v1(&mut v1).unwrap();
+        assert!(
+            v2.len() * 4 < v1.len(),
+            "v2 ({}) should be ≥ 4× smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        let t2 = SsTable::read_from(&mut &v2[..]).unwrap();
+        assert_eq!(t2.len(), t.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t.query(sid(1), TimeRange::all(), &mut a);
+        t2.query(sid(1), TimeRange::all(), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn v2_preserves_special_values() {
+        let entries = vec![
+            (sid(1), 0, f64::NAN),
+            (sid(1), 1, f64::INFINITY),
+            (sid(1), 2, -0.0),
+            (sid(2), i64::MIN, f64::NEG_INFINITY),
+            (sid(2), i64::MAX, 1e-300),
+        ];
+        let t = SsTable::from_sorted(entries);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let t2 = SsTable::read_from(&mut &buf[..]).unwrap();
+        let mut out = Vec::new();
+        t2.query(sid(1), TimeRange::all(), &mut out);
+        assert!(out[0].value.is_nan());
+        assert_eq!(out[1].value, f64::INFINITY);
+        assert!(out[2].value == 0.0 && out[2].value.is_sign_negative());
+        // TimeRange::all() is half-open, so ts == i64::MAX only shows in latest()
+        let mut out = Vec::new();
+        t2.query(sid(2), TimeRange::all(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts, i64::MIN);
+        assert_eq!(t2.latest(sid(2)).unwrap().ts, i64::MAX);
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! csvimport --db <dir> <file.csv>...
 //! ```
 //!
-//! Rows are `sensor,timestamp,value` with an optional header.
+//! Rows are `sensor,timestamp,value` with an optional header.  After the
+//! import the tool reports the stored (compressed DCDBSST2) versus raw
+//! fixed-width byte sizes, so compression ratios are visible from the CLI.
 
-use dcdb_tools::{open_db, save_db, Args};
+use dcdb_tools::{db_sizes, open_db, save_db, Args};
 
 fn main() {
     let args = Args::from_env();
@@ -52,4 +54,8 @@ fn main() {
         std::process::exit(1);
     }
     println!("total: {total} readings into {db_dir}");
+    match db_sizes(&db, std::path::Path::new(db_dir)) {
+        Ok(sizes) => println!("{}", sizes.render()),
+        Err(e) => eprintln!("csvimport: sizing database: {e}"),
+    }
 }

@@ -35,10 +35,7 @@ fn main() {
             }
         }
         ["sensor", "set", topic] => {
-            let unit = args
-                .get("unit")
-                .and_then(Unit::parse)
-                .unwrap_or(Unit::NONE);
+            let unit = args.get("unit").and_then(Unit::parse).unwrap_or(Unit::NONE);
             let scale: f64 = args.get("scale").and_then(|s| s.parse().ok()).unwrap_or(1.0);
             db.set_meta(topic, SensorMeta { unit, scale, description: String::new() });
             println!("{topic}: unit={} scale={scale}", unit.name);

@@ -41,10 +41,7 @@ fn main() {
         }
     };
     let out = MqttOut::new(MqttBackend::Tcp(client), SendPolicy::Continuous);
-    let pusher = Arc::new(Pusher::new(
-        PusherConfig { prefix, ..PusherConfig::default() },
-        out,
-    ));
+    let pusher = Arc::new(Pusher::new(PusherConfig { prefix, ..PusherConfig::default() }, out));
     for p in plugins.split(',') {
         match p.trim() {
             "tester" => {

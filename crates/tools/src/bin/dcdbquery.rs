@@ -1,21 +1,27 @@
 //! `dcdbquery` — query sensor data in CSV form (paper §5.2).
 //!
 //! ```text
-//! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats] <topic>...
+//! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats]
+//!           [--sizes] <topic>...
 //! ```
+//!
+//! `--sizes` reports the database's stored (compressed DCDBSST2) versus
+//! raw fixed-width byte footprint; with `--sizes` topics are optional.
 
 use dcdb_core::ops;
 use dcdb_store::reading::TimeRange;
-use dcdb_tools::{open_db, Args};
+use dcdb_tools::{db_sizes, open_db, Args};
 
 fn main() {
     let args = Args::from_env();
     let Some(db_dir) = args.get("db") else {
-        eprintln!("usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] <topic>...");
+        eprintln!(
+            "usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] [--sizes] <topic>..."
+        );
         std::process::exit(2);
     };
-    let topics = args.positional();
-    if topics.is_empty() {
+    let topics = args.positional_with_bools(&["sizes"]);
+    if topics.is_empty() && !args.has("sizes") {
         eprintln!("dcdbquery: no topics given");
         std::process::exit(2);
     }
@@ -28,6 +34,18 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if args.has("sizes") {
+        match db_sizes(&db, std::path::Path::new(db_dir)) {
+            Ok(sizes) => println!("{}", sizes.render()),
+            Err(e) => {
+                eprintln!("dcdbquery: sizing database: {e}");
+                std::process::exit(1);
+            }
+        }
+        if topics.is_empty() {
+            return;
+        }
+    }
     let range = TimeRange::new(start, end);
     match args.get("op") {
         None => {
@@ -66,10 +84,7 @@ fn main() {
             for topic in topics {
                 if let Ok(series) = db.query(topic, range) {
                     if let Some(s) = ops::stats(&series.readings) {
-                        println!(
-                            "{topic},{},{},{},{},{}",
-                            s.count, s.min, s.max, s.mean, s.stddev
-                        );
+                        println!("{topic},{},{},{},{},{}", s.count, s.min, s.max, s.mean, s.stddev);
                     }
                 }
             }

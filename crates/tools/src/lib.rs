@@ -68,6 +68,63 @@ pub fn save_db(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// On-disk footprint of a database directory versus the fixed-width
+/// baseline, for the CLI `--sizes` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbSizes {
+    /// Readings stored (memtable + SSTables).
+    pub readings: u64,
+    /// Bytes of `.sst` files on disk (DCDBSST2 compressed runs).
+    pub stored_bytes: u64,
+    /// Bytes the same readings cost in the v1 fixed-width format.
+    pub raw_bytes: u64,
+}
+
+impl DbSizes {
+    /// Compression ratio versus the v1 format (1.0 when nothing is stored).
+    pub fn ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// One-line human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "stored: {} readings in {} bytes on disk (fixed-width v1: {} bytes, {:.1}x compression)",
+            self.readings,
+            self.stored_bytes,
+            self.raw_bytes,
+            self.ratio()
+        )
+    }
+}
+
+/// Measure a database directory written by [`save_db`].
+///
+/// # Errors
+/// Propagates I/O failures; a missing node directory counts as empty.
+pub fn db_sizes(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<DbSizes> {
+    let node_dir = dir.join("node0");
+    let mut stored_bytes = 0u64;
+    if node_dir.exists() {
+        for entry in std::fs::read_dir(&node_dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "sst") {
+                stored_bytes += entry.metadata()?.len();
+            }
+        }
+    }
+    let readings = db.store().total_entries() as u64;
+    Ok(DbSizes {
+        readings,
+        stored_bytes,
+        raw_bytes: readings * dcdb_store::sstable::V1_RECORD_BYTES as u64,
+    })
+}
+
 /// Minimal `--flag value` argument parser shared by the binaries.
 pub struct Args {
     raw: Vec<String>,
@@ -102,6 +159,14 @@ impl Args {
 
     /// Positional arguments (not starting with `--` and not a flag value).
     pub fn positional(&self) -> Vec<&str> {
+        self.positional_with_bools(&[])
+    }
+
+    /// Positional arguments when `bool_flags` take no value — e.g.
+    /// `dcdbquery --sizes <topic>` must not treat the topic as the value
+    /// of `--sizes`.  Every other flag consumes the following non-flag
+    /// token.
+    pub fn positional_with_bools(&self, bool_flags: &[&str]) -> Vec<&str> {
         let mut out = Vec::new();
         let mut skip = false;
         for (i, a) in self.raw.iter().enumerate() {
@@ -109,9 +174,11 @@ impl Args {
                 skip = false;
                 continue;
             }
-            if a.starts_with("--") {
-                // flags with a following non-flag token consume it
-                if self.raw.get(i + 1).is_some_and(|n| !n.starts_with("--")) {
+            if let Some(name) = a.strip_prefix("--") {
+                // value-taking flags consume a following non-flag token
+                if !bool_flags.contains(&name)
+                    && self.raw.get(i + 1).is_some_and(|n| !n.starts_with("--"))
+                {
                     skip = true;
                 }
                 continue;
@@ -126,6 +193,16 @@ impl Args {
 mod tests {
     use super::*;
     use dcdb_store::reading::TimeRange;
+
+    #[test]
+    fn bool_flags_do_not_consume_positionals() {
+        let a = Args::from_slice(&["--db", "/tmp/x", "--sizes", "/t1", "/t2"]);
+        // without the hint, /t1 is mistaken for --sizes' value
+        assert_eq!(a.positional(), vec!["/t2"]);
+        assert_eq!(a.positional_with_bools(&["sizes"]), vec!["/t1", "/t2"]);
+        assert!(a.has("sizes"));
+        assert_eq!(a.get("db"), Some("/tmp/x"));
+    }
 
     #[test]
     fn args_parsing() {

@@ -58,13 +58,63 @@ fn csvimport_then_query_roundtrip() {
 }
 
 #[test]
+fn size_report_shows_compression_ratio() {
+    let dir = tmp_dir("sizes");
+    let db = dir.join("db");
+    let csv = dir.join("series.csv");
+    // a realistic fixed-interval power series: should compress well over 4x
+    let mut text = String::from("sensor,timestamp,value\n");
+    for i in 0..5000i64 {
+        text.push_str(&format!("/cli/node0/power,{},{}\n", i * 1_000_000_000, 240 + i % 3));
+    }
+    std::fs::write(&csv, text).unwrap();
+
+    // csvimport prints the stored-vs-raw report after saving
+    let out = Command::new(env!("CARGO_BIN_EXE_csvimport"))
+        .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stored: 5000 readings"), "{text}");
+    assert!(text.contains("x compression"), "{text}");
+
+    // dcdbquery --sizes reports without needing topics
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--sizes"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stored: 5000 readings"), "{text}");
+    let ratio: f64 = text
+        .split_once("v1: ")
+        .and_then(|(_, rest)| rest.split_once(" bytes, "))
+        .and_then(|(_, rest)| rest.split_once('x'))
+        .map(|(r, _)| r.parse().unwrap())
+        .unwrap();
+    assert!(ratio >= 4.0, "expected ≥ 4x CLI-visible compression, got {ratio} in {text}");
+
+    // --sizes followed by a topic must report AND query (the boolean flag
+    // must not swallow the topic)
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--sizes", "/cli/node0/power"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stored: 5000 readings"), "{text}");
+    assert!(text.contains("/cli/node0/power,0,240"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn dcdbconfig_manages_the_database() {
     let dir = tmp_dir("cfg");
     let db = dir.join("db");
     let csv = dir.join("data.csv");
-    let rows: String = (0..20i64)
-        .map(|i| format!("/cfg/s,{},{}\n", i * 1_000_000_000, i))
-        .collect();
+    let rows: String =
+        (0..20i64).map(|i| format!("/cfg/s,{},{}\n", i * 1_000_000_000, i)).collect();
     std::fs::write(&csv, rows).unwrap();
     let status = Command::new(env!("CARGO_BIN_EXE_csvimport"))
         .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
@@ -128,12 +178,18 @@ fn pusher_and_collectagent_binaries_talk() {
 
     let pusher = Command::new(env!("CARGO_BIN_EXE_dcdbpusher"))
         .args([
-            "--broker", &mqtt,
-            "--prefix", "/cli/node0",
-            "--plugins", "tester",
-            "--sensors", "20",
-            "--interval", "200",
-            "--duration", "3",
+            "--broker",
+            &mqtt,
+            "--prefix",
+            "/cli/node0",
+            "--plugins",
+            "tester",
+            "--sensors",
+            "20",
+            "--interval",
+            "200",
+            "--duration",
+            "3",
         ])
         .output()
         .unwrap();

@@ -25,15 +25,10 @@ use dcdb::store::{NodeConfig, StoreCluster};
 
 fn main() {
     let clock = SimClock::new();
-    let workloads =
-        [Workload::Kripke, Workload::Amg, Workload::Lammps, Workload::Quicksilver];
+    let workloads = [Workload::Kripke, Workload::Amg, Workload::Lammps, Workload::Quicksilver];
 
     // Storage: 4 servers, sub-trees pinned by the node level of the hierarchy.
-    let store = Arc::new(StoreCluster::new(
-        NodeConfig::default(),
-        PartitionMap::prefix(4, 4),
-        1,
-    ));
+    let store = Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(4, 4), 1));
     let agent = CollectAgent::new(store);
     let bus = InprocBus::new();
     agent.attach_inproc(&bus);

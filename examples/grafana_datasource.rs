@@ -38,8 +38,7 @@ fn main() {
     .unwrap();
 
     // Serve the data-source API.
-    let server =
-        grafana::serve(Arc::clone(&db), "127.0.0.1:0".parse().unwrap()).expect("serve");
+    let server = grafana::serve(Arc::clone(&db), "127.0.0.1:0".parse().unwrap()).expect("serve");
     let addr = server.local_addr();
     println!("grafana data source at http://{addr}\n");
 
@@ -52,11 +51,8 @@ fn main() {
     println!("rack1 nodes: {}", nodes.text());
 
     // Panel query: one node's power, downsampled to 12 points.
-    let resp = client::get(
-        addr,
-        "/query?topic=/lrz/smucng/rack1/node2/power&maxDataPoints=12",
-    )
-    .unwrap();
+    let resp =
+        client::get(addr, "/query?topic=/lrz/smucng/rack1/node2/power&maxDataPoints=12").unwrap();
     let j = Json::parse(&resp.text()).unwrap();
     let points = j.get("datapoints").unwrap().as_arr().unwrap();
     println!(

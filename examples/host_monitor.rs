@@ -51,8 +51,8 @@ fn main() {
     println!("cached sensors: {}", sensors.text());
     let mem = client::get(rest_addr, "/cache/localhost/meminfo/MemTotal").unwrap();
     println!("MemTotal cache: {}", mem.text());
-    let avg = client::get(rest_addr, "/average/localhost/meminfo/MemFree?window=10000000000")
-        .unwrap();
+    let avg =
+        client::get(rest_addr, "/average/localhost/meminfo/MemFree?window=10000000000").unwrap();
     println!("MemFree 10s average: {}", avg.text());
 
     assert!(produced > 0, "no readings sampled");

@@ -8,6 +8,9 @@
 //!
 //! * [`sid`] — 128-bit hierarchical sensor identifiers and MQTT topic mapping
 //! * [`config`] — property-tree configuration files
+//! * [`compress`] — Gorilla-style lossless time-series compression
+//!   (delta-of-delta timestamps + XOR floats) used by the store's `DCDBSST2`
+//!   on-disk format and the MQTT compressed payload encoding
 //! * [`mqtt`] — MQTT 3.1.1 codec, broker and client (the transport layer)
 //! * [`store`] — the wide-column distributed storage backend (Cassandra stand-in)
 //! * [`http`] — minimal HTTP/1.1 + JSON for the RESTful APIs
@@ -30,6 +33,7 @@
 //! ```
 
 pub use dcdb_collectagent as collectagent;
+pub use dcdb_compress as compress;
 pub use dcdb_config as config;
 pub use dcdb_core as core;
 pub use dcdb_http as http;

@@ -2,13 +2,12 @@
 //! construction, CSV round-trips through the tools layer, and store
 //! persistence across process boundaries (simulated by reopening).
 
-
 use dcdb::config;
 use dcdb::core::SensorDb;
 use dcdb::pusher::mqtt_out::{MqttBackend, MqttOut, SendPolicy};
 use dcdb::pusher::plugins::TesterPlugin;
-use dcdb::pusher::Plugin as _;
 use dcdb::pusher::scheduler::{Pusher, PusherConfig};
+use dcdb::pusher::Plugin as _;
 use dcdb::store::reading::TimeRange;
 
 #[test]

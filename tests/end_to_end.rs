@@ -65,17 +65,13 @@ fn tcp_pipeline_from_sim_node_to_query() {
 
     // Query back through libDCDB.
     let db = SensorDb::new(Arc::clone(agent.store()), Arc::clone(agent.registry()));
-    let series =
-        db.query("/e2e/knl-e2e/cpu0/instructions", TimeRange::all()).expect("query");
+    let series = db.query("/e2e/knl-e2e/cpu0/instructions", TimeRange::all()).expect("query");
     // delta sensors: first reading swallowed
     assert_eq!(series.readings.len(), 9);
     assert!(series.readings.iter().all(|r| r.value > 0.0));
 
     // Virtual sensor: instructions per joule of package energy.
-    db.set_meta(
-        "/e2e/knl-e2e/sysfs/energy_uj_intel-rapl:0",
-        SensorMeta::with_unit(Unit::JOULE),
-    );
+    db.set_meta("/e2e/knl-e2e/sysfs/energy_uj_intel-rapl:0", SensorMeta::with_unit(Unit::JOULE));
     db.define_virtual(
         "/v/e2e/instr_per_j",
         "\"/e2e/knl-e2e/cpu0/instructions\" / (\"/e2e/knl-e2e/sysfs/energy_uj_intel-rapl:0\" + 1)",
@@ -96,9 +92,8 @@ fn rest_apis_full_stack() {
     ));
     pusher.add_plugin(Box::new(TesterPlugin::new(10, 100)));
     pusher.run_virtual(1_000_000_000);
-    let rest =
-        dcdb::pusher::rest::serve(Arc::clone(&pusher), "127.0.0.1:0".parse().unwrap())
-            .expect("pusher REST");
+    let rest = dcdb::pusher::rest::serve(Arc::clone(&pusher), "127.0.0.1:0".parse().unwrap())
+        .expect("pusher REST");
 
     // plugin listing and control
     let resp = client::get(rest.local_addr(), "/plugins").unwrap();
@@ -151,12 +146,8 @@ fn plugin_reload_over_rest() {
     assert_eq!(produced, 20 * 3); // 0, 500ms, 1000ms
 
     // bad config is rejected without touching the plugin
-    let resp = client::put(
-        rest.local_addr(),
-        "/plugins/tester/reload",
-        Some(b"sensors zero\n"),
-    )
-    .unwrap();
+    let resp =
+        client::put(rest.local_addr(), "/plugins/tester/reload", Some(b"sensors zero\n")).unwrap();
     assert_eq!(resp.status, 400);
     assert_eq!(pusher.sensor_count(), 20);
     // unknown plugin

@@ -19,11 +19,7 @@ use dcdb::store::{NodeConfig, StoreCluster};
 fn two_collect_agents_one_storage_cluster() {
     // One distributed storage cluster shared by both agents, partitioned at
     // the node level of the hierarchy.
-    let store = Arc::new(StoreCluster::new(
-        NodeConfig::default(),
-        PartitionMap::prefix(4, 3),
-        1,
-    ));
+    let store = Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(4, 3), 1));
     // Both agents must share the topic registry so SIDs stay bijective
     // across the deployment (in the original, determinism of the topic→SID
     // mapping guarantees this; our registry probes collisions, so share it).
@@ -43,10 +39,7 @@ fn two_collect_agents_one_storage_cluster() {
             ))
             .unwrap();
             let pusher = Pusher::new(
-                PusherConfig {
-                    prefix: format!("/site/{cluster}/node{n}"),
-                    ..Default::default()
-                },
+                PusherConfig { prefix: format!("/site/{cluster}/node{n}"), ..Default::default() },
                 MqttOut::new(MqttBackend::Tcp(client), SendPolicy::Continuous),
             );
             pusher.add_plugin(Box::new(TesterPlugin::new(8, 500)));
@@ -70,10 +63,7 @@ fn two_collect_agents_one_storage_cluster() {
     }
 
     // Each agent served only its own cluster...
-    assert_eq!(
-        agent_a.stats().readings.load(std::sync::atomic::Ordering::Relaxed),
-        3 * 8 * 11
-    );
+    assert_eq!(agent_a.stats().readings.load(std::sync::atomic::Ordering::Relaxed), 3 * 8 * 11);
     // ...but the data is unified in the shared storage: one libDCDB handle
     // sees the whole site.
     let db = SensorDb::new(store, registry);

@@ -1,0 +1,649 @@
+//! Offline stand-in for the `bytes` crate (see `vendor/README.md`).
+//!
+//! Implements the subset dcdb-rs uses: [`Bytes`] (cheaply-cloneable
+//! immutable buffer), [`BytesMut`] (growable buffer with a read cursor),
+//! and the [`Buf`]/[`BufMut`] cursor traits with the big-/little-endian
+//! accessors the codecs call.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read cursor over a contiguous byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// When `n > remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy out `dst.len()` bytes.
+    ///
+    /// # Panics
+    /// When fewer bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one `u8` (big-endian).
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        u8::from_be_bytes(b)
+    }
+
+    /// Read one `u8` (little-endian).
+    fn get_u8_le(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        u8::from_le_bytes(b)
+    }
+
+    /// Read one `u16` (big-endian).
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read one `u16` (little-endian).
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read one `u32` (big-endian).
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read one `u32` (little-endian).
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read one `u64` (big-endian).
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read one `u64` (little-endian).
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read one `u128` (big-endian).
+    fn get_u128(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_be_bytes(b)
+    }
+
+    /// Read one `u128` (little-endian).
+    fn get_u128_le(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_le_bytes(b)
+    }
+
+    /// Read one `i8` (big-endian).
+    fn get_i8(&mut self) -> i8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        i8::from_be_bytes(b)
+    }
+
+    /// Read one `i8` (little-endian).
+    fn get_i8_le(&mut self) -> i8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        i8::from_le_bytes(b)
+    }
+
+    /// Read one `i16` (big-endian).
+    fn get_i16(&mut self) -> i16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        i16::from_be_bytes(b)
+    }
+
+    /// Read one `i16` (little-endian).
+    fn get_i16_le(&mut self) -> i16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        i16::from_le_bytes(b)
+    }
+
+    /// Read one `i32` (big-endian).
+    fn get_i32(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_be_bytes(b)
+    }
+
+    /// Read one `i32` (little-endian).
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Read one `i64` (big-endian).
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+
+    /// Read one `i64` (little-endian).
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Read one `f64` (big-endian).
+    fn get_f64(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_be_bytes(b)
+    }
+
+    /// Read one `f64` (little-endian).
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Read one `f32` (big-endian).
+    fn get_f32(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_be_bytes(b)
+    }
+
+    /// Read one `f32` (little-endian).
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        *self = &self[n..];
+    }
+}
+
+/// Append sink for encoders.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write one `u8` (big-endian).
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `u8` (little-endian).
+    fn put_u8_le(&mut self, v: u8) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `u16` (big-endian).
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `u16` (little-endian).
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `u32` (big-endian).
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `u32` (little-endian).
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `u64` (big-endian).
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `u64` (little-endian).
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `u128` (big-endian).
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `u128` (little-endian).
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `i8` (big-endian).
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `i8` (little-endian).
+    fn put_i8_le(&mut self, v: i8) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `i16` (big-endian).
+    fn put_i16(&mut self, v: i16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `i16` (little-endian).
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `i32` (big-endian).
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `i32` (little-endian).
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `i64` (big-endian).
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `i64` (little-endian).
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `f64` (big-endian).
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `f64` (little-endian).
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `f32` (big-endian).
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Write one `f32` (little-endian).
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable, cheaply-cloneable byte buffer (`Arc`-backed view).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Buffer borrowing a static slice (copied here; the stub has no
+    /// zero-copy static path).
+    pub fn from_static(src: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Buffer copied from a slice.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return the first `n` bytes as a shared view.
+    ///
+    /// # Panics
+    /// When `n > len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to past end");
+        let head = self.slice(..n);
+        self.start += n;
+        head
+    }
+
+    /// A sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// On out-of-bounds or inverted ranges.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(v: &'static [u8; N]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// Growable byte buffer with an internal read cursor.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read offset: bytes before it have been consumed via [`Buf::advance`]
+    /// or [`BytesMut::split_to`].
+    start: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap), start: 0 }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Remove and return the first `n` unread bytes.
+    ///
+    /// # Panics
+    /// When `n > len()`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to past end");
+        let out = BytesMut { buf: self[..n].to_vec(), start: 0 };
+        self.start += n;
+        self.compact_if_large();
+        out
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+        }
+        Bytes::from(self.buf)
+    }
+
+    /// Reclaim consumed prefix space once it dominates the allocation.
+    fn compact_if_large(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut { buf: src.to_vec(), start: 0 }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+        self.compact_if_large();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_and_eq() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.slice(..), s);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn bytesmut_cursor_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u16(0xBEEF);
+        m.put_i64_le(-42);
+        m.put_f64(1.5);
+        assert_eq!(m.len(), 18);
+        assert_eq!(m.get_u16(), 0xBEEF);
+        assert_eq!(m.get_i64_le(), -42);
+        assert_eq!(m.get_f64(), 1.5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn split_to_keeps_rest() {
+        let mut m = BytesMut::from(&b"hello world"[..]);
+        let head = m.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&m[..], b" world");
+        assert_eq!(m.freeze(), Bytes::from_static(b" world"));
+    }
+
+    #[test]
+    fn slice_buf_reader() {
+        let data = [0u8, 1, 2, 3];
+        let mut s = &data[..];
+        assert_eq!(s.get_u16(), 1);
+        assert_eq!(s.remaining(), 2);
+        s.advance(1);
+        assert_eq!(s.get_u8(), 3);
+        assert!(!s.has_remaining());
+    }
+}

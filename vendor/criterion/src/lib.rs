@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A minimal benchmark harness with criterion's calling convention:
+//! groups, `bench_function`, `iter`/`iter_batched`, throughput annotation.
+//! Measurement is a fixed-duration loop printing mean ns/iter — enough to
+//! compare hot paths locally, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, throughput: None, measure: self.measure() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, None, self.measure(), &mut f);
+        self
+    }
+
+    fn measure(&self) -> Duration {
+        if self.measure.is_zero() {
+            // keep `cargo bench` fast; CRITERION_MEASURE_MS overrides
+            let ms = std::env::var("CRITERION_MEASURE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300);
+            Duration::from_millis(ms)
+        } else {
+            self.measure
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    throughput: Option<Throughput>,
+    measure: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Hint the sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Hint the measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.throughput, self.measure, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the measured loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            black_box(routine());
+            self.iters += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` on inputs built (unmeasured) by `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut spent = Duration::ZERO;
+        while spent < self.measure {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            self.iters += 1;
+        }
+        self.elapsed = spent;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    measure: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO, measure };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name}: no iterations");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0) / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("  {name}: {ns:.1} ns/iter ({} iters){extra}", b.iters);
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

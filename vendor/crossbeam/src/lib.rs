@@ -1,0 +1,284 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Implements `crossbeam::channel`'s bounded MPMC channel on top of a
+//! `Mutex<VecDeque>` + `Condvar` — the subset dcdb-rs uses (`bounded`,
+//! `try_send`, `recv_timeout`, `len`).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Inner<T> {
+        queue: Mutex<QueueState<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    struct QueueState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::try_send`] on a full or closed channel.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Channel at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Closed and drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with nothing queued.
+        Timeout,
+        /// Closed and drained.
+        Disconnected,
+    }
+
+    /// Producer handle.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Consumer handle.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Create a bounded channel holding at most `cap` items (`cap = 0` is
+    /// treated as capacity 1; the stub has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(QueueState { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `item` without blocking.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+        /// when every receiver is gone.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            if q.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if q.items.len() >= self.0.cap {
+                return Err(TrySendError::Full(item));
+            }
+            q.items.push_back(item);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queue `item`, blocking while the channel is full.
+        ///
+        /// # Errors
+        /// [`SendError`] when every receiver is gone.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if q.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                if q.items.len() < self.0.cap {
+                    q.items.push_back(item);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                q = self.0.not_full.wait(q).expect("channel lock");
+            }
+        }
+
+        /// Queued item count.
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().expect("channel lock").items.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next item, blocking until one arrives.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the channel is closed and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(item);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.not_empty.wait(q).expect("channel lock");
+            }
+        }
+
+        /// Take the next item without blocking.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] / [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            if let Some(item) = q.items.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(item);
+            }
+            if q.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Take the next item, waiting up to `timeout`.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Timeout`] / [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.0.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(item);
+                }
+                if q.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) =
+                    self.0.not_empty.wait_timeout(q, deadline - now).expect("channel lock");
+                q = guard;
+            }
+        }
+
+        /// Queued item count.
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().expect("channel lock").items.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.queue.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.queue.lock().expect("channel lock").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            q.senders -= 1;
+            if q.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut q = self.0.queue.lock().expect("channel lock");
+            q.receivers -= 1;
+            if q.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn full_and_timeout() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn disconnect_propagates() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = bounded(8);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! A compact property-testing engine with proptest's calling convention:
+//! the [`Strategy`] trait with `prop_map`/`prop_recursive`, `any::<T>()`,
+//! ranges and tuples as strategies, regex-subset string strategies,
+//! `prop::collection::{vec, btree_map, hash_set}`, `prop::sample::Index`,
+//! and the `proptest!`/`prop_oneof!`/`prop_assert*!` macros.
+//!
+//! Differences from real proptest: no shrinking (failures report the case
+//! number and seed instead of a minimal counterexample), and generation is
+//! plain pseudo-random rather than size-ramped.  Set `PROPTEST_CASES` to
+//! change the per-test case count (default 256) and `PROPTEST_SEED` to
+//! reproduce a run.
+
+use std::rc::Rc;
+
+pub mod strategy;
+pub use strategy::{any, Arbitrary, Just, RcStrategy, Strategy};
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+/// Module alias so `prop::collection::vec(..)` works like upstream.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, RcStrategy, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property (returned by the `prop_assert*!` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The deterministic generator driving every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name (plus `PROPTEST_SEED` when set) so every
+    /// test gets an independent, reproducible stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let env_seed: u64 =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ env_seed;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 random bits (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi)`; returns `lo` on empty ranges.
+    pub fn size_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Type-erase a strategy behind an [`Rc`] (proptest's `BoxedStrategy` role).
+pub fn rc<S>(s: S) -> RcStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    RcStrategy(Rc::new(s))
+}
+
+/// Weighted alternation over same-valued strategies (`prop_oneof!` target).
+pub struct OneOf<V> {
+    arms: Vec<(f64, RcStrategy<V>)>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: f64 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.uniform01() * total;
+        for (w, s) in &self.arms {
+            pick -= *w;
+            if pick <= 0.0 {
+                return s.generate(rng);
+            }
+        }
+        self.arms.last().expect("prop_oneof! needs at least one arm").1.generate(rng)
+    }
+}
+
+/// Build a [`OneOf`]; used by the `prop_oneof!` macro.
+pub fn one_of<V>(arms: Vec<(f64, RcStrategy<V>)>) -> OneOf<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { arms }
+}
+
+/// Run one property: generate `cases` inputs, run the body on each.
+/// Used by the `proptest!` macro; panics (with the case index and seed
+/// recipe) on the first failing case.
+pub fn run_property<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    for i in 0..cfg.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "property '{name}' failed at case {i}/{}: {e}\n\
+                 (re-run with PROPTEST_SEED unchanged to reproduce)",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Declare property tests, proptest-style.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal tt-muncher behind [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property(stringify!($name), &config, |prop_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), prop_rng);)*
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted/unweighted alternation of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$(($weight as f64, $crate::rc($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$((1.0, $crate::rc($strat))),+])
+    };
+}
+
+/// Soft assertion: fails the current case without panicking the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {} (both {:?})",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}

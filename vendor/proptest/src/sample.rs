@@ -1,0 +1,41 @@
+//! Sampling helpers: [`Index`] (a collection-independent random position).
+
+use crate::strategy::{Arbitrary, FnStrategy};
+
+/// A random index resolved against a length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of `len` elements.
+    ///
+    /// # Panics
+    /// When `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = FnStrategy<Index>;
+    fn arbitrary() -> FnStrategy<Index> {
+        FnStrategy::new(|r| Index(r.next_u64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{any, Strategy};
+
+    #[test]
+    fn index_in_bounds() {
+        let mut rng = crate::TestRng::for_test("index");
+        for _ in 0..100 {
+            let ix = any::<Index>().generate(&mut rng);
+            assert!(ix.index(7) < 7);
+            assert_eq!(ix.index(1), 0);
+        }
+    }
+}

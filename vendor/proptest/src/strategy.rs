@@ -1,0 +1,324 @@
+//! The [`Strategy`] trait and the built-in strategies: primitives via
+//! [`any`], ranges, tuples, [`Just`], mapping and bounded recursion.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// A generator of values for property tests.
+///
+/// The stub generates directly (no value trees / shrinking).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive structures: `self` is the leaf case, `branch` maps a
+    /// strategy for depth-`d` values to one for depth-`d+1` values, applied
+    /// `depth` times.  `_desired_size` / `_expected_branch` are accepted for
+    /// signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> RcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(RcStrategy<Self::Value>) -> R,
+    {
+        let mut s = RcStrategy(Rc::new(self) as Rc<dyn Strategy<Value = Self::Value>>);
+        for _ in 0..depth {
+            s = RcStrategy(Rc::new(branch(s)));
+        }
+        s
+    }
+}
+
+/// Shared, type-erased strategy (the stub's `BoxedStrategy`).
+pub struct RcStrategy<V>(pub(crate) Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for RcStrategy<V> {
+    fn clone(&self) -> RcStrategy<V> {
+        RcStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for RcStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (full value range for primitives).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Function-pointer strategy backing [`any`] for primitives.
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> FnStrategy<T> {
+    /// Wrap a generator function.
+    pub fn new(f: fn(&mut TestRng) -> T) -> FnStrategy<T> {
+        FnStrategy(f)
+    }
+}
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! arbitrary_prim {
+    ($($ty:ty => $gen:expr;)*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = FnStrategy<$ty>;
+            fn arbitrary() -> FnStrategy<$ty> {
+                FnStrategy($gen)
+            }
+        }
+    )*};
+}
+
+arbitrary_prim! {
+    u8 => |r| r.next_u64() as u8;
+    u16 => |r| r.next_u64() as u16;
+    u32 => |r| r.next_u64() as u32;
+    u64 => |r| r.next_u64();
+    u128 => |r| (r.next_u64() as u128) << 64 | r.next_u64() as u128;
+    usize => |r| r.next_u64() as usize;
+    i8 => |r| r.next_u64() as i8;
+    i16 => |r| r.next_u64() as i16;
+    i32 => |r| r.next_u64() as i32;
+    i64 => |r| r.next_u64() as i64;
+    i128 => |r| ((r.next_u64() as u128) << 64 | r.next_u64() as u128) as i128;
+    isize => |r| r.next_u64() as isize;
+    bool => |r| r.next_u64() & 1 == 1;
+    char => |r| {
+        // favour ASCII, occasionally any scalar value
+        if r.below(4) == 0 {
+            loop {
+                if let Some(c) = char::from_u32(r.next_u64() as u32 % 0x11_0000) {
+                    break c;
+                }
+            }
+        } else {
+            (0x20 + r.below(0x5f)) as u8 as char
+        }
+    };
+    // mostly finite values; specials (NaN/∞) appear via explicit strategies
+    f64 => |r| {
+        match r.below(16) {
+            0 => f64::from_bits(r.next_u64()),
+            1 => 0.0,
+            _ => (r.next_u64() as i64 as f64) * 1e-6,
+        }
+    };
+    f32 => |r| {
+        match r.below(16) {
+            0 => f32::from_bits(r.next_u64() as u32),
+            1 => 0.0,
+            _ => (r.next_u64() as i32 as f32) * 1e-3,
+        }
+    };
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let raw = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                (self.start as i128 + (raw % width) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let raw = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                (lo as i128 + (raw % width) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.uniform01()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.uniform01() as f32
+    }
+}
+
+/// Regex-subset string strategy; see [`crate::string::generate`].
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b, c) = (0u16..4, -10i64..10, -1.0f64..1.0).generate(&mut r);
+            assert!(a < 4);
+            assert!((-10..10).contains(&b));
+            assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut r = rng();
+        let s = Just(3u8).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut r), 6);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        let s = Just(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut r)) <= 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds() {
+        let mut r = rng();
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..400 {
+            match (0u8..=1).generate(&mut r) {
+                0 => saw_lo = true,
+                1 => saw_hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

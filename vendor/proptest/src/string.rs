@@ -1,0 +1,226 @@
+//! Generation from a small regex subset — enough for the patterns dcdb-rs
+//! tests use: literals, `.`, character classes (`[a-z.]`, escapes, ranges),
+//! groups `(...)`, and the quantifiers `{m,n}`, `{m}`, `?`, `*`, `+`
+//! (unbounded forms capped at 8 repeats).
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive char ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `.` — any char except newline.
+    Any,
+    Group(Vec<Term>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+/// On syntax outside the supported subset (unterminated class/group,
+/// malformed `{m,n}`).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (terms, used) = parse_seq(&chars, 0, None);
+    assert_eq!(used, chars.len(), "unsupported regex pattern: {pattern}");
+    let mut out = String::new();
+    emit_seq(&terms, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], mut i: usize, stop: Option<char>) -> (Vec<Term>, usize) {
+    let mut terms = Vec::new();
+    while i < chars.len() {
+        if stop == Some(chars[i]) {
+            return (terms, i);
+        }
+        let (atom, next) = parse_atom(chars, i);
+        let (min, max, next) = parse_quant(chars, next);
+        terms.push(Term { atom, min, max });
+        i = next;
+    }
+    assert!(stop.is_none(), "unterminated group in regex");
+    (terms, i)
+}
+
+fn parse_atom(chars: &[char], i: usize) -> (Atom, usize) {
+    match chars[i] {
+        '(' => {
+            let (inner, end) = parse_seq(chars, i + 1, Some(')'));
+            (Atom::Group(inner), end + 1)
+        }
+        '[' => parse_class(chars, i + 1),
+        '.' => (Atom::Any, i + 1),
+        '\\' => {
+            let c = *chars.get(i + 1).expect("dangling escape");
+            (Atom::Lit(unescape(c)), i + 2)
+        }
+        c => (Atom::Lit(c), i + 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 2;
+            unescape(chars[i - 1])
+        } else {
+            i += 1;
+            chars[i - 1]
+        };
+        // range `a-z` (a literal '-' before ']' stands for itself)
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            let hi = if chars[i + 1] == '\\' {
+                i += 3;
+                unescape(chars[i - 1])
+            } else {
+                i += 2;
+                chars[i - 1]
+            };
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    (Atom::Class(ranges), i + 1)
+}
+
+fn parse_quant(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unterminated {m,n}") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, n)) => (m.parse().expect("bad {m,n}"), n.parse().expect("bad {m,n}")),
+                None => {
+                    let n = body.parse().expect("bad {m}");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn emit_seq(terms: &[Term], rng: &mut TestRng, out: &mut String) {
+    for term in terms {
+        let n = rng.size_in(term.min, term.max + 1);
+        for _ in 0..n {
+            emit_atom(&term.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Any => {
+            // mostly printable ASCII, occasionally any non-newline scalar
+            let c = if rng.below(8) == 0 {
+                loop {
+                    let raw = rng.next_u64() as u32 % 0x11_0000;
+                    if let Some(c) = char::from_u32(raw) {
+                        if c != '\n' {
+                            break c;
+                        }
+                    }
+                }
+            } else {
+                (0x20 + rng.below(0x5f)) as u8 as char
+            };
+            out.push(c);
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let (lo, hi) = (lo as u32, hi as u32);
+            debug_assert!(lo <= hi, "inverted class range");
+            let c = loop {
+                let raw = lo + rng.below((hi - lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(raw) {
+                    break c;
+                }
+            };
+            out.push(c);
+        }
+        Atom::Group(inner) => emit_seq(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string-tests")
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,5}", &mut r);
+            assert!((1..=5).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn groups_repeat() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,5}(/[a-z]{1,5}){0,4}", &mut r);
+            for (i, seg) in s.split('/').enumerate() {
+                assert!((1..=5).contains(&seg.chars().count()), "segment {i} in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate(".{0,256}", &mut r);
+            assert!(s.chars().count() <= 256);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z0-9 _/\\-\\.\\n\"\\\\]{0,24}", &mut r);
+            assert!(s.chars().all(|c| { c.is_ascii_alphanumeric() || " _/-.\n\"\\".contains(c) }));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("x{3}", &mut r), "xxx");
+    }
+}

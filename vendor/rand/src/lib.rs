@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Deterministic xorshift64* generator behind the small `rand 0.8` API
+//! surface dcdb-rs uses: `StdRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::gen_range` over half-open ranges.
+
+use std::ops::Range;
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard deterministic generator (xorshift64* here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 scramble so nearby seeds diverge immediately
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng { state: (z ^ (z >> 31)) | 1 }
+    }
+}
+
+/// Types [`Rng::gen_range`] accepts, generic over the produced value so
+/// float-literal inference works like upstream rand.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The user-facing sampling API (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value in `range`.
+    ///
+    /// # Panics
+    /// On empty ranges.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types with a uniform sampler — the blanket `SampleRange` impl below is
+/// what lets `gen_range(-1.0..1.0)` infer `f64` like upstream rand.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform value in `[lo, hi)`.
+    fn sample_range(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(lo: f32, hi: f32, rng: &mut dyn RngCore) -> f32 {
+        let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        lo + (hi - lo) * u
+    }
+}
+
+macro_rules! int_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range(lo: $ty, hi: $ty, rng: &mut dyn RngCore) -> $ty {
+                let width = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % width;
+                (lo as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn covers_full_int_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let _ = rng.gen_range(i64::MIN..i64::MAX);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! dcdb-rs derives `Serialize`/`Deserialize` as marker capability on a few
+//! plain-old-data types; no serializer is ever instantiated.  The derives
+//! re-exported here (from the stub `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! dcdb-rs only *derives* `Serialize`/`Deserialize` as marker capability on
+//! a few plain-old-data types and never invokes a serializer, so the stub
+//! derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
