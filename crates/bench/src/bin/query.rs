@@ -1,0 +1,50 @@
+//! Prints the query pushdown study: windowed-aggregation latency with lazy
+//! block decode versus the full-decode baseline (see `experiments::query`).
+fn main() {
+    let reports = dcdb_bench::experiments::query::run();
+    println!(
+        "Query pushdown study: 1 h / 1 min windows over {} readings per sensor\n",
+        dcdb_bench::experiments::query::SERIES_LEN,
+    );
+    print!("{}", dcdb_bench::experiments::query::render(&reports));
+    let min_speedup = reports.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min);
+    let all_identical = reports.iter().all(|r| r.identical);
+    println!(
+        "\nworst pushdown speedup vs. full decode: {min_speedup:.1}x | \
+         results identical: {}",
+        if all_identical { "yes" } else { "NO" }
+    );
+    assert!(all_identical, "pushdown and full-decode aggregates diverged");
+    dcdb_bench::report::write_csv(
+        "query",
+        &[
+            "workload",
+            "sensor",
+            "readings",
+            "blocks_total",
+            "blocks_pushdown",
+            "blocks_full",
+            "pushdown_us",
+            "full_us",
+            "speedup",
+            "readings_per_s",
+        ],
+        &reports
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.to_string(),
+                    r.sensor.to_string(),
+                    r.readings.to_string(),
+                    r.blocks_total.to_string(),
+                    r.blocks_pushdown.to_string(),
+                    r.blocks_full.to_string(),
+                    format!("{:.1}", r.pushdown_s * 1e6),
+                    format!("{:.1}", r.full_s * 1e6),
+                    format!("{:.2}", r.speedup()),
+                    format!("{:.0}", r.readings_per_s()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,242 @@
+//! Query pushdown study: windowed-aggregation latency with lazy block
+//! decode versus the pre-`dcdb-query` full-decode path.
+//!
+//! A day of simulated 1 Hz sensor data (per workload: the power and
+//! instruction sensors of a `dcdb-sim` node) is flushed into several
+//! SSTable runs of compressed [`BLOCK_LEN`]-reading blocks.  A
+//! dashboard-style query — one hour of the day, 1-minute windows — then
+//! runs two ways:
+//!
+//! * **pushdown** — [`QueryEngine::aggregate_sid`]: only blocks whose
+//!   `(min_ts, max_ts)` headers intersect the hour are decompressed,
+//! * **full decode** — what the store did before this subsystem existed:
+//!   materialise the *entire* series (`query_range` over all time, decoding
+//!   every block), slice the hour out, aggregate.
+//!
+//! Expected shape: both produce bit-identical window values; pushdown
+//! decodes ~4–5% of the blocks and wins latency by roughly the same factor
+//! (the decode-counter columns make the mechanism visible, the timing
+//! columns the effect).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dcdb_query::{window_aggregate, AggFn, QueryEngine};
+use dcdb_sim::workloads::BehaviorTrace;
+use dcdb_sim::{Arch, Workload};
+use dcdb_store::reading::TimeRange;
+use dcdb_store::{NodeConfig, StoreCluster};
+
+/// Sampling interval of the simulated sensors (1 s).
+pub const INTERVAL_NS: i64 = 1_000_000_000;
+/// Readings per series: one day at 1 Hz.
+pub const SERIES_LEN: usize = 86_400;
+/// Queried slice: one hour of the day.
+pub const QUERY_LEN: usize = 3_600;
+/// Aggregation window: one minute.
+pub const WINDOW_NS: i64 = 60 * INTERVAL_NS;
+/// Timing repetitions (best-of to shrug off scheduler noise).
+const REPS: usize = 5;
+
+/// Results for one simulated sensor series.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Workload driving the simulated node.
+    pub workload: &'static str,
+    /// Which sensor of the node was recorded.
+    pub sensor: &'static str,
+    /// Readings stored for the sensor.
+    pub readings: usize,
+    /// Compressed blocks the sensor's runs hold.
+    pub blocks_total: u64,
+    /// Blocks decompressed by the pushdown aggregate.
+    pub blocks_pushdown: u64,
+    /// Blocks decompressed by the full-decode baseline.
+    pub blocks_full: u64,
+    /// Pushdown aggregate latency, seconds (best of [`REPS`]).
+    pub pushdown_s: f64,
+    /// Full-decode aggregate latency, seconds (best of [`REPS`]).
+    pub full_s: f64,
+    /// Output windows produced.
+    pub windows: usize,
+    /// Window values identical between the two paths?
+    pub identical: bool,
+}
+
+impl QueryReport {
+    /// Latency win of pushdown over full decode.
+    pub fn speedup(&self) -> f64 {
+        self.full_s.max(1e-12) / self.pushdown_s.max(1e-12)
+    }
+
+    /// Readings the pushdown path effectively serves per second (the whole
+    /// stored series divided by the query latency).
+    pub fn readings_per_s(&self) -> f64 {
+        self.readings as f64 / self.pushdown_s.max(1e-12)
+    }
+}
+
+fn measure(workload: Workload, name: &'static str) -> Vec<QueryReport> {
+    let mut trace = BehaviorTrace::new(workload, Arch::Skylake.spec(), INTERVAL_NS, 11);
+    let samples = trace.take(SERIES_LEN);
+    let power: Vec<f64> = samples.iter().map(|s| s.power_w.round()).collect();
+    let instr: Vec<f64> = samples.iter().map(|s| s.instructions_per_core.round()).collect();
+    vec![measure_series(name, "power_w", &power), measure_series(name, "instructions", &instr)]
+}
+
+fn measure_series(workload: &'static str, sensor: &'static str, values: &[f64]) -> QueryReport {
+    // several runs, like a live node that flushed a few times over the day
+    let cluster = Arc::new(StoreCluster::new(
+        NodeConfig { memtable_flush_entries: SERIES_LEN / 4, ..Default::default() },
+        dcdb_sid::PartitionMap::prefix(1, 3),
+        1,
+    ));
+    let sid = dcdb_sid::SensorId::from_fields(&[2]).expect("static sid");
+    for (i, &v) in values.iter().enumerate() {
+        cluster.insert(sid, i as i64 * INTERVAL_NS, v);
+    }
+    cluster.node(0).flush();
+
+    // the dashboard hour: 20:00–21:00 of the simulated day
+    let start = (20 * 3600) as i64 * INTERVAL_NS;
+    let range = TimeRange::new(start, start + QUERY_LEN as i64 * INTERVAL_NS);
+    let engine = QueryEngine::new(Arc::clone(&cluster));
+
+    let mut pushdown_s = f64::INFINITY;
+    let mut pushed = Vec::new();
+    let base = cluster.blocks_decoded();
+    for _ in 0..REPS {
+        let t = Instant::now();
+        pushed = engine.aggregate_sid(sid, range, WINDOW_NS, AggFn::Avg);
+        pushdown_s = pushdown_s.min(t.elapsed().as_secs_f64());
+    }
+    let blocks_pushdown = (cluster.blocks_decoded() - base) / REPS as u64;
+
+    let mut full_s = f64::INFINITY;
+    let mut full = Vec::new();
+    let base = cluster.blocks_decoded();
+    for _ in 0..REPS {
+        let t = Instant::now();
+        // the pre-pushdown query path: decode the whole series, then window
+        let everything = cluster.query(sid, TimeRange::all());
+        full = window_aggregate(
+            everything.into_iter().filter(|r| range.contains(r.ts)),
+            WINDOW_NS,
+            AggFn::Avg,
+        );
+        full_s = full_s.min(t.elapsed().as_secs_f64());
+    }
+    let blocks_full = (cluster.blocks_decoded() - base) / REPS as u64;
+
+    let identical = pushed.len() == full.len()
+        && pushed
+            .iter()
+            .zip(&full)
+            .all(|(a, b)| a.ts == b.ts && a.value.to_bits() == b.value.to_bits());
+
+    QueryReport {
+        workload,
+        sensor,
+        readings: values.len(),
+        blocks_total: cluster.block_count() as u64,
+        blocks_pushdown,
+        blocks_full,
+        pushdown_s,
+        full_s,
+        windows: pushed.len(),
+        identical,
+    }
+}
+
+/// Run the study across the workload suite.
+pub fn run() -> Vec<QueryReport> {
+    let mut out = Vec::new();
+    out.extend(measure(Workload::Hpl, "HPL"));
+    out.extend(measure(Workload::Lammps, "LAMMPS"));
+    out
+}
+
+/// Render the report table.
+pub fn render(reports: &[QueryReport]) -> String {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                r.sensor.to_string(),
+                r.readings.to_string(),
+                r.blocks_total.to_string(),
+                r.blocks_pushdown.to_string(),
+                r.blocks_full.to_string(),
+                format!("{:.0}", r.pushdown_s * 1e6),
+                format!("{:.0}", r.full_s * 1e6),
+                format!("{:.1}x", r.speedup()),
+                format!("{:.0}", r.readings_per_s() / 1e6),
+                if r.identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::table(
+        &[
+            "workload",
+            "sensor",
+            "readings",
+            "blocks",
+            "dec push",
+            "dec full",
+            "push us",
+            "full us",
+            "speedup",
+            "Mr/s",
+            "identical",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_store::sstable::BLOCK_LEN;
+
+    #[test]
+    fn pushdown_decodes_a_fraction_of_the_blocks() {
+        let reports = run();
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert!(r.identical, "{}/{}: pushdown diverged from full decode", r.workload, r.sensor);
+            assert_eq!(r.windows, QUERY_LEN / 60, "{}/{}", r.workload, r.sensor);
+            // one day at 1 Hz: four flushed runs of BLOCK_LEN-reading blocks
+            let expected = 4 * (SERIES_LEN / 4).div_ceil(BLOCK_LEN) as u64;
+            assert_eq!(r.blocks_total, expected);
+            // the full path decodes every block, pushdown only the hour's
+            assert_eq!(r.blocks_full, r.blocks_total);
+            let max_intersecting = (QUERY_LEN / BLOCK_LEN + 2) as u64;
+            assert!(
+                r.blocks_pushdown <= max_intersecting,
+                "{}/{}: pushdown decoded {} blocks, expected ≤ {max_intersecting}",
+                r.workload,
+                r.sensor,
+                r.blocks_pushdown
+            );
+            assert!(r.blocks_pushdown * 10 <= r.blocks_full, "no real pushdown win");
+        }
+    }
+
+    #[test]
+    fn pushdown_is_measurably_faster() {
+        let reports = run();
+        // 10x fewer blocks decoded must show up as wall-clock speedup;
+        // the margin is generous so scheduler noise cannot flake the test
+        for r in &reports {
+            assert!(
+                r.speedup() > 1.5,
+                "{}/{}: pushdown {:.1}us vs full {:.1}us — no speedup",
+                r.workload,
+                r.sensor,
+                r.pushdown_s * 1e6,
+                r.full_s * 1e6
+            );
+        }
+    }
+}

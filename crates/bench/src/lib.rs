@@ -18,6 +18,7 @@
 //! | Fig. 10 (application characterisation)   | [`experiments::fig10`]  | `fig10`  |
 //! | Design ablations (DESIGN.md §5)          | [`experiments::ablations`] | `ablations` |
 //! | Compression study (dcdb-compress)        | [`experiments::compression`] | `compression` |
+//! | Query pushdown study (dcdb-query)        | [`experiments::query`] | `query` |
 
 pub mod experiments;
 pub mod kde;

@@ -11,7 +11,9 @@
 //!   that may emit *derived readings* (fed back into storage under their own
 //!   topics, like materialised virtual sensors) and *events* (alerts),
 //! * built-in operators: [`MovingAverage`], [`Threshold`],
-//!   [`ZScoreAnomaly`], [`RateOfChange`],
+//!   [`ZScoreAnomaly`], [`RateOfChange`], [`WindowedStats`] (fixed
+//!   time-window statistics via `dcdb-query`'s [`Moments`] accumulator —
+//!   the same implementation the query engine uses offline),
 //! * [`AnalyticsPipeline`] — attaches operators to a [`CollectAgent`] via
 //!   its observer hook; topic selection uses MQTT wildcard filters.
 
@@ -20,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dcdb_mqtt::topic::filter_matches;
+use dcdb_query::{AggFn, Moments};
 use parking_lot::{Mutex, RwLock};
 
 use crate::agent::CollectAgent;
@@ -238,6 +241,79 @@ impl Operator for RateOfChange {
     }
 }
 
+/// Live fixed-window statistics: accumulates each sensor's readings into
+/// `dcdb-query` [`Moments`] per epoch-aligned window and, when a reading
+/// crosses into the next window, emits the *closed* window's statistic
+/// under `/analytics/<agg><topic>` (stamped at the window start) — the
+/// streaming twin of the offline `query_aggregate` path, sharing its
+/// accumulator so both report identical numbers.
+pub struct WindowedStats {
+    agg: AggFn,
+    name: String,
+    window_ns: i64,
+    state: Mutex<HashMap<String, (i64, Moments)>>,
+}
+
+impl WindowedStats {
+    /// Window statistics for a moment-style aggregation
+    /// (`avg`/`min`/`max`/`sum`/`count`/`stddev`).
+    ///
+    /// # Panics
+    /// Panics on a non-positive window or a `quantile`/`rate` aggregation
+    /// (those need per-window value sets or rate pairing — use the query
+    /// engine for them).
+    pub fn new(window_ns: i64, agg: AggFn) -> WindowedStats {
+        assert!(window_ns > 0, "window must be positive");
+        assert!(
+            !matches!(agg, AggFn::Quantile(_) | AggFn::Rate),
+            "WindowedStats supports moment-style aggregations only"
+        );
+        WindowedStats { agg, name: agg.to_string(), window_ns, state: Mutex::new(HashMap::new()) }
+    }
+
+    fn value_of(&self, m: &Moments) -> f64 {
+        match self.agg {
+            AggFn::Avg => m.mean(),
+            AggFn::Min => m.min(),
+            AggFn::Max => m.max(),
+            AggFn::Sum => m.sum(),
+            AggFn::Count => m.count() as f64,
+            AggFn::Stddev => m.stddev(),
+            AggFn::Quantile(_) | AggFn::Rate => unreachable!("rejected in new()"),
+        }
+    }
+}
+
+impl Operator for WindowedStats {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&self, topic: &str, ts: i64, value: f64) -> Emit {
+        let window = (ts as i128).div_euclid(self.window_ns as i128) as i64;
+        let mut state = self.state.lock();
+        let mut derived = Vec::new();
+        let slot = state.entry(topic.to_string()).or_insert_with(|| (window, Moments::new()));
+        // A reading older than the open window is late: its window already
+        // closed and emitted, so folding it anywhere would corrupt either
+        // the emitted statistic or the open one — drop it.
+        if window < slot.0 {
+            return Emit::default();
+        }
+        if window > slot.0 {
+            // the previous window closed: emit its statistic
+            derived.push(Derived {
+                topic: format!("/analytics/{}{topic}", self.name),
+                ts: slot.0.saturating_mul(self.window_ns),
+                value: self.value_of(&slot.1),
+            });
+            *slot = (window, Moments::new());
+        }
+        slot.1.push(value);
+        Emit { derived, events: Vec::new() }
+    }
+}
+
 struct Attached {
     filter: String,
     operator: Arc<dyn Operator>,
@@ -378,6 +454,71 @@ mod tests {
         let rates = agent.store().query(sid, TimeRange::all());
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].value, 250.0); // 500 J over 2 s
+    }
+
+    #[test]
+    fn windowed_stats_emit_on_window_close() {
+        let (agent, pipeline) = agent_with_pipeline();
+        pipeline.add_operator("/w/#", Arc::new(WindowedStats::new(10_000_000_000, AggFn::Avg)));
+        // two full 10 s windows of 1 Hz data, then one reading of a third
+        for i in 0..21i64 {
+            agent.handle_publish("/w/power", &encode_readings(&[(i * 1_000_000_000, i as f64)]));
+        }
+        let sid = agent.registry().get("/analytics/avg/w/power").unwrap();
+        let avg = agent.store().query(sid, TimeRange::all());
+        assert_eq!(avg.len(), 2, "only closed windows emit");
+        assert_eq!(avg[0].ts, 0);
+        assert_eq!(avg[0].value, 4.5); // mean of 0..=9
+        assert_eq!(avg[1].ts, 10_000_000_000);
+        assert_eq!(avg[1].value, 14.5); // mean of 10..=19
+    }
+
+    #[test]
+    fn windowed_stats_agree_with_query_engine() {
+        use dcdb_query::QueryEngine;
+        let (agent, pipeline) = agent_with_pipeline();
+        pipeline.add_operator("/w/#", Arc::new(WindowedStats::new(1_000, AggFn::Max)));
+        for i in 0..3_000i64 {
+            let v = ((i * 37) % 101) as f64;
+            agent.handle_publish("/w/s", &encode_readings(&[(i, v)]));
+        }
+        let live_sid = agent.registry().get("/analytics/max/w/s").unwrap();
+        let live = agent.store().query(live_sid, TimeRange::all());
+        let raw_sid = agent.registry().get("/w/s").unwrap();
+        let engine = QueryEngine::new(Arc::clone(agent.store()));
+        let offline = engine.aggregate_sid(raw_sid, TimeRange::new(0, 2_000), 1_000, AggFn::Max);
+        // the two closed windows match the offline pushdown aggregate exactly
+        assert_eq!(live.len(), 2);
+        assert_eq!(offline.len(), 2);
+        for (a, b) in live.iter().zip(&offline) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "moment-style")]
+    fn windowed_stats_reject_rate() {
+        WindowedStats::new(1_000, AggFn::Rate);
+    }
+
+    #[test]
+    fn windowed_stats_drop_late_readings() {
+        let (agent, pipeline) = agent_with_pipeline();
+        pipeline.add_operator("/w/#", Arc::new(WindowedStats::new(10, AggFn::Avg)));
+        // window 0 fills, window 1 opens, then a straggler from window 0
+        for (ts, v) in [(0i64, 2.0), (5, 4.0), (12, 100.0), (7, 999.0), (14, 100.0), (21, 0.0)] {
+            agent.handle_publish("/w/s", &encode_readings(&[(ts, v)]));
+        }
+        let sid = agent.registry().get("/analytics/avg/w/s").unwrap();
+        let avg = agent.store().query(sid, TimeRange::all());
+        // the late (7, 999.0) reading neither re-emits window 0 nor leaks
+        // into window 1: window 0 = avg(2,4), window 1 = avg(100,100)
+        assert_eq!(avg.len(), 2, "{avg:?}");
+        assert_eq!(avg[0].ts, 0);
+        assert_eq!(avg[0].value, 3.0);
+        assert_eq!(avg[1].ts, 10);
+        assert_eq!(avg[1].value, 100.0);
     }
 
     #[test]

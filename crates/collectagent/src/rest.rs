@@ -7,6 +7,10 @@
 //! * `GET /sensors` — all known sensor topics,
 //! * `GET /cache/*topic` — latest reading of one sensor,
 //! * `GET /hierarchy?prefix=/a/b&level=N` — children at a hierarchy level,
+//! * `GET /aggregate?topic=/a/b&agg=avg&window=5m&start=NS&end=NS` —
+//!   windowed aggregation straight off the agent's store (pushdown into
+//!   compressed blocks via `dcdb-query`); `topic` may be a prefix, fanning
+//!   in over the whole sub-tree,
 //! * `GET /stats` — agent counters.
 
 use std::net::SocketAddr;
@@ -16,6 +20,8 @@ use std::sync::Arc;
 use dcdb_http::json::Json;
 use dcdb_http::server::{HttpServer, Method, Response, StatusCode};
 use dcdb_http::Router;
+use dcdb_query::QueryEngine;
+use dcdb_store::reading::TimeRange;
 
 use crate::agent::CollectAgent;
 
@@ -45,13 +51,51 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
     let a = Arc::clone(&agent);
     r.add(Method::Get, "/hierarchy", move |req| {
         let prefix = req.query_param("prefix").unwrap_or("/").to_string();
-        let level: usize = req.query_param("level").and_then(|l| l.parse().ok()).unwrap_or(0);
+        let level = req.query_parsed("level", 0usize);
         let children: Vec<Json> =
             a.registry().children_at(&prefix, level).into_iter().map(Json::Str).collect();
         Response::json(&Json::obj([
             ("prefix", Json::str(prefix)),
             ("level", Json::Num(level as f64)),
             ("children", Json::Arr(children)),
+        ]))
+    });
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/aggregate", move |req| {
+        let Some(topic) = req.query_param("topic") else {
+            return Response::error(StatusCode::BadRequest, "missing topic");
+        };
+        let Some(agg) = req.query_param("agg").and_then(dcdb_query::AggFn::parse) else {
+            return Response::error(StatusCode::BadRequest, "missing or unknown agg");
+        };
+        let Some(window_ns) =
+            req.query_param("window").and_then(dcdb_query::parse_duration_ns).filter(|&w| w > 0)
+        else {
+            return Response::error(StatusCode::BadRequest, "missing or bad window");
+        };
+        let start = req.query_parsed("start", 0i64);
+        let end = req.query_parsed("end", i64::MAX);
+        if start >= end {
+            return Response::error(StatusCode::BadRequest, "start must precede end");
+        }
+        // exact topic or sub-tree fan-in, on the agent's raw readings
+        let sids: Vec<(dcdb_sid::SensorId, f64)> = match a.registry().get(topic) {
+            Some(sid) => vec![(sid, 1.0)],
+            None => a.registry().sids_under(topic).into_iter().map(|(_, s)| (s, 1.0)).collect(),
+        };
+        let engine = QueryEngine::new(Arc::clone(a.store()));
+        let readings = engine.aggregate(&sids, TimeRange::new(start, end), window_ns, agg);
+        let points: Vec<Json> = readings
+            .iter()
+            .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
+            .collect();
+        Response::json(&Json::obj([
+            ("topic", Json::str(topic)),
+            ("agg", Json::str(agg.to_string())),
+            ("windowNs", Json::Num(window_ns as f64)),
+            ("sensors", Json::Num(sids.len() as f64)),
+            ("datapoints", Json::Arr(points)),
         ]))
     });
 
@@ -75,4 +119,80 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
 /// Propagates bind failures.
 pub fn serve(agent: Arc<CollectAgent>, bind: SocketAddr) -> std::io::Result<HttpServer> {
     HttpServer::start(bind, router(agent).into_handler())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_mqtt::payload::encode_readings;
+    use dcdb_store::StoreCluster;
+    use std::collections::HashMap;
+
+    fn handler() -> dcdb_http::server::Handler {
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        for node in 0..3i64 {
+            let topic = format!("/r0/n{node}/power");
+            let readings: Vec<(i64, f64)> =
+                (0..120).map(|i| (i * 1_000_000_000, 100.0 + node as f64)).collect();
+            agent.handle_publish(&topic, &encode_readings(&readings));
+        }
+        router(agent).into_handler()
+    }
+
+    fn get(h: &dcdb_http::server::Handler, path: &str, query: &[(&str, &str)]) -> (u16, Json) {
+        let req = dcdb_http::server::Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        let resp = h(&req);
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        (resp.status.code(), Json::parse(&body).unwrap_or(Json::Null))
+    }
+
+    #[test]
+    fn aggregate_single_sensor_windows() {
+        let h = handler();
+        let (code, j) =
+            get(&h, "/aggregate", &[("topic", "/r0/n1/power"), ("agg", "avg"), ("window", "60s")]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("agg").unwrap().as_str(), Some("avg"));
+        assert_eq!(j.get("sensors").unwrap().as_f64(), Some(1.0));
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 2, "120 s of data in 60 s windows");
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(101.0));
+    }
+
+    #[test]
+    fn aggregate_fans_in_over_prefix() {
+        let h = handler();
+        let (code, j) =
+            get(&h, "/aggregate", &[("topic", "/r0"), ("agg", "sum"), ("window", "2m")]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("sensors").unwrap().as_f64(), Some(3.0));
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 1);
+        // 120 readings × (100 + 101 + 102)
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(120.0 * 303.0));
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_requests() {
+        let h = handler();
+        assert_eq!(get(&h, "/aggregate", &[]).0, 400);
+        assert_eq!(
+            get(&h, "/aggregate", &[("topic", "/r0"), ("agg", "nope"), ("window", "1s")]).0,
+            400
+        );
+        assert_eq!(get(&h, "/aggregate", &[("topic", "/r0"), ("agg", "avg")]).0, 400);
+        assert_eq!(
+            get(&h, "/aggregate", &[("topic", "/r0"), ("agg", "avg"), ("window", "eternity")]).0,
+            400
+        );
+        let (_, j) = get(&h, "/aggregate", &[("topic", "/nope"), ("agg", "avg"), ("window", "1s")]);
+        assert!(j.get("datapoints").unwrap().as_arr().unwrap().is_empty());
+    }
 }

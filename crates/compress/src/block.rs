@@ -145,6 +145,110 @@ pub fn decode_series_prefix(buf: &[u8]) -> Result<(Vec<(i64, f64)>, usize), Deco
     Ok((out, SERIES_HEADER_BYTES + used_bits.div_ceil(8)))
 }
 
+// ------------------------------------------------------------------ frames
+
+/// Bytes of the frame header in front of the series
+/// (`min_ts` + `max_ts` + `series byte length` + `checksum`).
+pub const FRAME_HEADER_BYTES: usize = 8 + 8 + 4 + 4;
+
+/// FNV-1a seed / step for the frame checksum: frames live on disk for
+/// years, and the checksum lets a loader reject bit rot or torn writes
+/// *without* decompressing the payload — so lazy-loading formats (SSTable
+/// v3) keep the v1/v2 property that corruption surfaces as `InvalidData`
+/// at load time, never as a panic at query time.  It covers the
+/// `min_ts`/`max_ts`/`series_len` header fields and the series bytes.
+const FNV_SEED: u32 = 0x811C_9DC5;
+
+fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Metadata of a framed series, readable without decoding the payload —
+/// the pushdown header that lets query engines skip non-intersecting
+/// compressed runs (SSTable v3 blocks are frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Smallest timestamp in the frame (0 when empty).
+    pub min_ts: i64,
+    /// Largest timestamp in the frame (0 when empty).
+    pub max_ts: i64,
+    /// Number of readings in the frame.
+    pub count: usize,
+    /// Total encoded size: header plus series bytes.
+    pub total_len: usize,
+}
+
+/// Compress `readings` into the frame framing
+/// (`[min_ts i64 LE][max_ts i64 LE][series_len u32 LE][checksum u32 LE]
+/// [series]`), appending to `out`.
+pub fn encode_framed_into(readings: &[(i64, f64)], out: &mut Vec<u8>) {
+    let (min_ts, max_ts) =
+        readings.iter().fold((i64::MAX, i64::MIN), |(lo, hi), &(ts, _)| (lo.min(ts), hi.max(ts)));
+    let (min_ts, max_ts) = if readings.is_empty() { (0, 0) } else { (min_ts, max_ts) };
+    let header_at = out.len();
+    out.extend_from_slice(&min_ts.to_le_bytes());
+    out.extend_from_slice(&max_ts.to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // series length + checksum, patched below
+    let series_at = out.len();
+    encode_series_into(readings, out);
+    let series_len = (out.len() - series_at) as u32;
+    out[header_at + 16..header_at + 20].copy_from_slice(&series_len.to_le_bytes());
+    let checksum = fnv1a(fnv1a(FNV_SEED, &out[header_at..header_at + 20]), &out[series_at..]);
+    out[header_at + 20..header_at + 24].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// Read a frame's pushdown header from the front of `buf` without decoding
+/// the payload.  The series bytes are checksum-verified (no decompression),
+/// so a successful peek means a later [`decode_framed_prefix`] cannot fail
+/// on anything but a deliberately forged payload.
+///
+/// # Errors
+/// [`DecodeError::BadHeader`] on short framing or a checksum mismatch,
+/// [`DecodeError::Truncated`] when `buf` ends before the advertised series
+/// bytes.
+pub fn peek_frame(buf: &[u8]) -> Result<FrameInfo, DecodeError> {
+    if buf.len() < FRAME_HEADER_BYTES + SERIES_HEADER_BYTES {
+        return Err(DecodeError::BadHeader);
+    }
+    let min_ts = i64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    let max_ts = i64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let series_len = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+    let checksum = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes"));
+    if buf.len() < FRAME_HEADER_BYTES + series_len || series_len < SERIES_HEADER_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let computed = fnv1a(
+        fnv1a(FNV_SEED, &buf[..20]),
+        &buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + series_len],
+    );
+    if computed != checksum {
+        return Err(DecodeError::BadHeader);
+    }
+    let count = u32::from_le_bytes(
+        buf[FRAME_HEADER_BYTES + 1..FRAME_HEADER_BYTES + 5].try_into().expect("4 bytes"),
+    ) as usize;
+    Ok(FrameInfo { min_ts, max_ts, count, total_len: FRAME_HEADER_BYTES + series_len })
+}
+
+/// Decode a frame from the front of `buf`, returning the readings and the
+/// bytes consumed (frames concatenate, like SSTable v3 blocks).
+///
+/// # Errors
+/// See [`peek_frame`] and [`decode_series`].
+pub fn decode_framed_prefix(buf: &[u8]) -> Result<(Vec<(i64, f64)>, usize), DecodeError> {
+    let info = peek_frame(buf)?;
+    let series = &buf[FRAME_HEADER_BYTES..info.total_len];
+    let (readings, used) = decode_series_prefix(series)?;
+    if readings.len() != info.count || used > series.len() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((readings, info.total_len))
+}
+
 /// A decoded self-describing block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
@@ -295,6 +399,73 @@ mod tests {
         assert_eq!(used, a_len);
         let (got_b, _) = decode_series_prefix(&buf[used..]).unwrap();
         assert_eq!(got_b, b);
+    }
+
+    #[test]
+    fn frame_peek_without_decode() {
+        let s = power_series(500);
+        let mut buf = Vec::new();
+        encode_framed_into(&s, &mut buf);
+        let info = peek_frame(&buf).unwrap();
+        assert_eq!(info.min_ts, s[0].0);
+        assert_eq!(info.max_ts, s.last().unwrap().0);
+        assert_eq!(info.count, s.len());
+        assert_eq!(info.total_len, buf.len());
+        let (dec, used) = decode_framed_prefix(&buf).unwrap();
+        assert_eq!(dec, s);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let a = power_series(100);
+        let b = vec![(7i64, 1.0f64)];
+        let mut buf = Vec::new();
+        encode_framed_into(&a, &mut buf);
+        let a_len = buf.len();
+        encode_framed_into(&b, &mut buf);
+        let info = peek_frame(&buf).unwrap();
+        assert_eq!(info.total_len, a_len);
+        let (got_a, used) = decode_framed_prefix(&buf).unwrap();
+        assert_eq!(got_a, a);
+        let (got_b, _) = decode_framed_prefix(&buf[used..]).unwrap();
+        assert_eq!(got_b, b);
+    }
+
+    #[test]
+    fn frame_rejects_garbage() {
+        assert!(peek_frame(&[]).is_err());
+        assert!(peek_frame(&[0u8; 10]).is_err());
+        let mut buf = Vec::new();
+        encode_framed_into(&power_series(50), &mut buf);
+        buf.truncate(buf.len() - 3);
+        assert_eq!(peek_frame(&buf), Err(DecodeError::Truncated));
+        // a frame whose series count bytes were tampered with
+        let mut buf = Vec::new();
+        encode_framed_into(&power_series(50), &mut buf);
+        buf[FRAME_HEADER_BYTES + 1..FRAME_HEADER_BYTES + 5].copy_from_slice(&9999u32.to_le_bytes());
+        assert!(decode_framed_prefix(&buf).is_err());
+    }
+
+    #[test]
+    fn frame_checksum_catches_bit_rot() {
+        let mut buf = Vec::new();
+        encode_framed_into(&power_series(200), &mut buf);
+        assert!(peek_frame(&buf).is_ok());
+        // flip one payload bit: detected by peek alone, no decode needed
+        let mid = FRAME_HEADER_BYTES + (buf.len() - FRAME_HEADER_BYTES) / 2;
+        buf[mid] ^= 0x10;
+        assert_eq!(peek_frame(&buf), Err(DecodeError::BadHeader));
+        assert!(decode_framed_prefix(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_frame() {
+        let mut buf = Vec::new();
+        encode_framed_into(&[], &mut buf);
+        let info = peek_frame(&buf).unwrap();
+        assert_eq!((info.min_ts, info.max_ts, info.count), (0, 0, 0));
+        assert_eq!(decode_framed_prefix(&buf).unwrap().0, vec![]);
     }
 
     #[test]

@@ -22,8 +22,13 @@
 //!   for NaN payloads, ±∞ and −0.0),
 //! * [`block`] — self-describing framing: [`encode_series`] /
 //!   [`decode_series`] (`flags + count + payload`, with a fixed-width
-//!   **raw fallback** for pathological series) and [`Block`] (adds
-//!   `magic + version + sid + min/max ts`).
+//!   **raw fallback** for pathological series), [`Block`] (adds
+//!   `magic + version + sid + min/max ts`) and **frames**
+//!   ([`encode_framed_into`] / [`peek_frame`](block::peek_frame) /
+//!   [`decode_framed_prefix`]) — a series prefixed with a
+//!   `(min_ts, max_ts, series length)` pushdown header so query engines can
+//!   skip compressed runs that do not intersect a time range *without
+//!   decoding them* (the SSTable v3 block format).
 //!
 //! ## Wire formats
 //!
@@ -72,8 +77,9 @@ pub mod gorilla;
 
 pub use bitstream::{BitReader, BitWriter};
 pub use block::{
-    compression_ratio, decode_series, decode_series_prefix, encode_series, encode_series_into,
-    Block, DecodeError, BLOCK_HEADER_BYTES, BLOCK_MAGIC, BLOCK_VERSION, FLAG_RAW, RAW_RECORD_BYTES,
-    SERIES_HEADER_BYTES,
+    compression_ratio, decode_framed_prefix, decode_series, decode_series_prefix,
+    encode_framed_into, encode_series, encode_series_into, peek_frame, Block, DecodeError,
+    FrameInfo, BLOCK_HEADER_BYTES, BLOCK_MAGIC, BLOCK_VERSION, FLAG_RAW, FRAME_HEADER_BYTES,
+    RAW_RECORD_BYTES, SERIES_HEADER_BYTES,
 };
 pub use gorilla::{TsDecoder, TsEncoder, ValDecoder, ValEncoder};

@@ -184,6 +184,59 @@ impl SensorDb {
             .collect()
     }
 
+    /// Windowed aggregation with pushdown: `avg`/`min`/`max`/`sum`/`count`/
+    /// `stddev`/`quantile`/`rate` of a sensor — or of *every* sensor under a
+    /// prefix (sensor-tree fan-in, "avg power per rack") — over fixed
+    /// `window_ns` windows within `range`.
+    ///
+    /// The heavy lifting happens in `dcdb-query`: compressed SSTable blocks
+    /// whose headers do not intersect `range` are never decompressed.
+    /// Metadata scales apply per sensor before aggregation; the result unit
+    /// is the (first) sensor's unit, mapped through
+    /// [`Unit::rate_unit`] for `rate` (J → W, B → B/s, counts → Hz).
+    /// Virtual sensor topics are evaluated over `range` first and then
+    /// windowed like any other series.
+    ///
+    /// # Errors
+    /// Virtual-sensor evaluation errors propagate; unknown topics yield an
+    /// empty series.
+    pub fn query_aggregate(
+        self: &Arc<Self>,
+        topic_or_prefix: &str,
+        range: TimeRange,
+        window_ns: i64,
+        agg: dcdb_query::AggFn,
+    ) -> Result<Series, VsError> {
+        let norm = dcdb_sid::topic::normalize(topic_or_prefix);
+        let suffix = format!("/+{agg}");
+
+        // virtual sensors live outside the physical hierarchy: evaluate,
+        // then window the materialised series
+        if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
+            let series = vs.evaluate(self, range)?;
+            let (scale, unit) = rate_adjust(agg, series.unit);
+            let mut readings =
+                dcdb_query::window_aggregate(series.readings.into_iter(), window_ns, agg);
+            apply_scale(&mut readings, scale);
+            return Ok(Series { topic: norm + &suffix, readings, unit });
+        }
+
+        // exact physical topic, else prefix fan-in over the sub-tree
+        let targets: Vec<(String, SensorId)> = match self.registry.get(&norm) {
+            Some(sid) => vec![(norm.clone(), sid)],
+            None => self.registry.sids_under(&norm),
+        };
+        let unit = targets.first().map(|(t, _)| self.meta(t).unit).unwrap_or_default();
+        let pairs: Vec<(SensorId, f64)> =
+            targets.iter().map(|(t, sid)| (*sid, self.meta(t).scale)).collect();
+        let engine = dcdb_query::QueryEngine::new(Arc::clone(&self.store));
+        let (scale, unit) = rate_adjust(agg, unit);
+        let mut readings = engine.aggregate(&pairs, range, window_ns, agg);
+        apply_scale(&mut readings, scale);
+        let topic = if targets.len() == 1 { targets[0].0.clone() } else { norm };
+        Ok(Series { topic: topic + &suffix, readings, unit })
+    }
+
     /// Sum all sensors below `prefix` on the union of their timestamps with
     /// linear interpolation — a one-shot aggregate without defining a
     /// virtual sensor (rack power, system power, ...).
@@ -207,9 +260,28 @@ impl SensorDb {
     }
 }
 
+/// For `rate`, the unit-aware conversion factor and output unit; identity
+/// for every other aggregation.
+fn rate_adjust(agg: dcdb_query::AggFn, unit: Unit) -> (f64, Unit) {
+    match agg {
+        dcdb_query::AggFn::Rate => unit.rate_unit(),
+        dcdb_query::AggFn::Count => (1.0, Unit::NONE),
+        _ => (1.0, unit),
+    }
+}
+
+fn apply_scale(readings: &mut [Reading], scale: f64) {
+    if scale != 1.0 {
+        for r in readings {
+            r.value *= scale;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcdb_query::AggFn;
 
     #[test]
     fn insert_query_roundtrip() {
@@ -248,6 +320,91 @@ mod tests {
     fn invalid_topic_rejected() {
         let db = SensorDb::in_memory();
         assert!(db.insert("/a//b", 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn windowed_aggregate_single_topic() {
+        let db = SensorDb::in_memory();
+        for ts in 0..100i64 {
+            db.insert("/r0/n0/power", ts * 1_000_000_000, (ts % 10) as f64).unwrap();
+        }
+        let s = db
+            .query_aggregate(
+                "/r0/n0/power",
+                TimeRange::new(0, 100_000_000_000),
+                10_000_000_000,
+                AggFn::Avg,
+            )
+            .unwrap();
+        assert_eq!(s.readings.len(), 10);
+        assert!(s.readings.iter().all(|r| (r.value - 4.5).abs() < 1e-12));
+        assert_eq!(s.topic, "/r0/n0/power/+avg");
+    }
+
+    #[test]
+    fn windowed_aggregate_prefix_fan_in() {
+        let db = SensorDb::in_memory();
+        for n in 0..4i64 {
+            for ts in 0..60i64 {
+                db.insert(&format!("/r0/n{n}/power"), ts * 1_000_000_000, 100.0 + n as f64)
+                    .unwrap();
+            }
+        }
+        let s = db
+            .query_aggregate("/r0", TimeRange::new(0, 60_000_000_000), 60_000_000_000, AggFn::Avg)
+            .unwrap();
+        assert_eq!(s.readings.len(), 1);
+        assert!((s.readings[0].value - 101.5).abs() < 1e-12);
+        // sum fan-in: 60 readings × (100+101+102+103)
+        let s = db
+            .query_aggregate("/r0", TimeRange::new(0, 60_000_000_000), 60_000_000_000, AggFn::Sum)
+            .unwrap();
+        assert_eq!(s.readings[0].value, 60.0 * 406.0);
+    }
+
+    #[test]
+    fn aggregate_applies_meta_scale_and_rate_units() {
+        let db = SensorDb::in_memory();
+        // a raw energy counter in microjoules, scaled to J by metadata
+        for ts in 0..11i64 {
+            db.insert("/n0/energy", ts * 1_000_000_000, (ts * 100) as f64 * 1e6).unwrap();
+        }
+        db.set_meta(
+            "/n0/energy",
+            SensorMeta { unit: Unit::JOULE, scale: 1e-6, description: String::new() },
+        );
+        let s = db
+            .query_aggregate(
+                "/n0/energy",
+                TimeRange::new(0, 11_000_000_000),
+                20_000_000_000,
+                AggFn::Rate,
+            )
+            .unwrap();
+        // 100 J per second → 100 W, unit-aware
+        assert_eq!(s.unit, Unit::WATT);
+        assert!((s.readings[0].value - 100.0).abs() < 1e-9, "{:?}", s.readings);
+    }
+
+    #[test]
+    fn aggregate_of_virtual_sensor() {
+        let db = SensorDb::in_memory();
+        for ts in 0..10i64 {
+            db.insert("/a/x", ts, 1.0).unwrap();
+            db.insert("/a/y", ts, 2.0).unwrap();
+        }
+        db.define_virtual("/v/sum", "\"/a/x\" + \"/a/y\"", Unit::WATT).unwrap();
+        let s = db.query_aggregate("/v/sum", TimeRange::new(0, 10), 100, AggFn::Max).unwrap();
+        assert_eq!(s.readings.len(), 1);
+        assert_eq!(s.readings[0].value, 3.0);
+        assert_eq!(s.unit, Unit::WATT);
+    }
+
+    #[test]
+    fn aggregate_unknown_topic_is_empty() {
+        let db = SensorDb::in_memory();
+        let s = db.query_aggregate("/no/such", TimeRange::all(), 1_000, AggFn::Avg).unwrap();
+        assert!(s.readings.is_empty());
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //!   (fills one drop-down),
 //! * `GET /query?topic=/a/b/c&start=NS&end=NS&maxDataPoints=N` — a series,
 //!   downsampled for display,
+//! * `GET /query?...&agg=avg&intervalMs=300000` — *windowed aggregation*
+//!   with pushdown: Grafana's `intervalMs` maps to the window size, `agg`
+//!   is any `dcdb_query::AggFn` name (`avg`, `min`, `max`, `sum`, `count`,
+//!   `stddev`, `p99`, `rate`, …), and `topic` may be a hierarchy *prefix*
+//!   (fan-in over the sub-tree).  When `intervalMs` is absent the window
+//!   falls out of `(end − start) / maxDataPoints`,
 //! * `GET /annotations` style stats: `GET /stats?topic=...` (min/max/avg of
 //!   the plotted metric, like the panel legend).
 
@@ -31,7 +37,7 @@ pub fn router(db: Arc<SensorDb>) -> Router {
     let d = Arc::clone(&db);
     r.add(Method::Get, "/search", move |req| {
         let prefix = req.query_param("prefix").unwrap_or("/").to_string();
-        let level: usize = req.query_param("level").and_then(|l| l.parse().ok()).unwrap_or(0);
+        let level = req.query_parsed("level", 0usize);
         let children: Vec<Json> =
             d.registry().children_at(&prefix, level).into_iter().map(Json::Str).collect();
         Response::json(&Json::Arr(children))
@@ -42,16 +48,42 @@ pub fn router(db: Arc<SensorDb>) -> Router {
         let Some(topic) = req.query_param("topic") else {
             return Response::error(StatusCode::BadRequest, "missing topic");
         };
-        let start: i64 = req.query_param("start").and_then(|v| v.parse().ok()).unwrap_or(0);
-        let end: i64 = req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
-        let max_points: usize =
-            req.query_param("maxDataPoints").and_then(|v| v.parse().ok()).unwrap_or(1_000);
+        let start = req.query_parsed("start", 0i64);
+        let end = req.query_parsed("end", i64::MAX);
+        let max_points = req.query_parsed("maxDataPoints", 1_000usize);
         if start >= end {
             return Response::error(StatusCode::BadRequest, "start must precede end");
         }
-        match d.query(topic, TimeRange::new(start, end)) {
+        let range = TimeRange::new(start, end);
+        let aggregated = req.query_param("agg").is_some();
+        let result = match req.query_param("agg") {
+            Some(name) => {
+                let Some(agg) = dcdb_query::AggFn::parse(name) else {
+                    return Response::error(StatusCode::BadRequest, "unknown agg");
+                };
+                // Grafana sends its panel resolution as intervalMs; fall
+                // back to spreading the range over maxDataPoints windows
+                let window_ns = req
+                    .query_param("intervalMs")
+                    .and_then(|v| v.parse::<i64>().ok())
+                    .map(|ms| ms.saturating_mul(1_000_000))
+                    .unwrap_or_else(|| range.duration() / max_points.max(1) as i64)
+                    .max(1);
+                d.query_aggregate(topic, range, window_ns, agg)
+            }
+            None => d.query(topic, range),
+        };
+        match result {
             Ok(series) => {
-                let points = ops::downsample(&series.readings, max_points);
+                // raw series downsample to the panel resolution by bucket
+                // means; aggregated series are already windowed, and
+                // averaging e.g. per-window maxima or counts would silently
+                // change their meaning — return them as computed
+                let points = if aggregated {
+                    series.readings
+                } else {
+                    ops::downsample(&series.readings, max_points)
+                };
                 let datapoints: Vec<Json> = points
                     .iter()
                     .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
@@ -71,8 +103,8 @@ pub fn router(db: Arc<SensorDb>) -> Router {
         let Some(topic) = req.query_param("topic") else {
             return Response::error(StatusCode::BadRequest, "missing topic");
         };
-        let start: i64 = req.query_param("start").and_then(|v| v.parse().ok()).unwrap_or(0);
-        let end: i64 = req.query_param("end").and_then(|v| v.parse().ok()).unwrap_or(i64::MAX);
+        let start = req.query_parsed("start", 0i64);
+        let end = req.query_parsed("end", i64::MAX);
         match d.query(topic, TimeRange::new(start, end)) {
             Ok(series) => match ops::stats(&series.readings) {
                 Some(st) => Response::json(&Json::obj([
@@ -172,7 +204,106 @@ mod tests {
         let (_db, h) = handler();
         assert_eq!(get(&h, "/query", &[]).0, 400);
         assert_eq!(get(&h, "/query", &[("topic", "/x"), ("start", "9"), ("end", "1")]).0, 400);
+        assert_eq!(get(&h, "/query", &[("topic", "/x"), ("agg", "bogus")]).0, 400);
         assert_eq!(get(&h, "/stats", &[("topic", "/nope/x")]).0, 404);
+    }
+
+    #[test]
+    fn windowed_aggregation_over_interval_ms() {
+        let (db, h) = handler();
+        // 100 readings at 1 ms spacing; 10 ms windows → 10 points
+        let (code, j) = get(
+            &h,
+            "/query",
+            &[
+                ("topic", "/lrz/sys/rack0/node1/power"),
+                ("start", "0"),
+                ("end", "100000000"),
+                ("agg", "avg"),
+                ("intervalMs", "10"),
+            ],
+        );
+        assert_eq!(code, 200);
+        assert_eq!(j.get("target").unwrap().as_str(), Some("/lrz/sys/rack0/node1/power/+avg"));
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 10);
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(201.0));
+        // the endpoint reports exactly what the library API computes
+        let lib = db
+            .query_aggregate(
+                "/lrz/sys/rack0/node1/power",
+                TimeRange::new(0, 100_000_000),
+                10_000_000,
+                dcdb_query::AggFn::Avg,
+            )
+            .unwrap();
+        assert_eq!(lib.readings.len(), dp.len());
+        for (r, p) in lib.readings.iter().zip(dp) {
+            assert_eq!(p.idx(0).unwrap().as_f64(), Some(r.value));
+            assert_eq!(p.idx(1).unwrap().as_f64(), Some(r.ts as f64));
+        }
+    }
+
+    #[test]
+    fn aggregation_fans_in_over_prefix() {
+        let (_db, h) = handler();
+        // sum of all of rack0's node power sensors (200 + 201 + 202)
+        let (code, j) = get(
+            &h,
+            "/query",
+            &[
+                ("topic", "/lrz/sys/rack0"),
+                ("start", "0"),
+                ("end", "100000000"),
+                ("agg", "sum"),
+                ("intervalMs", "1"),
+            ],
+        );
+        assert_eq!(code, 200);
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 100);
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(603.0));
+    }
+
+    #[test]
+    fn aggregated_series_are_not_mean_downsampled() {
+        let (_db, h) = handler();
+        // 100 one-ms windows but maxDataPoints=10: the per-window maxima
+        // must come back untouched, not averaged into buckets
+        let (code, j) = get(
+            &h,
+            "/query",
+            &[
+                ("topic", "/lrz/sys/rack0/node2/power"),
+                ("start", "0"),
+                ("end", "100000000"),
+                ("agg", "max"),
+                ("intervalMs", "1"),
+                ("maxDataPoints", "10"),
+            ],
+        );
+        assert_eq!(code, 200);
+        let dp = j.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 100, "explicit intervalMs wins over maxDataPoints");
+        assert!(dp.iter().all(|p| p.idx(0).unwrap().as_f64() == Some(202.0)));
+    }
+
+    #[test]
+    fn aggregation_window_defaults_to_max_points() {
+        let (_db, h) = handler();
+        let (code, j) = get(
+            &h,
+            "/query",
+            &[
+                ("topic", "/lrz/sys/rack0/node0/power"),
+                ("start", "0"),
+                ("end", "100000000"),
+                ("agg", "max"),
+                ("maxDataPoints", "5"),
+            ],
+        );
+        assert_eq!(code, 200);
+        assert!(j.get("datapoints").unwrap().as_arr().unwrap().len() <= 5);
     }
 
     #[test]

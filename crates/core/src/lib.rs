@@ -10,7 +10,8 @@
 //! * [`interp`] — linear interpolation to align series sampled at different
 //!   frequencies (§3.2),
 //! * [`ops`] — the `dcdbquery` analysis operations: integrals, derivatives,
-//!   windowed aggregation, downsampling (§5.2),
+//!   downsampling (§5.2); windowed statistics delegate to `dcdb-query`'s
+//!   single [`Moments`](dcdb_query::Moments) implementation,
 //! * [`api`] — [`api::SensorDb`]: topics + metadata + queries in one handle,
 //! * [`vsensor`] — virtual sensors: lazily-evaluated arithmetic expressions
 //!   over sensors, with unit conversion, interpolation and write-back

@@ -1,7 +1,12 @@
 //! Analysis operations of the `dcdbquery` tool (paper §5.2): integrals and
-//! derivatives of sensor data, plus windowed aggregation and downsampling
-//! for the Grafana data source.
+//! derivatives of sensor data, plus downsampling for the Grafana data
+//! source.
+//!
+//! Statistics are computed by `dcdb-query`'s [`Moments`] accumulator — the
+//! single windowed-statistics implementation shared with the streaming
+//! aggregation engine — so CLI, REST and pushdown paths agree exactly.
 
+use dcdb_query::Moments;
 use dcdb_store::reading::Reading;
 
 /// Trapezoidal integral of a series over its span.
@@ -46,20 +51,18 @@ pub struct Stats {
     pub stddev: f64,
 }
 
-/// Compute [`Stats`]; `None` for an empty series.
+/// Compute [`Stats`] via [`Moments`]; `None` for an empty series.
 pub fn stats(series: &[Reading]) -> Option<Stats> {
     if series.is_empty() {
         return None;
     }
-    let n = series.len() as f64;
-    let mean = series.iter().map(|r| r.value).sum::<f64>() / n;
-    let var = series.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>() / n;
+    let m = dcdb_query::moments_of(series.iter().copied());
     Some(Stats {
         count: series.len(),
-        min: series.iter().map(|r| r.value).fold(f64::INFINITY, f64::min),
-        max: series.iter().map(|r| r.value).fold(f64::NEG_INFINITY, f64::max),
-        mean,
-        stddev: var.sqrt(),
+        min: m.min(),
+        max: m.max(),
+        mean: m.mean(),
+        stddev: m.stddev(),
     })
 }
 
@@ -73,10 +76,13 @@ pub fn downsample(series: &[Reading], max_points: usize) -> Vec<Reading> {
     series
         .chunks(bucket)
         .map(|chunk| {
-            let n = chunk.len() as f64;
+            let mut m = Moments::new();
+            for r in chunk {
+                m.push(r.value);
+            }
             Reading {
                 ts: (chunk.iter().map(|r| r.ts as i128).sum::<i128>() / chunk.len() as i128) as i64,
-                value: chunk.iter().map(|r| r.value).sum::<f64>() / n,
+                value: m.mean(),
             }
         })
         .collect()

@@ -23,6 +23,10 @@ pub enum Dimension {
     Time,
     /// Volume flow (base: m³/h).
     Flow,
+    /// Event rate (base: Hz = 1/s).
+    Frequency,
+    /// Data rate (base: B/s).
+    Bandwidth,
 }
 
 /// A sensor unit.
@@ -67,6 +71,8 @@ impl Unit {
     unit!(MICROSECOND, "us", Dimension::Time, 1e-6);
     unit!(NANOSECOND, "ns", Dimension::Time, 1e-9);
     unit!(M3_PER_H, "m3/h", Dimension::Flow, 1.0);
+    unit!(HERTZ, "Hz", Dimension::Frequency, 1.0);
+    unit!(BYTES_PER_S, "B/s", Dimension::Bandwidth, 1.0);
 
     /// Fahrenheit needs an offset: °C = (°F − 32) · 5/9.
     pub const FAHRENHEIT: Unit = Unit {
@@ -100,8 +106,30 @@ impl Unit {
             "us" => Unit::MICROSECOND,
             "ns" => Unit::NANOSECOND,
             "m3/h" => Unit::M3_PER_H,
+            "Hz" => Unit::HERTZ,
+            "B/s" => Unit::BYTES_PER_S,
             _ => return None,
         })
+    }
+
+    /// The unit of this unit's per-second rate of change, with the factor
+    /// that converts raw `value/s` rates into it — what makes
+    /// `SensorDb::query_aggregate`'s `rate` operator unit-aware:
+    ///
+    /// * energy counters (J, kWh, …) rate into **W** (power),
+    /// * data counters (B, GB, …) rate into **B/s**,
+    /// * time counters (s of CPU time, …) rate into a dimensionless
+    ///   utilisation ratio,
+    /// * dimensionless counters (instructions, packets) rate into **Hz**,
+    /// * anything else keeps its raw per-second value with no unit.
+    pub fn rate_unit(&self) -> (f64, Unit) {
+        match self.dimension {
+            Dimension::Energy => (self.to_base, Unit::WATT),
+            Dimension::Data => (self.to_base, Unit::BYTES_PER_S),
+            Dimension::Time => (self.to_base, Unit::NONE),
+            Dimension::None => (1.0, Unit::HERTZ),
+            _ => (1.0, Unit::NONE),
+        }
     }
 
     /// Convert `value` from `self` to `to`.
@@ -167,8 +195,25 @@ mod tests {
     }
 
     #[test]
+    fn rate_units() {
+        // a joule counter rates into watts 1:1
+        assert_eq!(Unit::JOULE.rate_unit(), (1.0, Unit::WATT));
+        // a kWh counter rates into watts via its base scale
+        let (k, u) = Unit::KILOWATTHOUR.rate_unit();
+        assert_eq!(u, Unit::WATT);
+        assert!((k - 3.6e6).abs() < 1e-6);
+        // data counters rate into B/s, dimensionless ones into Hz
+        assert_eq!(Unit::GIGABYTE.rate_unit(), (1e9, Unit::BYTES_PER_S));
+        assert_eq!(Unit::NONE.rate_unit(), (1.0, Unit::HERTZ));
+        // cpu-seconds rate into a unitless utilisation ratio
+        assert_eq!(Unit::SECOND.rate_unit(), (1.0, Unit::NONE));
+        // no meaningful rate unit for e.g. power: raw value, no unit
+        assert_eq!(Unit::WATT.rate_unit(), (1.0, Unit::NONE));
+    }
+
+    #[test]
     fn parse_roundtrip() {
-        for name in ["W", "kW", "J", "kWh", "C", "F", "B", "GB", "ms", "m3/h"] {
+        for name in ["W", "kW", "J", "kWh", "C", "F", "B", "GB", "ms", "m3/h", "Hz", "B/s"] {
             let u = Unit::parse(name).unwrap();
             // F/degF and C aliases normalise; check dimension survives
             assert!(Unit::parse(u.name).is_some());

@@ -108,6 +108,13 @@ impl Request {
     pub fn param(&self, key: &str) -> Option<&str> {
         self.params.get(key).map(String::as_str)
     }
+
+    /// Query parameter parsed to any `FromStr` type; `default` on absence
+    /// or parse failure.  The common shape of the REST endpoints'
+    /// `start`/`end`/`maxDataPoints`-style numeric parameters.
+    pub fn query_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.query_param(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
 }
 
 /// A response under construction.

@@ -1,0 +1,203 @@
+//! [`SeriesIter`]: streaming, pull-based merge of one sensor's runs.
+//!
+//! The store hands over a [`SeriesSnapshot`] — the memtable's in-range
+//! slice plus *compressed block handles* for every SSTable run intersecting
+//! the range.  This iterator performs the k-way merge in timestamp order,
+//! decoding a block only when the cursor actually reaches it, applying
+//! newest-wins semantics on duplicate timestamps (sources are ordered
+//! oldest → newest, the memtable last) and dropping tombstoned/expired
+//! readings — the exact semantics of `StoreNode::query_range`, without ever
+//! materialising the full series.
+
+use dcdb_store::reading::{Reading, TimeRange};
+use dcdb_store::sstable::BlockRef;
+use dcdb_store::{SeriesSnapshot, SnapshotRun};
+
+/// One merge source: a queue of undecoded blocks plus the decoded readings
+/// of the block currently under the cursor.
+struct Source {
+    blocks: std::vec::IntoIter<BlockRef>,
+    current: std::vec::IntoIter<Reading>,
+    peeked: Option<Reading>,
+}
+
+impl Source {
+    fn peek(&mut self, range: TimeRange) -> Option<Reading> {
+        while self.peeked.is_none() {
+            if let Some(r) = self.current.next() {
+                self.peeked = Some(r);
+            } else if let Some(block) = self.blocks.next() {
+                // lazy decode: this is the only place payload bytes expand
+                let mut buf = Vec::with_capacity(block.count());
+                block.decode_range(range, &mut buf);
+                self.current = buf.into_iter();
+            } else {
+                return None;
+            }
+        }
+        self.peeked
+    }
+}
+
+/// A pull-based iterator over one sensor's readings in `[start, end)`,
+/// lazily decoding compressed blocks.  Yields strictly increasing
+/// timestamps; duplicate `(ts)` entries across runs resolve newest-wins.
+pub struct SeriesIter {
+    sources: Vec<Source>,
+    drop_ranges: Vec<TimeRange>,
+    range: TimeRange,
+    remaining_hint: usize,
+}
+
+impl SeriesIter {
+    /// Build from a snapshot captured by
+    /// [`dcdb_store::StoreNode::series_snapshot`].
+    pub fn new(snapshot: SeriesSnapshot, range: TimeRange) -> SeriesIter {
+        let remaining_hint = snapshot.max_len();
+        let sources = snapshot
+            .runs
+            .into_iter()
+            .map(|run| match run {
+                SnapshotRun::Blocks(blocks) => Source {
+                    blocks: blocks.into_iter(),
+                    current: Vec::new().into_iter(),
+                    peeked: None,
+                },
+                SnapshotRun::Readings(readings) => Source {
+                    blocks: Vec::new().into_iter(),
+                    current: readings.into_iter(),
+                    peeked: None,
+                },
+            })
+            .collect();
+        SeriesIter { sources, drop_ranges: snapshot.drop_ranges, range, remaining_hint }
+    }
+
+    fn dropped(&self, ts: i64) -> bool {
+        self.drop_ranges.iter().any(|r| r.contains(ts))
+    }
+}
+
+impl Iterator for SeriesIter {
+    type Item = Reading;
+
+    fn next(&mut self) -> Option<Reading> {
+        loop {
+            // Smallest timestamp across sources; on ties the later (newer)
+            // source replaces the earlier one.
+            let mut best: Option<Reading> = None;
+            for source in self.sources.iter_mut() {
+                if let Some(r) = source.peek(self.range) {
+                    if best.is_none_or(|b| r.ts <= b.ts) {
+                        best = Some(r);
+                    }
+                }
+            }
+            let chosen = best?;
+            // Consume every source positioned at the chosen timestamp.
+            for source in self.sources.iter_mut() {
+                if source.peeked.is_some_and(|r| r.ts == chosen.ts) {
+                    source.peeked = None;
+                    self.remaining_hint = self.remaining_hint.saturating_sub(1);
+                }
+            }
+            if !self.dropped(chosen.ts) {
+                return Some(chosen);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining_hint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_sid::SensorId;
+    use dcdb_store::{NodeConfig, StoreNode};
+
+    fn sid(n: u16) -> SensorId {
+        SensorId::from_fields(&[5, n]).unwrap()
+    }
+
+    fn iter_for(node: &StoreNode, s: SensorId, range: TimeRange) -> SeriesIter {
+        SeriesIter::new(node.series_snapshot(s, range), range)
+    }
+
+    #[test]
+    fn merges_memtable_and_sstables_in_order() {
+        let node = StoreNode::new(NodeConfig { memtable_flush_entries: 8, ..Default::default() });
+        for ts in 0..20 {
+            node.insert(sid(1), ts, ts as f64);
+        }
+        let got: Vec<Reading> = iter_for(&node, sid(1), TimeRange::all()).collect();
+        assert_eq!(got, node.query_range(sid(1), TimeRange::all()));
+        assert_eq!(got.len(), 20);
+        assert!(got.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn newest_source_wins_duplicates() {
+        let node = StoreNode::default();
+        node.insert(sid(1), 10, 1.0);
+        node.flush(); // older sstable
+        node.insert(sid(1), 10, 2.0); // newer memtable entry
+        let got: Vec<Reading> = iter_for(&node, sid(1), TimeRange::all()).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 2.0);
+    }
+
+    #[test]
+    fn range_is_respected() {
+        let node = StoreNode::default();
+        for ts in 0..100 {
+            node.insert(sid(1), ts, 0.0);
+        }
+        node.flush();
+        let got: Vec<Reading> = iter_for(&node, sid(1), TimeRange::new(25, 50)).collect();
+        assert_eq!(got.first().unwrap().ts, 25);
+        assert_eq!(got.last().unwrap().ts, 49);
+        assert_eq!(got.len(), 25);
+    }
+
+    #[test]
+    fn tombstones_filtered() {
+        let node = StoreNode::default();
+        for ts in 0..10 {
+            node.insert(sid(1), ts, 1.0);
+        }
+        node.flush();
+        node.delete_range(sid(1), TimeRange::new(3, 7));
+        let got: Vec<i64> = iter_for(&node, sid(1), TimeRange::all()).map(|r| r.ts).collect();
+        assert_eq!(got, vec![0, 1, 2, 7, 8, 9]);
+    }
+
+    #[test]
+    fn blocks_decode_lazily_during_iteration() {
+        let node = StoreNode::default();
+        for ts in 0..2048 {
+            node.insert(sid(1), ts, ts as f64);
+        }
+        node.flush(); // 4 blocks of 512
+        let mut it = iter_for(&node, sid(1), TimeRange::all());
+        assert_eq!(node.blocks_decoded(), 0, "construction decodes nothing");
+        assert_eq!(it.next().unwrap().ts, 0);
+        assert_eq!(node.blocks_decoded(), 1, "only the first block so far");
+        // stop after the first block's worth: later blocks never decode
+        for _ in 0..500 {
+            it.next();
+        }
+        assert_eq!(node.blocks_decoded(), 1);
+        drop(it);
+        assert_eq!(node.blocks_decoded(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_nothing() {
+        let node = StoreNode::default();
+        let got: Vec<Reading> = iter_for(&node, sid(9), TimeRange::all()).collect();
+        assert!(got.is_empty());
+    }
+}

@@ -76,6 +76,17 @@ impl PartitionMap {
         self.nodes
     }
 
+    /// Hierarchy depth of the fallback prefix partitioner, `None` under the
+    /// random partitioner.  Lets tools record enough routing information to
+    /// reconstruct an equivalent cluster when re-opening a persisted
+    /// multi-node database directory.
+    pub fn prefix_depth(&self) -> Option<usize> {
+        match self.fallback {
+            Partitioner::Prefix { depth } => Some(depth),
+            Partitioner::Random => None,
+        }
+    }
+
     /// Pin the sub-tree `prefix` (taken at `depth`) to `node`.
     ///
     /// # Panics

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use dcdb_sid::{PartitionMap, SensorId};
 
-use crate::node::{NodeConfig, StoreNode};
+use crate::node::{NodeConfig, SeriesSnapshot, StoreNode};
 use crate::reading::{Reading, TimeRange, Timestamp};
 
 /// Cluster-wide counters.
@@ -115,6 +115,27 @@ impl StoreCluster {
     /// Latest reading of a sensor.
     pub fn latest(&self, sid: SensorId) -> Option<Reading> {
         self.nodes[self.primary_for(sid)].latest(sid)
+    }
+
+    /// Capture a pushdown [`SeriesSnapshot`] of `sid` from its primary node
+    /// (see [`StoreNode::series_snapshot`]).
+    pub fn series_snapshot(&self, sid: SensorId, range: TimeRange) -> SeriesSnapshot {
+        self.nodes[self.primary_for(sid)].series_snapshot(sid, range)
+    }
+
+    /// The cluster's routing table.
+    pub fn partition_map(&self) -> &PartitionMap {
+        &self.partition
+    }
+
+    /// Compressed blocks decoded by queries across all nodes.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.nodes.iter().map(|n| n.blocks_decoded()).sum()
+    }
+
+    /// Total compressed blocks held across all nodes.
+    pub fn block_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.block_count()).sum()
     }
 
     /// Delete a sensor's readings in `range` on all replicas.

@@ -28,5 +28,6 @@ pub mod reading;
 pub mod sstable;
 
 pub use cluster::{ClusterStats, StoreCluster};
-pub use node::{NodeConfig, StoreNode};
+pub use node::{NodeConfig, SeriesSnapshot, SnapshotRun, StoreNode};
 pub use reading::{Reading, TimeRange};
+pub use sstable::{BlockRef, SsTable};

@@ -13,7 +13,48 @@ use parking_lot::RwLock;
 
 use crate::memtable::MemTable;
 use crate::reading::{Reading, TimeRange, Timestamp};
-use crate::sstable::SsTable;
+use crate::sstable::{BlockRef, SsTable};
+
+/// One source run inside a [`SeriesSnapshot`].
+#[derive(Debug, Clone)]
+pub enum SnapshotRun {
+    /// Compressed SSTable blocks intersecting the range — *not yet decoded*;
+    /// consumers decode them lazily as their cursor reaches each block.
+    Blocks(Vec<BlockRef>),
+    /// Already-materialised readings (the memtable's in-range slice).
+    Readings(Vec<Reading>),
+}
+
+/// A consistent point-in-time view of one sensor's data for a range,
+/// handed to `dcdb-query`'s streaming iterators.  SSTable data stays
+/// compressed; only block *handles* are captured here.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Source runs ordered oldest → newest (the memtable, when non-empty,
+    /// is last); on duplicate timestamps the newest source wins.
+    pub runs: Vec<SnapshotRun>,
+    /// Timestamp ranges whose readings must be dropped (tombstones covering
+    /// this sensor, plus the TTL horizon).
+    pub drop_ranges: Vec<TimeRange>,
+}
+
+impl SeriesSnapshot {
+    /// Is `ts` hidden by a tombstone or the TTL horizon?
+    pub fn dropped(&self, ts: Timestamp) -> bool {
+        self.drop_ranges.iter().any(|r| r.contains(ts))
+    }
+
+    /// Upper bound on readings in the snapshot (duplicates included).
+    pub fn max_len(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| match r {
+                SnapshotRun::Blocks(blocks) => blocks.iter().map(BlockRef::count).sum(),
+                SnapshotRun::Readings(v) => v.len(),
+            })
+            .sum()
+    }
+}
 
 /// Tuning for one storage node.
 #[derive(Debug, Clone)]
@@ -199,6 +240,11 @@ impl StoreNode {
     /// Query readings of `sid` within `range`, in timestamp order.
     pub fn query_range(&self, sid: SensorId, range: TimeRange) -> Vec<Reading> {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        // Memtable first: if a concurrent insert flushes it between the two
+        // lock acquisitions, the batch shows up in the SSTable read too and
+        // dedup drops the copy — reading in the other order would lose it.
+        let mut mem = Vec::new();
+        self.memtable.read().query(sid, range, &mut mem);
         let mut out = Vec::new();
         {
             let tables = self.sstables.read();
@@ -206,7 +252,7 @@ impl StoreNode {
                 t.query(sid, range, &mut out);
             }
         }
-        self.memtable.read().query(sid, range, &mut out);
+        out.extend(mem);
         // Multiple runs may contain the same (sid, ts); sources were pushed
         // oldest → newest, so for equal timestamps the later entry wins.
         out.sort_by_key(|r| r.ts); // stable: preserves push order within a ts
@@ -226,11 +272,65 @@ impl StoreNode {
         out
     }
 
+    /// Capture a [`SeriesSnapshot`] of `sid` over `range` — the pushdown
+    /// entry point: SSTable blocks that do not intersect `range` are
+    /// excluded up front, the rest are captured as compressed handles for
+    /// the consumer to decode lazily.
+    pub fn series_snapshot(&self, sid: SensorId, range: TimeRange) -> SeriesSnapshot {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        // Memtable first (see query_range): a flush racing between the two
+        // reads then duplicates the batch instead of dropping it, and the
+        // iterator's newest-wins dedup absorbs duplicates.
+        let mut mem = Vec::new();
+        self.memtable.read().query(sid, range, &mut mem);
+        let mut runs = Vec::new();
+        {
+            let tables = self.sstables.read();
+            for t in tables.iter() {
+                let blocks = t.blocks_for(sid, range);
+                if !blocks.is_empty() {
+                    runs.push(SnapshotRun::Blocks(blocks));
+                }
+            }
+        }
+        if !mem.is_empty() {
+            runs.push(SnapshotRun::Readings(mem));
+        }
+        let mut drop_ranges: Vec<TimeRange> = self
+            .tombstones
+            .read()
+            .ranges
+            .iter()
+            .filter(|(s, _)| s.is_none() || *s == Some(sid))
+            .map(|&(_, r)| r)
+            .collect();
+        if let Some(cutoff) = self.ttl_cutoff() {
+            drop_ranges.push(TimeRange::new(Timestamp::MIN, cutoff));
+        }
+        SeriesSnapshot { runs, drop_ranges }
+    }
+
+    /// Compressed blocks decoded by queries against this node's current
+    /// SSTables (resets when compaction replaces them).
+    pub fn blocks_decoded(&self) -> u64 {
+        self.sstables.read().iter().map(|t| t.blocks_decoded()).sum()
+    }
+
+    /// Total compressed blocks across this node's SSTables.
+    pub fn block_count(&self) -> usize {
+        self.sstables.read().iter().map(|t| t.block_count()).sum()
+    }
+
     /// Most recent reading of `sid`.
     pub fn latest(&self, sid: SensorId) -> Option<Reading> {
         let mut best = self.memtable.read().latest(sid);
         let tables = self.sstables.read();
         for t in tables.iter() {
+            // header check first: in the common live case the memtable
+            // already holds the freshest reading and nothing decompresses
+            if t.latest_ts_hint(sid).is_none_or(|hint| best.is_some_and(|b| hint <= b.ts)) {
+                continue;
+            }
             if let Some(r) = t.latest(sid) {
                 if best.is_none_or(|b| r.ts > b.ts) {
                     best = Some(r);

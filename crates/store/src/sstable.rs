@@ -1,28 +1,35 @@
-//! Immutable sorted runs ("SSTables").
+//! Immutable sorted runs ("SSTables") of lazily-decoded compressed blocks.
 //!
-//! A frozen memtable becomes an SSTable: a `(sid, ts, value)` array sorted by
-//! `(sid, ts)` plus a per-sensor index of sub-ranges, so range queries are a
-//! binary search + contiguous scan.  SSTables can be serialised to a binary
-//! format for persistence and reloaded at start-up.
+//! A frozen memtable becomes an SSTable: each sensor's run is chunked into
+//! fixed-size **compressed blocks** (`dcdb-compress` frames, [`BLOCK_LEN`]
+//! readings each) carrying a `(min_ts, max_ts, count)` pushdown header.
+//! Data stays compressed *in memory* — a block is decoded only when a query
+//! range actually intersects it, and a per-table counter
+//! ([`SsTable::blocks_decoded`]) makes that laziness observable to tests
+//! and benchmarks.
 //!
-//! Two on-disk formats exist:
+//! Three on-disk formats exist:
 //!
 //! * **`DCDBSST1`** (legacy) — fixed-width records: `u128` sid, `i64`
 //!   timestamp, `f64` value, 32 bytes per entry.  Still readable and
 //!   writable (see [`SsTable::write_to_v1`]) for backward compatibility.
-//! * **`DCDBSST2`** (current, written by [`SsTable::write_to`]) — each
-//!   sensor's run is one `dcdb-compress` Gorilla series
-//!   (delta-of-delta timestamps + XOR floats, with a raw fallback for
-//!   pathological runs): `[magic][u64 entries][u64 sensors]` then per
-//!   sensor `[u128 sid][series]`.  Monitoring runs typically shrink well
-//!   over 4× versus v1.
+//! * **`DCDBSST2`** (legacy, compressed) — one Gorilla series per sensor;
+//!   readable (and writable via [`SsTable::encode_v2`]) but decoded eagerly
+//!   on load because it lacks per-block headers.
+//! * **`DCDBSST3`** (current, written by [`SsTable::write_to`]) — the
+//!   in-memory block layout serialised verbatim:
+//!   `[magic][u64 entries][u64 sensors]` then per sensor
+//!   `[u128 sid][u32 n_blocks]` followed by that many `dcdb-compress`
+//!   frames.  Loading performs **no decompression at all**; blocks
+//!   materialise on first intersecting query.
 //!
 //! [`SsTable::read_from`] dispatches on the magic, so directories holding a
-//! mix of v1 and v2 runs load transparently.
+//! mix of v1, v2 and v3 runs load transparently.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
-use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, BytesMut};
 use dcdb_sid::SensorId;
@@ -31,24 +38,133 @@ use crate::reading::{Reading, TimeRange, Timestamp};
 
 /// Magic bytes of the legacy fixed-width on-disk format.
 const MAGIC_V1: &[u8; 8] = b"DCDBSST1";
-/// Magic bytes of the compressed on-disk format.
+/// Magic bytes of the whole-run compressed on-disk format.
 const MAGIC_V2: &[u8; 8] = b"DCDBSST2";
+/// Magic bytes of the blocked, lazily-decoded on-disk format.
+const MAGIC_V3: &[u8; 8] = b"DCDBSST3";
 
 /// Bytes per entry in the v1 fixed-width format (sid + ts + value); the
 /// yardstick compression ratios are quoted against.
 pub const V1_RECORD_BYTES: usize = 32;
 
-/// An immutable sorted run.
+/// Readings per compressed block.  Large enough that frame headers are
+/// noise (~24 bytes per block ≈ 0.05 bits/reading), small enough that a
+/// dashboard-style query over a few percent of a long series skips the
+/// bulk of the decode work.
+pub const BLOCK_LEN: usize = 512;
+
+/// One immutable compressed block of a sensor's run: a `dcdb-compress`
+/// frame plus its pushdown header, shared cheaply via `Arc`.
+///
+/// Decoding is deliberately *not* cached: blocks stay compressed in memory
+/// (the whole point of the format) and each decode bumps the owning
+/// table's counter, so "how much did this query decompress" is a hard
+/// number rather than a guess.
 #[derive(Debug, Clone)]
-pub struct SsTable {
-    entries: Vec<(SensorId, Timestamp, f64)>,
-    index: BTreeMap<SensorId, Range<usize>>,
+pub struct BlockRef {
+    inner: Arc<BlockInner>,
+}
+
+#[derive(Debug)]
+struct BlockInner {
     min_ts: Timestamp,
     max_ts: Timestamp,
+    count: usize,
+    /// The encoded frame (header + series), as written to disk.
+    frame: Vec<u8>,
+    /// Decode counter of the owning table.
+    decodes: Arc<AtomicU64>,
+}
+
+impl BlockRef {
+    fn from_run(run: &[(i64, f64)], decodes: &Arc<AtomicU64>) -> BlockRef {
+        let mut frame = Vec::with_capacity(dcdb_compress::FRAME_HEADER_BYTES + run.len() * 4);
+        dcdb_compress::encode_framed_into(run, &mut frame);
+        let info = dcdb_compress::peek_frame(&frame).expect("self-encoded frame peeks");
+        BlockRef {
+            inner: Arc::new(BlockInner {
+                min_ts: info.min_ts,
+                max_ts: info.max_ts,
+                count: info.count,
+                frame,
+                decodes: Arc::clone(decodes),
+            }),
+        }
+    }
+
+    /// Smallest timestamp in the block.
+    pub fn min_ts(&self) -> Timestamp {
+        self.inner.min_ts
+    }
+
+    /// Largest timestamp in the block.
+    pub fn max_ts(&self) -> Timestamp {
+        self.inner.max_ts
+    }
+
+    /// Number of readings in the block.
+    pub fn count(&self) -> usize {
+        self.inner.count
+    }
+
+    /// Does the block's `[min_ts, max_ts]` span intersect `range`?
+    pub fn intersects(&self, range: TimeRange) -> bool {
+        self.inner.min_ts < range.end && self.inner.max_ts >= range.start
+    }
+
+    /// Decompress the block into `(ts, value)` pairs (timestamp order).
+    ///
+    /// Every call decodes afresh and bumps the owning table's
+    /// [`SsTable::blocks_decoded`] counter — the laziness contract tests
+    /// rely on.  Frames are checksum-verified at load, so a decode failure
+    /// means a forged payload that survived the checksum; such a block
+    /// yields no readings rather than poisoning the whole process.
+    pub fn decode(&self) -> Vec<(Timestamp, f64)> {
+        self.inner.decodes.fetch_add(1, Ordering::Relaxed);
+        match dcdb_compress::decode_framed_prefix(&self.inner.frame) {
+            Ok((readings, _)) => readings,
+            Err(_) => {
+                debug_assert!(false, "checksummed block failed to decode");
+                Vec::new()
+            }
+        }
+    }
+
+    /// Decode only the readings within `range`, appended to `out`.
+    pub fn decode_range(&self, range: TimeRange, out: &mut Vec<Reading>) {
+        if !self.intersects(range) {
+            return;
+        }
+        let readings = self.decode();
+        let lo = readings.partition_point(|&(ts, _)| ts < range.start);
+        for &(ts, value) in &readings[lo..] {
+            if ts >= range.end {
+                break;
+            }
+            out.push(Reading { ts, value });
+        }
+    }
+
+    /// Encoded frame size in bytes.
+    pub fn frame_bytes(&self) -> usize {
+        self.inner.frame.len()
+    }
+}
+
+/// An immutable sorted run of per-sensor compressed blocks.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    runs: BTreeMap<SensorId, Vec<BlockRef>>,
+    len: usize,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    /// Blocks decompressed on behalf of this table (shared by clones).
+    decodes: Arc<AtomicU64>,
 }
 
 impl SsTable {
-    /// Build from `(sid, ts, value)` entries sorted by `(sid, ts)`.
+    /// Build from `(sid, ts, value)` entries sorted by `(sid, ts)`,
+    /// compressing each sensor's run into [`BLOCK_LEN`]-reading blocks.
     ///
     /// # Panics
     /// Debug-asserts the sort order.
@@ -57,31 +173,36 @@ impl SsTable {
             entries.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
             "entries must be sorted by (sid, ts)"
         );
-        let mut index: BTreeMap<SensorId, Range<usize>> = BTreeMap::new();
+        let decodes = Arc::new(AtomicU64::new(0));
+        let mut runs: BTreeMap<SensorId, Vec<BlockRef>> = BTreeMap::new();
         let mut min_ts = Timestamp::MAX;
         let mut max_ts = Timestamp::MIN;
+        let len = entries.len();
+        let mut run: Vec<(i64, f64)> = Vec::new();
         let mut i = 0;
         while i < entries.len() {
             let sid = entries[i].0;
-            let start = i;
+            run.clear();
             while i < entries.len() && entries[i].0 == sid {
                 min_ts = min_ts.min(entries[i].1);
                 max_ts = max_ts.max(entries[i].1);
+                run.push((entries[i].1, entries[i].2));
                 i += 1;
             }
-            index.insert(sid, start..i);
+            let blocks = run.chunks(BLOCK_LEN).map(|c| BlockRef::from_run(c, &decodes)).collect();
+            runs.insert(sid, blocks);
         }
-        SsTable { entries, index, min_ts, max_ts }
+        SsTable { runs, len, min_ts, max_ts, decodes }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Smallest timestamp stored (or `MAX` when empty).
@@ -94,39 +215,70 @@ impl SsTable {
         self.max_ts
     }
 
-    /// Approximate in-memory footprint.
+    /// Approximate in-memory footprint: the compressed frames plus index
+    /// overhead — typically several times smaller than the decoded entries.
     pub fn approx_bytes(&self) -> usize {
-        self.entries.len() * 32 + self.index.len() * 48
+        self.runs
+            .values()
+            .map(|blocks| 48 + blocks.iter().map(|b| b.frame_bytes() + 64).sum::<usize>())
+            .sum()
     }
 
-    /// Append readings of `sid` within `range` to `out` (timestamp order).
+    /// Blocks decompressed by queries against this table (and its clones)
+    /// so far — the pushdown observability counter.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// Total number of compressed blocks.
+    pub fn block_count(&self) -> usize {
+        self.runs.values().map(Vec::len).sum()
+    }
+
+    /// The compressed blocks of `sid` intersecting `range`, in timestamp
+    /// order — the pushdown handle consumed by `dcdb-query`'s streaming
+    /// iterators.  Nothing is decoded here.
+    pub fn blocks_for(&self, sid: SensorId, range: TimeRange) -> Vec<BlockRef> {
+        let Some(blocks) = self.runs.get(&sid) else { return Vec::new() };
+        // blocks are ts-ordered and non-overlapping: binary search the span
+        let lo = blocks.partition_point(|b| b.max_ts() < range.start);
+        blocks[lo..].iter().take_while(|b| b.min_ts() < range.end).cloned().collect()
+    }
+
+    /// Append readings of `sid` within `range` to `out` (timestamp order),
+    /// decoding only the intersecting blocks.
     pub fn query(&self, sid: SensorId, range: TimeRange, out: &mut Vec<Reading>) {
-        let Some(span) = self.index.get(&sid) else { return };
-        let slice = &self.entries[span.clone()];
-        // binary search the first entry >= range.start
-        let lo = slice.partition_point(|&(_, ts, _)| ts < range.start);
-        for &(_, ts, value) in &slice[lo..] {
-            if ts >= range.end {
-                break;
-            }
-            out.push(Reading { ts, value });
+        for block in self.blocks_for(sid, range) {
+            block.decode_range(range, out);
         }
     }
 
-    /// Latest reading of `sid`.
-    pub fn latest(&self, sid: SensorId) -> Option<Reading> {
-        let span = self.index.get(&sid)?;
-        self.entries[span.clone()].last().map(|&(_, ts, value)| Reading { ts, value })
+    /// Timestamp of `sid`'s latest reading, straight from the last block's
+    /// pushdown header — no decompression.  Lets callers skip
+    /// [`SsTable::latest`] entirely when a fresher reading is already in
+    /// hand.
+    pub fn latest_ts_hint(&self, sid: SensorId) -> Option<Timestamp> {
+        Some(self.runs.get(&sid)?.last()?.max_ts())
     }
 
-    /// Iterate over all entries (used by compaction).
-    pub fn iter(&self) -> impl Iterator<Item = &(SensorId, Timestamp, f64)> {
-        self.entries.iter()
+    /// Latest reading of `sid` (decodes at most one block).
+    pub fn latest(&self, sid: SensorId) -> Option<Reading> {
+        let blocks = self.runs.get(&sid)?;
+        let last = blocks.last()?;
+        last.decode().last().map(|&(ts, value)| Reading { ts, value })
+    }
+
+    /// Iterate over all entries in `(sid, ts)` order, decoding every block
+    /// (used by compaction and the legacy format writers).
+    pub fn iter(&self) -> impl Iterator<Item = (SensorId, Timestamp, f64)> + '_ {
+        self.runs.iter().flat_map(|(&sid, blocks)| {
+            blocks.iter().flat_map(move |b| b.decode().into_iter().map(move |(ts, v)| (sid, ts, v)))
+        })
     }
 
     /// All sensors with data in this table.
     pub fn sensors(&self) -> impl Iterator<Item = SensorId> + '_ {
-        self.index.keys().copied()
+        self.runs.keys().copied()
     }
 
     /// Merge several tables into one, newest table winning on `(sid, ts)`
@@ -139,7 +291,7 @@ impl SsTable {
         // Collect with newest-wins: later tables overwrite earlier ones.
         let mut map: BTreeMap<(SensorId, Timestamp), f64> = BTreeMap::new();
         for t in tables {
-            for &(sid, ts, value) in t.iter() {
+            for (sid, ts, value) in t.iter() {
                 map.insert((sid, ts), value);
             }
         }
@@ -153,21 +305,37 @@ impl SsTable {
 
     // ------------------------------------------------------------ persistence
 
-    /// Serialise to the current (v2, compressed) on-disk format.
+    /// Serialise to the current (v3, blocked) on-disk format.  The frames
+    /// are already encoded in memory, so this is a plain copy — no
+    /// compression work happens at persist time.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(&self.encode_v2())
+        let mut out = Vec::with_capacity(24 + self.block_count() * 64);
+        out.extend_from_slice(MAGIC_V3);
+        out.extend_from_slice(&(self.len as u64).to_be_bytes());
+        out.extend_from_slice(&(self.runs.len() as u64).to_be_bytes());
+        for (sid, blocks) in &self.runs {
+            out.extend_from_slice(&sid.raw().to_be_bytes());
+            out.extend_from_slice(&(blocks.len() as u32).to_be_bytes());
+            for b in blocks {
+                out.extend_from_slice(&b.inner.frame);
+            }
+        }
+        w.write_all(&out)
     }
 
-    /// The v2 byte image: per-sensor Gorilla-compressed runs.
+    /// The v2 byte image: one whole-run Gorilla series per sensor (kept so
+    /// deployments can write runs readable by pre-v3 binaries).
     pub fn encode_v2(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(24 + self.entries.len() * 4);
+        let mut out = Vec::with_capacity(24 + self.len * 4);
         out.extend_from_slice(MAGIC_V2);
-        out.extend_from_slice(&(self.entries.len() as u64).to_be_bytes());
-        out.extend_from_slice(&(self.index.len() as u64).to_be_bytes());
+        out.extend_from_slice(&(self.len as u64).to_be_bytes());
+        out.extend_from_slice(&(self.runs.len() as u64).to_be_bytes());
         let mut run: Vec<(i64, f64)> = Vec::new();
-        for (sid, span) in &self.index {
+        for (sid, blocks) in &self.runs {
             run.clear();
-            run.extend(self.entries[span.clone()].iter().map(|&(_, ts, v)| (ts, v)));
+            for b in blocks {
+                run.extend(b.decode());
+            }
             out.extend_from_slice(&sid.raw().to_be_bytes());
             dcdb_compress::encode_series_into(&run, &mut out);
         }
@@ -177,10 +345,10 @@ impl SsTable {
     /// Serialise to the legacy v1 fixed-width format (kept so deployments
     /// can write runs readable by pre-v2 binaries).
     pub fn write_to_v1<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        let mut buf = BytesMut::with_capacity(16 + self.entries.len() * V1_RECORD_BYTES);
+        let mut buf = BytesMut::with_capacity(16 + self.len * V1_RECORD_BYTES);
         buf.put_slice(MAGIC_V1);
-        buf.put_u64(self.entries.len() as u64);
-        for &(sid, ts, value) in &self.entries {
+        buf.put_u64(self.len as u64);
+        for (sid, ts, value) in self.iter() {
             buf.put_u128(sid.raw());
             buf.put_i64(ts);
             buf.put_f64(value);
@@ -188,13 +356,18 @@ impl SsTable {
         w.write_all(&buf)
     }
 
-    /// Read back either on-disk format, dispatching on the magic bytes.
+    /// Read back any on-disk format, dispatching on the magic bytes.  v3
+    /// images load without decompressing anything; v1/v2 images are decoded
+    /// and re-blocked.
     ///
     /// # Errors
     /// `InvalidData` on bad magic, truncation or unsorted entries.
     pub fn read_from<R: Read>(r: &mut R) -> std::io::Result<SsTable> {
         let mut raw = Vec::new();
         r.read_to_end(&mut raw)?;
+        if raw.len() >= 8 && &raw[..8] == MAGIC_V3 {
+            return SsTable::decode_v3(&raw[8..]);
+        }
         if raw.len() >= 8 && &raw[..8] == MAGIC_V2 {
             return SsTable::decode_v2(&raw[8..]);
         }
@@ -216,6 +389,67 @@ impl SsTable {
         }
         Self::check_sorted(&entries)?;
         Ok(SsTable::from_sorted(entries))
+    }
+
+    fn decode_v3(mut buf: &[u8]) -> std::io::Result<SsTable> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        if buf.len() < 16 {
+            return Err(bad("truncated SSTable header"));
+        }
+        let n_entries = buf.get_u64() as usize;
+        let n_sensors = buf.get_u64() as usize;
+        let decodes = Arc::new(AtomicU64::new(0));
+        let mut runs: BTreeMap<SensorId, Vec<BlockRef>> = BTreeMap::new();
+        let mut total = 0usize;
+        let mut min_ts = Timestamp::MAX;
+        let mut max_ts = Timestamp::MIN;
+        let mut prev_sid: Option<SensorId> = None;
+        for _ in 0..n_sensors {
+            if buf.remaining() < 20 {
+                return Err(bad("truncated SSTable sensor header"));
+            }
+            let sid = SensorId(buf.get_u128());
+            if prev_sid.is_some_and(|p| p >= sid) {
+                return Err(bad("SSTable sensors out of order"));
+            }
+            prev_sid = Some(sid);
+            let n_blocks = buf.get_u32() as usize;
+            // untrusted count: every block costs ≥ the frame+series headers
+            if n_blocks
+                > buf.remaining()
+                    / (dcdb_compress::FRAME_HEADER_BYTES + dcdb_compress::SERIES_HEADER_BYTES)
+            {
+                return Err(bad("SSTable block count exceeds payload"));
+            }
+            let mut blocks = Vec::with_capacity(n_blocks);
+            let mut prev_max = Timestamp::MIN;
+            for _ in 0..n_blocks {
+                let info = dcdb_compress::peek_frame(buf)
+                    .map_err(|e| bad(&format!("bad SSTable block: {e}")))?;
+                if info.count == 0 || info.min_ts < prev_max {
+                    return Err(bad("SSTable blocks out of order"));
+                }
+                prev_max = info.max_ts;
+                min_ts = min_ts.min(info.min_ts);
+                max_ts = max_ts.max(info.max_ts);
+                total += info.count;
+                blocks.push(BlockRef {
+                    inner: Arc::new(BlockInner {
+                        min_ts: info.min_ts,
+                        max_ts: info.max_ts,
+                        count: info.count,
+                        frame: buf[..info.total_len].to_vec(),
+                        decodes: Arc::clone(&decodes),
+                    }),
+                });
+                buf.advance(info.total_len);
+            }
+            runs.insert(sid, blocks);
+        }
+        if total != n_entries {
+            return Err(bad("SSTable entry count mismatch"));
+        }
+        Ok(SsTable { runs, len: total, min_ts, max_ts, decodes })
     }
 
     fn decode_v2(mut buf: &[u8]) -> std::io::Result<SsTable> {
@@ -356,6 +590,9 @@ mod tests {
         table().write_to_v1(&mut v1).unwrap();
         v1.truncate(v1.len() - 5);
         assert!(SsTable::read_from(&mut &v1[..]).is_err());
+        let mut v2 = table().encode_v2();
+        v2.truncate(v2.len() - 5);
+        assert!(SsTable::read_from(&mut &v2[..]).is_err());
     }
 
     #[test]
@@ -376,24 +613,41 @@ mod tests {
     }
 
     #[test]
-    fn v2_is_current_format_and_compresses() {
+    fn v2_tables_still_load() {
+        let t = table();
+        let v2 = t.encode_v2();
+        assert_eq!(&v2[..8], b"DCDBSST2");
+        let t2 = SsTable::read_from(&mut &v2[..]).unwrap();
+        assert_eq!(t2.len(), t.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t.query(sid(2), TimeRange::all(), &mut a);
+        t2.query(sid(2), TimeRange::all(), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn v3_is_current_format_and_compresses() {
         // a realistic run: fixed interval, slowly-varying values
         let entries: Vec<(SensorId, Timestamp, f64)> = (0..2000)
             .map(|i| (sid(1), i as Timestamp * 1_000_000_000, 240.0 + (i % 5) as f64))
             .collect();
         let t = SsTable::from_sorted(entries);
-        let v2 = t.encode_v2();
-        assert_eq!(&v2[..8], b"DCDBSST2");
+        let mut v3 = Vec::new();
+        t.write_to(&mut v3).unwrap();
+        assert_eq!(&v3[..8], b"DCDBSST3");
         let mut v1 = Vec::new();
         t.write_to_v1(&mut v1).unwrap();
         assert!(
-            v2.len() * 4 < v1.len(),
-            "v2 ({}) should be ≥ 4× smaller than v1 ({})",
-            v2.len(),
+            v3.len() * 4 < v1.len(),
+            "v3 ({}) should be ≥ 4× smaller than v1 ({})",
+            v3.len(),
             v1.len()
         );
-        let t2 = SsTable::read_from(&mut &v2[..]).unwrap();
+        let t2 = SsTable::read_from(&mut &v3[..]).unwrap();
         assert_eq!(t2.len(), t.len());
+        // loading performed zero decompression
+        assert_eq!(t2.blocks_decoded(), 0);
         let mut a = Vec::new();
         let mut b = Vec::new();
         t.query(sid(1), TimeRange::all(), &mut a);
@@ -402,7 +656,64 @@ mod tests {
     }
 
     #[test]
-    fn v2_preserves_special_values() {
+    fn narrow_query_decodes_only_intersecting_blocks() {
+        // 4096 readings = 8 blocks of BLOCK_LEN
+        let entries: Vec<(SensorId, Timestamp, f64)> =
+            (0..4096).map(|i| (sid(1), i as Timestamp, i as f64)).collect();
+        let t = SsTable::from_sorted(entries);
+        assert_eq!(t.block_count(), 8);
+        assert_eq!(t.blocks_decoded(), 0);
+        let mut out = Vec::new();
+        // a range inside one block
+        t.query(sid(1), TimeRange::new(10, 20), &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(t.blocks_decoded(), 1);
+        // a range spanning two blocks
+        let mut out = Vec::new();
+        t.query(sid(1), TimeRange::new(500, 600), &mut out);
+        assert_eq!(out.len(), 100);
+        assert_eq!(t.blocks_decoded(), 3);
+        // a miss decodes nothing
+        let mut out = Vec::new();
+        t.query(sid(1), TimeRange::new(10_000, 20_000), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.blocks_decoded(), 3);
+    }
+
+    #[test]
+    fn blocks_for_exposes_pushdown_headers() {
+        let entries: Vec<(SensorId, Timestamp, f64)> =
+            (0..1024).map(|i| (sid(1), i as Timestamp, 0.0)).collect();
+        let t = SsTable::from_sorted(entries);
+        let blocks = t.blocks_for(sid(1), TimeRange::all());
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].min_ts(), 0);
+        assert_eq!(blocks[0].max_ts(), 511);
+        assert_eq!(blocks[0].count(), BLOCK_LEN);
+        assert_eq!(blocks[1].min_ts(), 512);
+        assert_eq!(t.blocks_decoded(), 0, "blocks_for is metadata-only");
+        assert!(t.blocks_for(sid(1), TimeRange::new(0, 512)).len() == 1);
+        assert!(t.blocks_for(sid(2), TimeRange::all()).is_empty());
+    }
+
+    #[test]
+    fn corrupted_v3_payload_rejected_at_load() {
+        // bit rot inside a compressed payload must surface as InvalidData
+        // when reading the file — not as a panic at first query
+        let entries: Vec<(SensorId, Timestamp, f64)> =
+            (0..1500).map(|i| (sid(1), i as Timestamp, 240.0)).collect();
+        let mut buf = Vec::new();
+        SsTable::from_sorted(entries).write_to(&mut buf).unwrap();
+        let mut rotted = buf.clone();
+        let mid = rotted.len() / 2;
+        rotted[mid] ^= 0x40;
+        assert!(SsTable::read_from(&mut &rotted[..]).is_err());
+        // pristine image still loads
+        assert!(SsTable::read_from(&mut &buf[..]).is_ok());
+    }
+
+    #[test]
+    fn v3_preserves_special_values() {
         let entries = vec![
             (sid(1), 0, f64::NAN),
             (sid(1), 1, f64::INFINITY),

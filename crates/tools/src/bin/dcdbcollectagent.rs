@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! dcdbcollectagent [--mqtt 127.0.0.1:1883] [--rest 127.0.0.1:8080]
-//!                  [--duration SECONDS] [--db <dir>]
+//!                  [--duration SECONDS] [--db <dir>] [--nodes N] [--depth D]
 //! ```
+//!
+//! `--nodes`/`--depth` shard storage over `N` nodes with SID-prefix
+//! partitioning at hierarchy depth `D`; `--db` persists *every* node's runs
+//! under `<dir>/node<N>/` so a later `dcdbquery --db` sees the full cluster.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use dcdb_collectagent::CollectAgent;
 use dcdb_mqtt::broker::BrokerConfig;
-use dcdb_store::StoreCluster;
+use dcdb_sid::PartitionMap;
+use dcdb_store::{NodeConfig, StoreCluster};
 use dcdb_tools::Args;
 
 fn main() {
@@ -19,8 +24,11 @@ fn main() {
     let mqtt_addr = args.get("mqtt").unwrap_or("127.0.0.1:1883").to_string();
     let rest_addr = args.get("rest").unwrap_or("127.0.0.1:8080").to_string();
     let duration: u64 = args.get("duration").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let nodes: usize = args.get("nodes").and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
+    let depth: usize = args.get("depth").and_then(|s| s.parse().ok()).unwrap_or(3);
 
-    let store = Arc::new(StoreCluster::single());
+    let store =
+        Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(nodes, depth), 1));
     let agent = CollectAgent::new(store);
 
     let broker_cfg = BrokerConfig {
@@ -66,8 +74,11 @@ fn main() {
         for (topic, _) in agent.registry().sids_under("/") {
             writeln!(f, "{topic}").expect("write topic");
         }
-        agent.store().node(0).flush();
-        agent.store().node(0).persist(&dir.join("node0")).expect("persist");
-        println!("database saved to {}", dir.display());
+        let runs = dcdb_tools::save_cluster(agent.store(), dir).expect("persist");
+        println!(
+            "database saved to {} ({runs} runs across {} nodes)",
+            dir.display(),
+            agent.store().node_count()
+        );
     }
 }

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats]
-//!           [--sizes] <topic>...
+//!           [--agg FN --window DUR] [--sizes] <topic-or-prefix>...
 //! ```
 //!
-//! `--sizes` reports the database's stored (compressed DCDBSST2) versus
-//! raw fixed-width byte footprint; with `--sizes` topics are optional.
+//! `--agg`/`--window` run the streaming aggregation engine: `FN` is any
+//! `dcdb-query` aggregation (`avg`, `min`, `max`, `sum`, `count`, `stddev`,
+//! `p99`, `median`, `rate`, …) and `DUR` a duration like `30s`, `5m`, `1h`.
+//! Topics may be hierarchy *prefixes* — `dcdbquery --agg avg --window 5m
+//! /rack0` averages every sensor under `/rack0` per 5-minute window,
+//! decoding only the compressed blocks the range touches.
+//!
+//! `--sizes` reports the database's stored (compressed) versus raw
+//! fixed-width byte footprint; with `--sizes` topics are optional.
 
 use dcdb_core::ops;
 use dcdb_store::reading::TimeRange;
@@ -16,7 +23,8 @@ fn main() {
     let args = Args::from_env();
     let Some(db_dir) = args.get("db") else {
         eprintln!(
-            "usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] [--sizes] <topic>..."
+            "usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] \
+             [--agg FN --window DUR] [--sizes] <topic>..."
         );
         std::process::exit(2);
     };
@@ -47,6 +55,30 @@ fn main() {
         }
     }
     let range = TimeRange::new(start, end);
+    if args.has("agg") || args.has("window") {
+        let Some(agg) = args.get("agg").and_then(dcdb_query::AggFn::parse) else {
+            eprintln!("dcdbquery: --agg needs avg|min|max|sum|count|stddev|median|pNN|qX|rate");
+            std::process::exit(2);
+        };
+        let Some(window) =
+            args.get("window").and_then(dcdb_query::parse_duration_ns).filter(|&w| w > 0)
+        else {
+            eprintln!("dcdbquery: --window needs a duration like 30s, 5m, 1h");
+            std::process::exit(2);
+        };
+        println!("sensor,window_start,{agg}");
+        for topic in topics {
+            match db.query_aggregate(topic, range, window, agg) {
+                Ok(series) => {
+                    for r in &series.readings {
+                        println!("{},{},{}", series.topic, r.ts, r.value);
+                    }
+                }
+                Err(e) => eprintln!("dcdbquery: {topic}: {e}"),
+            }
+        }
+        return;
+    }
     match args.get("op") {
         None => {
             println!("sensor,timestamp,value");

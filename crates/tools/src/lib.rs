@@ -13,26 +13,123 @@
 //!   REST API.
 //!
 //! Tools exchange persistent state through a *database directory* holding
-//! the store's SSTables plus the topic registry (`topics.list`).
+//! the store's SSTables plus the topic registry (`topics.list`).  Every
+//! cluster node persists its runs under `node<N>/`; `cluster.list` records
+//! the node count and partitioning depth so re-opening reconstructs the
+//! same routing.  Legacy layouts (a lone `node0/`, or loose `*.sst` files
+//! in the directory root) still load.
 
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
 
 use dcdb_core::SensorDb;
-use dcdb_sid::TopicRegistry;
-use dcdb_store::StoreCluster;
+use dcdb_sid::{PartitionMap, TopicRegistry};
+use dcdb_store::{NodeConfig, StoreCluster};
+
+/// Default partitioning depth when `cluster.list` predates the field.
+const DEFAULT_PREFIX_DEPTH: usize = 3;
+
+/// Persist every node of `store` under `dir/node<N>/` and record the
+/// cluster shape in `dir/cluster.list` (node count plus partitioner —
+/// `prefix-depth D` or `partitioner random`), returning the number of
+/// SSTable runs written.  Explicit sub-tree pins are not recorded; a
+/// reloaded cluster uses the fallback partitioner only.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_cluster(store: &StoreCluster, dir: &Path) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut runs = 0;
+    for i in 0..store.node_count() {
+        let node = store.node(i);
+        node.flush();
+        runs += node.persist(&dir.join(format!("node{i}")))?;
+    }
+    let partitioner = match store.partition_map().prefix_depth() {
+        Some(depth) => format!("prefix-depth {depth}"),
+        None => "partitioner random".to_string(),
+    };
+    std::fs::write(
+        dir.join("cluster.list"),
+        format!("nodes {}\n{partitioner}\n", store.node_count()),
+    )?;
+    Ok(runs)
+}
+
+/// Rebuild the cluster persisted by [`save_cluster`] and load every node's
+/// runs.  Without a `cluster.list` the layout is treated as legacy: a
+/// single-node cluster loading `node0/` and any loose `*.sst` files in the
+/// directory root.
+///
+/// # Errors
+/// Propagates I/O and format failures; a missing directory yields an empty
+/// single-node cluster.
+pub fn load_cluster(dir: &Path) -> std::io::Result<Arc<StoreCluster>> {
+    let mut nodes = 1usize;
+    let mut depth = Some(DEFAULT_PREFIX_DEPTH);
+    let meta = dir.join("cluster.list");
+    if meta.exists() {
+        for line in std::fs::read_to_string(&meta)?.lines() {
+            match line.split_once(' ') {
+                Some(("nodes", n)) => {
+                    nodes = n.trim().parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "bad node count in cluster.list",
+                        )
+                    })?;
+                }
+                Some(("prefix-depth", d)) => {
+                    depth = Some(d.trim().parse().map_err(|_| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "bad prefix-depth in cluster.list",
+                        )
+                    })?);
+                }
+                Some(("partitioner", "random")) => depth = None,
+                _ => {}
+            }
+        }
+    }
+    let map = match depth {
+        Some(depth) => PartitionMap::prefix(nodes.max(1), depth),
+        None => PartitionMap::random(nodes.max(1)),
+    };
+    let store = Arc::new(StoreCluster::new(NodeConfig::default(), map, 1));
+    for i in 0..store.node_count() {
+        let node_dir = dir.join(format!("node{i}"));
+        if node_dir.exists() {
+            store.node(i).load(&node_dir)?;
+        }
+    }
+    // The loose-runs-in-the-root layout is a *legacy* alternative to
+    // node<N>/ directories: only honour it when neither cluster.list nor
+    // node0/ exists, so stale root files can neither double-load nor land
+    // on the wrong node of a sharded cluster.
+    if !meta.exists()
+        && !dir.join("node0").exists()
+        && dir.exists()
+        && std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .any(|e| e.path().extension().is_some_and(|x| x == "sst"))
+    {
+        store.node(0).load(dir)?;
+    }
+    Ok(store)
+}
 
 /// Open (or create) a database directory.
 ///
-/// Layout: `<dir>/topics.list` (one topic per line, registration order) and
-/// `<dir>/node0/*.sst` (the single local storage node's runs).
+/// Layout: `<dir>/topics.list` (one topic per line, registration order),
+/// `<dir>/node<N>/*.sst` (per-node runs) and `<dir>/cluster.list` (cluster
+/// shape; absent in legacy single-node layouts).
 ///
 /// # Errors
 /// Propagates I/O failures; a missing directory yields an empty database.
 pub fn open_db(dir: &Path) -> std::io::Result<Arc<SensorDb>> {
     let registry = Arc::new(TopicRegistry::new());
-    let store = Arc::new(StoreCluster::single());
     let topics_path = dir.join("topics.list");
     if topics_path.exists() {
         let file = std::fs::File::open(&topics_path)?;
@@ -46,14 +143,12 @@ pub fn open_db(dir: &Path) -> std::io::Result<Arc<SensorDb>> {
             }
         }
     }
-    let node_dir = dir.join("node0");
-    if node_dir.exists() {
-        store.node(0).load(&node_dir)?;
-    }
+    let store = load_cluster(dir)?;
     Ok(SensorDb::new(store, registry))
 }
 
-/// Persist the database directory written by [`open_db`].
+/// Persist the database directory written by [`open_db`]: the topic
+/// registry plus every cluster node's runs.
 ///
 /// # Errors
 /// Propagates I/O failures.
@@ -63,8 +158,7 @@ pub fn save_db(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<()> {
     for (topic, _) in db.registry().sids_under("/") {
         writeln!(f, "{topic}")?;
     }
-    db.store().node(0).flush();
-    db.store().node(0).persist(&dir.join("node0"))?;
+    save_cluster(db.store(), dir)?;
     Ok(())
 }
 
@@ -102,20 +196,33 @@ impl DbSizes {
     }
 }
 
-/// Measure a database directory written by [`save_db`].
+/// Measure a database directory written by [`save_db`], summing every
+/// node's runs (plus loose legacy runs in the directory root).
 ///
 /// # Errors
-/// Propagates I/O failures; a missing node directory counts as empty.
+/// Propagates I/O failures; missing directories count as empty.
 pub fn db_sizes(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<DbSizes> {
-    let node_dir = dir.join("node0");
-    let mut stored_bytes = 0u64;
-    if node_dir.exists() {
-        for entry in std::fs::read_dir(&node_dir)? {
-            let entry = entry?;
-            if entry.path().extension().is_some_and(|e| e == "sst") {
-                stored_bytes += entry.metadata()?.len();
+    fn sst_bytes(dir: &Path) -> std::io::Result<u64> {
+        let mut total = 0u64;
+        if dir.exists() {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                if entry.path().extension().is_some_and(|e| e == "sst") {
+                    total += entry.metadata()?.len();
+                }
             }
         }
+        Ok(total)
+    }
+    // root-level loose runs count only in the legacy layout that actually
+    // loads them (no cluster.list, no node0/) — mirrors load_cluster
+    let mut stored_bytes = if !dir.join("cluster.list").exists() && !dir.join("node0").exists() {
+        sst_bytes(dir)?
+    } else {
+        0
+    };
+    for i in 0..db.store().node_count() {
+        stored_bytes += sst_bytes(&dir.join(format!("node{i}")))?;
     }
     let readings = db.store().total_entries() as u64;
     Ok(DbSizes {
@@ -236,5 +343,102 @@ mod tests {
     fn open_missing_dir_is_empty_db() {
         let db = open_db(Path::new("/definitely/missing/dcdb")).unwrap();
         assert_eq!(db.registry().len(), 0);
+    }
+
+    #[test]
+    fn multi_node_cluster_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dcdb-tools-multi-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let topics: Vec<String> =
+            (0..32).map(|n| format!("/site/rack{}/node{n}/power", n % 4)).collect();
+        {
+            // a 4-node sharded deployment
+            let store =
+                Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(4, 3), 1));
+            let registry = Arc::new(TopicRegistry::new());
+            let db = SensorDb::new(store, registry);
+            for t in &topics {
+                for ts in 0..50i64 {
+                    db.insert(t, ts * 1_000_000_000, 100.0).unwrap();
+                }
+            }
+            // data really lives on several nodes
+            let populated = (0..4).filter(|&i| db.store().node(i).approx_entries() > 0).count();
+            assert!(populated >= 2, "sharding produced {populated} populated nodes");
+            save_db(&db, &dir).unwrap();
+        }
+        // every populated node directory exists on disk
+        let node_dirs = (0..4).filter(|i| dir.join(format!("node{i}")).exists()).count();
+        assert!(node_dirs >= 2, "expected several node dirs, found {node_dirs}");
+        assert!(dir.join("cluster.list").exists());
+
+        // re-open: same cluster shape, every reading back
+        let db = open_db(&dir).unwrap();
+        assert_eq!(db.store().node_count(), 4);
+        for t in &topics {
+            let s = db.query(t, TimeRange::all()).unwrap();
+            assert_eq!(s.readings.len(), 50, "{t} lost readings");
+        }
+        // sizes see every node's runs
+        let sizes = db_sizes(&db, &dir).unwrap();
+        assert_eq!(sizes.readings, 32 * 50);
+        assert!(sizes.stored_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn random_partitioner_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("dcdb-tools-random-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let topics: Vec<String> = (0..16).map(|n| format!("/r/x/n{n}/power")).collect();
+        let registry = Arc::new(TopicRegistry::new());
+        {
+            let store =
+                Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::random(3), 1));
+            let db = SensorDb::new(store, Arc::clone(&registry));
+            for t in &topics {
+                db.insert(t, 1, 5.0).unwrap();
+            }
+            save_db(&db, &dir).unwrap();
+        }
+        let meta = std::fs::read_to_string(dir.join("cluster.list")).unwrap();
+        assert!(meta.contains("partitioner random"), "{meta}");
+        // reloading rebuilds random routing, so every sensor is found again
+        let db = open_db(&dir).unwrap();
+        for t in &topics {
+            assert_eq!(db.query(t, TimeRange::all()).unwrap().readings.len(), 1, "{t}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_dir_layout_still_loads() {
+        let dir = std::env::temp_dir().join(format!("dcdb-tools-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // a pre-cluster.list layout: topics.list + loose .sst in the root
+        let registry = TopicRegistry::new();
+        let sid = registry.resolve("/old/s").unwrap();
+        std::fs::write(dir.join("topics.list"), "/old/s\n").unwrap();
+        let node = dcdb_store::StoreNode::default();
+        for ts in 0..20i64 {
+            node.insert(sid, ts, 7.0);
+        }
+        node.flush();
+        node.persist(&dir).unwrap(); // writes <dir>/*.sst directly
+        let db = open_db(&dir).unwrap();
+        assert_eq!(db.store().node_count(), 1);
+        let s = db.query("/old/s", TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 20);
+        // ... and so does the node0-only layout
+        let dir2 = std::env::temp_dir().join(format!("dcdb-tools-node0-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        std::fs::create_dir_all(&dir2).unwrap();
+        std::fs::write(dir2.join("topics.list"), "/old/s\n").unwrap();
+        node.persist(&dir2.join("node0")).unwrap();
+        let db2 = open_db(&dir2).unwrap();
+        assert_eq!(db2.query("/old/s", TimeRange::all()).unwrap().readings.len(), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
     }
 }

@@ -109,6 +109,56 @@ fn size_report_shows_compression_ratio() {
 }
 
 #[test]
+fn windowed_aggregation_over_prefix() {
+    let dir = tmp_dir("agg");
+    let db = dir.join("db");
+    let csv = dir.join("data.csv");
+    // two nodes, 10 minutes of 1 Hz power data
+    let mut text = String::from("sensor,timestamp,value\n");
+    for node in 0..2i64 {
+        for i in 0..600i64 {
+            text.push_str(&format!("/agg/n{node}/power,{},{}\n", i * 1_000_000_000, 100 + node));
+        }
+    }
+    std::fs::write(&csv, text).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_csvimport"))
+        .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // 5-minute average over one sensor
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--agg", "avg", "--window", "5m", "/agg/n0/power"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sensor,window_start,avg"), "{text}");
+    assert!(text.contains("/agg/n0/power/+avg,0,100"), "{text}");
+    assert!(text.contains("/agg/n0/power/+avg,300000000000,100"), "{text}");
+
+    // tree-prefix fan-in: sum across both nodes per 10-minute window
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--agg", "sum", "--window", "10m", "/agg"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // 600 readings × (100 + 101)
+    assert!(text.contains("/agg/+sum,0,120600"), "{text}");
+
+    // bad flags are rejected with a usage hint
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--agg", "avg", "/agg"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--window"), "window hint expected");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn dcdbconfig_manages_the_database() {
     let dir = tmp_dir("cfg");
     let db = dir.join("db");
@@ -170,6 +220,8 @@ fn pusher_and_collectagent_binaries_talk() {
             "6",
             "--db",
             db.to_str().unwrap(),
+            "--nodes",
+            "4",
         ])
         .stdout(std::process::Stdio::piped())
         .spawn()
@@ -201,6 +253,11 @@ fn pusher_and_collectagent_binaries_talk() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("processed"), "{text}");
     assert!(text.contains("database saved"), "{text}");
+
+    // the sharded deployment recorded its shape for later tools
+    assert!(db.join("cluster.list").exists(), "cluster.list missing");
+    let meta = std::fs::read_to_string(db.join("cluster.list")).unwrap();
+    assert!(meta.contains("nodes 4"), "{meta}");
 
     // the persisted database is queryable by dcdbquery
     let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))

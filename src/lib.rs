@@ -13,6 +13,9 @@
 //!   on-disk format and the MQTT compressed payload encoding
 //! * [`mqtt`] — MQTT 3.1.1 codec, broker and client (the transport layer)
 //! * [`store`] — the wide-column distributed storage backend (Cassandra stand-in)
+//! * [`query`] — the streaming query/aggregation engine with pushdown into
+//!   compressed SSTable blocks (windowed `avg`/`p99`/`rate`/… over sensors
+//!   or whole sensor sub-trees)
 //! * [`http`] — minimal HTTP/1.1 + JSON for the RESTful APIs
 //! * [`sim`] — simulated HPC cluster substrate (architectures, devices, workloads)
 //! * [`pusher`] — the plugin-based data-collection agent
@@ -39,6 +42,7 @@ pub use dcdb_core as core;
 pub use dcdb_http as http;
 pub use dcdb_mqtt as mqtt;
 pub use dcdb_pusher as pusher;
+pub use dcdb_query as query;
 pub use dcdb_sid as sid;
 pub use dcdb_sim as sim;
 pub use dcdb_store as store;
