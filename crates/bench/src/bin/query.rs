@@ -1,5 +1,9 @@
-//! Prints the query pushdown study: windowed-aggregation latency with lazy
-//! block decode versus the full-decode baseline (see `experiments::query`).
+//! Prints the query pushdown study (windowed-aggregation latency with lazy
+//! block decode versus the full-decode baseline) and the group-by study
+//! (per-rack grouped aggregation, serial versus parallel group execution),
+//! emitting machine-readable results to `results/BENCH_query.json`.
+use std::fmt::Write as _;
+
 fn main() {
     let reports = dcdb_bench::experiments::query::run();
     println!(
@@ -15,6 +19,76 @@ fn main() {
         if all_identical { "yes" } else { "NO" }
     );
     assert!(all_identical, "pushdown and full-decode aggregates diverged");
+
+    let g = dcdb_bench::experiments::query::run_groupby();
+    println!(
+        "\nGroup-by study: per-rack avg over 1 day / 5 min windows, \
+         {} racks x {} sensors\n",
+        g.racks, g.nodes_per_rack,
+    );
+    print!("{}", dcdb_bench::experiments::query::render_groupby(&g));
+    println!(
+        "\nparallel group execution speedup vs. serial: {:.2}x on {} threads | \
+         grouped results identical: {}",
+        g.parallel_speedup(),
+        g.threads,
+        if g.identical { "yes" } else { "NO" }
+    );
+    assert!(g.identical, "parallel grouped aggregation diverged from serial");
+    // the acceptance bar: parallel group execution wins >= 2x on a machine
+    // with at least 4 cores (single-core boxes run the serial path, ~1x).
+    // Shared CI runners can throttle below the bar without a code defect,
+    // so missing it only warns unless BENCH_STRICT=1 makes it fatal.
+    if g.threads >= 4 && g.parallel_speedup() < 2.0 {
+        let msg = format!(
+            "expected >= 2x parallel group-execution speedup on {} threads, got {:.2}x",
+            g.threads,
+            g.parallel_speedup()
+        );
+        assert!(std::env::var_os("BENCH_STRICT").is_none(), "{msg}");
+        eprintln!("warning: {msg} (set BENCH_STRICT=1 to fail on this)");
+    }
+
+    let mut json = String::from("{\n  \"pushdown\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"sensor\": \"{}\", \"readings\": {}, \
+             \"blocks_total\": {}, \"blocks_pushdown\": {}, \"blocks_full\": {}, \
+             \"pushdown_us\": {:.1}, \"full_us\": {:.1}, \"speedup\": {:.2}, \
+             \"identical\": {}}}{}",
+            r.workload,
+            r.sensor,
+            r.readings,
+            r.blocks_total,
+            r.blocks_pushdown,
+            r.blocks_full,
+            r.pushdown_s * 1e6,
+            r.full_s * 1e6,
+            r.speedup(),
+            r.identical,
+            if i + 1 < reports.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"groupby\": {{\"racks\": {}, \"nodes_per_rack\": {}, \"readings\": {}, \
+         \"threads\": {}, \"serial_ms\": {:.2}, \"parallel_ms\": {:.2}, \
+         \"parallel_speedup\": {:.2}, \"fanin_ms\": {:.2}, \"blocks_grouped\": {}, \
+         \"blocks_fanin\": {}, \"identical\": {}}}\n}}",
+        g.racks,
+        g.nodes_per_rack,
+        g.readings,
+        g.threads,
+        g.serial_s * 1e3,
+        g.parallel_s * 1e3,
+        g.parallel_speedup(),
+        g.fanin_s * 1e3,
+        g.blocks_grouped,
+        g.blocks_fanin,
+        g.identical,
+    );
+    dcdb_bench::report::write_json("BENCH_query", &json);
     dcdb_bench::report::write_csv(
         "query",
         &[

@@ -70,6 +70,16 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let _ = std::fs::write(dir.join(format!("{name}.csv")), text);
 }
 
+/// Write pre-rendered JSON to `results/<name>.json` (best-effort, like
+/// [`write_csv`]; printing is the primary output).
+pub fn write_json(name: &str, json: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+}
+
 /// Format a float tersely.
 pub fn f(v: f64) -> String {
     if v == 0.0 {

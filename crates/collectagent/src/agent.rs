@@ -146,6 +146,14 @@ impl CollectAgent {
         &self.registry
     }
 
+    /// A libDCDB handle over this agent's store and registry — the unified
+    /// query surface (`SensorDb::execute`) the REST API serves from.  The
+    /// handle shares the agent's `Arc`s, so it sees live data; metadata and
+    /// virtual sensors registered on it are its own.
+    pub fn sensor_db(&self) -> Arc<dcdb_core::SensorDb> {
+        dcdb_core::SensorDb::new(Arc::clone(&self.store), Arc::clone(&self.registry))
+    }
+
     /// The storage cluster.
     pub fn store(&self) -> &Arc<StoreCluster> {
         &self.store

@@ -271,6 +271,34 @@ impl WindowedStats {
         WindowedStats { agg, name: agg.to_string(), window_ns, state: Mutex::new(HashMap::new()) }
     }
 
+    /// Build the live operator from the same typed
+    /// [`QueryRequest`](dcdb_core::QueryRequest) the
+    /// offline path executes — the two sides of one query surface: an
+    /// operator constructed from a request emits, window for window, the
+    /// numbers `SensorDb::execute` computes for that request after the
+    /// fact.
+    ///
+    /// # Errors
+    /// Rejects requests without a windowed moment-style aggregation.
+    pub fn from_request(req: &dcdb_core::QueryRequest) -> Result<WindowedStats, String> {
+        let Some(agg) = req.agg else {
+            return Err("live windowed stats need an aggregation".into());
+        };
+        let Some(window_ns) = req.window_ns.filter(|&w| w > 0) else {
+            return Err("live windowed stats need a positive window".into());
+        };
+        if matches!(agg, AggFn::Quantile(_) | AggFn::Rate) {
+            return Err(format!("aggregation {agg} needs the offline query engine"));
+        }
+        if req.group_by.is_some() {
+            // one operator tracks per-topic windows; a grouped request wants
+            // per-sub-tree fan-in the live path cannot reproduce — reject
+            // rather than silently emit different numbers than execute()
+            return Err("grouped requests need the offline query engine".into());
+        }
+        Ok(WindowedStats::new(window_ns, agg))
+    }
+
     fn value_of(&self, m: &Moments) -> f64 {
         match self.agg {
             AggFn::Avg => m.mean(),
@@ -475,25 +503,41 @@ mod tests {
 
     #[test]
     fn windowed_stats_agree_with_query_engine() {
-        use dcdb_query::QueryEngine;
         let (agent, pipeline) = agent_with_pipeline();
-        pipeline.add_operator("/w/#", Arc::new(WindowedStats::new(1_000, AggFn::Max)));
+        // one QueryRequest drives both sides: the live operator and the
+        // offline unified query path
+        let req = dcdb_core::QueryRequest::topic("/w/s")
+            .range(TimeRange::new(0, 2_000))
+            .aggregate(AggFn::Max, 1_000);
+        pipeline.add_operator("/w/#", Arc::new(WindowedStats::from_request(&req).unwrap()));
         for i in 0..3_000i64 {
             let v = ((i * 37) % 101) as f64;
             agent.handle_publish("/w/s", &encode_readings(&[(i, v)]));
         }
         let live_sid = agent.registry().get("/analytics/max/w/s").unwrap();
         let live = agent.store().query(live_sid, TimeRange::all());
-        let raw_sid = agent.registry().get("/w/s").unwrap();
-        let engine = QueryEngine::new(Arc::clone(agent.store()));
-        let offline = engine.aggregate_sid(raw_sid, TimeRange::new(0, 2_000), 1_000, AggFn::Max);
+        let offline = agent.sensor_db().execute(&req).unwrap().into_single();
         // the two closed windows match the offline pushdown aggregate exactly
         assert_eq!(live.len(), 2);
-        assert_eq!(offline.len(), 2);
-        for (a, b) in live.iter().zip(&offline) {
+        assert_eq!(offline.readings.len(), 2);
+        for (a, b) in live.iter().zip(&offline.readings) {
             assert_eq!(a.ts, b.ts);
             assert_eq!(a.value.to_bits(), b.value.to_bits());
         }
+    }
+
+    #[test]
+    fn windowed_stats_from_request_validates() {
+        let raw = dcdb_core::QueryRequest::topic("/w/s");
+        assert!(WindowedStats::from_request(&raw).is_err());
+        let interp = dcdb_core::QueryRequest::topic("/w/s").aggregate_interpolated(AggFn::Sum);
+        assert!(WindowedStats::from_request(&interp).is_err());
+        let quantile = dcdb_core::QueryRequest::topic("/w/s").aggregate(AggFn::Quantile(0.5), 10);
+        assert!(WindowedStats::from_request(&quantile).is_err());
+        let grouped = dcdb_core::QueryRequest::new("/w").aggregate(AggFn::Avg, 10).group_by(2);
+        assert!(WindowedStats::from_request(&grouped).is_err());
+        let ok = dcdb_core::QueryRequest::topic("/w/s").aggregate(AggFn::Stddev, 10);
+        assert_eq!(WindowedStats::from_request(&ok).unwrap().name(), "stddev");
     }
 
     #[test]

@@ -11,16 +11,23 @@
 //!   windowed aggregation straight off the agent's store (pushdown into
 //!   compressed blocks via `dcdb-query`); `topic` may be a prefix, fanning
 //!   in over the whole sub-tree,
+//! * `GET /aggregate?...&groupby=N` — grouped aggregation: one series per
+//!   sub-tree at hierarchy level `N`, evaluated in parallel and returned
+//!   under a `groups` array,
 //! * `GET /stats` — agent counters.
+//!
+//! `/aggregate` builds a typed `QueryRequest` and runs it through
+//! `SensorDb::execute` — the same execution path as libDCDB, Grafana and
+//! the CLI.
 
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use dcdb_core::{QueryError, QueryRequest};
 use dcdb_http::json::Json;
 use dcdb_http::server::{HttpServer, Method, Response, StatusCode};
 use dcdb_http::Router;
-use dcdb_query::QueryEngine;
 use dcdb_store::reading::TimeRange;
 
 use crate::agent::CollectAgent;
@@ -61,7 +68,7 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
         ]))
     });
 
-    let a = Arc::clone(&agent);
+    let db = agent.sensor_db();
     r.add(Method::Get, "/aggregate", move |req| {
         let Some(topic) = req.query_param("topic") else {
             return Response::error(StatusCode::BadRequest, "missing topic");
@@ -79,24 +86,61 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
         if start >= end {
             return Response::error(StatusCode::BadRequest, "start must precede end");
         }
-        // exact topic or sub-tree fan-in, on the agent's raw readings
-        let sids: Vec<(dcdb_sid::SensorId, f64)> = match a.registry().get(topic) {
-            Some(sid) => vec![(sid, 1.0)],
-            None => a.registry().sids_under(topic).into_iter().map(|(_, s)| (s, 1.0)).collect(),
+        // exact topic or sub-tree fan-in, through the unified query path
+        let mut qreq =
+            QueryRequest::new(topic).range(TimeRange::new(start, end)).aggregate(agg, window_ns);
+        let grouped = req.query_param("groupby").is_some();
+        if grouped {
+            let Some(level) = req.query_param("groupby").and_then(|v| v.parse().ok()) else {
+                return Response::error(StatusCode::BadRequest, "bad groupby level");
+            };
+            qreq = qreq.group_by(level);
+        }
+        let resp = match db.execute(&qreq) {
+            Ok(resp) => resp,
+            Err(e @ (QueryError::MixedUnits { .. } | QueryError::InvalidRequest(_))) => {
+                return Response::error(StatusCode::BadRequest, &e.to_string());
+            }
+            Err(e) => return Response::error(StatusCode::InternalError, &e.to_string()),
         };
-        let engine = QueryEngine::new(Arc::clone(a.store()));
-        let readings = engine.aggregate(&sids, TimeRange::new(start, end), window_ns, agg);
-        let points: Vec<Json> = readings
-            .iter()
-            .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
-            .collect();
-        Response::json(&Json::obj([
-            ("topic", Json::str(topic)),
-            ("agg", Json::str(agg.to_string())),
-            ("windowNs", Json::Num(window_ns as f64)),
-            ("sensors", Json::Num(sids.len() as f64)),
-            ("datapoints", Json::Arr(points)),
-        ]))
+        let sensors: usize = resp.series.iter().map(|s| s.sensors).sum();
+        let datapoints = |readings: &[dcdb_store::reading::Reading]| {
+            Json::Arr(
+                readings
+                    .iter()
+                    .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
+                    .collect(),
+            )
+        };
+        if grouped {
+            let groups: Vec<Json> = resp
+                .series
+                .iter()
+                .map(|g| {
+                    Json::obj([
+                        ("group", Json::str(g.key.clone().unwrap_or_default())),
+                        ("sensors", Json::Num(g.sensors as f64)),
+                        ("datapoints", datapoints(&g.series.readings)),
+                    ])
+                })
+                .collect();
+            Response::json(&Json::obj([
+                ("topic", Json::str(topic)),
+                ("agg", Json::str(agg.to_string())),
+                ("windowNs", Json::Num(window_ns as f64)),
+                ("sensors", Json::Num(sensors as f64)),
+                ("groups", Json::Arr(groups)),
+            ]))
+        } else {
+            let single = resp.into_single();
+            Response::json(&Json::obj([
+                ("topic", Json::str(topic)),
+                ("agg", Json::str(agg.to_string())),
+                ("windowNs", Json::Num(window_ns as f64)),
+                ("sensors", Json::Num(sensors as f64)),
+                ("datapoints", datapoints(&single.readings)),
+            ]))
+        }
     });
 
     let a = Arc::clone(&agent);
@@ -177,6 +221,30 @@ mod tests {
         assert_eq!(dp.len(), 1);
         // 120 readings × (100 + 101 + 102)
         assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(120.0 * 303.0));
+    }
+
+    #[test]
+    fn aggregate_groups_per_node() {
+        let h = handler();
+        let (code, j) = get(
+            &h,
+            "/aggregate",
+            &[("topic", "/r0"), ("agg", "avg"), ("window", "2m"), ("groupby", "2")],
+        );
+        assert_eq!(code, 200);
+        assert_eq!(j.get("sensors").unwrap().as_f64(), Some(3.0));
+        let groups = j.get("groups").unwrap().as_arr().unwrap();
+        assert_eq!(groups.len(), 3);
+        for (n, g) in groups.iter().enumerate() {
+            assert_eq!(g.get("group").unwrap().as_str(), Some(format!("/r0/n{n}").as_str()));
+            assert_eq!(g.get("sensors").unwrap().as_f64(), Some(1.0));
+            let dp = g.get("datapoints").unwrap().as_arr().unwrap();
+            assert_eq!(dp.len(), 1);
+            assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(100.0 + n as f64));
+        }
+        // bad level is a client error
+        let q = [("topic", "/r0"), ("agg", "avg"), ("window", "1s"), ("groupby", "x")];
+        assert_eq!(get(&h, "/aggregate", &q).0, 400);
     }
 
     #[test]

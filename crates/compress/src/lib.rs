@@ -24,7 +24,7 @@
 //!   [`decode_series`] (`flags + count + payload`, with a fixed-width
 //!   **raw fallback** for pathological series), [`Block`] (adds
 //!   `magic + version + sid + min/max ts`) and **frames**
-//!   ([`encode_framed_into`] / [`peek_frame`](block::peek_frame) /
+//!   ([`encode_framed_into`] / [`peek_frame`] /
 //!   [`decode_framed_prefix`]) — a series prefixed with a
 //!   `(min_ts, max_ts, series length)` pushdown header so query engines can
 //!   skip compressed runs that do not intersect a time range *without

@@ -4,15 +4,26 @@
 //! metadata (units, scaling factors — maintained via `dcdbconfig` in the
 //! paper, §5.2) behind one handle.  Virtual sensors registered on the
 //! handle are queried exactly like physical ones (paper §3.2).
+//!
+//! All querying funnels through **one execution path**:
+//! [`SensorDb::execute`] takes a typed [`QueryRequest`] (exact topic,
+//! prefix fan-in, windowed or interpolated aggregation, group-by with
+//! parallel per-group evaluation) and returns a [`QueryResponse`].  The
+//! older `query`/`query_subtree`/`query_aggregate`/`aggregate_subtree`
+//! methods survive as thin wrappers that build the equivalent request.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use dcdb_query::{AggFn, SensorGroup};
 use dcdb_sid::{SensorId, TopicRegistry};
 use dcdb_store::reading::{Reading, TimeRange};
 use dcdb_store::StoreCluster;
 use parking_lot::RwLock;
 
+use crate::request::{
+    GroupSeries, QueryError, QueryRequest, QueryResponse, SeriesOrder, TargetMode, UnitMode,
+};
 use crate::units::Unit;
 use crate::vsensor::{VirtualSensor, VsError};
 
@@ -129,29 +140,14 @@ impl SensorDb {
     ///
     /// Physical sensors apply their metadata scale; virtual sensors are
     /// evaluated lazily over the queried period only (paper §3.2).
+    /// Thin wrapper over [`SensorDb::execute`] with an exact-topic request.
     ///
     /// # Errors
     /// Virtual-sensor evaluation errors propagate; unknown physical topics
     /// yield an empty series.
     pub fn query(self: &Arc<Self>, topic: &str, range: TimeRange) -> Result<Series, VsError> {
-        let norm = dcdb_sid::topic::normalize(topic);
-        if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
-            return vs.evaluate(self, range);
-        }
-        let meta = self.meta(&norm);
-        let readings = match self.registry.get(&norm) {
-            Some(sid) => {
-                let mut r = self.store.query(sid, range);
-                if meta.scale != 1.0 {
-                    for reading in &mut r {
-                        reading.value *= meta.scale;
-                    }
-                }
-                r
-            }
-            None => Vec::new(),
-        };
-        Ok(Series { topic: norm, readings, unit: meta.unit })
+        let req = QueryRequest::topic(topic).range(range).lenient_units();
+        Ok(self.execute(&req).map_err(legacy_err)?.into_single())
     }
 
     /// Latest reading of a physical sensor.
@@ -169,6 +165,7 @@ impl SensorDb {
     /// cross-source correlation pattern ("aggregate the power sensors of
     /// individual compute nodes", paper §3.2).  Virtual sensors are not
     /// included (they live outside the physical hierarchy).
+    /// Thin wrapper over [`SensorDb::execute`] with a sub-tree request.
     ///
     /// # Errors
     /// Propagates per-sensor query failures.
@@ -177,11 +174,8 @@ impl SensorDb {
         prefix: &str,
         range: TimeRange,
     ) -> Result<Vec<Series>, VsError> {
-        self.registry
-            .sids_under(prefix)
-            .into_iter()
-            .map(|(topic, _)| self.query(&topic, range))
-            .collect()
+        let req = QueryRequest::subtree(prefix).range(range).lenient_units();
+        Ok(self.execute(&req).map_err(legacy_err)?.into_series())
     }
 
     /// Windowed aggregation with pushdown: `avg`/`min`/`max`/`sum`/`count`/
@@ -207,56 +201,393 @@ impl SensorDb {
         window_ns: i64,
         agg: dcdb_query::AggFn,
     ) -> Result<Series, VsError> {
-        let norm = dcdb_sid::topic::normalize(topic_or_prefix);
-        let suffix = format!("/+{agg}");
-
-        // virtual sensors live outside the physical hierarchy: evaluate,
-        // then window the materialised series
-        if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
-            let series = vs.evaluate(self, range)?;
-            let (scale, unit) = rate_adjust(agg, series.unit);
-            let mut readings =
-                dcdb_query::window_aggregate(series.readings.into_iter(), window_ns, agg);
-            apply_scale(&mut readings, scale);
-            return Ok(Series { topic: norm + &suffix, readings, unit });
-        }
-
-        // exact physical topic, else prefix fan-in over the sub-tree
-        let targets: Vec<(String, SensorId)> = match self.registry.get(&norm) {
-            Some(sid) => vec![(norm.clone(), sid)],
-            None => self.registry.sids_under(&norm),
-        };
-        let unit = targets.first().map(|(t, _)| self.meta(t).unit).unwrap_or_default();
-        let pairs: Vec<(SensorId, f64)> =
-            targets.iter().map(|(t, sid)| (*sid, self.meta(t).scale)).collect();
-        let engine = dcdb_query::QueryEngine::new(Arc::clone(&self.store));
-        let (scale, unit) = rate_adjust(agg, unit);
-        let mut readings = engine.aggregate(&pairs, range, window_ns, agg);
-        apply_scale(&mut readings, scale);
-        let topic = if targets.len() == 1 { targets[0].0.clone() } else { norm };
-        Ok(Series { topic: topic + &suffix, readings, unit })
+        assert!(window_ns > 0, "window must be positive, got {window_ns}");
+        let req = QueryRequest::new(topic_or_prefix)
+            .range(range)
+            .aggregate(agg, window_ns)
+            .lenient_units();
+        Ok(self.execute(&req).map_err(legacy_err)?.into_single())
     }
 
     /// Sum all sensors below `prefix` on the union of their timestamps with
     /// linear interpolation — a one-shot aggregate without defining a
-    /// virtual sensor (rack power, system power, ...).
+    /// virtual sensor (rack power, system power, ...).  Thin wrapper over
+    /// [`SensorDb::execute`] with an interpolated-sum sub-tree request.
+    ///
+    /// # Errors
+    /// Propagates per-sensor query failures.
     pub fn aggregate_subtree(
         self: &Arc<Self>,
         prefix: &str,
         range: TimeRange,
     ) -> Result<Series, VsError> {
-        let series = self.query_subtree(prefix, range)?;
-        let unit = series.first().map(|s| s.unit).unwrap_or_default();
-        let slices: Vec<&[Reading]> = series.iter().map(|s| s.readings.as_slice()).collect();
-        let grid = crate::interp::timestamp_union(&slices);
-        let readings = grid
+        let req = QueryRequest::subtree(prefix)
+            .range(range)
+            .aggregate_interpolated(AggFn::Sum)
+            .lenient_units();
+        Ok(self.execute(&req).map_err(legacy_err)?.into_single())
+    }
+
+    /// Execute a typed [`QueryRequest`] — **the** query path every surface
+    /// (Grafana, REST, CLI, analytics, the legacy wrappers) goes through.
+    ///
+    /// * Without an aggregation the response holds raw series, one per
+    ///   resolved sensor (metadata scales applied).
+    /// * With an aggregation and a window, the request runs on the
+    ///   `dcdb-query` pushdown engine; compressed blocks outside the range
+    ///   are never decoded.
+    /// * With `group_by`, the resolved sensors partition by their topic's
+    ///   leading hierarchy components and the groups evaluate
+    ///   **concurrently** on the engine's scoped thread pool — one response
+    ///   series per group, tagged with its group key, bit-identical to
+    ///   evaluating the groups serially.
+    /// * With an aggregation but no window, sensors interpolate onto the
+    ///   union of their timestamps and the aggregation folds the samples at
+    ///   each grid point.
+    ///
+    /// # Errors
+    /// [`QueryError::InvalidRequest`] for contradictory requests,
+    /// [`QueryError::MixedUnits`] when a strict-mode group mixes concrete
+    /// units, [`QueryError::Virtual`] for virtual-sensor failures.
+    pub fn execute(self: &Arc<Self>, req: &QueryRequest) -> Result<QueryResponse, QueryError> {
+        req.validate()?;
+        let norm = dcdb_sid::topic::normalize(&req.target);
+
+        // virtual sensors live outside the physical hierarchy; only exact
+        // and auto targeting consult them
+        if req.mode != TargetMode::Subtree {
+            if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
+                let mut response = self.execute_virtual(&vs, &norm, req)?;
+                finalize(&mut response, req);
+                return Ok(response);
+            }
+        }
+
+        let targets: Vec<(String, SensorId)> = match req.mode {
+            TargetMode::Exact => match self.registry.get(&norm) {
+                Some(sid) => vec![(norm.clone(), sid)],
+                None => Vec::new(),
+            },
+            TargetMode::Auto => match self.registry.get(&norm) {
+                Some(sid) => vec![(norm.clone(), sid)],
+                None => self.registry.sids_under(&norm),
+            },
+            TargetMode::Subtree => self.registry.sids_under(&norm),
+        };
+
+        let mut response = match req.agg {
+            None => self.run_raw(&norm, targets, req),
+            Some(agg) => {
+                let groups = partition(&norm, targets, req.group_by);
+                match req.window_ns {
+                    Some(window_ns) => self.run_windowed(groups, req, agg, window_ns)?,
+                    None => self.run_interpolated(groups, req, agg)?,
+                }
+            }
+        };
+        finalize(&mut response, req);
+        Ok(response)
+    }
+
+    /// Raw-readings execution: one series per resolved sensor.
+    fn run_raw(
+        self: &Arc<Self>,
+        norm: &str,
+        targets: Vec<(String, SensorId)>,
+        req: &QueryRequest,
+    ) -> QueryResponse {
+        let mut series = Vec::new();
+        for (topic, sid) in &targets {
+            let meta = self.meta(topic);
+            let mut readings = self.store.query(*sid, req.range);
+            if meta.scale != 1.0 {
+                for reading in &mut readings {
+                    reading.value *= meta.scale;
+                }
+            }
+            series.push(GroupSeries {
+                key: None,
+                sensors: 1,
+                series: Series { topic: topic.clone(), readings, unit: meta.unit },
+            });
+        }
+        // exact targeting always answers with one series, even for unknown
+        // topics (the legacy `query` contract)
+        if req.mode == TargetMode::Exact && series.is_empty() {
+            let meta = self.meta(norm);
+            series.push(GroupSeries {
+                key: None,
+                sensors: 0,
+                series: Series { topic: norm.to_string(), readings: Vec::new(), unit: meta.unit },
+            });
+        }
+        QueryResponse { series }
+    }
+
+    /// Windowed execution on the pushdown engine; groups run concurrently.
+    fn run_windowed(
+        self: &Arc<Self>,
+        groups: Vec<ResolvedGroup>,
+        req: &QueryRequest,
+        agg: AggFn,
+        window_ns: i64,
+    ) -> Result<QueryResponse, QueryError> {
+        struct Prepared {
+            key: Option<String>,
+            base: String,
+            unit: Unit,
+            post_scale: f64,
+            sensors: usize,
+        }
+        let mut prepared = Vec::with_capacity(groups.len());
+        let mut tasks = Vec::with_capacity(groups.len());
+        for (key, base, members) in groups {
+            let units: Vec<Unit> = members.iter().map(|(t, _)| self.meta(t).unit).collect();
+            let unit = group_unit(&units, req.units, &base)?;
+            let (post_scale, unit) = rate_adjust(agg, unit);
+            let pairs: Vec<(SensorId, f64)> =
+                members.iter().map(|(t, sid)| (*sid, self.meta(t).scale)).collect();
+            prepared.push(Prepared { key, base, unit, post_scale, sensors: members.len() });
+            tasks.push(SensorGroup { key: prepared.len() - 1, sids: pairs });
+        }
+        let engine = dcdb_query::QueryEngine::new(Arc::clone(&self.store));
+        let results = engine.aggregate_grouped(tasks, req.range, window_ns, agg);
+        let series = results
             .into_iter()
-            .map(|ts| Reading {
-                ts,
-                value: slices.iter().filter_map(|s| crate::interp::sample_at(s, ts)).sum(),
+            .map(|(idx, mut readings)| {
+                let p = &prepared[idx];
+                apply_scale(&mut readings, p.post_scale);
+                GroupSeries {
+                    key: p.key.clone(),
+                    sensors: p.sensors,
+                    series: Series { topic: format!("{}/+{agg}", p.base), readings, unit: p.unit },
+                }
             })
             .collect();
-        Ok(Series { topic: format!("{}/+sum", dcdb_sid::topic::normalize(prefix)), readings, unit })
+        Ok(QueryResponse { series })
+    }
+
+    /// Union-grid execution: interpolate members onto shared timestamps and
+    /// fold the aggregation per grid point.
+    fn run_interpolated(
+        self: &Arc<Self>,
+        groups: Vec<ResolvedGroup>,
+        req: &QueryRequest,
+        agg: AggFn,
+    ) -> Result<QueryResponse, QueryError> {
+        let mut series = Vec::with_capacity(groups.len());
+        for (key, base, members) in groups {
+            let mut units = Vec::with_capacity(members.len());
+            let mut materialised = Vec::with_capacity(members.len());
+            for (topic, sid) in &members {
+                let meta = self.meta(topic);
+                units.push(meta.unit);
+                let mut readings = self.store.query(*sid, req.range);
+                if meta.scale != 1.0 {
+                    for reading in &mut readings {
+                        reading.value *= meta.scale;
+                    }
+                }
+                materialised.push(readings);
+            }
+            // same unit mapping as the windowed path (count → unitless);
+            // rate is rejected by validate(), so the scale is always 1.0
+            let (post_scale, unit) = rate_adjust(agg, group_unit(&units, req.units, &base)?);
+            let slices: Vec<&[Reading]> = materialised.iter().map(Vec::as_slice).collect();
+            let mut readings = interpolated_fold(&slices, agg);
+            apply_scale(&mut readings, post_scale);
+            series.push(GroupSeries {
+                key,
+                sensors: members.len(),
+                series: Series { topic: format!("{}/+{agg}", base), readings, unit },
+            });
+        }
+        Ok(QueryResponse { series })
+    }
+
+    /// Virtual-sensor execution: evaluate over the range, then post-process
+    /// like any single-member group.
+    fn execute_virtual(
+        self: &Arc<Self>,
+        vs: &Arc<VirtualSensor>,
+        norm: &str,
+        req: &QueryRequest,
+    ) -> Result<QueryResponse, QueryError> {
+        if req.group_by.is_some() {
+            return Err(QueryError::InvalidRequest(
+                "group_by does not apply to a virtual sensor (no hierarchy below it)".into(),
+            ));
+        }
+        let series = vs.evaluate(self, req.range)?;
+        let out = match req.agg {
+            None => GroupSeries { key: None, sensors: 1, series },
+            Some(agg) => {
+                let (post_scale, unit) = rate_adjust(agg, series.unit);
+                let mut readings = match req.window_ns {
+                    Some(window_ns) => {
+                        dcdb_query::window_aggregate(series.readings.into_iter(), window_ns, agg)
+                    }
+                    None => interpolated_fold(&[series.readings.as_slice()], agg),
+                };
+                apply_scale(&mut readings, post_scale);
+                GroupSeries {
+                    key: None,
+                    sensors: 1,
+                    series: Series { topic: format!("{norm}/+{agg}"), readings, unit },
+                }
+            }
+        };
+        Ok(QueryResponse { series: vec![out] })
+    }
+}
+
+/// A resolved execution group: `(group key, base topic for naming, member
+/// sensors)`.
+type ResolvedGroup = (Option<String>, String, Vec<(String, SensorId)>);
+
+/// Partition resolved `(topic, sid)` targets into [`ResolvedGroup`]s: one
+/// group per distinct leading-components prefix when grouping, a single
+/// anonymous group otherwise.
+fn partition(
+    norm: &str,
+    targets: Vec<(String, SensorId)>,
+    group_by: Option<usize>,
+) -> Vec<ResolvedGroup> {
+    match group_by {
+        None => {
+            // keep the legacy naming: a single resolved sensor is named by
+            // its own topic, a fan-in by the queried prefix
+            let base = if targets.len() == 1 { targets[0].0.clone() } else { norm.to_string() };
+            vec![(None, base, targets)]
+        }
+        Some(level) => {
+            let mut groups: BTreeMap<String, Vec<(String, SensorId)>> = BTreeMap::new();
+            for (topic, sid) in targets {
+                let levels = dcdb_sid::topic::split_levels(&topic);
+                let depth = level.min(levels.len());
+                let key = dcdb_sid::topic::join_levels(&levels[..depth]);
+                groups.entry(key).or_default().push((topic, sid));
+            }
+            groups.into_iter().map(|(key, members)| (Some(key.clone()), key, members)).collect()
+        }
+    }
+}
+
+/// The unit of a fan-in group.  Strict mode treats `Unit::NONE` (no
+/// metadata) as compatible with anything but rejects two distinct concrete
+/// units; lenient mode reproduces the old first-unit-wins behaviour.
+fn group_unit(units: &[Unit], mode: UnitMode, group: &str) -> Result<Unit, QueryError> {
+    match mode {
+        UnitMode::Lenient => Ok(units.first().copied().unwrap_or_default()),
+        UnitMode::Strict => {
+            let mut found: Option<Unit> = None;
+            for &unit in units {
+                if unit == Unit::NONE {
+                    continue;
+                }
+                match found {
+                    None => found = Some(unit),
+                    Some(f) if f == unit => {}
+                    Some(f) => {
+                        let mut names = vec![f.name];
+                        for &u in units {
+                            if u != Unit::NONE && !names.contains(&u.name) {
+                                names.push(u.name);
+                            }
+                        }
+                        return Err(QueryError::MixedUnits {
+                            group: group.to_string(),
+                            units: names,
+                        });
+                    }
+                }
+            }
+            Ok(found.unwrap_or(Unit::NONE))
+        }
+    }
+}
+
+/// Fold `agg` over the interpolated samples of every series at each point
+/// of their union timestamp grid.
+fn interpolated_fold(slices: &[&[Reading]], agg: AggFn) -> Vec<Reading> {
+    let grid = crate::interp::timestamp_union(slices);
+    let mut samples = Vec::with_capacity(slices.len());
+    grid.into_iter()
+        .map(|ts| {
+            samples.clear();
+            samples.extend(slices.iter().filter_map(|s| crate::interp::sample_at(s, ts)));
+            let value = match agg {
+                // the sum folds in slice order, exactly like the legacy
+                // aggregate_subtree, so results stay bit-identical
+                AggFn::Sum => samples.iter().sum(),
+                AggFn::Avg => samples.iter().sum::<f64>() / samples.len().max(1) as f64,
+                AggFn::Min => samples.iter().copied().fold(f64::INFINITY, f64::min),
+                AggFn::Max => samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                AggFn::Count => samples.len() as f64,
+                AggFn::Stddev => {
+                    let mut m = dcdb_query::Moments::new();
+                    for &v in &samples {
+                        m.push(v);
+                    }
+                    m.stddev()
+                }
+                AggFn::Quantile(q) => {
+                    let mut v = samples.clone();
+                    v.sort_by(f64::total_cmp);
+                    let idx = (q * (v.len().max(1) - 1) as f64).round() as usize;
+                    v.get(idx.min(v.len().saturating_sub(1))).copied().unwrap_or(f64::NAN)
+                }
+                AggFn::Rate => unreachable!("validate() rejects interpolated rate"),
+            };
+            Reading { ts, value }
+        })
+        .collect()
+}
+
+/// Apply the requested response ordering and per-series limit.
+fn finalize(response: &mut QueryResponse, req: &QueryRequest) {
+    match req.order {
+        SeriesOrder::Key => response.series.sort_by(|a, b| {
+            let ka = a.key.as_deref().unwrap_or(&a.series.topic);
+            let kb = b.key.as_deref().unwrap_or(&b.series.topic);
+            ka.cmp(kb)
+        }),
+        SeriesOrder::MeanDesc => {
+            // one mean per series up front: the comparator must not rescan
+            // both series' readings on every comparison
+            let mut keyed: Vec<(f64, GroupSeries)> = response
+                .series
+                .drain(..)
+                .map(|s| {
+                    let r = &s.series.readings;
+                    let mean = if r.is_empty() {
+                        f64::NEG_INFINITY
+                    } else {
+                        r.iter().map(|x| x.value).sum::<f64>() / r.len() as f64
+                    };
+                    (mean, s)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+            response.series.extend(keyed.into_iter().map(|(_, s)| s));
+        }
+    }
+    if let Some(n) = req.limit {
+        for s in &mut response.series {
+            let len = s.series.readings.len();
+            if len > n {
+                s.series.readings.drain(..len - n);
+            }
+        }
+    }
+}
+
+/// Legacy wrappers pre-validate their requests and run with lenient units,
+/// so only virtual-sensor errors can surface.
+fn legacy_err(e: QueryError) -> VsError {
+    match e {
+        QueryError::Virtual(e) => e,
+        other => unreachable!("legacy wrapper produced a non-virtual error: {other}"),
     }
 }
 
@@ -405,6 +736,155 @@ mod tests {
         let db = SensorDb::in_memory();
         let s = db.query_aggregate("/no/such", TimeRange::all(), 1_000, AggFn::Avg).unwrap();
         assert!(s.readings.is_empty());
+    }
+
+    fn two_rack_db() -> Arc<SensorDb> {
+        let db = SensorDb::in_memory();
+        for rack in 0..2i64 {
+            for node in 0..3i64 {
+                for ts in 0..60i64 {
+                    db.insert(
+                        &format!("/sys/rack{rack}/node{node}/power"),
+                        ts * 1_000_000_000,
+                        100.0 * (rack + 1) as f64 + node as f64,
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn execute_grouped_one_series_per_rack() {
+        let db = two_rack_db();
+        let req = QueryRequest::new("/sys")
+            .range(TimeRange::new(0, 60_000_000_000))
+            .aggregate(AggFn::Avg, 60_000_000_000)
+            .group_by(2);
+        let resp = db.execute(&req).unwrap();
+        assert_eq!(resp.series.len(), 2);
+        let r0 = &resp.series[0];
+        assert_eq!(r0.key.as_deref(), Some("/sys/rack0"));
+        assert_eq!(r0.series.topic, "/sys/rack0/+avg");
+        assert_eq!(r0.sensors, 3);
+        assert!((r0.series.readings[0].value - 101.0).abs() < 1e-9);
+        let r1 = &resp.series[1];
+        assert_eq!(r1.key.as_deref(), Some("/sys/rack1"));
+        assert!((r1.series.readings[0].value - 201.0).abs() < 1e-9);
+        // every group is bit-identical to the equivalent ungrouped fan-in
+        for (rack, group) in resp.series.iter().enumerate() {
+            let solo = db
+                .query_aggregate(
+                    &format!("/sys/rack{rack}"),
+                    TimeRange::new(0, 60_000_000_000),
+                    60_000_000_000,
+                    AggFn::Avg,
+                )
+                .unwrap();
+            assert_eq!(group.series.readings, solo.readings);
+        }
+    }
+
+    #[test]
+    fn execute_group_level_deeper_than_topics() {
+        let db = two_rack_db();
+        // level 3 groups per node: 6 groups
+        let req = QueryRequest::new("/sys").aggregate(AggFn::Max, 60_000_000_000).group_by(3);
+        let resp = db.execute(&req).unwrap();
+        assert_eq!(resp.series.len(), 6);
+        assert_eq!(resp.series[0].key.as_deref(), Some("/sys/rack0/node0"));
+        assert_eq!(resp.series[0].sensors, 1);
+    }
+
+    #[test]
+    fn execute_order_and_limit() {
+        let db = two_rack_db();
+        let req = QueryRequest::new("/sys")
+            .aggregate(AggFn::Avg, 10_000_000_000)
+            .group_by(2)
+            .order(SeriesOrder::MeanDesc)
+            .limit(2);
+        let resp = db.execute(&req).unwrap();
+        // hottest rack first, and only the last 2 of 6 windows survive
+        assert_eq!(resp.series[0].key.as_deref(), Some("/sys/rack1"));
+        assert_eq!(resp.series[0].series.readings.len(), 2);
+        assert_eq!(resp.series[0].series.readings[0].ts, 40_000_000_000);
+    }
+
+    #[test]
+    fn execute_strict_mixed_units_is_typed_error() {
+        let db = two_rack_db();
+        db.set_meta("/sys/rack0/node0/power", SensorMeta::with_unit(Unit::WATT));
+        db.set_meta("/sys/rack0/node1/power", SensorMeta::with_unit(Unit::JOULE));
+        let req = QueryRequest::new("/sys/rack0").aggregate(AggFn::Avg, 60_000_000_000);
+        let err = db.execute(&req).unwrap_err();
+        let QueryError::MixedUnits { group, units } = err else {
+            panic!("expected MixedUnits, got {err}");
+        };
+        assert_eq!(group, "/sys/rack0");
+        assert_eq!(units, vec!["W", "J"]);
+        // the legacy wrapper keeps the old lenient first-unit behaviour
+        let s =
+            db.query_aggregate("/sys/rack0", TimeRange::all(), 60_000_000_000, AggFn::Avg).unwrap();
+        assert_eq!(s.unit, Unit::WATT);
+    }
+
+    #[test]
+    fn execute_strict_units_treat_none_as_unspecified() {
+        let db = two_rack_db();
+        // only one sensor carries metadata: NONE neighbours are compatible,
+        // and the concrete unit labels the fan-in (the old API said NONE)
+        db.set_meta("/sys/rack0/node1/power", SensorMeta::with_unit(Unit::WATT));
+        let req = QueryRequest::new("/sys/rack0").aggregate(AggFn::Avg, 60_000_000_000);
+        let resp = db.execute(&req).unwrap();
+        assert_eq!(resp.series[0].series.unit, Unit::WATT);
+        // grouped: the clean rack stays NONE, the labelled one is W
+        let resp = db
+            .execute(&QueryRequest::new("/sys").aggregate(AggFn::Avg, 60_000_000_000).group_by(2))
+            .unwrap();
+        assert_eq!(resp.series[0].series.unit, Unit::WATT);
+        assert_eq!(resp.series[1].series.unit, Unit::NONE);
+    }
+
+    #[test]
+    fn execute_interpolated_generalises_aggregate_subtree() {
+        let db = two_rack_db();
+        let sum = db
+            .execute(&QueryRequest::subtree("/sys/rack0").aggregate_interpolated(AggFn::Sum))
+            .unwrap();
+        let legacy = db.aggregate_subtree("/sys/rack0", TimeRange::all()).unwrap();
+        assert_eq!(sum.clone().into_single().readings, legacy.readings);
+        assert_eq!(sum.series[0].series.topic, "/sys/rack0/+sum");
+        // and beyond sum: the per-grid-point maximum
+        let max = db
+            .execute(&QueryRequest::subtree("/sys/rack0").aggregate_interpolated(AggFn::Max))
+            .unwrap();
+        assert!((max.series[0].series.readings[0].value - 102.0).abs() < 1e-9);
+        // count is unitless here exactly like in the windowed path
+        db.set_meta("/sys/rack0/node0/power", SensorMeta::with_unit(Unit::WATT));
+        let cnt = db
+            .execute(&QueryRequest::subtree("/sys/rack0").aggregate_interpolated(AggFn::Count))
+            .unwrap();
+        assert_eq!(cnt.series[0].series.unit, Unit::NONE);
+    }
+
+    #[test]
+    fn execute_raw_subtree_series_per_sensor() {
+        let db = two_rack_db();
+        let resp = db.execute(&QueryRequest::subtree("/sys/rack0").limit(5)).unwrap();
+        assert_eq!(resp.series.len(), 3);
+        assert!(resp.series.iter().all(|s| s.series.readings.len() == 5));
+        // the limit keeps the most recent readings
+        assert_eq!(resp.series[0].series.readings[0].ts, 55_000_000_000);
+    }
+
+    #[test]
+    fn execute_rejects_group_by_on_virtual() {
+        let db = two_rack_db();
+        db.define_virtual("/v/x", "\"/sys/rack0/node0/power\" * 2", Unit::WATT).unwrap();
+        let req = QueryRequest::new("/v/x").aggregate(AggFn::Avg, 1_000_000_000).group_by(2);
+        assert!(matches!(db.execute(&req), Err(QueryError::InvalidRequest(_))));
     }
 
     #[test]

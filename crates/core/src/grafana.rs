@@ -16,8 +16,16 @@
 //!   `stddev`, `p99`, `rate`, …), and `topic` may be a hierarchy *prefix*
 //!   (fan-in over the sub-tree).  When `intervalMs` is absent the window
 //!   falls out of `(end − start) / maxDataPoints`,
+//! * `GET /query?...&agg=avg&groupBy=N` — *grouped* aggregation: instead of
+//!   one fanned-in series, sensors partition by their topic's first `N`
+//!   hierarchy components and every group aggregates into its own series
+//!   (evaluated in parallel), returned as a JSON array of series objects
+//!   tagged with their `group` key — one Grafana panel line per rack/node,
 //! * `GET /annotations` style stats: `GET /stats?topic=...` (min/max/avg of
 //!   the plotted metric, like the panel legend).
+//!
+//! Every data path builds a [`crate::QueryRequest`] and goes through
+//! [`SensorDb::execute`].
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -27,8 +35,9 @@ use dcdb_http::server::{HttpServer, Method, Response, StatusCode};
 use dcdb_http::Router;
 use dcdb_store::reading::TimeRange;
 
-use crate::api::SensorDb;
+use crate::api::{SensorDb, Series};
 use crate::ops;
+use crate::request::{QueryError, QueryRequest};
 
 /// Build the data-source router over `db`.
 pub fn router(db: Arc<SensorDb>) -> Router {
@@ -55,8 +64,7 @@ pub fn router(db: Arc<SensorDb>) -> Router {
             return Response::error(StatusCode::BadRequest, "start must precede end");
         }
         let range = TimeRange::new(start, end);
-        let aggregated = req.query_param("agg").is_some();
-        let result = match req.query_param("agg") {
+        match req.query_param("agg") {
             Some(name) => {
                 let Some(agg) = dcdb_query::AggFn::parse(name) else {
                     return Response::error(StatusCode::BadRequest, "unknown agg");
@@ -69,32 +77,55 @@ pub fn router(db: Arc<SensorDb>) -> Router {
                     .map(|ms| ms.saturating_mul(1_000_000))
                     .unwrap_or_else(|| range.duration() / max_points.max(1) as i64)
                     .max(1);
-                d.query_aggregate(topic, range, window_ns, agg)
+                let mut qreq = QueryRequest::new(topic).range(range).aggregate(agg, window_ns);
+                let grouped = req.query_param("groupBy").is_some();
+                if grouped {
+                    let Some(level) = req.query_param("groupBy").and_then(|v| v.parse().ok())
+                    else {
+                        return Response::error(StatusCode::BadRequest, "bad groupBy level");
+                    };
+                    qreq = qreq.group_by(level);
+                }
+                match d.execute(&qreq) {
+                    // grouped responses are an array of tagged series;
+                    // ungrouped keep the single-object shape.  Aggregated
+                    // readings are already windowed — no downsampling,
+                    // averaging per-window maxima would change their meaning
+                    Ok(resp) if grouped => {
+                        let series: Vec<Json> = resp
+                            .series
+                            .iter()
+                            .map(|g| {
+                                let Json::Obj(mut obj) = series_json(&g.series, None) else {
+                                    unreachable!("series_json builds an object");
+                                };
+                                obj.insert(
+                                    "group".into(),
+                                    Json::str(g.key.clone().unwrap_or_default()),
+                                );
+                                obj.insert("sensors".into(), Json::Num(g.sensors as f64));
+                                Json::Obj(obj)
+                            })
+                            .collect();
+                        Response::json(&Json::Arr(series))
+                    }
+                    Ok(resp) => Response::json(&series_json(&resp.into_single(), None)),
+                    Err(e @ (QueryError::MixedUnits { .. } | QueryError::InvalidRequest(_))) => {
+                        Response::error(StatusCode::BadRequest, &e.to_string())
+                    }
+                    Err(e) => Response::error(StatusCode::InternalError, &e.to_string()),
+                }
             }
-            None => d.query(topic, range),
-        };
-        match result {
-            Ok(series) => {
-                // raw series downsample to the panel resolution by bucket
-                // means; aggregated series are already windowed, and
-                // averaging e.g. per-window maxima or counts would silently
-                // change their meaning — return them as computed
-                let points = if aggregated {
-                    series.readings
-                } else {
-                    ops::downsample(&series.readings, max_points)
-                };
-                let datapoints: Vec<Json> = points
-                    .iter()
-                    .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
-                    .collect();
-                Response::json(&Json::obj([
-                    ("target", Json::str(series.topic)),
-                    ("unit", Json::str(series.unit.name)),
-                    ("datapoints", Json::Arr(datapoints)),
-                ]))
+            None if req.query_param("groupBy").is_some() => {
+                // mirror QueryRequest::validate rather than dropping the
+                // grouping the client asked for
+                Response::error(StatusCode::BadRequest, "groupBy needs an agg")
             }
-            Err(e) => Response::error(StatusCode::InternalError, &e.to_string()),
+            None => match d.query(topic, range) {
+                // raw series downsample to the panel resolution by bucket means
+                Ok(series) => Response::json(&series_json(&series, Some(max_points))),
+                Err(e) => Response::error(StatusCode::InternalError, &e.to_string()),
+            },
         }
     });
 
@@ -120,6 +151,24 @@ pub fn router(db: Arc<SensorDb>) -> Router {
     });
 
     r
+}
+
+/// One series as a Grafana data-source object; raw series downsample to
+/// `max_points` by bucket means, aggregated series pass `None`.
+fn series_json(series: &Series, max_points: Option<usize>) -> Json {
+    let points = match max_points {
+        Some(n) => ops::downsample(&series.readings, n),
+        None => series.readings.clone(),
+    };
+    let datapoints: Vec<Json> = points
+        .iter()
+        .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
+        .collect();
+    Json::obj([
+        ("target", Json::str(series.topic.clone())),
+        ("unit", Json::str(series.unit.name)),
+        ("datapoints", Json::Arr(datapoints)),
+    ])
 }
 
 /// Serve the data source on `bind`.
@@ -304,6 +353,63 @@ mod tests {
         );
         assert_eq!(code, 200);
         assert!(j.get("datapoints").unwrap().as_arr().unwrap().len() <= 5);
+    }
+
+    #[test]
+    fn group_by_returns_one_series_per_rack() {
+        let (_db, h) = handler();
+        let (code, j) = get(
+            &h,
+            "/query",
+            &[
+                ("topic", "/lrz/sys"),
+                ("start", "0"),
+                ("end", "100000000"),
+                ("agg", "sum"),
+                ("intervalMs", "1"),
+                ("groupBy", "3"),
+            ],
+        );
+        assert_eq!(code, 200);
+        let series = j.as_arr().unwrap();
+        assert_eq!(series.len(), 2, "{j:?}");
+        let rack0 = &series[0];
+        assert_eq!(rack0.get("group").unwrap().as_str(), Some("/lrz/sys/rack0"));
+        assert_eq!(rack0.get("target").unwrap().as_str(), Some("/lrz/sys/rack0/+sum"));
+        assert_eq!(rack0.get("sensors").unwrap().as_f64(), Some(3.0));
+        let dp = rack0.get("datapoints").unwrap().as_arr().unwrap();
+        assert_eq!(dp.len(), 100);
+        // 200 + 201 + 202 per millisecond window
+        assert_eq!(dp[0].idx(0).unwrap().as_f64(), Some(603.0));
+        assert_eq!(series[1].get("group").unwrap().as_str(), Some("/lrz/sys/rack1"));
+    }
+
+    #[test]
+    fn group_by_validation_errors_are_client_errors() {
+        let (_db, h) = handler();
+        let q = [("topic", "/lrz/sys"), ("agg", "avg"), ("groupBy", "bogus")];
+        assert_eq!(get(&h, "/query", &q).0, 400);
+        let q = [("topic", "/lrz/sys"), ("agg", "avg"), ("groupBy", "99")];
+        assert_eq!(get(&h, "/query", &q).0, 400);
+        // groupBy without an aggregation is rejected, not silently dropped
+        let q = [("topic", "/lrz/sys"), ("groupBy", "2")];
+        assert_eq!(get(&h, "/query", &q).0, 400);
+    }
+
+    #[test]
+    fn mixed_units_rejected_with_a_clear_error() {
+        let (db, h) = handler();
+        db.set_meta(
+            "/lrz/sys/rack0/node0/power",
+            crate::api::SensorMeta::with_unit(crate::units::Unit::WATT),
+        );
+        db.set_meta(
+            "/lrz/sys/rack0/node1/power",
+            crate::api::SensorMeta::with_unit(crate::units::Unit::JOULE),
+        );
+        let (code, _) =
+            get(&h, "/query", &[("topic", "/lrz/sys/rack0"), ("agg", "avg"), ("intervalMs", "10")]);
+        assert_eq!(code, 400, "mixed W/J fan-in must not silently aggregate");
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   downsampling (§5.2); windowed statistics delegate to `dcdb-query`'s
 //!   single [`Moments`](dcdb_query::Moments) implementation,
 //! * [`api`] — [`api::SensorDb`]: topics + metadata + queries in one handle,
+//! * [`request`] — the unified typed query API: [`request::QueryRequest`]
+//!   (builder: topic/prefix target, range, windowed or interpolated
+//!   aggregation, group-by level, limit/ordering) executed by
+//!   [`api::SensorDb::execute`] into a [`request::QueryResponse`] of
+//!   group-tagged series; grouped queries evaluate in parallel,
 //! * [`vsensor`] — virtual sensors: lazily-evaluated arithmetic expressions
 //!   over sensors, with unit conversion, interpolation and write-back
 //!   caching of results (§3.2),
@@ -23,9 +28,13 @@ pub mod api;
 pub mod grafana;
 pub mod interp;
 pub mod ops;
+pub mod request;
 pub mod units;
 pub mod vsensor;
 
 pub use api::{SensorDb, SensorMeta, Series};
+pub use request::{
+    GroupSeries, QueryError, QueryRequest, QueryResponse, SeriesOrder, TargetMode, UnitMode,
+};
 pub use units::Unit;
 pub use vsensor::{VirtualSensor, VsError};

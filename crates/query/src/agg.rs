@@ -249,6 +249,43 @@ impl WindowedAgg {
         (ts as i128).div_euclid(self.window as i128) * self.window as i128
     }
 
+    /// The aggregation this accumulator computes.
+    pub fn agg(&self) -> AggFn {
+        self.agg
+    }
+
+    /// The window size, ns.
+    pub fn window_ns(&self) -> i64 {
+        self.window
+    }
+
+    /// Merge another accumulator in — the partial-combination step behind
+    /// grouped/parallel execution: each group (or worker) folds its own
+    /// series into a private `WindowedAgg`, and the partials merge window by
+    /// window (`min`/`max`/`count` and quantile value sets re-merge exactly;
+    /// `avg`/`sum`/`stddev` combine via Chan's method, `rate` by summing
+    /// per-series rates).
+    ///
+    /// # Panics
+    /// Panics when the aggregation or window size differ.
+    pub fn merge(&mut self, other: WindowedAgg) {
+        assert_eq!(self.agg, other.agg, "cannot merge different aggregations");
+        assert_eq!(self.window, other.window, "cannot merge different window sizes");
+        for (key, state) in other.windows {
+            match self.windows.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(state);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), state) {
+                    (WinState::Moments(a), WinState::Moments(b)) => a.merge(&b),
+                    (WinState::Values(a), WinState::Values(b)) => a.extend(b),
+                    (WinState::Rate(a), WinState::Rate(b)) => *a += b,
+                    _ => unreachable!("window states match the aggregation"),
+                },
+            }
+        }
+    }
+
     /// Fold one series in (readings in timestamp order).
     pub fn feed_series(&mut self, readings: impl Iterator<Item = Reading>) {
         match self.agg {
@@ -493,6 +530,45 @@ mod tests {
         w.feed_series(series(&[(0, 0.0), (2_000_000_000, 100.0)]).into_iter());
         let out = w.finish();
         assert!((out[0].value - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_partials_match_single_accumulator() {
+        // exact aggregations re-merge bit-identically regardless of the split
+        for agg in [AggFn::Min, AggFn::Max, AggFn::Count, AggFn::Quantile(0.5)] {
+            let s1 = series(&[(0, 3.0), (5, -1.0), (12, 8.0)]);
+            let s2 = series(&[(2, 7.0), (14, 2.0), (25, 4.0)]);
+            let mut whole = WindowedAgg::new(agg, 10);
+            whole.feed_series(s1.clone().into_iter());
+            whole.feed_series(s2.clone().into_iter());
+            let mut left = WindowedAgg::new(agg, 10);
+            left.feed_series(s1.into_iter());
+            let mut right = WindowedAgg::new(agg, 10);
+            right.feed_series(s2.into_iter());
+            left.merge(right);
+            let (a, b) = (left.finish(), whole.finish());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.ts, y.ts);
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{agg}");
+            }
+        }
+        // moment merges agree to floating-point accuracy
+        let mut whole = WindowedAgg::new(AggFn::Avg, 100);
+        whole.feed_series(series(&[(0, 10.0), (1, 20.0), (2, 40.0)]).into_iter());
+        let mut left = WindowedAgg::new(AggFn::Avg, 100);
+        left.feed_series(series(&[(0, 10.0), (1, 20.0)]).into_iter());
+        let mut right = WindowedAgg::new(AggFn::Avg, 100);
+        right.feed_series(series(&[(2, 40.0)]).into_iter());
+        left.merge(right);
+        assert!((left.finish()[0].value - whole.finish()[0].value).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window sizes")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = WindowedAgg::new(AggFn::Avg, 10);
+        a.merge(WindowedAgg::new(AggFn::Avg, 20));
     }
 
     #[test]

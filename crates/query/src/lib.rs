@@ -22,8 +22,14 @@
 //!   sensor-tree fan-in never concatenates series).
 //! * [`engine`] — [`QueryEngine`]: the façade over a
 //!   [`dcdb_store::StoreCluster`] that routes to the owning node, captures
-//!   pushdown snapshots and runs windowed aggregates over one sensor or a
-//!   whole SID sub-tree.
+//!   pushdown snapshots and runs windowed aggregates over one sensor, a
+//!   whole SID sub-tree, or many sub-trees at once ([`SensorGroup`] +
+//!   [`QueryEngine::aggregate_grouped`] — group-by with one result series
+//!   per sub-tree).
+//! * [`exec`] — the scoped thread-pool executor: grouped queries evaluate
+//!   their groups concurrently (one worker per core, atomic work-stealing
+//!   cursor) with results in deterministic input order, bit-identical to
+//!   serial evaluation.
 //!
 //! ## Pushdown contract
 //!
@@ -60,8 +66,9 @@
 
 pub mod agg;
 pub mod engine;
+pub mod exec;
 pub mod iter;
 
 pub use agg::{moments_of, parse_duration_ns, window_aggregate, AggFn, Moments, WindowedAgg};
-pub use engine::QueryEngine;
+pub use engine::{QueryEngine, SensorGroup};
 pub use iter::SeriesIter;

@@ -2,20 +2,23 @@
 //!
 //! ```text
 //! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats]
-//!           [--agg FN --window DUR] [--sizes] <topic-or-prefix>...
+//!           [--agg FN --window DUR [--group-by N]] [--sizes] <topic-or-prefix>...
 //! ```
 //!
-//! `--agg`/`--window` run the streaming aggregation engine: `FN` is any
-//! `dcdb-query` aggregation (`avg`, `min`, `max`, `sum`, `count`, `stddev`,
-//! `p99`, `median`, `rate`, …) and `DUR` a duration like `30s`, `5m`, `1h`.
-//! Topics may be hierarchy *prefixes* — `dcdbquery --agg avg --window 5m
-//! /rack0` averages every sensor under `/rack0` per 5-minute window,
-//! decoding only the compressed blocks the range touches.
+//! `--agg`/`--window` build a `QueryRequest` and run it through the unified
+//! `SensorDb::execute` path: `FN` is any `dcdb-query` aggregation (`avg`,
+//! `min`, `max`, `sum`, `count`, `stddev`, `p99`, `median`, `rate`, …) and
+//! `DUR` a duration like `30s`, `5m`, `1h`.  Topics may be hierarchy
+//! *prefixes* — `dcdbquery --agg avg --window 5m /rack0` averages every
+//! sensor under `/rack0` per 5-minute window, decoding only the compressed
+//! blocks the range touches.  `--group-by N` splits the fan-in at
+//! hierarchy level `N` (one output series per rack/node/..., evaluated in
+//! parallel) and prints the group key as the first CSV column.
 //!
 //! `--sizes` reports the database's stored (compressed) versus raw
 //! fixed-width byte footprint; with `--sizes` topics are optional.
 
-use dcdb_core::ops;
+use dcdb_core::{ops, QueryRequest};
 use dcdb_store::reading::TimeRange;
 use dcdb_tools::{db_sizes, open_db, Args};
 
@@ -55,7 +58,7 @@ fn main() {
         }
     }
     let range = TimeRange::new(start, end);
-    if args.has("agg") || args.has("window") {
+    if args.has("agg") || args.has("window") || args.has("group-by") {
         let Some(agg) = args.get("agg").and_then(dcdb_query::AggFn::parse) else {
             eprintln!("dcdbquery: --agg needs avg|min|max|sum|count|stddev|median|pNN|qX|rate");
             std::process::exit(2);
@@ -66,12 +69,36 @@ fn main() {
             eprintln!("dcdbquery: --window needs a duration like 30s, 5m, 1h");
             std::process::exit(2);
         };
-        println!("sensor,window_start,{agg}");
+        let group_by: Option<usize> = match args.get("group-by") {
+            None => None,
+            Some(v) => match v.parse() {
+                Ok(level) if (1..=dcdb_sid::LEVELS).contains(&level) => Some(level),
+                _ => {
+                    eprintln!(
+                        "dcdbquery: --group-by needs a hierarchy level (1..={})",
+                        dcdb_sid::LEVELS
+                    );
+                    std::process::exit(2);
+                }
+            },
+        };
+        if group_by.is_some() {
+            println!("group,window_start,{agg}");
+        } else {
+            println!("sensor,window_start,{agg}");
+        }
         for topic in topics {
-            match db.query_aggregate(topic, range, window, agg) {
-                Ok(series) => {
-                    for r in &series.readings {
-                        println!("{},{},{}", series.topic, r.ts, r.value);
+            let mut req = QueryRequest::new(topic).range(range).aggregate(agg, window);
+            if let Some(level) = group_by {
+                req = req.group_by(level);
+            }
+            match db.execute(&req) {
+                Ok(resp) => {
+                    for group in &resp.series {
+                        let label = group.key.as_deref().unwrap_or(&group.series.topic);
+                        for r in &group.series.readings {
+                            println!("{label},{},{}", r.ts, r.value);
+                        }
                     }
                 }
                 Err(e) => eprintln!("dcdbquery: {topic}: {e}"),

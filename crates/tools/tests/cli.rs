@@ -159,6 +159,73 @@ fn windowed_aggregation_over_prefix() {
 }
 
 #[test]
+fn grouped_aggregation_prints_group_key_column() {
+    let dir = tmp_dir("groupby");
+    let db = dir.join("db");
+    let csv = dir.join("data.csv");
+    // a 2-rack simulated tree: 2 nodes per rack, 10 minutes of 1 Hz power
+    let mut text = String::from("sensor,timestamp,value\n");
+    for rack in 0..2i64 {
+        for node in 0..2i64 {
+            for i in 0..600i64 {
+                text.push_str(&format!(
+                    "/sim/rack{rack}/n{node}/power,{},{}\n",
+                    i * 1_000_000_000,
+                    100 * (rack + 1)
+                ));
+            }
+        }
+    }
+    std::fs::write(&csv, text).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_csvimport"))
+        .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // per-rack average: one series per group, keyed by the rack prefix
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args([
+            "--db",
+            db.to_str().unwrap(),
+            "--agg",
+            "avg",
+            "--window",
+            "10m",
+            "--group-by",
+            "2",
+            "/sim",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("group,window_start,avg"), "{text}");
+    // rack0 nodes sit at 100 W, rack1 nodes at 200 W
+    assert!(text.contains("/sim/rack0,0,100\n"), "{text}");
+    assert!(text.contains("/sim/rack1,0,200\n"), "{text}");
+
+    // a bad level is rejected with a usage hint
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args([
+            "--db",
+            db.to_str().unwrap(),
+            "--agg",
+            "avg",
+            "--window",
+            "10m",
+            "--group-by",
+            "many",
+            "/sim",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--group-by"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn dcdbconfig_manages_the_database() {
     let dir = tmp_dir("cfg");
     let db = dir.join("db");

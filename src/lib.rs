@@ -20,7 +20,10 @@
 //! * [`sim`] — simulated HPC cluster substrate (architectures, devices, workloads)
 //! * [`pusher`] — the plugin-based data-collection agent
 //! * [`collectagent`] — the publish-only MQTT broker writing to storage
-//! * [`core`] — libDCDB: queries, virtual sensors, units, analysis operations
+//! * [`core`] — libDCDB: the unified typed query API
+//!   (`QueryRequest`/`QueryResponse` via `SensorDb::execute`, with group-by
+//!   and parallel grouped execution), virtual sensors, units, analysis
+//!   operations
 //!
 //! ## Quickstart
 //!

@@ -83,6 +83,52 @@ fn two_collect_agents_one_storage_cluster() {
 }
 
 #[test]
+fn grouped_queries_across_a_sharded_site() {
+    // a 4-node storage cluster, one sensor tree spanning 3 racks
+    let store = Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(4, 2), 1));
+    let db = SensorDb::new(store, Arc::new(TopicRegistry::new()));
+    for rack in 0..3i64 {
+        for node in 0..4i64 {
+            for ts in 0..120i64 {
+                db.insert(
+                    &format!("/site/rack{rack}/node{node}/power"),
+                    ts * 1_000_000_000,
+                    100.0 * (rack + 1) as f64,
+                )
+                .unwrap();
+            }
+        }
+    }
+    // one request: per-rack average power in 1-minute windows
+    let req = dcdb::core::QueryRequest::new("/site")
+        .range(TimeRange::new(0, 120_000_000_000))
+        .aggregate(dcdb::query::AggFn::Avg, 60_000_000_000)
+        .group_by(2);
+    let resp = db.execute(&req).unwrap();
+    assert_eq!(resp.series.len(), 3);
+    for (rack, group) in resp.series.iter().enumerate() {
+        assert_eq!(group.key.as_deref().unwrap(), format!("/site/rack{rack}"));
+        assert_eq!(group.sensors, 4);
+        assert_eq!(group.series.readings.len(), 2);
+        assert!(group
+            .series
+            .readings
+            .iter()
+            .all(|r| (r.value - 100.0 * (rack + 1) as f64).abs() < 1e-9));
+        // grouped series agree with the legacy per-rack fan-in exactly
+        let legacy = db
+            .query_aggregate(
+                &format!("/site/rack{rack}"),
+                TimeRange::new(0, 120_000_000_000),
+                60_000_000_000,
+                dcdb::query::AggFn::Avg,
+            )
+            .unwrap();
+        assert_eq!(group.series.readings, legacy.readings);
+    }
+}
+
+#[test]
 fn subtree_queries_and_aggregates() {
     let db = SensorDb::in_memory();
     for node in 0..4 {
