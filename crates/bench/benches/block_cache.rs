@@ -1,0 +1,73 @@
+//! Criterion micro-benchmark of the decoded-block cache: repeated reads of
+//! the same SSTable blocks with and without a cache attached.  The cached
+//! read degenerates to hash lookups + memcpy; the uncached read pays the
+//! Gorilla decode every time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dcdb_sid::SensorId;
+use dcdb_store::reading::{TimeRange, Timestamp};
+use dcdb_store::sstable::SsTable;
+use dcdb_store::BlockCache;
+
+const READINGS: usize = 8192;
+
+fn table_entries(sid: SensorId) -> Vec<(SensorId, Timestamp, f64)> {
+    (0..READINGS)
+        .map(|i| (sid, i as i64 * 1_000_000_000, 240.0 + ((i as f64) * 0.05).sin() * 3.0))
+        .collect()
+}
+
+fn bench_block_reads(c: &mut Criterion) {
+    let sid = SensorId::from_fields(&[1, 2]).unwrap();
+    let uncached = SsTable::from_sorted(table_entries(sid));
+    let cache = Arc::new(BlockCache::new(1 << 20));
+    let cached = SsTable::from_sorted_cached(table_entries(sid), Some(cache));
+    // warm the cache so the cached case measures steady-state hits
+    let mut warmup = Vec::new();
+    cached.query(sid, TimeRange::all(), &mut warmup);
+    assert_eq!(warmup.len(), READINGS);
+
+    let mut g = c.benchmark_group("block_reads");
+    g.throughput(Throughput::Elements(READINGS as u64));
+    g.bench_function("uncached_8k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(READINGS);
+            uncached.query(std::hint::black_box(sid), TimeRange::all(), &mut out);
+            out
+        })
+    });
+    g.bench_function("cached_8k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(READINGS);
+            cached.query(std::hint::black_box(sid), TimeRange::all(), &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_window_fold(c: &mut Criterion) {
+    // the aggregation work a warm dashboard refresh still pays after the
+    // cache removed the decode: fold 3600 readings into 60 windows
+    let readings: Vec<dcdb_store::Reading> = (0..3600)
+        .map(|i| dcdb_store::Reading::new(i as i64 * 1_000_000_000, 240.0 + (i % 7) as f64))
+        .collect();
+    let mut g = c.benchmark_group("window_fold");
+    g.throughput(Throughput::Elements(readings.len() as u64));
+    g.bench_function("avg_3600_into_60", |b| {
+        b.iter(|| {
+            dcdb_query::window_aggregate(
+                std::hint::black_box(&readings).iter().copied(),
+                60_000_000_000,
+                dcdb_query::AggFn::Avg,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_reads, bench_window_fold);
+criterion_main!(benches);

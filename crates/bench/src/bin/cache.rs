@@ -1,0 +1,110 @@
+//! Prints the hot-block cache study (cold versus warm dashboard refreshes)
+//! and the intra-group fan-in thread-scaling curve, emitting
+//! machine-readable results to `results/BENCH_cache.json`.
+use std::fmt::Write as _;
+
+fn main() {
+    let r = dcdb_bench::experiments::cache::run_refresh();
+    println!(
+        "Dashboard refresh study: 1 h / 1 min panel over {} readings, {} warm refreshes\n",
+        r.readings,
+        dcdb_bench::experiments::cache::REFRESHES,
+    );
+    print!("{}", dcdb_bench::experiments::cache::render_refresh(&r));
+    println!(
+        "\nwarm refresh: {} blocks decoded ({} when cold), {:.1}x faster than uncached | \
+         results identical: {}",
+        r.blocks_warm,
+        r.blocks_cold,
+        r.warm_speedup(),
+        if r.identical { "yes" } else { "NO" }
+    );
+    assert!(r.identical, "cached aggregation diverged from uncached");
+    assert_eq!(r.blocks_warm, 0, "warm refreshes must decode nothing");
+    // the acceptance bar: a warm refresh skips every decode, so it must be
+    // clearly faster.  Shared CI runners can throttle below the bar without
+    // a code defect, so missing it only warns unless BENCH_STRICT=1.
+    if r.warm_speedup() < 5.0 {
+        let msg = format!("expected >= 5x warm-refresh speedup, got {:.2}x", r.warm_speedup());
+        assert!(std::env::var_os("BENCH_STRICT").is_none(), "{msg}");
+        eprintln!("warning: {msg} (set BENCH_STRICT=1 to fail on this)");
+    }
+
+    let f = dcdb_bench::experiments::cache::run_fanin();
+    println!("\nFan-in scaling study: one {}-sensor group, 1 day / 5 min windows\n", f.sensors,);
+    print!("{}", dcdb_bench::experiments::cache::render_fanin(&f));
+    println!(
+        "\nsingle-group fan-in speedup: {:.2}x at {} available cores | \
+         all thread counts identical: {}",
+        f.max_speedup(),
+        f.available_parallelism,
+        if f.points.iter().all(|p| p.identical) { "yes" } else { "NO" }
+    );
+    assert!(f.points.iter().all(|p| p.identical), "parallel fan-in diverged from serial");
+    if f.available_parallelism >= 4 && f.max_speedup() < 2.0 {
+        let msg = format!(
+            "expected >= 2x single-group fan-in speedup on {} cores, got {:.2}x",
+            f.available_parallelism,
+            f.max_speedup()
+        );
+        assert!(std::env::var_os("BENCH_STRICT").is_none(), "{msg}");
+        eprintln!("warning: {msg} (set BENCH_STRICT=1 to fail on this)");
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"refresh\": {{\"readings\": {}, \"blocks_total\": {}, \"blocks_uncached\": {}, \
+         \"blocks_cold\": {}, \"blocks_warm\": {}, \"uncached_us\": {:.1}, \"cold_us\": {:.1}, \
+         \"warm_us\": {:.1}, \"warm_speedup\": {:.2}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"cache_hit_rate\": {:.3}, \"identical\": {}}},",
+        r.readings,
+        r.blocks_total,
+        r.blocks_uncached,
+        r.blocks_cold,
+        r.blocks_warm,
+        r.uncached_s * 1e6,
+        r.cold_s * 1e6,
+        r.warm_s * 1e6,
+        r.warm_speedup(),
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.hit_rate(),
+        r.identical,
+    );
+    let _ = writeln!(
+        json,
+        "  \"fanin\": {{\"sensors\": {}, \"readings\": {}, \"available_parallelism\": {}, \
+         \"max_speedup\": {:.2}, \"points\": [",
+        f.sensors,
+        f.readings,
+        f.available_parallelism,
+        f.max_speedup(),
+    );
+    for (i, p) in f.points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"latency_ms\": {:.2}, \"identical\": {}}}{}",
+            p.threads,
+            p.latency_s * 1e3,
+            p.identical,
+            if i + 1 < f.points.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]}\n}\n");
+    dcdb_bench::report::write_json("BENCH_cache", &json);
+    dcdb_bench::report::write_csv(
+        "cache_fanin",
+        &["threads", "latency_ms", "identical"],
+        &f.points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.threads.to_string(),
+                    format!("{:.3}", p.latency_s * 1e3),
+                    p.identical.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -53,6 +53,9 @@ pub struct CollectAgent {
     /// upgraded when a publisher switches to compression).
     encodings: RwLock<std::collections::HashMap<String, PayloadEncoding>>,
     observers: RwLock<Vec<ReadingObserver>>,
+    /// Worker-thread cap applied to [`CollectAgent::sensor_db`] handles
+    /// (`--query-threads`); `0` = all cores.
+    query_threads: std::sync::atomic::AtomicUsize,
 }
 
 impl CollectAgent {
@@ -76,6 +79,7 @@ impl CollectAgent {
             cache: Arc::new(RwLock::new(std::collections::HashMap::new())),
             encodings: RwLock::new(std::collections::HashMap::new()),
             observers: RwLock::new(Vec::new()),
+            query_threads: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -149,9 +153,20 @@ impl CollectAgent {
     /// A libDCDB handle over this agent's store and registry — the unified
     /// query surface (`SensorDb::execute`) the REST API serves from.  The
     /// handle shares the agent's `Arc`s, so it sees live data; metadata and
-    /// virtual sensors registered on it are its own.
+    /// virtual sensors registered on it are its own.  The agent's query
+    /// worker-thread cap (see [`CollectAgent::set_query_threads`]) carries
+    /// over.
     pub fn sensor_db(&self) -> Arc<dcdb_core::SensorDb> {
-        dcdb_core::SensorDb::new(Arc::clone(&self.store), Arc::clone(&self.registry))
+        let db = dcdb_core::SensorDb::new(Arc::clone(&self.store), Arc::clone(&self.registry));
+        db.set_query_threads(self.query_threads.load(Ordering::Relaxed));
+        db
+    }
+
+    /// Cap the worker threads the REST API's windowed queries may use
+    /// (`--query-threads`); `0` = all cores.  Applies to handles created by
+    /// [`CollectAgent::sensor_db`] *after* this call.
+    pub fn set_query_threads(&self, threads: usize) {
+        self.query_threads.store(threads, Ordering::Relaxed);
     }
 
     /// The storage cluster.

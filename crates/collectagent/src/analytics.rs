@@ -301,7 +301,9 @@ impl WindowedStats {
 
     fn value_of(&self, m: &Moments) -> f64 {
         match self.agg {
-            AggFn::Avg => m.mean(),
+            // sum / n, exactly how the offline windowed path reports avg
+            AggFn::Avg if m.count() > 0 => m.sum() / m.count() as f64,
+            AggFn::Avg => 0.0,
             AggFn::Min => m.min(),
             AggFn::Max => m.max(),
             AggFn::Sum => m.sum(),

@@ -14,7 +14,9 @@
 //! * `GET /aggregate?...&groupby=N` — grouped aggregation: one series per
 //!   sub-tree at hierarchy level `N`, evaluated in parallel and returned
 //!   under a `groups` array,
-//! * `GET /stats` — agent counters.
+//! * `GET /stats` — agent counters, plus the storage read-path counters:
+//!   blocks decoded/corrupt and the decoded-block cache's
+//!   capacity/used/hit/miss/eviction numbers.
 //!
 //! `/aggregate` builds a typed `QueryRequest` and runs it through
 //! `SensorDb::execute` — the same execution path as libDCDB, Grafana and
@@ -146,11 +148,19 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
     let a = Arc::clone(&agent);
     r.add(Method::Get, "/stats", move |_req| {
         let s = a.stats();
+        let cache = a.store().cache_stats();
         Response::json(&Json::obj([
             ("messages", Json::Num(s.messages.load(Ordering::Relaxed) as f64)),
             ("readings", Json::Num(s.readings.load(Ordering::Relaxed) as f64)),
             ("dropped", Json::Num(s.dropped.load(Ordering::Relaxed) as f64)),
             ("busyNs", Json::Num(s.busy_ns.load(Ordering::Relaxed) as f64)),
+            ("blocksDecoded", Json::Num(a.store().blocks_decoded() as f64)),
+            ("blocksCorrupt", Json::Num(a.store().blocks_corrupt() as f64)),
+            ("cacheCapacityReadings", Json::Num(cache.capacity_readings as f64)),
+            ("cacheUsedReadings", Json::Num(cache.used_readings as f64)),
+            ("cacheHits", Json::Num(cache.hits as f64)),
+            ("cacheMisses", Json::Num(cache.misses as f64)),
+            ("cacheEvictions", Json::Num(cache.evictions as f64)),
         ]))
     });
 
@@ -245,6 +255,32 @@ mod tests {
         // bad level is a client error
         let q = [("topic", "/r0"), ("agg", "avg"), ("window", "1s"), ("groupby", "x")];
         assert_eq!(get(&h, "/aggregate", &q).0, 400);
+    }
+
+    #[test]
+    fn stats_reports_cache_counters() {
+        use dcdb_store::NodeConfig;
+        let cfg = NodeConfig { block_cache_readings: 1 << 20, ..Default::default() };
+        let cluster = StoreCluster::new(cfg, dcdb_sid::PartitionMap::prefix(1, 3), 1);
+        let agent = CollectAgent::new(Arc::new(cluster));
+        let readings: Vec<(i64, f64)> = (0..2048).map(|i| (i * 1_000_000_000, 1.0)).collect();
+        agent.handle_publish("/r0/n0/power", &encode_readings(&readings));
+        agent.store().maintain();
+        let h = router(Arc::clone(&agent)).into_handler();
+        // two identical aggregates: the second is served from the cache
+        for _ in 0..2 {
+            let q = [("topic", "/r0/n0/power"), ("agg", "avg"), ("window", "60s")];
+            assert_eq!(get(&h, "/aggregate", &q).0, 200);
+        }
+        let (code, j) = get(&h, "/stats", &[]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("cacheCapacityReadings").unwrap().as_f64(), Some((1 << 20) as f64));
+        let decoded = j.get("blocksDecoded").unwrap().as_f64().unwrap();
+        let hits = j.get("cacheHits").unwrap().as_f64().unwrap();
+        assert!(decoded >= 1.0, "cold query decoded blocks");
+        assert!(hits >= decoded, "warm query hit every block it needed");
+        assert_eq!(j.get("blocksCorrupt").unwrap().as_f64(), Some(0.0));
+        assert!(j.get("cacheUsedReadings").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! methods survive as thin wrappers that build the equivalent request.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use dcdb_query::{AggFn, SensorGroup};
@@ -62,6 +63,8 @@ pub struct SensorDb {
     registry: Arc<TopicRegistry>,
     meta: RwLock<HashMap<String, SensorMeta>>,
     virtuals: RwLock<HashMap<String, Arc<VirtualSensor>>>,
+    /// Worker-thread cap for parallel query evaluation; `0` = all cores.
+    query_threads: AtomicUsize,
 }
 
 impl SensorDb {
@@ -72,6 +75,7 @@ impl SensorDb {
             registry,
             meta: RwLock::new(HashMap::new()),
             virtuals: RwLock::new(HashMap::new()),
+            query_threads: AtomicUsize::new(0),
         })
     }
 
@@ -88,6 +92,18 @@ impl SensorDb {
     /// The topic registry.
     pub fn registry(&self) -> &Arc<TopicRegistry> {
         &self.registry
+    }
+
+    /// Cap the worker threads windowed queries may use (`--query-threads`):
+    /// `1` keeps evaluation on the calling thread, `0` restores the default
+    /// of all available cores.  Results are bit-identical for every value.
+    pub fn set_query_threads(&self, threads: usize) {
+        self.query_threads.store(threads, Ordering::Relaxed);
+    }
+
+    /// The configured query worker-thread cap (`0` = all cores).
+    pub fn query_threads(&self) -> usize {
+        self.query_threads.load(Ordering::Relaxed)
     }
 
     /// Insert one reading under `topic`.
@@ -350,7 +366,10 @@ impl SensorDb {
             prepared.push(Prepared { key, base, unit, post_scale, sensors: members.len() });
             tasks.push(SensorGroup { key: prepared.len() - 1, sids: pairs });
         }
-        let engine = dcdb_query::QueryEngine::new(Arc::clone(&self.store));
+        let engine = dcdb_query::QueryEngine::with_threads(
+            Arc::clone(&self.store),
+            self.query_threads.load(Ordering::Relaxed),
+        );
         let results = engine.aggregate_grouped(tasks, req.range, window_ns, agg);
         let series = results
             .into_iter()

@@ -117,9 +117,13 @@ pub fn parse_duration_ns(s: &str) -> Option<i64> {
 /// Streaming count/min/max/sum/mean/variance accumulator — Welford's
 /// algorithm, with Chan's merge for combining partials across series.
 ///
-/// This is *the* windowed-statistics implementation: `dcdb_core::ops`
-/// delegates to it, and every aggregation path (library, CLI, REST) folds
-/// values through it, so results agree bit-for-bit everywhere.
+/// `dcdb_core::ops` delegates its full-series statistics to this, and the
+/// windowed `stddev` path folds through it too.  Note the two mean
+/// flavours: [`Moments::mean`] is the numerically-robust *Welford* mean
+/// (what `ops::stats` reports), while the windowed `avg` aggregation and
+/// the live `WindowedStats` operator both report `sum / n` — those two
+/// agree with each other bit-for-bit, but may differ from the Welford
+/// mean in the last bits.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Moments {
     n: u64,
@@ -212,9 +216,46 @@ impl Moments {
     }
 }
 
+/// Count/sum/min/max without the Welford mean/variance chain — the
+/// accumulator behind `avg`/`min`/`max`/`sum`/`count` windows.  Welford's
+/// running mean costs a serially-dependent float division per reading
+/// (~3× the rest of the fold combined); only `stddev` actually needs it,
+/// so the common dashboard aggregations use this instead and `avg`
+/// finishes as `sum / n` (exactly what the interpolated path and the live
+/// `WindowedStats` operator report).
+#[derive(Debug, Clone, Copy)]
+struct Simple {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Simple {
+    fn new() -> Simple {
+        Simple { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    #[inline]
+    fn push(&mut self, value: f64) {
+        self.n += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge(&mut self, other: &Simple) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Per-window state; which variant is live depends on the [`AggFn`].
 #[derive(Debug, Clone)]
 enum WinState {
+    Simple(Simple),
     Moments(Moments),
     Values(Vec<f64>),
     /// Sum of per-series rates already folded in.
@@ -260,11 +301,11 @@ impl WindowedAgg {
     }
 
     /// Merge another accumulator in — the partial-combination step behind
-    /// grouped/parallel execution: each group (or worker) folds its own
-    /// series into a private `WindowedAgg`, and the partials merge window by
-    /// window (`min`/`max`/`count` and quantile value sets re-merge exactly;
-    /// `avg`/`sum`/`stddev` combine via Chan's method, `rate` by summing
-    /// per-series rates).
+    /// grouped/parallel execution: each group (or worker/chunk) folds its
+    /// own series into a private `WindowedAgg`, and the partials merge
+    /// window by window (`min`/`max`/`count` and quantile value sets
+    /// re-merge exactly; `avg`/`sum` combine their sums, `stddev` via
+    /// Chan's method, `rate` by summing per-series rates).
     ///
     /// # Panics
     /// Panics when the aggregation or window size differ.
@@ -277,6 +318,7 @@ impl WindowedAgg {
                     e.insert(state);
                 }
                 std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), state) {
+                    (WinState::Simple(a), WinState::Simple(b)) => a.merge(&b),
                     (WinState::Moments(a), WinState::Moments(b)) => a.merge(&b),
                     (WinState::Values(a), WinState::Values(b)) => a.extend(b),
                     (WinState::Rate(a), WinState::Rate(b)) => *a += b,
@@ -287,14 +329,47 @@ impl WindowedAgg {
     }
 
     /// Fold one series in (readings in timestamp order).
+    ///
+    /// The hot loop hoists the per-window state out of the `BTreeMap`: an
+    /// in-order series visits each window once, so the map is touched twice
+    /// per *window* (take out, put back) instead of once per *reading* —
+    /// the dominant cost of a warm, cache-served dashboard query.  The
+    /// pushes happen against the very same accumulator states in the same
+    /// order, so results are bit-identical to the naive entry-per-reading
+    /// loop (out-of-order input merely re-fetches the state and stays
+    /// correct too).
     pub fn feed_series(&mut self, readings: impl Iterator<Item = Reading>) {
         match self.agg {
             AggFn::Rate => {
                 // per-series first/last per window, merged as a rate sum
+                let window = self.window as i128;
                 let mut ends: BTreeMap<i128, (Reading, Reading)> = BTreeMap::new();
+                let flush =
+                    |ends: &mut BTreeMap<i128, (Reading, Reading)>,
+                     (key, first, last): (i128, Reading, Reading)| {
+                        ends.entry(key).and_modify(|(_, l)| *l = last).or_insert((first, last));
+                    };
+                let mut cur: Option<(i128, Reading, Reading)> = None;
+                // [cur_start, cur_end): bounds of the live window, so the
+                // per-reading work is two comparisons, not an i128 division
+                let (mut cur_start, mut cur_end) = (1i128, 0i128);
                 for r in readings {
-                    let key = self.window_start(r.ts);
-                    ends.entry(key).and_modify(|(_, last)| *last = r).or_insert((r, r));
+                    let ts = r.ts as i128;
+                    if ts >= cur_start && ts < cur_end {
+                        if let Some((_, _, last)) = &mut cur {
+                            *last = r;
+                        }
+                    } else {
+                        if let Some(done) = cur.take() {
+                            flush(&mut ends, done);
+                        }
+                        let key = self.window_start(r.ts);
+                        (cur_start, cur_end) = (key, key + window);
+                        cur = Some((key, r, r));
+                    }
+                }
+                if let Some(done) = cur {
+                    flush(&mut ends, done);
                 }
                 for (key, (first, last)) in ends {
                     let dt_ns = last.ts as i128 - first.ts as i128;
@@ -308,26 +383,37 @@ impl WindowedAgg {
                     }
                 }
             }
-            AggFn::Quantile(_) => {
+            agg => {
+                let fresh = || match agg {
+                    AggFn::Quantile(_) => WinState::Values(Vec::new()),
+                    AggFn::Stddev => WinState::Moments(Moments::new()),
+                    _ => WinState::Simple(Simple::new()),
+                };
+                let window = self.window as i128;
+                let mut cur: Option<(i128, WinState)> = None;
+                // live-window bounds: two comparisons per reading instead
+                // of an i128 division (see the Rate arm)
+                let (mut cur_start, mut cur_end) = (1i128, 0i128);
                 for r in readings {
-                    let key = self.window_start(r.ts);
-                    match self.windows.entry(key).or_insert_with(|| WinState::Values(Vec::new())) {
-                        WinState::Values(v) => v.push(r.value),
-                        _ => unreachable!("quantile aggregation uses value state"),
+                    let ts = r.ts as i128;
+                    if ts < cur_start || ts >= cur_end {
+                        if let Some((k, state)) = cur.take() {
+                            self.windows.insert(k, state);
+                        }
+                        let key = self.window_start(r.ts);
+                        (cur_start, cur_end) = (key, key + window);
+                        let state = self.windows.remove(&key).unwrap_or_else(fresh);
+                        cur = Some((key, state));
+                    }
+                    match &mut cur {
+                        Some((_, WinState::Simple(s))) => s.push(r.value),
+                        Some((_, WinState::Moments(m))) => m.push(r.value),
+                        Some((_, WinState::Values(v))) => v.push(r.value),
+                        _ => unreachable!("window states match the aggregation"),
                     }
                 }
-            }
-            _ => {
-                for r in readings {
-                    let key = self.window_start(r.ts);
-                    match self
-                        .windows
-                        .entry(key)
-                        .or_insert_with(|| WinState::Moments(Moments::new()))
-                    {
-                        WinState::Moments(m) => m.push(r.value),
-                        _ => unreachable!("moment aggregations use moment state"),
-                    }
+                if let Some((k, state)) = cur {
+                    self.windows.insert(k, state);
                 }
             }
         }
@@ -341,11 +427,13 @@ impl WindowedAgg {
             .into_iter()
             .map(|(key, state)| {
                 let value = match (state, agg) {
-                    (WinState::Moments(m), AggFn::Avg) => m.mean(),
-                    (WinState::Moments(m), AggFn::Min) => m.min(),
-                    (WinState::Moments(m), AggFn::Max) => m.max(),
-                    (WinState::Moments(m), AggFn::Sum) => m.sum(),
-                    (WinState::Moments(m), AggFn::Count) => m.count() as f64,
+                    // a window state only exists once a reading was pushed,
+                    // so n >= 1 and the mean never divides by zero
+                    (WinState::Simple(s), AggFn::Avg) => s.sum / s.n as f64,
+                    (WinState::Simple(s), AggFn::Min) => s.min,
+                    (WinState::Simple(s), AggFn::Max) => s.max,
+                    (WinState::Simple(s), AggFn::Sum) => s.sum,
+                    (WinState::Simple(s), AggFn::Count) => s.n as f64,
                     (WinState::Moments(m), AggFn::Stddev) => m.stddev(),
                     (WinState::Values(mut v), AggFn::Quantile(q)) => {
                         v.sort_by(f64::total_cmp);

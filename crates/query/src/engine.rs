@@ -28,15 +28,43 @@ pub struct SensorGroup<K> {
     pub sids: Vec<(SensorId, f64)>,
 }
 
+/// Sensors per fan-in chunk: a group's sensor list is split into chunks of
+/// this size and the chunks become the unit of parallel work, merged back
+/// in order via [`WindowedAgg::merge`].
+///
+/// The chunking is **independent of the worker-thread count**, so the same
+/// chunk partials merge in the same order whether one thread or sixteen
+/// evaluate them — serial and parallel execution are bit-identical by
+/// construction (the thread count only decides *where* a chunk runs).
+/// Fan-ins of at most `FANIN_CHUNK` sensors take the single-accumulator
+/// fast path, which is byte-for-byte the pre-chunking behaviour.
+pub const FANIN_CHUNK: usize = 8;
+
 /// A streaming query engine over a [`StoreCluster`].
 pub struct QueryEngine {
     cluster: Arc<StoreCluster>,
+    /// Worker-thread cap for parallel evaluation (chunked fan-in and
+    /// grouped queries).
+    threads: usize,
 }
 
 impl QueryEngine {
-    /// Wrap a cluster.
+    /// Wrap a cluster, parallelising across all available cores.
     pub fn new(cluster: Arc<StoreCluster>) -> QueryEngine {
-        QueryEngine { cluster }
+        QueryEngine::with_threads(cluster, exec::default_parallelism())
+    }
+
+    /// Wrap a cluster with an explicit worker-thread cap for parallel
+    /// evaluation: `1` keeps every query on the calling thread, `0` means
+    /// "all available cores".
+    pub fn with_threads(cluster: Arc<StoreCluster>, threads: usize) -> QueryEngine {
+        let threads = if threads == 0 { exec::default_parallelism() } else { threads };
+        QueryEngine { cluster, threads }
+    }
+
+    /// The worker-thread cap parallel evaluation runs under.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The underlying cluster.
@@ -63,7 +91,9 @@ impl QueryEngine {
     /// Windowed aggregate with sensor-tree fan-in: every `(sid, scale)`
     /// series is scaled, then folded into the same windows via mergeable
     /// partials (see [`WindowedAgg`]).  Blocks outside `range` are never
-    /// decompressed.
+    /// decompressed.  Fan-ins wider than [`FANIN_CHUNK`] sensors evaluate
+    /// their chunks in parallel on the engine's thread cap; see
+    /// [`QueryEngine::aggregate_on`] to pin the thread count.
     pub fn aggregate(
         &self,
         sids: &[(SensorId, f64)],
@@ -71,14 +101,69 @@ impl QueryEngine {
         window_ns: i64,
         agg: AggFn,
     ) -> Vec<Reading> {
-        self.aggregate_partials(sids, range, window_ns, agg).finish()
+        self.aggregate_partials_on(sids, range, window_ns, agg, self.threads).finish()
+    }
+
+    /// [`QueryEngine::aggregate`] with an explicit worker-thread cap: `1`
+    /// evaluates every chunk on the calling thread.  The result is
+    /// bit-identical for every `threads` value (see [`FANIN_CHUNK`]).
+    pub fn aggregate_on(
+        &self,
+        sids: &[(SensorId, f64)],
+        range: TimeRange,
+        window_ns: i64,
+        agg: AggFn,
+        threads: usize,
+    ) -> Vec<Reading> {
+        self.aggregate_partials_on(sids, range, window_ns, agg, threads).finish()
     }
 
     /// Like [`QueryEngine::aggregate`], but return the mergeable
     /// [`WindowedAgg`] accumulator instead of finished readings — the
     /// building block for re-combining grouped results into a whole-tree
-    /// fan-in without touching the underlying blocks again.
+    /// fan-in without touching the underlying blocks again.  Evaluates on
+    /// the calling thread.
     pub fn aggregate_partials(
+        &self,
+        sids: &[(SensorId, f64)],
+        range: TimeRange,
+        window_ns: i64,
+        agg: AggFn,
+    ) -> WindowedAgg {
+        self.aggregate_partials_on(sids, range, window_ns, agg, 1)
+    }
+
+    /// The chunked fan-in behind [`QueryEngine::aggregate`]: split `sids`
+    /// into [`FANIN_CHUNK`]-sensor chunks, evaluate each chunk's partial on
+    /// up to `threads` workers and merge the partials back in chunk order.
+    pub fn aggregate_partials_on(
+        &self,
+        sids: &[(SensorId, f64)],
+        range: TimeRange,
+        window_ns: i64,
+        agg: AggFn,
+        threads: usize,
+    ) -> WindowedAgg {
+        if sids.len() <= FANIN_CHUNK {
+            return self.fan_in_chunk(sids, range, window_ns, agg);
+        }
+        // 0 = all cores, the same convention as with_threads
+        let threads = if threads == 0 { exec::default_parallelism() } else { threads };
+        let chunks: Vec<&[(SensorId, f64)]> = sids.chunks(FANIN_CHUNK).collect();
+        let partials = exec::run_tasks(chunks.len(), threads, |i| {
+            self.fan_in_chunk(chunks[i], range, window_ns, agg)
+        });
+        let mut partials = partials.into_iter();
+        let mut acc = partials.next().expect("at least one chunk");
+        for partial in partials {
+            acc.merge(partial);
+        }
+        acc
+    }
+
+    /// One chunk's serial fan-in: feed every member series into a single
+    /// accumulator on the calling thread.
+    fn fan_in_chunk(
         &self,
         sids: &[(SensorId, f64)],
         range: TimeRange,
@@ -87,11 +172,22 @@ impl QueryEngine {
     ) -> WindowedAgg {
         let mut w = WindowedAgg::new(agg, window_ns);
         for &(sid, scale) in sids {
-            let iter = self.series(sid, range);
+            let mut iter = self.series(sid, range);
             if scale == 1.0 {
                 // skip the multiply so unscaled results stay bit-identical
                 // with aggregation over raw store readings
-                w.feed_series(iter);
+                if iter.is_single_run() && !matches!(agg, AggFn::Rate) {
+                    // bulk path: whole decoded batches go straight into the
+                    // fold, skipping per-reading iterator plumbing.  Same
+                    // pushes in the same order, so bit-identical; `rate` is
+                    // excluded because each feed call closes a series and
+                    // batches must not split one series' first/last pairs.
+                    while let Some(batch) = iter.next_batch() {
+                        w.feed_series(batch.iter().copied());
+                    }
+                } else {
+                    w.feed_series(iter);
+                }
             } else {
                 w.feed_series(iter.map(|r| Reading { ts: r.ts, value: r.value * scale }));
             }
@@ -99,14 +195,17 @@ impl QueryEngine {
         w
     }
 
-    /// Grouped windowed aggregation: evaluate every [`SensorGroup`]
-    /// independently — each one the exact serial fan-in of
-    /// [`QueryEngine::aggregate`] over its members — on the crate's scoped
-    /// thread pool, using every available core.  Results come back in input
-    /// group order, bit-identical to running the groups serially; blocks
-    /// outside `range` are never decompressed, exactly as in the ungrouped
-    /// path (groups partition the sensor set, so grouping never changes
-    /// *which* blocks decode).
+    /// Grouped windowed aggregation: evaluate every [`SensorGroup`] on the
+    /// crate's scoped thread pool, using the engine's thread cap.  The unit
+    /// of parallel work is a [`FANIN_CHUNK`]-sensor *chunk*, not a whole
+    /// group, so one fat group (a 32-sensor rack fan-in, or the single
+    /// anonymous group of an ungrouped sub-tree query) scales with cores
+    /// exactly like many small groups do.  Results come back in input group
+    /// order, bit-identical to running everything serially (chunk partials
+    /// merge in chunk order regardless of scheduling); blocks outside
+    /// `range` are never decompressed, exactly as in the ungrouped path
+    /// (chunks partition the sensor set, so neither grouping nor chunking
+    /// changes *which* blocks decode).
     pub fn aggregate_grouped<K>(
         &self,
         groups: Vec<SensorGroup<K>>,
@@ -114,7 +213,7 @@ impl QueryEngine {
         window_ns: i64,
         agg: AggFn,
     ) -> Vec<(K, Vec<Reading>)> {
-        self.aggregate_grouped_on(groups, range, window_ns, agg, exec::default_parallelism())
+        self.aggregate_grouped_on(groups, range, window_ns, agg, self.threads)
     }
 
     /// [`QueryEngine::aggregate_grouped`] with an explicit worker-thread
@@ -128,14 +227,35 @@ impl QueryEngine {
         agg: AggFn,
         threads: usize,
     ) -> Vec<(K, Vec<Reading>)> {
+        // 0 = all cores, the same convention as with_threads
+        let threads = if threads == 0 { exec::default_parallelism() } else { threads };
         // only the sensor lists cross into worker threads; keys stay here,
         // so group keys need no Send/Sync bounds
         let (keys, sid_lists): (Vec<K>, Vec<Vec<(SensorId, f64)>>) =
             groups.into_iter().map(|g| (g.key, g.sids)).unzip();
-        let results = exec::run_tasks(sid_lists.len(), threads, |i| {
-            self.aggregate(&sid_lists[i], range, window_ns, agg)
+        // flatten every group into chunk-level tasks so a single wide
+        // group parallelises too (intra-group fan-in)
+        let tasks: Vec<(usize, &[(SensorId, f64)])> = sid_lists
+            .iter()
+            .enumerate()
+            .flat_map(|(group, sids)| sids.chunks(FANIN_CHUNK).map(move |c| (group, c)))
+            .collect();
+        let partials = exec::run_tasks(tasks.len(), threads, |i| {
+            self.fan_in_chunk(tasks[i].1, range, window_ns, agg)
         });
-        keys.into_iter().zip(results).collect()
+        // merge each group's chunk partials in chunk order — deterministic
+        // whatever the schedule was
+        let mut accs: Vec<Option<WindowedAgg>> = keys.iter().map(|_| None).collect();
+        for ((group, _), partial) in tasks.into_iter().zip(partials) {
+            match &mut accs[group] {
+                Some(acc) => acc.merge(partial),
+                empty => *empty = Some(partial),
+            }
+        }
+        keys.into_iter()
+            .zip(accs)
+            .map(|(key, acc)| (key, acc.map_or_else(Vec::new, WindowedAgg::finish)))
+            .collect()
     }
 }
 
@@ -234,6 +354,74 @@ mod tests {
             let a = engine.aggregate(&groups[0].sids, range, 60_000_000_000, AggFn::Avg);
             assert_eq!(out[0].1, a, "threads={threads}");
             assert!(out[1].1.iter().all(|r| r.value == 300.0));
+        }
+    }
+
+    #[test]
+    fn wide_fan_in_is_thread_count_invariant() {
+        // 37 sensors (5 chunks, one ragged): every thread count gives the
+        // same bits, and chunking never changes which blocks decode
+        let cluster = Arc::new(StoreCluster::single());
+        let sids: Vec<(dcdb_sid::SensorId, f64)> = (0..37u16)
+            .map(|n| (dcdb_sid::SensorId::from_fields(&[9, n + 1]).unwrap(), 1.0))
+            .collect();
+        for (i, &(s, _)) in sids.iter().enumerate() {
+            for ts in 0..700i64 {
+                cluster.insert(s, ts * 1_000_000_000, (i as f64).mul_add(0.1, ts as f64).sin());
+            }
+        }
+        cluster.maintain();
+        let engine = QueryEngine::new(Arc::clone(&cluster));
+        let range = TimeRange::new(0, 700_000_000_000);
+        for agg in [AggFn::Avg, AggFn::Sum, AggFn::Stddev, AggFn::Quantile(0.9), AggFn::Rate] {
+            let base = cluster.blocks_decoded();
+            let serial = engine.aggregate_on(&sids, range, 60_000_000_000, agg, 1);
+            let serial_decodes = cluster.blocks_decoded() - base;
+            for threads in [2, 4, 16] {
+                let base = cluster.blocks_decoded();
+                let parallel = engine.aggregate_on(&sids, range, 60_000_000_000, agg, threads);
+                assert_eq!(cluster.blocks_decoded() - base, serial_decodes, "threads={threads}");
+                assert_eq!(serial.len(), parallel.len());
+                for (a, b) in serial.iter().zip(&parallel) {
+                    assert_eq!(a.ts, b.ts);
+                    assert_eq!(
+                        a.value.to_bits(),
+                        b.value.to_bits(),
+                        "{agg} diverged at threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_wide_group_parallelises_like_many_groups() {
+        // one group of 12 sensors → 2 chunks: grouped evaluation with any
+        // thread count equals the plain fan-in over the same members
+        let cluster = Arc::new(StoreCluster::single());
+        let sids: Vec<(dcdb_sid::SensorId, f64)> = (0..12u16)
+            .map(|n| (dcdb_sid::SensorId::from_fields(&[8, n + 1]).unwrap(), 1.0))
+            .collect();
+        for (i, &(s, _)) in sids.iter().enumerate() {
+            for ts in 0..300i64 {
+                cluster.insert(s, ts * 1_000_000_000, 100.0 + i as f64 + (ts % 7) as f64);
+            }
+        }
+        cluster.maintain();
+        let engine = QueryEngine::new(Arc::clone(&cluster));
+        let range = TimeRange::new(0, 300_000_000_000);
+        let group = vec![SensorGroup { key: "rack", sids: sids.clone() }];
+        let direct = engine.aggregate(&sids, range, 60_000_000_000, AggFn::Avg);
+        for threads in [1, 4] {
+            let grouped = engine.aggregate_grouped_on(
+                group.clone(),
+                range,
+                60_000_000_000,
+                AggFn::Avg,
+                threads,
+            );
+            assert_eq!(grouped.len(), 1);
+            assert_eq!(grouped[0].1, direct, "threads={threads}");
         }
     }
 

@@ -17,23 +17,64 @@ use dcdb_store::{SeriesSnapshot, SnapshotRun};
 /// of the block currently under the cursor.
 struct Source {
     blocks: std::vec::IntoIter<BlockRef>,
-    current: std::vec::IntoIter<Reading>,
+    /// Decoded in-range readings of the block under the cursor; consumed
+    /// from `pos` so whole unconsumed batches can be handed out by value.
+    current: Vec<Reading>,
+    pos: usize,
     peeked: Option<Reading>,
 }
 
 impl Source {
-    fn peek(&mut self, range: TimeRange) -> Option<Reading> {
-        while self.peeked.is_none() {
-            if let Some(r) = self.current.next() {
-                self.peeked = Some(r);
-            } else if let Some(block) = self.blocks.next() {
-                // lazy decode: this is the only place payload bytes expand
-                let mut buf = Vec::with_capacity(block.count());
-                block.decode_range(range, &mut buf);
-                self.current = buf.into_iter();
-            } else {
-                return None;
+    /// Pull the next reading, decoding the next block when the current one
+    /// is exhausted.
+    fn next_reading(&mut self, range: TimeRange) -> Option<Reading> {
+        if let Some(r) = self.peeked.take() {
+            return Some(r);
+        }
+        loop {
+            if let Some(&r) = self.current.get(self.pos) {
+                self.pos += 1;
+                return Some(r);
             }
+            // lazy decode: this is the only place payload bytes expand
+            let block = self.blocks.next()?;
+            self.current.clear();
+            self.current.reserve(block.count());
+            block.decode_range(range, &mut self.current);
+            self.pos = 0;
+        }
+    }
+
+    /// Pull the whole remaining batch under the cursor (the memtable slice
+    /// or one lazily-decoded block), decoding forward as needed.
+    fn next_batch(&mut self, range: TimeRange) -> Option<Vec<Reading>> {
+        if let Some(r) = self.peeked.take() {
+            return Some(vec![r]);
+        }
+        loop {
+            if self.pos < self.current.len() {
+                let batch = if self.pos == 0 {
+                    std::mem::take(&mut self.current)
+                } else {
+                    self.current.split_off(self.pos)
+                };
+                self.current = Vec::new();
+                self.pos = 0;
+                return Some(batch);
+            }
+            // a block can intersect the range by header yet hold no
+            // in-range reading (gaps); keep decoding forward
+            let block = self.blocks.next()?;
+            let mut buf = Vec::with_capacity(block.count());
+            block.decode_range(range, &mut buf);
+            self.current = buf;
+            self.pos = 0;
+        }
+    }
+
+    fn peek(&mut self, range: TimeRange) -> Option<Reading> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_reading(range);
         }
         self.peeked
     }
@@ -58,19 +99,39 @@ impl SeriesIter {
             .runs
             .into_iter()
             .map(|run| match run {
-                SnapshotRun::Blocks(blocks) => Source {
-                    blocks: blocks.into_iter(),
-                    current: Vec::new().into_iter(),
-                    peeked: None,
-                },
+                SnapshotRun::Blocks(blocks) => {
+                    Source { blocks: blocks.into_iter(), current: Vec::new(), pos: 0, peeked: None }
+                }
                 SnapshotRun::Readings(readings) => Source {
                     blocks: Vec::new().into_iter(),
-                    current: readings.into_iter(),
+                    current: readings,
+                    pos: 0,
                     peeked: None,
                 },
             })
             .collect();
         SeriesIter { sources, drop_ranges: snapshot.drop_ranges, range, remaining_hint }
+    }
+
+    /// True when the snapshot holds exactly one run and nothing is
+    /// tombstoned or expired — no duplicate timestamps to resolve, no
+    /// readings to drop, so batch pulling ([`SeriesIter::next_batch`])
+    /// yields exactly what iteration yields.
+    pub fn is_single_run(&self) -> bool {
+        self.sources.len() == 1 && self.drop_ranges.is_empty()
+    }
+
+    /// Single-run bulk pull: the next decoded in-range batch (the memtable
+    /// slice, or one lazily-decoded block) by value — the zero-overhead
+    /// feed for aggregation over a single run.  Must only be called when
+    /// [`SeriesIter::is_single_run`] is true and the iterator has not been
+    /// advanced; interleaving with `next()` is allowed but batches then
+    /// resume after the last pulled reading.
+    pub fn next_batch(&mut self) -> Option<Vec<Reading>> {
+        debug_assert!(self.is_single_run(), "next_batch requires a single-run snapshot");
+        let batch = self.sources.first_mut()?.next_batch(self.range)?;
+        self.remaining_hint = self.remaining_hint.saturating_sub(batch.len());
+        Some(batch)
     }
 
     fn dropped(&self, ts: i64) -> bool {
@@ -82,6 +143,15 @@ impl Iterator for SeriesIter {
     type Item = Reading;
 
     fn next(&mut self) -> Option<Reading> {
+        // Single-run fast path (the common shape after a compaction, and
+        // the hot one for warm cache-served queries): one source has no
+        // duplicate timestamps to resolve, so skip the k-way merge
+        // machinery and pull straight from it.
+        if self.is_single_run() {
+            let r = self.sources[0].next_reading(self.range)?;
+            self.remaining_hint = self.remaining_hint.saturating_sub(1);
+            return Some(r);
+        }
         loop {
             // Smallest timestamp across sources; on ties the later (newer)
             // source replaces the earlier one.

@@ -26,10 +26,12 @@
 //!   whole SID sub-tree, or many sub-trees at once ([`SensorGroup`] +
 //!   [`QueryEngine::aggregate_grouped`] — group-by with one result series
 //!   per sub-tree).
-//! * [`exec`] — the scoped thread-pool executor: grouped queries evaluate
-//!   their groups concurrently (one worker per core, atomic work-stealing
-//!   cursor) with results in deterministic input order, bit-identical to
-//!   serial evaluation.
+//! * [`exec`] — the scoped thread-pool executor: the unit of parallel work
+//!   is a [`FANIN_CHUNK`]-sensor chunk of a group, so both many-group
+//!   queries *and* one fat fan-in (a 32-sensor rack, an ungrouped sub-tree)
+//!   use every core (one worker per core, atomic work-stealing cursor),
+//!   with results in deterministic input order, bit-identical to serial
+//!   evaluation for every thread count.
 //!
 //! ## Pushdown contract
 //!
@@ -70,5 +72,5 @@ pub mod exec;
 pub mod iter;
 
 pub use agg::{moments_of, parse_duration_ns, window_aggregate, AggFn, Moments, WindowedAgg};
-pub use engine::{QueryEngine, SensorGroup};
+pub use engine::{QueryEngine, SensorGroup, FANIN_CHUNK};
 pub use iter::SeriesIter;

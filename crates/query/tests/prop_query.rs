@@ -47,6 +47,7 @@ proptest! {
             memtable_flush_entries: flush_entries,
             compaction_threshold: 4,
             ttl: None,
+            ..Default::default()
         });
         for &(s, ts, v) in &writes {
             node.insert(sid(s), ts, v);

@@ -1,0 +1,382 @@
+//! [`BlockCache`]: a sharded, memory-bounded LRU over *decoded* block
+//! payloads.
+//!
+//! Continuous monitoring hits the same recent ranges over and over — every
+//! dashboard refresh re-reads the blocks the previous refresh just decoded.
+//! The store keeps SSTable data compressed in memory (the whole point of
+//! the format), so without a cache each refresh pays the full decompression
+//! again.  This cache remembers decoded payloads by block identity
+//! (`(table_id, sid, block_idx)`, see [`BlockKey`]) so a repeated query is
+//! a hash lookup instead of a Gorilla decode.
+//!
+//! Design notes:
+//!
+//! * **Cost accounting is in readings**, not bytes: a decoded reading is a
+//!   fixed 16 bytes (`i64` + `f64`), so readings are the natural budget
+//!   unit and [`BlockCache::capacity_readings`] × 16 bounds the decoded
+//!   footprint.
+//! * **Sharded** to keep lock hold times off the parallel fan-in path: the
+//!   key hash picks a shard, each shard is an independent LRU with
+//!   `capacity / shards` budget.  Small capacities collapse to one shard so
+//!   a budget of a few blocks still caches something.
+//! * **Lazy LRU**: every touch pushes a `(key, stamp)` recency record; the
+//!   eviction scan pops records and drops only entries whose stamp still
+//!   matches (stale records are skipped).  The record queue is compacted
+//!   when it outgrows the live map, so memory stays proportional to the
+//!   cached payloads.
+//! * **Misses are the decode counter**: `BlockRef::decode*` bumps the
+//!   owning table's `blocks_decoded` only when the cache misses (or is
+//!   absent), so the PR 2 laziness contract — "how much did this query
+//!   decompress" — keeps meaning "how much work was actually done".
+//!
+//! A capacity of `0` disables caching entirely (the store never allocates a
+//! cache), reproducing the always-decode behaviour the laziness tests pin.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dcdb_sid::SensorId;
+use parking_lot::Mutex;
+
+use crate::reading::Reading;
+
+/// Identity of one compressed block: the owning table (unique per
+/// [`crate::SsTable`] instance, process-wide), the sensor, and the block's
+/// index within that sensor's run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// Process-unique id of the owning table.
+    pub table_id: u64,
+    /// The sensor whose run the block belongs to.
+    pub sid: SensorId,
+    /// Index of the block within the sensor's run.
+    pub block_idx: u32,
+}
+
+impl BlockKey {
+    fn shard(&self, shards: usize) -> usize {
+        // FNV-1a over the key fields; cheap and well-spread for our mix of
+        // sequential block indices and hashed SID fields
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        fold(self.table_id);
+        fold(self.sid.0 as u64);
+        fold((self.sid.0 >> 64) as u64);
+        fold(self.block_idx as u64);
+        (h % shards as u64) as usize
+    }
+}
+
+/// Point-in-time counters of a [`BlockCache`] (or of the disabled cache:
+/// all zeros with `capacity_readings == 0`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (no decode happened).
+    pub hits: u64,
+    /// Lookups that fell through to a real decode.
+    pub misses: u64,
+    /// Entries evicted to stay under the reading budget (including entries
+    /// purged when their table was compacted away).
+    pub evictions: u64,
+    /// Entries inserted — a payload larger than the budget is counted here
+    /// even though it is evicted again within the same call.
+    pub insertions: u64,
+    /// Readings currently held.
+    pub used_readings: u64,
+    /// The configured reading budget.
+    pub capacity_readings: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `0.0..=1.0` (0 when the cache saw no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<[Reading]>,
+    /// Recency stamp; only the queue record carrying the same stamp may
+    /// evict this entry.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<BlockKey, Entry>,
+    /// Recency records, oldest first; stale records (stamp mismatch) are
+    /// skipped during eviction and dropped during compaction.
+    recency: VecDeque<(BlockKey, u64)>,
+    used: usize,
+    next_stamp: u64,
+}
+
+impl Shard {
+    /// Record a fresh recency stamp for `key`.  The caller **must** store
+    /// the returned stamp into the entry before calling
+    /// [`Shard::compact_recency`] — compaction keeps only records whose
+    /// stamp matches their entry, so the invariant "every live entry has
+    /// exactly one matching record in the queue" (which the eviction loop
+    /// relies on to always find a victim) holds at compaction time.
+    fn touch(&mut self, key: BlockKey) -> u64 {
+        self.next_stamp += 1;
+        self.recency.push_back((key, self.next_stamp));
+        self.next_stamp
+    }
+
+    /// Bound the record queue: rebuild it from live stamps when stale
+    /// records dominate (amortised O(1) per touch).
+    fn compact_recency(&mut self) {
+        if self.recency.len() > 2 * self.map.len() + 32 {
+            let map = &self.map;
+            self.recency.retain(|(k, stamp)| map.get(k).is_some_and(|e| e.stamp == *stamp));
+        }
+    }
+}
+
+/// A sharded LRU of decoded block payloads, bounded by a total reading
+/// budget.  See the module docs for the design; create one per node or
+/// share one `Arc` across a cluster's nodes for a process-wide bound.
+#[derive(Debug)]
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+/// Preferred shard count for large caches.
+const MAX_SHARDS: usize = 8;
+/// Minimum readings per shard before adding shards — roughly four blocks,
+/// so tiny caches stay single-sharded and can actually hold something.
+const MIN_SHARD_BUDGET: usize = 4 * crate::sstable::BLOCK_LEN;
+
+impl BlockCache {
+    /// A cache bounded to `capacity_readings` decoded readings in total
+    /// (≈ 16 bytes each).  A capacity of `0` yields a cache that never
+    /// stores anything; callers normally skip allocating one instead.
+    pub fn new(capacity_readings: usize) -> BlockCache {
+        let shards = (capacity_readings / MIN_SHARD_BUDGET).clamp(1, MAX_SHARDS);
+        BlockCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: capacity_readings / shards,
+            capacity: capacity_readings,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured reading budget.
+    pub fn capacity_readings(&self) -> usize {
+        self.capacity
+    }
+
+    /// Readings currently held across all shards.
+    pub fn used_readings(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used).sum()
+    }
+
+    /// Look `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<[Reading]>> {
+        let hit = {
+            let mut shard = self.shards[key.shard(self.shards.len())].lock();
+            let data = shard.map.get(&key).map(|e| Arc::clone(&e.data));
+            if data.is_some() {
+                let stamp = shard.touch(key);
+                shard.map.get_mut(&key).expect("entry just read").stamp = stamp;
+                shard.compact_recency();
+            }
+            data
+        };
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Insert a decoded payload, evicting least-recently-used entries until
+    /// the shard is back under budget (which may evict `data` itself when a
+    /// single block exceeds the budget — the bound always holds).
+    pub fn insert(&self, key: BlockKey, data: Arc<[Reading]>) {
+        let cost = data.len();
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shards[key.shard(self.shards.len())].lock();
+            let stamp = shard.touch(key);
+            if let Some(old) = shard.map.insert(key, Entry { data, stamp }) {
+                shard.used -= old.data.len();
+            }
+            shard.used += cost;
+            shard.compact_recency();
+            while shard.used > self.shard_budget {
+                let Some((victim, stamp)) = shard.recency.pop_front() else { break };
+                let live = shard.map.get(&victim).is_some_and(|e| e.stamp == stamp);
+                if live {
+                    let entry = shard.map.remove(&victim).expect("victim is live");
+                    shard.used -= entry.data.len();
+                    evicted += 1;
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry belonging to `table_id`, freeing its readings —
+    /// called when a table is compacted away, so dead payloads stop
+    /// counting against the budget the moment they become unreachable
+    /// (the merged replacement has a fresh table id).  Counts as
+    /// evictions.
+    pub fn purge_table(&self, table_id: u64) {
+        let mut purged = 0u64;
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            let Shard { map, recency, used, .. } = &mut *guard;
+            let before = map.len();
+            let mut freed = 0usize;
+            map.retain(|key, entry| {
+                let keep = key.table_id != table_id;
+                if !keep {
+                    freed += entry.data.len();
+                }
+                keep
+            });
+            purged += (before - map.len()) as u64;
+            *used -= freed;
+            recency.retain(|(k, stamp)| map.get(k).is_some_and(|e| e.stamp == *stamp));
+        }
+        if purged > 0 {
+            self.evictions.fetch_add(purged, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            used_readings: self.used_readings() as u64,
+            capacity_readings: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(table: u64, idx: u32) -> BlockKey {
+        BlockKey { table_id: table, sid: SensorId(7), block_idx: idx }
+    }
+
+    fn payload(n: usize, base: f64) -> Arc<[Reading]> {
+        (0..n).map(|i| Reading::new(i as i64, base + i as f64)).collect()
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = BlockCache::new(10_000);
+        assert!(cache.get(key(1, 0)).is_none());
+        cache.insert(key(1, 0), payload(100, 1.0));
+        let hit = cache.get(key(1, 0)).expect("cached");
+        assert_eq!(hit.len(), 100);
+        assert_eq!(hit[3].value, 4.0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.used_readings, 100);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_tables_do_not_collide() {
+        let cache = BlockCache::new(10_000);
+        cache.insert(key(1, 0), payload(10, 1.0));
+        cache.insert(key(2, 0), payload(10, 2.0));
+        assert_eq!(cache.get(key(1, 0)).unwrap()[0].value, 1.0);
+        assert_eq!(cache.get(key(2, 0)).unwrap()[0].value, 2.0);
+    }
+
+    #[test]
+    fn eviction_keeps_the_budget_and_prefers_lru() {
+        // single shard (small capacity): 3 × 100-reading blocks fit, not 4
+        let cache = BlockCache::new(300);
+        for i in 0..3 {
+            cache.insert(key(1, i), payload(100, i as f64));
+        }
+        assert_eq!(cache.used_readings(), 300);
+        // touch block 0 so block 1 is the LRU victim
+        assert!(cache.get(key(1, 0)).is_some());
+        cache.insert(key(1, 3), payload(100, 3.0));
+        assert!(cache.used_readings() <= 300);
+        assert!(cache.get(key(1, 1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(key(1, 0)).is_some(), "recently-touched entry kept");
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_payload_never_breaks_the_bound() {
+        let cache = BlockCache::new(100);
+        cache.insert(key(1, 0), payload(500, 0.0));
+        assert_eq!(cache.used_readings(), 0, "a block exceeding the budget is not retained");
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_its_cost() {
+        let cache = BlockCache::new(1000);
+        cache.insert(key(1, 0), payload(400, 0.0));
+        cache.insert(key(1, 0), payload(200, 9.0));
+        assert_eq!(cache.used_readings(), 200);
+        assert_eq!(cache.get(key(1, 0)).unwrap()[0].value, 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let cache = BlockCache::new(0);
+        cache.insert(key(1, 0), payload(10, 0.0));
+        assert!(cache.get(key(1, 0)).is_none());
+        assert_eq!(cache.used_readings(), 0);
+    }
+
+    #[test]
+    fn large_capacity_shards_and_still_bounds() {
+        let cache = BlockCache::new(64 * 1024);
+        assert!(cache.shards.len() > 1, "large caches shard");
+        for i in 0..1000 {
+            cache.insert(key(i as u64 % 5, i), payload(512, 0.0));
+        }
+        assert!(cache.used_readings() <= 64 * 1024);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded() {
+        let cache = BlockCache::new(2000);
+        cache.insert(key(1, 0), payload(100, 0.0));
+        for _ in 0..10_000 {
+            assert!(cache.get(key(1, 0)).is_some());
+        }
+        let shard = cache.shards[key(1, 0).shard(cache.shards.len())].lock();
+        assert!(shard.recency.len() <= 2 * shard.map.len() + 33, "{}", shard.recency.len());
+    }
+}

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use dcdb_sid::{PartitionMap, SensorId};
 
+use crate::cache::{BlockCache, CacheStats};
 use crate::node::{NodeConfig, SeriesSnapshot, StoreNode};
 use crate::reading::{Reading, TimeRange, Timestamp};
 
@@ -30,20 +31,30 @@ pub struct StoreCluster {
     partition: PartitionMap,
     replication: usize,
     stats: ClusterStats,
+    /// The decoded-block cache shared by every node (one process-wide
+    /// reading budget), when [`NodeConfig::block_cache_readings`] is set.
+    cache: Option<Arc<BlockCache>>,
 }
 
 impl StoreCluster {
     /// Build a cluster of `n` nodes with the given partition map and
-    /// replication factor (1 = no replicas).
+    /// replication factor (1 = no replicas).  A non-zero
+    /// [`NodeConfig::block_cache_readings`] allocates **one** decoded-block
+    /// cache of that budget, shared by all nodes.
     pub fn new(node_cfg: NodeConfig, partition: PartitionMap, replication: usize) -> StoreCluster {
         let n = partition.nodes();
         assert!(n > 0, "cluster needs at least one node");
         let replication = replication.clamp(1, n);
+        let cache = (node_cfg.block_cache_readings > 0)
+            .then(|| Arc::new(BlockCache::new(node_cfg.block_cache_readings)));
         StoreCluster {
-            nodes: (0..n).map(|_| Arc::new(StoreNode::new(node_cfg.clone()))).collect(),
+            nodes: (0..n)
+                .map(|_| Arc::new(StoreNode::with_cache(node_cfg.clone(), cache.clone())))
+                .collect(),
             partition,
             replication,
             stats: ClusterStats::default(),
+            cache,
         }
     }
 
@@ -128,9 +139,26 @@ impl StoreCluster {
         &self.partition
     }
 
-    /// Compressed blocks decoded by queries across all nodes.
+    /// Compressed blocks decoded by queries across all nodes (cache misses
+    /// only when a block cache is configured).
     pub fn blocks_decoded(&self) -> u64 {
         self.nodes.iter().map(|n| n.blocks_decoded()).sum()
+    }
+
+    /// Blocks that failed their checksummed decode across all nodes.
+    pub fn blocks_corrupt(&self) -> u64 {
+        self.nodes.iter().map(|n| n.blocks_corrupt()).sum()
+    }
+
+    /// The shared decoded-block cache, when one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the shared decoded-block cache (all-zero stats when
+    /// caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Total compressed blocks held across all nodes.

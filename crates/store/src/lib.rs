@@ -18,8 +18,12 @@
 //! * [`cluster`] — the distributed layer: SID-prefix partitioning (DCDB's
 //!   "store a sensor's readings on the nearest server"), replication and
 //!   cluster-wide queries,
+//! * [`cache`] — the decoded-block cache: a sharded, reading-budgeted LRU
+//!   that turns repeated dashboard queries over the same hot blocks into
+//!   hash lookups instead of Gorilla decodes,
 //! * [`csv`] — CSV import/export used by the `csvimport`/`dcdbquery` tools.
 
+pub mod cache;
 pub mod cluster;
 pub mod csv;
 pub mod memtable;
@@ -27,6 +31,7 @@ pub mod node;
 pub mod reading;
 pub mod sstable;
 
+pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use cluster::{ClusterStats, StoreCluster};
 pub use node::{NodeConfig, SeriesSnapshot, SnapshotRun, StoreNode};
 pub use reading::{Reading, TimeRange};

@@ -7,10 +7,12 @@
 //! and [`StoreNode::compact`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use dcdb_sid::SensorId;
 use parking_lot::RwLock;
 
+use crate::cache::{BlockCache, CacheStats};
 use crate::memtable::MemTable;
 use crate::reading::{Reading, TimeRange, Timestamp};
 use crate::sstable::{BlockRef, SsTable};
@@ -65,11 +67,21 @@ pub struct NodeConfig {
     pub compaction_threshold: usize,
     /// Time-to-live for readings; `None` keeps data forever.
     pub ttl: Option<i64>,
+    /// Budget of the decoded-block cache, in readings (≈ 16 bytes each);
+    /// `0` disables caching — every query decodes afresh, exactly the
+    /// pre-cache behaviour.  A cluster built from this config shares one
+    /// cache of this size across all its nodes.
+    pub block_cache_readings: usize,
 }
 
 impl Default for NodeConfig {
     fn default() -> Self {
-        NodeConfig { memtable_flush_entries: 256 * 1024, compaction_threshold: 8, ttl: None }
+        NodeConfig {
+            memtable_flush_entries: 256 * 1024,
+            compaction_threshold: 8,
+            ttl: None,
+            block_cache_readings: 0,
+        }
     }
 }
 
@@ -108,20 +120,35 @@ pub struct StoreNode {
     sstables: RwLock<Vec<SsTable>>,
     tombstones: RwLock<Tombstones>,
     stats: NodeStats,
+    /// Decoded-block cache attached to every table this node creates or
+    /// loads (`None` = always decode).  May be shared with other nodes of
+    /// a cluster for one process-wide reading budget.
+    cache: Option<Arc<BlockCache>>,
     /// Monotonic "now" for TTL decisions, advanced by the caller; avoids
     /// wall-clock reads in the hot path and keeps simulations deterministic.
     now: AtomicU64,
 }
 
 impl StoreNode {
-    /// Create a node.
+    /// Create a node, with its own decoded-block cache when
+    /// [`NodeConfig::block_cache_readings`] is non-zero.
     pub fn new(cfg: NodeConfig) -> Self {
+        let cache = (cfg.block_cache_readings > 0)
+            .then(|| Arc::new(BlockCache::new(cfg.block_cache_readings)));
+        StoreNode::with_cache(cfg, cache)
+    }
+
+    /// Create a node using the given decoded-block cache (overriding
+    /// [`NodeConfig::block_cache_readings`]) — how a cluster shares one
+    /// bounded cache across all its nodes.
+    pub fn with_cache(cfg: NodeConfig, cache: Option<Arc<BlockCache>>) -> Self {
         StoreNode {
             cfg,
             memtable: RwLock::new(MemTable::new()),
             sstables: RwLock::new(Vec::new()),
             tombstones: RwLock::new(Tombstones::default()),
             stats: NodeStats::default(),
+            cache,
             now: AtomicU64::new(0),
         }
     }
@@ -163,7 +190,7 @@ impl StoreNode {
 
     fn flush_memtable(&self, mt: MemTable) {
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        let table = SsTable::from_sorted(mt.into_sorted_entries());
+        let table = SsTable::from_sorted_cached(mt.into_sorted_entries(), self.cache.clone());
         let should_compact = {
             let mut tables = self.sstables.write();
             tables.push(table);
@@ -195,10 +222,21 @@ impl StoreNode {
         }
         let refs: Vec<&SsTable> = tables.iter().collect();
         let tombs = self.tombstones.read();
-        let merged = SsTable::merge(&refs, |sid, ts| {
-            tombs.covers(sid, ts) || cutoff.is_some_and(|c| ts < c)
-        });
+        let merged = SsTable::merge_cached(
+            &refs,
+            |sid, ts| tombs.covers(sid, ts) || cutoff.is_some_and(|c| ts < c),
+            self.cache.clone(),
+        );
         drop(tombs);
+        // the replaced tables' cached payloads are unreachable from here on
+        // (the merged table has a fresh id): stop them re-populating the
+        // cache, then free their budget immediately
+        if let Some(cache) = &self.cache {
+            for t in tables.iter() {
+                t.retire();
+                cache.purge_table(t.table_id());
+            }
+        }
         *tables = if merged.is_empty() { Vec::new() } else { vec![merged] };
         // Tombstones are fully applied to the merged data; fresh memtable
         // data may still contain covered entries, so only clear tombstones
@@ -311,9 +349,28 @@ impl StoreNode {
     }
 
     /// Compressed blocks decoded by queries against this node's current
-    /// SSTables (resets when compaction replaces them).
+    /// SSTables (resets when compaction replaces them).  With a block cache
+    /// attached this counts cache misses only — a warm query decodes 0.
     pub fn blocks_decoded(&self) -> u64 {
         self.sstables.read().iter().map(|t| t.blocks_decoded()).sum()
+    }
+
+    /// Blocks of the current SSTables whose payload failed its checksummed
+    /// decode — corruption that would otherwise silently surface as missing
+    /// readings (see [`SsTable::blocks_corrupt`]).
+    pub fn blocks_corrupt(&self) -> u64 {
+        self.sstables.read().iter().map(|t| t.blocks_corrupt()).sum()
+    }
+
+    /// The node's decoded-block cache, when one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the decoded-block cache (all-zero stats when caching is
+    /// disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Total compressed blocks across this node's SSTables.
@@ -385,7 +442,7 @@ impl StoreNode {
         let mut tables = self.sstables.write();
         for p in paths {
             let mut f = std::fs::File::open(&p)?;
-            tables.push(SsTable::read_from(&mut f)?);
+            tables.push(SsTable::read_from_cached(&mut f, self.cache.clone())?);
             loaded += 1;
         }
         Ok(loaded)
@@ -515,11 +572,34 @@ mod tests {
     }
 
     #[test]
+    fn compaction_purges_replaced_tables_from_cache() {
+        let node = StoreNode::new(NodeConfig {
+            memtable_flush_entries: 512,
+            compaction_threshold: usize::MAX,
+            block_cache_readings: 1 << 20,
+            ..Default::default()
+        });
+        for ts in 0..1024 {
+            node.insert(sid(1), ts, ts as f64);
+        }
+        node.flush(); // two tables of one block each
+        let cache = std::sync::Arc::clone(node.block_cache().expect("cache configured"));
+        let _ = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(cache.used_readings(), 1024, "cold query cached both tables' blocks");
+        node.compact();
+        assert_eq!(cache.used_readings(), 0, "replaced tables' entries purged");
+        let got = node.query_range(sid(1), TimeRange::all());
+        assert_eq!(got.len(), 1024);
+        assert_eq!(cache.used_readings(), 1024, "merged table re-cached under its own id");
+    }
+
+    #[test]
     fn compaction_reduces_table_count() {
         let node = StoreNode::new(NodeConfig {
             memtable_flush_entries: 10,
             compaction_threshold: 4,
             ttl: None,
+            ..Default::default()
         });
         for ts in 0..100 {
             node.insert(sid(1), ts, 0.0);

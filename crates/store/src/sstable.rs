@@ -34,7 +34,13 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, BytesMut};
 use dcdb_sid::SensorId;
 
+use crate::cache::{BlockCache, BlockKey};
 use crate::reading::{Reading, TimeRange, Timestamp};
+
+/// Process-wide table-id source: every [`SsTable`] instance gets a unique
+/// id so decoded-block cache keys never collide across tables (including a
+/// compacted table and its replacement).
+static TABLE_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// Magic bytes of the legacy fixed-width on-disk format.
 const MAGIC_V1: &[u8; 8] = b"DCDBSST1";
@@ -56,13 +62,43 @@ pub const BLOCK_LEN: usize = 512;
 /// One immutable compressed block of a sensor's run: a `dcdb-compress`
 /// frame plus its pushdown header, shared cheaply via `Arc`.
 ///
-/// Decoding is deliberately *not* cached: blocks stay compressed in memory
-/// (the whole point of the format) and each decode bumps the owning
-/// table's counter, so "how much did this query decompress" is a hard
-/// number rather than a guess.
+/// Blocks stay compressed in memory (the whole point of the format).  A
+/// decode first consults the owning table's optional [`BlockCache`]; only
+/// a *miss* performs the Gorilla decode and bumps the table's counter, so
+/// "how much did this query decompress" stays a hard number rather than a
+/// guess.  Without a cache (the default) every decode is fresh, exactly as
+/// before the cache existed.
 #[derive(Debug, Clone)]
 pub struct BlockRef {
     inner: Arc<BlockInner>,
+}
+
+/// Per-table context shared by all of a table's blocks: identity, decode /
+/// corruption counters and the (optional) decoded-block cache.
+#[derive(Debug)]
+struct TableCtx {
+    table_id: u64,
+    /// Decode (= cache miss) counter.
+    decodes: AtomicU64,
+    /// Blocks whose checksummed payload failed to decode.
+    corrupt: AtomicU64,
+    /// Set when the table has been replaced (compaction): decodes by
+    /// still-running queries stop populating the cache, so purged entries
+    /// cannot be resurrected under a dead table id.
+    retired: std::sync::atomic::AtomicBool,
+    cache: Option<Arc<BlockCache>>,
+}
+
+impl TableCtx {
+    fn new(cache: Option<Arc<BlockCache>>) -> Arc<TableCtx> {
+        Arc::new(TableCtx {
+            table_id: TABLE_IDS.fetch_add(1, Ordering::Relaxed),
+            decodes: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            retired: std::sync::atomic::AtomicBool::new(false),
+            cache,
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -72,12 +108,21 @@ struct BlockInner {
     count: usize,
     /// The encoded frame (header + series), as written to disk.
     frame: Vec<u8>,
-    /// Decode counter of the owning table.
-    decodes: Arc<AtomicU64>,
+    /// Cache identity: the sensor and block index within its run (the
+    /// table id lives in `ctx`).
+    sid: SensorId,
+    block_idx: u32,
+    /// Counters + cache of the owning table.
+    ctx: Arc<TableCtx>,
 }
 
 impl BlockRef {
-    fn from_run(run: &[(i64, f64)], decodes: &Arc<AtomicU64>) -> BlockRef {
+    fn from_run(
+        run: &[(i64, f64)],
+        sid: SensorId,
+        block_idx: u32,
+        ctx: &Arc<TableCtx>,
+    ) -> BlockRef {
         let mut frame = Vec::with_capacity(dcdb_compress::FRAME_HEADER_BYTES + run.len() * 4);
         dcdb_compress::encode_framed_into(run, &mut frame);
         let info = dcdb_compress::peek_frame(&frame).expect("self-encoded frame peeks");
@@ -87,8 +132,18 @@ impl BlockRef {
                 max_ts: info.max_ts,
                 count: info.count,
                 frame,
-                decodes: Arc::clone(decodes),
+                sid,
+                block_idx,
+                ctx: Arc::clone(ctx),
             }),
+        }
+    }
+
+    fn key(&self) -> BlockKey {
+        BlockKey {
+            table_id: self.inner.ctx.table_id,
+            sid: self.inner.sid,
+            block_idx: self.inner.block_idx,
         }
     }
 
@@ -112,22 +167,59 @@ impl BlockRef {
         self.inner.min_ts < range.end && self.inner.max_ts >= range.start
     }
 
-    /// Decompress the block into `(ts, value)` pairs (timestamp order).
-    ///
-    /// Every call decodes afresh and bumps the owning table's
-    /// [`SsTable::blocks_decoded`] counter — the laziness contract tests
-    /// rely on.  Frames are checksum-verified at load, so a decode failure
-    /// means a forged payload that survived the checksum; such a block
-    /// yields no readings rather than poisoning the whole process.
-    pub fn decode(&self) -> Vec<(Timestamp, f64)> {
-        self.inner.decodes.fetch_add(1, Ordering::Relaxed);
+    /// Decode the frame unconditionally: bumps the owning table's
+    /// [`SsTable::blocks_decoded`] counter, and on failure logs, bumps the
+    /// corruption counter ([`SsTable::blocks_corrupt`]) and yields an empty
+    /// payload.  Frames are checksum-verified at load, so a failure here
+    /// means a forged payload that survived the checksum; an empty result
+    /// (plus the counter, which monitoring can alert on) beats poisoning
+    /// the whole process — and beats the old `debug_assert!` that made
+    /// release builds lose data *silently*.
+    fn decode_fresh(&self) -> Arc<[Reading]> {
+        self.inner.ctx.decodes.fetch_add(1, Ordering::Relaxed);
         match dcdb_compress::decode_framed_prefix(&self.inner.frame) {
-            Ok((readings, _)) => readings,
-            Err(_) => {
-                debug_assert!(false, "checksummed block failed to decode");
-                Vec::new()
+            Ok((readings, _)) => {
+                readings.into_iter().map(|(ts, value)| Reading { ts, value }).collect()
+            }
+            Err(e) => {
+                self.inner.ctx.corrupt.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "dcdb-store: checksummed block failed to decode \
+                     (table {} sid {:#x} block {}): {e}",
+                    self.inner.ctx.table_id, self.inner.sid.0, self.inner.block_idx,
+                );
+                Arc::from(Vec::new())
             }
         }
+    }
+
+    /// The block's decoded readings, shared: served from the owning
+    /// table's [`BlockCache`] when one is attached and holds the block
+    /// (no decompression, no counter bump), decoded fresh otherwise.
+    /// Retired tables (replaced by compaction) decode fresh without
+    /// touching the cache, so in-flight queries cannot re-insert entries
+    /// under a table id that was just purged.
+    pub fn decode_shared(&self) -> Arc<[Reading]> {
+        let Some(cache) = &self.inner.ctx.cache else {
+            return self.decode_fresh();
+        };
+        if self.inner.ctx.retired.load(Ordering::Relaxed) {
+            return self.decode_fresh();
+        }
+        let key = self.key();
+        if let Some(hit) = cache.get(key) {
+            return hit;
+        }
+        let decoded = self.decode_fresh();
+        cache.insert(key, Arc::clone(&decoded));
+        decoded
+    }
+
+    /// Decompress the block into `(ts, value)` pairs (timestamp order),
+    /// consulting the decoded-block cache first (see
+    /// [`BlockRef::decode_shared`]).
+    pub fn decode(&self) -> Vec<(Timestamp, f64)> {
+        self.decode_shared().iter().map(|r| (r.ts, r.value)).collect()
     }
 
     /// Decode only the readings within `range`, appended to `out`.
@@ -135,14 +227,10 @@ impl BlockRef {
         if !self.intersects(range) {
             return;
         }
-        let readings = self.decode();
-        let lo = readings.partition_point(|&(ts, _)| ts < range.start);
-        for &(ts, value) in &readings[lo..] {
-            if ts >= range.end {
-                break;
-            }
-            out.push(Reading { ts, value });
-        }
+        let readings = self.decode_shared();
+        let lo = readings.partition_point(|r| r.ts < range.start);
+        let hi = lo + readings[lo..].partition_point(|r| r.ts < range.end);
+        out.extend_from_slice(&readings[lo..hi]);
     }
 
     /// Encoded frame size in bytes.
@@ -158,22 +246,37 @@ pub struct SsTable {
     len: usize,
     min_ts: Timestamp,
     max_ts: Timestamp,
-    /// Blocks decompressed on behalf of this table (shared by clones).
-    decodes: Arc<AtomicU64>,
+    /// Identity, decode/corruption counters and optional decoded-block
+    /// cache (shared by clones and every block).
+    ctx: Arc<TableCtx>,
 }
 
 impl SsTable {
     /// Build from `(sid, ts, value)` entries sorted by `(sid, ts)`,
     /// compressing each sensor's run into [`BLOCK_LEN`]-reading blocks.
+    /// No decoded-block cache is attached; see
+    /// [`SsTable::from_sorted_cached`].
     ///
     /// # Panics
     /// Debug-asserts the sort order.
     pub fn from_sorted(entries: Vec<(SensorId, Timestamp, f64)>) -> Self {
+        SsTable::from_sorted_cached(entries, None)
+    }
+
+    /// [`SsTable::from_sorted`] with an optional decoded-block cache every
+    /// block of this table will consult on decode.
+    ///
+    /// # Panics
+    /// Debug-asserts the sort order.
+    pub fn from_sorted_cached(
+        entries: Vec<(SensorId, Timestamp, f64)>,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Self {
         debug_assert!(
             entries.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)),
             "entries must be sorted by (sid, ts)"
         );
-        let decodes = Arc::new(AtomicU64::new(0));
+        let ctx = TableCtx::new(cache);
         let mut runs: BTreeMap<SensorId, Vec<BlockRef>> = BTreeMap::new();
         let mut min_ts = Timestamp::MAX;
         let mut max_ts = Timestamp::MIN;
@@ -189,10 +292,14 @@ impl SsTable {
                 run.push((entries[i].1, entries[i].2));
                 i += 1;
             }
-            let blocks = run.chunks(BLOCK_LEN).map(|c| BlockRef::from_run(c, &decodes)).collect();
+            let blocks = run
+                .chunks(BLOCK_LEN)
+                .enumerate()
+                .map(|(idx, c)| BlockRef::from_run(c, sid, idx as u32, &ctx))
+                .collect();
             runs.insert(sid, blocks);
         }
-        SsTable { runs, len, min_ts, max_ts, decodes }
+        SsTable { runs, len, min_ts, max_ts, ctx }
     }
 
     /// Number of entries.
@@ -225,9 +332,25 @@ impl SsTable {
     }
 
     /// Blocks decompressed by queries against this table (and its clones)
-    /// so far — the pushdown observability counter.
+    /// so far — the pushdown observability counter.  With a decoded-block
+    /// cache attached this counts cache *misses* only: a hit serves the
+    /// already-decoded payload and does no decompression work.
     pub fn blocks_decoded(&self) -> u64 {
-        self.decodes.load(Ordering::Relaxed)
+        self.ctx.decodes.load(Ordering::Relaxed)
+    }
+
+    /// The table's process-unique id — the cache-key component that lets
+    /// [`BlockCache::purge_table`] drop a replaced table's entries.
+    pub fn table_id(&self) -> u64 {
+        self.ctx.table_id
+    }
+
+    /// Blocks whose checksummed payload failed to decode (forged or
+    /// memory-corrupted data) — surfaced next to [`SsTable::blocks_decoded`]
+    /// so silent data loss is impossible: a corrupt block yields no
+    /// readings but always leaves a trace here and in the log.
+    pub fn blocks_corrupt(&self) -> u64 {
+        self.ctx.corrupt.load(Ordering::Relaxed)
     }
 
     /// Total number of compressed blocks.
@@ -269,11 +392,24 @@ impl SsTable {
     }
 
     /// Iterate over all entries in `(sid, ts)` order, decoding every block
-    /// (used by compaction and the legacy format writers).
+    /// (used by compaction and the legacy format writers).  Bypasses the
+    /// decoded-block cache entirely: a maintenance full scan inserting
+    /// every block would evict the dashboards' hot entries and skew the
+    /// hit/miss statistics with traffic no query issued.
     pub fn iter(&self) -> impl Iterator<Item = (SensorId, Timestamp, f64)> + '_ {
         self.runs.iter().flat_map(|(&sid, blocks)| {
-            blocks.iter().flat_map(move |b| b.decode().into_iter().map(move |(ts, v)| (sid, ts, v)))
+            blocks.iter().flat_map(move |b| {
+                let decoded = b.decode_fresh();
+                (0..decoded.len()).map(move |i| (sid, decoded[i].ts, decoded[i].value))
+            })
         })
+    }
+
+    /// Mark the table as replaced: decodes by queries still holding its
+    /// blocks stop populating the cache.  Called before
+    /// [`BlockCache::purge_table`] so purged entries stay purged.
+    pub fn retire(&self) {
+        self.ctx.retired.store(true, Ordering::Relaxed);
     }
 
     /// All sensors with data in this table.
@@ -284,7 +420,21 @@ impl SsTable {
     /// Merge several tables into one, newest table winning on `(sid, ts)`
     /// duplicates; entries matched by `drop_if` (tombstone/TTL filter) are
     /// discarded.  `tables` must be ordered oldest → newest.
-    pub fn merge<F>(tables: &[&SsTable], mut drop_if: F) -> SsTable
+    pub fn merge<F>(tables: &[&SsTable], drop_if: F) -> SsTable
+    where
+        F: FnMut(SensorId, Timestamp) -> bool,
+    {
+        SsTable::merge_cached(tables, drop_if, None)
+    }
+
+    /// [`SsTable::merge`] attaching a decoded-block cache to the merged
+    /// table (the merged table has a fresh table id, so stale cache entries
+    /// of the inputs can never serve its reads).
+    pub fn merge_cached<F>(
+        tables: &[&SsTable],
+        mut drop_if: F,
+        cache: Option<Arc<BlockCache>>,
+    ) -> SsTable
     where
         F: FnMut(SensorId, Timestamp) -> bool,
     {
@@ -300,7 +450,7 @@ impl SsTable {
             .filter(|&((sid, ts), _)| !drop_if(sid, ts))
             .map(|((sid, ts), value)| (sid, ts, value))
             .collect();
-        SsTable::from_sorted(entries)
+        SsTable::from_sorted_cached(entries, cache)
     }
 
     // ------------------------------------------------------------ persistence
@@ -358,18 +508,31 @@ impl SsTable {
 
     /// Read back any on-disk format, dispatching on the magic bytes.  v3
     /// images load without decompressing anything; v1/v2 images are decoded
-    /// and re-blocked.
+    /// and re-blocked.  No decoded-block cache is attached; see
+    /// [`SsTable::read_from_cached`].
     ///
     /// # Errors
     /// `InvalidData` on bad magic, truncation or unsorted entries.
     pub fn read_from<R: Read>(r: &mut R) -> std::io::Result<SsTable> {
+        SsTable::read_from_cached(r, None)
+    }
+
+    /// [`SsTable::read_from`] with an optional decoded-block cache for the
+    /// loaded table.
+    ///
+    /// # Errors
+    /// `InvalidData` on bad magic, truncation or unsorted entries.
+    pub fn read_from_cached<R: Read>(
+        r: &mut R,
+        cache: Option<Arc<BlockCache>>,
+    ) -> std::io::Result<SsTable> {
         let mut raw = Vec::new();
         r.read_to_end(&mut raw)?;
         if raw.len() >= 8 && &raw[..8] == MAGIC_V3 {
-            return SsTable::decode_v3(&raw[8..]);
+            return SsTable::decode_v3(&raw[8..], cache);
         }
         if raw.len() >= 8 && &raw[..8] == MAGIC_V2 {
-            return SsTable::decode_v2(&raw[8..]);
+            return SsTable::decode_v2(&raw[8..], cache);
         }
         let mut buf = &raw[..];
         if buf.len() < 16 || &buf[..8] != MAGIC_V1 {
@@ -388,17 +551,17 @@ impl SsTable {
             entries.push((sid, ts, value));
         }
         Self::check_sorted(&entries)?;
-        Ok(SsTable::from_sorted(entries))
+        Ok(SsTable::from_sorted_cached(entries, cache))
     }
 
-    fn decode_v3(mut buf: &[u8]) -> std::io::Result<SsTable> {
+    fn decode_v3(mut buf: &[u8], cache: Option<Arc<BlockCache>>) -> std::io::Result<SsTable> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         if buf.len() < 16 {
             return Err(bad("truncated SSTable header"));
         }
         let n_entries = buf.get_u64() as usize;
         let n_sensors = buf.get_u64() as usize;
-        let decodes = Arc::new(AtomicU64::new(0));
+        let ctx = TableCtx::new(cache);
         let mut runs: BTreeMap<SensorId, Vec<BlockRef>> = BTreeMap::new();
         let mut total = 0usize;
         let mut min_ts = Timestamp::MAX;
@@ -423,7 +586,7 @@ impl SsTable {
             }
             let mut blocks = Vec::with_capacity(n_blocks);
             let mut prev_max = Timestamp::MIN;
-            for _ in 0..n_blocks {
+            for block_idx in 0..n_blocks {
                 let info = dcdb_compress::peek_frame(buf)
                     .map_err(|e| bad(&format!("bad SSTable block: {e}")))?;
                 if info.count == 0 || info.min_ts < prev_max {
@@ -439,7 +602,9 @@ impl SsTable {
                         max_ts: info.max_ts,
                         count: info.count,
                         frame: buf[..info.total_len].to_vec(),
-                        decodes: Arc::clone(&decodes),
+                        sid,
+                        block_idx: block_idx as u32,
+                        ctx: Arc::clone(&ctx),
                     }),
                 });
                 buf.advance(info.total_len);
@@ -449,10 +614,10 @@ impl SsTable {
         if total != n_entries {
             return Err(bad("SSTable entry count mismatch"));
         }
-        Ok(SsTable { runs, len: total, min_ts, max_ts, decodes })
+        Ok(SsTable { runs, len: total, min_ts, max_ts, ctx })
     }
 
-    fn decode_v2(mut buf: &[u8]) -> std::io::Result<SsTable> {
+    fn decode_v2(mut buf: &[u8], cache: Option<Arc<BlockCache>>) -> std::io::Result<SsTable> {
         let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         if buf.len() < 16 {
             return Err(bad("truncated SSTable header"));
@@ -477,7 +642,7 @@ impl SsTable {
             return Err(bad("SSTable entry count mismatch"));
         }
         Self::check_sorted(&entries)?;
-        Ok(SsTable::from_sorted(entries))
+        Ok(SsTable::from_sorted_cached(entries, cache))
     }
 
     fn check_sorted(entries: &[(SensorId, Timestamp, f64)]) -> std::io::Result<()> {
@@ -736,6 +901,52 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ts, i64::MIN);
         assert_eq!(t2.latest(sid(2)).unwrap().ts, i64::MAX);
+    }
+
+    #[test]
+    fn cached_decode_counts_misses_only() {
+        let entries: Vec<(SensorId, Timestamp, f64)> =
+            (0..2048).map(|i| (sid(1), i as Timestamp, i as f64)).collect();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let t = SsTable::from_sorted_cached(entries, Some(Arc::clone(&cache)));
+        let mut cold = Vec::new();
+        t.query(sid(1), TimeRange::new(0, 600), &mut cold);
+        assert_eq!(t.blocks_decoded(), 2, "cold query decodes the two intersecting blocks");
+        let mut warm = Vec::new();
+        t.query(sid(1), TimeRange::new(0, 600), &mut warm);
+        assert_eq!(t.blocks_decoded(), 2, "warm query is served from the cache");
+        assert_eq!(cold, warm);
+        assert_eq!(t.blocks_corrupt(), 0);
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.insertions, 2);
+        assert_eq!(s.used_readings, 2 * BLOCK_LEN as u64);
+    }
+
+    #[test]
+    fn tables_never_share_cache_entries() {
+        // two tables with identical (sid, block_idx) layouts but different
+        // payloads must stay distinct in a shared cache
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let t1 = SsTable::from_sorted_cached(
+            (0..100).map(|i| (sid(1), i as Timestamp, 1.0)).collect(),
+            Some(Arc::clone(&cache)),
+        );
+        let t2 = SsTable::from_sorted_cached(
+            (0..100).map(|i| (sid(1), i as Timestamp, 2.0)).collect(),
+            Some(Arc::clone(&cache)),
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t1.query(sid(1), TimeRange::all(), &mut a);
+        t2.query(sid(1), TimeRange::all(), &mut b);
+        // warm reads
+        t1.query(sid(1), TimeRange::all(), &mut a);
+        t2.query(sid(1), TimeRange::all(), &mut b);
+        assert!(a.iter().take(100).all(|r| r.value == 1.0));
+        assert!(a.iter().skip(100).all(|r| r.value == 1.0));
+        assert!(b.iter().all(|r| r.value == 2.0));
+        assert_eq!(t1.blocks_decoded() + t2.blocks_decoded(), 2);
     }
 
     #[test]

@@ -79,7 +79,12 @@ fn readers_during_writes_see_consistent_prefixes() {
 #[test]
 fn maintenance_during_writes_is_safe() {
     let cluster = Arc::new(StoreCluster::new(
-        NodeConfig { memtable_flush_entries: 256, compaction_threshold: 3, ttl: None },
+        NodeConfig {
+            memtable_flush_entries: 256,
+            compaction_threshold: 3,
+            ttl: None,
+            ..Default::default()
+        },
         PartitionMap::prefix(1, 2),
         1,
     ));

@@ -1,0 +1,118 @@
+//! Decoded-block cache properties.
+//!
+//! 1. A capacity-bounded cache **never** holds more readings than its
+//!    budget, whatever sequence of queries ran — eviction actually evicts,
+//!    including when a single block exceeds the whole budget.
+//! 2. Queries against a cached node return exactly what an uncached node
+//!    returns, reading for reading, bit for bit.
+//! 3. Warm re-queries decode nothing: the miss counter (`blocks_decoded`)
+//!    does not move when the cache already holds every intersecting block.
+
+use dcdb_sid::SensorId;
+use dcdb_store::reading::TimeRange;
+use dcdb_store::{NodeConfig, StoreNode};
+use proptest::prelude::*;
+
+fn sid(n: u16) -> SensorId {
+    SensorId::from_fields(&[23, n + 1]).unwrap()
+}
+
+fn node_with(writes: &[(u16, i64, f64)], flush_entries: usize, cache: usize) -> StoreNode {
+    let node = StoreNode::new(NodeConfig {
+        memtable_flush_entries: flush_entries,
+        compaction_threshold: usize::MAX,
+        block_cache_readings: cache,
+        ..Default::default()
+    });
+    for &(s, ts, v) in writes {
+        node.insert(sid(s), ts, v);
+    }
+    node.flush();
+    node
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The budget holds after arbitrary query sequences, and cached reads
+    /// are bit-identical to uncached reads.
+    #[test]
+    fn budget_holds_and_reads_are_identical(
+        writes in prop::collection::vec((0u16..4, 0i64..20_000, -1e9f64..1e9), 64..1500),
+        flush_entries in 64usize..600,
+        queries in prop::collection::vec((0u16..4, 0i64..20_000, 1i64..20_000), 1..30),
+        capacity in 1usize..5_000,
+    ) {
+        let cached = node_with(&writes, flush_entries, capacity);
+        let uncached = node_with(&writes, flush_entries, 0);
+        let cache = cached.block_cache().expect("capacity > 0 allocates a cache");
+        for &(s, start, len) in &queries {
+            let range = TimeRange::new(start, (start + len).min(20_000));
+            let a = cached.query_range(sid(s), range);
+            let b = uncached.query_range(sid(s), range);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.ts, y.ts);
+                prop_assert_eq!(x.value.to_bits(), y.value.to_bits());
+            }
+            // the bound is an invariant, not an end-state property
+            prop_assert!(
+                cache.used_readings() <= capacity,
+                "cache holds {} readings over the {} budget",
+                cache.used_readings(),
+                capacity
+            );
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.used_readings as usize, cache.used_readings());
+        prop_assert_eq!(s.capacity_readings as usize, capacity);
+    }
+
+    /// Re-running the same query against a big-enough cache decodes zero
+    /// new blocks; the uncached node pays the decode every time.
+    #[test]
+    fn warm_requery_decodes_nothing(
+        writes in prop::collection::vec((0u16..2, 0i64..8_000, -1e6f64..1e6), 600..1200),
+        (start, len) in (0i64..8_000, 1i64..8_000),
+    ) {
+        let cached = node_with(&writes, 400, 1 << 20);
+        let uncached = node_with(&writes, 400, 0);
+        let range = TimeRange::new(start, (start + len).min(8_000));
+        for s in 0..2u16 {
+            let _ = cached.query_range(sid(s), range);
+            let _ = uncached.query_range(sid(s), range);
+        }
+        let (cold_cached, cold_uncached) = (cached.blocks_decoded(), uncached.blocks_decoded());
+        prop_assert_eq!(cold_cached, cold_uncached, "a cold cache changes no decode counts");
+        for s in 0..2u16 {
+            let _ = cached.query_range(sid(s), range);
+            let _ = uncached.query_range(sid(s), range);
+        }
+        prop_assert_eq!(cached.blocks_decoded(), cold_cached, "warm re-query decoded blocks");
+        prop_assert_eq!(uncached.blocks_decoded(), 2 * cold_uncached);
+    }
+}
+
+/// Deterministic eviction check: a cache sized for three blocks cycling
+/// through many distinct blocks must evict (and keep the bound).
+#[test]
+fn eviction_actually_evicts() {
+    // 16 blocks of 512 readings for one sensor
+    let writes: Vec<(u16, i64, f64)> = (0..16 * 512).map(|i| (0, i as i64, i as f64)).collect();
+    let capacity = 3 * 512;
+    let node = node_with(&writes, usize::MAX, capacity);
+    let cache = node.block_cache().expect("cache configured");
+    // touch every block, several times over
+    for _ in 0..3 {
+        for b in 0..16i64 {
+            let _ = node.query_range(sid(0), TimeRange::new(b * 512, b * 512 + 10));
+            assert!(cache.used_readings() <= capacity);
+        }
+    }
+    let s = cache.stats();
+    assert!(s.evictions > 0, "cycling 16 blocks through a 3-block cache must evict");
+    assert!(s.used_readings as usize <= capacity);
+    // every round after the first re-decodes evicted blocks: misses keep
+    // growing, proving evicted entries are really gone
+    assert!(s.misses > 16, "expected re-misses after eviction, got {}", s.misses);
+}

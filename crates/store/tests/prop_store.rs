@@ -47,6 +47,7 @@ proptest! {
             memtable_flush_entries: flush_entries,
             compaction_threshold: 3,
             ttl: None,
+            ..Default::default()
         });
         let mut model: BTreeMap<(u16, i64), f64> = BTreeMap::new();
         for op in &ops {

@@ -4,11 +4,16 @@
 //! ```text
 //! dcdbcollectagent [--mqtt 127.0.0.1:1883] [--rest 127.0.0.1:8080]
 //!                  [--duration SECONDS] [--db <dir>] [--nodes N] [--depth D]
+//!                  [--cache-mb MB] [--query-threads N]
 //! ```
 //!
 //! `--nodes`/`--depth` shard storage over `N` nodes with SID-prefix
 //! partitioning at hierarchy depth `D`; `--db` persists *every* node's runs
 //! under `<dir>/node<N>/` so a later `dcdbquery --db` sees the full cluster.
+//! `--cache-mb` gives the cluster a shared decoded-block cache (served
+//! `/aggregate` panels skip re-decoding hot blocks; 0 = off) and
+//! `--query-threads` caps the REST query path's worker threads (0 = all
+//! cores).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,10 +31,17 @@ fn main() {
     let duration: u64 = args.get("duration").and_then(|s| s.parse().ok()).unwrap_or(10);
     let nodes: usize = args.get("nodes").and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
     let depth: usize = args.get("depth").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cache_mb: usize = args.get("cache-mb").and_then(|s| s.parse().ok()).unwrap_or(0);
 
-    let store =
-        Arc::new(StoreCluster::new(NodeConfig::default(), PartitionMap::prefix(nodes, depth), 1));
+    let node_cfg = NodeConfig {
+        block_cache_readings: dcdb_tools::cache_mb_to_readings(cache_mb),
+        ..Default::default()
+    };
+    let store = Arc::new(StoreCluster::new(node_cfg, PartitionMap::prefix(nodes, depth), 1));
     let agent = CollectAgent::new(store);
+    if let Some(threads) = args.get("query-threads").and_then(|s| s.parse().ok()) {
+        agent.set_query_threads(threads);
+    }
 
     let broker_cfg = BrokerConfig {
         bind: mqtt_addr.parse().expect("valid --mqtt address"),

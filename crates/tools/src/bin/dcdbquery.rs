@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats]
-//!           [--agg FN --window DUR [--group-by N]] [--sizes] <topic-or-prefix>...
+//!           [--agg FN --window DUR [--group-by N]] [--sizes]
+//!           [--cache-mb MB] [--query-threads N] <topic-or-prefix>...
 //! ```
 //!
 //! `--agg`/`--window` build a `QueryRequest` and run it through the unified
@@ -15,19 +16,29 @@
 //! hierarchy level `N` (one output series per rack/node/..., evaluated in
 //! parallel) and prints the group key as the first CSV column.
 //!
+//! `--cache-mb MB` gives the read path a decoded-block cache of `MB`
+//! megabytes (repeated panels over the same hot blocks skip the Gorilla
+//! decode; 0 = off, the default) and `--query-threads N` caps the worker
+//! threads parallel fan-in and group-by may use (0 = all cores).
+//!
 //! `--sizes` reports the database's stored (compressed) versus raw
-//! fixed-width byte footprint; with `--sizes` topics are optional.
+//! fixed-width byte footprint — plus a block-cache capacity/usage line
+//! when `--cache-mb` is active.  With `--sizes` topics are optional; when
+//! topics are also given the report prints *after* the queries, so the
+//! cache hit/miss numbers reflect what they touched.
 
 use dcdb_core::{ops, QueryRequest};
 use dcdb_store::reading::TimeRange;
-use dcdb_tools::{db_sizes, open_db, Args};
+use dcdb_store::NodeConfig;
+use dcdb_tools::{cache_mb_to_readings, db_sizes, open_db_with, Args};
 
 fn main() {
     let args = Args::from_env();
     let Some(db_dir) = args.get("db") else {
         eprintln!(
             "usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] \
-             [--agg FN --window DUR] [--sizes] <topic>..."
+             [--agg FN --window DUR] [--sizes] [--cache-mb MB] \
+             [--query-threads N] <topic>..."
         );
         std::process::exit(2);
     };
@@ -38,24 +49,31 @@ fn main() {
     }
     let start: i64 = args.get("start").and_then(|s| s.parse().ok()).unwrap_or(i64::MIN);
     let end: i64 = args.get("end").and_then(|s| s.parse().ok()).unwrap_or(i64::MAX);
-    let db = match open_db(std::path::Path::new(db_dir)) {
+    let cache_mb: usize = args.get("cache-mb").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let node_cfg =
+        NodeConfig { block_cache_readings: cache_mb_to_readings(cache_mb), ..Default::default() };
+    let db = match open_db_with(std::path::Path::new(db_dir), node_cfg) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("dcdbquery: cannot open {db_dir}: {e}");
             std::process::exit(1);
         }
     };
-    if args.has("sizes") {
-        match db_sizes(&db, std::path::Path::new(db_dir)) {
+    if let Some(threads) = args.get("query-threads").and_then(|s| s.parse().ok()) {
+        db.set_query_threads(threads);
+    }
+    let print_sizes =
+        |db: &std::sync::Arc<dcdb_core::SensorDb>| match db_sizes(db, std::path::Path::new(db_dir))
+        {
             Ok(sizes) => println!("{}", sizes.render()),
             Err(e) => {
                 eprintln!("dcdbquery: sizing database: {e}");
                 std::process::exit(1);
             }
-        }
-        if topics.is_empty() {
-            return;
-        }
+        };
+    if args.has("sizes") && topics.is_empty() {
+        print_sizes(&db);
+        return;
     }
     let range = TimeRange::new(start, end);
     if args.has("agg") || args.has("window") || args.has("group-by") {
@@ -103,6 +121,10 @@ fn main() {
                 }
                 Err(e) => eprintln!("dcdbquery: {topic}: {e}"),
             }
+        }
+        // after the queries, so the cache line reflects what they hit
+        if args.has("sizes") {
+            print_sizes(&db);
         }
         return;
     }
@@ -152,5 +174,8 @@ fn main() {
             eprintln!("dcdbquery: unknown op {other:?} (integral|derivative|stats)");
             std::process::exit(2);
         }
+    }
+    if args.has("sizes") {
+        print_sizes(&db);
     }
 }

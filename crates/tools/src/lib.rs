@@ -66,6 +66,17 @@ pub fn save_cluster(store: &StoreCluster, dir: &Path) -> std::io::Result<usize> 
 /// Propagates I/O and format failures; a missing directory yields an empty
 /// single-node cluster.
 pub fn load_cluster(dir: &Path) -> std::io::Result<Arc<StoreCluster>> {
+    load_cluster_with(dir, NodeConfig::default())
+}
+
+/// [`load_cluster`] with an explicit per-node configuration — how the CLI
+/// knobs (`--cache-mb` → [`NodeConfig::block_cache_readings`]) reach a
+/// database opened from disk.
+///
+/// # Errors
+/// Propagates I/O and format failures; a missing directory yields an empty
+/// single-node cluster.
+pub fn load_cluster_with(dir: &Path, node_cfg: NodeConfig) -> std::io::Result<Arc<StoreCluster>> {
     let mut nodes = 1usize;
     let mut depth = Some(DEFAULT_PREFIX_DEPTH);
     let meta = dir.join("cluster.list");
@@ -97,7 +108,7 @@ pub fn load_cluster(dir: &Path) -> std::io::Result<Arc<StoreCluster>> {
         Some(depth) => PartitionMap::prefix(nodes.max(1), depth),
         None => PartitionMap::random(nodes.max(1)),
     };
-    let store = Arc::new(StoreCluster::new(NodeConfig::default(), map, 1));
+    let store = Arc::new(StoreCluster::new(node_cfg, map, 1));
     for i in 0..store.node_count() {
         let node_dir = dir.join(format!("node{i}"));
         if node_dir.exists() {
@@ -129,6 +140,15 @@ pub fn load_cluster(dir: &Path) -> std::io::Result<Arc<StoreCluster>> {
 /// # Errors
 /// Propagates I/O failures; a missing directory yields an empty database.
 pub fn open_db(dir: &Path) -> std::io::Result<Arc<SensorDb>> {
+    open_db_with(dir, NodeConfig::default())
+}
+
+/// [`open_db`] with an explicit per-node configuration (decoded-block
+/// cache budget, flush/compaction tuning).
+///
+/// # Errors
+/// Propagates I/O failures; a missing directory yields an empty database.
+pub fn open_db_with(dir: &Path, node_cfg: NodeConfig) -> std::io::Result<Arc<SensorDb>> {
     let registry = Arc::new(TopicRegistry::new());
     let topics_path = dir.join("topics.list");
     if topics_path.exists() {
@@ -143,8 +163,14 @@ pub fn open_db(dir: &Path) -> std::io::Result<Arc<SensorDb>> {
             }
         }
     }
-    let store = load_cluster(dir)?;
+    let store = load_cluster_with(dir, node_cfg)?;
     Ok(SensorDb::new(store, registry))
+}
+
+/// Readings a `--cache-mb` budget buys: decoded readings cost 16 bytes
+/// (`i64` timestamp + `f64` value).
+pub fn cache_mb_to_readings(mb: usize) -> usize {
+    mb * (1024 * 1024) / 16
 }
 
 /// Persist the database directory written by [`open_db`]: the topic
@@ -163,7 +189,8 @@ pub fn save_db(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<()> {
 }
 
 /// On-disk footprint of a database directory versus the fixed-width
-/// baseline, for the CLI `--sizes` reports.
+/// baseline, plus the decoded-block cache state, for the CLI `--sizes`
+/// reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbSizes {
     /// Readings stored (memtable + SSTables).
@@ -172,6 +199,8 @@ pub struct DbSizes {
     pub stored_bytes: u64,
     /// Bytes the same readings cost in the v1 fixed-width format.
     pub raw_bytes: u64,
+    /// Decoded-block cache counters (capacity 0 when caching is off).
+    pub cache: dcdb_store::CacheStats,
 }
 
 impl DbSizes {
@@ -184,15 +213,31 @@ impl DbSizes {
         }
     }
 
-    /// One-line human-readable report.
+    /// One- or two-line human-readable report (the cache line appears only
+    /// when a block cache is configured).
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "stored: {} readings in {} bytes on disk (fixed-width v1: {} bytes, {:.1}x compression)",
             self.readings,
             self.stored_bytes,
             self.raw_bytes,
             self.ratio()
-        )
+        );
+        if self.cache.capacity_readings > 0 {
+            out.push_str(&format!(
+                "\nblock cache: {}/{} readings used ({} KiB of {} KiB), \
+                 {} hits / {} misses ({:.0}% hit rate), {} evictions",
+                self.cache.used_readings,
+                self.cache.capacity_readings,
+                self.cache.used_readings * 16 / 1024,
+                self.cache.capacity_readings * 16 / 1024,
+                self.cache.hits,
+                self.cache.misses,
+                self.cache.hit_rate() * 100.0,
+                self.cache.evictions,
+            ));
+        }
+        out
     }
 }
 
@@ -229,6 +274,7 @@ pub fn db_sizes(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<DbSizes> {
         readings,
         stored_bytes,
         raw_bytes: readings * dcdb_store::sstable::V1_RECORD_BYTES as u64,
+        cache: db.store().cache_stats(),
     })
 }
 

@@ -109,6 +109,58 @@ fn size_report_shows_compression_ratio() {
 }
 
 #[test]
+fn cache_and_thread_knobs_accepted() {
+    let dir = tmp_dir("cacheknobs");
+    let db = dir.join("db");
+    let csv = dir.join("series.csv");
+    let mut text = String::from("sensor,timestamp,value\n");
+    for i in 0..2000i64 {
+        text.push_str(&format!("/knob/n0/power,{},{}\n", i * 1_000_000_000, 100 + i % 5));
+    }
+    std::fs::write(&csv, text).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_csvimport"))
+        .args(["--db", db.to_str().unwrap(), csv.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // --cache-mb surfaces a block-cache line in the sizes report and the
+    // query answers are unchanged; --query-threads pins the pool
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args([
+            "--db",
+            db.to_str().unwrap(),
+            "--cache-mb",
+            "16",
+            "--query-threads",
+            "2",
+            "--sizes",
+            "--agg",
+            "avg",
+            "--window",
+            "10m",
+            "/knob",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("block cache:"), "{text}");
+    // the report prints after the query, so the cache reflects its work:
+    // all 2000 readings (4 blocks) were decoded into the 1 Mi-reading cache
+    assert!(text.contains("2000/1048576 readings used"), "16 MB = 1 Mi readings: {text}");
+    assert!(text.contains("4 misses"), "{text}");
+    assert!(text.contains("/knob/n0/power/+avg,0,102"), "{text}");
+    // without --cache-mb the sizes report carries no cache line
+    let out = Command::new(env!("CARGO_BIN_EXE_dcdbquery"))
+        .args(["--db", db.to_str().unwrap(), "--sizes"])
+        .output()
+        .unwrap();
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("block cache:"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn windowed_aggregation_over_prefix() {
     let dir = tmp_dir("agg");
     let db = dir.join("db");
