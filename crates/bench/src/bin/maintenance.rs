@@ -1,0 +1,91 @@
+//! Prints the background-maintenance study (sustained-ingest insert/query
+//! latency, synchronous versus background flush/compaction), emitting
+//! machine-readable results to `results/BENCH_maintenance.json`.
+use std::fmt::Write as _;
+
+fn main() {
+    let r = dcdb_bench::experiments::maintenance::run();
+    println!(
+        "Sustained-ingest study: {} readings in {}-reading batches, \
+         flush every {}, merge every {} runs, concurrent trailing-window reader\n",
+        dcdb_bench::experiments::maintenance::TOTAL_READINGS,
+        dcdb_bench::experiments::maintenance::BATCH,
+        dcdb_bench::experiments::maintenance::FLUSH_ENTRIES,
+        dcdb_bench::experiments::maintenance::COMPACTION_THRESHOLD,
+    );
+    print!("{}", dcdb_bench::experiments::maintenance::render(&r));
+    println!(
+        "\ninsert p99: {:.0} us sync -> {:.0} us background ({:.1}x) | \
+         contents identical: {}",
+        r.sync.insert_us.p99,
+        r.background.insert_us.p99,
+        r.insert_p99_speedup(),
+        if r.identical() { "yes" } else { "NO" },
+    );
+    assert!(r.identical(), "background maintenance changed stored contents");
+    assert_eq!(r.background.maintenance.pending_flushes, 0, "quiesce left flushes pending");
+    // the acceptance bar: handing flush+merge to the pool must shorten the
+    // ingest tail.  Shared CI runners can throttle below the bar without a
+    // code defect, so missing it only warns unless BENCH_STRICT=1.
+    if r.insert_p99_speedup() < 1.2 {
+        let msg = format!(
+            "expected background maintenance to improve insert p99 by >= 1.2x, got {:.2}x",
+            r.insert_p99_speedup()
+        );
+        assert!(std::env::var_os("BENCH_STRICT").is_none(), "{msg}");
+        eprintln!("warning: {msg} (set BENCH_STRICT=1 to fail on this)");
+    }
+
+    let mut json = String::from("{\n");
+    for (key, i) in [("sync", &r.sync), ("background", &r.background)] {
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {{\"threads\": {}, \"readings\": {}, \"wall_s\": {:.3}, \
+             \"insert_p50_us\": {:.1}, \"insert_p99_us\": {:.1}, \"insert_max_us\": {:.1}, \
+             \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}, \"query_max_us\": {:.1}, \
+             \"queries\": {}, \"flushes\": {}, \"compactions\": {}, \
+             \"compactions_coalesced\": {}, \"compaction_ms\": {:.1}, \"stalls\": {}, \
+             \"stall_ms\": {:.1}}},",
+            i.threads,
+            i.readings,
+            i.wall_s,
+            i.insert_us.p50,
+            i.insert_us.p99,
+            i.insert_us.max,
+            i.query_us.p50,
+            i.query_us.p99,
+            i.query_us.max,
+            i.queries,
+            i.maintenance.flushes,
+            i.maintenance.compactions,
+            i.maintenance.compactions_coalesced,
+            i.maintenance.compaction_ns as f64 / 1e6,
+            i.maintenance.stalls,
+            i.maintenance.stall_ns as f64 / 1e6,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"insert_p99_speedup\": {:.2}, \"identical\": {}\n}}",
+        r.insert_p99_speedup(),
+        r.identical(),
+    );
+    dcdb_bench::report::write_json("BENCH_maintenance", &json);
+    dcdb_bench::report::write_csv(
+        "maintenance_ingest",
+        &["mode", "insert_p50_us", "insert_p99_us", "insert_max_us", "query_p99_us", "stalls"],
+        &[&r.sync, &r.background]
+            .iter()
+            .map(|i| {
+                vec![
+                    if i.threads == 0 { "sync".to_string() } else { "background".to_string() },
+                    format!("{:.1}", i.insert_us.p50),
+                    format!("{:.1}", i.insert_us.p99),
+                    format!("{:.1}", i.insert_us.max),
+                    format!("{:.1}", i.query_us.p99),
+                    i.maintenance.stalls.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

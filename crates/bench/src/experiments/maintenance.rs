@@ -1,0 +1,247 @@
+//! Background-maintenance study: sustained ingest with and without the
+//! flush/compaction worker pool.
+//!
+//! The scenario the subsystem exists for: a Collect Agent ingesting a
+//! steady stream of batches while a dashboard queries the most recent
+//! window.  With **synchronous** maintenance (threads 0) the batch that
+//! fills the memtable pays for the SSTable encode inline and — every
+//! `compaction_threshold` flushes — for the full k-way merge too, so the
+//! insert-latency tail is the merge duration.  With **background**
+//! maintenance the insert hands the frozen memtable to the pool and
+//! returns; its tail is a hash-queue push (or, at worst, a counted
+//! backpressure stall).
+//!
+//! Reported per mode: insert-latency percentiles over every batch, query
+//! latency of the concurrent reader, and the maintenance counters
+//! (flushes, merges, merge time, stalls).  Both runs ingest identical data
+//! and must end with identical query results — checked, not assumed.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dcdb_sim::workloads::BehaviorTrace;
+use dcdb_sim::{Arch, Workload};
+use dcdb_store::reading::{Reading, TimeRange};
+use dcdb_store::{MaintenanceSnapshot, NodeConfig, StoreCluster};
+
+/// Sampling interval of the simulated sensor (1 s).
+pub const INTERVAL_NS: i64 = 1_000_000_000;
+/// Readings ingested per run.
+pub const TOTAL_READINGS: usize = 256 * 1024;
+/// Readings per ingest batch (one MQTT publish worth).
+pub const BATCH: usize = 64;
+/// Memtable budget: small enough that flush/merge-affected batches are
+/// **more than 1 % of all batches** — the synchronous maintenance cost
+/// must land inside the p99, not hide above it.
+pub const FLUSH_ENTRIES: usize = 4 * 1024;
+/// Runs that trigger a merge.
+pub const COMPACTION_THRESHOLD: usize = 2;
+/// Readings the concurrent dashboard query scans per refresh.
+pub const QUERY_SPAN: usize = 4 * 1024;
+
+/// Latency distribution in microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyUs {
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+fn percentiles(mut samples: Vec<f64>) -> LatencyUs {
+    if samples.is_empty() {
+        return LatencyUs { p50: 0.0, p99: 0.0, max: 0.0 };
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    LatencyUs { p50: at(0.50), p99: at(0.99), max: *samples.last().expect("non-empty") }
+}
+
+/// One sustained-ingest run.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Maintenance worker threads (0 = synchronous).
+    pub threads: usize,
+    /// Readings ingested.
+    pub readings: usize,
+    /// Wall-clock seconds for the whole ingest.
+    pub wall_s: f64,
+    /// Per-batch insert latency.
+    pub insert_us: LatencyUs,
+    /// Concurrent dashboard-query latency.
+    pub query_us: LatencyUs,
+    /// Queries the reader completed during the run.
+    pub queries: usize,
+    /// Maintenance counters at the end of the run.
+    pub maintenance: MaintenanceSnapshot,
+    /// Fingerprint of the settled store contents (XOR of value bits) —
+    /// must agree across modes.
+    pub fingerprint: u64,
+}
+
+fn sensor() -> dcdb_sid::SensorId {
+    dcdb_sid::SensorId::from_fields(&[9, 1]).expect("static sid")
+}
+
+/// One sustained-ingest run: a writer thread streams batches while a
+/// reader refreshes a trailing window, then the store is settled and
+/// fingerprinted.
+pub fn run_ingest(threads: usize) -> IngestReport {
+    let cluster = Arc::new(StoreCluster::new(
+        NodeConfig {
+            memtable_flush_entries: FLUSH_ENTRIES,
+            compaction_threshold: COMPACTION_THRESHOLD,
+            maintenance_threads: threads,
+            ..Default::default()
+        },
+        dcdb_sid::PartitionMap::prefix(1, 2),
+        1,
+    ));
+    let mut trace = BehaviorTrace::new(Workload::Hpl, Arch::Skylake.spec(), INTERVAL_NS, 23);
+    let values: Vec<f64> = trace.take(TOTAL_READINGS).iter().map(|s| s.power_w).collect();
+
+    let progress = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let cluster = Arc::clone(&cluster);
+        let progress = Arc::clone(&progress);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let s = sensor();
+            let mut lat = Vec::new();
+            while !done.load(Ordering::Relaxed) {
+                let head = progress.load(Ordering::Relaxed);
+                if head < QUERY_SPAN {
+                    std::thread::yield_now();
+                    continue;
+                }
+                let range = TimeRange::new(
+                    (head - QUERY_SPAN) as i64 * INTERVAL_NS,
+                    head as i64 * INTERVAL_NS,
+                );
+                let t = Instant::now();
+                let got = cluster.query(s, range);
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+                assert!(!got.is_empty(), "trailing-window query found nothing");
+            }
+            lat
+        })
+    };
+
+    let s = sensor();
+    let mut insert_lat = Vec::with_capacity(TOTAL_READINGS / BATCH);
+    let wall = Instant::now();
+    for (b, chunk) in values.chunks(BATCH).enumerate() {
+        let base = b * BATCH;
+        let batch: Vec<Reading> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Reading::new((base + i) as i64 * INTERVAL_NS, v))
+            .collect();
+        let t = Instant::now();
+        cluster.insert_batch(s, &batch);
+        insert_lat.push(t.elapsed().as_secs_f64() * 1e6);
+        progress.store(base + chunk.len(), Ordering::Relaxed);
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    done.store(true, Ordering::Relaxed);
+    let query_lat = reader.join().expect("reader thread");
+    let queries = query_lat.len();
+
+    // settle and fingerprint: both modes must hold identical data
+    cluster.quiesce();
+    cluster.maintain();
+    let all = cluster.query(s, TimeRange::all());
+    assert_eq!(all.len(), TOTAL_READINGS, "ingest lost readings (threads={threads})");
+    let fingerprint =
+        all.iter().fold(0u64, |acc, r| acc ^ r.value.to_bits().rotate_left((r.ts % 63) as u32));
+
+    IngestReport {
+        threads,
+        readings: TOTAL_READINGS,
+        wall_s,
+        insert_us: percentiles(insert_lat),
+        query_us: percentiles(query_lat),
+        queries,
+        maintenance: cluster.maintenance_stats(),
+        fingerprint,
+    }
+}
+
+/// The full study: synchronous versus background maintenance.
+#[derive(Debug, Clone)]
+pub struct MaintReport {
+    /// Threads-0 run.
+    pub sync: IngestReport,
+    /// Background run.
+    pub background: IngestReport,
+}
+
+impl MaintReport {
+    /// Insert-tail improvement of background over synchronous maintenance.
+    pub fn insert_p99_speedup(&self) -> f64 {
+        self.sync.insert_us.p99.max(1e-9) / self.background.insert_us.p99.max(1e-9)
+    }
+
+    /// Both runs hold bit-identical data after settling.
+    pub fn identical(&self) -> bool {
+        self.sync.fingerprint == self.background.fingerprint
+    }
+}
+
+/// Run both modes (background on 2 workers).
+pub fn run() -> MaintReport {
+    MaintReport { sync: run_ingest(0), background: run_ingest(2) }
+}
+
+/// Render the two runs side by side.
+pub fn render(r: &MaintReport) -> String {
+    let row = |i: &IngestReport| {
+        vec![
+            if i.threads == 0 { "sync".to_string() } else { format!("bg({})", i.threads) },
+            format!("{:.2}", i.wall_s),
+            format!("{:.0}", i.insert_us.p50),
+            format!("{:.0}", i.insert_us.p99),
+            format!("{:.0}", i.insert_us.max),
+            format!("{:.0}", i.query_us.p99),
+            i.maintenance.flushes.to_string(),
+            i.maintenance.compactions.to_string(),
+            i.maintenance.stalls.to_string(),
+            format!("{:.0}", i.maintenance.compaction_ns as f64 / 1e6),
+        ]
+    };
+    crate::report::table(
+        &[
+            "mode",
+            "wall s",
+            "ins p50 us",
+            "ins p99 us",
+            "ins max us",
+            "qry p99 us",
+            "flushes",
+            "merges",
+            "stalls",
+            "merge ms",
+        ],
+        &[row(&r.sync), row(&r.background)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let l = percentiles((0..1000).map(|i| i as f64).collect());
+        assert_eq!(l.max, 999.0);
+        assert!(l.p50 <= l.p99 && l.p99 <= l.max);
+        assert_eq!(l.p50, 500.0); // round(999*0.5)
+    }
+
+    // the full study runs in the release-mode `maintenance` bin (CI); a
+    // debug smoke run here would dominate the test suite's wall clock
+}

@@ -19,6 +19,8 @@
 //! | Design ablations (DESIGN.md §5)          | [`experiments::ablations`] | `ablations` |
 //! | Compression study (dcdb-compress)        | [`experiments::compression`] | `compression` |
 //! | Query pushdown study (dcdb-query)        | [`experiments::query`] | `query` |
+//! | Hot-block cache study (dcdb-store)       | [`experiments::cache`] | `cache` |
+//! | Background-maintenance study (dcdb-store) | [`experiments::maintenance`] | `maintenance` |
 
 pub mod experiments;
 pub mod kde;

@@ -114,6 +114,10 @@ impl CollectAgent {
                 decoded.iter().map(|&(ts, value)| Reading::new(ts, value)).collect();
             self.store.insert_batch(sid, &readings);
             if let Some(last) = readings.last() {
+                // advance the store's TTL horizon with the data clock so the
+                // maintenance ticker can expire old readings without the
+                // agent ever reading a wall clock on the ingest path
+                self.store.advance_now(last.ts);
                 self.cache.write().insert(topic.to_string(), *last);
             }
             {

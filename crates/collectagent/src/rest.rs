@@ -14,9 +14,11 @@
 //! * `GET /aggregate?...&groupby=N` — grouped aggregation: one series per
 //!   sub-tree at hierarchy level `N`, evaluated in parallel and returned
 //!   under a `groups` array,
-//! * `GET /stats` — agent counters, plus the storage read-path counters:
-//!   blocks decoded/corrupt and the decoded-block cache's
-//!   capacity/used/hit/miss/eviction numbers.
+//! * `GET /stats` — agent counters, plus the storage read-path counters
+//!   (blocks decoded/corrupt and the decoded-block cache's
+//!   capacity/used/hit/miss/eviction numbers) and the write-path
+//!   maintenance counters (flushes, compactions, coalesced merges, pending
+//!   flush backlog, write stalls and the age of the most recent flush).
 //!
 //! `/aggregate` builds a typed `QueryRequest` and runs it through
 //! `SensorDb::execute` — the same execution path as libDCDB, Grafana and
@@ -149,6 +151,18 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
     r.add(Method::Get, "/stats", move |_req| {
         let s = a.stats();
         let cache = a.store().cache_stats();
+        let maint = a.store().maintenance_stats();
+        // how stale the durable state may be: seconds since the most
+        // recent memtable flush anywhere in the cluster (-1 = never)
+        let last_flush_age_s = if maint.last_flush_unix_ms == 0 {
+            -1.0
+        } else {
+            let now_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            now_ms.saturating_sub(maint.last_flush_unix_ms) as f64 / 1000.0
+        };
         Response::json(&Json::obj([
             ("messages", Json::Num(s.messages.load(Ordering::Relaxed) as f64)),
             ("readings", Json::Num(s.readings.load(Ordering::Relaxed) as f64)),
@@ -161,6 +175,15 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
             ("cacheHits", Json::Num(cache.hits as f64)),
             ("cacheMisses", Json::Num(cache.misses as f64)),
             ("cacheEvictions", Json::Num(cache.evictions as f64)),
+            ("maintenanceThreads", Json::Num(maint.threads as f64)),
+            ("flushes", Json::Num(maint.flushes as f64)),
+            ("compactions", Json::Num(maint.compactions as f64)),
+            ("compactionsCoalesced", Json::Num(maint.compactions_coalesced as f64)),
+            ("compactionNs", Json::Num(maint.compaction_ns as f64)),
+            ("pendingFlushes", Json::Num(maint.pending_flushes as f64)),
+            ("writeStalls", Json::Num(maint.stalls as f64)),
+            ("writeStallNs", Json::Num(maint.stall_ns as f64)),
+            ("lastFlushAgeS", Json::Num(last_flush_age_s)),
         ]))
     });
 
@@ -281,6 +304,37 @@ mod tests {
         assert!(hits >= decoded, "warm query hit every block it needed");
         assert_eq!(j.get("blocksCorrupt").unwrap().as_f64(), Some(0.0));
         assert!(j.get("cacheUsedReadings").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stats_reports_maintenance_counters() {
+        use dcdb_store::NodeConfig;
+        let cfg =
+            NodeConfig { memtable_flush_entries: 64, maintenance_threads: 1, ..Default::default() };
+        let cluster = StoreCluster::new(cfg, dcdb_sid::PartitionMap::prefix(1, 3), 1);
+        let agent = CollectAgent::new(Arc::new(cluster));
+        let readings: Vec<(i64, f64)> = (0..512).map(|i| (i * 1_000_000_000, 1.0)).collect();
+        agent.handle_publish("/r0/n0/power", &encode_readings(&readings));
+        agent.store().quiesce();
+        let h = router(Arc::clone(&agent)).into_handler();
+        let (code, j) = get(&h, "/stats", &[]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("maintenanceThreads").unwrap().as_f64(), Some(1.0));
+        assert!(j.get("flushes").unwrap().as_f64().unwrap() >= 1.0, "background flush ran");
+        assert_eq!(j.get("pendingFlushes").unwrap().as_f64(), Some(0.0));
+        let age = j.get("lastFlushAgeS").unwrap().as_f64().unwrap();
+        assert!((0.0..60.0).contains(&age), "fresh flush should have a small age, got {age}");
+        assert!(j.get("writeStalls").unwrap().as_f64().is_some());
+        assert!(j.get("compactionsCoalesced").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn stats_without_maintenance_reports_never_flushed() {
+        let h = handler(); // synchronous store, nothing flushed
+        let (code, j) = get(&h, "/stats", &[]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("maintenanceThreads").unwrap().as_f64(), Some(0.0));
+        assert_eq!(j.get("lastFlushAgeS").unwrap().as_f64(), Some(-1.0));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use dcdb_sid::{PartitionMap, SensorId};
 
 use crate::cache::{BlockCache, CacheStats};
+use crate::maintenance::{MaintenancePool, MaintenanceSnapshot};
 use crate::node::{NodeConfig, SeriesSnapshot, StoreNode};
 use crate::reading::{Reading, TimeRange, Timestamp};
 
@@ -34,27 +35,42 @@ pub struct StoreCluster {
     /// The decoded-block cache shared by every node (one process-wide
     /// reading budget), when [`NodeConfig::block_cache_readings`] is set.
     cache: Option<Arc<BlockCache>>,
+    /// The background maintenance pool shared by every node (one worker
+    /// budget per cluster), when [`NodeConfig::maintenance_threads`] is set.
+    pool: Option<Arc<MaintenancePool>>,
 }
 
 impl StoreCluster {
     /// Build a cluster of `n` nodes with the given partition map and
     /// replication factor (1 = no replicas).  A non-zero
     /// [`NodeConfig::block_cache_readings`] allocates **one** decoded-block
-    /// cache of that budget, shared by all nodes.
+    /// cache of that budget, shared by all nodes; a non-zero
+    /// [`NodeConfig::maintenance_threads`] likewise allocates **one**
+    /// background maintenance pool that owns flush and compaction for the
+    /// whole cluster.
     pub fn new(node_cfg: NodeConfig, partition: PartitionMap, replication: usize) -> StoreCluster {
         let n = partition.nodes();
         assert!(n > 0, "cluster needs at least one node");
         let replication = replication.clamp(1, n);
         let cache = (node_cfg.block_cache_readings > 0)
             .then(|| Arc::new(BlockCache::new(node_cfg.block_cache_readings)));
+        let pool = (node_cfg.maintenance_threads > 0).then(|| {
+            MaintenancePool::start(
+                node_cfg.maintenance_threads,
+                crate::node::tick_interval(&node_cfg),
+            )
+        });
         StoreCluster {
             nodes: (0..n)
-                .map(|_| Arc::new(StoreNode::with_cache(node_cfg.clone(), cache.clone())))
+                .map(|_| {
+                    Arc::new(StoreNode::with_shared(node_cfg.clone(), cache.clone(), pool.clone()))
+                })
                 .collect(),
             partition,
             replication,
             stats: ClusterStats::default(),
             cache,
+            pool,
         }
     }
 
@@ -180,7 +196,9 @@ impl StoreCluster {
         }
     }
 
-    /// Flush and compact every node.
+    /// Flush and compact every node, synchronously — after this call every
+    /// reading sits in (at most) one merged SSTable per node, whatever the
+    /// maintenance mode.
     pub fn maintain(&self) {
         for n in &self.nodes {
             n.flush();
@@ -188,10 +206,43 @@ impl StoreCluster {
         }
     }
 
+    /// Block until every maintenance job handed to the background pool has
+    /// completed (no-op in synchronous mode).  Unlike [`Self::maintain`]
+    /// this forces nothing: it only waits out in-flight work.
+    pub fn quiesce(&self) {
+        if let Some(pool) = &self.pool {
+            pool.wait_idle();
+        }
+    }
+
+    /// The cluster's shared background maintenance pool, when configured.
+    pub fn maintenance_pool(&self) -> Option<&Arc<MaintenancePool>> {
+        self.pool.as_ref()
+    }
+
+    /// Aggregated maintenance counters across all nodes (stalls, pending
+    /// flushes, merge durations, most recent flush).
+    pub fn maintenance_stats(&self) -> MaintenanceSnapshot {
+        let mut total = MaintenanceSnapshot::default();
+        for n in &self.nodes {
+            total.merge(&n.maintenance_stats());
+        }
+        total
+    }
+
     /// Advance "now" on every node (TTL base).
     pub fn set_now(&self, ts: Timestamp) {
         for n in &self.nodes {
             n.set_now(ts);
+        }
+    }
+
+    /// Advance "now" monotonically on every node — the ingest-path variant
+    /// of [`Self::set_now`]: concurrent batches with out-of-order
+    /// timestamps never move the TTL horizon backwards.
+    pub fn advance_now(&self, ts: Timestamp) {
+        for n in &self.nodes {
+            n.advance_now(ts);
         }
     }
 

@@ -21,11 +21,16 @@
 //! * [`cache`] — the decoded-block cache: a sharded, reading-budgeted LRU
 //!   that turns repeated dashboard queries over the same hot blocks into
 //!   hash lookups instead of Gorilla decodes,
+//! * [`maintenance`] — the background flush/compaction worker pool: moves
+//!   SSTable encodes and merges off the insert path so sustained ingest
+//!   never stalls on database management, with bounded-backlog
+//!   backpressure, periodic time-based flushes and TTL enforcement,
 //! * [`csv`] — CSV import/export used by the `csvimport`/`dcdbquery` tools.
 
 pub mod cache;
 pub mod cluster;
 pub mod csv;
+pub mod maintenance;
 pub mod memtable;
 pub mod node;
 pub mod reading;
@@ -33,6 +38,7 @@ pub mod sstable;
 
 pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use cluster::{ClusterStats, StoreCluster};
+pub use maintenance::{MaintenancePool, MaintenanceSnapshot};
 pub use node::{NodeConfig, SeriesSnapshot, SnapshotRun, StoreNode};
 pub use reading::{Reading, TimeRange};
 pub use sstable::{BlockRef, SsTable};

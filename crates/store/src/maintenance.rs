@@ -1,0 +1,378 @@
+//! Background flush/compaction maintenance workers.
+//!
+//! The paper's storage backend is chosen so that continuous ingest from
+//! thousands of Pushers never pauses for database management ("deleting old
+//! data or compacting", §5.2).  Before this module existed the store did
+//! both *inline on the insert path*: the batch that pushed the memtable
+//! over its budget paid for the Gorilla encode of the flush **and** — every
+//! `compaction_threshold` flushes — for a full k-way SSTable merge while
+//! holding the `sstables` write lock, stalling every concurrent writer and
+//! dashboard query for the duration.
+//!
+//! [`MaintenancePool`] moves that work off the ingest path, LSM-engine
+//! style (RocksDB's background flush/compaction threads):
+//!
+//! * a fixed set of **worker threads** drains a FIFO job queue (frozen
+//!   memtable encodes, SSTable merges, TTL enforcement),
+//! * an optional **ticker thread** fires periodic maintenance
+//!   ([`NodeCore::tick`][crate::node::StoreNode]): time-based flushes so a
+//!   trickle of readings still becomes durable, and TTL compactions so
+//!   expired data is dropped without a manual `dcdbconfig db compact`,
+//! * callers get **backpressure instead of stalls-by-surprise**: the
+//!   per-node frozen-memtable backlog is bounded
+//!   (`NodeConfig::max_pending_flushes`), and a writer that outruns the
+//!   workers blocks on the backlog — a counted, observable *write stall* —
+//!   rather than silently growing memory.
+//!
+//! One pool is shared per [`crate::StoreCluster`] (like the decoded-block
+//! cache: one budget per process), and `maintenance_threads = 0` keeps the
+//! old fully-synchronous behaviour — the default, and what unit tests use.
+//!
+//! Dropping the pool's owner shuts it down *after draining the queue*, so
+//! frozen memtables handed to the pool are never lost on an orderly exit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of background work (a flush drain, a merge, a TTL sweep).
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+/// A periodic callback registered by a storage node; receives the pool so
+/// it can enqueue follow-up jobs (a stale-memtable flush, a TTL merge).
+pub(crate) type TickFn = Box<dyn Fn(&Arc<PoolShared>) + Send + Sync>;
+
+/// Shared state between the pool handle, its workers and its ticker.
+pub(crate) struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is queued (workers only — the ticker has its
+    /// own condvar, so a `notify_one` can never be swallowed by it) or the
+    /// pool shuts down.
+    ready: Condvar,
+    /// Signalled when a worker finishes a job (for [`wait_idle`]).
+    idle: Condvar,
+    /// Jobs currently executing on a worker.
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Ticker iterations so far.
+    ticks: AtomicU64,
+    tick_fns: Mutex<Vec<TickFn>>,
+    /// The ticker's interruptible-sleep pair (woken only on shutdown).
+    tick_lock: Mutex<()>,
+    tick_cond: Condvar,
+    threads: usize,
+}
+
+impl PoolShared {
+    /// Queue a job for the workers.  After shutdown the job is dropped —
+    /// the owner is being torn down and its nodes with it.
+    pub(crate) fn submit(self: &Arc<Self>, job: Job) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.queue.lock().expect("maintenance queue").push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Block until the queue is empty and no job is executing.
+    pub(crate) fn wait_idle(&self) {
+        let mut queue = self.queue.lock().expect("maintenance queue");
+        while !queue.is_empty() || self.active.load(Ordering::Acquire) != 0 {
+            queue = self.idle.wait(queue).expect("maintenance queue");
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("maintenance queue");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        // count as active *before* releasing the lock so
+                        // wait_idle can never observe "empty queue, nothing
+                        // active" while this job is still about to run
+                        self.active.fetch_add(1, Ordering::AcqRel);
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self.ready.wait(queue).expect("maintenance queue");
+                }
+            };
+            // a panicking job must not take the worker (and with it the
+            // whole flush pipeline) down; the panic is surfaced on stderr
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            self.active.fetch_sub(1, Ordering::AcqRel);
+            // lock so the notify cannot slot between wait_idle's check and
+            // its wait
+            drop(self.queue.lock().expect("maintenance queue"));
+            self.idle.notify_all();
+            if let Err(e) = result {
+                let msg = e
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| e.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic".to_string());
+                eprintln!("dcdb-store: maintenance job panicked: {msg}");
+            }
+        }
+    }
+
+    fn ticker_loop(self: &Arc<Self>, interval: Duration) {
+        // interruptible sleep on the ticker's own condvar: Drop flips
+        // `shutdown` and broadcasts `tick_cond`
+        loop {
+            {
+                let guard = self.tick_lock.lock().expect("ticker lock");
+                if self.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let (_guard, _timeout) =
+                    self.tick_cond.wait_timeout(guard, interval).expect("ticker lock");
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            self.ticks.fetch_add(1, Ordering::Relaxed);
+            let fns = self.tick_fns.lock().expect("tick registry");
+            for f in fns.iter() {
+                f(self);
+            }
+        }
+    }
+}
+
+/// Owner handle of a background maintenance worker pool.
+///
+/// Created by [`crate::StoreCluster`] / [`crate::StoreNode`] when
+/// [`crate::NodeConfig::maintenance_threads`] is non-zero and shared by
+/// every node of the cluster.  Dropping the handle signals shutdown, drains
+/// the remaining queue and joins all threads.
+pub struct MaintenancePool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MaintenancePool {
+    /// Start `threads` workers (at least one) and, when `tick_interval` is
+    /// set, a ticker firing the registered per-node maintenance callbacks.
+    pub(crate) fn start(threads: usize, tick_interval: Option<Duration>) -> Arc<MaintenancePool> {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            ticks: AtomicU64::new(0),
+            tick_fns: Mutex::new(Vec::new()),
+            tick_lock: Mutex::new(()),
+            tick_cond: Condvar::new(),
+            threads,
+        });
+        let mut handles = Vec::with_capacity(threads + 1);
+        for i in 0..threads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dcdb-maint-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn maintenance worker"),
+            );
+        }
+        if let Some(interval) = tick_interval {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("dcdb-maint-tick".to_string())
+                    .spawn(move || shared.ticker_loop(interval))
+                    .expect("spawn maintenance ticker"),
+            );
+        }
+        Arc::new(MaintenancePool { shared, handles })
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<PoolShared> {
+        &self.shared
+    }
+
+    /// Register a periodic maintenance callback (one per node).
+    pub(crate) fn register_tick(&self, f: TickFn) {
+        self.shared.tick_fns.lock().expect("tick registry").push(f);
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Ticker iterations fired so far (0 when no ticker runs).
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Queued jobs not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("maintenance queue").len()
+    }
+
+    /// Block until every queued and running job has completed — the
+    /// barrier tests and persistence use to make background maintenance
+    /// deterministic.
+    pub fn wait_idle(&self) {
+        self.shared.wait_idle();
+    }
+}
+
+impl Drop for MaintenancePool {
+    fn drop(&mut self) {
+        // let queued flushes finish (frozen memtables must not be lost),
+        // then wake everyone and join
+        self.shared.wait_idle();
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        self.shared.tick_cond.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Point-in-time maintenance counters of a node (or, summed, a cluster) —
+/// surfaced through the collect agent's `/stats` and `dcdbquery --sizes`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceSnapshot {
+    /// Worker threads configured (`0` = synchronous maintenance).
+    pub threads: usize,
+    /// Frozen memtables queued behind the flush workers right now.
+    pub pending_flushes: u64,
+    /// Writer stalls caused by a full flush backlog.
+    pub stalls: u64,
+    /// Total wall-clock nanoseconds writers spent stalled.
+    pub stall_ns: u64,
+    /// Memtable flushes performed (sync or background).
+    pub flushes: u64,
+    /// Real SSTable merges performed (no-ops and coalesced requests are
+    /// *not* counted).
+    pub compactions: u64,
+    /// Compaction requests that found a merge already in flight and
+    /// coalesced into it instead of re-merging.
+    pub compactions_coalesced: u64,
+    /// Merges abandoned because the table set changed underneath them
+    /// (generation check at swap time).
+    pub compactions_aborted: u64,
+    /// Total wall-clock nanoseconds spent merging SSTables.
+    pub compaction_ns: u64,
+    /// Unix milliseconds of the most recent memtable flush (`0` = never).
+    pub last_flush_unix_ms: u64,
+    /// Maintenance ticker iterations (time-based flush / TTL sweeps).
+    pub ticks: u64,
+}
+
+impl MaintenanceSnapshot {
+    /// Fold another node's counters into this one (cluster aggregation).
+    pub fn merge(&mut self, other: &MaintenanceSnapshot) {
+        self.threads = self.threads.max(other.threads);
+        self.pending_flushes += other.pending_flushes;
+        self.stalls += other.stalls;
+        self.stall_ns += other.stall_ns;
+        self.flushes += other.flushes;
+        self.compactions += other.compactions;
+        self.compactions_coalesced += other.compactions_coalesced;
+        self.compactions_aborted += other.compactions_aborted;
+        self.compaction_ns += other.compaction_ns;
+        self.last_flush_unix_ms = self.last_flush_unix_ms.max(other.last_flush_unix_ms);
+        self.ticks = self.ticks.max(other.ticks);
+    }
+}
+
+/// Milliseconds since the Unix epoch (maintenance bookkeeping only — the
+/// data path keeps using the caller-advanced [`crate::StoreNode::set_now`]).
+pub(crate) fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_wait_idle_blocks_until_done() {
+        let pool = MaintenancePool::start(2, None);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.shared().submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = MaintenancePool::start(1, None);
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                pool.shared().submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8, "drop lost queued jobs");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = MaintenancePool::start(1, None);
+        pool.shared().submit(Box::new(|| panic!("job boom")));
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        pool.shared().submit(Box::new(move || flag.store(true, Ordering::Relaxed)));
+        pool.wait_idle();
+        assert!(ran.load(Ordering::Relaxed), "worker died on a panicking job");
+    }
+
+    #[test]
+    fn ticker_fires() {
+        let pool = MaintenancePool::start(1, Some(Duration::from_millis(5)));
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        pool.register_tick(Box::new(move |_| {
+            f.fetch_add(1, Ordering::Relaxed);
+        }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fired.load(Ordering::Relaxed) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(fired.load(Ordering::Relaxed) >= 2, "ticker never fired");
+        assert!(pool.ticks() >= 2);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_and_maxes() {
+        let mut a = MaintenanceSnapshot { threads: 2, stalls: 1, flushes: 3, ..Default::default() };
+        let b = MaintenanceSnapshot {
+            threads: 2,
+            stalls: 2,
+            flushes: 4,
+            last_flush_unix_ms: 99,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.stalls, 3);
+        assert_eq!(a.flushes, 7);
+        assert_eq!(a.last_flush_unix_ms, 99);
+        assert_eq!(a.threads, 2);
+    }
+}

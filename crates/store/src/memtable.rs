@@ -80,6 +80,19 @@ impl MemTable {
         v
     }
 
+    /// Copy out a sorted `(sid, ts, value)` stream without consuming the
+    /// memtable — used by the background flush path, which must keep the
+    /// frozen memtable queryable until its SSTable is installed.
+    pub fn sorted_entries(&self) -> Vec<(SensorId, Timestamp, f64)> {
+        let mut v = Vec::with_capacity(self.entries);
+        for (&sid, series) in &self.data {
+            for (&ts, &value) in series {
+                v.push((sid, ts, value));
+            }
+        }
+        v
+    }
+
     /// All distinct sensors present.
     pub fn sensors(&self) -> impl Iterator<Item = SensorId> + '_ {
         self.data.keys().copied()

@@ -1,13 +1,17 @@
 //! Concurrency: the store must stay consistent under parallel ingest,
 //! queries and maintenance — the Collect Agent writes from several broker
-//! connection threads while libDCDB queries concurrently.
+//! connection threads while libDCDB queries concurrently — and background
+//! maintenance must be invisible to results: with `maintenance_threads >=
+//! 1` every reading lands bit-identically to the synchronous path, no
+//! insert ever merges inline and readers proceed while a merge runs.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use dcdb_sid::{PartitionMap, SensorId};
-use dcdb_store::reading::TimeRange;
-use dcdb_store::{NodeConfig, StoreCluster};
+use dcdb_store::reading::{Reading, TimeRange};
+use dcdb_store::{NodeConfig, StoreCluster, StoreNode};
+use proptest::prelude::*;
 
 fn sid(n: usize) -> SensorId {
     SensorId::from_topic(&format!("/conc/rack{}/node{}/s", n % 4, n)).unwrap()
@@ -108,4 +112,276 @@ fn maintenance_during_writes_is_safe() {
     cluster.maintain();
     assert_eq!(cluster.query(s, TimeRange::all()).len(), 20_000);
     assert_eq!(cluster.total_entries(), 20_000);
+}
+
+/// Satellite regression: two batches racing past the compaction threshold
+/// must trigger at most one real merge — the second request coalesces (or
+/// sees an already-merged store and no-ops) instead of re-merging
+/// back-to-back.  The TTL config makes the old code re-merge every time
+/// (its no-op check bailed whenever a TTL was set at all).
+#[test]
+fn racing_batches_trigger_at_most_one_merge() {
+    for _ in 0..10 {
+        let node = Arc::new(StoreNode::new(NodeConfig {
+            memtable_flush_entries: 256,
+            compaction_threshold: 2,
+            ttl: Some(i64::MAX), // nothing ever actually expires
+            ..Default::default()
+        }));
+        let batch_a: Vec<Reading> = (0..256).map(|i| Reading::new(i, 1.0)).collect();
+        let batch_b: Vec<Reading> = (0..256).map(|i| Reading::new(1_000 + i, 2.0)).collect();
+        let t = {
+            let node = Arc::clone(&node);
+            std::thread::spawn(move || node.insert_batch(sid(1), &batch_b))
+        };
+        node.insert_batch(sid(2), &batch_a);
+        t.join().unwrap();
+        let s = node.stats();
+        assert!(
+            s.compactions.load(Ordering::Relaxed) <= 1,
+            "redundant back-to-back merges: {}",
+            s.compactions.load(Ordering::Relaxed)
+        );
+        assert_eq!(s.compactions_aborted.load(Ordering::Relaxed), 0);
+        assert_eq!(node.query_range(sid(1), TimeRange::all()).len(), 256);
+        assert_eq!(node.query_range(sid(2), TimeRange::all()).len(), 256);
+    }
+}
+
+/// With background maintenance, a query issued while a merge is in flight
+/// completes *during* the merge — the `sstables` write lock is held only
+/// for the final table swap, never across the k-way merge itself.
+#[test]
+fn readers_are_not_blocked_across_a_merge() {
+    let mut proved = false;
+    'attempt: for attempt in 0..5 {
+        // enough data that the merge takes visible time in any build
+        let entries_per_table = 40_000 * (attempt + 1);
+        let node = Arc::new(StoreNode::new(NodeConfig {
+            memtable_flush_entries: usize::MAX,
+            compaction_threshold: usize::MAX, // only explicit compacts
+            ..Default::default()
+        }));
+        for table in 0..6i64 {
+            for i in 0..entries_per_table as i64 {
+                node.insert(sid(3), table * entries_per_table as i64 + i, i as f64);
+            }
+            node.flush();
+        }
+        let merger = {
+            let node = Arc::clone(&node);
+            std::thread::spawn(move || node.compact())
+        };
+        // wait for the merge to actually start
+        while node.stats().compactions_started.load(Ordering::Relaxed) == 0 {
+            if merger.is_finished() {
+                merger.join().unwrap();
+                continue 'attempt; // compaction raced past us; retry bigger
+            }
+            std::thread::yield_now();
+        }
+        // queries served while the merge is running
+        let mut completed_mid_merge = 0u32;
+        while node.stats().compactions.load(Ordering::Relaxed) == 0 {
+            let got = node.query_range(sid(3), TimeRange::new(0, 100));
+            assert_eq!(got.len(), 100, "query lost data mid-merge");
+            if node.stats().compactions.load(Ordering::Relaxed) == 0 {
+                completed_mid_merge += 1;
+            }
+        }
+        merger.join().unwrap();
+        if completed_mid_merge > 0 {
+            proved = true;
+            break;
+        }
+    }
+    assert!(proved, "no query ever completed while a merge was in flight");
+}
+
+/// Racing writers against a cluster with background maintenance: nothing
+/// is lost, no insert merges inline, and the final state matches the
+/// synchronous path bit-for-bit.
+#[test]
+fn background_maintenance_matches_synchronous_results() {
+    let writers = 4;
+    let per_writer = 5_000;
+    let build = |threads: usize| {
+        let cluster = Arc::new(StoreCluster::new(
+            NodeConfig {
+                memtable_flush_entries: 512,
+                compaction_threshold: 3,
+                maintenance_threads: threads,
+                max_pending_flushes: 2,
+                ..Default::default()
+            },
+            PartitionMap::prefix(2, 2),
+            1,
+        ));
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let cluster = Arc::clone(&cluster);
+                std::thread::spawn(move || {
+                    let s = sid(w);
+                    for i in 0..per_writer {
+                        cluster.insert(s, i as i64, (w * per_writer + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        cluster.quiesce();
+        cluster.maintain();
+        cluster
+    };
+    let sync = build(0);
+    let bg = build(2);
+    for w in 0..writers {
+        let a = sync.query(sid(w), TimeRange::all());
+        let b = bg.query(sid(w), TimeRange::all());
+        assert_eq!(a.len(), per_writer, "sync writer {w} lost readings");
+        assert_eq!(a.len(), b.len(), "bg writer {w} lost readings");
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.ts == y.ts && x.value.to_bits() == y.value.to_bits()),
+            "writer {w}: background maintenance changed results"
+        );
+    }
+    // the acceptance bar: no insert performed a merge inline
+    for i in 0..bg.node_count() {
+        assert_eq!(
+            bg.node(i).stats().inline_merges.load(Ordering::Relaxed),
+            0,
+            "node {i} merged on a writer thread"
+        );
+    }
+    let m = bg.maintenance_stats();
+    assert_eq!(m.pending_flushes, 0);
+    assert!(m.flushes >= 1);
+}
+
+/// A writer that outruns the flush workers hits the bounded backlog and
+/// stalls (counted) instead of growing memory without bound — and still
+/// loses nothing.
+#[test]
+fn backpressure_stalls_are_counted_and_lossless() {
+    let total = 40_000;
+    let node = Arc::new(StoreNode::new(NodeConfig {
+        memtable_flush_entries: 128,
+        compaction_threshold: 4,
+        maintenance_threads: 1,
+        max_pending_flushes: 1,
+        ..Default::default()
+    }));
+    for i in 0..total as i64 {
+        node.insert(sid(5), i, i as f64);
+    }
+    node.quiesce();
+    node.flush();
+    assert_eq!(node.query_range(sid(5), TimeRange::all()).len(), total);
+    let m = node.maintenance_stats();
+    assert_eq!(m.pending_flushes, 0);
+    // stall accounting is self-consistent (a stall implies waited time);
+    // whether stalls occur depends on scheduling, so no hard lower bound
+    if m.stalls > 0 {
+        assert!(m.stall_ns > 0);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MaintOp {
+    Insert { sensor: u16, ts: i64, value: f64 },
+    Batch { sensor: u16, start: i64, len: i64 },
+    Flush,
+    Compact,
+    Delete { sensor: u16, start: i64, len: i64 },
+}
+
+fn maint_op() -> impl Strategy<Value = MaintOp> {
+    prop_oneof![
+        6 => (0u16..3, 0i64..2_000, -1e6f64..1e6)
+            .prop_map(|(sensor, ts, value)| MaintOp::Insert { sensor, ts, value }),
+        3 => (0u16..3, 0i64..2_000, 1i64..300)
+            .prop_map(|(sensor, start, len)| MaintOp::Batch { sensor, start, len }),
+        1 => Just(MaintOp::Flush),
+        1 => Just(MaintOp::Compact),
+        1 => (0u16..3, 0i64..2_000, 1i64..200)
+            .prop_map(|(sensor, start, len)| MaintOp::Delete { sensor, start, len }),
+    ]
+}
+
+fn psid(n: u16) -> SensorId {
+    SensorId::from_fields(&[77, n + 1]).unwrap()
+}
+
+fn apply_ops(node: &StoreNode, ops: &[MaintOp]) {
+    for op in ops {
+        match *op {
+            MaintOp::Insert { sensor, ts, value } => node.insert(psid(sensor), ts, value),
+            MaintOp::Batch { sensor, start, len } => {
+                let batch: Vec<Reading> =
+                    (start..start + len).map(|t| Reading::new(t, t as f64 * 0.5)).collect();
+                node.insert_batch(psid(sensor), &batch);
+            }
+            MaintOp::Flush => node.flush(),
+            MaintOp::Compact => node.compact(),
+            MaintOp::Delete { sensor, start, len } => {
+                node.delete_range(psid(sensor), TimeRange::new(start, start + len));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance proptest: any op sequence (inserts, batches, flushes,
+    /// compactions, deletes) produces bit-identical query results with
+    /// maintenance threads 0 and N, and the background run never merges on
+    /// the calling thread.
+    #[test]
+    fn maintenance_threads_never_change_query_results(
+        ops in proptest::collection::vec(maint_op(), 1..60),
+        threads in 1usize..4,
+    ) {
+        let sync = StoreNode::new(NodeConfig {
+            memtable_flush_entries: 64,
+            compaction_threshold: 2,
+            ..Default::default()
+        });
+        let bg = StoreNode::new(NodeConfig {
+            memtable_flush_entries: 64,
+            compaction_threshold: 2,
+            maintenance_threads: threads,
+            max_pending_flushes: 2,
+            ..Default::default()
+        });
+        apply_ops(&sync, &ops);
+        apply_ops(&bg, &ops);
+        bg.quiesce();
+        // settle both deterministically before comparing
+        for node in [&sync, &bg] {
+            node.flush();
+            node.compact();
+        }
+        for s in 0..3u16 {
+            for range in [TimeRange::all(), TimeRange::new(100, 900), TimeRange::new(0, 1)] {
+                let a = sync.query_range(psid(s), range);
+                let b = bg.query_range(psid(s), range);
+                prop_assert_eq!(a.len(), b.len(), "sensor {} range {:?}", s, range);
+                prop_assert!(
+                    a.iter().zip(&b).all(|(x, y)| {
+                        x.ts == y.ts && x.value.to_bits() == y.value.to_bits()
+                    }),
+                    "sensor {} range {:?}: background maintenance changed results", s, range
+                );
+            }
+            prop_assert_eq!(
+                sync.latest(psid(s)).map(|r| (r.ts, r.value.to_bits())),
+                bg.latest(psid(s)).map(|r| (r.ts, r.value.to_bits()))
+            );
+        }
+        prop_assert_eq!(bg.stats().inline_merges.load(Ordering::Relaxed), 0);
+        prop_assert_eq!(bg.stats().compactions_aborted.load(Ordering::Relaxed), 0);
+    }
 }

@@ -5,6 +5,7 @@
 //! dcdbcollectagent [--mqtt 127.0.0.1:1883] [--rest 127.0.0.1:8080]
 //!                  [--duration SECONDS] [--db <dir>] [--nodes N] [--depth D]
 //!                  [--cache-mb MB] [--query-threads N]
+//!                  [--maintenance-threads N] [--flush-interval-s S]
 //! ```
 //!
 //! `--nodes`/`--depth` shard storage over `N` nodes with SID-prefix
@@ -14,6 +15,14 @@
 //! `/aggregate` panels skip re-decoding hot blocks; 0 = off) and
 //! `--query-threads` caps the REST query path's worker threads (0 = all
 //! cores).
+//!
+//! `--maintenance-threads N` runs flush/compaction on `N` background
+//! workers shared by the whole cluster, so sustained MQTT ingest never
+//! pays for an SSTable merge inline; `--flush-interval-s S` additionally
+//! flushes each node's memtable at least every `S` seconds (bounding how
+//! many readings a crash can lose) and drives periodic TTL enforcement.
+//! `/stats` reports the flush/compaction/stall counters plus the age of
+//! the most recent flush.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,7 +30,7 @@ use std::time::Duration;
 use dcdb_collectagent::CollectAgent;
 use dcdb_mqtt::broker::BrokerConfig;
 use dcdb_sid::PartitionMap;
-use dcdb_store::{NodeConfig, StoreCluster};
+use dcdb_store::StoreCluster;
 use dcdb_tools::Args;
 
 fn main() {
@@ -31,12 +40,8 @@ fn main() {
     let duration: u64 = args.get("duration").and_then(|s| s.parse().ok()).unwrap_or(10);
     let nodes: usize = args.get("nodes").and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
     let depth: usize = args.get("depth").and_then(|s| s.parse().ok()).unwrap_or(3);
-    let cache_mb: usize = args.get("cache-mb").and_then(|s| s.parse().ok()).unwrap_or(0);
 
-    let node_cfg = NodeConfig {
-        block_cache_readings: dcdb_tools::cache_mb_to_readings(cache_mb),
-        ..Default::default()
-    };
+    let node_cfg = dcdb_tools::node_config_from_args(&args);
     let store = Arc::new(StoreCluster::new(node_cfg, PartitionMap::prefix(nodes, depth), 1));
     let agent = CollectAgent::new(store);
     if let Some(threads) = args.get("query-threads").and_then(|s| s.parse().ok()) {
@@ -78,6 +83,18 @@ fn main() {
         stats.readings.load(std::sync::atomic::Ordering::Relaxed),
         stats.dropped.load(std::sync::atomic::Ordering::Relaxed),
     );
+    let maint = agent.store().maintenance_stats();
+    if maint.threads > 0 {
+        println!(
+            "maintenance: {} flushes / {} compactions on {} threads \
+             ({} coalesced, {} write stalls)",
+            maint.flushes,
+            maint.compactions,
+            maint.threads,
+            maint.compactions_coalesced,
+            maint.stalls,
+        );
+    }
     if let Some(dir) = args.get("db") {
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir).expect("create db dir");

@@ -3,7 +3,8 @@
 //! ```text
 //! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats]
 //!           [--agg FN --window DUR [--group-by N]] [--sizes]
-//!           [--cache-mb MB] [--query-threads N] <topic-or-prefix>...
+//!           [--cache-mb MB] [--query-threads N]
+//!           [--maintenance-threads N] [--flush-interval-s S] <topic-or-prefix>...
 //! ```
 //!
 //! `--agg`/`--window` build a `QueryRequest` and run it through the unified
@@ -23,14 +24,21 @@
 //!
 //! `--sizes` reports the database's stored (compressed) versus raw
 //! fixed-width byte footprint — plus a block-cache capacity/usage line
-//! when `--cache-mb` is active.  With `--sizes` topics are optional; when
-//! topics are also given the report prints *after* the queries, so the
-//! cache hit/miss numbers reflect what they touched.
+//! when `--cache-mb` is active and a maintenance line (flush/compaction
+//! counters, write stalls) when `--maintenance-threads` is.  With
+//! `--sizes` topics are optional; when topics are also given the report
+//! prints *after* the queries, so the cache hit/miss numbers reflect what
+//! they touched.
+//!
+//! `--maintenance-threads N` / `--flush-interval-s S` configure background
+//! flush/compaction maintenance for the opened store (0 threads =
+//! synchronous, the default) — mostly relevant to `csvimport`-style bulk
+//! loads through the same [`dcdb_tools::open_db_with`] path; `dcdbquery`
+//! itself is read-only.
 
 use dcdb_core::{ops, QueryRequest};
 use dcdb_store::reading::TimeRange;
-use dcdb_store::NodeConfig;
-use dcdb_tools::{cache_mb_to_readings, db_sizes, open_db_with, Args};
+use dcdb_tools::{db_sizes, node_config_from_args, open_db_with, Args};
 
 fn main() {
     let args = Args::from_env();
@@ -38,7 +46,8 @@ fn main() {
         eprintln!(
             "usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] \
              [--agg FN --window DUR] [--sizes] [--cache-mb MB] \
-             [--query-threads N] <topic>..."
+             [--query-threads N] [--maintenance-threads N] \
+             [--flush-interval-s S] <topic>..."
         );
         std::process::exit(2);
     };
@@ -49,9 +58,7 @@ fn main() {
     }
     let start: i64 = args.get("start").and_then(|s| s.parse().ok()).unwrap_or(i64::MIN);
     let end: i64 = args.get("end").and_then(|s| s.parse().ok()).unwrap_or(i64::MAX);
-    let cache_mb: usize = args.get("cache-mb").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let node_cfg =
-        NodeConfig { block_cache_readings: cache_mb_to_readings(cache_mb), ..Default::default() };
+    let node_cfg = node_config_from_args(&args);
     let db = match open_db_with(std::path::Path::new(db_dir), node_cfg) {
         Ok(db) => db,
         Err(e) => {

@@ -40,6 +40,9 @@ const DEFAULT_PREFIX_DEPTH: usize = 3;
 /// Propagates I/O failures.
 pub fn save_cluster(store: &StoreCluster, dir: &Path) -> std::io::Result<usize> {
     std::fs::create_dir_all(dir)?;
+    // settle background maintenance first so no frozen memtable or queued
+    // merge is mid-flight while runs are written
+    store.quiesce();
     let mut runs = 0;
     for i in 0..store.node_count() {
         let node = store.node(i);
@@ -173,6 +176,24 @@ pub fn cache_mb_to_readings(mb: usize) -> usize {
     mb * (1024 * 1024) / 16
 }
 
+/// Build a [`NodeConfig`] from the shared CLI knobs:
+/// `--cache-mb MB` (decoded-block cache budget), `--maintenance-threads N`
+/// (background flush/compaction workers, 0 = synchronous) and
+/// `--flush-interval-s S` (periodic time-based flush, 0 = size-only).
+pub fn node_config_from_args(args: &Args) -> NodeConfig {
+    let cache_mb: usize = args.get("cache-mb").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let maintenance_threads: usize =
+        args.get("maintenance-threads").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let flush_interval_s: u64 =
+        args.get("flush-interval-s").and_then(|s| s.parse().ok()).unwrap_or(0);
+    NodeConfig {
+        block_cache_readings: cache_mb_to_readings(cache_mb),
+        maintenance_threads,
+        flush_interval_ns: flush_interval_s.saturating_mul(1_000_000_000) as i64,
+        ..Default::default()
+    }
+}
+
 /// Persist the database directory written by [`open_db`]: the topic
 /// registry plus every cluster node's runs.
 ///
@@ -201,6 +222,9 @@ pub struct DbSizes {
     pub raw_bytes: u64,
     /// Decoded-block cache counters (capacity 0 when caching is off).
     pub cache: dcdb_store::CacheStats,
+    /// Background-maintenance counters (threads 0 when maintenance is
+    /// synchronous).
+    pub maintenance: dcdb_store::MaintenanceSnapshot,
 }
 
 impl DbSizes {
@@ -235,6 +259,22 @@ impl DbSizes {
                 self.cache.misses,
                 self.cache.hit_rate() * 100.0,
                 self.cache.evictions,
+            ));
+        }
+        if self.maintenance.threads > 0 {
+            let m = &self.maintenance;
+            out.push_str(&format!(
+                "\nmaintenance: {} threads, {} flushes / {} compactions \
+                 ({} coalesced, {:.0} ms merging), {} pending flushes, \
+                 {} write stalls ({:.0} ms)",
+                m.threads,
+                m.flushes,
+                m.compactions,
+                m.compactions_coalesced,
+                m.compaction_ns as f64 / 1e6,
+                m.pending_flushes,
+                m.stalls,
+                m.stall_ns as f64 / 1e6,
             ));
         }
         out
@@ -275,6 +315,7 @@ pub fn db_sizes(db: &Arc<SensorDb>, dir: &Path) -> std::io::Result<DbSizes> {
         stored_bytes,
         raw_bytes: readings * dcdb_store::sstable::V1_RECORD_BYTES as u64,
         cache: db.store().cache_stats(),
+        maintenance: db.store().maintenance_stats(),
     })
 }
 

@@ -12,7 +12,9 @@
 //!   (delta-of-delta timestamps + XOR floats) used by the store's `DCDBSST2`
 //!   on-disk format and the MQTT compressed payload encoding
 //! * [`mqtt`] — MQTT 3.1.1 codec, broker and client (the transport layer)
-//! * [`store`] — the wide-column distributed storage backend (Cassandra stand-in)
+//! * [`store`] — the wide-column distributed storage backend (Cassandra
+//!   stand-in), with background flush/compaction maintenance workers so
+//!   sustained ingest never stalls on database management
 //! * [`query`] — the streaming query/aggregation engine with pushdown into
 //!   compressed SSTable blocks (windowed `avg`/`p99`/`rate`/… over sensors
 //!   or whole sensor sub-trees)
