@@ -1,0 +1,76 @@
+//! Prints the observability-overhead study (sustained ingest with the
+//! metrics layer's timed instrumentation on versus off), emitting
+//! machine-readable results to `results/BENCH_obs.json`.
+use std::fmt::Write as _;
+
+fn main() {
+    let r = dcdb_bench::experiments::obs::run();
+    println!(
+        "Observability-overhead study: {} readings in {}-reading batches, \
+         flush every {}, {} interleaved reps per arm, best-of compared\n",
+        dcdb_bench::experiments::obs::TOTAL_READINGS,
+        dcdb_bench::experiments::obs::BATCH,
+        dcdb_bench::experiments::obs::FLUSH_ENTRIES,
+        dcdb_bench::experiments::obs::REPS,
+    );
+    print!("{}", dcdb_bench::experiments::obs::render(&r));
+    println!(
+        "\ninstrumentation overhead: {:+.2}% wall ({} host threads) | \
+         contents identical: {}",
+        r.overhead() * 100.0,
+        r.host_threads,
+        if r.identical() { "yes" } else { "NO" },
+    );
+    assert!(r.identical(), "instrumentation changed stored contents");
+    assert!(r.on.insert_observations > 0, "enabled arm recorded no insert latencies");
+    assert_eq!(r.off.insert_observations, 0, "disabled arm still recorded latencies");
+    // the acceptance bar: always-on instrumentation must cost < 1 % of
+    // ingest wall time.  Shared CI runners are noisy enough to breach the
+    // bar without a code defect, so missing it only warns unless
+    // BENCH_STRICT=1.
+    if r.overhead() >= 0.01 {
+        let msg =
+            format!("expected < 1% instrumentation overhead, got {:+.2}%", r.overhead() * 100.0);
+        assert!(std::env::var_os("BENCH_STRICT").is_none(), "{msg}");
+        eprintln!("warning: {msg} (set BENCH_STRICT=1 to fail on this)");
+    }
+
+    let mut json = String::from("{\n");
+    for (key, a) in [("on", &r.on), ("off", &r.off)] {
+        let walls: Vec<String> = a.walls_s.iter().map(|w| format!("{w:.4}")).collect();
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {{\"wall_s\": {:.4}, \"walls_s\": [{}], \
+             \"throughput_rps\": {:.0}, \"insert_observations\": {}, \
+             \"fingerprint\": \"{:016x}\"}},",
+            a.wall_s,
+            walls.join(", "),
+            a.throughput,
+            a.insert_observations,
+            a.fingerprint,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"overhead_pct\": {:.3}, \"identical\": {}, \"host_threads\": {}\n}}",
+        r.overhead() * 100.0,
+        r.identical(),
+        r.host_threads,
+    );
+    dcdb_bench::report::write_json("BENCH_obs", &json);
+    dcdb_bench::report::write_csv(
+        "obs_overhead",
+        &["timing", "wall_s", "throughput_rps", "insert_observations"],
+        &[&r.on, &r.off]
+            .iter()
+            .map(|a| {
+                vec![
+                    if a.enabled { "on".to_string() } else { "off".to_string() },
+                    format!("{:.4}", a.wall_s),
+                    format!("{:.0}", a.throughput),
+                    a.insert_observations.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

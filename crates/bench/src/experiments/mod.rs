@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod maintenance;
+pub mod obs;
 pub mod query;
 pub mod table1;
 

@@ -1,13 +1,14 @@
 //! The Collect Agent core: message handling and storage writing.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use dcdb_mqtt::broker::{Broker, BrokerConfig, PublishSink};
 use dcdb_mqtt::inproc::InprocBus;
 use dcdb_mqtt::payload::{decode_payload, PayloadEncoding};
+use dcdb_obs::{Histogram, Kind};
 use dcdb_sid::TopicRegistry;
 use dcdb_store::reading::Reading;
 use dcdb_store::StoreCluster;
@@ -56,6 +57,10 @@ pub struct CollectAgent {
     /// Worker-thread cap applied to [`CollectAgent::sensor_db`] handles
     /// (`--query-threads`); `0` = all cores.
     query_threads: std::sync::atomic::AtomicUsize,
+    /// Per-message handler latency (the distribution behind `busy_ns`).
+    handle_ns: Arc<Histogram>,
+    /// Shared timing toggle from the cluster registry.
+    timing: Arc<AtomicBool>,
 }
 
 impl CollectAgent {
@@ -72,14 +77,21 @@ impl CollectAgent {
         store: Arc<StoreCluster>,
         registry: Arc<TopicRegistry>,
     ) -> Arc<CollectAgent> {
+        let stats = Arc::new(CollectAgentStats::default());
+        let metrics = store.metrics();
+        register_agent_metrics(metrics, &stats);
+        let handle_ns = metrics.histogram("dcdb_ingest_handle_ns");
+        let timing = metrics.enabled_flag();
         Arc::new(CollectAgent {
             registry,
             store,
-            stats: Arc::new(CollectAgentStats::default()),
+            stats,
             cache: Arc::new(RwLock::new(std::collections::HashMap::new())),
             encodings: RwLock::new(std::collections::HashMap::new()),
             observers: RwLock::new(Vec::new()),
             query_threads: std::sync::atomic::AtomicUsize::new(0),
+            handle_ns,
+            timing,
         })
     }
 
@@ -140,7 +152,13 @@ impl CollectAgent {
                 self.stats.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.stats.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.stats.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
+        // the histogram shares busy_ns's measurement, so it costs no extra
+        // clock reads; the observe itself is gated with the other timings
+        if self.timing.load(Ordering::Relaxed) {
+            self.handle_ns.observe(elapsed);
+        }
     }
 
     /// Register an observer called for every stored reading (live data
@@ -225,6 +243,100 @@ impl CollectAgent {
     pub fn attach_inproc(self: &Arc<Self>, bus: &InprocBus) {
         bus.set_sink(self.sink());
     }
+
+    /// One self-monitoring sweep: fold the current metrics scrape into
+    /// readings under `/_dcdb/<node>/…`, stamped `ts`.  Returns the number
+    /// of readings written.  [`CollectAgent::start_self_monitor`] calls
+    /// this periodically with the wall clock.
+    pub fn publish_self_metrics(&self, node: &str, ts: i64) -> usize {
+        self.sensor_db().publish_self_metrics(node, ts)
+    }
+
+    /// Start the periodic self-monitoring loop (`--self-metrics-s`): every
+    /// `interval` the agent scrapes its own registry and stores the values
+    /// as `/_dcdb/<node>/…` sensors — database health becomes history that
+    /// is queried, plotted and alerted on exactly like any other sensor.
+    ///
+    /// The thread holds only a [`Weak`] reference and exits on its own once
+    /// the agent is dropped (or when the returned handle is).
+    pub fn start_self_monitor(self: &Arc<Self>, node: &str, interval: Duration) -> SelfMonitor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak: Weak<CollectAgent> = Arc::downgrade(self);
+        let node = node.to_string();
+        let stop_t = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dcdb-self-monitor".into())
+            .spawn(move || {
+                // sleep in short slices so drop/stop is prompt even with
+                // multi-second scrape intervals
+                let slice = interval.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    std::thread::sleep(slice);
+                    if stop_t.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    elapsed += slice;
+                    if elapsed < interval {
+                        continue;
+                    }
+                    elapsed = Duration::ZERO;
+                    let Some(agent) = weak.upgrade() else { return };
+                    let ts = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos() as i64)
+                        .unwrap_or(0);
+                    agent.publish_self_metrics(&node, ts);
+                }
+            })
+            .expect("spawn self-monitor thread");
+        SelfMonitor { stop, handle: Some(handle) }
+    }
+}
+
+/// Handle on the background self-monitoring loop; stops the thread on drop.
+pub struct SelfMonitor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SelfMonitor {
+    /// Stop the loop and wait for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SelfMonitor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Join the agent's counters to the cluster registry as scrape-time
+/// callbacks over the *same* atomics `stats()` reads, so the REST `/stats`
+/// JSON and `/metrics` exposition cannot disagree.  Registration is
+/// idempotent; with several agents over one store the first wins (the
+/// common deployments pair one agent with one cluster).
+fn register_agent_metrics(reg: &dcdb_obs::Registry, stats: &Arc<CollectAgentStats>) {
+    let counter = |name: &str, f: fn(&CollectAgentStats) -> &AtomicU64| {
+        let s = Arc::clone(stats);
+        reg.func(name, Kind::Counter, move || f(&s).load(Ordering::Relaxed));
+    };
+    counter("dcdb_agent_messages_total", |s| &s.messages);
+    counter("dcdb_agent_readings_total", |s| &s.readings);
+    counter("dcdb_agent_dropped_total", |s| &s.dropped);
+    counter("dcdb_agent_busy_ns_total", |s| &s.busy_ns);
+    counter("dcdb_agent_compressed_messages_total", |s| &s.compressed_messages);
+    counter("dcdb_agent_payload_bytes_total", |s| &s.payload_bytes);
+    counter("dcdb_agent_fixed_width_bytes_total", |s| &s.fixed_width_bytes);
 }
 
 #[cfg(test)]
@@ -325,6 +437,60 @@ mod tests {
         let sent = a.stats().payload_bytes.load(Ordering::Relaxed);
         let fixed = a.stats().fixed_width_bytes.load(Ordering::Relaxed);
         assert!(sent < fixed, "compressed payload {sent} should undercut fixed {fixed}");
+    }
+
+    #[test]
+    fn agent_counters_join_the_cluster_registry() {
+        let a = agent();
+        a.handle_publish("/s/x", &encode_readings(&[(10, 1.0), (20, 2.0)]));
+        a.handle_publish("/bad topic!", &encode_readings(&[(1, 1.0)]));
+        let snap = a.store().metrics().snapshot();
+        let get = |name: &str| match snap.get(name) {
+            Some(dcdb_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: {other:?}"),
+        };
+        // callbacks read the same atomics as stats(): always equal
+        assert_eq!(get("dcdb_agent_messages_total"), 2);
+        assert_eq!(get("dcdb_agent_readings_total"), 2);
+        assert_eq!(get("dcdb_agent_dropped_total"), 1);
+        assert_eq!(get("dcdb_agent_busy_ns_total"), a.stats().busy_ns.load(Ordering::Relaxed));
+        let Some(dcdb_obs::MetricValue::Histogram(h)) = snap.get("dcdb_ingest_handle_ns") else {
+            panic!("ingest histogram missing");
+        };
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn reserved_hierarchy_publishes_are_dropped() {
+        let a = agent();
+        a.handle_publish("/_dcdb/node0/fake", &encode_readings(&[(1, 1.0)]));
+        assert_eq!(a.stats().dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(a.store().total_entries(), 0);
+    }
+
+    #[test]
+    fn self_monitor_loop_publishes_queryable_history() {
+        let a = agent();
+        a.handle_publish("/s/x", &encode_readings(&[(10, 1.0)]));
+        // one deterministic sweep first
+        let written = a.publish_self_metrics("agent0", 1_000);
+        assert!(written > 0);
+        let db = a.sensor_db();
+        let s = db.query("/_dcdb/agent0/dcdb_agent_messages_total", TimeRange::all()).unwrap();
+        assert_eq!(s.readings.len(), 1);
+        assert_eq!(s.readings[0].value, 1.0);
+        // the background loop appends more sweeps on its own clock
+        let monitor = a.start_self_monitor("agent0", std::time::Duration::from_millis(5));
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let s = db.query("/_dcdb/agent0/dcdb_agent_messages_total", TimeRange::all()).unwrap();
+            if s.readings.len() >= 2 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "self-monitor never published");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        monitor.stop();
     }
 
     #[test]

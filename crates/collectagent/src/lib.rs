@@ -14,4 +14,4 @@ pub mod analytics;
 pub mod pull;
 pub mod rest;
 
-pub use agent::{CollectAgent, CollectAgentStats};
+pub use agent::{CollectAgent, CollectAgentStats, SelfMonitor};

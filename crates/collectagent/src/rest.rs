@@ -148,8 +148,26 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
     });
 
     let a = Arc::clone(&agent);
+    r.add(Method::Get, "/metrics", move |_req| {
+        // Prometheus text exposition of the cluster registry: node latency
+        // histograms, query stages, cache/maintenance counters and the
+        // agent's own ingest counters — the same numbers `/stats` reports
+        Response::text(a.store().metrics().render_prometheus())
+    });
+
+    let a = Arc::clone(&agent);
     r.add(Method::Get, "/stats", move |_req| {
         let s = a.stats();
+        // registry-only values (the histograms have no legacy accessor)
+        let snap = a.store().metrics().snapshot();
+        let histo = |name: &str, q: f64| match snap.get(name) {
+            Some(dcdb_obs::MetricValue::Histogram(h)) if h.count > 0 => h.quantile(q) as f64,
+            _ => 0.0,
+        };
+        let scalar = |name: &str| match snap.get(name) {
+            Some(dcdb_obs::MetricValue::Counter(v) | dcdb_obs::MetricValue::Gauge(v)) => *v as f64,
+            _ => 0.0,
+        };
         let cache = a.store().cache_stats();
         let maint = a.store().maintenance_stats();
         // how stale the durable state may be: seconds since the most
@@ -184,6 +202,13 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
             ("writeStalls", Json::Num(maint.stalls as f64)),
             ("writeStallNs", Json::Num(maint.stall_ns as f64)),
             ("lastFlushAgeS", Json::Num(last_flush_age_s)),
+            // the registry-backed superset: query-path and ingest latency
+            // numbers `/metrics` exposes, mirrored here structurally
+            ("queryRequests", Json::Num(scalar("dcdb_query_requests_total"))),
+            ("ingestHandleNsP50", Json::Num(histo("dcdb_ingest_handle_ns", 0.5))),
+            ("ingestHandleNsP99", Json::Num(histo("dcdb_ingest_handle_ns", 0.99))),
+            ("insertLatencyNsP99", Json::Num(histo("dcdb_insert_latency_ns", 0.99))),
+            ("flushNsP99", Json::Num(histo("dcdb_flush_ns", 0.99))),
         ]))
     });
 
@@ -335,6 +360,47 @@ mod tests {
         assert_eq!(code, 200);
         assert_eq!(j.get("maintenanceThreads").unwrap().as_f64(), Some(0.0));
         assert_eq!(j.get("lastFlushAgeS").unwrap().as_f64(), Some(-1.0));
+    }
+
+    #[test]
+    fn metrics_and_stats_share_one_source() {
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        let readings: Vec<(i64, f64)> = (0..100).map(|i| (i * 1_000_000_000, 1.0)).collect();
+        agent.handle_publish("/r0/n0/power", &encode_readings(&readings));
+        let h = router(Arc::clone(&agent)).into_handler();
+        let q = [("topic", "/r0/n0/power"), ("agg", "avg"), ("window", "60s")];
+        assert_eq!(get(&h, "/aggregate", &q).0, 200);
+
+        let req = dcdb_http::server::Request {
+            method: Method::Get,
+            path: "/metrics".to_string(),
+            query: HashMap::new(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        let resp = h(&req);
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.content_type, "text/plain");
+        let text = String::from_utf8(resp.body).unwrap();
+        // core families across every layer
+        for family in [
+            "# TYPE dcdb_inserts_total counter",
+            "# TYPE dcdb_agent_messages_total counter",
+            "# TYPE dcdb_ingest_handle_ns summary",
+            "# TYPE dcdb_query_stage_ns summary",
+            "# TYPE dcdb_insert_latency_ns summary",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert!(text.contains("dcdb_agent_messages_total 1"), "{text}");
+
+        // /stats reports the same values the exposition carries
+        let (code, j) = get(&h, "/stats", &[]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("messages").unwrap().as_f64(), Some(1.0));
+        assert_eq!(j.get("queryRequests").unwrap().as_f64(), Some(1.0));
+        assert!(j.get("ingestHandleNsP99").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

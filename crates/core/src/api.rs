@@ -13,9 +13,11 @@
 //! methods survive as thin wrappers that build the equivalent request.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use dcdb_obs::{MetricValue, Registry, TraceSpan};
 use dcdb_query::{AggFn, SensorGroup};
 use dcdb_sid::{SensorId, TopicRegistry};
 use dcdb_store::reading::{Reading, TimeRange};
@@ -65,17 +67,75 @@ pub struct SensorDb {
     virtuals: RwLock<HashMap<String, Arc<VirtualSensor>>>,
     /// Worker-thread cap for parallel query evaluation; `0` = all cores.
     query_threads: AtomicUsize,
+    /// Query-path instruments, resolved once from the cluster's registry so
+    /// `execute` never takes the registry lock.
+    instruments: QueryInstruments,
+}
+
+/// Leaf instruments for the query path.  Like `NodeInstruments` these are
+/// plain `Arc`s on the underlying atomics — holding them does not hold the
+/// registry, so no reference cycle forms through callback instruments.
+struct QueryInstruments {
+    enabled: Arc<AtomicBool>,
+    requests: Arc<dcdb_obs::Counter>,
+    plan_ns: Arc<dcdb_obs::Histogram>,
+    fold_ns: Arc<dcdb_obs::Histogram>,
+    finalize_ns: Arc<dcdb_obs::Histogram>,
+}
+
+impl QueryInstruments {
+    fn from_registry(reg: &Registry) -> QueryInstruments {
+        QueryInstruments {
+            enabled: reg.enabled_flag(),
+            requests: reg.counter("dcdb_query_requests_total"),
+            plan_ns: reg.histogram("dcdb_query_stage_ns{stage=\"plan\"}"),
+            fold_ns: reg.histogram("dcdb_query_stage_ns{stage=\"fold\"}"),
+            finalize_ns: reg.histogram("dcdb_query_stage_ns{stage=\"finalize\"}"),
+        }
+    }
+
+    fn timing_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+/// Cluster counter values captured before a traced query; the deltas ride
+/// on the root span (`blocks_decoded=…`, `cache_hits=…`).
+struct CounterBase {
+    blocks_decoded: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl CounterBase {
+    fn capture(store: &StoreCluster) -> CounterBase {
+        let cache = store.cache_stats();
+        CounterBase {
+            blocks_decoded: store.blocks_decoded(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+
+    fn attach_deltas(&self, span: &mut TraceSpan, store: &StoreCluster) {
+        let after = CounterBase::capture(store);
+        span.put("blocks_decoded", after.blocks_decoded - self.blocks_decoded);
+        span.put("cache_hits", after.cache_hits - self.cache_hits);
+        span.put("cache_misses", after.cache_misses - self.cache_misses);
+    }
 }
 
 impl SensorDb {
     /// Wrap an existing cluster + registry (e.g. the Collect Agent's).
     pub fn new(store: Arc<StoreCluster>, registry: Arc<TopicRegistry>) -> Arc<SensorDb> {
+        let instruments = QueryInstruments::from_registry(store.metrics());
         Arc::new(SensorDb {
             store,
             registry,
             meta: RwLock::new(HashMap::new()),
             virtuals: RwLock::new(HashMap::new()),
             query_threads: AtomicUsize::new(0),
+            instruments,
         })
     }
 
@@ -92,6 +152,50 @@ impl SensorDb {
     /// The topic registry.
     pub fn registry(&self) -> &Arc<TopicRegistry> {
         &self.registry
+    }
+
+    /// The cluster's metrics registry (scraped by `/metrics`).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.store.metrics()
+    }
+
+    /// Fold the current metrics scrape into synthetic readings under the
+    /// reserved `/_dcdb/<node>/<metric>` hierarchy, all stamped `ts` —
+    /// the database monitoring itself with its own sensor machinery, so
+    /// operators query health history exactly like any other sensor.
+    ///
+    /// Scalars publish one reading; histograms expand to `_p50`, `_p99`,
+    /// `_max` and `_count` sub-sensors.  Baked-in label sets flatten into
+    /// the topic (`dcdb_query_stage_ns{stage="plan"}` →
+    /// `dcdb_query_stage_ns.stage.plan`).  Returns the number of readings
+    /// written.
+    pub fn publish_self_metrics(&self, node: &str, ts: i64) -> usize {
+        let snap = self.store.metrics().snapshot();
+        let mut written = 0;
+        let mut put = |metric: &str, value: u64| {
+            let topic = format!("/{}/{node}/{metric}", dcdb_sid::RESERVED_PREFIX);
+            // resolve_internal: the public resolve rejects the reserved
+            // hierarchy precisely so only this path can publish under it
+            if let Ok(sid) = self.registry.resolve_internal(&topic) {
+                self.store.insert(sid, ts, value as f64);
+                written += 1;
+            }
+        };
+        for (name, value) in &snap.samples {
+            let metric = sanitize_metric_topic(name);
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => put(&metric, *v),
+                MetricValue::Histogram(h) => {
+                    put(&format!("{metric}_count"), h.count);
+                    if h.count > 0 {
+                        put(&format!("{metric}_p50"), h.quantile(0.5));
+                        put(&format!("{metric}_p99"), h.quantile(0.99));
+                        put(&format!("{metric}_max"), h.max);
+                    }
+                }
+            }
+        }
+        written
     }
 
     /// Cap the worker threads windowed queries may use (`--query-threads`):
@@ -267,6 +371,11 @@ impl SensorDb {
     /// units, [`QueryError::Virtual`] for virtual-sensor failures.
     pub fn execute(self: &Arc<Self>, req: &QueryRequest) -> Result<QueryResponse, QueryError> {
         req.validate()?;
+        self.instruments.requests.inc();
+        let timed = self.instruments.timing_enabled();
+        let traced = req.trace;
+        let t_total = (timed || traced).then(Instant::now);
+        let counters = traced.then(|| CounterBase::capture(&self.store));
         let norm = dcdb_sid::topic::normalize(&req.target);
 
         // virtual sensors live outside the physical hierarchy; only exact
@@ -275,10 +384,23 @@ impl SensorDb {
             if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
                 let mut response = self.execute_virtual(&vs, &norm, req)?;
                 finalize(&mut response, req);
+                if traced {
+                    let mut root = TraceSpan::new("execute");
+                    root.wall_ns = t_total.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                    let mut virt = TraceSpan::new("virtual");
+                    virt.wall_ns = root.wall_ns;
+                    root.push_child(virt);
+                    if let Some(base) = &counters {
+                        base.attach_deltas(&mut root, &self.store);
+                    }
+                    response.trace = Some(root);
+                }
                 return Ok(response);
             }
         }
 
+        // plan: resolve the target(s) against the topic registry
+        let t_plan = (timed || traced).then(Instant::now);
         let targets: Vec<(String, SensorId)> = match req.mode {
             TargetMode::Exact => match self.registry.get(&norm) {
                 Some(sid) => vec![(norm.clone(), sid)],
@@ -290,18 +412,62 @@ impl SensorDb {
             },
             TargetMode::Subtree => self.registry.sids_under(&norm),
         };
+        let resolved = targets.len();
+        let plan_ns = t_plan.map(|t| t.elapsed().as_nanos() as u64);
 
-        let mut response = match req.agg {
-            None => self.run_raw(&norm, targets, req),
+        // fold: fetch + aggregate (the engine fan-in for windowed requests)
+        let t_fold = (timed || traced).then(Instant::now);
+        let (mut response, engine_span) = match req.agg {
+            None => (self.run_raw(&norm, targets, req), None),
             Some(agg) => {
                 let groups = partition(&norm, targets, req.group_by);
                 match req.window_ns {
-                    Some(window_ns) => self.run_windowed(groups, req, agg, window_ns)?,
-                    None => self.run_interpolated(groups, req, agg)?,
+                    Some(window_ns) => self.run_windowed(groups, req, agg, window_ns, traced)?,
+                    None => (self.run_interpolated(groups, req, agg)?, None),
                 }
             }
         };
+        let fold_ns = t_fold.map(|t| t.elapsed().as_nanos() as u64);
+
+        let t_finalize = (timed || traced).then(Instant::now);
         finalize(&mut response, req);
+        let finalize_ns = t_finalize.map(|t| t.elapsed().as_nanos() as u64);
+
+        if timed {
+            self.instruments.plan_ns.observe(plan_ns.unwrap_or(0));
+            self.instruments.fold_ns.observe(fold_ns.unwrap_or(0));
+            self.instruments.finalize_ns.observe(finalize_ns.unwrap_or(0));
+        }
+        if traced {
+            let mut root = TraceSpan::new("execute");
+            root.wall_ns = t_total.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            root.put("sensors", resolved as u64);
+            root.put("series", response.series.len() as u64);
+            if let Some(base) = &counters {
+                base.attach_deltas(&mut root, &self.store);
+            }
+            let mut plan = TraceSpan::new("plan");
+            plan.wall_ns = plan_ns.unwrap_or(0);
+            plan.put("sensors", resolved as u64);
+            root.push_child(plan);
+            match engine_span {
+                // the engine's own span tree (fold with per-chunk children,
+                // merge) replaces the flat fold span for windowed requests
+                Some(mut span) => {
+                    span.stage = "engine".into();
+                    root.push_child(span);
+                }
+                None => {
+                    let mut fold = TraceSpan::new("fold");
+                    fold.wall_ns = fold_ns.unwrap_or(0);
+                    root.push_child(fold);
+                }
+            }
+            let mut fin = TraceSpan::new("finalize");
+            fin.wall_ns = finalize_ns.unwrap_or(0);
+            root.push_child(fin);
+            response.trace = Some(root);
+        }
         Ok(response)
     }
 
@@ -337,17 +503,20 @@ impl SensorDb {
                 series: Series { topic: norm.to_string(), readings: Vec::new(), unit: meta.unit },
             });
         }
-        QueryResponse { series }
+        QueryResponse { series, trace: None }
     }
 
     /// Windowed execution on the pushdown engine; groups run concurrently.
+    /// With `traced` the engine's traced twin runs instead — bit-identical
+    /// results plus its span tree.
     fn run_windowed(
         self: &Arc<Self>,
         groups: Vec<ResolvedGroup>,
         req: &QueryRequest,
         agg: AggFn,
         window_ns: i64,
-    ) -> Result<QueryResponse, QueryError> {
+        traced: bool,
+    ) -> Result<(QueryResponse, Option<TraceSpan>), QueryError> {
         struct Prepared {
             key: Option<String>,
             base: String,
@@ -366,11 +535,15 @@ impl SensorDb {
             prepared.push(Prepared { key, base, unit, post_scale, sensors: members.len() });
             tasks.push(SensorGroup { key: prepared.len() - 1, sids: pairs });
         }
-        let engine = dcdb_query::QueryEngine::with_threads(
-            Arc::clone(&self.store),
-            self.query_threads.load(Ordering::Relaxed),
-        );
-        let results = engine.aggregate_grouped(tasks, req.range, window_ns, agg);
+        let threads = self.query_threads.load(Ordering::Relaxed);
+        let engine = dcdb_query::QueryEngine::with_threads(Arc::clone(&self.store), threads);
+        let (results, engine_span) = if traced {
+            let (r, span) =
+                engine.aggregate_grouped_traced(tasks, req.range, window_ns, agg, threads);
+            (r, Some(span))
+        } else {
+            (engine.aggregate_grouped(tasks, req.range, window_ns, agg), None)
+        };
         let series = results
             .into_iter()
             .map(|(idx, mut readings)| {
@@ -383,7 +556,7 @@ impl SensorDb {
                 }
             })
             .collect();
-        Ok(QueryResponse { series })
+        Ok((QueryResponse { series, trace: None }, engine_span))
     }
 
     /// Union-grid execution: interpolate members onto shared timestamps and
@@ -421,7 +594,7 @@ impl SensorDb {
                 series: Series { topic: format!("{}/+{agg}", base), readings, unit },
             });
         }
-        Ok(QueryResponse { series })
+        Ok(QueryResponse { series, trace: None })
     }
 
     /// Virtual-sensor execution: evaluate over the range, then post-process
@@ -456,8 +629,31 @@ impl SensorDb {
                 }
             }
         };
-        Ok(QueryResponse { series: vec![out] })
+        Ok(QueryResponse { series: vec![out], trace: None })
     }
+}
+
+/// Flatten a metric name (possibly with a baked-in label set) into one
+/// valid topic component: `dcdb_query_stage_ns{stage="plan"}` →
+/// `dcdb_query_stage_ns.stage.plan`.
+fn sanitize_metric_topic(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '{' | '=' | ',' => {
+                if !out.ends_with('.') {
+                    out.push('.');
+                }
+            }
+            '}' | '"' => {}
+            c if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-') => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    while out.ends_with('.') {
+        out.pop();
+    }
+    out
 }
 
 /// A resolved execution group: `(group key, base topic for naming, member
@@ -904,6 +1100,124 @@ mod tests {
         db.define_virtual("/v/x", "\"/sys/rack0/node0/power\" * 2", Unit::WATT).unwrap();
         let req = QueryRequest::new("/v/x").aggregate(AggFn::Avg, 1_000_000_000).group_by(2);
         assert!(matches!(db.execute(&req), Err(QueryError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn traced_execute_is_bit_identical_and_carries_spans() {
+        let db = two_rack_db();
+        let req = QueryRequest::new("/sys")
+            .range(TimeRange::new(0, 60_000_000_000))
+            .aggregate(AggFn::Avg, 10_000_000_000)
+            .group_by(2);
+        let plain = db.execute(&req).unwrap();
+        assert!(plain.trace.is_none());
+        let traced = db.execute(&req.clone().traced()).unwrap();
+        assert_eq!(traced.series, plain.series);
+        let trace = traced.trace.expect("trace requested");
+        assert_eq!(trace.stage, "execute");
+        assert_eq!(trace.get("sensors"), Some(6));
+        assert_eq!(trace.get("series"), Some(2));
+        assert!(trace.get("blocks_decoded").is_some());
+        let stages: Vec<&str> = trace.children.iter().map(|c| c.stage.as_str()).collect();
+        assert_eq!(stages, ["plan", "engine", "finalize"]);
+        let engine = &trace.children[1];
+        assert!(engine.children.iter().any(|c| c.stage == "merge"));
+        let rendered = trace.render();
+        assert!(rendered.contains("engine"), "{rendered}");
+
+        // raw and interpolated paths trace with a flat fold span
+        let raw = db.execute(&QueryRequest::subtree("/sys/rack0").traced()).unwrap();
+        let t = raw.trace.unwrap();
+        assert!(t.children.iter().any(|c| c.stage == "fold"));
+    }
+
+    #[test]
+    fn traced_virtual_query_tags_the_virtual_stage() {
+        let db = two_rack_db();
+        db.define_virtual("/v/x", "\"/sys/rack0/node0/power\" * 2", Unit::WATT).unwrap();
+        let resp = db.execute(&QueryRequest::new("/v/x").traced()).unwrap();
+        let trace = resp.trace.unwrap();
+        assert_eq!(trace.children.len(), 1);
+        assert_eq!(trace.children[0].stage, "virtual");
+    }
+
+    #[test]
+    fn query_stage_histograms_fill_and_can_be_disabled() {
+        let db = two_rack_db();
+        let req = QueryRequest::new("/sys").aggregate(AggFn::Avg, 60_000_000_000);
+        db.execute(&req).unwrap();
+        let snap = db.metrics().snapshot();
+        let MetricValue::Counter(requests) = snap.get("dcdb_query_requests_total").unwrap() else {
+            panic!("requests metric missing");
+        };
+        // two_rack_db inserts don't execute queries; exactly ours counted
+        assert_eq!(*requests, 1);
+        let MetricValue::Histogram(plan) = snap.get("dcdb_query_stage_ns{stage=\"plan\"}").unwrap()
+        else {
+            panic!("plan histogram missing");
+        };
+        assert_eq!(plan.count, 1);
+        // disabling timing stops latency observations but never the counters
+        db.metrics().set_enabled(false);
+        db.execute(&req).unwrap();
+        let snap = db.metrics().snapshot();
+        let MetricValue::Histogram(plan) = snap.get("dcdb_query_stage_ns{stage=\"plan\"}").unwrap()
+        else {
+            panic!("plan histogram missing");
+        };
+        assert_eq!(plan.count, 1);
+        assert_eq!(snap.get("dcdb_query_requests_total"), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn user_inserts_under_reserved_hierarchy_are_rejected() {
+        let db = SensorDb::in_memory();
+        let err = db.insert("/_dcdb/node0/dcdb_inserts_total", 1, 1.0).unwrap_err();
+        assert!(matches!(err, dcdb_sid::SidError::Reserved(_)));
+        // similar-looking but unreserved topics pass
+        db.insert("/_dcdbish/x", 1, 1.0).unwrap();
+        db.insert("/sys/_dcdb/x", 1, 1.0).unwrap();
+    }
+
+    #[test]
+    fn self_metrics_publish_as_queryable_sensors() {
+        let db = SensorDb::in_memory();
+        for ts in 0..50i64 {
+            db.insert("/r0/n0/power", ts * 1_000_000_000, ts as f64).unwrap();
+        }
+        db.execute(&QueryRequest::new("/r0").aggregate(AggFn::Avg, 10_000_000_000)).unwrap();
+        let written = db.publish_self_metrics("node0", 60_000_000_000);
+        assert!(written > 0, "scrape should publish readings");
+
+        // the fold is queryable through the standard execution path
+        let resp = db.execute(&QueryRequest::subtree("/_dcdb/node0")).unwrap();
+        assert!(!resp.series.is_empty());
+        let reqs = db
+            .execute(&QueryRequest::topic("/_dcdb/node0/dcdb_query_requests_total"))
+            .unwrap()
+            .into_single();
+        assert_eq!(reqs.readings.len(), 1);
+        // the avg query above plus the subtree query ran before this scrape
+        assert!(reqs.readings[0].value >= 1.0);
+        // label sets flattened into topic components
+        assert_eq!(
+            sanitize_metric_topic("dcdb_query_stage_ns{stage=\"plan\"}"),
+            "dcdb_query_stage_ns.stage.plan"
+        );
+        let plan = db
+            .execute(&QueryRequest::topic("/_dcdb/node0/dcdb_query_stage_ns.stage.plan_count"))
+            .unwrap()
+            .into_single();
+        assert_eq!(plan.readings.len(), 1);
+        // a second scrape appends history under the same sensors
+        db.execute(&QueryRequest::new("/r0").aggregate(AggFn::Avg, 10_000_000_000)).unwrap();
+        db.publish_self_metrics("node0", 61_000_000_000);
+        let reqs = db
+            .execute(&QueryRequest::topic("/_dcdb/node0/dcdb_query_requests_total"))
+            .unwrap()
+            .into_single();
+        assert_eq!(reqs.readings.len(), 2);
+        assert!(reqs.readings[1].value > reqs.readings[0].value);
     }
 
     #[test]

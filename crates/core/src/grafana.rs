@@ -130,6 +130,12 @@ pub fn router(db: Arc<SensorDb>) -> Router {
     });
 
     let d = Arc::clone(&db);
+    r.add(Method::Get, "/metrics", move |_req| {
+        // Prometheus text exposition of the cluster's whole registry
+        Response::text(d.metrics().render_prometheus())
+    });
+
+    let d = Arc::clone(&db);
     r.add(Method::Get, "/stats", move |req| {
         let Some(topic) = req.query_param("topic") else {
             return Response::error(StatusCode::BadRequest, "missing topic");
@@ -410,6 +416,29 @@ mod tests {
         let (code, _) =
             get(&h, "/query", &[("topic", "/lrz/sys/rack0"), ("agg", "avg"), ("intervalMs", "10")]);
         assert_eq!(code, 400, "mixed W/J fan-in must not silently aggregate");
+    }
+
+    #[test]
+    fn metrics_expose_prometheus_text() {
+        let (db, h) = handler();
+        db.query_aggregate("/lrz/sys/rack0", TimeRange::all(), 10_000_000, dcdb_query::AggFn::Avg)
+            .unwrap();
+        let req = Request {
+            method: Method::Get,
+            path: "/metrics".to_string(),
+            query: HashMap::new(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        let resp = h(&req);
+        assert_eq!(resp.status.code(), 200);
+        assert_eq!(resp.content_type, "text/plain");
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("# TYPE dcdb_inserts_total counter"), "{text}");
+        assert!(text.contains("# TYPE dcdb_query_stage_ns summary"), "{text}");
+        assert!(text.contains("dcdb_query_stage_ns_count{stage=\"fold\"}"), "{text}");
+        assert!(text.contains("dcdb_queries_total"), "{text}");
     }
 
     #[test]

@@ -127,6 +127,11 @@ pub struct QueryRequest {
     pub order: SeriesOrder,
     /// Unit handling under fan-in.
     pub units: UnitMode,
+    /// Opt into per-stage tracing: the response carries a
+    /// [`TraceSpan`](dcdb_obs::TraceSpan) tree (stage wall times, blocks
+    /// decoded, cache hits) — `dcdbquery --explain`.  Traced execution is
+    /// bit-identical to untraced.
+    pub trace: bool,
 }
 
 impl QueryRequest {
@@ -143,6 +148,7 @@ impl QueryRequest {
             limit: None,
             order: SeriesOrder::Key,
             units: UnitMode::Strict,
+            trace: false,
         }
     }
 
@@ -200,6 +206,13 @@ impl QueryRequest {
     /// Use the legacy first-unit-wins behaviour under fan-in.
     pub fn lenient_units(mut self) -> QueryRequest {
         self.units = UnitMode::Lenient;
+        self
+    }
+
+    /// Return a per-stage [`TraceSpan`](dcdb_obs::TraceSpan) tree with the
+    /// response (`dcdbquery --explain`).  Results stay bit-identical.
+    pub fn traced(mut self) -> QueryRequest {
+        self.trace = true;
         self
     }
 
@@ -296,6 +309,9 @@ pub struct GroupSeries {
 pub struct QueryResponse {
     /// Result series, in the requested [`SeriesOrder`].
     pub series: Vec<GroupSeries>,
+    /// The per-stage span tree, present iff the request set
+    /// [`QueryRequest::traced`].
+    pub trace: Option<dcdb_obs::TraceSpan>,
 }
 
 impl QueryResponse {

@@ -1,0 +1,46 @@
+//! # dcdb-obs
+//!
+//! The self-monitoring observability layer (paper §6.1: the framework
+//! "monitors itself like any other sensor" and stays under 1% overhead).
+//! Every other crate funnels its telemetry through the types here so the
+//! REST `/stats` JSON, the Prometheus `GET /metrics` exposition and the
+//! `_dcdb/` self-sensor hierarchy are three views of **one** set of
+//! atomics and can never disagree.
+//!
+//! * [`metrics`] — the lock-free instruments: [`Counter`], [`Gauge`] and
+//!   the fixed-bucket log-scale [`Histogram`] whose [`HistogramSnapshot`]s
+//!   merge exactly (bucket-wise `u64` addition) and bound every quantile
+//!   estimate by its bucket edges; the maximum is tracked exactly.
+//! * [`registry`] — [`Registry`]: a name → instrument map.  Hot paths
+//!   resolve their instrument `Arc`s **once** and then touch only atomics;
+//!   the registry lock is taken on registration and scrape only.
+//!   Pre-existing counters that live elsewhere (per-node LSM stats, block
+//!   decode counters) join the registry as *callback* instruments reading
+//!   the very same atomics their legacy accessors read.
+//! * [`trace`] — [`TraceSpan`], the per-query span tree returned by
+//!   `QueryRequest::trace` / `dcdbquery --explain`.
+//!
+//! No dependencies beyond `std`: pure atomics, no vendored crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcdb_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let inserts = reg.counter("dcdb_inserts_total");
+//! let latency = reg.histogram("dcdb_insert_latency_ns");
+//! inserts.add(64);
+//! latency.observe(1_500);
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("dcdb_inserts_total 64"));
+//! assert!(text.contains("dcdb_insert_latency_ns_count 1"));
+//! ```
+
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Kind, MetricValue, MetricsSnapshot, Registry};
+pub use trace::TraceSpan;

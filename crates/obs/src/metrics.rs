@@ -1,0 +1,379 @@
+//! Lock-free instruments: counters, gauges and log-scale histograms.
+//!
+//! All instruments are plain `std` atomics updated with `Relaxed` ordering —
+//! the hot paths (a reading insert, a block decode) touch exactly one or two
+//! atomics and never take a lock.  Readers take point-in-time snapshots;
+//! under concurrent writers a snapshot's `count`/`sum`/bucket totals may be
+//! mutually skewed by the in-flight increments, which is the usual (and
+//! documented) monitoring trade-off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, cache fill).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement by `n` (saturating at zero under a racing `sub`; callers
+    /// own the invariant that decrements never exceed increments overall).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 4 linear sub-buckets per power of two over
+/// the full `u64` range (values 0–3 each get their own exact bucket).
+///
+/// The layout gives every bucket a relative width of at most 25%, so a
+/// quantile estimate is always within 25% of the true value — and the exact
+/// bucket edges are available via [`Histogram::bucket_bounds`], which is
+/// what "quantile estimates bounded by bucket edges" means precisely.
+pub const BUCKETS: usize = 252;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let k = 63 - v.leading_zeros() as usize; // k >= 2
+        let sub = ((v >> (k - 2)) & 3) as usize;
+        4 * (k - 1) + sub
+    }
+}
+
+/// Inclusive lower edge of bucket `idx`.
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        let k = idx / 4 + 1;
+        let sub = (idx % 4) as u64;
+        (1u64 << k) + (sub << (k - 2))
+    }
+}
+
+/// Inclusive upper edge of bucket `idx`.
+fn bucket_hi(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(idx + 1) - 1
+    }
+}
+
+/// A fixed-bucket log-scale latency histogram.
+///
+/// Designed for nanosecond durations: `observe` is three relaxed atomic
+/// adds plus one atomic max, with no allocation and no lock.  Buckets are
+/// powers of two split into 4 linear sub-buckets (≤ 25% relative error);
+/// `count`, `sum` and the exact maximum ride along so means and totals are
+/// exact even though quantiles are bucketed.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `idx`.
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        (bucket_lo(idx), bucket_hi(idx))
+    }
+
+    /// Point-in-time copy of the whole histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`].
+///
+/// Snapshots from different histograms (per-thread partials, per-shard
+/// instances) merge by bucket-wise `u64` addition — **bit-identical** to
+/// having fed every observation into a single histogram, which the obs
+/// proptests verify.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Exact maximum observation (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: vec![0; BUCKETS] }
+    }
+
+    /// True when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold `other` into `self`: exact bucket-wise addition.  The sum
+    /// wraps like the live `AtomicU64` would, keeping merged partials
+    /// bit-identical to a single-feed histogram even at extreme totals.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// The inclusive `[lo, hi]` bucket-edge bounds of the `q`-quantile
+    /// (`0.0..=1.0`): the true quantile value lies within the returned
+    /// bounds.  `(0, 0)` when empty; the upper bound of the top quantile is
+    /// clamped to the exact tracked maximum.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        // rank of the q-quantile among `count` ordered observations
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = (bucket_lo(idx), bucket_hi(idx));
+                return (lo, hi.min(self.max));
+            }
+        }
+        (self.max, self.max)
+    }
+
+    /// Point estimate of the `q`-quantile: the upper bucket edge (never an
+    /// under-estimate, and within 25% of the true value by construction).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // every u64 maps into exactly one bucket whose bounds contain it
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1_000, 123_456_789, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "{v} -> {idx}");
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}] (bucket {idx})");
+        }
+        // edges chain: hi(i) + 1 == lo(i+1)
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(bucket_hi(idx) + 1, bucket_lo(idx + 1), "gap after bucket {idx}");
+        }
+        assert_eq!(bucket_hi(BUCKETS - 1), u64::MAX);
+        // relative width <= 25% from 4 upward
+        for idx in 4..BUCKETS - 1 {
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!((hi - lo) as f64 <= 0.25 * lo as f64, "bucket {idx} too wide");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_000_060);
+        assert_eq!(h.max(), 1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert!((s.mean() - 250_015.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bounded_by_bucket_edges() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).map(|i| i * 37).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * 1000.0_f64).ceil() as usize).clamp(1, 1000);
+            let truth = values[rank - 1];
+            let (lo, hi) = s.quantile_bounds(q);
+            assert!(lo <= truth && truth <= hi, "q={q}: {truth} not in [{lo}, {hi}]");
+        }
+        // p100 upper bound is the exact max
+        assert_eq!(s.quantile(1.0), 37_000);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile_bounds(0.99), (0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_feed() {
+        let whole = Histogram::new();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for i in 0..10_000u64 {
+            let v = i.wrapping_mul(0x9E37_79B9).rotate_left((i % 17) as u32);
+            whole.observe(v);
+            parts[(i % 4) as usize].observe(v);
+        }
+        let mut merged = HistogramSnapshot::new();
+        for p in &parts {
+            merged.merge(&p.snapshot());
+        }
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.observe(t * 1_000 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, threads * per_thread, "lost increments");
+        assert_eq!(s.buckets.iter().sum::<u64>(), threads * per_thread);
+    }
+}

@@ -1,0 +1,343 @@
+//! The metrics registry: one name → instrument map per store cluster.
+//!
+//! Registration and scraping take the registry lock; the hot paths never
+//! do — they resolve their instrument `Arc`s once (at node/agent
+//! construction) and afterwards touch only the instruments' atomics.
+//!
+//! Besides owned instruments the registry accepts **callback** instruments
+//! ([`Registry::func`]) that read a value computed elsewhere at scrape
+//! time.  This is how pre-existing counters (per-node LSM stats, the block
+//! decode counters) join `/metrics` without moving: the callback reads the
+//! *same* atomics the legacy accessor reads, so the two surfaces cannot
+//! disagree.
+//!
+//! ## Naming convention
+//!
+//! Names are Prometheus-style: `dcdb_<what>_total` for counters,
+//! `dcdb_<what>` for gauges, `dcdb_<what>_ns` for latency histograms.  A
+//! label set may be baked into the name (`dcdb_query_stage_ns{stage="plan"}`);
+//! the renderer folds it into each exposition line and keeps the family
+//! grouped.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Exposition kind of a scalar instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonically increasing.
+    Counter,
+    /// Moves both ways.
+    Gauge,
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Func(Kind, Box<dyn Fn() -> u64 + Send + Sync>),
+}
+
+/// One scraped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(u64),
+    /// A histogram's full snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time scrape of the whole registry, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub samples: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one sample by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.samples.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// The name → instrument map.  Create one per store cluster (a process may
+/// host several independent clusters, so this is deliberately *not* a
+/// global).
+pub struct Registry {
+    /// Cheap global toggle for the timed instrumentation; hot paths check
+    /// it before calling `Instant::now`.  Shared as an `Arc` so leaf
+    /// components can hold the flag without holding the registry (which
+    /// would create reference cycles through callback instruments).
+    enabled: Arc<AtomicBool>,
+    slots: RwLock<BTreeMap<String, Slot>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled())
+            .field("instruments", &self.slots.read().map(|s| s.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry { enabled: Arc::new(AtomicBool::new(true)), slots: RwLock::new(BTreeMap::new()) }
+    }
+}
+
+impl Registry {
+    /// An empty, enabled registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Is timed instrumentation on?  Counters always count (one relaxed
+    /// atomic add is cheaper than a branch worth protecting); this flag
+    /// gates the `Instant::now` pairs around latency observations.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggle timed instrumentation (the `obs` bench's on/off arms).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// A clonable handle on the enabled flag for leaf components that must
+    /// not hold the registry itself.
+    pub fn enabled_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.enabled)
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut slots = self.slots.write().expect("obs registry");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::new())))
+        {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut slots = self.slots.write().expect("obs registry");
+        match slots.entry(name.to_string()).or_insert_with(|| Slot::Gauge(Arc::new(Gauge::new()))) {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut slots = self.slots.write().expect("obs registry");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new())))
+        {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Register a callback instrument: `f` is evaluated at scrape time.
+    /// First registration wins; re-registering the same name is a no-op
+    /// (idempotent wiring from multiple construction paths).
+    ///
+    /// Callbacks must not capture anything that (transitively) owns this
+    /// registry, or the cycle leaks both.
+    pub fn func(&self, name: &str, kind: Kind, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        let mut slots = self.slots.write().expect("obs registry");
+        slots.entry(name.to_string()).or_insert_with(|| Slot::Func(kind, Box::new(f)));
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("obs registry").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scrape every instrument into an owned snapshot, in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.read().expect("obs registry");
+        let samples = slots
+            .iter()
+            .map(|(name, slot)| {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Slot::Func(Kind::Counter, f) => MetricValue::Counter(f()),
+                    Slot::Func(Kind::Gauge, f) => MetricValue::Gauge(f()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+
+    /// Render the whole registry as Prometheus text exposition (scalars as
+    /// `counter`/`gauge` families, histograms as `summary` families with
+    /// `quantile` labels, `_sum`, `_count` and the exact max as
+    /// `{quantile="1"}`).
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+}
+
+/// Split a metric name into `(family, labels)`:
+/// `dcdb_query_stage_ns{stage="plan"}` → `("dcdb_query_stage_ns", "stage=\"plan\"")`.
+fn split_name(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (name, ""),
+    }
+}
+
+fn sample_line(out: &mut String, family: &str, suffix: &str, labels: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{family}{suffix} {value}");
+    } else {
+        let _ = writeln!(out, "{family}{suffix}{{{labels}}} {value}");
+    }
+}
+
+fn quantile_line(out: &mut String, family: &str, labels: &str, q: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{family}{{quantile=\"{q}\"}} {value}");
+    } else {
+        let _ = writeln!(out, "{family}{{{labels},quantile=\"{q}\"}} {value}");
+    }
+}
+
+/// Render a scrape as Prometheus text exposition format.  Families are
+/// grouped (all label variants of a name render under one `# TYPE` header)
+/// and emitted in name order, so output is deterministic.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    // group samples by family, preserving the snapshot's name order
+    let mut families: Vec<(&str, Vec<(&str, &MetricValue)>)> = Vec::new();
+    for (name, value) in &snap.samples {
+        let (family, labels) = split_name(name);
+        match families.last_mut() {
+            Some((f, group)) if *f == family => group.push((labels, value)),
+            _ => families.push((family, vec![(labels, value)])),
+        }
+    }
+    let mut out = String::new();
+    for (family, group) in families {
+        let ty = match group[0].1 {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "summary",
+        };
+        let _ = writeln!(out, "# TYPE {family} {ty}");
+        for (labels, value) in group {
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    sample_line(&mut out, family, "", labels, *v);
+                }
+                MetricValue::Histogram(h) => {
+                    quantile_line(&mut out, family, labels, "0.5", h.quantile(0.5));
+                    quantile_line(&mut out, family, labels, "0.9", h.quantile(0.9));
+                    quantile_line(&mut out, family, labels, "0.99", h.quantile(0.99));
+                    quantile_line(&mut out, family, labels, "1", h.max);
+                    sample_line(&mut out, family, "_sum", labels, h.sum);
+                    sample_line(&mut out, family, "_count", labels, h.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("dcdb_x_total");
+        let b = reg.counter("dcdb_x_total");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("dcdb_x");
+        reg.gauge("dcdb_x");
+    }
+
+    #[test]
+    fn func_instruments_scrape_live_values() {
+        let reg = Registry::new();
+        let source = Arc::new(Counter::new());
+        let s = Arc::clone(&source);
+        reg.func("dcdb_ext_total", Kind::Counter, move || s.get());
+        source.add(41);
+        source.inc();
+        assert_eq!(reg.snapshot().get("dcdb_ext_total"), Some(&MetricValue::Counter(42)));
+        // re-registration is a no-op
+        reg.func("dcdb_ext_total", Kind::Counter, || 0);
+        assert_eq!(reg.snapshot().get("dcdb_ext_total"), Some(&MetricValue::Counter(42)));
+    }
+
+    #[test]
+    fn enabled_flag_round_trips() {
+        let reg = Registry::new();
+        assert!(reg.enabled());
+        let flag = reg.enabled_flag();
+        reg.set_enabled(false);
+        assert!(!flag.load(Ordering::Relaxed));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_families() {
+        let reg = Registry::new();
+        reg.counter("dcdb_inserts_total").add(7);
+        reg.gauge("dcdb_pending_flushes").set(2);
+        reg.histogram("dcdb_query_stage_ns{stage=\"fold\"}").observe(1000);
+        reg.histogram("dcdb_query_stage_ns{stage=\"plan\"}").observe(10);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE dcdb_inserts_total counter"));
+        assert!(text.contains("dcdb_inserts_total 7"));
+        assert!(text.contains("# TYPE dcdb_pending_flushes gauge"));
+        assert!(text.contains("dcdb_pending_flushes 2"));
+        // one summary family header covering both label variants
+        assert_eq!(text.matches("# TYPE dcdb_query_stage_ns summary").count(), 1);
+        assert!(text.contains("dcdb_query_stage_ns{stage=\"plan\",quantile=\"0.5\"}"));
+        assert!(text.contains("dcdb_query_stage_ns_sum{stage=\"fold\"} 1000"));
+        assert!(text.contains("dcdb_query_stage_ns_count{stage=\"plan\"} 1"));
+        // exact max rides as quantile="1"
+        assert!(text.contains("dcdb_query_stage_ns{stage=\"fold\",quantile=\"1\"} 1000"));
+    }
+}

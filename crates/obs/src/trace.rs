@@ -1,0 +1,132 @@
+//! Per-query trace spans.
+//!
+//! When a query opts in (`QueryRequest::trace`), the execution path builds
+//! a tree of [`TraceSpan`]s — one per stage (plan, fetch/fold, group
+//! merge, finalize) — each carrying wall time and a small bag of counters
+//! (blocks decoded, cache hits/misses, readings folded).  The tree rides
+//! back in the `QueryResponse` and renders as the `dcdbquery --explain`
+//! output.
+//!
+//! Tracing never changes results: the traced execution path performs the
+//! same merges in the same order as the untraced one, so aggregates stay
+//! bit-identical.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed stage of a query, possibly with child stages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSpan {
+    /// Stage name, e.g. `"plan"`, `"fold"`, `"group:rack0"`, `"chunk:0"`.
+    pub stage: String,
+    /// Wall-clock duration of the stage in nanoseconds.
+    pub wall_ns: u64,
+    /// Named counters observed during the stage (deltas, not totals),
+    /// e.g. `("blocks_decoded", 12)`, `("cache_hits", 9)`.
+    pub meta: Vec<(String, u64)>,
+    /// Nested stages, in execution order.
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// An empty span with the given stage name.
+    pub fn new(stage: impl Into<String>) -> TraceSpan {
+        TraceSpan { stage: stage.into(), ..TraceSpan::default() }
+    }
+
+    /// Time `f` and return its result alongside the finished span.
+    pub fn time<T>(
+        stage: impl Into<String>,
+        f: impl FnOnce(&mut TraceSpan) -> T,
+    ) -> (T, TraceSpan) {
+        let mut span = TraceSpan::new(stage);
+        let t0 = Instant::now();
+        let out = f(&mut span);
+        span.wall_ns = t0.elapsed().as_nanos() as u64;
+        (out, span)
+    }
+
+    /// Attach a named counter value to this span.
+    pub fn put(&mut self, key: impl Into<String>, value: u64) {
+        self.meta.push((key.into(), value));
+    }
+
+    /// Look up a counter on this span by name.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Add a child span (kept in execution order).
+    pub fn push_child(&mut self, child: TraceSpan) {
+        self.children.push(child);
+    }
+
+    /// Total number of spans in the tree, including `self`.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(TraceSpan::span_count).sum::<usize>()
+    }
+
+    /// Render the tree as indented text, one span per line:
+    ///
+    /// ```text
+    /// query                        1204.3us
+    ///   plan                          8.1us
+    ///   fold                       1180.0us  blocks_decoded=42 cache_hits=40
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let _ = write!(out, "{:indent$}{}", "", self.stage, indent = depth * 2);
+        // pad stage names so durations line up for shallow trees
+        let used = depth * 2 + self.stage.len();
+        let pad = 32usize.saturating_sub(used).max(1);
+        let _ = write!(out, "{:pad$}{:>10.1}us", "", self.wall_ns as f64 / 1_000.0);
+        for (k, v) in &self.meta {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_captures_duration_and_result() {
+        let (out, span) = TraceSpan::time("work", |s| {
+            s.put("items", 3);
+            7u32
+        });
+        assert_eq!(out, 7);
+        assert_eq!(span.stage, "work");
+        assert_eq!(span.get("items"), Some(3));
+        assert_eq!(span.get("missing"), None);
+    }
+
+    #[test]
+    fn render_shows_tree_and_meta() {
+        let mut root = TraceSpan::new("query");
+        root.wall_ns = 1_204_300;
+        let mut fold = TraceSpan::new("fold");
+        fold.wall_ns = 1_180_000;
+        fold.put("blocks_decoded", 42);
+        root.push_child(TraceSpan { stage: "plan".into(), wall_ns: 8_100, ..Default::default() });
+        root.push_child(fold);
+        assert_eq!(root.span_count(), 3);
+        let text = root.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("query"));
+        assert!(lines[1].trim_start().starts_with("plan"));
+        assert!(lines[2].contains("blocks_decoded=42"));
+        assert!(lines[2].contains("1180.0us"));
+    }
+}

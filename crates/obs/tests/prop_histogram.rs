@@ -1,0 +1,71 @@
+//! Histogram correctness properties.
+//!
+//! 1. **Merge is exact**: folding any partition of an observation stream
+//!    through [`HistogramSnapshot::merge`] is bit-identical to feeding the
+//!    whole stream into one histogram — merge order and partition shape
+//!    never matter (bucket counts are plain `u64` adds).
+//! 2. **Quantile bounds hold**: for every quantile the true order
+//!    statistic of the fed values lies inside `quantile_bounds(q)`, and
+//!    the bucket-edge bounds are within the documented ≤25% relative
+//!    width; `quantile(1.0)` is the exact maximum.
+
+use dcdb_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Mixed magnitudes: small exact-bucket values, mid-range, and huge.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..16, 0u64..100_000, 0u64..u64::MAX / 2,]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_of_any_partition_is_bit_identical_to_single_feed(
+        values in prop::collection::vec(value_strategy(), 1..500),
+        parts in 1usize..8,
+    ) {
+        let whole = Histogram::new();
+        let partials: Vec<Histogram> = (0..parts).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            partials[i % parts].observe(v);
+        }
+        let mut merged = HistogramSnapshot::new();
+        for p in &partials {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn quantile_bounds_contain_the_true_order_statistic(
+        mut values in prop::collection::vec(value_strategy(), 1..500),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        values.sort_unstable();
+        for &q in &qs {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(
+                lo <= truth && truth <= hi,
+                "q={}: true order statistic {} outside [{}, {}]", q, truth, lo, hi
+            );
+            // documented resolution: bucket width ≤ 25% of its lower edge
+            // (the top quantile's hi is clamped to the exact max instead)
+            if hi != snap.max {
+                prop_assert!(
+                    hi - lo <= lo / 4 + 1,
+                    "q={}: bucket [{}, {}] wider than 25% relative", q, lo, hi
+                );
+            }
+        }
+        prop_assert_eq!(snap.quantile(1.0), *values.last().unwrap());
+    }
+}

@@ -8,7 +8,9 @@
 //! [`SensorId`]s so the Collect Agent can use it without libDCDB.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use dcdb_obs::TraceSpan;
 use dcdb_sid::SensorId;
 use dcdb_store::reading::{Reading, TimeRange};
 use dcdb_store::StoreCluster;
@@ -257,6 +259,68 @@ impl QueryEngine {
             .map(|(key, acc)| (key, acc.map_or_else(Vec::new, WindowedAgg::finish)))
             .collect()
     }
+
+    /// [`QueryEngine::aggregate_grouped_on`] with per-stage tracing: the
+    /// same chunk tasks run on the same pool and the chunk partials merge
+    /// in the same order — results are **bit-identical** to the untraced
+    /// path — but every chunk's fan-in is individually timed and the
+    /// returned span tree records the fold and merge stages
+    /// (`chunk:<i>` children carry `group` and `sensors` meta).
+    pub fn aggregate_grouped_traced<K>(
+        &self,
+        groups: Vec<SensorGroup<K>>,
+        range: TimeRange,
+        window_ns: i64,
+        agg: AggFn,
+        threads: usize,
+    ) -> (Vec<(K, Vec<Reading>)>, TraceSpan) {
+        let threads = if threads == 0 { exec::default_parallelism() } else { threads };
+        let (keys, sid_lists): (Vec<K>, Vec<Vec<(SensorId, f64)>>) =
+            groups.into_iter().map(|g| (g.key, g.sids)).unzip();
+        let tasks: Vec<(usize, &[(SensorId, f64)])> = sid_lists
+            .iter()
+            .enumerate()
+            .flat_map(|(group, sids)| sids.chunks(FANIN_CHUNK).map(move |c| (group, c)))
+            .collect();
+        let mut fold = TraceSpan::new("fold");
+        fold.put("groups", keys.len() as u64);
+        fold.put("chunks", tasks.len() as u64);
+        fold.put("threads", threads as u64);
+        let t0 = Instant::now();
+        let timed: Vec<(WindowedAgg, TraceSpan)> = exec::run_tasks(tasks.len(), threads, |i| {
+            let (group, chunk) = tasks[i];
+            TraceSpan::time(format!("chunk:{i}"), |span| {
+                span.put("group", group as u64);
+                span.put("sensors", chunk.len() as u64);
+                self.fan_in_chunk(chunk, range, window_ns, agg)
+            })
+        });
+        fold.wall_ns = t0.elapsed().as_nanos() as u64;
+        let mut partials = Vec::with_capacity(timed.len());
+        for (partial, span) in timed {
+            partials.push(partial);
+            fold.push_child(span);
+        }
+        let (out, merge_span) = TraceSpan::time("merge", |span| {
+            span.put("groups", keys.len() as u64);
+            let mut accs: Vec<Option<WindowedAgg>> = keys.iter().map(|_| None).collect();
+            for ((group, _), partial) in tasks.into_iter().zip(partials) {
+                match &mut accs[group] {
+                    Some(acc) => acc.merge(partial),
+                    empty => *empty = Some(partial),
+                }
+            }
+            keys.into_iter()
+                .zip(accs)
+                .map(|(key, acc)| (key, acc.map_or_else(Vec::new, WindowedAgg::finish)))
+                .collect::<Vec<(K, Vec<Reading>)>>()
+        });
+        let mut root = TraceSpan::new("execute");
+        root.wall_ns = fold.wall_ns + merge_span.wall_ns;
+        root.push_child(fold);
+        root.push_child(merge_span);
+        (out, root)
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +487,39 @@ mod tests {
             assert_eq!(grouped.len(), 1);
             assert_eq!(grouped[0].1, direct, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn traced_execution_is_bit_identical_and_records_stages() {
+        let (engine, sids) = engine_with_data();
+        let range = TimeRange::new(0, 600_000_000_000);
+        let groups = vec![
+            SensorGroup { key: "a", sids: vec![(sids[0], 1.0), (sids[1], 1.0)] },
+            SensorGroup { key: "b", sids: vec![(sids[2], 1.0)] },
+        ];
+        let plain =
+            engine.aggregate_grouped_on(groups.clone(), range, 60_000_000_000, AggFn::Stddev, 4);
+        let (traced, span) =
+            engine.aggregate_grouped_traced(groups, range, 60_000_000_000, AggFn::Stddev, 4);
+        assert_eq!(plain.len(), traced.len());
+        for ((ka, a), (kb, b)) in plain.iter().zip(&traced) {
+            assert_eq!(ka, kb);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.ts, y.ts);
+                assert_eq!(x.value.to_bits(), y.value.to_bits());
+            }
+        }
+        // span tree: execute → [fold → chunk:*, merge]
+        assert_eq!(span.stage, "execute");
+        assert_eq!(span.children.len(), 2);
+        let fold = &span.children[0];
+        assert_eq!(fold.stage, "fold");
+        assert_eq!(fold.get("groups"), Some(2));
+        assert_eq!(fold.children.len(), 2, "one chunk per group here");
+        assert_eq!(fold.children[0].get("sensors"), Some(2));
+        assert_eq!(span.children[1].stage, "merge");
+        assert!(span.render().contains("chunk:0"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod partition;
 pub mod sid;
 pub mod topic;
 
-pub use mapping::TopicRegistry;
+pub use mapping::{is_reserved, TopicRegistry, RESERVED_PREFIX};
 pub use partition::{PartitionMap, Partitioner};
 pub use sid::{SensorId, SidError, LEVELS, LEVEL_BITS};
 pub use topic::{is_valid_topic, normalize, split_levels, TopicError};

@@ -14,6 +14,20 @@ use parking_lot::RwLock;
 use crate::sid::{SensorId, SidError, LEVELS};
 use crate::topic;
 
+/// First hierarchy level reserved for the framework's self-monitoring
+/// sensors: the collect agent periodically folds its metrics registry into
+/// readings under `/_dcdb/<node>/<metric>`.  User publishes there are
+/// rejected with [`SidError::Reserved`].
+pub const RESERVED_PREFIX: &str = "_dcdb";
+
+/// Is this (normalized) topic inside the reserved self-monitoring
+/// hierarchy, i.e. is its first level exactly [`RESERVED_PREFIX`]?
+pub fn is_reserved(topic: &str) -> bool {
+    let first = topic.strip_prefix('/').unwrap_or(topic);
+    let first = first.split('/').next().unwrap_or("");
+    first == RESERVED_PREFIX
+}
+
 /// A thread-safe bidirectional topic ↔ SID map.
 ///
 /// `resolve` is the hot path (one lookup per published reading) and takes a
@@ -39,9 +53,27 @@ impl TopicRegistry {
     /// Resolve `topic` to its SID, registering it on first sight.
     ///
     /// # Errors
-    /// Propagates topic validation failures.
+    /// Propagates topic validation failures, and rejects topics under the
+    /// reserved [`RESERVED_PREFIX`] self-monitoring hierarchy with
+    /// [`SidError::Reserved`] — the framework publishes its own health
+    /// there and user sensors must not collide with it.
     pub fn resolve(&self, topic: &str) -> Result<SensorId, SidError> {
         let norm = topic::normalize(topic);
+        if is_reserved(&norm) {
+            return Err(SidError::Reserved(norm));
+        }
+        self.resolve_normalized(norm)
+    }
+
+    /// [`resolve`](Self::resolve) without the reserved-hierarchy check —
+    /// the entry point for the framework's *own* publishes (self-monitor
+    /// folds, `topics.list` reloads that may legitimately contain `_dcdb/`
+    /// sensors persisted by a previous run).
+    pub fn resolve_internal(&self, topic: &str) -> Result<SensorId, SidError> {
+        self.resolve_normalized(topic::normalize(topic))
+    }
+
+    fn resolve_normalized(&self, norm: String) -> Result<SensorId, SidError> {
         if let Some(&sid) = self.inner.read().by_topic.get(&norm) {
             return Ok(sid);
         }
@@ -175,6 +207,26 @@ mod tests {
             let sid = reg.get(&t).unwrap();
             assert_eq!(reg.topic_of(sid).unwrap(), t);
         }
+    }
+
+    #[test]
+    fn reserved_hierarchy_is_rejected_for_users_only() {
+        let reg = TopicRegistry::new();
+        // user-facing resolve rejects anything whose first level is _dcdb
+        for t in ["/_dcdb/node0/inserts", "_dcdb/x", "/_dcdb"] {
+            match reg.resolve(t) {
+                Err(SidError::Reserved(norm)) => assert!(norm.starts_with("/_dcdb")),
+                other => panic!("expected Reserved error for {t}, got {other:?}"),
+            }
+        }
+        assert_eq!(reg.len(), 0);
+        // but `_dcdb` deeper in the tree, or as a prefix of a longer name, is fine
+        reg.resolve("/sys/_dcdb/x").unwrap();
+        reg.resolve("/_dcdbish/x").unwrap();
+        // the framework's own entry point bypasses the reservation
+        let sid = reg.resolve_internal("/_dcdb/node0/inserts").unwrap();
+        assert_eq!(reg.topic_of(sid).as_deref(), Some("/_dcdb/node0/inserts"));
+        assert_eq!(reg.get("/_dcdb/node0/inserts"), Some(sid));
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum SidError {
     Topic(TopicError),
     /// A level index outside `0..LEVELS` was requested.
     LevelOutOfRange(usize),
+    /// The topic lives under a hierarchy reserved for the framework's own
+    /// self-monitoring sensors (`_dcdb/...`) and cannot be user-published.
+    Reserved(String),
 }
 
 impl fmt::Display for SidError {
@@ -33,6 +36,9 @@ impl fmt::Display for SidError {
         match self {
             SidError::Topic(e) => write!(f, "invalid topic: {e}"),
             SidError::LevelOutOfRange(i) => write!(f, "level {i} out of range 0..{LEVELS}"),
+            SidError::Reserved(t) => {
+                write!(f, "topic {t} is under the reserved self-monitoring hierarchy")
+            }
         }
     }
 }

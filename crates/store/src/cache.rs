@@ -33,9 +33,9 @@
 //! cache), reproducing the always-decode behaviour the laziness tests pin.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dcdb_obs::Counter;
 use dcdb_sid::SensorId;
 use parking_lot::Mutex;
 
@@ -152,10 +152,12 @@ pub struct BlockCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    insertions: AtomicU64,
+    // obs-native counters so the metrics registry scrapes the *same*
+    // atomics `stats()` reads — `/stats` and `/metrics` cannot disagree
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    insertions: Arc<Counter>,
 }
 
 /// Preferred shard count for large caches.
@@ -174,11 +176,23 @@ impl BlockCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: capacity_readings / shards,
             capacity: capacity_readings,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+            insertions: Arc::new(Counter::new()),
         }
+    }
+
+    /// The cache's counter instruments as `(name_suffix, counter)` pairs,
+    /// for registration with a metrics registry.  The registry then scrapes
+    /// the very atomics [`BlockCache::stats`] reads.
+    pub fn counters(&self) -> [(&'static str, Arc<Counter>); 4] {
+        [
+            ("hits", Arc::clone(&self.hits)),
+            ("misses", Arc::clone(&self.misses)),
+            ("evictions", Arc::clone(&self.evictions)),
+            ("insertions", Arc::clone(&self.insertions)),
+        ]
     }
 
     /// The configured reading budget.
@@ -204,9 +218,9 @@ impl BlockCache {
             data
         };
         if hit.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
         hit
     }
@@ -235,9 +249,9 @@ impl BlockCache {
                 }
             }
         }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -265,17 +279,17 @@ impl BlockCache {
             recency.retain(|(k, stamp)| map.get(k).is_some_and(|e| e.stamp == *stamp));
         }
         if purged > 0 {
-            self.evictions.fetch_add(purged, Ordering::Relaxed);
+            self.evictions.add(purged);
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            insertions: self.insertions.get(),
             used_readings: self.used_readings() as u64,
             capacity_readings: self.capacity as u64,
         }

@@ -10,11 +10,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dcdb_obs::{Kind, Registry};
 use dcdb_sid::{PartitionMap, SensorId};
 
 use crate::cache::{BlockCache, CacheStats};
 use crate::maintenance::{MaintenancePool, MaintenanceSnapshot};
-use crate::node::{NodeConfig, SeriesSnapshot, StoreNode};
+use crate::node::{NodeConfig, NodeInstruments, SeriesSnapshot, StoreNode};
 use crate::reading::{Reading, TimeRange, Timestamp};
 
 /// Cluster-wide counters.
@@ -31,13 +32,18 @@ pub struct StoreCluster {
     nodes: Vec<Arc<StoreNode>>,
     partition: PartitionMap,
     replication: usize,
-    stats: ClusterStats,
+    stats: Arc<ClusterStats>,
     /// The decoded-block cache shared by every node (one process-wide
     /// reading budget), when [`NodeConfig::block_cache_readings`] is set.
     cache: Option<Arc<BlockCache>>,
     /// The background maintenance pool shared by every node (one worker
     /// budget per cluster), when [`NodeConfig::maintenance_threads`] is set.
     pool: Option<Arc<MaintenancePool>>,
+    /// The cluster's metrics registry: latency histograms fed by the nodes'
+    /// hot paths plus callback counters scraping the pre-existing node /
+    /// cache stats.  Nodes never hold this `Arc` back (the callbacks
+    /// capture node `Arc`s, so that would cycle and leak the pool).
+    metrics: Arc<Registry>,
 }
 
 impl StoreCluster {
@@ -60,18 +66,27 @@ impl StoreCluster {
                 crate::node::tick_interval(&node_cfg),
             )
         });
-        StoreCluster {
-            nodes: (0..n)
-                .map(|_| {
-                    Arc::new(StoreNode::with_shared(node_cfg.clone(), cache.clone(), pool.clone()))
-                })
-                .collect(),
-            partition,
-            replication,
-            stats: ClusterStats::default(),
-            cache,
-            pool,
-        }
+        let metrics = Arc::new(Registry::new());
+        let instruments = NodeInstruments::from_registry(&metrics);
+        let nodes: Vec<Arc<StoreNode>> = (0..n)
+            .map(|_| {
+                Arc::new(StoreNode::with_instruments(
+                    node_cfg.clone(),
+                    cache.clone(),
+                    pool.clone(),
+                    instruments.clone(),
+                ))
+            })
+            .collect();
+        let stats = Arc::new(ClusterStats::default());
+        register_cluster_metrics(&metrics, &nodes, &stats, cache.as_ref(), pool.as_ref());
+        StoreCluster { nodes, partition, replication, stats, cache, pool, metrics }
+    }
+
+    /// The cluster's metrics registry — the single source every exposition
+    /// surface (`/metrics`, `/stats`, `_dcdb/` self-sensors) scrapes.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Convenience: a single-node cluster with defaults (tests, quickstart).
@@ -253,7 +268,70 @@ impl StoreCluster {
 
     /// Cluster counters.
     pub fn stats(&self) -> &ClusterStats {
-        &self.stats
+        self.stats.as_ref()
+    }
+}
+
+/// Join the cluster's pre-existing counters to the registry as scrape-time
+/// callbacks.  Every callback reads the same atomics the legacy accessors
+/// (`stats()`, `cache_stats()`, `maintenance_stats()`, `blocks_decoded()`)
+/// read, so `/stats` and `/metrics` agree by construction.
+fn register_cluster_metrics(
+    reg: &Registry,
+    nodes: &[Arc<StoreNode>],
+    stats: &Arc<ClusterStats>,
+    cache: Option<&Arc<BlockCache>>,
+    pool: Option<&Arc<MaintenancePool>>,
+) {
+    let sum = |reg: &Registry, name: &str, kind: Kind, f: fn(&StoreNode) -> u64| {
+        let nodes: Vec<Arc<StoreNode>> = nodes.to_vec();
+        reg.func(name, kind, move || nodes.iter().map(|n| f(n)).sum());
+    };
+    sum(reg, "dcdb_inserts_total", Kind::Counter, |n| n.stats().inserts.load(Ordering::Relaxed));
+    sum(reg, "dcdb_queries_total", Kind::Counter, |n| n.stats().queries.load(Ordering::Relaxed));
+    sum(reg, "dcdb_flushes_total", Kind::Counter, |n| n.stats().flushes.load(Ordering::Relaxed));
+    sum(reg, "dcdb_compactions_total", Kind::Counter, |n| {
+        n.stats().compactions.load(Ordering::Relaxed)
+    });
+    sum(reg, "dcdb_compactions_coalesced_total", Kind::Counter, |n| {
+        n.stats().compactions_coalesced.load(Ordering::Relaxed)
+    });
+    sum(reg, "dcdb_compactions_aborted_total", Kind::Counter, |n| {
+        n.stats().compactions_aborted.load(Ordering::Relaxed)
+    });
+    sum(reg, "dcdb_stalls_total", Kind::Counter, |n| n.stats().stalls.load(Ordering::Relaxed));
+    sum(reg, "dcdb_blocks_decoded_total", Kind::Counter, StoreNode::blocks_decoded);
+    sum(reg, "dcdb_blocks_corrupt_total", Kind::Counter, StoreNode::blocks_corrupt);
+    sum(reg, "dcdb_blocks_held", Kind::Gauge, |n| n.block_count() as u64);
+    sum(reg, "dcdb_entries_held", Kind::Gauge, |n| n.approx_entries() as u64);
+    sum(reg, "dcdb_pending_flushes", Kind::Gauge, |n| n.maintenance_stats().pending_flushes);
+    {
+        let s = Arc::clone(stats);
+        reg.func("dcdb_local_writes_total", Kind::Counter, move || {
+            s.local_writes.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(stats);
+        reg.func("dcdb_replica_writes_total", Kind::Counter, move || {
+            s.replica_writes.load(Ordering::Relaxed)
+        });
+    }
+    if let Some(cache) = cache {
+        // the cache's counters are obs-native: register the counters
+        // themselves (same atomics) rather than callbacks
+        for (suffix, counter) in cache.counters() {
+            let c = Arc::clone(&counter);
+            reg.func(&format!("dcdb_cache_{suffix}_total"), Kind::Counter, move || c.get());
+        }
+        let c = Arc::clone(cache);
+        reg.func("dcdb_cache_used_readings", Kind::Gauge, move || c.used_readings() as u64);
+        let c = Arc::clone(cache);
+        reg.func("dcdb_cache_capacity_readings", Kind::Gauge, move || c.capacity_readings() as u64);
+    }
+    if let Some(pool) = pool {
+        let p = Arc::clone(pool);
+        reg.func("dcdb_maintenance_threads", Kind::Gauge, move || p.threads() as u64);
+        let p = Arc::clone(pool);
+        reg.func("dcdb_maintenance_ticks_total", Kind::Counter, move || p.ticks());
     }
 }
 
@@ -330,6 +408,55 @@ mod tests {
         assert_eq!(c.query_range(s, 0, 100).len(), 5);
         c.maintain();
         assert_eq!(c.total_entries(), 5);
+    }
+
+    #[test]
+    fn metrics_registry_agrees_with_legacy_accessors() {
+        let cfg = NodeConfig {
+            memtable_flush_entries: 64,
+            block_cache_readings: 4096,
+            ..NodeConfig::default()
+        };
+        let c = StoreCluster::new(cfg, PartitionMap::prefix(2, 2), 1);
+        let s = sid("/m/e/t");
+        let batch: Vec<Reading> = (0..200).map(|i| Reading::new(i, i as f64)).collect();
+        c.insert_batch(s, &batch);
+        c.maintain();
+        c.query_range(s, 0, 1000);
+        c.query_range(s, 0, 1000);
+
+        let snap = c.metrics().snapshot();
+        let counter = |name: &str| match snap.get(name) {
+            Some(dcdb_obs::MetricValue::Counter(v)) => *v,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        // callback instruments read the very atomics the legacy accessors read
+        assert_eq!(counter("dcdb_inserts_total"), 200);
+        assert_eq!(counter("dcdb_queries_total"), 2);
+        let ms = c.maintenance_stats();
+        assert_eq!(counter("dcdb_flushes_total"), ms.flushes);
+        assert_eq!(counter("dcdb_compactions_total"), ms.compactions);
+        assert_eq!(counter("dcdb_blocks_decoded_total"), c.blocks_decoded());
+        let cs = c.cache_stats();
+        assert_eq!(counter("dcdb_cache_hits_total"), cs.hits);
+        assert_eq!(counter("dcdb_cache_misses_total"), cs.misses);
+        // the batch-insert latency histogram saw the insert
+        match snap.get("dcdb_insert_latency_ns") {
+            Some(dcdb_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // flush histogram count matches the flush counter
+        match snap.get("dcdb_flush_ns") {
+            Some(dcdb_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, ms.flushes),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // and the Prometheus rendering covers the core families
+        let text = c.metrics().render_prometheus();
+        for family in
+            ["dcdb_inserts_total", "dcdb_cache_hits_total", "dcdb_flush_ns", "dcdb_queries_total"]
+        {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod sstable;
 pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use cluster::{ClusterStats, StoreCluster};
 pub use maintenance::{MaintenancePool, MaintenanceSnapshot};
-pub use node::{NodeConfig, SeriesSnapshot, SnapshotRun, StoreNode};
+pub use node::{NodeConfig, NodeInstruments, SeriesSnapshot, SnapshotRun, StoreNode};
 pub use reading::{Reading, TimeRange};
 pub use sstable::{BlockRef, SsTable};

@@ -199,6 +199,58 @@ pub struct NodeStats {
     pub last_flush_unix_ms: AtomicU64,
 }
 
+/// The observability instruments a node's hot paths feed *directly* — the
+/// latency histograms (its counters stay in [`NodeStats`] and join the
+/// metrics registry as scrape-time callbacks).  These are shared `Arc`s
+/// into the owning cluster's registry; a standalone node gets private
+/// unregistered instruments.  Deliberately **not** a registry handle: the
+/// registry's callback instruments capture node `Arc`s, so a node holding
+/// the registry would form a cycle and leak the maintenance pool.
+#[derive(Debug, Clone)]
+pub struct NodeInstruments {
+    /// Gates the `Instant::now` pairs (shared with `Registry::enabled`,
+    /// the bench's instrumentation-off arm).
+    enabled: Arc<AtomicBool>,
+    /// Wall time of one `insert_batch` call, backpressure stalls included.
+    pub insert_latency_ns: Arc<dcdb_obs::Histogram>,
+    /// Wall time encoding + publishing one frozen memtable.
+    pub flush_ns: Arc<dcdb_obs::Histogram>,
+    /// Wall time of one real merge (started → swapped or aborted).
+    pub compaction_ns: Arc<dcdb_obs::Histogram>,
+    /// Wall time of one writer stall on the bounded flush backlog.
+    pub stall_ns: Arc<dcdb_obs::Histogram>,
+}
+
+impl Default for NodeInstruments {
+    fn default() -> Self {
+        NodeInstruments {
+            enabled: Arc::new(AtomicBool::new(true)),
+            insert_latency_ns: Arc::new(dcdb_obs::Histogram::new()),
+            flush_ns: Arc::new(dcdb_obs::Histogram::new()),
+            compaction_ns: Arc::new(dcdb_obs::Histogram::new()),
+            stall_ns: Arc::new(dcdb_obs::Histogram::new()),
+        }
+    }
+}
+
+impl NodeInstruments {
+    /// Instruments registered in (and gated by) `reg` — every node built
+    /// from the same registry feeds the same cluster-wide histograms.
+    pub fn from_registry(reg: &dcdb_obs::Registry) -> Self {
+        NodeInstruments {
+            enabled: reg.enabled_flag(),
+            insert_latency_ns: reg.histogram("dcdb_insert_latency_ns"),
+            flush_ns: reg.histogram("dcdb_flush_ns"),
+            compaction_ns: reg.histogram("dcdb_compaction_ns"),
+            stall_ns: reg.histogram("dcdb_stall_ns"),
+        }
+    }
+
+    fn timing_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
 /// The LSM state shared between a [`StoreNode`] handle and the background
 /// maintenance jobs it spawns (jobs keep the state alive via `Arc` even if
 /// the node handle is dropped mid-flight).
@@ -225,6 +277,8 @@ pub(crate) struct NodeCore {
     /// steady ingest does not re-merge the whole store on every tick.
     ttl_enforced_to: std::sync::atomic::AtomicI64,
     stats: NodeStats,
+    /// Latency histograms fed by the hot paths (see [`NodeInstruments`]).
+    instruments: NodeInstruments,
     /// Decoded-block cache attached to every table this node creates or
     /// loads (`None` = always decode).  May be shared with other nodes of
     /// a cluster for one process-wide reading budget.
@@ -267,7 +321,9 @@ impl NodeCore {
                 while q.len() >= max {
                     q = core.frozen_cond.wait(q).expect("flush backlog");
                 }
-                core.stats.stall_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let stalled = t0.elapsed().as_nanos() as u64;
+                core.stats.stall_ns.fetch_add(stalled, Ordering::Relaxed);
+                core.instruments.stall_ns.observe(stalled);
             }
         }
         {
@@ -345,8 +401,10 @@ impl NodeCore {
                 }
             };
             if !mt.is_empty() {
+                let t0 = Instant::now();
                 let table = SsTable::from_sorted_cached(mt.sorted_entries(), core.cache.clone());
                 core.sstables.write().push(table);
+                core.instruments.flush_ns.observe(t0.elapsed().as_nanos() as u64);
                 core.stats.flushes.fetch_add(1, Ordering::Relaxed);
                 core.stats.last_flush_unix_ms.store(unix_ms(), Ordering::Relaxed);
             }
@@ -487,7 +545,9 @@ impl NodeCore {
                 *mt = filtered;
             }
         }
-        core.stats.compaction_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let merged_ns = t0.elapsed().as_nanos() as u64;
+        core.stats.compaction_ns.fetch_add(merged_ns, Ordering::Relaxed);
+        core.instruments.compaction_ns.observe(merged_ns);
         core.stats.compactions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -558,6 +618,18 @@ impl StoreNode {
         cache: Option<Arc<BlockCache>>,
         pool: Option<Arc<MaintenancePool>>,
     ) -> Self {
+        StoreNode::with_instruments(cfg, cache, pool, NodeInstruments::default())
+    }
+
+    /// [`StoreNode::with_shared`] with the node's latency histograms wired
+    /// to a cluster's metrics registry (via
+    /// [`NodeInstruments::from_registry`]) instead of private defaults.
+    pub fn with_instruments(
+        cfg: NodeConfig,
+        cache: Option<Arc<BlockCache>>,
+        pool: Option<Arc<MaintenancePool>>,
+        instruments: NodeInstruments,
+    ) -> Self {
         let core = Arc::new(NodeCore {
             cfg,
             memtable: RwLock::new(MemTable::new()),
@@ -570,6 +642,7 @@ impl StoreNode {
             compact_queued: AtomicBool::new(false),
             ttl_enforced_to: std::sync::atomic::AtomicI64::new(i64::MIN),
             stats: NodeStats::default(),
+            instruments,
             cache,
             now: AtomicU64::new(0),
         });
@@ -614,7 +687,14 @@ impl StoreNode {
     }
 
     /// Insert a batch of readings for one sensor (the Collect Agent's path).
+    ///
+    /// When timed instrumentation is enabled the whole call — including any
+    /// backpressure stall behind a full flush backlog — is observed into
+    /// `dcdb_insert_latency_ns`.  The single-reading [`StoreNode::insert`]
+    /// path stays counter-only: an `Instant::now` pair per reading would
+    /// cost more than the insert it measures.
     pub fn insert_batch(&self, sid: SensorId, readings: &[Reading]) {
+        let t0 = self.core.instruments.timing_enabled().then(Instant::now);
         self.core.stats.inserts.fetch_add(readings.len() as u64, Ordering::Relaxed);
         let full = {
             let mut mt = self.core.memtable.write();
@@ -625,6 +705,9 @@ impl StoreNode {
         };
         if full {
             NodeCore::freeze_memtable(&self.core, self.pool_shared(), true, true);
+        }
+        if let Some(t0) = t0 {
+            self.core.instruments.insert_latency_ns.observe(t0.elapsed().as_nanos() as u64);
         }
     }
 

@@ -6,6 +6,7 @@
 //!                  [--duration SECONDS] [--db <dir>] [--nodes N] [--depth D]
 //!                  [--cache-mb MB] [--query-threads N]
 //!                  [--maintenance-threads N] [--flush-interval-s S]
+//!                  [--self-metrics-s S] [--node-name NAME]
 //! ```
 //!
 //! `--nodes`/`--depth` shard storage over `N` nodes with SID-prefix
@@ -23,6 +24,13 @@
 //! many readings a crash can lose) and drives periodic TTL enforcement.
 //! `/stats` reports the flush/compaction/stall counters plus the age of
 //! the most recent flush.
+//!
+//! The REST server also serves `GET /metrics` (Prometheus text exposition
+//! of every layer's counters and latency histograms).  `--self-metrics-s S`
+//! additionally folds that scrape into the store every `S` seconds as
+//! `/_dcdb/<node-name>/...` sensors — the database monitors itself with
+//! its own machinery, so health history is queryable like any sensor (and
+//! persists with `--db`).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -69,11 +77,18 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let self_metrics_s: u64 = args.get("self-metrics-s").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let node_name = args.get("node-name").unwrap_or("agent0").to_string();
+    let _monitor = (self_metrics_s > 0)
+        .then(|| agent.start_self_monitor(&node_name, Duration::from_secs(self_metrics_s)));
     println!(
         "collect agent up: mqtt://{} rest http://{} (running {duration}s)",
         broker.local_addr(),
         rest.local_addr()
     );
+    if self_metrics_s > 0 {
+        println!("self-monitoring: /_dcdb/{node_name}/* every {self_metrics_s}s");
+    }
     std::thread::sleep(Duration::from_secs(duration));
 
     let stats = agent.stats();

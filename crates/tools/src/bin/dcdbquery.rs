@@ -35,6 +35,11 @@
 //! synchronous, the default) — mostly relevant to `csvimport`-style bulk
 //! loads through the same [`dcdb_tools::open_db_with`] path; `dcdbquery`
 //! itself is read-only.
+//!
+//! `--explain` turns on per-query tracing: after each query's CSV output
+//! the span tree (plan / engine fan-in chunks / merge / finalize, with
+//! wall times and counter deltas like `blocks_decoded`) prints to stderr.
+//! Results are bit-identical with and without it.
 
 use dcdb_core::{ops, QueryRequest};
 use dcdb_store::reading::TimeRange;
@@ -45,13 +50,13 @@ fn main() {
     let Some(db_dir) = args.get("db") else {
         eprintln!(
             "usage: dcdbquery --db <dir> [--start NS] [--end NS] [--op OP] \
-             [--agg FN --window DUR] [--sizes] [--cache-mb MB] \
+             [--agg FN --window DUR] [--sizes] [--explain] [--cache-mb MB] \
              [--query-threads N] [--maintenance-threads N] \
              [--flush-interval-s S] <topic>..."
         );
         std::process::exit(2);
     };
-    let topics = args.positional_with_bools(&["sizes"]);
+    let topics = args.positional_with_bools(&["sizes", "explain"]);
     if topics.is_empty() && !args.has("sizes") {
         eprintln!("dcdbquery: no topics given");
         std::process::exit(2);
@@ -117,6 +122,9 @@ fn main() {
             if let Some(level) = group_by {
                 req = req.group_by(level);
             }
+            if args.has("explain") {
+                req = req.traced();
+            }
             match db.execute(&req) {
                 Ok(resp) => {
                     for group in &resp.series {
@@ -124,6 +132,10 @@ fn main() {
                         for r in &group.series.readings {
                             println!("{label},{},{}", r.ts, r.value);
                         }
+                    }
+                    if let Some(trace) = &resp.trace {
+                        // stderr keeps the CSV on stdout machine-readable
+                        eprint!("{topic}:\n{}", trace.render());
                     }
                 }
                 Err(e) => eprintln!("dcdbquery: {topic}: {e}"),
@@ -139,10 +151,21 @@ fn main() {
         None => {
             println!("sensor,timestamp,value");
             for topic in topics {
-                match db.query(topic, range) {
-                    Ok(series) => {
-                        for r in &series.readings {
-                            println!("{topic},{},{}", r.ts, r.value);
+                // QueryRequest::topic mirrors the legacy db.query contract
+                // (exact match, one series even for unknown topics)
+                let mut req = QueryRequest::topic(topic).range(range).lenient_units();
+                if args.has("explain") {
+                    req = req.traced();
+                }
+                match db.execute(&req) {
+                    Ok(resp) => {
+                        for group in &resp.series {
+                            for r in &group.series.readings {
+                                println!("{},{},{}", group.series.topic, r.ts, r.value);
+                            }
+                        }
+                        if let Some(trace) = &resp.trace {
+                            eprint!("{topic}:\n{}", trace.render());
                         }
                     }
                     Err(e) => eprintln!("dcdbquery: {topic}: {e}"),

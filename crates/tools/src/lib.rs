@@ -160,7 +160,10 @@ pub fn open_db_with(dir: &Path, node_cfg: NodeConfig) -> std::io::Result<Arc<Sen
             let line = line?;
             let t = line.trim();
             if !t.is_empty() {
-                registry.resolve(t).map_err(|e| {
+                // resolve_internal: a topics.list written after a
+                // self-monitoring run contains `/_dcdb/...` sensors, which
+                // the user-facing resolve rejects by design
+                registry.resolve_internal(t).map_err(|e| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
                 })?;
             }
@@ -423,6 +426,25 @@ mod tests {
         assert_eq!(s.readings.len(), 1);
         assert_eq!(s.readings[0].value, 1.5);
         assert_eq!(db.registry().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn self_metrics_sensors_survive_a_save_load_cycle() {
+        let dir = std::env::temp_dir().join(format!("dcdb-tools-selfm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = SensorDb::in_memory();
+            db.insert("/t/a", 100, 1.5).unwrap();
+            assert!(db.publish_self_metrics("node0", 200) > 0);
+            save_db(&db, &dir).unwrap();
+        }
+        // reload must accept the reserved topics recorded in topics.list
+        let db = open_db(&dir).unwrap();
+        let resp = db.execute(&dcdb_core::QueryRequest::subtree("/_dcdb/node0")).unwrap();
+        assert!(!resp.series.is_empty());
+        // user inserts under the reserved hierarchy stay rejected
+        assert!(db.insert("/_dcdb/node0/fake", 1, 1.0).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,9 @@
 //! * [`query`] — the streaming query/aggregation engine with pushdown into
 //!   compressed SSTable blocks (windowed `avg`/`p99`/`rate`/… over sensors
 //!   or whole sensor sub-trees)
+//! * [`obs`] — lock-free self-monitoring: metrics registry, latency
+//!   histograms, per-query span traces (Prometheus `/metrics`, `--explain`,
+//!   the reserved `_dcdb/` self-sensor hierarchy)
 //! * [`http`] — minimal HTTP/1.1 + JSON for the RESTful APIs
 //! * [`sim`] — simulated HPC cluster substrate (architectures, devices, workloads)
 //! * [`pusher`] — the plugin-based data-collection agent
@@ -46,6 +49,7 @@ pub use dcdb_config as config;
 pub use dcdb_core as core;
 pub use dcdb_http as http;
 pub use dcdb_mqtt as mqtt;
+pub use dcdb_obs as obs;
 pub use dcdb_pusher as pusher;
 pub use dcdb_query as query;
 pub use dcdb_sid as sid;
