@@ -1,0 +1,79 @@
+//! Prints the alert-engine-overhead study (sustained Collect Agent ingest
+//! with a live rule set evaluating on-stream versus no engine), emitting
+//! machine-readable results to `results/BENCH_alerts.json`.
+use std::fmt::Write as _;
+
+fn main() {
+    let r = dcdb_bench::experiments::alerts::run();
+    println!(
+        "Alert-engine-overhead study: {} readings in {}-reading publishes, \
+         flush every {}, {} interleaved reps per arm, best-of compared\n",
+        dcdb_bench::experiments::alerts::TOTAL_READINGS,
+        dcdb_bench::experiments::alerts::BATCH,
+        dcdb_bench::experiments::alerts::FLUSH_ENTRIES,
+        dcdb_bench::experiments::alerts::REPS,
+    );
+    print!("{}", dcdb_bench::experiments::alerts::render(&r));
+    println!(
+        "\nengine cost: {:.2} ns/reading = {:+.2}% of ingest \
+         (A/B wall delta {:+.2}%, {} host threads) | contents identical: {}",
+        r.engine_ns_per_reading,
+        r.overhead() * 100.0,
+        r.overhead_wall() * 100.0,
+        r.host_threads,
+        if r.identical() { "yes" } else { "NO" },
+    );
+    assert!(r.identical(), "alerting changed stored contents");
+    // the acceptance bar: on-stream rule evaluation must cost < 2 % of
+    // ingest wall time, judged on the directly measured engine cost over
+    // the measured ingest cost (the A/B wall delta drowns in scheduler
+    // noise on shared runners at this effect size and is reported as
+    // context).  Missing the bar only warns unless BENCH_STRICT=1.
+    if r.overhead() >= 0.02 {
+        let msg = format!("expected < 2% alerting overhead, got {:+.2}%", r.overhead() * 100.0);
+        assert!(std::env::var_os("BENCH_STRICT").is_none(), "{msg}");
+        eprintln!("warning: {msg} (set BENCH_STRICT=1 to fail on this)");
+    }
+
+    let mut json = String::from("{\n");
+    for (key, a) in [("on", &r.on), ("off", &r.off)] {
+        let walls: Vec<String> = a.walls_s.iter().map(|w| format!("{w:.4}")).collect();
+        let _ = writeln!(
+            json,
+            "  \"{key}\": {{\"wall_s\": {:.4}, \"walls_s\": [{}], \
+             \"throughput_rps\": {:.0}, \"transitions\": {}, \
+             \"fingerprint\": \"{:016x}\"}},",
+            a.wall_s,
+            walls.join(", "),
+            a.throughput,
+            a.transitions,
+            a.fingerprint,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  \"engine_ns_per_reading\": {:.2}, \"overhead_pct\": {:.3}, \
+         \"overhead_wall_pct\": {:.3}, \"identical\": {}, \"host_threads\": {}\n}}",
+        r.engine_ns_per_reading,
+        r.overhead() * 100.0,
+        r.overhead_wall() * 100.0,
+        r.identical(),
+        r.host_threads,
+    );
+    dcdb_bench::report::write_json("BENCH_alerts", &json);
+    dcdb_bench::report::write_csv(
+        "alerts_overhead",
+        &["alerting", "wall_s", "throughput_rps", "transitions"],
+        &[&r.on, &r.off]
+            .iter()
+            .map(|a| {
+                vec![
+                    if a.enabled { "on".to_string() } else { "off".to_string() },
+                    format!("{:.4}", a.wall_s),
+                    format!("{:.0}", a.throughput),
+                    a.transitions.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,6 +1,7 @@
 //! One module per paper artefact; see the crate docs for the index.
 
 pub mod ablations;
+pub mod alerts;
 pub mod cache;
 pub mod compression;
 pub mod fig10;

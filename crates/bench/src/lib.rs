@@ -21,6 +21,8 @@
 //! | Query pushdown study (dcdb-query)        | [`experiments::query`] | `query` |
 //! | Hot-block cache study (dcdb-store)       | [`experiments::cache`] | `cache` |
 //! | Background-maintenance study (dcdb-store) | [`experiments::maintenance`] | `maintenance` |
+//! | Observability-overhead study (dcdb-obs)  | [`experiments::obs`] | `obs` |
+//! | Alert-engine-overhead study (dcdb-core)  | [`experiments::alerts`] | `alerts` |
 
 pub mod experiments;
 pub mod kde;

@@ -61,6 +61,9 @@ pub struct CollectAgent {
     handle_ns: Arc<Histogram>,
     /// Shared timing toggle from the cluster registry.
     timing: Arc<AtomicBool>,
+    /// The installed alert engine (propagated into every
+    /// [`CollectAgent::sensor_db`] handle so REST surfaces see it).
+    alerts: RwLock<Option<Arc<dcdb_core::alerts::AlertEngine>>>,
 }
 
 impl CollectAgent {
@@ -92,7 +95,65 @@ impl CollectAgent {
             query_threads: std::sync::atomic::AtomicUsize::new(0),
             handle_ns,
             timing,
+            alerts: RwLock::new(None),
         })
+    }
+
+    /// Install an alert engine: it gets the cluster's event journal, joins
+    /// its counters to the metrics registry, evaluates every stored batch
+    /// on the ingest path (batched, so the per-reading cost is a condition
+    /// check and a state-machine step), and rides along on every
+    /// [`CollectAgent::sensor_db`] handle (so `/alerts` and the `ALERTS`
+    /// exposition block serve it).  Periodic evaluation (staleness and
+    /// query-based rules) additionally needs
+    /// [`CollectAgent::start_alert_ticker`].
+    pub fn install_alert_engine(self: &Arc<Self>, engine: Arc<dcdb_core::alerts::AlertEngine>) {
+        engine.set_journal(self.store.metrics().events());
+        engine.register_metrics(self.store.metrics());
+        *self.alerts.write() = Some(engine);
+    }
+
+    /// The installed alert engine, if any.
+    pub fn alert_engine(&self) -> Option<Arc<dcdb_core::alerts::AlertEngine>> {
+        self.alerts.read().clone()
+    }
+
+    /// Start the periodic alert evaluation loop: every `interval` the
+    /// engine's [`tick`](dcdb_core::alerts::AlertEngine::tick) runs against
+    /// a [`CollectAgent::sensor_db`] handle, driving absence/staleness
+    /// detection and query-based rules.  Same lifecycle as
+    /// [`CollectAgent::start_self_monitor`]: the thread holds a [`Weak`]
+    /// agent reference and stops when the returned guard drops.
+    pub fn start_alert_ticker(self: &Arc<Self>, interval: Duration) -> SelfMonitor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak: Weak<CollectAgent> = Arc::downgrade(self);
+        let stop_t = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dcdb-alert-ticker".into())
+            .spawn(move || {
+                let slice = interval.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    std::thread::sleep(slice);
+                    if stop_t.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    elapsed += slice;
+                    if elapsed < interval {
+                        continue;
+                    }
+                    elapsed = Duration::ZERO;
+                    let Some(agent) = weak.upgrade() else { return };
+                    let Some(engine) = agent.alert_engine() else { continue };
+                    let now = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos() as i64)
+                        .unwrap_or(0);
+                    engine.tick(now, Some(&agent.sensor_db()));
+                }
+            })
+            .expect("spawn alert-ticker thread");
+        SelfMonitor { stop, handle: Some(handle) }
     }
 
     /// Handle one publish: topic → SID, payload → readings, write to store.
@@ -131,6 +192,10 @@ impl CollectAgent {
                 // agent ever reading a wall clock on the ingest path
                 self.store.advance_now(last.ts);
                 self.cache.write().insert(topic.to_string(), *last);
+            }
+            if let Some(engine) = self.alerts.read().as_ref() {
+                // batched: filter match + instance lookup once per publish
+                engine.observe_batch(topic, &readings);
             }
             {
                 let observers = self.observers.read();
@@ -181,6 +246,9 @@ impl CollectAgent {
     pub fn sensor_db(&self) -> Arc<dcdb_core::SensorDb> {
         let db = dcdb_core::SensorDb::new(Arc::clone(&self.store), Arc::clone(&self.registry));
         db.set_query_threads(self.query_threads.load(Ordering::Relaxed));
+        if let Some(engine) = self.alerts.read().clone() {
+            db.set_alert_engine(engine);
+        }
         db
     }
 
@@ -294,7 +362,8 @@ impl CollectAgent {
     }
 }
 
-/// Handle on the background self-monitoring loop; stops the thread on drop.
+/// Handle on a background agent loop (self-monitoring or alert ticking);
+/// stops the thread on drop.
 pub struct SelfMonitor {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
@@ -491,6 +560,63 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         monitor.stop();
+    }
+
+    #[test]
+    fn alert_engine_rides_the_ingest_stream() {
+        use dcdb_core::alerts::{AlertCondition, AlertEngine, AlertRule, AlertState};
+        let a = agent();
+        let engine = Arc::new(AlertEngine::new());
+        engine.add_rule(AlertRule::new("hot", "/sys/+/power", AlertCondition::Above(300.0)));
+        a.install_alert_engine(Arc::clone(&engine));
+        // live readings drive the state machine through the observer hook
+        a.handle_publish("/sys/node0/power", &encode_readings(&[(1_000, 250.0)]));
+        assert_eq!(engine.alerts()[0].state, AlertState::Inactive);
+        a.handle_publish("/sys/node0/power", &encode_readings(&[(2_000, 350.0)]));
+        assert_eq!(engine.alerts()[0].state, AlertState::Firing);
+        // the transition landed in the cluster's event journal
+        let journal = a.store().metrics().events();
+        assert!(journal
+            .since(0)
+            .iter()
+            .any(|e| e.kind == dcdb_obs::EventKind::AlertTransition && e.subject == "hot"));
+        // sensor_db handles see the installed engine (REST surfaces)
+        assert!(a.sensor_db().alert_engine().is_some());
+        // the engine's counters joined the registry
+        let snap = a.store().metrics().snapshot();
+        assert_eq!(
+            snap.get("dcdb_alerts_notifications_total"),
+            Some(&dcdb_obs::MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn alert_ticker_drives_absence_detection() {
+        use dcdb_core::alerts::{AlertCondition, AlertEngine, AlertRule, AlertState};
+        let a = agent();
+        let engine = Arc::new(AlertEngine::new());
+        // wall-clock staleness: any sensor silent for 1ms fires
+        engine.add_rule(AlertRule::new(
+            "stale",
+            "/sys/#",
+            AlertCondition::Absent { timeout_ns: 1_000_000 },
+        ));
+        a.install_alert_engine(Arc::clone(&engine));
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as i64)
+            .unwrap();
+        a.handle_publish("/sys/node0/power", &encode_readings(&[(now, 1.0)]));
+        let ticker = a.start_alert_ticker(Duration::from_millis(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if engine.alerts().first().map(|s| s.state) == Some(AlertState::Firing) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "absence alert never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        ticker.stop();
     }
 
     #[test]

@@ -16,9 +16,14 @@
 //!   under a `groups` array,
 //! * `GET /stats` — agent counters, plus the storage read-path counters
 //!   (blocks decoded/corrupt and the decoded-block cache's
-//!   capacity/used/hit/miss/eviction numbers) and the write-path
+//!   capacity/used/hit/miss/eviction numbers), the write-path
 //!   maintenance counters (flushes, compactions, coalesced merges, pending
-//!   flush backlog, write stalls and the age of the most recent flush).
+//!   flush backlog, write stalls and the age of the most recent flush),
+//!   latency quantiles (p50/p90/p99) and the alert engine's posture,
+//! * `GET /alerts` — alert instances and engine totals,
+//! * `GET /events?since=<seq>` — the structured event journal,
+//! * `GET /debug/slow_queries` — the slow-query ring with full span trees,
+//! * `GET /metrics` — the Prometheus exposition, `ALERTS{}` included.
 //!
 //! `/aggregate` builds a typed `QueryRequest` and runs it through
 //! `SensorDb::execute` — the same execution path as libDCDB, Grafana and
@@ -151,8 +156,22 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
     r.add(Method::Get, "/metrics", move |_req| {
         // Prometheus text exposition of the cluster registry: node latency
         // histograms, query stages, cache/maintenance counters and the
-        // agent's own ingest counters — the same numbers `/stats` reports
-        Response::text(a.store().metrics().render_prometheus())
+        // agent's own ingest counters — the same numbers `/stats` reports —
+        // plus the ALERTS block when an alert engine is installed
+        dcdb_core::grafana::metrics_response(&a.sensor_db())
+    });
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/alerts", move |_req| dcdb_core::grafana::alerts_response(&a.sensor_db()));
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/events", move |req| {
+        dcdb_core::grafana::events_response(&a.sensor_db(), req)
+    });
+
+    let a = Arc::clone(&agent);
+    r.add(Method::Get, "/debug/slow_queries", move |_req| {
+        dcdb_core::grafana::slow_queries_response(&a.sensor_db())
     });
 
     let a = Arc::clone(&agent);
@@ -206,13 +225,41 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
             // numbers `/metrics` exposes, mirrored here structurally
             ("queryRequests", Json::Num(scalar("dcdb_query_requests_total"))),
             ("ingestHandleNsP50", Json::Num(histo("dcdb_ingest_handle_ns", 0.5))),
+            ("ingestHandleNsP90", Json::Num(histo("dcdb_ingest_handle_ns", 0.9))),
             ("ingestHandleNsP99", Json::Num(histo("dcdb_ingest_handle_ns", 0.99))),
+            ("insertLatencyNsP90", Json::Num(histo("dcdb_insert_latency_ns", 0.9))),
             ("insertLatencyNsP99", Json::Num(histo("dcdb_insert_latency_ns", 0.99))),
+            ("flushNsP90", Json::Num(histo("dcdb_flush_ns", 0.9))),
             ("flushNsP99", Json::Num(histo("dcdb_flush_ns", 0.99))),
+            // the alert engine's posture, compact (full detail on /alerts)
+            ("alerts", alerts_block(&a)),
+            // the event journal's high-water marks (full detail on /events)
+            ("eventsTotal", Json::Num(scalar("dcdb_events_total"))),
+            ("eventsDropped", Json::Num(scalar("dcdb_events_dropped_total"))),
         ]))
     });
 
     r
+}
+
+/// The `alerts` object on `/stats`: engine posture without the per-instance
+/// detail (`null`-free; all zeros when no engine is installed).
+fn alerts_block(agent: &CollectAgent) -> Json {
+    let (rules, active, notifications, transitions) = match agent.alert_engine() {
+        Some(e) => (
+            e.rules().len() as f64,
+            e.active_count() as f64,
+            e.notifications() as f64,
+            e.transitions() as f64,
+        ),
+        None => (0.0, 0.0, 0.0, 0.0),
+    };
+    Json::obj([
+        ("rules", Json::Num(rules)),
+        ("active", Json::Num(active)),
+        ("notifications", Json::Num(notifications)),
+        ("transitions", Json::Num(transitions)),
+    ])
 }
 
 /// Serve the REST API on `bind`.
@@ -381,7 +428,8 @@ mod tests {
         };
         let resp = h(&req);
         assert_eq!(resp.status.code(), 200);
-        assert_eq!(resp.content_type, "text/plain");
+        // the Prometheus exposition format version, negotiated by scrapers
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
         let text = String::from_utf8(resp.body).unwrap();
         // core families across every layer
         for family in [
@@ -401,6 +449,83 @@ mod tests {
         assert_eq!(j.get("messages").unwrap().as_f64(), Some(1.0));
         assert_eq!(j.get("queryRequests").unwrap().as_f64(), Some(1.0));
         assert!(j.get("ingestHandleNsP99").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn alert_endpoints_surface_engine_and_journal() {
+        use dcdb_core::alerts::{AlertCondition, AlertEngine, AlertRule};
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        let engine = Arc::new(AlertEngine::with_rules(vec![AlertRule::new(
+            "hot",
+            "/r0/n0/power",
+            AlertCondition::Above(100.0),
+        )]));
+        agent.install_alert_engine(Arc::clone(&engine));
+        let h = router(Arc::clone(&agent)).into_handler();
+
+        agent.handle_publish("/r0/n0/power", &encode_readings(&[(1_000, 250.0)]));
+        let (code, j) = get(&h, "/alerts", &[]);
+        assert_eq!(code, 200);
+        let alerts = j.get("alerts").unwrap().as_arr().unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("rule").unwrap().as_str(), Some("hot"));
+        assert_eq!(alerts[0].get("state").unwrap().as_str(), Some("firing"));
+
+        // the transition was journaled and pages by sequence number
+        let (code, j) = get(&h, "/events", &[]);
+        assert_eq!(code, 200);
+        let events = j.get("events").unwrap().as_arr().unwrap();
+        assert!(
+            events.iter().any(|e| e.get("kind").unwrap().as_str() == Some("alert_transition")),
+            "journal should carry the alert transition"
+        );
+        let last = j.get("lastSeq").unwrap().as_f64().unwrap();
+        let (_, after) = get(&h, "/events", &[("since", &format!("{last}"))]);
+        assert!(after.get("events").unwrap().as_arr().unwrap().is_empty());
+
+        // /stats folds in the engine posture and journal totals
+        let (code, j) = get(&h, "/stats", &[]);
+        assert_eq!(code, 200);
+        let block = j.get("alerts").unwrap();
+        assert_eq!(block.get("rules").unwrap().as_f64(), Some(1.0));
+        assert_eq!(block.get("active").unwrap().as_f64(), Some(1.0));
+        assert!(block.get("notifications").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(j.get("eventsTotal").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(j.get("eventsDropped").unwrap().as_f64(), Some(0.0));
+        for p90 in ["ingestHandleNsP90", "insertLatencyNsP90", "flushNsP90"] {
+            assert!(j.get(p90).unwrap().as_f64().is_some(), "missing {p90}");
+        }
+
+        // ALERTS{} rides the shared Prometheus exposition
+        let req = dcdb_http::server::Request {
+            method: Method::Get,
+            path: "/metrics".to_string(),
+            query: HashMap::new(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        let text = String::from_utf8(h(&req).body).unwrap();
+        assert!(text.contains(r#"ALERTS{alertname="hot",state="firing""#), "{text}");
+    }
+
+    #[test]
+    fn slow_query_endpoint_captures_offenders() {
+        let agent = CollectAgent::new(Arc::new(StoreCluster::single()));
+        let readings: Vec<(i64, f64)> = (0..100).map(|i| (i * 1_000_000_000, 1.0)).collect();
+        agent.handle_publish("/r0/n0/power", &encode_readings(&readings));
+        agent.sensor_db().slow_queries().set_threshold_ns(1);
+        let h = router(Arc::clone(&agent)).into_handler();
+        let q = [("topic", "/r0/n0/power"), ("agg", "avg"), ("window", "60s")];
+        assert_eq!(get(&h, "/aggregate", &q).0, 200);
+        let (code, j) = get(&h, "/debug/slow_queries", &[]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("thresholdNs").unwrap().as_f64(), Some(1.0));
+        let queries = j.get("queries").unwrap().as_arr().unwrap();
+        assert!(!queries.is_empty(), "1 ns threshold catches every query");
+        let entry = queries.last().unwrap();
+        assert!(entry.get("totalNs").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(entry.get("trace").unwrap().get("stage").unwrap().as_str(), Some("execute"));
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct SensorDb {
     /// Query-path instruments, resolved once from the cluster's registry so
     /// `execute` never takes the registry lock.
     instruments: QueryInstruments,
+    /// The alert engine serving `/alerts` and the `ALERTS` exposition, when
+    /// one is installed.
+    alerts: RwLock<Option<Arc<crate::alerts::AlertEngine>>>,
 }
 
 /// Leaf instruments for the query path.  Like `NodeInstruments` these are
@@ -81,6 +84,9 @@ struct QueryInstruments {
     plan_ns: Arc<dcdb_obs::Histogram>,
     fold_ns: Arc<dcdb_obs::Histogram>,
     finalize_ns: Arc<dcdb_obs::Histogram>,
+    /// The cluster's slow-query ring: when armed, any request over the
+    /// threshold leaves its full span tree here.
+    slow: Arc<dcdb_obs::SlowQueryLog>,
 }
 
 impl QueryInstruments {
@@ -91,6 +97,7 @@ impl QueryInstruments {
             plan_ns: reg.histogram("dcdb_query_stage_ns{stage=\"plan\"}"),
             fold_ns: reg.histogram("dcdb_query_stage_ns{stage=\"fold\"}"),
             finalize_ns: reg.histogram("dcdb_query_stage_ns{stage=\"finalize\"}"),
+            slow: reg.slow_queries(),
         }
     }
 
@@ -136,6 +143,7 @@ impl SensorDb {
             virtuals: RwLock::new(HashMap::new()),
             query_threads: AtomicUsize::new(0),
             instruments,
+            alerts: RwLock::new(None),
         })
     }
 
@@ -157,6 +165,33 @@ impl SensorDb {
     /// The cluster's metrics registry (scraped by `/metrics`).
     pub fn metrics(&self) -> &Arc<Registry> {
         self.store.metrics()
+    }
+
+    /// Install an alert engine on this handle: the engine gets the
+    /// cluster's event journal, joins its counters to the metrics registry,
+    /// and becomes visible to the REST surfaces (`/alerts`, the `ALERTS`
+    /// exposition block).
+    pub fn set_alert_engine(&self, engine: Arc<crate::alerts::AlertEngine>) {
+        engine.set_journal(self.store.metrics().events());
+        engine.register_metrics(self.store.metrics());
+        *self.alerts.write() = Some(engine);
+    }
+
+    /// The installed alert engine, if any.
+    pub fn alert_engine(&self) -> Option<Arc<crate::alerts::AlertEngine>> {
+        self.alerts.read().clone()
+    }
+
+    /// The cluster's event journal (`GET /events`).
+    pub fn events(&self) -> Arc<dcdb_obs::EventJournal> {
+        self.store.metrics().events()
+    }
+
+    /// The cluster's slow-query log (`GET /debug/slow_queries`).  Arm it
+    /// with [`dcdb_obs::SlowQueryLog::set_threshold_ns`]; queries slower
+    /// than the threshold leave their full trace-span tree in the ring.
+    pub fn slow_queries(&self) -> Arc<dcdb_obs::SlowQueryLog> {
+        self.instruments.slow.clone()
     }
 
     /// Fold the current metrics scrape into synthetic readings under the
@@ -374,8 +409,12 @@ impl SensorDb {
         self.instruments.requests.inc();
         let timed = self.instruments.timing_enabled();
         let traced = req.trace;
-        let t_total = (timed || traced).then(Instant::now);
-        let counters = traced.then(|| CounterBase::capture(&self.store));
+        // an armed slow-query log captures the same span tree a traced
+        // request would, so any offender can land in the ring complete
+        let slow_threshold = self.instruments.slow.threshold_ns();
+        let capture = traced || slow_threshold > 0;
+        let t_total = (timed || capture).then(Instant::now);
+        let counters = capture.then(|| CounterBase::capture(&self.store));
         let norm = dcdb_sid::topic::normalize(&req.target);
 
         // virtual sensors live outside the physical hierarchy; only exact
@@ -384,7 +423,7 @@ impl SensorDb {
             if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
                 let mut response = self.execute_virtual(&vs, &norm, req)?;
                 finalize(&mut response, req);
-                if traced {
+                if capture {
                     let mut root = TraceSpan::new("execute");
                     root.wall_ns = t_total.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
                     let mut virt = TraceSpan::new("virtual");
@@ -393,14 +432,23 @@ impl SensorDb {
                     if let Some(base) = &counters {
                         base.attach_deltas(&mut root, &self.store);
                     }
-                    response.trace = Some(root);
+                    if slow_threshold > 0 && root.wall_ns >= slow_threshold {
+                        self.instruments.slow.record(
+                            root.wall_ns,
+                            summarize_request(req),
+                            root.clone(),
+                        );
+                    }
+                    if traced {
+                        response.trace = Some(root);
+                    }
                 }
                 return Ok(response);
             }
         }
 
         // plan: resolve the target(s) against the topic registry
-        let t_plan = (timed || traced).then(Instant::now);
+        let t_plan = (timed || capture).then(Instant::now);
         let targets: Vec<(String, SensorId)> = match req.mode {
             TargetMode::Exact => match self.registry.get(&norm) {
                 Some(sid) => vec![(norm.clone(), sid)],
@@ -416,20 +464,20 @@ impl SensorDb {
         let plan_ns = t_plan.map(|t| t.elapsed().as_nanos() as u64);
 
         // fold: fetch + aggregate (the engine fan-in for windowed requests)
-        let t_fold = (timed || traced).then(Instant::now);
+        let t_fold = (timed || capture).then(Instant::now);
         let (mut response, engine_span) = match req.agg {
             None => (self.run_raw(&norm, targets, req), None),
             Some(agg) => {
                 let groups = partition(&norm, targets, req.group_by);
                 match req.window_ns {
-                    Some(window_ns) => self.run_windowed(groups, req, agg, window_ns, traced)?,
+                    Some(window_ns) => self.run_windowed(groups, req, agg, window_ns, capture)?,
                     None => (self.run_interpolated(groups, req, agg)?, None),
                 }
             }
         };
         let fold_ns = t_fold.map(|t| t.elapsed().as_nanos() as u64);
 
-        let t_finalize = (timed || traced).then(Instant::now);
+        let t_finalize = (timed || capture).then(Instant::now);
         finalize(&mut response, req);
         let finalize_ns = t_finalize.map(|t| t.elapsed().as_nanos() as u64);
 
@@ -438,7 +486,7 @@ impl SensorDb {
             self.instruments.fold_ns.observe(fold_ns.unwrap_or(0));
             self.instruments.finalize_ns.observe(finalize_ns.unwrap_or(0));
         }
-        if traced {
+        if capture {
             let mut root = TraceSpan::new("execute");
             root.wall_ns = t_total.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
             root.put("sensors", resolved as u64);
@@ -466,7 +514,12 @@ impl SensorDb {
             let mut fin = TraceSpan::new("finalize");
             fin.wall_ns = finalize_ns.unwrap_or(0);
             root.push_child(fin);
-            response.trace = Some(root);
+            if slow_threshold > 0 && root.wall_ns >= slow_threshold {
+                self.instruments.slow.record(root.wall_ns, summarize_request(req), root.clone());
+            }
+            if traced {
+                response.trace = Some(root);
+            }
         }
         Ok(response)
     }
@@ -631,6 +684,29 @@ impl SensorDb {
         };
         Ok(QueryResponse { series: vec![out], trace: None })
     }
+}
+
+/// One-line request description for the slow-query log (`target`, mode,
+/// aggregation, window, grouping, range).
+fn summarize_request(req: &QueryRequest) -> String {
+    use std::fmt::Write as _;
+    let mode = match req.mode {
+        TargetMode::Exact => "topic",
+        TargetMode::Auto => "auto",
+        TargetMode::Subtree => "subtree",
+    };
+    let mut s = format!("{mode}={}", req.target);
+    if let Some(agg) = req.agg {
+        let _ = write!(s, " agg={agg}");
+        if let Some(w) = req.window_ns {
+            let _ = write!(s, " window_ns={w}");
+        }
+    }
+    if let Some(level) = req.group_by {
+        let _ = write!(s, " group_by={level}");
+    }
+    let _ = write!(s, " range=[{}, {})", req.range.start, req.range.end);
+    s
 }
 
 /// Flatten a metric name (possibly with a baked-in label set) into one
@@ -1218,6 +1294,47 @@ mod tests {
             .into_single();
         assert_eq!(reqs.readings.len(), 2);
         assert!(reqs.readings[1].value > reqs.readings[0].value);
+    }
+
+    #[test]
+    fn slow_query_log_captures_offenders_with_span_trees() {
+        let db = two_rack_db();
+        let req = QueryRequest::new("/sys")
+            .range(TimeRange::new(0, 60_000_000_000))
+            .aggregate(AggFn::Avg, 10_000_000_000)
+            .group_by(2);
+        // disarmed: nothing is captured, results identical
+        let plain = db.execute(&req).unwrap();
+        assert!(db.slow_queries().is_empty());
+        // a 1ns threshold makes every query an offender
+        db.slow_queries().set_threshold_ns(1);
+        let slow = db.execute(&req).unwrap();
+        assert_eq!(slow.series, plain.series, "capture must not change results");
+        assert!(slow.trace.is_none(), "slow capture is not a trace request");
+        let entries = db.slow_queries().entries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert!(e.summary.contains("auto=/sys"), "{}", e.summary);
+        assert!(e.summary.contains("agg=avg"), "{}", e.summary);
+        assert!(e.total_ns >= 1);
+        // the captured span tree is the full traced-execute shape
+        assert_eq!(e.trace.stage, "execute");
+        let stages: Vec<&str> = e.trace.children.iter().map(|c| c.stage.as_str()).collect();
+        assert_eq!(stages, ["plan", "engine", "finalize"]);
+        assert!(e.trace.get("blocks_decoded").is_some());
+        // disarming stops capture again
+        db.slow_queries().set_threshold_ns(0);
+        db.execute(&req).unwrap();
+        assert_eq!(db.slow_queries().entries().len(), 1);
+        // virtual-sensor queries are captured too — including the nested
+        // operand query their evaluation runs (it finishes first)
+        db.define_virtual("/v/x", "\"/sys/rack0/node0/power\" * 2", Unit::WATT).unwrap();
+        db.slow_queries().set_threshold_ns(1);
+        db.execute(&QueryRequest::new("/v/x")).unwrap();
+        let entries = db.slow_queries().entries();
+        assert_eq!(entries.len(), 3);
+        assert!(entries[1].summary.contains("/sys/rack0/node0/power"), "{}", entries[1].summary);
+        assert_eq!(entries[2].trace.children[0].stage, "virtual");
     }
 
     #[test]

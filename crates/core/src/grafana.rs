@@ -130,10 +130,16 @@ pub fn router(db: Arc<SensorDb>) -> Router {
     });
 
     let d = Arc::clone(&db);
-    r.add(Method::Get, "/metrics", move |_req| {
-        // Prometheus text exposition of the cluster's whole registry
-        Response::text(d.metrics().render_prometheus())
-    });
+    r.add(Method::Get, "/metrics", move |_req| metrics_response(&d));
+
+    let d = Arc::clone(&db);
+    r.add(Method::Get, "/alerts", move |_req| alerts_response(&d));
+
+    let d = Arc::clone(&db);
+    r.add(Method::Get, "/events", move |req| events_response(&d, req));
+
+    let d = Arc::clone(&db);
+    r.add(Method::Get, "/debug/slow_queries", move |_req| slow_queries_response(&d));
 
     let d = Arc::clone(&db);
     r.add(Method::Get, "/stats", move |req| {
@@ -157,6 +163,113 @@ pub fn router(db: Arc<SensorDb>) -> Router {
     });
 
     r
+}
+
+/// `GET /metrics`: the Prometheus text exposition of the cluster's whole
+/// registry, with the `ALERTS{alertname=...,state=...}` block appended
+/// when an alert engine is installed.  Served with the exposition-format
+/// content type (`text/plain; version=0.0.4`) so scrapers negotiate it.
+///
+/// Shared by the Grafana router and the Collect Agent's REST API.
+pub fn metrics_response(db: &SensorDb) -> Response {
+    let mut text = db.metrics().render_prometheus();
+    if let Some(engine) = db.alert_engine() {
+        text.push_str(&engine.render_prometheus());
+    }
+    Response::prometheus(text)
+}
+
+/// `GET /alerts`: every known alert instance as JSON, plus engine totals.
+/// Empty-but-valid when no engine is installed.
+pub fn alerts_response(db: &SensorDb) -> Response {
+    let (alerts, notifications, transitions) = match db.alert_engine() {
+        Some(engine) => (engine.alerts(), engine.notifications(), engine.transitions()),
+        None => (Vec::new(), 0, 0),
+    };
+    let arr: Vec<Json> = alerts
+        .iter()
+        .map(|a| {
+            Json::obj([
+                ("rule", Json::str(a.rule.clone())),
+                ("topic", Json::str(a.topic.clone())),
+                ("state", Json::str(a.state.as_str())),
+                ("sinceNs", Json::Num(a.since_ns as f64)),
+                ("value", Json::Num(a.value)),
+                ("message", Json::str(a.message.clone())),
+                ("notifications", Json::Num(a.notifications as f64)),
+            ])
+        })
+        .collect();
+    Response::json(&Json::obj([
+        ("alerts", Json::Arr(arr)),
+        ("notifications", Json::Num(notifications as f64)),
+        ("transitions", Json::Num(transitions as f64)),
+    ]))
+}
+
+/// `GET /events?since=<seq>`: the structured event journal, strictly after
+/// `since` (0 = everything still buffered).  Clients page by passing the
+/// `lastSeq` they saw; `dropped` counts events lost to ring overflow.
+pub fn events_response(db: &SensorDb, req: &dcdb_http::server::Request) -> Response {
+    let journal = db.events();
+    let since = req.query_parsed("since", 0u64);
+    let events: Vec<Json> = journal
+        .since(since)
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("seq", Json::Num(e.seq as f64)),
+                ("tsNs", Json::Num(e.ts_unix_ns as f64)),
+                ("kind", Json::str(e.kind.as_str())),
+                ("severity", Json::str(e.severity.as_str())),
+                ("subject", Json::str(e.subject.clone())),
+                ("message", Json::str(e.message.clone())),
+            ])
+        })
+        .collect();
+    Response::json(&Json::obj([
+        ("events", Json::Arr(events)),
+        ("lastSeq", Json::Num(journal.last_seq() as f64)),
+        ("dropped", Json::Num(journal.dropped() as f64)),
+    ]))
+}
+
+/// `GET /debug/slow_queries`: the last offenders over the slow-query
+/// threshold, each with its full trace-span tree (nested JSON) and the
+/// human-readable rendering `dcdbquery --trace` prints.
+pub fn slow_queries_response(db: &SensorDb) -> Response {
+    let log = db.slow_queries();
+    let queries: Vec<Json> = log
+        .entries()
+        .iter()
+        .map(|q| {
+            Json::obj([
+                ("seq", Json::Num(q.seq as f64)),
+                ("tsNs", Json::Num(q.ts_unix_ns as f64)),
+                ("totalNs", Json::Num(q.total_ns as f64)),
+                ("summary", Json::str(q.summary.clone())),
+                ("trace", trace_json(&q.trace)),
+                ("rendered", Json::str(q.trace.render())),
+            ])
+        })
+        .collect();
+    Response::json(&Json::obj([
+        ("thresholdNs", Json::Num(log.threshold_ns() as f64)),
+        ("captured", Json::Num(log.total_captured() as f64)),
+        ("queries", Json::Arr(queries)),
+    ]))
+}
+
+/// A trace-span tree as nested JSON.
+fn trace_json(span: &dcdb_obs::TraceSpan) -> Json {
+    let meta: Vec<(String, Json)> =
+        span.meta.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect();
+    Json::obj([
+        ("stage", Json::str(span.stage.clone())),
+        ("wallNs", Json::Num(span.wall_ns as f64)),
+        ("meta", Json::Obj(meta.into_iter().collect())),
+        ("children", Json::Arr(span.children.iter().map(trace_json).collect())),
+    ])
 }
 
 /// One series as a Grafana data-source object; raw series downsample to
@@ -433,12 +546,108 @@ mod tests {
         };
         let resp = h(&req);
         assert_eq!(resp.status.code(), 200);
-        assert_eq!(resp.content_type, "text/plain");
+        // the Prometheus text exposition format version, so scrapers
+        // negotiate the format instead of guessing
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("# TYPE dcdb_inserts_total counter"), "{text}");
         assert!(text.contains("# TYPE dcdb_query_stage_ns summary"), "{text}");
         assert!(text.contains("dcdb_query_stage_ns_count{stage=\"fold\"}"), "{text}");
         assert!(text.contains("dcdb_queries_total"), "{text}");
+    }
+
+    #[test]
+    fn alerts_endpoint_tracks_engine_state() {
+        let (db, h) = handler();
+        // without an engine the endpoint answers an empty-but-valid shape
+        let (code, j) = get(&h, "/alerts", &[]);
+        assert_eq!(code, 200);
+        assert!(j.get("alerts").unwrap().as_arr().unwrap().is_empty());
+        let engine = Arc::new(crate::alerts::AlertEngine::new());
+        engine.add_rule(crate::alerts::AlertRule::new(
+            "hot",
+            "/lrz/sys/+/+/power",
+            crate::alerts::AlertCondition::Above(201.5),
+        ));
+        db.set_alert_engine(Arc::clone(&engine));
+        engine.observe("/lrz/sys/rack0/node2/power", 1_000, 202.0);
+        let (code, j) = get(&h, "/alerts", &[]);
+        assert_eq!(code, 200);
+        let alerts = j.get("alerts").unwrap().as_arr().unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("rule").unwrap().as_str(), Some("hot"));
+        assert_eq!(alerts[0].get("state").unwrap().as_str(), Some("firing"));
+        assert_eq!(alerts[0].get("topic").unwrap().as_str(), Some("/lrz/sys/rack0/node2/power"));
+        assert_eq!(j.get("notifications").unwrap().as_f64(), Some(1.0));
+        // and the firing instance shows up in the /metrics exposition
+        let (_, _) = get(&h, "/metrics", &[]);
+        let req = Request {
+            method: Method::Get,
+            path: "/metrics".to_string(),
+            query: HashMap::new(),
+            params: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        let text = String::from_utf8(h(&req).body).unwrap();
+        assert!(text.contains("ALERTS{alertname=\"hot\",state=\"firing\""), "{text}");
+        assert!(text.contains("dcdb_alerts_notifications_total 1"), "{text}");
+    }
+
+    #[test]
+    fn events_endpoint_pages_by_sequence() {
+        let (db, h) = handler();
+        let journal = db.events();
+        journal.record(
+            dcdb_obs::EventKind::ConfigChange,
+            dcdb_obs::Severity::Info,
+            "test",
+            "first",
+        );
+        journal.record(
+            dcdb_obs::EventKind::BackpressureStall,
+            dcdb_obs::Severity::Warning,
+            "store",
+            "second",
+        );
+        let (code, j) = get(&h, "/events", &[]);
+        assert_eq!(code, 200);
+        let events = j.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("config_change"));
+        assert_eq!(events[1].get("severity").unwrap().as_str(), Some("warning"));
+        let last = j.get("lastSeq").unwrap().as_f64().unwrap();
+        // paging from the first event's seq returns only the second
+        let first_seq = events[0].get("seq").unwrap().as_f64().unwrap();
+        let (_, j) = get(&h, "/events", &[("since", &format!("{first_seq}"))]);
+        let events = j.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("message").unwrap().as_str(), Some("second"));
+        // and from the last seq, nothing
+        let (_, j) = get(&h, "/events", &[("since", &format!("{last}"))]);
+        assert!(j.get("events").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn slow_queries_endpoint_exposes_span_trees() {
+        let (db, h) = handler();
+        let (code, j) = get(&h, "/debug/slow_queries", &[]);
+        assert_eq!(code, 200);
+        assert_eq!(j.get("thresholdNs").unwrap().as_f64(), Some(0.0));
+        assert!(j.get("queries").unwrap().as_arr().unwrap().is_empty());
+        db.slow_queries().set_threshold_ns(1);
+        db.query_aggregate("/lrz/sys/rack0", TimeRange::all(), 10_000_000, dcdb_query::AggFn::Avg)
+            .unwrap();
+        let (_, j) = get(&h, "/debug/slow_queries", &[]);
+        let queries = j.get("queries").unwrap().as_arr().unwrap();
+        assert_eq!(queries.len(), 1);
+        let q = &queries[0];
+        assert!(q.get("summary").unwrap().as_str().unwrap().contains("/lrz/sys/rack0"));
+        let trace = q.get("trace").unwrap();
+        assert_eq!(trace.get("stage").unwrap().as_str(), Some("execute"));
+        let children = trace.get("children").unwrap().as_arr().unwrap();
+        assert_eq!(children[0].get("stage").unwrap().as_str(), Some("plan"));
+        assert!(q.get("rendered").unwrap().as_str().unwrap().contains("execute"));
     }
 
     #[test]

@@ -22,8 +22,13 @@
 //!   over sensors, with unit conversion, interpolation and write-back
 //!   caching of results (§3.2),
 //! * [`grafana`] — the hierarchy-aware data-source API backing the Grafana
-//!   integration (§5.4, Fig. 3).
+//!   integration (§5.4, Fig. 3),
+//! * [`alerts`] — the declarative alert rule engine: threshold, rate,
+//!   z-score and absence conditions over sensor topics, with a full
+//!   `inactive → pending → firing → resolved` state machine, evaluated on
+//!   the live ingest stream and periodically against [`api::SensorDb`].
 
+pub mod alerts;
 pub mod api;
 pub mod grafana;
 pub mod interp;
@@ -32,6 +37,7 @@ pub mod request;
 pub mod units;
 pub mod vsensor;
 
+pub use alerts::{AlertCondition, AlertEngine, AlertRule, AlertState, AlertStatus};
 pub use api::{SensorDb, SensorMeta, Series};
 pub use request::{
     GroupSeries, QueryError, QueryRequest, QueryResponse, SeriesOrder, TargetMode, UnitMode,

@@ -1,0 +1,115 @@
+//! Alert state-machine properties.
+//!
+//! 1. **No skipped states**: with `for_ns > 0` the machine never jumps
+//!    straight to `firing` — every `Firing` transition leaves `pending`,
+//!    and every transition obeys the documented legality table.
+//! 2. **Resolution is unconditional**: from `firing`, the first step with
+//!    the condition clear always yields `Resolved` — no hysteresis, no
+//!    renotify interval, no `for`-duration can suppress it.
+//! 3. **Deterministic replay**: the same `(ts, active)` sequence on a
+//!    fresh machine reproduces the exact transition trace, so journalled
+//!    alert histories can be re-derived from raw sensor data.
+
+use dcdb_core::alerts::{AlertState, StateMachine, Transition};
+use proptest::prelude::*;
+
+/// A monotone evaluation schedule: strictly increasing timestamps with
+/// irregular gaps (sensors report unevenly), each paired with whether the
+/// rule condition held.
+fn schedule() -> impl Strategy<Value = Vec<(i64, bool)>> {
+    prop::collection::vec((1i64..5_000_000_000, any::<bool>()), 1..200).prop_map(|steps| {
+        let mut ts = 0i64;
+        steps
+            .into_iter()
+            .map(|(dt, active)| {
+                ts += dt;
+                (ts, active)
+            })
+            .collect()
+    })
+}
+
+fn params() -> impl Strategy<Value = (i64, i64)> {
+    // for_ns / renotify_ns: zero (disabled) or in the same range as the
+    // schedule's gaps, so both "held long enough" and "cleared early"
+    // paths are exercised.
+    (prop_oneof![Just(0i64), 1i64..10_000_000_000], prop_oneof![Just(0i64), 1i64..10_000_000_000])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transitions_never_skip_states((for_ns, renotify_ns) in params(), steps in schedule()) {
+        let mut sm = StateMachine::new();
+        for &(ts, active) in &steps {
+            let before = sm.state();
+            let taken = sm.step(ts, active, for_ns, renotify_ns);
+            let after = sm.state();
+            match taken {
+                Some(Transition::Pending) => {
+                    prop_assert!(for_ns > 0, "pending only exists with a for-duration");
+                    prop_assert!(matches!(before, AlertState::Inactive | AlertState::Resolved));
+                    prop_assert_eq!(after, AlertState::Pending);
+                }
+                Some(Transition::Firing) => {
+                    // the core property: for > 0 forces the pending stop
+                    if for_ns > 0 {
+                        prop_assert_eq!(before, AlertState::Pending);
+                    } else {
+                        prop_assert!(matches!(
+                            before,
+                            AlertState::Inactive | AlertState::Resolved
+                        ));
+                    }
+                    prop_assert_eq!(after, AlertState::Firing);
+                }
+                Some(Transition::Renotify) => {
+                    prop_assert!(renotify_ns > 0);
+                    prop_assert_eq!(before, AlertState::Firing);
+                    prop_assert_eq!(after, AlertState::Firing);
+                }
+                Some(Transition::Resolved) => {
+                    prop_assert_eq!(before, AlertState::Firing);
+                    prop_assert_eq!(after, AlertState::Resolved);
+                }
+                Some(Transition::Reset) => {
+                    prop_assert!(matches!(
+                        before,
+                        AlertState::Pending | AlertState::Resolved
+                    ));
+                    prop_assert_eq!(after, AlertState::Inactive);
+                }
+                None => prop_assert_eq!(before, after, "no transition, no state change"),
+            }
+        }
+    }
+
+    #[test]
+    fn firing_always_resolves_when_condition_clears(
+        (for_ns, renotify_ns) in params(),
+        steps in schedule(),
+    ) {
+        let mut sm = StateMachine::new();
+        for &(ts, active) in &steps {
+            let was_firing = sm.state() == AlertState::Firing;
+            let taken = sm.step(ts, active, for_ns, renotify_ns);
+            if was_firing && !active {
+                prop_assert_eq!(taken, Some(Transition::Resolved));
+                prop_assert_eq!(sm.state(), AlertState::Resolved);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic((for_ns, renotify_ns) in params(), steps in schedule()) {
+        let mut a = StateMachine::new();
+        let mut b = StateMachine::new();
+        for &(ts, active) in &steps {
+            let ta = a.step(ts, active, for_ns, renotify_ns);
+            let tb = b.step(ts, active, for_ns, renotify_ns);
+            prop_assert_eq!(ta, tb);
+            prop_assert_eq!(a.state(), b.state());
+        }
+    }
+}

@@ -143,6 +143,16 @@ impl Response {
         Response { status: StatusCode::Ok, content_type: "text/plain", body: s.into().into_bytes() }
     }
 
+    /// 200 with the Prometheus text exposition format content type
+    /// (`text/plain; version=0.0.4`, what scrapers negotiate on).
+    pub fn prometheus(s: impl Into<String>) -> Response {
+        Response {
+            status: StatusCode::Ok,
+            content_type: PROMETHEUS_CONTENT_TYPE,
+            body: s.into().into_bytes(),
+        }
+    }
+
     /// An error response with a JSON `{"error": ...}` body.
     pub fn error(status: StatusCode, message: &str) -> Response {
         Response {
@@ -157,6 +167,10 @@ impl Response {
         Response { status: StatusCode::NoContent, content_type: "text/plain", body: Vec::new() }
     }
 }
+
+/// The Prometheus text exposition format `Content-Type` (format
+/// version 0.0.4).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Request handler signature.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;

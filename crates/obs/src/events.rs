@@ -1,0 +1,420 @@
+//! The structured event journal and the slow-query log.
+//!
+//! Metrics (the [`registry`](crate::registry)) answer *how much*; the
+//! journal answers *what happened*.  Every notable state change — an alert
+//! transition, a flush failure, a corrupt block, a backpressure stall, a
+//! config change — is recorded as a typed [`EventRecord`] in a bounded
+//! ring.  Records carry a strictly increasing sequence number, so a poller
+//! (`GET /events?since=<seq>`) can resume exactly where it left off and
+//! detect loss: when the ring overflows, the *oldest* records are dropped
+//! and the drop count is surfaced.
+//!
+//! The [`SlowQueryLog`] is the same idea for the query path: when armed
+//! with a latency threshold, `execute()` deposits the full
+//! [`TraceSpan`] tree of every offending query into a
+//! ring of the last N offenders (`GET /debug/slow_queries`).
+//!
+//! Both rings live on the [`Registry`](crate::Registry) — one per store
+//! cluster — so every layer that can already reach the metrics can reach
+//! the journal without new plumbing.  Writes take a plain mutex: events
+//! are rare by construction (they mark *exceptional* conditions), so the
+//! ring is never on a hot path; the sequence number is assigned inside the
+//! critical section, which is what makes `since()` loss-detection exact.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::TraceSpan;
+
+/// How loud an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Expected state changes (config loaded, alert resolved).
+    Info,
+    /// Degraded but functioning (stall, alert pending/firing).
+    Warning,
+    /// Data at risk (flush failure, corrupt block).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase wire name (`"info"` / `"warning"` / `"error"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// What class of thing happened.  The set is closed on purpose: consumers
+/// (the self-monitor's `events_*` sensors, dashboards keying on `kind`)
+/// rely on a stable, enumerable vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An alert rule instance changed state (pending / firing / resolved).
+    AlertTransition,
+    /// A memtable flush failed.
+    FlushFailed,
+    /// A compaction merge was aborted.
+    CompactionAborted,
+    /// An SSTable block failed checksum/decode.
+    CorruptBlock,
+    /// A writer stalled on the bounded flush backlog.
+    BackpressureStall,
+    /// Runtime configuration changed (rules loaded, thresholds set).
+    ConfigChange,
+}
+
+impl EventKind {
+    /// Snake-case wire name, stable across releases.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::AlertTransition => "alert_transition",
+            EventKind::FlushFailed => "flush_failed",
+            EventKind::CompactionAborted => "compaction_aborted",
+            EventKind::CorruptBlock => "corrupt_block",
+            EventKind::BackpressureStall => "backpressure_stall",
+            EventKind::ConfigChange => "config_change",
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Strictly increasing per journal, never reused.  `since(seq)`
+    /// returns records with a seq **greater** than the argument.
+    pub seq: u64,
+    /// Unix timestamp in nanoseconds at record time.
+    pub ts_unix_ns: i64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Severity.
+    pub severity: Severity,
+    /// What the event is about: a sensor topic, an alert rule name, a
+    /// store-node index — whatever identifies the subject.
+    pub subject: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+struct JournalInner {
+    buf: VecDeque<EventRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded ring of [`EventRecord`]s with exact resume semantics.
+pub struct EventJournal {
+    capacity: usize,
+    /// Total records ever accepted — mirrored outside the lock so metric
+    /// callbacks can scrape without contending with writers.
+    total: AtomicU64,
+    dropped: AtomicU64,
+    inner: Mutex<JournalInner>,
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("capacity", &self.capacity)
+            .field("total", &self.total_recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> EventJournal {
+        let capacity = capacity.max(1);
+        EventJournal {
+            capacity,
+            total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            inner: Mutex::new(JournalInner {
+                buf: VecDeque::with_capacity(capacity),
+                next_seq: 1,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append one event with the current wall-clock timestamp; returns the
+    /// assigned sequence number.
+    pub fn record(
+        &self,
+        kind: EventKind,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> u64 {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as i64)
+            .unwrap_or(0);
+        self.record_at(ts, kind, severity, subject, message)
+    }
+
+    /// Append one event with an explicit timestamp (deterministic tests,
+    /// replayed streams).  Returns the assigned sequence number.
+    pub fn record_at(
+        &self,
+        ts_unix_ns: i64,
+        kind: EventKind,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> u64 {
+        let mut inner = self.inner.lock().expect("event journal");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.buf.push_back(EventRecord {
+            seq,
+            ts_unix_ns,
+            kind,
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+        });
+        self.total.fetch_add(1, Ordering::Relaxed);
+        seq
+    }
+
+    /// All retained records with `seq > since`, oldest first.  Passing the
+    /// `seq` of the last record seen resumes without duplicates; passing
+    /// `0` returns everything retained.
+    pub fn since(&self, since: u64) -> Vec<EventRecord> {
+        let inner = self.inner.lock().expect("event journal");
+        let start = inner.buf.partition_point(|r| r.seq <= since);
+        inner.buf.iter().skip(start).cloned().collect()
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<EventRecord> {
+        let inner = self.inner.lock().expect("event journal");
+        let skip = inner.buf.len().saturating_sub(n);
+        inner.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event journal").buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever accepted (including since-dropped ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to ring overflow (oldest-first).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Highest sequence number assigned so far (0 = none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().expect("event journal").next_seq - 1
+    }
+}
+
+/// One captured offender in the [`SlowQueryLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// Strictly increasing capture number (shares overflow semantics with
+    /// the journal: oldest entries fall out first).
+    pub seq: u64,
+    /// Unix timestamp in nanoseconds at capture time.
+    pub ts_unix_ns: i64,
+    /// Total query wall time in nanoseconds.
+    pub total_ns: u64,
+    /// One-line description of the request (target, range, aggregation).
+    pub summary: String,
+    /// The full span tree of the offending execution.
+    pub trace: TraceSpan,
+}
+
+struct SlowLogInner {
+    buf: VecDeque<SlowQuery>,
+    next_seq: u64,
+}
+
+/// Ring of the last N queries that exceeded the latency threshold.
+///
+/// Disarmed (`threshold_ns == 0`, the default) it costs one relaxed atomic
+/// load per query; armed, the query path traces every execution and
+/// deposits offenders here.
+pub struct SlowQueryLog {
+    capacity: usize,
+    /// 0 = disarmed.  Relaxed atomic so `execute()` checks it without
+    /// locking.
+    threshold_ns: AtomicU64,
+    inner: Mutex<SlowLogInner>,
+}
+
+impl std::fmt::Debug for SlowQueryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowQueryLog")
+            .field("capacity", &self.capacity)
+            .field("threshold_ns", &self.threshold_ns())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl SlowQueryLog {
+    /// A disarmed log retaining at most `capacity` offenders (min 1).
+    pub fn new(capacity: usize) -> SlowQueryLog {
+        let capacity = capacity.max(1);
+        SlowQueryLog {
+            capacity,
+            threshold_ns: AtomicU64::new(0),
+            inner: Mutex::new(SlowLogInner { buf: VecDeque::with_capacity(capacity), next_seq: 1 }),
+        }
+    }
+
+    /// Maximum offenders retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current latency threshold in nanoseconds (0 = disarmed).
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Arm (non-zero) or disarm (0) the log.
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// True when a threshold is set.
+    pub fn armed(&self) -> bool {
+        self.threshold_ns() > 0
+    }
+
+    /// Deposit one offender (caller has already compared against the
+    /// threshold).  Returns the assigned capture number.
+    pub fn record(&self, total_ns: u64, summary: impl Into<String>, trace: TraceSpan) -> u64 {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as i64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().expect("slow query log");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(SlowQuery {
+            seq,
+            ts_unix_ns: ts,
+            total_ns,
+            summary: summary.into(),
+            trace,
+        });
+        seq
+    }
+
+    /// Retained offenders, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        self.inner.lock().expect("slow query log").buf.iter().cloned().collect()
+    }
+
+    /// Offenders currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("slow query log").buf.len()
+    }
+
+    /// True when no offender has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total offenders ever captured.
+    pub fn total_captured(&self) -> u64 {
+        self.inner.lock().expect("slow query log").next_seq - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqs_are_strictly_increasing_and_since_resumes() {
+        let j = EventJournal::new(8);
+        let a = j.record(EventKind::ConfigChange, Severity::Info, "rules", "loaded");
+        let b = j.record(EventKind::BackpressureStall, Severity::Warning, "node0", "stalled");
+        assert!(b > a);
+        let all = j.since(0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].seq, a);
+        let tail = j.since(a);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, b);
+        assert!(j.since(b).is_empty());
+        assert_eq!(j.last_seq(), b);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first_and_counts() {
+        let j = EventJournal::new(3);
+        for i in 0..5 {
+            j.record_at(i, EventKind::CorruptBlock, Severity::Error, "node0", format!("blk {i}"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.total_recorded(), 5);
+        let kept = j.since(0);
+        assert_eq!(kept.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+        // the two oldest are gone: asking for them returns what's left
+        assert_eq!(j.since(1).len(), 3);
+    }
+
+    #[test]
+    fn recent_returns_tail_in_order() {
+        let j = EventJournal::new(8);
+        for i in 0..4 {
+            j.record_at(i, EventKind::ConfigChange, Severity::Info, "x", format!("{i}"));
+        }
+        let last2 = j.recent(2);
+        assert_eq!(last2.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(j.recent(99).len(), 4);
+    }
+
+    #[test]
+    fn slow_log_arms_and_keeps_last_n() {
+        let log = SlowQueryLog::new(2);
+        assert!(!log.armed());
+        log.set_threshold_ns(1_000);
+        assert!(log.armed());
+        for i in 0..3u64 {
+            log.record(2_000 + i, format!("q{i}"), TraceSpan::new("query"));
+        }
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].summary, "q1");
+        assert_eq!(entries[1].summary, "q2");
+        assert_eq!(log.total_captured(), 3);
+        assert!(entries[1].seq > entries[0].seq);
+    }
+}

@@ -19,6 +19,13 @@
 //!   the very same atomics their legacy accessors read.
 //! * [`trace`] — [`TraceSpan`], the per-query span tree returned by
 //!   `QueryRequest::trace` / `dcdbquery --explain`.
+//! * [`events`] — the structured [`EventJournal`] (typed, sequence-numbered
+//!   ring of notable state changes: alert transitions, flush failures,
+//!   corrupt blocks, stalls, config changes; `GET /events?since=<seq>`)
+//!   and the [`SlowQueryLog`] (ring of the last N queries over a latency
+//!   threshold, full span tree attached; `GET /debug/slow_queries`).
+//!   Both are anchored on the [`Registry`] so every layer that reaches the
+//!   metrics reaches them too.
 //!
 //! No dependencies beyond `std`: pure atomics, no vendored crates.
 //!
@@ -37,10 +44,12 @@
 //! assert!(text.contains("dcdb_insert_latency_ns_count 1"));
 //! ```
 
+pub mod events;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
 
+pub use events::{EventJournal, EventKind, EventRecord, Severity, SlowQuery, SlowQueryLog};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{Kind, MetricValue, MetricsSnapshot, Registry};
 pub use trace::TraceSpan;

@@ -24,7 +24,13 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::events::{EventJournal, SlowQueryLog};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Default event-journal capacity for a registry's journal.
+const EVENT_JOURNAL_CAPACITY: usize = 1024;
+/// Default slow-query ring size for a registry's slow-query log.
+const SLOW_QUERY_CAPACITY: usize = 32;
 
 /// Exposition kind of a scalar instrument.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +83,13 @@ pub struct Registry {
     /// would create reference cycles through callback instruments).
     enabled: Arc<AtomicBool>,
     slots: RwLock<BTreeMap<String, Slot>>,
+    /// The cluster's structured event journal.  Anchored here — not as a
+    /// slot — because it is not a scrapeable instrument; its counters
+    /// (`total`/`dropped`) join `/metrics` as callback instruments where
+    /// the owning layer chooses to register them.
+    events: Arc<EventJournal>,
+    /// Ring of the last N slow queries (armed via a latency threshold).
+    slow_queries: Arc<SlowQueryLog>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -90,7 +103,12 @@ impl std::fmt::Debug for Registry {
 
 impl Default for Registry {
     fn default() -> Self {
-        Registry { enabled: Arc::new(AtomicBool::new(true)), slots: RwLock::new(BTreeMap::new()) }
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            slots: RwLock::new(BTreeMap::new()),
+            events: Arc::new(EventJournal::new(EVENT_JOURNAL_CAPACITY)),
+            slow_queries: Arc::new(SlowQueryLog::new(SLOW_QUERY_CAPACITY)),
+        }
     }
 }
 
@@ -116,6 +134,16 @@ impl Registry {
     /// not hold the registry itself.
     pub fn enabled_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.enabled)
+    }
+
+    /// The cluster's structured event journal (see [`crate::events`]).
+    pub fn events(&self) -> Arc<EventJournal> {
+        Arc::clone(&self.events)
+    }
+
+    /// The cluster's slow-query log (see [`crate::events`]).
+    pub fn slow_queries(&self) -> Arc<SlowQueryLog> {
+        Arc::clone(&self.slow_queries)
     }
 
     /// Get or register the counter `name`.

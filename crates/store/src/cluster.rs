@@ -306,6 +306,14 @@ fn register_cluster_metrics(
     sum(reg, "dcdb_entries_held", Kind::Gauge, |n| n.approx_entries() as u64);
     sum(reg, "dcdb_pending_flushes", Kind::Gauge, |n| n.maintenance_stats().pending_flushes);
     {
+        // the journal's own throughput counters: the callbacks capture only
+        // the journal Arc (not the registry), so no cycle forms
+        let j = reg.events();
+        reg.func("dcdb_events_total", Kind::Counter, move || j.total_recorded());
+        let j = reg.events();
+        reg.func("dcdb_events_dropped_total", Kind::Counter, move || j.dropped());
+    }
+    {
         let s = Arc::clone(stats);
         reg.func("dcdb_local_writes_total", Kind::Counter, move || {
             s.local_writes.load(Ordering::Relaxed)

@@ -219,6 +219,11 @@ pub struct NodeInstruments {
     pub compaction_ns: Arc<dcdb_obs::Histogram>,
     /// Wall time of one writer stall on the bounded flush backlog.
     pub stall_ns: Arc<dcdb_obs::Histogram>,
+    /// The structured event journal the node's exceptional paths report to
+    /// (stalls, compaction aborts, flush panics, corrupt blocks).  Shared
+    /// with the owning cluster's registry; a standalone node journals
+    /// privately.
+    pub events: Arc<dcdb_obs::EventJournal>,
 }
 
 impl Default for NodeInstruments {
@@ -229,6 +234,7 @@ impl Default for NodeInstruments {
             flush_ns: Arc::new(dcdb_obs::Histogram::new()),
             compaction_ns: Arc::new(dcdb_obs::Histogram::new()),
             stall_ns: Arc::new(dcdb_obs::Histogram::new()),
+            events: Arc::new(dcdb_obs::EventJournal::new(256)),
         }
     }
 }
@@ -243,6 +249,7 @@ impl NodeInstruments {
             flush_ns: reg.histogram("dcdb_flush_ns"),
             compaction_ns: reg.histogram("dcdb_compaction_ns"),
             stall_ns: reg.histogram("dcdb_stall_ns"),
+            events: reg.events(),
         }
     }
 
@@ -324,6 +331,12 @@ impl NodeCore {
                 let stalled = t0.elapsed().as_nanos() as u64;
                 core.stats.stall_ns.fetch_add(stalled, Ordering::Relaxed);
                 core.instruments.stall_ns.observe(stalled);
+                core.instruments.events.record(
+                    dcdb_obs::EventKind::BackpressureStall,
+                    dcdb_obs::Severity::Warning,
+                    "store",
+                    format!("writer stalled {}us on a full flush backlog ({max})", stalled / 1_000),
+                );
             }
         }
         {
@@ -380,6 +393,12 @@ impl NodeCore {
                         self.core.frozen.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     self.core.flush_active.store(false, Ordering::Release);
                     self.core.frozen_cond.notify_all();
+                    self.core.instruments.events.record(
+                        dcdb_obs::EventKind::FlushFailed,
+                        dcdb_obs::Severity::Error,
+                        "store",
+                        "flush drain panicked; flusher role handed back",
+                    );
                 }
             }
         }
@@ -403,6 +422,7 @@ impl NodeCore {
             if !mt.is_empty() {
                 let t0 = Instant::now();
                 let table = SsTable::from_sorted_cached(mt.sorted_entries(), core.cache.clone());
+                table.attach_journal(&core.instruments.events);
                 core.sstables.write().push(table);
                 core.instruments.flush_ns.observe(t0.elapsed().as_nanos() as u64);
                 core.stats.flushes.fetch_add(1, Ordering::Relaxed);
@@ -498,6 +518,7 @@ impl NodeCore {
             |sid, ts| covers(&tombs_snapshot, sid, ts) || cutoff.is_some_and(|c| ts < c),
             core.cache.clone(),
         );
+        merged.attach_journal(&core.instruments.events);
         {
             let mut tables = core.sstables.write();
             let n = snap_ids.len();
@@ -508,6 +529,12 @@ impl NodeCore {
                 && tables.iter().take(n).map(SsTable::table_id).eq(snap_ids.iter().copied());
             if !unchanged_prefix {
                 core.stats.compactions_aborted.fetch_add(1, Ordering::Relaxed);
+                core.instruments.events.record(
+                    dcdb_obs::EventKind::CompactionAborted,
+                    dcdb_obs::Severity::Warning,
+                    "store",
+                    format!("merge of {n} runs aborted: table set changed under the snapshot"),
+                );
                 return;
             }
             let fully_merged = tables.len() == n;
@@ -1018,7 +1045,9 @@ impl StoreNode {
         let mut tables = self.core.sstables.write();
         for p in paths {
             let mut f = std::fs::File::open(&p)?;
-            tables.push(SsTable::read_from_cached(&mut f, self.core.cache.clone())?);
+            let table = SsTable::read_from_cached(&mut f, self.core.cache.clone())?;
+            table.attach_journal(&self.core.instruments.events);
+            tables.push(table);
             loaded += 1;
         }
         Ok(loaded)

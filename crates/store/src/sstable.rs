@@ -87,6 +87,10 @@ struct TableCtx {
     /// cannot be resurrected under a dead table id.
     retired: std::sync::atomic::AtomicBool,
     cache: Option<Arc<BlockCache>>,
+    /// Event journal to report corrupt blocks to (attached by the owning
+    /// node via [`SsTable::attach_journal`]; a free-standing table only
+    /// counts and logs).
+    journal: std::sync::OnceLock<Arc<dcdb_obs::EventJournal>>,
 }
 
 impl TableCtx {
@@ -97,6 +101,7 @@ impl TableCtx {
             corrupt: AtomicU64::new(0),
             retired: std::sync::atomic::AtomicBool::new(false),
             cache,
+            journal: std::sync::OnceLock::new(),
         })
     }
 }
@@ -188,6 +193,17 @@ impl BlockRef {
                      (table {} sid {:#x} block {}): {e}",
                     self.inner.ctx.table_id, self.inner.sid.0, self.inner.block_idx,
                 );
+                if let Some(journal) = self.inner.ctx.journal.get() {
+                    journal.record(
+                        dcdb_obs::EventKind::CorruptBlock,
+                        dcdb_obs::Severity::Error,
+                        format!("table{}", self.inner.ctx.table_id),
+                        format!(
+                            "block {} of sid {:#x} failed its checksummed decode: {e}",
+                            self.inner.block_idx, self.inner.sid.0,
+                        ),
+                    );
+                }
                 Arc::from(Vec::new())
             }
         }
@@ -351,6 +367,13 @@ impl SsTable {
     /// readings but always leaves a trace here and in the log.
     pub fn blocks_corrupt(&self) -> u64 {
         self.ctx.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Report future corrupt-block decodes of this table (and its clones)
+    /// to `journal` as typed [`dcdb_obs::EventKind::CorruptBlock`] events.
+    /// First attachment wins; later calls are no-ops.
+    pub fn attach_journal(&self, journal: &Arc<dcdb_obs::EventJournal>) {
+        let _ = self.ctx.journal.set(Arc::clone(journal));
     }
 
     /// Total number of compressed blocks.

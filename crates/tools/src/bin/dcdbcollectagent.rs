@@ -7,6 +7,7 @@
 //!                  [--cache-mb MB] [--query-threads N]
 //!                  [--maintenance-threads N] [--flush-interval-s S]
 //!                  [--self-metrics-s S] [--node-name NAME]
+//!                  [--alert-rules FILE] [--alert-tick-s S] [--slow-log DUR]
 //! ```
 //!
 //! `--nodes`/`--depth` shard storage over `N` nodes with SID-prefix
@@ -31,6 +32,16 @@
 //! `/_dcdb/<node-name>/...` sensors — the database monitors itself with
 //! its own machinery, so health history is queryable like any sensor (and
 //! persists with `--db`).
+//!
+//! `--alert-rules FILE` loads declarative alert rules (see the README's
+//! "Alerting & events" section for the format) and evaluates them on the
+//! live ingest stream; `--alert-tick-s S` sets the periodic evaluation
+//! interval for absence and query-based rules (default 10 s).  Alert
+//! state is served at `GET /alerts`, as `ALERTS{}` on `/metrics`, and
+//! every transition lands in the event journal (`GET /events`).
+//! `--slow-log DUR` arms the slow-query log: queries slower than `DUR`
+//! (`5ms`, `100us`, …) are captured with their full span trees and served
+//! at `GET /debug/slow_queries`.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +65,39 @@ fn main() {
     let agent = CollectAgent::new(store);
     if let Some(threads) = args.get("query-threads").and_then(|s| s.parse().ok()) {
         agent.set_query_threads(threads);
+    }
+    let mut alert_rule_count = 0;
+    let _alert_ticker = if let Some(path) = args.get("alert-rules") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dcdbcollectagent: cannot read --alert-rules {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let rules = match dcdb_core::alerts::parse_rules(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("dcdbcollectagent: bad rule in {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        alert_rule_count = rules.len();
+        let engine = Arc::new(dcdb_core::alerts::AlertEngine::with_rules(rules));
+        agent.install_alert_engine(engine);
+        let tick_s: u64 = args.get("alert-tick-s").and_then(|s| s.parse().ok()).unwrap_or(10);
+        Some(agent.start_alert_ticker(Duration::from_secs(tick_s.max(1))))
+    } else {
+        None
+    };
+    if let Some(spec) = args.get("slow-log") {
+        match dcdb_query::parse_duration_ns(spec).filter(|&t| t > 0) {
+            Some(t) => agent.sensor_db().slow_queries().set_threshold_ns(t as u64),
+            None => {
+                eprintln!("dcdbcollectagent: --slow-log needs a duration like 5ms, 100us");
+                std::process::exit(1);
+            }
+        }
     }
 
     let broker_cfg = BrokerConfig {
@@ -88,6 +132,9 @@ fn main() {
     );
     if self_metrics_s > 0 {
         println!("self-monitoring: /_dcdb/{node_name}/* every {self_metrics_s}s");
+    }
+    if alert_rule_count > 0 {
+        println!("alerting: {alert_rule_count} rules loaded (GET /alerts, /events)");
     }
     std::thread::sleep(Duration::from_secs(duration));
 

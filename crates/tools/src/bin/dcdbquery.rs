@@ -3,7 +3,7 @@
 //! ```text
 //! dcdbquery --db <dir> [--start NS] [--end NS] [--op integral|derivative|stats]
 //!           [--agg FN --window DUR [--group-by N]] [--sizes]
-//!           [--cache-mb MB] [--query-threads N]
+//!           [--cache-mb MB] [--query-threads N] [--slow-log DUR]
 //!           [--maintenance-threads N] [--flush-interval-s S] <topic-or-prefix>...
 //! ```
 //!
@@ -40,6 +40,13 @@
 //! the span tree (plan / engine fan-in chunks / merge / finalize, with
 //! wall times and counter deltas like `blocks_decoded`) prints to stderr.
 //! Results are bit-identical with and without it.
+//!
+//! `--slow-log DUR` arms the slow-query log at threshold `DUR` (`5ms`,
+//! `100us`, …): any query exceeding it is captured with its full span
+//! tree, and after all queries a report of the offenders prints to
+//! stderr.  Unlike `--explain` this only pays the tracing cost for the
+//! run and only prints queries that actually crossed the bar — the same
+//! ring a long-lived agent serves at `GET /debug/slow_queries`.
 
 use dcdb_core::{ops, QueryRequest};
 use dcdb_store::reading::TimeRange;
@@ -74,6 +81,32 @@ fn main() {
     if let Some(threads) = args.get("query-threads").and_then(|s| s.parse().ok()) {
         db.set_query_threads(threads);
     }
+    if let Some(spec) = args.get("slow-log") {
+        match dcdb_query::parse_duration_ns(spec).filter(|&t| t > 0) {
+            Some(t) => db.slow_queries().set_threshold_ns(t as u64),
+            None => {
+                eprintln!("dcdbquery: --slow-log needs a duration like 5ms, 100us");
+                std::process::exit(2);
+            }
+        }
+    }
+    let print_slow = |db: &std::sync::Arc<dcdb_core::SensorDb>| {
+        let slow = db.slow_queries();
+        if !slow.armed() {
+            return;
+        }
+        let entries = slow.entries();
+        eprintln!(
+            "slow queries: {} over {} ns ({} captured total)",
+            entries.len(),
+            slow.threshold_ns(),
+            slow.total_captured()
+        );
+        for e in entries {
+            eprintln!("#{} {} ns  {}", e.seq, e.total_ns, e.summary);
+            eprint!("{}", e.trace.render());
+        }
+    };
     let print_sizes =
         |db: &std::sync::Arc<dcdb_core::SensorDb>| match db_sizes(db, std::path::Path::new(db_dir))
         {
@@ -145,6 +178,7 @@ fn main() {
         if args.has("sizes") {
             print_sizes(&db);
         }
+        print_slow(&db);
         return;
     }
     match args.get("op") {
@@ -208,4 +242,5 @@ fn main() {
     if args.has("sizes") {
         print_sizes(&db);
     }
+    print_slow(&db);
 }
