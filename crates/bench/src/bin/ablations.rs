@@ -1,4 +1,7 @@
 //! Regenerates the design ablations of DESIGN.md §5.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     println!("Ablation 1: storage partitioning (query fan-out of node-level queries)\n");
     let p = dcdb_bench::experiments::ablations::partition_ablation(8, 64, 100);

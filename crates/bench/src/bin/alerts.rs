@@ -1,6 +1,9 @@
 //! Prints the alert-engine-overhead study (sustained Collect Agent ingest
 //! with a live rule set evaluating on-stream versus no engine), emitting
 //! machine-readable results to `results/BENCH_alerts.json`.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 use std::fmt::Write as _;
 
 fn main() {

@@ -1,6 +1,9 @@
 //! Prints the hot-block cache study (cold versus warm dashboard refreshes)
 //! and the intra-group fan-in thread-scaling curve, emitting
 //! machine-readable results to `results/BENCH_cache.json`.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 use std::fmt::Write as _;
 
 fn main() {

@@ -1,5 +1,8 @@
 //! Prints the compression study: ratio and throughput of the Gorilla codec
 //! on simulated device series (see `experiments::compression`).
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     let reports = dcdb_bench::experiments::compression::run();
     println!(

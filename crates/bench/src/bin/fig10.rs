@@ -1,4 +1,7 @@
 //! Regenerates Figure 10 (use case 2): application characterisation.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     println!("Figure 10: instructions-per-Watt densities of the CORAL-2 apps (KNL, 100 ms)\n");
     let apps = dcdb_bench::experiments::fig10::run(30);

@@ -1,4 +1,7 @@
 //! Regenerates Figure 4: Pusher overhead on CORAL-2 benchmarks, weak scaling.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     let pts = dcdb_bench::experiments::fig4::run();
     println!("Figure 4: Pusher overhead on CORAL-2 MPI benchmarks (SuperMUC-NG)\n");

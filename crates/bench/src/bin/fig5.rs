@@ -1,4 +1,7 @@
 //! Regenerates Figure 5: overhead heat maps on the three architectures.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     println!("Figure 5: Pusher overhead heat maps (tester plugin, vs HPL)\n");
     for map in dcdb_bench::experiments::fig5::run() {

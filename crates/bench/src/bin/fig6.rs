@@ -1,4 +1,7 @@
 //! Regenerates Figure 6: Pusher CPU load and memory usage grid.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     let pts = dcdb_bench::experiments::fig6::run();
     println!("Figure 6: Pusher per-core CPU load and memory usage (Skylake)\n");

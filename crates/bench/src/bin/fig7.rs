@@ -1,4 +1,7 @@
 //! Regenerates Figure 7 + Equation 1: CPU load scaling model.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     let curves = dcdb_bench::experiments::fig7::run();
     println!("Figure 7: CPU load vs sensor rate, with least-squares fits\n");

@@ -1,4 +1,7 @@
 //! Regenerates Figure 8: Collect Agent CPU load (real pipeline execution).
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     println!("Figure 8: Collect Agent per-core CPU load (measured on this machine)\n");
     let full = std::env::args().any(|a| a == "--full");

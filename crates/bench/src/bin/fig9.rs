@@ -1,4 +1,7 @@
 //! Regenerates Figure 9 (use case 1): efficiency of heat removal.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     println!("Figure 9: CooLMUC-3 heat-removal efficiency (full pipeline, 24 h)\n");
     let cs = dcdb_bench::experiments::fig9::run(60.0);

@@ -1,6 +1,9 @@
 //! Prints the background-maintenance study (sustained-ingest insert/query
 //! latency, synchronous versus background flush/compaction), emitting
 //! machine-readable results to `results/BENCH_maintenance.json`.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 use std::fmt::Write as _;
 
 fn main() {

@@ -1,6 +1,9 @@
 //! Prints the observability-overhead study (sustained ingest with the
 //! metrics layer's timed instrumentation on versus off), emitting
 //! machine-readable results to `results/BENCH_obs.json`.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 use std::fmt::Write as _;
 
 fn main() {

@@ -2,6 +2,9 @@
 //! block decode versus the full-decode baseline) and the group-by study
 //! (per-rack grouped aggregation, serial versus parallel group execution),
 //! emitting machine-readable results to `results/BENCH_query.json`.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 use std::fmt::Write as _;
 
 fn main() {

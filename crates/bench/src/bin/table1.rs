@@ -1,4 +1,7 @@
 //! Regenerates Table 1 of the paper.
+
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
 fn main() {
     let rows = dcdb_bench::experiments::table1::run();
     println!("Table 1: production environments, Pusher configurations and overhead vs HPL\n");

@@ -42,8 +42,8 @@ pub fn partition_ablation(
         for n in 0..nodes {
             let mut touched = std::collections::HashSet::new();
             for s in 0..sensors_per_node {
-                let sid =
-                    SensorId::from_topic(&format!("/sys/rack{}/node{n}/s{s}", n % 8)).unwrap();
+                let sid = SensorId::from_topic(&format!("/sys/rack{}/node{n}/s{s}", n % 8))
+                    .expect("generated topic is well-formed");
                 touched.insert(map.node_for(sid));
             }
             total += touched.len();
@@ -86,7 +86,8 @@ pub fn timing_ablation(hosts: usize, interval_ms: i64, poll_gap_ms: i64) -> Timi
     let pull_times: Vec<i64> =
         (0..hosts).map(|i| grid + i as i64 * poll_gap_ms * NS_PER_MS).collect();
 
-    let spread = |v: &[i64]| v.iter().max().unwrap() - v.iter().min().unwrap();
+    let spread =
+        |v: &[i64]| v.iter().max().expect("hosts > 0") - v.iter().min().expect("hosts > 0");
     TimingAblation {
         hosts,
         push_spread_ns: spread(&push_times),

@@ -45,9 +45,13 @@ impl BitWriter {
     }
 
     /// Append the low `n` bits of `value`, most significant first (`n ≤ 64`).
+    ///
+    /// # Panics
+    /// If `n > 64` — a compiled-in check: a silently truncated write would
+    /// desynchronise every later read of the stream.
     #[inline]
     pub fn write_bits(&mut self, value: u64, n: u8) {
-        debug_assert!(n <= 64);
+        assert!(n <= 64, "write_bits: n = {n} exceeds 64");
         let mut left = n as u32;
         while left > 0 {
             if self.free == 0 {
@@ -101,10 +105,12 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read `n ≤ 64` bits MSB-first into the low bits of the result.
+    /// `None` past the end *and* for `n > 64` — decode-side widths can come
+    /// from corrupted input, so the bound is a real error path, not an
+    /// assert compiled out in release.
     #[inline]
     pub fn read_bits(&mut self, n: u8) -> Option<u64> {
-        debug_assert!(n <= 64);
-        if self.remaining_bits() < n as usize {
+        if n > 64 || self.remaining_bits() < n as usize {
             return None;
         }
         let mut out = 0u64;

@@ -1,0 +1,17 @@
+//! Negative fixture for `debug-assert-integrity`: the checksum check is a
+//! real error path, and the remaining debug_assert guards a non-integrity
+//! arithmetic invariant with an inline allow.
+
+pub fn verify(stored_crc: u32, computed: u32) -> Result<u32, &'static str> {
+    if stored_crc != computed {
+        return Err("checksum mismatch");
+    }
+    Ok(computed)
+}
+
+pub fn widen(bits: u8) -> u32 {
+    // lint: allow(debug-assert-integrity) -- encode-side precondition on
+    // trusted in-process input, fixture for the allow path
+    debug_assert!(bits <= 32);
+    u32::from(bits)
+}

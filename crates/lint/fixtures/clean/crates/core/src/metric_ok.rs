@@ -1,0 +1,10 @@
+//! Negative fixture for `metric-name`: convention-conforming families,
+//! including a baked-in label suffix.
+
+pub fn register(reg: &dcdb_obs::Registry) {
+    let _flushes = reg.counter("dcdb_flushes_total");
+    let _lat = reg.histogram("dcdb_query_latency_ns");
+    let _bytes = reg.histogram("dcdb_block_decode_bytes");
+    let _depth = reg.gauge("dcdb_queue_depth");
+    let _staged = reg.counter("dcdb_stage_total{stage=\"plan\"}");
+}

@@ -1,0 +1,6 @@
+//! Negative fixture for `reserved-hierarchy-literal`: topics built from
+//! the exported constant.
+
+pub fn topic_for(node: &str) -> String {
+    format!("/{}/{node}/status", dcdb_sid::RESERVED_PREFIX)
+}

@@ -1,0 +1,20 @@
+//! Negative fixture for `lock-across-slow-op`: snapshot under the lock,
+//! IO after the guard is gone.
+
+use std::io::Write;
+
+pub fn save(data: &parking_lot::Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    let snapshot = data.lock().clone();
+    f.write_all(&snapshot)?;
+    f.sync_all()
+}
+
+pub fn save_dropped(
+    data: &parking_lot::Mutex<Vec<u8>>,
+    f: &mut std::fs::File,
+) -> std::io::Result<()> {
+    let guard = data.lock();
+    let snapshot = guard.clone();
+    drop(guard);
+    f.write_all(&snapshot)
+}

@@ -1,0 +1,20 @@
+//! Negative fixture for `std-sync-lock`: parking_lot primitives, plus the
+//! Condvar-pairing escape hatch via an inline allow.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Slots {
+    pub m: Mutex<Vec<u32>>,
+    pub r: RwLock<Vec<u32>>,
+}
+
+mod waiters {
+    // lint: allow(std-sync-lock) -- Condvar pairing, fixture for the
+    // allow path
+    use std::sync::{Condvar, Mutex};
+
+    pub struct Queue {
+        pub q: Mutex<Vec<u32>>,
+        pub cv: Condvar,
+    }
+}

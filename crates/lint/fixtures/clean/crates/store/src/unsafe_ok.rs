@@ -1,0 +1,6 @@
+//! Negative fixture for `unsafe-safety-comment`: rationale present.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` points at least one readable byte.
+    unsafe { *p }
+}

@@ -1,0 +1,27 @@
+//! Negative fixture for `no-unwrap`: every sanctioned escape at once —
+//! messaged `expect`, test-only code, and an inline allow.
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn invariant(o: Option<u32>) -> u32 {
+    o.expect("populated by the constructor")
+}
+
+pub fn contract(o: Option<u32>) -> u32 {
+    // lint: allow(no-unwrap) -- documented contract, fixture for the
+    // allow path
+    o.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        let s: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| s.unwrap()).is_err());
+    }
+}

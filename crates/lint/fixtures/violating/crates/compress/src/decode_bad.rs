@@ -1,0 +1,7 @@
+//! Positive fixture for `debug-assert-integrity`: a checksum verification
+//! that silently disappears in release builds.
+
+pub fn verify(stored_crc: u32, computed: u32) -> u32 {
+    debug_assert!(stored_crc == computed, "checksum mismatch");
+    computed
+}

@@ -1,0 +1,11 @@
+//! Positive fixture for `metric-name`: family names violating the
+//! `dcdb_` prefix / kind-suffix conventions.
+
+pub fn register(reg: &dcdb_obs::Registry) {
+    // counter without the `_total` suffix
+    let _flushes = reg.counter("dcdb_flushes");
+    // histogram without a unit suffix
+    let _lat = reg.histogram("dcdb_query_latency");
+    // missing the `dcdb_` prefix entirely
+    let _depth = reg.gauge("queue_depth");
+}

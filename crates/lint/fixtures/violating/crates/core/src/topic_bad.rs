@@ -1,0 +1,8 @@
+//! Positive fixture for `reserved-hierarchy-literal`: the reserved prefix
+//! spelled out instead of built from `dcdb_sid::RESERVED_PREFIX`.
+
+pub const HEARTBEAT_TOPIC: &str = "/_dcdb/agent0/heartbeat";
+
+pub fn topic_for(node: &str) -> String {
+    format!("/_dcdb/{node}/status")
+}

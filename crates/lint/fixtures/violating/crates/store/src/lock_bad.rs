@@ -1,0 +1,9 @@
+//! Positive fixture for `lock-across-slow-op`: file IO under a lock guard.
+
+use std::io::Write;
+
+pub fn save(data: &parking_lot::Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    let guard = data.lock();
+    f.write_all(&guard)?;
+    f.sync_all()
+}

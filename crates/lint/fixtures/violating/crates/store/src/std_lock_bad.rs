@@ -1,0 +1,9 @@
+//! Positive fixture for `std-sync-lock`: std primitives where the
+//! workspace standard is parking_lot.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Slots {
+    pub m: Mutex<Vec<u32>>,
+    pub r: RwLock<Vec<u32>>,
+}

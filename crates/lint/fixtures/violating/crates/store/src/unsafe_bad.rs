@@ -1,0 +1,5 @@
+//! Positive fixture for `unsafe-safety-comment`: no `// SAFETY:` rationale.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

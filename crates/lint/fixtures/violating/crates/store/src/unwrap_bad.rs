@@ -1,0 +1,23 @@
+//! Positive fixture for `no-unwrap`: library code panicking on `None`.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn named(o: Option<u32>) -> u32 {
+    match o {
+        Some(x) => x,
+        None => panic!("missing value"),
+    }
+}
+
+pub fn reached(k: u8) -> u8 {
+    match k {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn empty_expect(o: Option<u32>) -> u32 {
+    o.expect("")
+}

@@ -1,0 +1,393 @@
+//! `lint-baseline.json` — the ledger of accepted legacy findings.
+//!
+//! A baseline entry identifies a finding by `(rule, path, excerpt)` — the
+//! trimmed source line — *not* by line number, so unrelated edits that shift
+//! lines do not invalidate the ledger.  Matching is multiset-style: each
+//! current finding consumes at most one entry, so adding a *second* identical
+//! violation to a file still fails the gate.
+//!
+//! Semantics under `--check`:
+//! - finding matches an entry      → "baselined", reported but not fatal
+//! - finding matches no entry      → "new", fatal for `deny` rules
+//! - entry matches no finding      → "stale", a warning nudging
+//!   `--update-baseline` (fixing legacy debt must never break the build)
+//!
+//! The JSON reader/writer is hand-rolled (dependency-free crate) for exactly
+//! the document shape this file uses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One accepted legacy finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    /// Path relative to the scan root, `/`-separated.
+    pub path: String,
+    /// Line number when the entry was recorded — informational only, not
+    /// part of the match key.
+    pub line: u32,
+    /// The trimmed source line of the finding.
+    pub excerpt: String,
+}
+
+impl BaselineEntry {
+    fn key(&self) -> (String, String, String) {
+        (self.rule.clone(), self.path.clone(), self.excerpt.clone())
+    }
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A malformed baseline is a hard error: silently dropping entries would
+/// resurface hundreds of legacy findings as "new" and fail the build noisily,
+/// or worse, mask new ones.
+#[derive(Debug, Clone)]
+pub struct BaselineError(pub String);
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-baseline.json: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// A consumable view of the baseline used during matching.
+pub struct BaselineMatcher {
+    remaining: HashMap<(String, String, String), u32>,
+    total: usize,
+}
+
+impl Baseline {
+    pub fn matcher(&self) -> BaselineMatcher {
+        let mut remaining: HashMap<_, u32> = HashMap::new();
+        for e in &self.entries {
+            *remaining.entry(e.key()).or_insert(0) += 1;
+        }
+        BaselineMatcher { remaining, total: self.entries.len() }
+    }
+
+    /// Serialize deterministically (sorted by rule, path, excerpt, line).
+    pub fn to_json(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort();
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rule\": ");
+            write_json_string(&mut out, &e.rule);
+            out.push_str(", \"path\": ");
+            write_json_string(&mut out, &e.path);
+            out.push_str(&format!(", \"line\": {}, \"excerpt\": ", e.line));
+            write_json_string(&mut out, &e.excerpt);
+            out.push('}');
+        }
+        if !entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+        let doc = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(BaselineError("trailing data after document".into()));
+        }
+        let Json::Object(fields) = doc else {
+            return Err(BaselineError("top level must be an object".into()));
+        };
+        let entries_json = fields
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .ok_or_else(|| BaselineError("missing \"entries\"".into()))?;
+        let Json::Array(items) = entries_json else {
+            return Err(BaselineError("\"entries\" must be an array".into()));
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let Json::Object(f) = item else {
+                return Err(BaselineError("entry must be an object".into()));
+            };
+            let get_str = |name: &str| -> Result<String, BaselineError> {
+                match f.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                    Some(Json::Str(s)) => Ok(s.clone()),
+                    _ => Err(BaselineError(format!("entry missing string \"{name}\""))),
+                }
+            };
+            let line = match f.iter().find(|(k, _)| k == "line").map(|(_, v)| v) {
+                Some(Json::Num(n)) => *n as u32,
+                _ => return Err(BaselineError("entry missing number \"line\"".into())),
+            };
+            entries.push(BaselineEntry {
+                rule: get_str("rule")?,
+                path: get_str("path")?,
+                line,
+                excerpt: get_str("excerpt")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+impl BaselineMatcher {
+    /// Consume one entry matching the finding; true if it was baselined.
+    pub fn consume(&mut self, rule: &str, path: &str, excerpt: &str) -> bool {
+        let key = (rule.to_string(), path.to_string(), excerpt.to_string());
+        match self.remaining.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Entries never consumed — findings that no longer exist ("stale").
+    pub fn stale(&self) -> Vec<(String, String, String)> {
+        let mut v: Vec<_> = self
+            .remaining
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .flat_map(|(k, &n)| std::iter::repeat_n(k.clone(), n as usize))
+            .collect();
+        v.sort();
+        v
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Minimal JSON model for the baseline document.
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+}
+
+struct JsonParser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), BaselineError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(BaselineError(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, BaselineError> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Object(fields));
+                        }
+                        _ => return Err(BaselineError("expected `,` or `}`".into())),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return Err(BaselineError("expected `,` or `]`".into())),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| BaselineError("bad utf8 in number".into()))?;
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| BaselineError(format!("bad number `{text}`")))
+            }
+            _ => Err(BaselineError(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, BaselineError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(BaselineError("unterminated string".into()));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or_else(|| BaselineError("dangling escape".into()))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 2..self.pos + 6)
+                                .ok_or_else(|| BaselineError("short \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| BaselineError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| BaselineError("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(BaselineError("unsupported escape".into())),
+                    }
+                    self.pos += 2;
+                }
+                _ => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| BaselineError("bad utf8 in string".into()))?;
+                    let ch = rest.chars().next().ok_or_else(|| BaselineError("bad utf8".into()))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// JSON-escape `s` into `out`, quoted.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, path: &str, line: u32, excerpt: &str) -> BaselineEntry {
+        BaselineEntry { rule: rule.into(), path: path.into(), line, excerpt: excerpt.into() }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = Baseline {
+            entries: vec![
+                entry("no-unwrap", "crates/x/src/lib.rs", 10, "let v = m.get(&k).unwrap();"),
+                entry("metric-name", "crates/y/src/a.rs", 3, "reg.counter(\"bad\\\"name\")"),
+            ],
+        };
+        let text = b.to_json();
+        let back = Baseline::parse(&text).expect("parses own output");
+        let mut want = b.entries.clone();
+        want.sort();
+        assert_eq!(back.entries, want);
+    }
+
+    #[test]
+    fn matcher_is_multiset_and_tracks_stale() {
+        let b = Baseline {
+            entries: vec![
+                entry("r", "p.rs", 1, "x"),
+                entry("r", "p.rs", 2, "x"),
+                entry("r", "p.rs", 3, "gone"),
+            ],
+        };
+        let mut m = b.matcher();
+        assert!(m.consume("r", "p.rs", "x"));
+        assert!(m.consume("r", "p.rs", "x"));
+        assert!(!m.consume("r", "p.rs", "x"), "third identical finding is new");
+        assert!(!m.consume("other", "p.rs", "x"));
+        let stale = m.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].2, "gone");
+    }
+
+    #[test]
+    fn malformed_documents_are_hard_errors() {
+        for bad in [
+            "",
+            "[]",
+            "{\"entries\": 3}",
+            "{\"entries\": [{\"rule\": \"r\"}]}",
+            "{\"entries\": []} trailing",
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "{bad}");
+        }
+        assert!(Baseline::parse("{\"version\": 1, \"entries\": []}").is_ok());
+    }
+}

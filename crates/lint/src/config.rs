@@ -1,0 +1,304 @@
+//! `lint.toml` — rule severities and per-rule knobs.
+//!
+//! The linter is dependency-free, so this is a hand-rolled parser for the
+//! TOML subset the config actually uses: `[section]` headers, `key = value`
+//! with string / bool / integer / array-of-string values, and `#` comments.
+//! Anything fancier (nested tables, datetimes, multiline strings) is a
+//! config error, not silently ignored — a gate with a half-read config is
+//! worse than no gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How findings of a rule are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// New findings fail `--check` unless baselined.
+    #[default]
+    Deny,
+    /// Findings are reported and counted, never fatal.
+    Warn,
+    /// Rule is off.
+    Allow,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Allow => "allow",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    StrArray(Vec<String>),
+}
+
+/// Per-rule configuration: severity plus free-form keys the rule interprets.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    pub severity: Option<Severity>,
+    pub keys: BTreeMap<String, Value>,
+}
+
+impl RuleConfig {
+    pub fn str_list(&self, key: &str) -> Option<&[String]> {
+        match self.keys.get(key) {
+            Some(Value::StrArray(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        match self.keys.get(key) {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// The whole config file.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path fragments excluded from scanning entirely (relative to the scan
+    /// root; matches a path that starts with the fragment or contains
+    /// `/<fragment>`).
+    pub exclude: Vec<String>,
+    /// Per-rule sections, keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// A config parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Severity for a rule: config override or the rule's built-in default.
+    pub fn severity(&self, rule: &str, default: Severity) -> Severity {
+        self.rules.get(rule).and_then(|r| r.severity).unwrap_or(default)
+    }
+
+    pub fn rule(&self, rule: &str) -> Option<&RuleConfig> {
+        self.rules.get(rule)
+    }
+
+    /// Parse `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        // section: None = top level, Some(("lint", None)) = [lint],
+        // Some(("rule", Some(id))) = [rule.<id>]
+        let mut section: Option<(String, Option<String>)> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: &str| ConfigError { line: lineno, message: message.to_string() };
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(err("unterminated section header"));
+                };
+                let name = name.trim();
+                section = match name.split_once('.') {
+                    None => Some((name.to_string(), None)),
+                    Some((head, id)) => {
+                        Some((head.trim().to_string(), Some(id.trim().to_string())))
+                    }
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err("expected `key = value`"));
+            };
+            let key = key.trim().to_string();
+            let value =
+                parse_value(value.trim()).map_err(|m| ConfigError { line: lineno, message: m })?;
+            match &section {
+                Some((head, Some(id))) if head == "rule" => {
+                    let rule = cfg.rules.entry(id.clone()).or_default();
+                    if key == "severity" {
+                        let Value::Str(s) = &value else {
+                            return Err(err("severity must be a string"));
+                        };
+                        rule.severity = Some(match s.as_str() {
+                            "deny" => Severity::Deny,
+                            "warn" => Severity::Warn,
+                            "allow" => Severity::Allow,
+                            _ => return Err(err("severity must be deny | warn | allow")),
+                        });
+                    } else {
+                        rule.keys.insert(key, value);
+                    }
+                }
+                Some((head, None)) if head == "lint" => {
+                    if key == "exclude" {
+                        let Value::StrArray(v) = value else {
+                            return Err(err("exclude must be an array of strings"));
+                        };
+                        cfg.exclude = v;
+                    } else {
+                        return Err(err("unknown key in [lint]"));
+                    }
+                }
+                _ => return Err(err("key outside [lint] or [rule.<id>] section")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strip a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('"') {
+        return Ok(Value::Str(parse_string(text)?.0));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err("unterminated array (arrays must be single-line)".into());
+        };
+        let mut out = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (s, consumed) = parse_string(rest)?;
+            out.push(s);
+            rest = rest[consumed..].trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err("expected `,` between array elements".into());
+            }
+        }
+        return Ok(Value::StrArray(out));
+    }
+    text.parse::<i64>().map(Value::Int).map_err(|_| format!("unsupported value `{text}`"))
+}
+
+/// Parse a leading `"..."` string; returns (value, bytes consumed).
+fn parse_string(text: &str) -> Result<(String, usize), String> {
+    let bytes = text.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return Err("expected string".into());
+    }
+    let mut out = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).ok_or("dangling escape")?;
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'\\' => '\\',
+                    b'"' => '"',
+                    _ => return Err("unsupported escape".into()),
+                });
+                i += 2;
+            }
+            _ => {
+                // push the full UTF-8 char, not a byte
+                let ch = text[i..].chars().next().ok_or("bad utf8")?;
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_severities_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+            # top comment
+            [lint]
+            exclude = ["target/", "vendor/"] # trailing comment
+
+            [rule.no-unwrap]
+            severity = "warn"
+            exclude = ["src/bin/"]
+            allow_expect_with_message = true
+
+            [rule.metric-name]
+            histogram_suffixes = ["_ns", "_bytes"]
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.exclude, vec!["target/", "vendor/"]);
+        assert_eq!(cfg.severity("no-unwrap", Severity::Deny), Severity::Warn);
+        assert_eq!(cfg.severity("unknown", Severity::Deny), Severity::Deny);
+        let r = cfg.rule("no-unwrap").expect("rule");
+        assert_eq!(r.bool("allow_expect_with_message"), Some(true));
+        assert_eq!(r.str_list("exclude").map(|s| s.len()), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "[lint\nexclude = []",
+            "[lint]\nexclude = \"not an array\"",
+            "key = 1",
+            "[rule.x]\nseverity = \"fatal\"",
+            "[lint]\nexclude = [\"unterminated]",
+        ] {
+            assert!(Config::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[lint]\nexclude = [\"a#b/\"]").expect("parses");
+        assert_eq!(cfg.exclude, vec!["a#b/"]);
+    }
+}

@@ -1,0 +1,413 @@
+//! A hand-rolled Rust lexer, just faithful enough for rule matching.
+//!
+//! The rules in this crate match *token* patterns (`.unwrap()`,
+//! `std::sync::Mutex`, string literals containing `_dcdb`, ...), so the one
+//! property the lexer must get right is classification: an `unwrap` inside a
+//! string, a `// comment`, or a nested `/* block */` must never surface as an
+//! identifier token.  That means handling the full literal surface of the
+//! language — raw strings with arbitrary hash fences, byte/char literals,
+//! lifetimes vs chars, nested block comments — even though we never need to
+//! *interpret* the literals.
+//!
+//! Every token carries its byte span into the source and a 1-based line
+//! number.  Spans are ascending and non-overlapping, and the bytes between
+//! consecutive spans are pure whitespace — proven by the round-trip proptest
+//! in `tests/prop_lexer.rs`.
+
+/// Token classification.  Keywords are not distinguished from identifiers;
+/// rules match on the identifier text instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// `'a` — lexed as one token so `'a>` never looks like a char literal.
+    Lifetime,
+    /// `"..."` / `r"..."` / `r#"..."#` and the `b`/`c` prefixed forms.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Integer or float literal (lexed loosely; rules never inspect these).
+    Num,
+    /// `// ...` to end of line.
+    LineComment,
+    /// `/* ... */`, nesting tracked.
+    BlockComment,
+    /// Any other single byte: `.`, `(`, `!`, `:`, `{`, ...
+    Punct(u8),
+}
+
+/// One lexed token: classification plus byte span and 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comment tokens (skipped by most rule matchers).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream.  Never fails: unterminated literals and
+/// comments extend to end of input (the linter must degrade gracefully on
+/// code that does not compile yet).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' | b'c' if self.literal_prefix_len() > 0 => self.prefixed_literal(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(self.pos),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokenKind::Punct(b), self.pos, self.pos + 1);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize) {
+        self.out.push(Token { kind, start, end, line: self.line });
+    }
+
+    fn bump_lines(&mut self, start: usize, end: usize) {
+        self.line += self.src[start..end].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.pos);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.out.push(Token { kind: TokenKind::BlockComment, start, end: self.pos, line });
+    }
+
+    /// Length of a literal prefix (`r`, `b`, `c`, `br`, `cr`, `rb` is not a
+    /// thing) starting at `pos` *iff* it introduces a literal — i.e. it is
+    /// followed by `"`, `'` (b only), or `#`s then `"`.  Returns 0 when the
+    /// letters are just the start of an ordinary identifier like `read`.
+    fn literal_prefix_len(&self) -> usize {
+        let raw_after = |off: usize| {
+            // r / br / cr: optional #s then a quote
+            let mut i = off;
+            while self.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            self.peek(i) == Some(b'"')
+        };
+        match self.src[self.pos] {
+            b'r' if raw_after(1) => 1,
+            b'r' => 0,
+            b'b' | b'c' => match self.peek(1) {
+                Some(b'"') => 1,
+                Some(b'\'') if self.src[self.pos] == b'b' => 1,
+                Some(b'r') if raw_after(2) => 2,
+                _ => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    fn prefixed_literal(&mut self) {
+        let start = self.pos;
+        let plen = self.literal_prefix_len();
+        let raw = self.src[start..start + plen].contains(&b'r');
+        self.pos += plen;
+        if raw {
+            self.raw_string(start);
+        } else if self.src.get(self.pos) == Some(&b'\'') {
+            self.char_or_lifetime(start);
+        } else {
+            self.string(start);
+        }
+    }
+
+    /// `"..."` with escapes; `self.pos` is at the opening quote.
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    // a `\<newline>` continuation still advances the line
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.out.push(Token { kind: TokenKind::Str, start, end: self.pos, line });
+    }
+
+    /// `r#"..."#` with any fence; `self.pos` is at the first `#` or quote.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut i = 1;
+                while i <= hashes && self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                if i == hashes + 1 {
+                    self.pos += 1 + hashes;
+                    self.out.push(Token { kind: TokenKind::Str, start, end: self.pos, line });
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+        self.out.push(Token { kind: TokenKind::Str, start, end: self.pos, line });
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    /// `self.pos` is at the quote; `start` may be earlier for `b'x'`.
+    fn char_or_lifetime(&mut self, start: usize) {
+        let q = self.pos;
+        // Lifetime: quote, ident char(s), and the char after the ident run is
+        // NOT a closing quote.  ('a' is a char; 'a> is a lifetime.)
+        if self.src.get(q + 1).is_some_and(|&b| is_ident_start(b)) {
+            let mut i = q + 2;
+            while self.src.get(i).is_some_and(|&b| is_ident_continue(b)) {
+                i += 1;
+            }
+            if self.src.get(i) != Some(&b'\'') {
+                self.push(TokenKind::Lifetime, start, i);
+                self.pos = i;
+                return;
+            }
+        }
+        // Char literal: consume to the closing quote, honouring escapes.
+        let line = self.line;
+        self.pos = q + 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.src.len());
+        self.bump_lines(q, self.pos);
+        self.out.push(Token { kind: TokenKind::Char, start, end: self.pos, line });
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        // raw identifier r#fn — `r#` then ident (literal_prefix_len already
+        // ruled out r#" raw strings before we got here)
+        if self.src[self.pos] == b'r'
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).is_some_and(is_ident_start)
+        {
+            self.pos += 2;
+        }
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.pos);
+    }
+
+    /// Numbers are lexed loosely (rules never look inside them): digits,
+    /// underscores, type suffixes, hex/oct/bin bodies, exponents, and a `.`
+    /// only when followed by a digit (so `x.0.abs()` still tokenizes the
+    /// method dot, while `1.5` stays one token).
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // consume exponent signs: 1e-9 / 2.5E+3
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 2;
+                }
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start, self.pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("x.unwrap()");
+        assert_eq!(toks[0], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[1], (TokenKind::Punct(b'.'), ".".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_swallow_rule_tokens() {
+        for src in [
+            r#"let s = "call .unwrap() here";"#,
+            r##"let s = r#"raw "quoted" .unwrap()"#;"##,
+            r#"let s = b"bytes .unwrap()";"#,
+            "let s = \"multi\\nline \\\" esc\";",
+        ] {
+            assert!(
+                !kinds(src).iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_swallow_rule_tokens() {
+        for src in [
+            "// .unwrap() in a line comment\nlet x = 1;",
+            "/* .unwrap() /* nested .unwrap() */ still comment */ let x = 1;",
+        ] {
+            assert!(!kinds(src).iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        }
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn byte_char_and_raw_ident() {
+        let toks = kinds("let b = b'x'; let r#fn = 1;");
+        assert!(toks.contains(&(TokenKind::Char, "b'x'".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "r#fn".into())));
+    }
+
+    #[test]
+    fn raw_string_fences() {
+        let src = r####"let s = r###"inner "# and "## fences"###;"####;
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("fences"));
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_form() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\nf";
+        let toks = lex(src);
+        let line_of =
+            |text: &str| toks.iter().find(|t| t.text(src) == text).map(|t| t.line).unwrap_or(0);
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("e"), 5);
+        assert_eq!(line_of("f"), 6);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang_or_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'", "r#"] {
+            let toks = lex(src);
+            assert!(toks.last().is_some_and(|t| t.end <= src.len()), "{src}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! `dcdb-lint` — dependency-free workspace static analysis.
+//!
+//! The paper's monitoring stack is infrastructure other systems trust for
+//! correctness decisions, so *silent-failure* modes in dcdb itself are the
+//! most expensive bugs we can ship — and this repo has already paid for two
+//! (PR 4's `debug_assert!`-swallowed corrupt blocks, PR 5's freeze→push
+//! visibility race).  This crate turns those lessons, plus a handful of
+//! workspace conventions, into machine-checked rules:
+//!
+//! 1. `no-unwrap` — `unwrap()`/`expect()`/`panic!`/`unreachable!` in
+//!    non-test library code;
+//! 2. `unsafe-safety-comment` — `unsafe` block without `// SAFETY:`;
+//! 3. `debug-assert-integrity` — `debug_assert!` guarding a
+//!    data-integrity/decode/checksum path;
+//! 4. `lock-across-slow-op` — lock guard held across file IO / fsync /
+//!    SSTable encode-merge (scope-level heuristic);
+//! 5. `std-sync-lock` — `std::sync::Mutex`/`RwLock` where the workspace
+//!    standard is `parking_lot`;
+//! 6. `reserved-hierarchy-literal` — `_dcdb` literal outside `crates/sid`;
+//! 7. `metric-name` — metric families without the `dcdb_` prefix or the
+//!    required unit suffix.
+//!
+//! Architecture: a hand-rolled [`lexer`] (the only part that must be exactly
+//! right — tokens inside strings/comments must never match), token-pattern
+//! [`rules`], a [`config`] (`lint.toml`) for severities and knobs, and a
+//! [`baseline`] (`lint-baseline.json`) so legacy findings are tracked while
+//! new ones fail `--check`.  Everything is `std`-only by design: the tool
+//! that gates the build must never be the thing that breaks the build.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use config::{Config, Severity};
+pub use rules::{FileCtx, Finding, RULES};
+
+/// Outcome of analyzing a tree against a config + baseline.
+pub struct Analysis {
+    pub files_scanned: usize,
+    /// Every finding, with `baselined` flags resolved.
+    pub findings: Vec<ClassifiedFinding>,
+    /// Baseline entries that matched nothing (fixed legacy findings).
+    pub stale_baseline: Vec<(String, String, String)>,
+    pub baseline_total: usize,
+}
+
+/// A finding plus its baseline classification.
+pub struct ClassifiedFinding {
+    pub finding: Finding,
+    pub baselined: bool,
+}
+
+impl Analysis {
+    /// Findings that fail `--check`: deny severity and not baselined.
+    pub fn new_deny(&self) -> impl Iterator<Item = &ClassifiedFinding> {
+        self.findings.iter().filter(|c| !c.baselined && c.finding.severity == Severity::Deny)
+    }
+}
+
+/// Recursively collect `.rs` files under `root`, excluding configured path
+/// fragments plus the always-excluded `target/`, `.git/`, `vendor/` and the
+/// linter's own intentionally-violating fixture corpus.  Sorted for
+/// deterministic reports.
+pub fn collect_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut excludes: Vec<&str> =
+        vec!["target/", ".git/", "vendor/", "crates/lint/fixtures/", "results/"];
+    excludes.extend(cfg.exclude.iter().map(String::as_str));
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::file_name);
+        for entry in entries {
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            let is_dir = entry.file_type()?.is_dir();
+            let rel_probe = if is_dir { format!("{rel}/") } else { rel.clone() };
+            if excludes.iter().any(|p| rules::path_matches(p, &rel_probe)) {
+                continue;
+            }
+            if is_dir {
+                stack.push(path);
+            } else if rel.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    s.join("/")
+}
+
+/// Analyze every collected file and classify findings against the baseline.
+pub fn analyze(root: &Path, cfg: &Config, baseline: &Baseline) -> std::io::Result<Analysis> {
+    let files = collect_files(root, cfg)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let ctx = FileCtx::new(&rel, &src);
+        findings.extend(rules::run_rules(&ctx, cfg));
+    }
+    let mut matcher = baseline.matcher();
+    let classified = findings
+        .into_iter()
+        .map(|finding| {
+            let baselined = matcher.consume(finding.rule, &finding.path, &finding.excerpt);
+            ClassifiedFinding { finding, baselined }
+        })
+        .collect();
+    Ok(Analysis {
+        files_scanned: files.len(),
+        findings: classified,
+        stale_baseline: matcher.stale(),
+        baseline_total: matcher.total(),
+    })
+}
+
+/// Build a fresh baseline from the current deny findings (warn findings
+/// never gate, so they are not worth pinning).
+pub fn baseline_from(analysis: &Analysis) -> Baseline {
+    Baseline {
+        entries: analysis
+            .findings
+            .iter()
+            .filter(|c| c.finding.severity == Severity::Deny)
+            .map(|c| BaselineEntry {
+                rule: c.finding.rule.to_string(),
+                path: c.finding.path.clone(),
+                line: c.finding.line,
+                excerpt: c.finding.excerpt.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_path_is_slash_separated() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_path(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+}

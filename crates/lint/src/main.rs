@@ -1,0 +1,155 @@
+//! `dcdb-lint` CLI — the workspace static-analysis gate.
+//!
+//! ```text
+//! dcdb-lint [--root DIR] [--config FILE] [--baseline FILE] [--json FILE]
+//!           [--check] [--update-baseline] [--verbose] [--list-rules]
+//! ```
+//!
+//! Modes:
+//! - default: report findings, always exit 0 (exploration);
+//! - `--check`: exit 1 when any non-baselined `deny` finding exists (CI);
+//! - `--update-baseline`: rewrite the baseline from current deny findings
+//!   (adds new legacy debt, expires stale entries).
+//!
+//! Config and baseline default to `<root>/lint.toml` and
+//! `<root>/lint-baseline.json`; a missing file means built-in defaults /
+//! empty baseline.  The JSON report defaults to
+//! `<root>/results/LINT_report.json`.
+
+// CLI binary: stdout is the product.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcdb_lint::{baseline_from, config::Severity, report, Baseline, Config};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    check: bool,
+    update_baseline: bool,
+    verbose: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        json: None,
+        check: false,
+        update_baseline: false,
+        verbose: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let path_arg = |it: &mut dyn Iterator<Item = String>| {
+            it.next().map(PathBuf::from).ok_or(format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = path_arg(&mut it)?,
+            "--config" => args.config = Some(path_arg(&mut it)?),
+            "--baseline" => args.baseline = Some(path_arg(&mut it)?),
+            "--json" => args.json = Some(path_arg(&mut it)?),
+            "--check" => args.check = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--verbose" | "-v" => args.verbose = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "dcdb-lint [--root DIR] [--config FILE] [--baseline FILE] [--json FILE]\n\
+                     \x20         [--check] [--update-baseline] [--verbose] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dcdb-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for def in dcdb_lint::RULES {
+            println!("{:28} {:5}  {}", def.id, def.default_severity, def.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg = match std::fs::read_to_string(&config_path) {
+        Ok(text) => Config::parse(&text).map_err(|e| e.to_string())?,
+        // an explicitly named config must exist; the default location is optional
+        Err(e) if args.config.is_some() => {
+            return Err(format!("{}: {e}", config_path.display()));
+        }
+        Err(_) => Config::default(),
+    };
+
+    let baseline_path =
+        args.baseline.clone().unwrap_or_else(|| args.root.join("lint-baseline.json"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| e.to_string())?,
+        Err(e) if args.baseline.is_some() => {
+            return Err(format!("{}: {e}", baseline_path.display()));
+        }
+        Err(_) => Baseline::default(),
+    };
+
+    let analysis = dcdb_lint::analyze(&args.root, &cfg, &baseline).map_err(|e| e.to_string())?;
+
+    if args.update_baseline {
+        let fresh = baseline_from(&analysis);
+        std::fs::write(&baseline_path, fresh.to_json())
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} entr(ies) to {} ({} stale expired)",
+            fresh.entries.len(),
+            baseline_path.display(),
+            analysis.stale_baseline.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    print!("{}", report::render_text(&analysis, &cfg, args.verbose));
+
+    let json_path =
+        args.json.clone().unwrap_or_else(|| args.root.join("results").join("LINT_report.json"));
+    if let Some(dir) = json_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    let root_str = args.root.to_string_lossy().into_owned();
+    std::fs::write(&json_path, report::render_json(&analysis, &cfg, &root_str))
+        .map_err(|e| format!("{}: {e}", json_path.display()))?;
+
+    let new_deny = analysis.new_deny().count();
+    if args.check && new_deny > 0 {
+        println!("dcdb-lint --check: FAILED with {new_deny} new deny finding(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    if args.check {
+        let warn_total = analysis
+            .findings
+            .iter()
+            .filter(|c| !c.baselined && c.finding.severity == Severity::Warn)
+            .count();
+        println!("dcdb-lint --check: OK ({warn_total} warning(s))");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,142 @@
+//! Text and JSON rendering of an [`Analysis`].
+//!
+//! The JSON report (`results/LINT_report.json`) carries per-rule finding
+//! counts plus the full list of *new* (non-baselined) findings, so CI
+//! artifacts show exactly what the gate saw.
+
+use crate::baseline::write_json_string;
+use crate::config::Severity;
+use crate::{Analysis, Config};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rule counters for the summary table and the JSON report.
+#[derive(Default, Clone, Copy)]
+pub struct RuleCounts {
+    pub findings: usize,
+    pub baselined: usize,
+    pub new: usize,
+    pub warned: usize,
+}
+
+/// Aggregate findings per rule id.
+pub fn per_rule_counts(analysis: &Analysis) -> BTreeMap<&'static str, RuleCounts> {
+    let mut map: BTreeMap<&'static str, RuleCounts> = BTreeMap::new();
+    for def in crate::RULES {
+        map.insert(def.id, RuleCounts::default());
+    }
+    for c in &analysis.findings {
+        let e = map.entry(c.finding.rule).or_default();
+        e.findings += 1;
+        if c.baselined {
+            e.baselined += 1;
+        } else if c.finding.severity == Severity::Warn {
+            e.warned += 1;
+        } else {
+            e.new += 1;
+        }
+    }
+    map
+}
+
+/// Human-readable report: new findings first, then warnings, then a one-line
+/// per-rule summary.  `verbose` also lists baselined findings.
+pub fn render_text(analysis: &Analysis, cfg: &Config, verbose: bool) -> String {
+    let mut out = String::new();
+    for c in &analysis.findings {
+        let status = if c.baselined {
+            if !verbose {
+                continue;
+            }
+            "baselined"
+        } else {
+            c.finding.severity.as_str()
+        };
+        let _ = writeln!(
+            out,
+            "{}:{}: [{status}] {}: {}",
+            c.finding.path, c.finding.line, c.finding.rule, c.finding.message
+        );
+        let _ = writeln!(out, "    {}", c.finding.excerpt);
+    }
+    for (rule, path, excerpt) in &analysis.stale_baseline {
+        let _ = writeln!(
+            out,
+            "stale baseline entry: [{rule}] {path}: `{excerpt}` no longer found \
+             (run --update-baseline to expire it)"
+        );
+    }
+    let counts = per_rule_counts(analysis);
+    let _ = writeln!(out, "\nrule summary ({} files scanned):", analysis.files_scanned);
+    for def in crate::RULES {
+        let c = counts.get(def.id).copied().unwrap_or_default();
+        let sev = cfg.severity(def.id, def.default_severity);
+        let _ = writeln!(
+            out,
+            "  {:28} {:5}  findings={:4}  baselined={:4}  new={:3}  warn={:3}",
+            def.id, sev, c.findings, c.baselined, c.new, c.warned
+        );
+    }
+    let new_total: usize = counts.values().map(|c| c.new).sum();
+    let _ = writeln!(
+        out,
+        "\n{} new finding(s), {} baselined, {} stale baseline entr(ies)",
+        new_total,
+        counts.values().map(|c| c.baselined).sum::<usize>(),
+        analysis.stale_baseline.len()
+    );
+    out
+}
+
+/// The machine-readable report written to `results/LINT_report.json`.
+pub fn render_json(analysis: &Analysis, cfg: &Config, root: &str) -> String {
+    let counts = per_rule_counts(analysis);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"tool\": \"dcdb-lint\",");
+    {
+        let mut r = String::new();
+        write_json_string(&mut r, root);
+        let _ = writeln!(out, "  \"root\": {r},");
+    }
+    let _ = writeln!(out, "  \"files_scanned\": {},", analysis.files_scanned);
+    let _ = writeln!(out, "  \"baseline_entries\": {},", analysis.baseline_total);
+    let _ = writeln!(out, "  \"stale_baseline_entries\": {},", analysis.stale_baseline.len());
+    out.push_str("  \"rules\": {\n");
+    for (i, def) in crate::RULES.iter().enumerate() {
+        let c = counts.get(def.id).copied().unwrap_or_default();
+        let sev = cfg.severity(def.id, def.default_severity);
+        let _ = write!(
+            out,
+            "    \"{}\": {{\"severity\": \"{}\", \"findings\": {}, \"baselined\": {}, \
+             \"new\": {}, \"warn\": {}}}",
+            def.id, sev, c.findings, c.baselined, c.new, c.warned
+        );
+        out.push_str(if i + 1 < crate::RULES.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"new_findings\": [");
+    let mut first = true;
+    for c in &analysis.findings {
+        if c.baselined {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    {\"rule\": ");
+        write_json_string(&mut out, c.finding.rule);
+        out.push_str(", \"severity\": ");
+        write_json_string(&mut out, c.finding.severity.as_str());
+        out.push_str(", \"path\": ");
+        write_json_string(&mut out, &c.finding.path);
+        let _ = write!(out, ", \"line\": {}, \"message\": ", c.finding.line);
+        write_json_string(&mut out, &c.finding.message);
+        out.push('}');
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

@@ -1,0 +1,876 @@
+//! The rule engine: per-file token context plus the seven project-invariant
+//! rules.
+//!
+//! Each rule encodes a lesson this repo already paid for (see the rule table
+//! in README.md).  Rules match token patterns over the [`crate::lexer`]
+//! stream — never raw text — so occurrences inside strings, comments and raw
+//! strings are structurally invisible to them.
+//!
+//! Scope conventions shared by the rules:
+//! - *test code* (files under `tests/`, `benches/`, `examples/`, regions
+//!   under `#[cfg(test)]` / `#[test]`-style attributes) is exempt unless a
+//!   rule says otherwise;
+//! - a finding on line `L` is suppressed by an inline
+//!   `// lint: allow(<rule>) -- reason` comment on line `L` or `L-1`;
+//! - per-rule `exclude` path fragments come from `lint.toml` and match a
+//!   relative path that starts with the fragment or contains `/<fragment>`.
+
+use crate::config::{Config, RuleConfig, Severity};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One rule violation, before baseline matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Path relative to the scan root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// Trimmed source line (the baseline match key).
+    pub excerpt: String,
+}
+
+/// Static rule metadata.
+pub struct RuleDef {
+    pub id: &'static str,
+    pub default_severity: Severity,
+    pub summary: &'static str,
+}
+
+/// All rules, in the order they are documented and reported.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        id: "no-unwrap",
+        default_severity: Severity::Deny,
+        summary: "unwrap()/expect()/panic!/unreachable! in non-test library code",
+    },
+    RuleDef {
+        id: "unsafe-safety-comment",
+        default_severity: Severity::Deny,
+        summary: "unsafe block without an adjacent `// SAFETY:` comment",
+    },
+    RuleDef {
+        id: "debug-assert-integrity",
+        default_severity: Severity::Deny,
+        summary: "debug_assert! guarding a data-integrity/decode/checksum path",
+    },
+    RuleDef {
+        id: "lock-across-slow-op",
+        default_severity: Severity::Deny,
+        summary: "lock guard binding held across file IO / fsync / SSTable encode-merge",
+    },
+    RuleDef {
+        id: "std-sync-lock",
+        default_severity: Severity::Deny,
+        summary: "std::sync::Mutex/RwLock where the workspace standard is parking_lot",
+    },
+    RuleDef {
+        id: "reserved-hierarchy-literal",
+        default_severity: Severity::Deny,
+        summary: "`_dcdb` reserved-hierarchy literal outside crates/sid (use RESERVED_PREFIX)",
+    },
+    RuleDef {
+        id: "metric-name",
+        default_severity: Severity::Deny,
+        summary: "metric family without dcdb_ prefix or required unit suffix",
+    },
+];
+
+/// Look up a rule's built-in default severity.
+pub fn default_severity(rule: &str) -> Severity {
+    RULES.iter().find(|r| r.id == rule).map(|r| r.default_severity).unwrap_or(Severity::Deny)
+}
+
+/// Lexed + annotated view of one source file.
+pub struct FileCtx<'s> {
+    pub rel: &'s str,
+    pub src: &'s str,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    pub sig: Vec<usize>,
+    /// Brace depth *before* each `sig` entry.
+    pub depth: Vec<i32>,
+    /// Per full-token flag: inside test code.
+    pub test: Vec<bool>,
+    pub file_is_test: bool,
+    /// Inline allows: (first covered line, last covered line, rule ids).
+    allows: Vec<(u32, u32, Vec<String>)>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    line_starts: Vec<usize>,
+}
+
+impl<'s> FileCtx<'s> {
+    pub fn new(rel: &'s str, src: &'s str) -> FileCtx<'s> {
+        let tokens = lex(src);
+        let sig: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        let mut depth = Vec::with_capacity(sig.len());
+        let mut d = 0i32;
+        for &ti in &sig {
+            depth.push(d);
+            match tokens[ti].kind {
+                TokenKind::Punct(b'{') => d += 1,
+                TokenKind::Punct(b'}') => d -= 1,
+                _ => {}
+            }
+        }
+        let file_is_test = ["tests/", "benches/", "examples/"].iter().any(|p| path_matches(p, rel));
+        let test = mark_test_regions(src, &tokens, &sig, file_is_test);
+        let allows = collect_allows(src, &tokens);
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        FileCtx { rel, src, tokens, sig, depth, test, file_is_test, allows, line_starts }
+    }
+
+    /// The trimmed text of a 1-based line.
+    pub fn line_text(&self, line: u32) -> &'s str {
+        let i = (line as usize).saturating_sub(1);
+        let start = self.line_starts.get(i).copied().unwrap_or(self.src.len());
+        let end = self.line_starts.get(i + 1).copied().unwrap_or(self.src.len());
+        self.src[start..end].trim_end_matches('\n').trim()
+    }
+
+    fn s(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    fn s_text(&self, i: usize) -> &'s str {
+        self.s(i).map(|t| t.text(self.src)).unwrap_or("")
+    }
+
+    fn s_is(&self, i: usize, p: u8) -> bool {
+        self.s(i).is_some_and(|t| t.kind == TokenKind::Punct(p))
+    }
+
+    fn s_is_ident(&self, i: usize, name: &str) -> bool {
+        self.s(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.src) == name)
+    }
+
+    /// `::` at sig positions i, i+1.
+    fn s_is_path_sep(&self, i: usize) -> bool {
+        self.s_is(i, b':') && self.s_is(i + 1, b':')
+    }
+
+    fn in_test(&self, sig_i: usize) -> bool {
+        self.sig.get(sig_i).is_some_and(|&ti| self.test[ti])
+    }
+
+    /// Sig index of the `)` matching the `(` at sig index `open`.
+    fn matching_paren(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = open;
+        while let Some(t) = self.s(j) {
+            match t.kind {
+                TokenKind::Punct(b'(') => depth += 1,
+                TokenKind::Punct(b')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(start, end, rules)| {
+            (*start..=*end).contains(&line) && rules.iter().any(|r| r == rule || r == "*")
+        })
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Deny, // resolved by the engine
+            path: self.rel.to_string(),
+            line,
+            message,
+            excerpt: self.line_text(line).to_string(),
+        }
+    }
+}
+
+/// `pattern` matches `rel` when the path starts with it or contains it after
+/// a `/` — "src/bin/" matches "crates/tools/src/bin/x.rs".
+pub fn path_matches(pattern: &str, rel: &str) -> bool {
+    rel.starts_with(pattern) || rel.contains(&format!("/{pattern}"))
+}
+
+fn rule_excluded(rc: Option<&RuleConfig>, defaults: &[&str], rel: &str) -> bool {
+    match rc.and_then(|r| r.str_list("exclude")) {
+        Some(list) => list.iter().any(|p| path_matches(p, rel)),
+        None => defaults.iter().any(|p| path_matches(p, rel)),
+    }
+}
+
+fn str_list_or(rc: Option<&RuleConfig>, key: &str, defaults: &[&'static str]) -> Vec<String> {
+    match rc.and_then(|r| r.str_list(key)) {
+        Some(list) => list.to_vec(),
+        None => defaults.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Mark tokens covered by `#[cfg(test)]` / `#[test]`-flavoured attributes.
+///
+/// An attribute group marks as test when it mentions the ident `test` and
+/// does not mention `not` (so `#[cfg(not(test))]` stays production code).
+/// The marked region is the next `{ ... }` block at paren/bracket depth 0; an
+/// intervening `;` (braceless item like `#[cfg(test)] mod tests;`) cancels.
+fn mark_test_regions(src: &str, tokens: &[Token], sig: &[usize], file_is_test: bool) -> Vec<bool> {
+    let mut test = vec![file_is_test; tokens.len()];
+    if file_is_test {
+        return test;
+    }
+    let kind = |i: usize| sig.get(i).map(|&ti| tokens[ti].kind);
+    let is = |i: usize, p: u8| kind(i) == Some(TokenKind::Punct(p));
+    let text = |i: usize| tokens[sig[i]].text(src);
+    let mut i = 0usize;
+    while i < sig.len() {
+        if !is(i, b'#') || is(i + 1, b'!') || !is(i + 1, b'[') {
+            i += 1;
+            continue;
+        }
+        // collect the balanced [...] group starting at i+1
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < sig.len() {
+            match kind(j) {
+                Some(TokenKind::Punct(b'[')) => depth += 1,
+                Some(TokenKind::Punct(b']')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Some(TokenKind::Ident) => match text(j) {
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j + 1;
+            continue;
+        }
+        // find the next `{` at paren/bracket depth 0 before any `;`
+        let mut k = j + 1;
+        let mut pdepth = 0i32;
+        let mut start = None;
+        while k < sig.len() {
+            match kind(k) {
+                Some(TokenKind::Punct(b'(')) | Some(TokenKind::Punct(b'[')) => pdepth += 1,
+                Some(TokenKind::Punct(b')')) | Some(TokenKind::Punct(b']')) => pdepth -= 1,
+                Some(TokenKind::Punct(b';')) if pdepth == 0 => break,
+                Some(TokenKind::Punct(b'{')) if pdepth == 0 => {
+                    start = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = start else {
+            i = k + 1;
+            continue;
+        };
+        // mark from the attribute through the matching `}`
+        let mut bdepth = 0i32;
+        let mut end = open;
+        while end < sig.len() {
+            match kind(end) {
+                Some(TokenKind::Punct(b'{')) => bdepth += 1,
+                Some(TokenKind::Punct(b'}')) => {
+                    bdepth -= 1;
+                    if bdepth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let from = sig[i];
+        let to = if end < sig.len() { sig[end] } else { tokens.len() - 1 };
+        for t in test.iter_mut().take(to + 1).skip(from) {
+            *t = true;
+        }
+        // comments inside the region are covered because the full-token
+        // range [from, to] includes them
+        i = end + 1;
+    }
+    test
+}
+
+/// Collect `// lint: allow(rule-a, rule-b) -- reason` comments.  An allow
+/// covers its own line through the first code line after its contiguous
+/// `//` block, so a reason may run over several comment lines.
+fn collect_allows(src: &str, tokens: &[Token]) -> Vec<(u32, u32, Vec<String>)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(after) = text.find("lint:").map(|i| &text[i + 5..]) else {
+            continue;
+        };
+        let after = after.trim_start();
+        let Some(args) = after.strip_prefix("allow").map(str::trim_start) else {
+            continue;
+        };
+        let Some(open) = args.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = open[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            // the reason may continue over further `//` lines: extend the
+            // covered range through the contiguous comment block so the
+            // allow still reaches the first code line after it
+            let mut last = t.line;
+            for n in tokens.iter().skip(i + 1) {
+                if n.is_comment() && n.line == last + 1 {
+                    last = n.line;
+                } else {
+                    break;
+                }
+            }
+            out.push((t.line, last + 1, rules));
+        }
+    }
+    out
+}
+
+/// Run every enabled rule over one file.
+pub fn run_rules(ctx: &FileCtx<'_>, cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for def in RULES {
+        let severity = cfg.severity(def.id, def.default_severity);
+        if severity == Severity::Allow {
+            continue;
+        }
+        let mut batch = match def.id {
+            "no-unwrap" => rule_no_unwrap(ctx, cfg.rule(def.id)),
+            "unsafe-safety-comment" => rule_unsafe_safety(ctx, cfg.rule(def.id)),
+            "debug-assert-integrity" => rule_debug_assert(ctx, cfg.rule(def.id)),
+            "lock-across-slow-op" => rule_lock_across_slow_op(ctx, cfg.rule(def.id)),
+            "std-sync-lock" => rule_std_sync_lock(ctx, cfg.rule(def.id)),
+            "reserved-hierarchy-literal" => rule_reserved_literal(ctx, cfg.rule(def.id)),
+            "metric-name" => rule_metric_name(ctx, cfg.rule(def.id)),
+            _ => Vec::new(),
+        };
+        batch.retain(|f| !ctx.allowed(f.rule, f.line));
+        for f in &mut batch {
+            f.severity = severity;
+        }
+        findings.append(&mut batch);
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Rule 1: `unwrap()` / `expect()` / `panic!` / `unreachable!` in non-test
+/// library code.  `expect("non-empty literal")` is sanctioned by default
+/// (`allow_expect_with_message = true`): an invariant message is the
+/// documented escape hatch for impossible states.
+fn rule_no_unwrap(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    const ID: &str = "no-unwrap";
+    if rule_excluded(rc, &["src/bin/"], ctx.rel) {
+        return Vec::new();
+    }
+    let allow_expect = rc.and_then(|r| r.bool("allow_expect_with_message")).unwrap_or(true);
+    let mut out = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let Some(tok) = ctx.s(i) else { continue };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let line = tok.line;
+        match tok.text(ctx.src) {
+            "unwrap" if ctx.s_is(i.wrapping_sub(1), b'.') && ctx.s_is(i + 1, b'(') => {
+                out.push(
+                    ctx.finding(
+                        "no-unwrap",
+                        line,
+                        "`.unwrap()` in library code: return a typed error or use \
+                     `expect(\"<invariant>\")`"
+                            .to_string(),
+                    ),
+                );
+            }
+            "expect" if ctx.s_is(i.wrapping_sub(1), b'.') && ctx.s_is(i + 1, b'(') => {
+                // `self.expect(..)?` is a custom fallible method, never
+                // Option/Result::expect (which panics instead of returning)
+                let close = ctx.matching_paren(i + 1);
+                if close.is_some_and(|c| ctx.s_is(c + 1, b'?')) {
+                    continue;
+                }
+                let msg_ok = allow_expect
+                    && ctx.s(i + 2).is_some_and(|t| {
+                        t.kind == TokenKind::Str && !t.text(ctx.src).trim_matches('"').is_empty()
+                    })
+                    && (ctx.s_is(i + 3, b')') || (ctx.s_is(i + 3, b',') && ctx.s_is(i + 4, b')')));
+                if !msg_ok {
+                    out.push(
+                        ctx.finding(
+                            ID,
+                            line,
+                            "`.expect(..)` without a literal invariant message in library code"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            name @ ("panic" | "unreachable") if ctx.s_is(i + 1, b'!') => {
+                // `#[should_panic]` etc. never lex as a bare `panic !`
+                out.push(ctx.finding(
+                    ID,
+                    line,
+                    format!("`{name}!` in library code: prefer a typed error path"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Rule 2: an `unsafe` block needs a `// SAFETY:` comment within two lines
+/// above it, trailing on the same line, or first inside the block.
+fn rule_unsafe_safety(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    if rule_excluded(rc, &[], ctx.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) || !ctx.s_is_ident(i, "unsafe") {
+            continue;
+        }
+        // blocks only: `unsafe fn` / `unsafe impl` / `unsafe trait` declare
+        // obligations rather than discharging them
+        if !ctx.s_is(i + 1, b'{') {
+            continue;
+        }
+        let tok = ctx.s(i).expect("sig index is in range");
+        let full_idx = ctx.sig[i];
+        let near_comment_has_safety =
+            ctx.tokens.iter().skip(full_idx.saturating_sub(6)).take(13).any(|t| {
+                t.is_comment()
+                    && t.text(ctx.src).contains("SAFETY:")
+                    && t.line.abs_diff(tok.line) <= 2
+            });
+        if !near_comment_has_safety {
+            out.push(ctx.finding(
+                "unsafe-safety-comment",
+                tok.line,
+                "unsafe block without an adjacent `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 3: `debug_assert!` on a data-integrity path (configured path
+/// fragments, or integrity keywords in the macro arguments) — compiled out
+/// in release builds, so the guarded condition silently passes in
+/// production.  The PR 4 lesson: corrupt blocks need a *real* error path.
+fn rule_debug_assert(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    if rule_excluded(rc, &[], ctx.rel) {
+        return Vec::new();
+    }
+    let paths = str_list_or(rc, "integrity_paths", &["crates/compress/src/", "crates/store/src/"]);
+    let keywords = str_list_or(rc, "keywords", &["checksum", "crc", "magic", "corrupt"]);
+    let path_hit = paths.iter().any(|p| path_matches(p, ctx.rel));
+    let mut out = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let name = ctx.s_text(i);
+        if !matches!(name, "debug_assert" | "debug_assert_eq" | "debug_assert_ne")
+            || !ctx.s_is(i + 1, b'!')
+        {
+            continue;
+        }
+        let keyword_hit = {
+            // scan the macro argument tokens for integrity keywords
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut hit = false;
+            while let Some(t) = ctx.s(j) {
+                match t.kind {
+                    TokenKind::Punct(b'(') => depth += 1,
+                    TokenKind::Punct(b')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident | TokenKind::Str => {
+                        let text = t.text(ctx.src);
+                        if keywords.iter().any(|k| text.contains(k.as_str())) {
+                            hit = true;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            hit
+        };
+        if path_hit || keyword_hit {
+            let line = ctx.s(i).map(|t| t.line).unwrap_or(1);
+            out.push(ctx.finding(
+                "debug-assert-integrity",
+                line,
+                format!(
+                    "`{name}!` on a data-integrity path is compiled out in release; \
+                     make it a real error path (count + journal, or return an error)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Rule 4 (scope-level heuristic): a `let`-bound guard from `.lock()` /
+/// `.read()` / `.write()` whose scope also contains a configured slow
+/// operation (file IO, fsync, SSTable encode/merge) before the guard dies.
+/// The PR 5 lesson: encode and merge outside the table lock, swap under it.
+fn rule_lock_across_slow_op(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    if rule_excluded(rc, &[], ctx.rel) {
+        return Vec::new();
+    }
+    let slow_ops = str_list_or(
+        rc,
+        "slow_ops",
+        &[
+            "sync_all",
+            "sync_data",
+            "write_all",
+            "read_to_end",
+            "read_to_string",
+            "create_dir_all",
+            "File",
+            "OpenOptions",
+            "from_sorted",
+            "from_sorted_cached",
+            "read_from",
+            "read_from_cached",
+            "write_to",
+            "merge_cached",
+            "encode_framed_into",
+        ],
+    );
+    let ignore_receivers = str_list_or(rc, "ignore_receivers", &["stdout", "stderr"]);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        if ctx.in_test(i) || !ctx.s_is_ident(i, "let") {
+            i += 1;
+            continue;
+        }
+        let let_depth = ctx.depth[i];
+        // binding ident (skip `mut`); tuple/struct patterns are skipped —
+        // guards are bound to plain identifiers in this codebase
+        let mut bi = i + 1;
+        if ctx.s_is_ident(bi, "mut") {
+            bi += 1;
+        }
+        let Some(bind_tok) = ctx.s(bi) else { break };
+        if bind_tok.kind != TokenKind::Ident || ctx.s_is(bi + 1, b'(') || ctx.s_is(bi + 1, b'{') {
+            i += 1;
+            continue;
+        }
+        let binding = bind_tok.text(ctx.src).to_string();
+        // statement end: `;` back at the let's depth
+        let mut j = bi + 1;
+        let mut stmt_end = None;
+        while let Some(t) = ctx.s(j) {
+            if t.kind == TokenKind::Punct(b';') && ctx.depth[j] == let_depth {
+                stmt_end = Some(j);
+                break;
+            }
+            if ctx.depth[j] < let_depth {
+                break;
+            }
+            j += 1;
+        }
+        let Some(stmt_end) = stmt_end else {
+            i = j;
+            continue;
+        };
+        // Does the initializer *evaluate to* a guard?  The `.lock()` /
+        // `.read()` / `.write()` call must sit at the top level of the
+        // initializer (not inside a nested block or a call argument, where
+        // the guard dies before the binding) and be terminal in its method
+        // chain apart from poison adapters (`.expect(..)` /
+        // `.unwrap_or_else(..)`) — `.read().iter().collect()` binds the
+        // collected data, not the guard.
+        let mut is_guard = false;
+        let mut ignored = false;
+        let mut pdepth = 0i32;
+        let mut k = bi + 1;
+        while k < stmt_end {
+            match ctx.s(k).map(|t| t.kind) {
+                Some(TokenKind::Punct(b'(')) | Some(TokenKind::Punct(b'[')) => pdepth += 1,
+                Some(TokenKind::Punct(b')')) | Some(TokenKind::Punct(b']')) => pdepth -= 1,
+                Some(TokenKind::Ident) => {
+                    let text = ctx.s_text(k);
+                    if ignore_receivers.iter().any(|r| r == text) {
+                        ignored = true;
+                    }
+                    if matches!(text, "lock" | "read" | "write")
+                        && pdepth == 0
+                        && ctx.depth[k] == let_depth
+                        && ctx.s_is(k.wrapping_sub(1), b'.')
+                        && ctx.s_is(k + 1, b'(')
+                        && ctx.s_is(k + 2, b')')
+                    {
+                        // walk the rest of the chain: only poison adapters
+                        // keep the binding a guard
+                        let mut c = k + 3;
+                        let mut terminal = true;
+                        while c < stmt_end && ctx.s_is(c, b'.') {
+                            let m = ctx.s_text(c + 1);
+                            if matches!(m, "expect" | "unwrap" | "unwrap_or_else")
+                                && ctx.s_is(c + 2, b'(')
+                            {
+                                match ctx.matching_paren(c + 2) {
+                                    Some(close) => c = close + 1,
+                                    None => break,
+                                }
+                            } else {
+                                terminal = false;
+                                break;
+                            }
+                        }
+                        if terminal {
+                            is_guard = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if !is_guard || ignored {
+            i = stmt_end + 1;
+            continue;
+        }
+        // guard scope: until the enclosing block closes or `drop(binding)`
+        let mut k = stmt_end + 1;
+        while k < ctx.sig.len() && ctx.depth[k] >= let_depth {
+            if ctx.s_is_ident(k, "drop")
+                && ctx.s_is(k + 1, b'(')
+                && ctx.s_is_ident(k + 2, &binding)
+                && ctx.s_is(k + 3, b')')
+            {
+                break;
+            }
+            let text = ctx.s_text(k);
+            if ctx.s(k).is_some_and(|t| t.kind == TokenKind::Ident)
+                && slow_ops.iter().any(|s| s == text)
+            {
+                let guard_line = bind_tok.line;
+                let slow_line = ctx.s(k).map(|t| t.line).unwrap_or(guard_line);
+                out.push(ctx.finding(
+                    "lock-across-slow-op",
+                    guard_line,
+                    format!(
+                        "lock guard `{binding}` is still live when `{text}` runs \
+                         (line {slow_line}); move the slow operation outside the \
+                         guard or drop() first"
+                    ),
+                ));
+                break;
+            }
+            k += 1;
+        }
+        i = stmt_end + 1;
+    }
+    out
+}
+
+/// Rule 5: `std::sync::Mutex` / `std::sync::RwLock` (including inside a
+/// `use std::sync::{...}` group).  `Condvar` has no parking_lot equivalent
+/// in the vendored stub, so std Mutex paired with it takes an inline allow.
+fn rule_std_sync_lock(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    if rule_excluded(rc, &[], ctx.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i)
+            || !ctx.s_is_ident(i, "std")
+            || !ctx.s_is_path_sep(i + 1)
+            || !ctx.s_is_ident(i + 3, "sync")
+            || !ctx.s_is_path_sep(i + 4)
+        {
+            continue;
+        }
+        let mut flag = |j: usize| {
+            let text = ctx.s_text(j);
+            if matches!(text, "Mutex" | "RwLock") {
+                let line = ctx.s(j).map(|t| t.line).unwrap_or(1);
+                out.push(ctx.finding(
+                    "std-sync-lock",
+                    line,
+                    format!("std::sync::{text}: the workspace standard is parking_lot::{text}"),
+                ));
+            }
+        };
+        if ctx.s_is(i + 6, b'{') {
+            let mut j = i + 7;
+            while j < ctx.sig.len() && !ctx.s_is(j, b'}') {
+                flag(j);
+                j += 1;
+            }
+        } else {
+            flag(i + 6);
+        }
+    }
+    out
+}
+
+/// Rule 6: a string literal containing `_dcdb` outside `crates/sid` — use
+/// the exported `dcdb_sid::RESERVED_PREFIX` constant so a rename of the
+/// reserved hierarchy cannot silently split the namespace.
+fn rule_reserved_literal(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    if rule_excluded(rc, &["crates/sid/"], ctx.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let Some(tok) = ctx.s(i) else { continue };
+        if tok.kind == TokenKind::Str && tok.text(ctx.src).contains("_dcdb") {
+            out.push(
+                ctx.finding(
+                    "reserved-hierarchy-literal",
+                    tok.line,
+                    "`_dcdb` literal: build the topic from `dcdb_sid::RESERVED_PREFIX` instead"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Rule 7: metric families registered via `.counter(..)` / `.gauge(..)` /
+/// `.histogram(..)` / `.func(..)` must carry the `dcdb_` prefix; counters
+/// end `_total` (Prometheus convention) and histograms end in a unit suffix
+/// (`_ns` / `_bytes`) so `/metrics` exposition stays coherent.
+fn rule_metric_name(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding> {
+    if rule_excluded(rc, &[], ctx.rel) {
+        return Vec::new();
+    }
+    let prefix = match rc.and_then(|r| r.keys.get("prefix")) {
+        Some(crate::config::Value::Str(s)) => s.clone(),
+        _ => "dcdb_".to_string(),
+    };
+    let counter_suffixes = str_list_or(rc, "counter_suffixes", &["_total"]);
+    let histogram_suffixes = str_list_or(rc, "histogram_suffixes", &["_ns", "_bytes"]);
+    let mut out = Vec::new();
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) || !ctx.s_is(i.wrapping_sub(1), b'.') {
+            continue;
+        }
+        let method = ctx.s_text(i);
+        if !matches!(method, "counter" | "gauge" | "histogram" | "func") || !ctx.s_is(i + 1, b'(') {
+            continue;
+        }
+        let Some(name_tok) = ctx.s(i + 2) else { continue };
+        if name_tok.kind != TokenKind::Str {
+            continue; // computed name (format!); not statically checkable
+        }
+        let raw = name_tok.text(ctx.src);
+        let Some(open) = raw.find('"') else { continue };
+        let Some(close) = raw.rfind('"') else { continue };
+        if close <= open {
+            continue;
+        }
+        let name = &raw[open + 1..close];
+        // labels ride in the name: dcdb_query_stage_ns{stage="plan"}
+        let family = name.split('{').next().unwrap_or(name);
+        let line = name_tok.line;
+        if !family.starts_with(&prefix) {
+            out.push(ctx.finding(
+                "metric-name",
+                line,
+                format!("metric family `{family}` must start with `{prefix}`"),
+            ));
+            continue;
+        }
+        // func(): the Kind ident follows the name argument
+        let effective = if method == "func" {
+            let mut kind = "";
+            for j in i + 3..(i + 12).min(ctx.sig.len()) {
+                match ctx.s_text(j) {
+                    "Counter" => {
+                        kind = "counter";
+                        break;
+                    }
+                    "Gauge" => {
+                        kind = "gauge";
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            kind
+        } else {
+            method
+        };
+        match effective {
+            "counter" if !counter_suffixes.iter().any(|s| family.ends_with(s.as_str())) => {
+                out.push(ctx.finding(
+                    "metric-name",
+                    line,
+                    format!(
+                        "counter family `{family}` must end with `{}`",
+                        counter_suffixes.join("` or `")
+                    ),
+                ));
+            }
+            "histogram" if !histogram_suffixes.iter().any(|s| family.ends_with(s.as_str())) => {
+                out.push(ctx.finding(
+                    "metric-name",
+                    line,
+                    format!(
+                        "histogram family `{family}` must end with a unit suffix (`{}`)",
+                        histogram_suffixes.join("`, `")
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,103 @@
+//! End-to-end analyzer runs over the fixture trees.
+//!
+//! `fixtures/violating/` holds one positive file per rule and must trip
+//! every rule; `fixtures/clean/` holds the matching sanctioned forms
+//! (messaged expect, SAFETY comments, snapshot-then-IO, inline allows) and
+//! must produce zero findings.  The same violating tree then exercises the
+//! baseline lifecycle: generate → clean `--check` → stale detection.
+
+use std::path::PathBuf;
+
+use dcdb_lint::{analyze, baseline_from, Baseline, BaselineEntry, Config, RULES};
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(which)
+}
+
+#[test]
+fn violating_tree_trips_every_rule() {
+    let analysis = analyze(&fixture_root("violating"), &Config::default(), &Baseline::default())
+        .expect("scan violating fixtures");
+    for def in RULES {
+        let hits = analysis.findings.iter().filter(|c| c.finding.rule == def.id).count();
+        assert!(hits > 0, "rule `{}` found nothing in fixtures/violating", def.id);
+    }
+    // everything is a new deny finding: default config denies every rule
+    // and no baseline is loaded
+    assert_eq!(analysis.new_deny().count(), analysis.findings.len());
+}
+
+#[test]
+fn clean_tree_is_quiet() {
+    let analysis = analyze(&fixture_root("clean"), &Config::default(), &Baseline::default())
+        .expect("scan clean fixtures");
+    let leftover: Vec<String> = analysis
+        .findings
+        .iter()
+        .map(|c| format!("{}:{} {}", c.finding.path, c.finding.line, c.finding.rule))
+        .collect();
+    assert!(leftover.is_empty(), "clean fixtures flagged: {leftover:#?}");
+}
+
+#[test]
+fn baseline_absorbs_then_expires() {
+    let root = fixture_root("violating");
+    let cfg = Config::default();
+
+    // 1. adopt the current findings as legacy debt
+    let first = analyze(&root, &cfg, &Baseline::default()).expect("initial scan");
+    let adopted = baseline_from(&first);
+    assert_eq!(adopted.entries.len(), first.findings.len());
+
+    // 2. the same tree now gates clean: everything baselined, nothing stale
+    let second = analyze(&root, &cfg, &adopted).expect("baselined scan");
+    assert_eq!(second.new_deny().count(), 0);
+    assert!(second.findings.iter().all(|c| c.baselined));
+    assert!(second.stale_baseline.is_empty());
+
+    // 3. an entry whose code was since fixed is reported stale, and a
+    //    second identical violation is NOT absorbed by one entry (multiset)
+    let mut padded = adopted.clone();
+    padded.entries.push(BaselineEntry {
+        rule: "no-unwrap".to_string(),
+        path: "crates/store/src/unwrap_bad.rs".to_string(),
+        line: 999,
+        excerpt: "let gone = fixed.unwrap();".to_string(),
+    });
+    let third = analyze(&root, &cfg, &padded).expect("padded scan");
+    assert_eq!(third.new_deny().count(), 0);
+    assert_eq!(third.stale_baseline.len(), 1, "fixed-code entry must be stale");
+
+    // 4. a baseline JSON round-trip preserves matching behaviour
+    let reparsed = Baseline::parse(&adopted.to_json()).expect("round-trip");
+    let fourth = analyze(&root, &cfg, &reparsed).expect("round-trip scan");
+    assert_eq!(fourth.new_deny().count(), 0);
+
+    // 5. dropping one entry makes exactly that finding fail the gate again
+    let mut shrunk = adopted.clone();
+    shrunk.entries.retain(|e| !e.excerpt.contains("*v.first().unwrap()"));
+    assert_eq!(shrunk.entries.len() + 1, adopted.entries.len());
+    let fifth = analyze(&root, &cfg, &shrunk).expect("shrunk scan");
+    assert_eq!(fifth.new_deny().count(), 1);
+}
+
+#[test]
+fn severity_overrides_demote_and_disable() {
+    let root = fixture_root("violating");
+    let toml =
+        "[rule.no-unwrap]\nseverity = \"warn\"\n\n[rule.metric-name]\nseverity = \"allow\"\n";
+    let cfg = Config::parse(toml).expect("config");
+    let analysis = analyze(&root, &cfg, &Baseline::default()).expect("scan");
+    assert!(
+        analysis.new_deny().all(|c| c.finding.rule != "no-unwrap"),
+        "warn-severity findings must not gate"
+    );
+    assert!(
+        analysis.findings.iter().any(|c| c.finding.rule == "no-unwrap"),
+        "warn-severity findings are still reported"
+    );
+    assert!(
+        analysis.findings.iter().all(|c| c.finding.rule != "metric-name"),
+        "allow-severity rules are off"
+    );
+}

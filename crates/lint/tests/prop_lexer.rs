@@ -1,0 +1,126 @@
+//! Lexer properties the rule engine depends on.
+//!
+//! Every rule matches on identifier tokens, so the two load-bearing
+//! guarantees are (1) rule keywords buried inside string literals, raw
+//! strings, char/byte literals, or comments never surface as `Ident`
+//! tokens, and (2) byte spans tile the source exactly — token slices
+//! concatenated with the (whitespace-only) gaps reproduce the input, and
+//! each token's line number counts the newlines before it.  Random
+//! composites of code atoms, literals, and comments exercise both.
+
+use dcdb_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Keywords whose misclassification would create false lint findings.
+const KEYWORDS: &[&str] = &["unwrap", "panic", "unsafe", "debug_assert", "_dcdb", "lock"];
+
+fn keyword() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(KEYWORDS[0].to_string()),
+        Just(KEYWORDS[1].to_string()),
+        Just(KEYWORDS[2].to_string()),
+        Just(KEYWORDS[3].to_string()),
+        Just(KEYWORDS[4].to_string()),
+        Just(KEYWORDS[5].to_string()),
+    ]
+}
+
+/// One source fragment: either plain code that legitimately contains the
+/// keyword as an identifier, or a literal/comment that merely *spells* it.
+#[derive(Debug, Clone)]
+enum Atom {
+    Code(String),
+    /// The keyword is quoted away; the lexer must not emit it as an Ident.
+    Hidden(String),
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        keyword().prop_map(|k| Atom::Code(format!("let {k}_x = 1;"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("let s = \"call .{k}() now\";"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("let s = \"multi\\nline {k}\\t\";"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("let r = r#\"raw {k}() \"inner\" \"#;"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("let r = r##\"fence# {k} \"#\"##;"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("let b = b\"{k} bytes\";"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("// line comment {k}()"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("/* block {k} */"))),
+        keyword().prop_map(|k| Atom::Hidden(format!("/* outer /* nested {k} */ tail */"))),
+        Just(Atom::Code("let c = 'x';".to_string())),
+        Just(Atom::Code("fn g<'a>(v: &'a str) -> &'a str { v }".to_string())),
+        Just(Atom::Code("let n = 0xff_u64;".to_string())),
+    ]
+}
+
+fn source() -> impl Strategy<Value = (String, Vec<Atom>)> {
+    prop::collection::vec(atom(), 0..12).prop_map(|atoms| {
+        let mut src = String::new();
+        for (i, a) in atoms.iter().enumerate() {
+            let text = match a {
+                Atom::Code(t) | Atom::Hidden(t) => t,
+            };
+            src.push_str(text);
+            // vary the joiner so tokens land on shared and fresh lines
+            src.push_str(if i % 3 == 0 { "\n" } else { " " });
+        }
+        (src, atoms)
+    })
+}
+
+proptest! {
+    /// A keyword inside any literal or comment never lexes as an `Ident`;
+    /// the same keyword in real code always does.
+    #[test]
+    fn hidden_keywords_never_become_idents((src, atoms) in source()) {
+        let tokens = lex(&src);
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        for a in &atoms {
+            if let Atom::Hidden(text) = a {
+                let kw = KEYWORDS.iter().find(|k| text.contains(**k)).expect("atom has keyword");
+                // `<kw>_x` idents from Code atoms are fine; a bare keyword
+                // ident could only have leaked out of a literal or comment
+                prop_assert!(
+                    !idents.iter().any(|i| i == kw),
+                    "`{kw}` leaked as Ident from {text:?}\nsource: {src:?}"
+                );
+            }
+        }
+    }
+
+    /// Token spans are ascending, non-overlapping, line-correct, and tile
+    /// the source: everything between tokens is whitespace.
+    #[test]
+    fn spans_tile_the_source((src, _atoms) in source()) {
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= pos, "overlap at byte {}", t.start);
+            prop_assert!(t.end >= t.start && t.end <= src.len());
+            prop_assert!(
+                src[pos..t.start].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?}", &src[pos..t.start]
+            );
+            let newlines = src[..t.start].matches('\n').count() as u32;
+            prop_assert_eq!(t.line, newlines + 1, "line drift for {:?}", t.text(&src));
+            pos = t.end;
+        }
+        prop_assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+
+    /// Lexing any prefix of a valid source never panics and still tiles —
+    /// unterminated literals/comments must degrade gracefully.
+    #[test]
+    fn truncation_never_panics((src, _atoms) in source(), cut in 0usize..200) {
+        let cut = cut.min(src.len());
+        if !src.is_char_boundary(cut) {
+            return Ok(());
+        }
+        let prefix = &src[..cut];
+        for t in lex(prefix) {
+            prop_assert!(t.end <= prefix.len());
+        }
+    }
+}

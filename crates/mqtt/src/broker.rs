@@ -161,6 +161,9 @@ fn send(writer: &Mutex<TcpStream>, packet: &Packet) -> std::io::Result<()> {
     let mut out = BytesMut::new();
     encode_packet(packet, &mut out)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    // lint: allow(lock-across-slow-op) -- the per-connection writer mutex
+    // exists precisely to serialise whole frames onto the socket; writing
+    // outside it would interleave packets from concurrent publishers
     let mut w = writer.lock();
     w.write_all(&out)
 }

@@ -263,6 +263,9 @@ impl Client {
         let mut out = BytesMut::new();
         encode_packet(packet, &mut out)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // lint: allow(lock-across-slow-op) -- the connection mutex serialises
+        // whole frames onto the socket and guards reconnect; writing outside
+        // it would interleave packets from concurrent senders
         let mut conn = self.conn.lock();
         for _ in 0..2 {
             if conn.is_none() {

@@ -23,6 +23,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+// lint: allow(std-sync-lock) -- dcdb-obs is dependency-free by design (see
+// the crate docs): the instrumentation layer must not depend on the code
+// it instruments, vendored stubs included
 use std::sync::Mutex;
 
 use crate::trace::TraceSpan;

@@ -22,6 +22,9 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
+// lint: allow(std-sync-lock) -- dcdb-obs is dependency-free by design (see
+// the crate docs): the instrumentation layer must not depend on the code
+// it instruments, vendored stubs included
 use std::sync::{Arc, RwLock};
 
 use crate::events::{EventJournal, SlowQueryLog};
@@ -157,6 +160,9 @@ impl Registry {
             .or_insert_with(|| Slot::Counter(Arc::new(Counter::new())))
         {
             Slot::Counter(c) => Arc::clone(c),
+            // lint: allow(no-unwrap) -- documented contract (`# Panics`): a
+            // kind mismatch is a compile-time-style wiring bug, covered by a
+            // #[should_panic] test
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -169,6 +175,7 @@ impl Registry {
         let mut slots = self.slots.write().expect("obs registry");
         match slots.entry(name.to_string()).or_insert_with(|| Slot::Gauge(Arc::new(Gauge::new()))) {
             Slot::Gauge(g) => Arc::clone(g),
+            // lint: allow(no-unwrap) -- documented contract, see counter()
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }
@@ -184,6 +191,7 @@ impl Registry {
             .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new())))
         {
             Slot::Histogram(h) => Arc::clone(h),
+            // lint: allow(no-unwrap) -- documented contract, see counter()
             _ => panic!("metric {name} already registered with a different kind"),
         }
     }

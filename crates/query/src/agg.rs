@@ -322,6 +322,8 @@ impl WindowedAgg {
                     (WinState::Moments(a), WinState::Moments(b)) => a.merge(&b),
                     (WinState::Values(a), WinState::Values(b)) => a.extend(b),
                     (WinState::Rate(a), WinState::Rate(b)) => *a += b,
+                    // lint: allow(no-unwrap) -- state variant is derived from
+                    // the same AggFn on both sides; a mismatch cannot occur
                     _ => unreachable!("window states match the aggregation"),
                 },
             }
@@ -379,6 +381,8 @@ impl WindowedAgg {
                     let rate = (last.value - first.value) / (dt_ns as f64 / 1e9);
                     match self.windows.entry(key).or_insert(WinState::Rate(0.0)) {
                         WinState::Rate(sum) => *sum += rate,
+                        // lint: allow(no-unwrap) -- entry inserted as Rate on
+                        // the line above; any other variant cannot occur
                         _ => unreachable!("rate aggregation uses rate state"),
                     }
                 }
@@ -409,6 +413,8 @@ impl WindowedAgg {
                         Some((_, WinState::Simple(s))) => s.push(r.value),
                         Some((_, WinState::Moments(m))) => m.push(r.value),
                         Some((_, WinState::Values(v))) => v.push(r.value),
+                        // lint: allow(no-unwrap) -- `cur` is seeded from this
+                        // aggregation's own AggFn; a mismatch cannot occur
                         _ => unreachable!("window states match the aggregation"),
                     }
                 }
@@ -441,6 +447,8 @@ impl WindowedAgg {
                         v[idx.min(v.len() - 1)]
                     }
                     (WinState::Rate(sum), AggFn::Rate) => sum,
+                    // lint: allow(no-unwrap) -- every state was created from
+                    // this same AggFn; a mismatched pair cannot occur
                     _ => unreachable!("window state matches the aggregation"),
                 };
                 // window starts below i64::MIN (only reachable for ranges

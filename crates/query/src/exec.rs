@@ -14,7 +14,8 @@
 //! caller-visible contract, proven bit-for-bit by the grouped proptests.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use parking_lot::Mutex;
 
 /// Worker threads used when the caller does not pin a count: the machine's
 /// available parallelism.
@@ -50,16 +51,11 @@ where
                     break;
                 }
                 let result = task(i);
-                *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                *slots[i].lock() = Some(result);
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("slot lock poisoned").expect("worker completed the task")
-        })
-        .collect()
+    slots.into_iter().map(|slot| slot.into_inner().expect("worker completed the task")).collect()
 }
 
 #[cfg(test)]

@@ -33,6 +33,8 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// lint: allow(std-sync-lock) -- pool workers park on a Condvar, which the
+// vendored parking_lot stub does not provide
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 

@@ -31,6 +31,8 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// lint: allow(std-sync-lock) -- the flush backlog blocks writers on a
+// Condvar, which the vendored parking_lot stub does not provide
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -430,8 +432,22 @@ impl NodeCore {
             }
             {
                 let mut q = core.frozen.lock().expect("flush backlog");
-                let popped = q.pop_front();
-                debug_assert!(popped.is_some_and(|p| Arc::ptr_eq(&p, &mt)));
+                // pop exactly the memtable this iteration flushed: freezes
+                // only push at the back while `flush_active` holds the
+                // front stable, so a mismatch means that invariant broke —
+                // journal it and leave the queue alone rather than blindly
+                // discarding a memtable that was never flushed
+                if q.front().is_some_and(|p| Arc::ptr_eq(p, &mt)) {
+                    q.pop_front();
+                } else {
+                    core.instruments.events.record(
+                        dcdb_obs::EventKind::FlushFailed,
+                        dcdb_obs::Severity::Error,
+                        "store",
+                        "flush backlog head changed under the active flusher; \
+                         pop skipped to avoid dropping an unflushed memtable",
+                    );
+                }
                 core.frozen_cond.notify_all();
             }
             NodeCore::maybe_request_compact(core, pool);
@@ -1023,7 +1039,9 @@ impl StoreNode {
     /// Propagates filesystem failures.
     pub fn persist(&self, dir: &std::path::Path) -> std::io::Result<usize> {
         std::fs::create_dir_all(dir)?;
-        let tables = self.core.sstables.read();
+        // snapshot the run list (cheap: block handles are Arc-shared) so
+        // file IO never runs under the `sstables` lock
+        let tables: Vec<SsTable> = self.core.sstables.read().clone();
         for (i, t) in tables.iter().enumerate() {
             let mut f = std::fs::File::create(dir.join(format!("{i:06}.sst")))?;
             t.write_to(&mut f)?;
@@ -1041,15 +1059,17 @@ impl StoreNode {
             .filter(|p| p.extension().is_some_and(|e| e == "sst"))
             .collect();
         paths.sort();
-        let mut loaded = 0;
-        let mut tables = self.core.sstables.write();
+        // decode every file before taking the lock: readers keep going
+        // during the (slow) IO, and a decode error leaves the node unchanged
+        let mut staged = Vec::new();
         for p in paths {
             let mut f = std::fs::File::open(&p)?;
             let table = SsTable::read_from_cached(&mut f, self.core.cache.clone())?;
             table.attach_journal(&self.core.instruments.events);
-            tables.push(table);
-            loaded += 1;
+            staged.push(table);
         }
+        let loaded = staged.len();
+        self.core.sstables.write().extend(staged);
         Ok(loaded)
     }
 }

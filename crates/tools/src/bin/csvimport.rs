@@ -9,6 +9,9 @@
 //! import the tool reports the stored (compressed DCDBSST2) versus raw
 //! fixed-width byte sizes, so compression ratios are visible from the CLI.
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use dcdb_tools::{db_sizes, open_db, save_db, Args};
 
 fn main() {

@@ -43,6 +43,9 @@
 //! (`5ms`, `100us`, …) are captured with their full span trees and served
 //! at `GET /debug/slow_queries`.
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -131,7 +134,10 @@ fn main() {
         rest.local_addr()
     );
     if self_metrics_s > 0 {
-        println!("self-monitoring: /_dcdb/{node_name}/* every {self_metrics_s}s");
+        println!(
+            "self-monitoring: /{}/{node_name}/* every {self_metrics_s}s",
+            dcdb_sid::RESERVED_PREFIX
+        );
     }
     if alert_rule_count > 0 {
         println!("alerting: {alert_rule_count} rules loaded (GET /alerts, /events)");

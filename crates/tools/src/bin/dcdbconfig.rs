@@ -10,6 +10,9 @@
 //! dcdbconfig --db <dir> db compact
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use dcdb_core::{SensorMeta, Unit};
 use dcdb_tools::{open_db, save_db, Args};
 

@@ -9,6 +9,9 @@
 //! The `procfs` plugin reads the *host's* real `/proc` (Linux); `tester`
 //! generates synthetic sensors.
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -48,6 +48,9 @@
 //! run and only prints queries that actually crossed the bar — the same
 //! ring a long-lived agent serves at `GET /debug/slow_queries`.
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use dcdb_core::{ops, QueryRequest};
 use dcdb_store::reading::TimeRange;
 use dcdb_tools::{db_sizes, node_config_from_args, open_db_with, Args};

@@ -11,6 +11,9 @@
 //! cargo run --example cluster_monitoring
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 
 use dcdb::collectagent::CollectAgent;

@@ -9,6 +9,9 @@
 //! cargo run --example energy_case_study
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 fn main() {
     println!("running the 24 h CooLMUC-3 heat-removal study (5-minute sampling)...\n");
     let cs = dcdb_bench_like();

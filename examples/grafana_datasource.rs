@@ -9,6 +9,9 @@
 //! cargo run --example grafana_datasource
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 
 use dcdb::core::{grafana, SensorDb, SensorMeta, Unit};

@@ -10,6 +10,9 @@
 //! cargo run --example host_monitor
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

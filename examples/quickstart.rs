@@ -9,6 +9,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -9,6 +9,9 @@
 //! cargo run --example streaming_analytics
 //! ```
 
+// CLI binary / example: stdout is the product.
+#![allow(clippy::print_stdout)]
+
 use std::sync::Arc;
 
 use dcdb::collectagent::analytics::{
