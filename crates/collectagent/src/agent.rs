@@ -277,11 +277,11 @@ impl CollectAgent {
 
     /// Latest cached reading of `topic`.
     pub fn cached_latest(&self, topic: &str) -> Option<Reading> {
-        self.cache
-            .read()
-            .get(&dcdb_sid::topic::normalize(topic))
-            .copied()
-            .or_else(|| self.cache.read().get(topic).copied())
+        // one guard for both probes: chaining a second `.read()` in the
+        // `or_else` closure would re-acquire while the first temporary
+        // guard is still live (recursive read, deadlocks behind a writer)
+        let cache = self.cache.read();
+        cache.get(&dcdb_sid::topic::normalize(topic)).copied().or_else(|| cache.get(topic).copied())
     }
 
     /// All cached topics, sorted.

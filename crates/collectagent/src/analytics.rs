@@ -309,7 +309,9 @@ impl WindowedStats {
             AggFn::Sum => m.sum(),
             AggFn::Count => m.count() as f64,
             AggFn::Stddev => m.stddev(),
-            AggFn::Quantile(_) | AggFn::Rate => unreachable!("rejected in new()"),
+            // rejected in new(); NaN (not a panic) if one ever slips into
+            // the live pipeline
+            AggFn::Quantile(_) | AggFn::Rate => f64::NAN,
         }
     }
 }

@@ -23,6 +23,8 @@
 //! * `GET /alerts` — alert instances and engine totals,
 //! * `GET /events?since=<seq>` — the structured event journal,
 //! * `GET /debug/slow_queries` — the slow-query ring with full span trees,
+//! * `GET /debug/lockgraph` — runtime-observed lock-order edges
+//!   (`lock-trace` builds; `enabled: false` otherwise),
 //! * `GET /metrics` — the Prometheus exposition, `ALERTS{}` included.
 //!
 //! `/aggregate` builds a typed `QueryRequest` and runs it through
@@ -173,6 +175,8 @@ pub fn router(agent: Arc<CollectAgent>) -> Router {
     r.add(Method::Get, "/debug/slow_queries", move |_req| {
         dcdb_core::grafana::slow_queries_response(&a.sensor_db())
     });
+
+    r.add(Method::Get, "/debug/lockgraph", move |_req| dcdb_core::grafana::lockgraph_response());
 
     let a = Arc::clone(&agent);
     r.add(Method::Get, "/stats", move |_req| {

@@ -468,6 +468,10 @@ impl AlertEngine {
     /// Agent and [`SensorDb::set_alert_engine`] wire the cluster's journal
     /// here).  Also journals a config-change event per call.
     pub fn set_journal(&self, journal: Arc<EventJournal>) {
+        // read the rule count before taking the journal slot: acquiring
+        // `rules` under `journal` inverts the `observe_batch` → `note`
+        // order (rules → instances → journal) and closes a lock cycle
+        let rule_count = self.rules.read().len();
         let mut slot = self.journal.write();
         if slot.as_ref().is_some_and(|j| Arc::ptr_eq(j, &journal)) {
             return;
@@ -476,7 +480,7 @@ impl AlertEngine {
             EventKind::ConfigChange,
             Severity::Info,
             "alerts",
-            format!("alert engine attached with {} rules", self.rules.read().len()),
+            format!("alert engine attached with {rule_count} rules"),
         );
         *slot = Some(journal);
     }

@@ -420,7 +420,12 @@ impl SensorDb {
         // virtual sensors live outside the physical hierarchy; only exact
         // and auto targeting consult them
         if req.mode != TargetMode::Subtree {
-            if let Some(vs) = self.virtuals.read().get(&norm).cloned() {
+            // bind before the `if let`: the scrutinee's temporary read guard
+            // would otherwise live through the body, and `execute_virtual`
+            // re-enters `execute` (virtuals referencing virtuals) — a
+            // recursive read that deadlocks once a writer queues up
+            let vs = self.virtuals.read().get(&norm).cloned();
+            if let Some(vs) = vs {
                 let mut response = self.execute_virtual(&vs, &norm, req)?;
                 finalize(&mut response, req);
                 if capture {
@@ -828,7 +833,9 @@ fn interpolated_fold(slices: &[&[Reading]], agg: AggFn) -> Vec<Reading> {
                     let idx = (q * (v.len().max(1) - 1) as f64).round() as usize;
                     v.get(idx.min(v.len().saturating_sub(1))).copied().unwrap_or(f64::NAN)
                 }
-                AggFn::Rate => unreachable!("validate() rejects interpolated rate"),
+                // validate() rejects interpolated rate; NaN (not a panic)
+                // if a request ever slips through
+                AggFn::Rate => f64::NAN,
             };
             Reading { ts, value }
         })
@@ -878,7 +885,9 @@ fn finalize(response: &mut QueryResponse, req: &QueryRequest) {
 fn legacy_err(e: QueryError) -> VsError {
     match e {
         QueryError::Virtual(e) => e,
-        other => unreachable!("legacy wrapper produced a non-virtual error: {other}"),
+        // defensive: the wrappers pre-validate, so a non-virtual error here
+        // is a bug — surface it as an error value, not a panic
+        other => VsError::Parse { pos: 0, message: other.to_string() },
     }
 }
 

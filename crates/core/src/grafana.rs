@@ -22,7 +22,9 @@
 //!   (evaluated in parallel), returned as a JSON array of series objects
 //!   tagged with their `group` key — one Grafana panel line per rack/node,
 //! * `GET /annotations` style stats: `GET /stats?topic=...` (min/max/avg of
-//!   the plotted metric, like the panel legend).
+//!   the plotted metric, like the panel legend),
+//! * `GET /debug/lockgraph` — the runtime-observed lock-order edges
+//!   (`lock-trace` builds; `enabled: false` and no edges otherwise).
 //!
 //! Every data path builds a [`crate::QueryRequest`] and goes through
 //! [`SensorDb::execute`].
@@ -96,9 +98,7 @@ pub fn router(db: Arc<SensorDb>) -> Router {
                             .series
                             .iter()
                             .map(|g| {
-                                let Json::Obj(mut obj) = series_json(&g.series, None) else {
-                                    unreachable!("series_json builds an object");
-                                };
+                                let mut obj = series_obj(&g.series, None);
                                 obj.insert(
                                     "group".into(),
                                     Json::str(g.key.clone().unwrap_or_default()),
@@ -140,6 +140,8 @@ pub fn router(db: Arc<SensorDb>) -> Router {
 
     let d = Arc::clone(&db);
     r.add(Method::Get, "/debug/slow_queries", move |_req| slow_queries_response(&d));
+
+    r.add(Method::Get, "/debug/lockgraph", move |_req| lockgraph_response());
 
     let d = Arc::clone(&db);
     r.add(Method::Get, "/stats", move |req| {
@@ -260,6 +262,21 @@ pub fn slow_queries_response(db: &SensorDb) -> Response {
     ]))
 }
 
+/// `GET /debug/lockgraph`: the lock-order edges the runtime tracker has
+/// observed so far (`lock-trace` feature; empty with `enabled: false`
+/// otherwise).  Compare against the static graph in
+/// `results/LINT_report.json` — every observed edge should be there.
+pub fn lockgraph_response() -> Response {
+    let edges: Vec<Json> = dcdb_obs::lockgraph::edges()
+        .into_iter()
+        .map(|(from, to)| Json::obj([("from", Json::str(from)), ("to", Json::str(to))]))
+        .collect();
+    Response::json(&Json::obj([
+        ("enabled", Json::Bool(dcdb_obs::lockgraph::enabled())),
+        ("edges", Json::Arr(edges)),
+    ]))
+}
+
 /// A trace-span tree as nested JSON.
 fn trace_json(span: &dcdb_obs::TraceSpan) -> Json {
     let meta: Vec<(String, Json)> =
@@ -275,6 +292,15 @@ fn trace_json(span: &dcdb_obs::TraceSpan) -> Json {
 /// One series as a Grafana data-source object; raw series downsample to
 /// `max_points` by bucket means, aggregated series pass `None`.
 fn series_json(series: &Series, max_points: Option<usize>) -> Json {
+    Json::Obj(series_obj(series, max_points))
+}
+
+/// The key/value pairs behind [`series_json`]; the grouped path extends
+/// them with `group`/`sensors` metadata before wrapping.
+fn series_obj(
+    series: &Series,
+    max_points: Option<usize>,
+) -> std::collections::BTreeMap<String, Json> {
     let points = match max_points {
         Some(n) => ops::downsample(&series.readings, n),
         None => series.readings.clone(),
@@ -283,11 +309,13 @@ fn series_json(series: &Series, max_points: Option<usize>) -> Json {
         .iter()
         .map(|r| Json::Arr(vec![Json::Num(r.value), Json::Num(r.ts as f64)]))
         .collect();
-    Json::obj([
-        ("target", Json::str(series.topic.clone())),
-        ("unit", Json::str(series.unit.name)),
-        ("datapoints", Json::Arr(datapoints)),
-    ])
+    [
+        ("target".to_string(), Json::str(series.topic.clone())),
+        ("unit".to_string(), Json::str(series.unit.name)),
+        ("datapoints".to_string(), Json::Arr(datapoints)),
+    ]
+    .into_iter()
+    .collect()
 }
 
 /// Serve the data source on `bind`.

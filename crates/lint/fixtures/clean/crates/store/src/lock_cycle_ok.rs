@@ -1,0 +1,27 @@
+//! Clean mirror of `lock_cycle_bad.rs`: both call paths acquire the two
+//! locks in the same `a -> b` order, so the lock-order graph has an edge but
+//! no cycle.
+
+pub struct Ordered {
+    a: parking_lot::Mutex<u32>,
+    b: parking_lot::Mutex<u32>,
+}
+
+impl Ordered {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        *ga + self.bump()
+    }
+
+    fn bump(&self) -> u32 {
+        let gb = self.b.lock();
+        *gb + 1
+    }
+
+    /// Same `a` then `b` order as `ab`, just both acquired directly.
+    pub fn ab_direct(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,20 @@
+//! Clean mirror of `lock_slow_call_bad.rs`: snapshot under the lock, drop
+//! the guard at the end of the statement, then hand the copy to the
+//! IO-performing callee.
+
+pub struct Journal {
+    entries: parking_lot::RwLock<Vec<u8>>,
+}
+
+impl Journal {
+    pub fn flush(&self) -> std::io::Result<()> {
+        let snapshot = self.entries.read().clone();
+        self.persist(&snapshot)
+    }
+
+    fn persist(&self, data: &[u8]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create("/tmp/journal.bin")?;
+        std::io::Write::write_all(&mut f, data)?;
+        f.sync_all()
+    }
+}

@@ -1,0 +1,29 @@
+//! Positive fixture for `lock-order-cycle`: a two-lock ABBA deadlock where
+//! one leg is hidden behind a call, so only the inter-procedural propagation
+//! can close the cycle.
+
+pub struct Pair {
+    a: parking_lot::Mutex<u32>,
+    b: parking_lot::Mutex<u32>,
+}
+
+impl Pair {
+    /// Acquires `a`, then `b` *through* `bump`: edge `Pair.a -> Pair.b`.
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        *ga + self.bump()
+    }
+
+    fn bump(&self) -> u32 {
+        let gb = self.b.lock();
+        *gb + 1
+    }
+
+    /// Acquires `b`, then `a` directly: edge `Pair.b -> Pair.a`.  Together
+    /// with `ab` this is a classic ABBA deadlock.
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,20 @@
+//! Positive fixture for inter-procedural `lock-across-slow-op`: the guard
+//! itself never touches IO, but it is live at a call whose *callee* writes
+//! a file.  The intra-procedural token rule cannot see this.
+
+pub struct Journal {
+    entries: parking_lot::RwLock<Vec<u8>>,
+}
+
+impl Journal {
+    pub fn flush(&self) -> std::io::Result<()> {
+        let guard = self.entries.read();
+        self.persist(&guard)
+    }
+
+    fn persist(&self, data: &[u8]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create("/tmp/journal.bin")?;
+        std::io::Write::write_all(&mut f, data)?;
+        f.sync_all()
+    }
+}

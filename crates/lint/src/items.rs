@@ -1,0 +1,439 @@
+//! Item-level parsing on top of the [`crate::lexer`]: `fn` items (with their
+//! `impl`/`trait` context), struct fields, statics and the in-file module
+//! tree — the skeleton the inter-procedural lock-order analysis
+//! ([`crate::lockorder`]) resolves names against.
+//!
+//! This is deliberately *not* a Rust parser: it walks the significant-token
+//! stream and recovers the item structure with local pattern matching, so it
+//! degrades gracefully on code that does not parse (the proptests in
+//! `tests/prop_items.rs` feed it arbitrary token soup and assert it never
+//! panics and that the item spans it reports nest or tile).  Byte spans are
+//! accurate: an item's span starts at its introducing keyword and ends one
+//! past its closing `}` or `;`.
+
+use crate::lexer::TokenKind;
+use crate::rules::FileCtx;
+
+/// One `fn` item — free function, inherent/trait method, or a function
+/// nested inside another function's body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// The enclosing `impl`/`trait` target type (last path ident), when any.
+    pub qual: Option<String>,
+    /// In-file module path (`mod a { mod b { .. } }` → `["a", "b"]`).
+    pub module: Vec<String>,
+    /// Parameter bindings as `(name, type idents)`; pattern parameters and
+    /// `self` are omitted.
+    pub params: Vec<(String, Vec<String>)>,
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` regions or a test-path file.
+    pub is_test: bool,
+    /// Byte span from the `fn` keyword to one past the body `}` (or `;`).
+    pub span: (usize, usize),
+    /// Sig index of the `fn` keyword.
+    pub sig_fn: usize,
+    /// Sig indices of the body `{` and its matching `}`; `None` for
+    /// declarations (`fn f();` in traits/extern blocks).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One named struct field and the identifiers appearing in its type.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    pub name: String,
+    /// Every identifier in the declared type, in source order
+    /// (`Arc<Mutex<VecDeque<u8>>>` → `["Arc", "Mutex", "VecDeque", "u8"]`).
+    pub type_idents: Vec<String>,
+    pub line: u32,
+}
+
+/// A `struct` item with its named fields (tuple/unit structs keep an empty
+/// field list).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub module: Vec<String>,
+    pub line: u32,
+    pub span: (usize, usize),
+    pub fields: Vec<FieldItem>,
+}
+
+/// A `static` item (module- or function-scoped).
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    pub name: String,
+    pub type_idents: Vec<String>,
+    pub module: Vec<String>,
+    pub line: u32,
+}
+
+/// Everything [`parse`] recovers from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ItemIndex {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub statics: Vec<StaticItem>,
+}
+
+/// Parse the item skeleton of one lexed file.  Total and panic-free on any
+/// input.
+pub fn parse(ctx: &FileCtx<'_>) -> ItemIndex {
+    let mut index = ItemIndex::default();
+    let len = ctx.sig.len();
+    // (module name, sig index one past the closing `}`)
+    let mut mods: Vec<(String, usize)> = Vec::new();
+    // (impl/trait target, sig index one past the closing `}`)
+    let mut scopes: Vec<(Option<String>, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < len {
+        while mods.last().is_some_and(|&(_, end)| i >= end) {
+            mods.pop();
+        }
+        while scopes.last().is_some_and(|&(_, end)| i >= end) {
+            scopes.pop();
+        }
+        let Some(tok) = ctx.s(i) else { break };
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match tok.text(ctx.src) {
+            "mod" => {
+                // `mod name {` opens a module scope; `mod name;` does not
+                if ctx.s(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) && ctx.s_is(i + 2, b'{')
+                {
+                    let close = matching_brace(ctx, i + 2);
+                    mods.push((ctx.s_text(i + 1).to_string(), close + 1));
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" | "trait" => {
+                let kw = tok.text(ctx.src);
+                let mut j = skip_generics(ctx, i + 1);
+                // collect the header: the target is the last path ident seen
+                // at angle/paren depth 0, taking the `for` side when present
+                let mut target: Option<String> = None;
+                let mut angle = 0i32;
+                let mut pdepth = 0i32;
+                while j < len {
+                    match ctx.s(j).map(|t| t.kind) {
+                        Some(TokenKind::Punct(b'{')) if angle <= 0 && pdepth <= 0 => break,
+                        Some(TokenKind::Punct(b';')) if angle <= 0 && pdepth <= 0 => break,
+                        Some(TokenKind::Punct(b'<')) => angle += 1,
+                        Some(TokenKind::Punct(b'>')) if !ctx.s_is(j.wrapping_sub(1), b'-') => {
+                            angle -= 1;
+                        }
+                        Some(TokenKind::Punct(b'(')) | Some(TokenKind::Punct(b'[')) => pdepth += 1,
+                        Some(TokenKind::Punct(b')')) | Some(TokenKind::Punct(b']')) => pdepth -= 1,
+                        Some(TokenKind::Ident) => {
+                            let text = ctx.s_text(j);
+                            if text == "where" && angle <= 0 && pdepth <= 0 {
+                                // the target path is complete before `where`
+                                j = seek_block_or_semi(ctx, j);
+                                break;
+                            }
+                            if text == "for" && angle <= 0 && pdepth <= 0 && kw == "impl" {
+                                target = None; // the trait side; restart on the type side
+                            } else if angle <= 0 && pdepth <= 0 {
+                                target = Some(text.to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if ctx.s_is(j, b'{') {
+                    let close = matching_brace(ctx, j);
+                    scopes.push((target, close + 1));
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "fn" if ctx.s(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                let name = ctx.s_text(i + 1).to_string();
+                let after_generics = skip_generics(ctx, i + 2);
+                let (params, after_params) = parse_params(ctx, after_generics);
+                // first `{` or `;` at paren/bracket depth 0 ends the signature
+                let sig_end = seek_block_or_semi(ctx, after_params);
+                let (body, span_end, resume) = if ctx.s_is(sig_end, b'{') {
+                    let close = matching_brace(ctx, sig_end);
+                    let end_byte = ctx.s(close).map(|t| t.end).unwrap_or_else(|| ctx.src.len());
+                    // resume *inside* the body so nested items are parsed too
+                    (Some((sig_end, close)), end_byte, sig_end + 1)
+                } else {
+                    let end_byte = ctx.s(sig_end).map(|t| t.end).unwrap_or_else(|| ctx.src.len());
+                    (None, end_byte, sig_end + 1)
+                };
+                index.fns.push(FnItem {
+                    name,
+                    qual: scopes.iter().rev().find_map(|(t, _)| t.clone()),
+                    module: mods.iter().map(|(m, _)| m.clone()).collect(),
+                    params,
+                    line: tok.line,
+                    is_test: ctx.file_is_test || ctx.in_test(i),
+                    span: (tok.start, span_end),
+                    sig_fn: i,
+                    body,
+                });
+                i = resume;
+            }
+            "struct" if ctx.s(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                let name = ctx.s_text(i + 1).to_string();
+                let mut j = skip_generics(ctx, i + 2);
+                // `where` clause may precede the body
+                while j < len && !ctx.s_is(j, b'{') && !ctx.s_is(j, b';') && !ctx.s_is(j, b'(') {
+                    j += 1;
+                }
+                let (fields, end) = if ctx.s_is(j, b'{') {
+                    let close = matching_brace(ctx, j);
+                    (parse_fields(ctx, j, close), close)
+                } else if ctx.s_is(j, b'(') {
+                    // tuple struct: skip to the `;` after the paren group
+                    let close = ctx.matching_paren(j).unwrap_or(j);
+                    let mut k = close;
+                    while k < len && !ctx.s_is(k, b';') {
+                        k += 1;
+                    }
+                    (Vec::new(), k)
+                } else {
+                    (Vec::new(), j)
+                };
+                let end_byte = ctx.s(end).map(|t| t.end).unwrap_or_else(|| ctx.src.len());
+                index.structs.push(StructItem {
+                    name,
+                    module: mods.iter().map(|(m, _)| m.clone()).collect(),
+                    line: tok.line,
+                    span: (tok.start, end_byte),
+                    fields,
+                });
+                i = end + 1;
+            }
+            "static" => {
+                let mut j = i + 1;
+                if ctx.s_is_ident(j, "mut") {
+                    j += 1;
+                }
+                if ctx.s(j).is_some_and(|t| t.kind == TokenKind::Ident) && ctx.s_is(j + 1, b':') {
+                    let name = ctx.s_text(j).to_string();
+                    let (type_idents, end) = collect_type(ctx, j + 2, b"=;");
+                    index.statics.push(StaticItem {
+                        name,
+                        type_idents,
+                        module: mods.iter().map(|(m, _)| m.clone()).collect(),
+                        line: tok.line,
+                    });
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            // enum/union bodies look field-ish but are not; macro_rules
+            // bodies contain token soup that must not parse as items
+            "enum" | "union" | "macro_rules" => {
+                let j = seek_block_or_semi(ctx, i + 1);
+                i = if ctx.s_is(j, b'{') { matching_brace(ctx, j) + 1 } else { j + 1 };
+            }
+            _ => i += 1,
+        }
+    }
+    index
+}
+
+/// Sig index of the `}` matching the `{` at `open` (or the last sig index
+/// when unbalanced).
+pub(crate) fn matching_brace(ctx: &FileCtx<'_>, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while let Some(t) = ctx.s(j) {
+        match t.kind {
+            TokenKind::Punct(b'{') => depth += 1,
+            TokenKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    ctx.sig.len().saturating_sub(1)
+}
+
+/// Skip a balanced `<...>` generic group starting at `i`, if one is there.
+/// `->` inside the group (higher-ranked `Fn() -> T` bounds) does not close
+/// an angle.
+fn skip_generics(ctx: &FileCtx<'_>, i: usize) -> usize {
+    if !ctx.s_is(i, b'<') {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while let Some(t) = ctx.s(j) {
+        match t.kind {
+            TokenKind::Punct(b'<') => depth += 1,
+            TokenKind::Punct(b'>') if !ctx.s_is(j.wrapping_sub(1), b'-') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    ctx.sig.len()
+}
+
+/// First `{` or `;` at paren/bracket depth 0 from `i` on.
+fn seek_block_or_semi(ctx: &FileCtx<'_>, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while let Some(t) = ctx.s(j) {
+        match t.kind {
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => depth -= 1,
+            TokenKind::Punct(b'{') | TokenKind::Punct(b';') if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    ctx.sig.len()
+}
+
+/// Parse a `(name: Type, ..)` parameter list starting at the `(` at `i` (or
+/// wherever the signature continues).  Returns the bindings and the sig
+/// index one past the closing `)`.
+fn parse_params(ctx: &FileCtx<'_>, i: usize) -> (Vec<(String, Vec<String>)>, usize) {
+    if !ctx.s_is(i, b'(') {
+        return (Vec::new(), i);
+    }
+    let Some(close) = ctx.matching_paren(i) else {
+        return (Vec::new(), ctx.sig.len());
+    };
+    let mut params = Vec::new();
+    let mut j = i + 1;
+    while j < close {
+        // skip attributes, `mut`, references and lifetimes before the name
+        if ctx.s_is(j, b'#') {
+            j += 1;
+            continue;
+        }
+        if ctx.s_is_ident(j, "mut") || ctx.s_is(j, b'&') {
+            j += 1;
+            continue;
+        }
+        if ctx.s(j).is_some_and(|t| t.kind == TokenKind::Lifetime) {
+            j += 1;
+            continue;
+        }
+        if ctx.s(j).is_some_and(|t| t.kind == TokenKind::Ident) && ctx.s_is(j + 1, b':') {
+            let name = ctx.s_text(j).to_string();
+            let (type_idents, end) = collect_type(ctx, j + 2, b",");
+            if name != "self" {
+                params.push((name, type_idents));
+            }
+            j = end + 1;
+        } else {
+            // pattern parameter or `self`: skip to the next top-level comma
+            let mut depth = 0i32;
+            while j < close {
+                match ctx.s(j).map(|t| t.kind) {
+                    Some(TokenKind::Punct(b'(')) | Some(TokenKind::Punct(b'[')) => depth += 1,
+                    Some(TokenKind::Punct(b')')) | Some(TokenKind::Punct(b']')) => depth -= 1,
+                    Some(TokenKind::Punct(b',')) if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+    }
+    (params, close + 1)
+}
+
+/// Parse the named fields of a struct body: `{` at `open`, matching `}` at
+/// `close`.  Attributes and `pub`/`pub(..)` visibility are skipped; each
+/// field contributes its name plus the identifiers of its declared type.
+fn parse_fields(ctx: &FileCtx<'_>, open: usize, close: usize) -> Vec<FieldItem> {
+    let mut fields = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // attribute: `#` then a bracket group
+        if ctx.s_is(j, b'#') {
+            if ctx.s_is(j + 1, b'[') {
+                let mut depth = 0i32;
+                let mut k = j + 1;
+                while k < close {
+                    match ctx.s(k).map(|t| t.kind) {
+                        Some(TokenKind::Punct(b'[')) => depth += 1,
+                        Some(TokenKind::Punct(b']')) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            } else {
+                j += 1;
+            }
+            continue;
+        }
+        if ctx.s_is_ident(j, "pub") {
+            j += 1;
+            if ctx.s_is(j, b'(') {
+                j = ctx.matching_paren(j).map(|c| c + 1).unwrap_or(j + 1);
+            }
+            continue;
+        }
+        if ctx.s(j).is_some_and(|t| t.kind == TokenKind::Ident) && ctx.s_is(j + 1, b':') {
+            let line = ctx.s(j).map(|t| t.line).unwrap_or(1);
+            let name = ctx.s_text(j).to_string();
+            let (type_idents, end) = collect_type(ctx, j + 2, b",");
+            fields.push(FieldItem { name, type_idents, line });
+            j = end + 1;
+        } else {
+            j += 1;
+        }
+    }
+    fields
+}
+
+/// Collect the identifiers of a type expression starting at `i`, ending at
+/// any of `stops` at paren/bracket/angle depth 0 (or a depth-0 `}`).
+/// Returns the idents and the sig index of the stopping token.
+fn collect_type(ctx: &FileCtx<'_>, i: usize, stops: &[u8]) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut angle = 0i32;
+    let mut depth = 0i32;
+    let mut j = i;
+    while let Some(t) = ctx.s(j) {
+        match t.kind {
+            TokenKind::Punct(b'<') => angle += 1,
+            TokenKind::Punct(b'>') if !ctx.s_is(j.wrapping_sub(1), b'-') => angle -= 1,
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => {
+                if depth == 0 {
+                    return (idents, j);
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(b'}') if angle <= 0 && depth <= 0 => return (idents, j),
+            TokenKind::Punct(p) if angle <= 0 && depth <= 0 && stops.contains(&p) => {
+                return (idents, j);
+            }
+            TokenKind::Ident => idents.push(t.text(ctx.src).to_string()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, ctx.sig.len())
+}

@@ -18,18 +18,24 @@
 //!    standard is `parking_lot`;
 //! 6. `reserved-hierarchy-literal` — `_dcdb` literal outside `crates/sid`;
 //! 7. `metric-name` — metric families without the `dcdb_` prefix or the
-//!    required unit suffix.
+//!    required unit suffix;
+//! 8. `lock-order-cycle` — a cycle in the workspace-wide inter-procedural
+//!    lock-order graph (potential deadlock), with a full witness path.
 //!
 //! Architecture: a hand-rolled [`lexer`] (the only part that must be exactly
 //! right — tokens inside strings/comments must never match), token-pattern
-//! [`rules`], a [`config`] (`lint.toml`) for severities and knobs, and a
+//! [`rules`], an [`items`] parser (module tree, `fn`/`impl`/`struct`/`static`
+//! items with byte-accurate spans) feeding the inter-procedural [`lockorder`]
+//! analysis, a [`config`] (`lint.toml`) for severities and knobs, and a
 //! [`baseline`] (`lint-baseline.json`) so legacy findings are tracked while
 //! new ones fail `--check`.  Everything is `std`-only by design: the tool
 //! that gates the build must never be the thing that breaks the build.
 
 pub mod baseline;
 pub mod config;
+pub mod items;
 pub mod lexer;
+pub mod lockorder;
 pub mod report;
 pub mod rules;
 
@@ -37,6 +43,7 @@ use std::path::{Path, PathBuf};
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use config::{Config, Severity};
+pub use lockorder::{LockEdge, LockGraph};
 pub use rules::{FileCtx, Finding, RULES};
 
 /// Outcome of analyzing a tree against a config + baseline.
@@ -47,6 +54,9 @@ pub struct Analysis {
     /// Baseline entries that matched nothing (fixed legacy findings).
     pub stale_baseline: Vec<(String, String, String)>,
     pub baseline_total: usize,
+    /// The inter-procedural lock-order graph (exported to DOT/JSON; the
+    /// runtime tracker's observed edges are checked against it).
+    pub lock_graph: LockGraph,
 }
 
 /// A finding plus its baseline classification.
@@ -106,12 +116,21 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
 pub fn analyze(root: &Path, cfg: &Config, baseline: &Baseline) -> std::io::Result<Analysis> {
     let files = collect_files(root, cfg)?;
     let mut findings = Vec::new();
+    let mut workspace = lockorder::Workspace::new(lockorder::LockCfg::from_config(cfg));
     for path in &files {
         let src = std::fs::read_to_string(path)?;
         let rel = rel_path(root, path);
-        let ctx = FileCtx::new(&rel, &src);
-        findings.extend(rules::run_rules(&ctx, cfg));
+        {
+            let ctx = FileCtx::new(&rel, &src);
+            findings.extend(rules::run_rules(&ctx, cfg));
+            workspace.add_file(&ctx);
+        }
+        workspace.attach_source(src);
     }
+    let (global_findings, lock_graph) = workspace.analyze(cfg);
+    findings.extend(global_findings);
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     let mut matcher = baseline.matcher();
     let classified = findings
         .into_iter()
@@ -125,6 +144,7 @@ pub fn analyze(root: &Path, cfg: &Config, baseline: &Baseline) -> std::io::Resul
         findings: classified,
         stale_baseline: matcher.stale(),
         baseline_total: matcher.total(),
+        lock_graph,
     })
 }
 

@@ -1,0 +1,1687 @@
+//! Inter-procedural lock-order analysis.
+//!
+//! Built on the [`crate::items`] skeleton, this module computes per-function
+//! **lock summaries** and propagates them over a name-resolution-heuristic
+//! call graph:
+//!
+//! 1. *Acquisitions* — `.lock()` / `.read()` / `.write()` on a receiver that
+//!    resolves to a **named lock**: a struct field or `static` whose declared
+//!    type mentions a configured lock type (`Mutex`, `RwLock`,
+//!    `TrackedMutex`, `TrackedRwLock`).  Lock nodes are named
+//!    `Struct.field` / `STATIC_NAME`, so every shard of
+//!    `Vec<Mutex<Shard>>` maps to one node — lock *order* is a per-name
+//!    property.
+//! 2. *Guard liveness* — `let`-bound guards live until their block closes or
+//!    `drop(guard)`; temporary guards live to the end of their statement,
+//!    extended through the body for `if let` / `while let` / `match` / `for`
+//!    heads (matching Rust's temporary-lifetime rules).
+//! 3. *Call graph* — method calls resolve by receiver shape: `self.m()` via
+//!    the enclosing `impl`, `x.f.m()` via the declared type of field `f`,
+//!    `T::m()` via impls of `T`, `guard.m()` via the lock's inner type,
+//!    `lock_field.read().m()` likewise; unknown receivers fall back to
+//!    same-crate methods of that name (class-hierarchy style), free calls to
+//!    same-module/same-crate functions.  Over-approximate by design: an
+//!    extra candidate adds a spurious edge, never hides a real one.
+//! 4. *Propagation* — transitive acquisition sets (with provenance, so a
+//!    witness call chain can be reconstructed) and transitive
+//!    slow/blocking-op summaries reach a fixpoint over the call graph.
+//! 5. *Lock-order graph* — an edge `A → B` whenever a function holds a
+//!    guard on `A` while acquiring `B` (directly, through nesting, or
+//!    transitively through calls).  Tarjan SCCs find cycles; each cycle
+//!    becomes a `lock-order-cycle` finding whose message names every edge's
+//!    holder function, acquisition spans and call chain.  A guard held
+//!    across a call whose transitive summary does file IO / sleeps / blocks
+//!    on a channel becomes an inter-procedural `lock-across-slow-op`
+//!    finding.
+//!
+//! The graph itself is exported (`results/LOCK_graph.dot` + the JSON
+//! report) and is the reference the runtime lock tracker in `dcdb-obs`
+//! (`lock-trace` feature) is checked against: observed edges must be a
+//! subset of the edges computed here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::{Config, Severity};
+use crate::items::{self, FnItem};
+use crate::lexer::TokenKind;
+use crate::rules::{self, FileCtx, Finding};
+
+/// Generic wrapper/container/primitive type names skipped when reducing a
+/// type's ident list to "the" user type it talks about.
+const WRAPPERS: &[&str] = &[
+    "Arc",
+    "Rc",
+    "Box",
+    "Option",
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "BTreeMap",
+    "HashSet",
+    "BTreeSet",
+    "RefCell",
+    "Cell",
+    "Result",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    "bool",
+    "str",
+    "String",
+    "dyn",
+    "const",
+    "mut",
+];
+
+/// Keywords that can precede a `(` without being a call.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "break", "continue", "in", "as", "let",
+    "else", "fn", "pub", "use", "mod", "impl", "where", "unsafe", "ref", "mut", "move", "dyn",
+    "await", "async", "crate", "super", "self",
+];
+
+/// Method names that *are* acquisitions (modeled directly), never resolved
+/// as calls.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+const NON_CALL_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Poison adapters that keep a `.lock()` chain terminal (guard-producing).
+const POISON_ADAPTERS: &[&str] = &["expect", "unwrap", "unwrap_or_else"];
+
+/// Method names so common on std containers/atomics that resolving them by
+/// name alone (the CHA fallback) is pure noise — `queue.len()` is not
+/// `Registry::len`, `flag.load(..)` is not `StoreNode::load`.  These still
+/// resolve when the receiver's *type* is known.
+const UBIQUITOUS_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "clear",
+    "extend",
+    "drain",
+    "entry",
+    "keys",
+    "values",
+    "first",
+    "last",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "retain",
+    "split",
+    "take",
+    "replace",
+    "clone",
+    "to_string",
+    "to_vec",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_bytes",
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "get_or_insert_with",
+    "send",
+    "next",
+    "finish",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "new",
+];
+
+/// Configuration knobs for the analysis, resolved from `lint.toml`.
+pub struct LockCfg {
+    pub lock_types: Vec<String>,
+    pub slow_ops: Vec<String>,
+    pub blocking_ops: Vec<String>,
+}
+
+impl LockCfg {
+    pub fn from_config(cfg: &Config) -> LockCfg {
+        let list = |rule: &str, key: &str, defaults: &[&str]| -> Vec<String> {
+            match cfg.rule(rule).and_then(|r| r.str_list(key)) {
+                Some(list) => list.to_vec(),
+                None => defaults.iter().map(|s| s.to_string()).collect(),
+            }
+        };
+        LockCfg {
+            lock_types: list(
+                "lock-order-cycle",
+                "lock_types",
+                &["Mutex", "RwLock", "TrackedMutex", "TrackedRwLock"],
+            ),
+            slow_ops: list("lock-across-slow-op", "slow_ops", rules::DEFAULT_SLOW_OPS),
+            blocking_ops: list("lock-across-slow-op", "blocking_ops", rules::DEFAULT_BLOCKING_OPS),
+        }
+    }
+}
+
+/// One directed edge of the lock-order graph, with its witness.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Qualified name of the function holding `from`.
+    pub holder_fn: String,
+    /// File and line where the `from` guard is acquired.
+    pub file: String,
+    pub hold_line: u32,
+    /// Call chain from the holder to the function that acquires `to`
+    /// (empty for a direct nested acquisition).
+    pub via: Vec<String>,
+    /// File and line where `to` is acquired at the end of the chain.
+    pub acq_file: String,
+    pub acq_line: u32,
+    /// The edge participates in a cycle (colored in the DOT export).
+    pub in_cycle: bool,
+}
+
+/// The computed lock-order graph, exported to DOT/JSON and consumed by the
+/// runtime subset check.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    pub nodes: Vec<String>,
+    pub edges: Vec<LockEdge>,
+    /// Each cycle as the ordered list of node names along it.
+    pub cycles: Vec<Vec<String>>,
+    pub fns_analyzed: usize,
+    pub resolved_acquires: usize,
+    pub unresolved_acquires: usize,
+}
+
+impl LockGraph {
+    /// True when `from → to` is an edge of the static graph — the runtime
+    /// cross-check (`observed ⊆ static`) calls this per observed edge.
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.edges.iter().any(|e| e.from == from && e.to == to)
+    }
+}
+
+struct FileInfo {
+    rel: String,
+    src: String,
+    allows: Vec<(u32, u32, Vec<String>)>,
+}
+
+impl FileInfo {
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(start, end, rules)| {
+            (*start..=*end).contains(&line) && rules.iter().any(|r| r == rule || r == "*")
+        })
+    }
+
+    fn line_text(&self, line: u32) -> &str {
+        self.src.lines().nth((line as usize).saturating_sub(1)).unwrap_or("").trim()
+    }
+}
+
+struct FieldInfo {
+    name: String,
+    type_idents: Vec<String>,
+}
+
+struct StructInfo {
+    name: String,
+    crate_name: String,
+    fields: Vec<FieldInfo>,
+}
+
+struct StaticInfo {
+    name: String,
+    crate_name: String,
+    is_lock: bool,
+}
+
+/// Receiver shape of a recorded call, resolved against the item tables.
+#[derive(Debug, Clone)]
+enum Recv {
+    SelfVar,
+    /// Plain ident receiver — a field name or an untyped local.
+    Var(String),
+    /// `T::m(..)` or a local whose type annotation/constructor named `T`.
+    Type(String),
+    /// Receiver is (a deref of) a guard of the lock whose receiver ident is
+    /// recorded — resolves through the lock's inner type.
+    Guard(String),
+    /// Receiver is a loop variable over a guard of the lock whose receiver
+    /// ident is recorded (`for t in tables.iter()`) — resolves through the
+    /// lock's container *element* type.
+    Elem(String),
+    Free,
+    Unknown,
+}
+
+struct Acquire {
+    /// Receiver ident (field or static name); empty when unresolvable.
+    recv: String,
+    line: u32,
+    sig_i: usize,
+    /// Sig-index range in which the guard is live.
+    region: (usize, usize),
+    /// `let`-bound guard binding, when any.
+    binding: Option<String>,
+}
+
+struct Call {
+    name: String,
+    recv: Recv,
+    line: u32,
+    /// Indices into `acquires` of guards live at this call site.
+    held: Vec<usize>,
+}
+
+struct FnData {
+    name: String,
+    qual: Option<String>,
+    crate_name: String,
+    file: usize,
+    acquires: Vec<Acquire>,
+    calls: Vec<Call>,
+    /// (holder, acquired) pairs of directly nested acquisitions.
+    nested: Vec<(usize, usize)>,
+    /// First direct slow/blocking op in the body.
+    direct_slow: Option<(String, u32)>,
+}
+
+impl FnData {
+    fn qualified(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Provenance of one entry in a transitive acquisition set.
+#[derive(Clone)]
+enum Prov {
+    Direct { line: u32 },
+    Via { callee: usize },
+}
+
+#[derive(Clone)]
+enum SlowProv {
+    Direct { op: String, line: u32 },
+    Via { callee: usize },
+}
+
+/// Accumulates per-file extractions, then resolves and analyzes the whole
+/// workspace.
+pub struct Workspace {
+    cfg: LockCfg,
+    files: Vec<FileInfo>,
+    fns: Vec<FnData>,
+    structs: Vec<StructInfo>,
+    statics: Vec<StaticInfo>,
+    unresolved_acquires: usize,
+}
+
+/// `crates/store/src/node.rs` → `store`; anything else → its first path
+/// component (fixture trees collapse into one crate, which is what their
+/// tests want).
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        Some(first) => first.to_string(),
+        None => String::new(),
+    }
+}
+
+/// The user type an ident list reduces to: the last ident that is not a
+/// wrapper/primitive (falling back to the last ident).
+fn head_type<'a>(idents: &'a [String], lock_types: &[String]) -> Option<&'a str> {
+    idents
+        .iter()
+        .rev()
+        .find(|t| !WRAPPERS.contains(&t.as_str()) && !lock_types.iter().any(|l| l == *t))
+        .or_else(|| idents.last())
+        .map(String::as_str)
+}
+
+/// The first ident after the lock type in a lock field's declared type —
+/// the type a guard of that lock dereferences to.
+fn lock_inner<'a>(idents: &'a [String], lock_types: &[String]) -> Option<&'a str> {
+    let pos = idents.iter().position(|t| lock_types.iter().any(|l| l == t))?;
+    idents.get(pos + 1).map(String::as_str)
+}
+
+impl Workspace {
+    pub fn new(cfg: LockCfg) -> Workspace {
+        Workspace {
+            cfg,
+            files: Vec::new(),
+            fns: Vec::new(),
+            structs: Vec::new(),
+            statics: Vec::new(),
+            unresolved_acquires: 0,
+        }
+    }
+
+    /// Parse one file's items and extract per-function summaries.  Must be
+    /// followed by [`Workspace::attach_source`] with the same file's source.
+    pub fn add_file(&mut self, ctx: &FileCtx<'_>) {
+        let file_idx = self.files.len();
+        let crate_name = crate_of(ctx.rel);
+        let index = items::parse(ctx);
+        for s in &index.structs {
+            self.structs.push(StructInfo {
+                name: s.name.clone(),
+                crate_name: crate_name.clone(),
+                fields: s
+                    .fields
+                    .iter()
+                    .map(|f| FieldInfo { name: f.name.clone(), type_idents: f.type_idents.clone() })
+                    .collect(),
+            });
+        }
+        for st in &index.statics {
+            let is_lock = st.type_idents.iter().any(|t| self.cfg.lock_types.iter().any(|l| l == t));
+            self.statics.push(StaticInfo {
+                name: st.name.clone(),
+                crate_name: crate_name.clone(),
+                is_lock,
+            });
+        }
+        for (fi, f) in index.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let data = self.extract_fn(ctx, f, &index.fns, fi, file_idx, &crate_name);
+            self.fns.push(data);
+        }
+        self.files.push(FileInfo {
+            rel: ctx.rel.to_string(),
+            src: String::new(),
+            allows: ctx.allows.clone(),
+        });
+    }
+
+    /// Store the owned source of the most recently added file (needed for
+    /// excerpts after the borrowing `FileCtx` is gone).
+    pub fn attach_source(&mut self, src: String) {
+        if let Some(last) = self.files.last_mut() {
+            last.src = src;
+        }
+    }
+
+    fn extract_fn(
+        &mut self,
+        ctx: &FileCtx<'_>,
+        f: &FnItem,
+        all: &[FnItem],
+        self_idx: usize,
+        file_idx: usize,
+        crate_name: &str,
+    ) -> FnData {
+        let mut data = FnData {
+            name: f.name.clone(),
+            qual: f.qual.clone(),
+            crate_name: crate_name.to_string(),
+            file: file_idx,
+            acquires: Vec::new(),
+            calls: Vec::new(),
+            nested: Vec::new(),
+            direct_slow: None,
+        };
+        let Some((open, close)) = f.body else { return data };
+        // sig ranges of items nested in this body (closures run inline; fn
+        // items and impl blocks defined here do not)
+        let mut skip_ranges: Vec<(usize, usize)> = Vec::new();
+        for (gi, g) in all.iter().enumerate() {
+            if gi != self_idx && g.sig_fn > open && g.sig_fn < close {
+                skip_ranges.push((g.sig_fn, g.body.map(|(_, c)| c).unwrap_or(g.sig_fn)));
+            }
+        }
+        skip_ranges.sort_unstable();
+        let skip_past = |j: usize| -> Option<usize> {
+            skip_ranges.iter().find(|&&(s, e)| j >= s && j <= e).map(|&(_, e)| e + 1)
+        };
+
+        // local types from parameters and annotated/constructor lets
+        let mut local_types: BTreeMap<String, String> = BTreeMap::new();
+        for (name, tys) in &f.params {
+            if let Some(t) = head_type(tys, &self.cfg.lock_types) {
+                local_types.insert(name.clone(), t.to_string());
+            }
+        }
+
+        // loop variables and iterator-closure parameters over *field* paths
+        // (`for shard in &self.shards { shard.lock() }`,
+        // `self.shards.iter().map(|s| s.lock().used)`): an acquisition on the
+        // variable is an acquisition of the field's per-element lock, so map
+        // the variable back to the field name before resolution
+        const ITER_ADAPTERS: &[&str] = &["iter", "iter_mut", "values", "values_mut", "into_iter"];
+        let mut field_elem_vars: BTreeMap<String, String> = BTreeMap::new();
+        {
+            let mut j = open + 1;
+            while j < close {
+                if ctx.s_is_ident(j, "for")
+                    && ctx.s(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && ctx.s_is_ident(j + 2, "in")
+                {
+                    let var = ctx.s_text(j + 1).to_string();
+                    let mut r = j + 3;
+                    while ctx.s_is(r, b'&') || ctx.s_is_ident(r, "mut") {
+                        r += 1;
+                    }
+                    // walk the dotted path; the last plain (non-call) ident
+                    // is the container the loop iterates
+                    let mut field: Option<String> = None;
+                    while ctx.s(r).is_some_and(|t| t.kind == TokenKind::Ident) {
+                        if ctx.s_is(r + 1, b'(') {
+                            break; // method call: `.iter()` etc.
+                        }
+                        let text = ctx.s_text(r);
+                        if text != "self" {
+                            field = Some(text.to_string());
+                        }
+                        if !ctx.s_is(r + 1, b'.') {
+                            break;
+                        }
+                        r += 2;
+                    }
+                    if let Some(field) = field {
+                        field_elem_vars.insert(var, field);
+                    }
+                } else if ctx.s_is(j, b'|')
+                    && ctx.s(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && (ctx.s_is(j + 2, b'|') || ctx.s_is(j + 2, b','))
+                {
+                    // closure param in an iterator chain over a field: look
+                    // back a few tokens for `field . <adapter> (`
+                    let var = ctx.s_text(j + 1).to_string();
+                    let lo = j.saturating_sub(20);
+                    let mut k = j;
+                    while k > lo {
+                        k -= 1;
+                        if ctx.s_is(k + 1, b'.')
+                            && ctx.s_is(k + 3, b'(')
+                            && ctx.s(k).is_some_and(|t| t.kind == TokenKind::Ident)
+                            && ctx.s(k + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                            && ITER_ADAPTERS.contains(&ctx.s_text(k + 2))
+                            && ctx.s_text(k) != "self"
+                        {
+                            field_elem_vars
+                                .entry(var.clone())
+                                .or_insert_with(|| ctx.s_text(k).to_string());
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+
+        // pass 1: let-bound guards (+ local type inference from lets)
+        let mut guard_sites: BTreeSet<usize> = BTreeSet::new();
+        let mut j = open + 1;
+        while j < close {
+            if let Some(next) = skip_past(j) {
+                j = next;
+                continue;
+            }
+            if !ctx.s_is_ident(j, "let") {
+                j += 1;
+                continue;
+            }
+            let d = ctx.depth[j];
+            let mut bi = j + 1;
+            if ctx.s_is_ident(bi, "mut") {
+                bi += 1;
+            }
+            let plain_binding = ctx.s(bi).is_some_and(|t| t.kind == TokenKind::Ident)
+                && !ctx.s_is(bi + 1, b'(')
+                && !ctx.s_is(bi + 1, b'{');
+            if !plain_binding {
+                j = bi + 1;
+                continue;
+            }
+            let binding = ctx.s_text(bi).to_string();
+            // optional type annotation
+            let mut init = bi + 1;
+            if ctx.s_is(init, b':') && !ctx.s_is(init + 1, b':') {
+                let (tys, stop) = collect_type_until_eq(ctx, init + 1);
+                if let Some(t) = head_type(&tys, &self.cfg.lock_types) {
+                    local_types.insert(binding.clone(), t.to_string());
+                }
+                init = stop;
+            }
+            // statement end: `;` back at the let's depth
+            let mut k = init;
+            let mut stmt_end = None;
+            while let Some(t) = ctx.s(k) {
+                if t.kind == TokenKind::Punct(b';') && ctx.depth[k] == d {
+                    stmt_end = Some(k);
+                    break;
+                }
+                if ctx.depth[k] < d || k >= close {
+                    break;
+                }
+                k += 1;
+            }
+            let Some(stmt_end) = stmt_end else {
+                j = bi + 1;
+                continue;
+            };
+            // terminal guard-producing acquisition in the initializer?
+            if let Some((acq_i, recv)) = self.terminal_acquisition(ctx, init, stmt_end, d) {
+                let recv = field_elem_vars.get(&recv).cloned().unwrap_or(recv);
+                let mut end = stmt_end + 1;
+                while end < close && ctx.depth[end] >= d {
+                    if ctx.s_is_ident(end, "drop")
+                        && ctx.s_is(end + 1, b'(')
+                        && ctx.s_is_ident(end + 2, &binding)
+                        && ctx.s_is(end + 3, b')')
+                    {
+                        break;
+                    }
+                    end += 1;
+                }
+                guard_sites.insert(acq_i);
+                data.acquires.push(Acquire {
+                    recv,
+                    line: ctx.s(acq_i).map(|t| t.line).unwrap_or(1),
+                    sig_i: acq_i,
+                    region: (stmt_end + 1, end),
+                    binding: Some(binding.clone()),
+                });
+            } else if let Some(t0) = ctx.s(init + 1).filter(|_| ctx.s_is(init, b'=')) {
+                // constructor-shaped init types the local: `T::new(..)`,
+                // `T { .. }`, `T(..)`
+                if t0.kind == TokenKind::Ident {
+                    let text = t0.text(ctx.src);
+                    let looks_type = text.chars().next().is_some_and(char::is_uppercase)
+                        && (ctx.s_is_path_sep(init + 2)
+                            || ctx.s_is(init + 2, b'{')
+                            || ctx.s_is(init + 2, b'('));
+                    if looks_type && !WRAPPERS.contains(&text) {
+                        local_types.insert(binding.clone(), text.to_string());
+                    }
+                }
+            }
+            j = stmt_end + 1;
+        }
+
+        // pass 2: temporary acquisitions (not claimed by a let guard)
+        let mut j = open + 1;
+        while j < close {
+            if let Some(next) = skip_past(j) {
+                j = next;
+                continue;
+            }
+            if self.is_acquisition(ctx, j) && !guard_sites.contains(&j) {
+                if let Some(recv) = recv_ident(ctx, j) {
+                    let recv = field_elem_vars.get(&recv).cloned().unwrap_or(recv);
+                    let region = temp_region(ctx, j, close);
+                    data.acquires.push(Acquire {
+                        recv,
+                        line: ctx.s(j).map(|t| t.line).unwrap_or(1),
+                        sig_i: j,
+                        region,
+                        binding: None,
+                    });
+                } else {
+                    self.unresolved_acquires += 1;
+                }
+            }
+            j += 1;
+        }
+        data.acquires.sort_by_key(|a| a.sig_i);
+
+        // nested direct acquisitions: b acquired while a's guard is live
+        for (ai, a) in data.acquires.iter().enumerate() {
+            for (bi, b) in data.acquires.iter().enumerate() {
+                if ai != bi && b.sig_i > a.sig_i && b.sig_i >= a.region.0 && b.sig_i < a.region.1 {
+                    data.nested.push((ai, bi));
+                }
+            }
+        }
+        data.nested.sort_unstable();
+        data.nested.dedup();
+
+        // guard bindings for receiver typing
+        let guard_bindings: BTreeMap<String, String> = data
+            .acquires
+            .iter()
+            .filter_map(|a| a.binding.clone().map(|b| (b, a.recv.clone())))
+            .collect();
+
+        // loop variables and iterator-closure parameters over guards: the
+        // variable is an *element* of the lock's inner container.  Covers
+        // `for t in tables.iter()` and
+        // `self.sstables.read().iter().map(|t| ..)` shapes.
+        let mut elem_vars: BTreeMap<String, String> = BTreeMap::new();
+        let mut cur_lock: Option<(String, i32)> = None;
+        let mut j = open + 1;
+        while j < close {
+            if let Some((_, d)) = &cur_lock {
+                if ctx.s_is(j, b';') && ctx.depth[j] <= *d {
+                    cur_lock = None;
+                }
+            }
+            if ctx.s_is_ident(j, "for")
+                && ctx.s(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && ctx.s_is_ident(j + 2, "in")
+            {
+                let mut r = j + 3;
+                while ctx.s_is(r, b'&') || ctx.s_is_ident(r, "mut") {
+                    r += 1;
+                }
+                if ctx.s(r).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    if let Some(lock) = guard_bindings.get(ctx.s_text(r)) {
+                        elem_vars.insert(ctx.s_text(j + 1).to_string(), lock.clone());
+                    }
+                }
+            } else if self.is_acquisition(ctx, j) {
+                if let Some(recv) = recv_ident(ctx, j) {
+                    cur_lock = Some((recv, ctx.depth[j]));
+                }
+            } else if ctx.s(j).is_some_and(|t| t.kind == TokenKind::Ident) && ctx.s_is(j + 1, b'.')
+            {
+                if let Some(lock) = guard_bindings.get(ctx.s_text(j)) {
+                    cur_lock = Some((lock.clone(), ctx.depth[j]));
+                }
+            } else if ctx.s_is(j, b'|')
+                && ctx.s(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && (ctx.s_is(j + 2, b'|') || ctx.s_is(j + 2, b','))
+            {
+                // `|t|` / `|t, ..|` closure parameter inside the chain
+                if let Some((lock, _)) = &cur_lock {
+                    elem_vars.entry(ctx.s_text(j + 1).to_string()).or_insert_with(|| lock.clone());
+                }
+            }
+            j += 1;
+        }
+
+        // pass 3: calls and direct slow ops, with held-guard sets
+        let mut j = open + 1;
+        while j < close {
+            if let Some(next) = skip_past(j) {
+                j = next;
+                continue;
+            }
+            let Some(tok) = ctx.s(j) else { break };
+            if tok.kind != TokenKind::Ident {
+                j += 1;
+                continue;
+            }
+            let text = tok.text(ctx.src);
+            if data.direct_slow.is_none()
+                && (self.cfg.slow_ops.iter().any(|s| s == text)
+                    || self.cfg.blocking_ops.iter().any(|s| s == text))
+            {
+                data.direct_slow = Some((text.to_string(), tok.line));
+            }
+            if ctx.s_is(j + 1, b'(') && !NOT_CALLS.contains(&text) {
+                let recv = if ctx.s_is(j.wrapping_sub(1), b'.') {
+                    if NON_CALL_METHODS.contains(&text) {
+                        None
+                    } else {
+                        Some(method_recv(ctx, j, &local_types, &guard_bindings, &elem_vars))
+                    }
+                } else if j >= 2 && ctx.s_is_path_sep(j - 2) {
+                    // `Type::m(..)` — the segment before the `::`
+                    match ctx.s(j.wrapping_sub(3)) {
+                        Some(t) if t.kind == TokenKind::Ident => {
+                            Some(Recv::Type(t.text(ctx.src).to_string()))
+                        }
+                        _ => Some(Recv::Unknown),
+                    }
+                } else if !text.chars().next().is_some_and(char::is_uppercase) {
+                    Some(Recv::Free)
+                } else {
+                    None // tuple-struct constructor (`Some(..)`, `Ok(..)`)
+                };
+                if let Some(recv) = recv {
+                    let held: Vec<usize> = data
+                        .acquires
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| j > a.sig_i && j >= a.region.0 && j < a.region.1)
+                        .map(|(i, _)| i)
+                        .collect();
+                    data.calls.push(Call { name: text.to_string(), recv, line: tok.line, held });
+                }
+            }
+            j += 1;
+        }
+        data
+    }
+
+    /// Does the initializer `[init, stmt_end)` evaluate to a guard?  Returns
+    /// the acquisition's sig index and receiver ident when the `.lock()` /
+    /// `.read()` / `.write()` sits at chain top level and only poison
+    /// adapters follow.
+    fn terminal_acquisition(
+        &self,
+        ctx: &FileCtx<'_>,
+        init: usize,
+        stmt_end: usize,
+        d: i32,
+    ) -> Option<(usize, String)> {
+        let mut pdepth = 0i32;
+        let mut k = init;
+        while k < stmt_end {
+            match ctx.s(k).map(|t| t.kind) {
+                Some(TokenKind::Punct(b'(')) | Some(TokenKind::Punct(b'[')) => pdepth += 1,
+                Some(TokenKind::Punct(b')')) | Some(TokenKind::Punct(b']')) => pdepth -= 1,
+                Some(TokenKind::Ident) => {
+                    let text = ctx.s_text(k);
+                    if ACQUIRE_METHODS.contains(&text)
+                        && pdepth == 0
+                        && ctx.depth[k] == d
+                        && ctx.s_is(k.wrapping_sub(1), b'.')
+                        && ctx.s_is(k + 1, b'(')
+                        && ctx.s_is(k + 2, b')')
+                    {
+                        let mut c = k + 3;
+                        let mut terminal = true;
+                        while c < stmt_end && ctx.s_is(c, b'.') {
+                            let m = ctx.s_text(c + 1);
+                            if POISON_ADAPTERS.contains(&m) && ctx.s_is(c + 2, b'(') {
+                                match ctx.matching_paren(c + 2) {
+                                    Some(cl) => c = cl + 1,
+                                    None => break,
+                                }
+                            } else {
+                                terminal = false;
+                                break;
+                            }
+                        }
+                        if terminal {
+                            return recv_ident(ctx, k).map(|r| (k, r));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// `.lock()` / `.read()` / `.write()` with empty parens at sig index `j`.
+    fn is_acquisition(&self, ctx: &FileCtx<'_>, j: usize) -> bool {
+        let Some(tok) = ctx.s(j) else { return false };
+        tok.kind == TokenKind::Ident
+            && ACQUIRE_METHODS.contains(&tok.text(ctx.src))
+            && ctx.s_is(j.wrapping_sub(1), b'.')
+            && ctx.s_is(j + 1, b'(')
+            && ctx.s_is(j + 2, b')')
+    }
+}
+
+/// The ident naming the receiver of the `.method` at sig index `j`:
+/// `core.frozen.lock()` → `frozen`, `self.shards[i].lock()` → `shards`.
+/// `None` for computed receivers (`self.shard(i).lock()`).
+fn recv_ident(ctx: &FileCtx<'_>, j: usize) -> Option<String> {
+    if j < 2 {
+        return None;
+    }
+    let mut p = j - 2; // before the `.`
+    if ctx.s_is(p, b']') {
+        // index expression: find the matching `[`, the receiver precedes it
+        let mut depth = 0i32;
+        loop {
+            match ctx.s(p).map(|t| t.kind) {
+                Some(TokenKind::Punct(b']')) => depth += 1,
+                Some(TokenKind::Punct(b'[')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if p == 0 {
+                return None;
+            }
+            p -= 1;
+        }
+        if p == 0 {
+            return None;
+        }
+        p -= 1;
+    }
+    match ctx.s(p) {
+        Some(t) if t.kind == TokenKind::Ident => {
+            let text = t.text(ctx.src);
+            if text == "self" {
+                None
+            } else {
+                Some(text.to_string())
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Receiver shape for a method call at sig index `j` (the method ident).
+fn method_recv(
+    ctx: &FileCtx<'_>,
+    j: usize,
+    local_types: &BTreeMap<String, String>,
+    guard_bindings: &BTreeMap<String, String>,
+    elem_vars: &BTreeMap<String, String>,
+) -> Recv {
+    if j < 2 {
+        return Recv::Unknown;
+    }
+    let p = j - 2;
+    match ctx.s(p).map(|t| t.kind) {
+        Some(TokenKind::Ident) => {
+            let r = ctx.s_text(p);
+            if r == "self" {
+                Recv::SelfVar
+            } else if let Some(t) = local_types.get(r) {
+                Recv::Type(t.clone())
+            } else if let Some(lock) = guard_bindings.get(r) {
+                Recv::Guard(lock.clone())
+            } else if let Some(lock) = elem_vars.get(r) {
+                Recv::Elem(lock.clone())
+            } else {
+                Recv::Var(r.to_string())
+            }
+        }
+        Some(TokenKind::Punct(b')')) => {
+            // chained call: if the previous link is `.lock()/.read()/.write()`
+            // (through poison adapters), type the receiver as the lock's
+            // inner type
+            let mut close = p;
+            for _ in 0..4 {
+                let open = match matching_paren_back(ctx, close) {
+                    Some(o) => o,
+                    None => return Recv::Unknown,
+                };
+                if open == 0 {
+                    return Recv::Unknown;
+                }
+                let m = open - 1;
+                let Some(mt) = ctx.s(m) else { return Recv::Unknown };
+                if mt.kind != TokenKind::Ident {
+                    return Recv::Unknown;
+                }
+                let name = mt.text(ctx.src);
+                if ACQUIRE_METHODS.contains(&name) && ctx.s_is(m.wrapping_sub(1), b'.') {
+                    return match recv_ident(ctx, m) {
+                        Some(r) => Recv::Guard(r),
+                        None => Recv::Unknown,
+                    };
+                }
+                if POISON_ADAPTERS.contains(&name)
+                    && ctx.s_is(m.wrapping_sub(1), b'.')
+                    && m >= 2
+                    && ctx.s_is(m - 2, b')')
+                {
+                    close = m - 2;
+                    continue;
+                }
+                return Recv::Unknown;
+            }
+            Recv::Unknown
+        }
+        _ => Recv::Unknown,
+    }
+}
+
+/// Sig index of the `(` matching the `)` at `close`, scanning backwards.
+fn matching_paren_back(ctx: &FileCtx<'_>, close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut p = close;
+    loop {
+        match ctx.s(p).map(|t| t.kind) {
+            Some(TokenKind::Punct(b')')) => depth += 1,
+            Some(TokenKind::Punct(b'(')) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(p);
+                }
+            }
+            _ => {}
+        }
+        if p == 0 {
+            return None;
+        }
+        p -= 1;
+    }
+}
+
+/// Collect type idents after a `let name:` annotation, stopping at the `=`
+/// (or `;`).  Returns the idents and the index of the stopping token.
+fn collect_type_until_eq(ctx: &FileCtx<'_>, i: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut angle = 0i32;
+    let mut depth = 0i32;
+    let mut j = i;
+    while let Some(t) = ctx.s(j) {
+        match t.kind {
+            TokenKind::Punct(b'<') => angle += 1,
+            TokenKind::Punct(b'>') if !ctx.s_is(j.wrapping_sub(1), b'-') => angle -= 1,
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => depth += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => depth -= 1,
+            TokenKind::Punct(b'=') | TokenKind::Punct(b';') if angle <= 0 && depth <= 0 => {
+                return (idents, j);
+            }
+            TokenKind::Ident => idents.push(t.text(ctx.src).to_string()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, ctx.sig.len())
+}
+
+/// Live range of a *temporary* guard acquired at sig index `k`: to the end
+/// of its statement, extended through the body block for `if let` /
+/// `while let` / `match` / `for` statement heads (Rust keeps the scrutinee
+/// temporary alive through the body), and cut at the condition block for a
+/// plain `if` / `while` (Rust drops condition temporaries before the body).
+fn temp_region(ctx: &FileCtx<'_>, k: usize, close: usize) -> (usize, usize) {
+    let d = ctx.depth[k];
+    // statement start
+    let mut s = k;
+    while s > 0 {
+        let p = s - 1;
+        let boundary = (ctx.s_is(p, b';') && ctx.depth[p] == d)
+            || (ctx.s_is(p, b'{') && ctx.depth[p] == d - 1)
+            || (ctx.s_is(p, b'}') && ctx.depth[p] == d + 1);
+        if boundary {
+            break;
+        }
+        s = p;
+    }
+    let head = ctx.s_text(s);
+    let extended = matches!(head, "match" | "for")
+        || (matches!(head, "if" | "while") && ctx.s_is_ident(s + 1, "let"));
+    let plain_cond = matches!(head, "if" | "while") && !extended;
+    // the body/condition block opener at this depth, after the acquisition
+    let mut open = None;
+    let mut m = k + 1;
+    while m < close {
+        if ctx.depth[m] < d {
+            break;
+        }
+        if ctx.s_is(m, b';') && ctx.depth[m] == d {
+            break;
+        }
+        if ctx.s_is(m, b'{') && ctx.depth[m] == d {
+            open = Some(m);
+            break;
+        }
+        m += 1;
+    }
+    match (open, extended, plain_cond) {
+        (Some(o), true, _) => (k, items::matching_brace(ctx, o).min(close)),
+        (Some(o), _, true) => (k, o),
+        (Some(o), _, _) => (k, o),
+        // plain statement: lives to the `;` (or wherever the scan stopped)
+        (None, _, _) => (k, m.min(close)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resolution, propagation, graph construction
+// ---------------------------------------------------------------------------
+
+impl Workspace {
+    /// Resolve acquisitions and calls against the item tables, propagate
+    /// summaries to a fixpoint, build the lock-order graph, and derive the
+    /// `lock-order-cycle` and inter-procedural `lock-across-slow-op`
+    /// findings.
+    pub fn analyze(mut self, cfg: &Config) -> (Vec<Finding>, LockGraph) {
+        // --- resolution tables -------------------------------------------
+        // (type, method) → fn indices
+        let mut methods_of: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        // method name → fn indices (CHA fallback)
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            match &f.qual {
+                Some(q) => {
+                    methods_of.entry((q.clone(), f.name.clone())).or_default().push(i);
+                    methods_by_name.entry(f.name.clone()).or_default().push(i);
+                }
+                None => free_by_name.entry(f.name.clone()).or_default().push(i),
+            }
+        }
+        // lock field name → owning (struct, crate); field name → declared type
+        let mut lock_fields: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        let mut field_types: BTreeMap<(String, String), String> = BTreeMap::new();
+        let mut lock_inners: BTreeMap<(String, String), String> = BTreeMap::new();
+        let mut elem_inners: BTreeMap<(String, String), String> = BTreeMap::new();
+        for s in &self.structs {
+            for fld in &s.fields {
+                let is_lock =
+                    fld.type_idents.iter().any(|t| self.cfg.lock_types.iter().any(|l| l == t));
+                if is_lock {
+                    lock_fields
+                        .entry(fld.name.clone())
+                        .or_default()
+                        .push((s.name.clone(), s.crate_name.clone()));
+                    if let Some(inner) = lock_inner(&fld.type_idents, &self.cfg.lock_types) {
+                        lock_inners.insert((s.name.clone(), fld.name.clone()), inner.to_string());
+                    }
+                    // element type of the locked container: first ident
+                    // after the lock type that is not a wrapper/container
+                    // (`RwLock<Vec<SsTable>>` → `SsTable`)
+                    if let Some(pos) = fld
+                        .type_idents
+                        .iter()
+                        .position(|t| self.cfg.lock_types.iter().any(|l| l == t))
+                    {
+                        if let Some(elem) = fld.type_idents[pos + 1..]
+                            .iter()
+                            .find(|t| !WRAPPERS.contains(&t.as_str()))
+                        {
+                            elem_inners
+                                .insert((s.name.clone(), fld.name.clone()), elem.to_string());
+                        }
+                    }
+                }
+                if let Some(t) = head_type(&fld.type_idents, &self.cfg.lock_types) {
+                    field_types.insert((s.name.clone(), fld.name.clone()), t.to_string());
+                }
+            }
+        }
+        let lock_statics: BTreeMap<String, Vec<String>> = {
+            let mut m: BTreeMap<String, Vec<String>> = BTreeMap::new();
+            for st in self.statics.iter().filter(|s| s.is_lock) {
+                m.entry(st.name.clone()).or_default().push(st.crate_name.clone());
+            }
+            m
+        };
+
+        // lock node for a receiver ident seen in `fn_idx`, or None
+        let resolve_lock = |recv: &str, fn_idx: usize| -> Option<String> {
+            let f = &self.fns[fn_idx];
+            if lock_statics.contains_key(recv) {
+                return Some(recv.to_string());
+            }
+            if let Some(q) = &f.qual {
+                if lock_fields.get(recv).is_some_and(|owners| owners.iter().any(|(s, _)| s == q)) {
+                    return Some(format!("{q}.{recv}"));
+                }
+            }
+            let owners = lock_fields.get(recv)?;
+            let same_crate: Vec<_> = owners.iter().filter(|(_, c)| *c == f.crate_name).collect();
+            match same_crate.as_slice() {
+                [(s, _)] => Some(format!("{s}.{recv}")),
+                [] if owners.len() == 1 => Some(format!("{}.{recv}", owners[0].0)),
+                _ => None,
+            }
+        };
+
+        // --- resolve acquisitions ----------------------------------------
+        let mut acq_nodes: Vec<Vec<Option<String>>> = Vec::with_capacity(self.fns.len());
+        let mut resolved_count = 0usize;
+        for (i, f) in self.fns.iter().enumerate() {
+            let nodes: Vec<Option<String>> =
+                f.acquires.iter().map(|a| resolve_lock(&a.recv, i)).collect();
+            resolved_count += nodes.iter().flatten().count();
+            self.unresolved_acquires += nodes.iter().filter(|n| n.is_none()).count();
+            acq_nodes.push(nodes);
+        }
+
+        // --- resolve calls to candidate callees --------------------------
+        const CHA_CAP: usize = 16;
+        let mut call_cands: Vec<Vec<Vec<usize>>> = Vec::with_capacity(self.fns.len());
+        for (i, f) in self.fns.iter().enumerate() {
+            let mut per_fn = Vec::with_capacity(f.calls.len());
+            for call in &f.calls {
+                let by_type = |t: &str| -> Vec<usize> {
+                    methods_of.get(&(t.to_string(), call.name.clone())).cloned().unwrap_or_default()
+                };
+                let cha = || -> Vec<usize> {
+                    if UBIQUITOUS_METHODS.contains(&call.name.as_str()) {
+                        return Vec::new();
+                    }
+                    let all = methods_by_name.get(&call.name).cloned().unwrap_or_default();
+                    let same: Vec<usize> = all
+                        .into_iter()
+                        .filter(|&c| self.fns[c].crate_name == f.crate_name)
+                        .collect();
+                    if same.len() <= CHA_CAP {
+                        same
+                    } else {
+                        Vec::new()
+                    }
+                };
+                let cands: Vec<usize> = match &call.recv {
+                    Recv::SelfVar => match &f.qual {
+                        Some(q) => by_type(q),
+                        None => cha(),
+                    },
+                    Recv::Type(t) => by_type(t),
+                    Recv::Var(v) => {
+                        let field_ty =
+                            f.qual.as_ref().and_then(|q| field_types.get(&(q.clone(), v.clone())));
+                        match field_ty {
+                            Some(t) => by_type(t),
+                            None => cha(),
+                        }
+                    }
+                    Recv::Guard(lock_recv) => {
+                        // guard derefs to the lock's inner type — no CHA
+                        // fallback: a guard's method set is closed
+                        resolve_lock(lock_recv, i)
+                            .and_then(|node| {
+                                let (s, fld) = node.split_once('.')?;
+                                lock_inners.get(&(s.to_string(), fld.to_string()))
+                            })
+                            .map(|inner| by_type(inner))
+                            .unwrap_or_default()
+                    }
+                    Recv::Elem(lock_recv) => {
+                        // loop variable over a locked container: the
+                        // element type's methods, nothing else
+                        resolve_lock(lock_recv, i)
+                            .and_then(|node| {
+                                let (s, fld) = node.split_once('.')?;
+                                elem_inners.get(&(s.to_string(), fld.to_string()))
+                            })
+                            .map(|elem| by_type(elem))
+                            .unwrap_or_default()
+                    }
+                    Recv::Free => {
+                        let all = free_by_name.get(&call.name).cloned().unwrap_or_default();
+                        let same: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&c| self.fns[c].crate_name == f.crate_name)
+                            .collect();
+                        if !same.is_empty() {
+                            same
+                        } else if all.len() == 1 {
+                            all
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    Recv::Unknown => cha(),
+                };
+                per_fn.push(cands);
+            }
+            call_cands.push(per_fn);
+        }
+
+        // --- propagate transitive summaries to a fixpoint ----------------
+        let n = self.fns.len();
+        let mut trans_acq: Vec<BTreeMap<String, Prov>> = vec![BTreeMap::new(); n];
+        for i in 0..n {
+            for (ai, node) in acq_nodes[i].iter().enumerate() {
+                if let Some(node) = node {
+                    trans_acq[i]
+                        .entry(node.clone())
+                        .or_insert(Prov::Direct { line: self.fns[i].acquires[ai].line });
+                }
+            }
+        }
+        let mut trans_slow: Vec<Option<SlowProv>> = self
+            .fns
+            .iter()
+            .map(|f| {
+                f.direct_slow
+                    .as_ref()
+                    .map(|(op, line)| SlowProv::Direct { op: op.clone(), line: *line })
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let mut add_acq: Vec<(String, usize)> = Vec::new();
+                let mut slow_via: Option<usize> = None;
+                for (ci, _) in self.fns[i].calls.iter().enumerate() {
+                    for &c in &call_cands[i][ci] {
+                        if c == i {
+                            continue;
+                        }
+                        for node in trans_acq[c].keys() {
+                            if !trans_acq[i].contains_key(node) {
+                                add_acq.push((node.clone(), c));
+                            }
+                        }
+                        if trans_slow[i].is_none() && slow_via.is_none() && trans_slow[c].is_some()
+                        {
+                            slow_via = Some(c);
+                        }
+                    }
+                }
+                for (node, c) in add_acq {
+                    if trans_acq[i].insert(node, Prov::Via { callee: c }).is_none() {
+                        changed = true;
+                    }
+                }
+                if let Some(c) = slow_via {
+                    if trans_slow[i].is_none() {
+                        trans_slow[i] = Some(SlowProv::Via { callee: c });
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // witness chain for `node` reachable from fn `start`: callee names
+        // plus the final direct acquisition site.  Insert-only propagation
+        // makes the Via chain acyclic (each link was inserted strictly after
+        // its callee already had the node).
+        let follow_acq = |start: usize, node: &str| -> (Vec<String>, String, u32) {
+            let mut via = Vec::new();
+            let mut cur = start;
+            for _ in 0..n + 1 {
+                via.push(self.fns[cur].qualified());
+                match trans_acq[cur].get(node) {
+                    Some(Prov::Direct { line }) => {
+                        return (via, self.files[self.fns[cur].file].rel.clone(), *line);
+                    }
+                    Some(Prov::Via { callee }) => cur = *callee,
+                    None => break,
+                }
+            }
+            let file = self.files[self.fns[cur].file].rel.clone();
+            (via, file, self.fns[cur].acquires.first().map(|a| a.line).unwrap_or(1))
+        };
+        let follow_slow = |start: usize| -> (Vec<String>, String, String, u32) {
+            let mut via = Vec::new();
+            let mut cur = start;
+            for _ in 0..n + 1 {
+                via.push(self.fns[cur].qualified());
+                match &trans_slow[cur] {
+                    Some(SlowProv::Direct { op, line }) => {
+                        return (
+                            via,
+                            op.clone(),
+                            self.files[self.fns[cur].file].rel.clone(),
+                            *line,
+                        );
+                    }
+                    Some(SlowProv::Via { callee }) => cur = *callee,
+                    None => break,
+                }
+            }
+            let file = self.files[self.fns[cur].file].rel.clone();
+            (via, String::from("?"), file, self.fns[cur].line_or_default())
+        };
+
+        // --- lock-order edges --------------------------------------------
+        let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+        let mut add_edge = |e: LockEdge| {
+            edges.entry((e.from.clone(), e.to.clone())).or_insert(e);
+        };
+        for i in 0..n {
+            let f = &self.fns[i];
+            let file = &self.files[f.file].rel;
+            for &(ai, bi) in &f.nested {
+                let (Some(from), Some(to)) = (&acq_nodes[i][ai], &acq_nodes[i][bi]) else {
+                    continue;
+                };
+                add_edge(LockEdge {
+                    from: from.clone(),
+                    to: to.clone(),
+                    holder_fn: f.qualified(),
+                    file: file.clone(),
+                    hold_line: f.acquires[ai].line,
+                    via: Vec::new(),
+                    acq_file: file.clone(),
+                    acq_line: f.acquires[bi].line,
+                    in_cycle: false,
+                });
+            }
+            for (ci, call) in f.calls.iter().enumerate() {
+                if call.held.is_empty() {
+                    continue;
+                }
+                for &c in &call_cands[i][ci] {
+                    if c == i {
+                        continue;
+                    }
+                    let callee_nodes: Vec<String> = trans_acq[c].keys().cloned().collect();
+                    for node in &callee_nodes {
+                        for &ai in &call.held {
+                            let Some(from) = &acq_nodes[i][ai] else { continue };
+                            let (via, acq_file, acq_line) = follow_acq(c, node);
+                            add_edge(LockEdge {
+                                from: from.clone(),
+                                to: node.clone(),
+                                holder_fn: f.qualified(),
+                                file: file.clone(),
+                                hold_line: f.acquires[ai].line,
+                                via,
+                                acq_file,
+                                acq_line,
+                                in_cycle: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Tarjan SCC over the edge set --------------------------------
+        let mut nodes: BTreeSet<String> = BTreeSet::new();
+        for fn_nodes in acq_nodes.iter().take(n) {
+            nodes.extend(fn_nodes.iter().flatten().cloned());
+        }
+        for (from, to) in edges.keys() {
+            nodes.insert(from.clone());
+            nodes.insert(to.clone());
+        }
+        let node_list: Vec<String> = nodes.into_iter().collect();
+        let index_of: BTreeMap<&str, usize> =
+            node_list.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); node_list.len()];
+        let mut self_loops: BTreeSet<usize> = BTreeSet::new();
+        for (from, to) in edges.keys() {
+            let (fi, ti) = (index_of[from.as_str()], index_of[to.as_str()]);
+            adj[fi].push(ti);
+            if fi == ti {
+                self_loops.insert(fi);
+            }
+        }
+        let sccs = tarjan(&adj);
+        let mut scc_of: Vec<usize> = vec![0; node_list.len()];
+        for (si, scc) in sccs.iter().enumerate() {
+            for &v in scc {
+                scc_of[v] = si;
+            }
+        }
+        let mut cycles: Vec<Vec<String>> = Vec::new();
+        for scc in &sccs {
+            if scc.len() > 1 {
+                if let Some(path) = cycle_path(&adj, scc) {
+                    cycles.push(path.into_iter().map(|v| node_list[v].clone()).collect());
+                }
+            } else if let Some(&v) = scc.first().filter(|&&v| self_loops.contains(&v)) {
+                cycles.push(vec![node_list[v].clone()]);
+            }
+        }
+        let mut edge_list: Vec<LockEdge> = edges.into_values().collect();
+        for e in &mut edge_list {
+            let (fi, ti) = (index_of[e.from.as_str()], index_of[e.to.as_str()]);
+            e.in_cycle = fi == ti || (scc_of[fi] == scc_of[ti] && sccs[scc_of[fi]].len() > 1);
+        }
+
+        // --- findings ----------------------------------------------------
+        let mut findings: Vec<Finding> = Vec::new();
+        let excluded = |rule: &str, rel: &str| -> bool {
+            cfg.rule(rule)
+                .and_then(|rc| rc.str_list("exclude"))
+                .is_some_and(|pats| pats.iter().any(|p| rules::path_matches(p, rel)))
+        };
+
+        let cyc_sev = cfg.severity("lock-order-cycle", Severity::Deny);
+        if cyc_sev != Severity::Allow {
+            for path in &cycles {
+                // edges along the cycle, in path order
+                let mut parts: Vec<String> = Vec::new();
+                let mut anchor: Option<(&LockEdge, usize)> = None;
+                let len = path.len();
+                for (k, from) in path.iter().enumerate() {
+                    let to = &path[(k + 1) % len];
+                    let Some(e) = edge_list.iter().find(|e| &e.from == from && &e.to == to) else {
+                        continue;
+                    };
+                    if anchor.is_none() {
+                        anchor = Some((e, k));
+                    }
+                    let via = if e.via.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" via {}", e.via.join(" -> "))
+                    };
+                    parts.push(format!(
+                        "[{} -> {}] `{}` holds `{}` ({}:{}) and acquires `{}` at {}:{}{}",
+                        e.from,
+                        e.to,
+                        e.holder_fn,
+                        e.from,
+                        e.file,
+                        e.hold_line,
+                        e.to,
+                        e.acq_file,
+                        e.acq_line,
+                        via
+                    ));
+                }
+                let Some((anchor, _)) = anchor else { continue };
+                let ring = if len == 1 {
+                    format!("{0} -> {0}", path[0])
+                } else {
+                    let mut r = path.clone();
+                    r.push(path[0].clone());
+                    r.join(" -> ")
+                };
+                let file_info = self.files.iter().find(|fi| fi.rel == anchor.file);
+                if excluded("lock-order-cycle", &anchor.file)
+                    || file_info.is_some_and(|fi| fi.allowed("lock-order-cycle", anchor.hold_line))
+                {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "lock-order-cycle",
+                    severity: cyc_sev,
+                    path: anchor.file.clone(),
+                    line: anchor.hold_line,
+                    message: format!("lock-order cycle: {ring}; {}", parts.join("; ")),
+                    excerpt: file_info
+                        .map(|fi| fi.line_text(anchor.hold_line).to_string())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+
+        let slow_sev = cfg.severity("lock-across-slow-op", Severity::Deny);
+        if slow_sev != Severity::Allow {
+            let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+            for i in 0..n {
+                let f = &self.fns[i];
+                let rel = &self.files[f.file].rel;
+                if excluded("lock-across-slow-op", rel) {
+                    continue;
+                }
+                for (ci, call) in f.calls.iter().enumerate() {
+                    if call.held.is_empty() {
+                        continue;
+                    }
+                    let Some(&c) =
+                        call_cands[i][ci].iter().find(|&&c| c != i && trans_slow[c].is_some())
+                    else {
+                        continue;
+                    };
+                    let Some(from) = call.held.iter().find_map(|&ai| acq_nodes[i][ai].clone())
+                    else {
+                        continue;
+                    };
+                    if !seen.insert((rel.clone(), call.line)) {
+                        continue;
+                    }
+                    let file_info = &self.files[f.file];
+                    // an allow at the call site or at any held guard's
+                    // acquisition covers it — annotating the `.lock()` reads
+                    // as "this guard is knowingly held across slow ops"
+                    if file_info.allowed("lock-across-slow-op", call.line)
+                        || call.held.iter().any(|&ai| {
+                            file_info.allowed("lock-across-slow-op", f.acquires[ai].line)
+                        })
+                    {
+                        continue;
+                    }
+                    let (via, op, op_file, op_line) = follow_slow(c);
+                    findings.push(Finding {
+                        rule: "lock-across-slow-op",
+                        severity: slow_sev,
+                        path: rel.clone(),
+                        line: call.line,
+                        message: format!(
+                            "guard on `{from}` held across call to `{}`, which transitively \
+                             performs `{op}` ({op_file}:{op_line}); chain: {} -> {}",
+                            self.fns[c].qualified(),
+                            f.qualified(),
+                            via.join(" -> ")
+                        ),
+                        excerpt: file_info.line_text(call.line).to_string(),
+                    });
+                }
+            }
+        }
+
+        let graph = LockGraph {
+            nodes: node_list,
+            edges: edge_list,
+            cycles,
+            fns_analyzed: n,
+            resolved_acquires: resolved_count,
+            unresolved_acquires: self.unresolved_acquires,
+        };
+        (findings, graph)
+    }
+}
+
+impl FnData {
+    fn line_or_default(&self) -> u32 {
+        self.acquires.first().map(|a| a.line).unwrap_or(1)
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative, so fixture
+/// pathologies can't overflow the stack).
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // explicit DFS frames: (vertex, next child position)
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// A concrete cycle visiting vertices of `scc` (strongly connected, so one
+/// exists): DFS from the smallest vertex back to itself.
+fn cycle_path(adj: &[Vec<usize>], scc: &[usize]) -> Option<Vec<usize>> {
+    let inside: BTreeSet<usize> = scc.iter().copied().collect();
+    let start = *scc.first()?;
+    let mut path = vec![start];
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    visited.insert(start);
+    // iterative DFS with explicit child cursors
+    let mut cursors = vec![0usize];
+    while let Some(&v) = path.last() {
+        let cur = cursors.last_mut()?;
+        let children = &adj[v];
+        let mut advanced = false;
+        while *cur < children.len() {
+            let w = children[*cur];
+            *cur += 1;
+            if w == start && path.len() > 1 {
+                return Some(path);
+            }
+            if inside.contains(&w) && !visited.contains(&w) {
+                visited.insert(w);
+                path.push(w);
+                cursors.push(0);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            path.pop();
+            cursors.pop();
+            if path.is_empty() {
+                break;
+            }
+        }
+    }
+    None
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! dcdb-lint [--root DIR] [--config FILE] [--baseline FILE] [--json FILE]
-//!           [--check] [--update-baseline] [--verbose] [--list-rules]
+//!           [--format plain|github] [--check] [--update-baseline]
+//!           [--verbose] [--list-rules]
 //! ```
 //!
 //! Modes:
@@ -14,7 +15,10 @@
 //! Config and baseline default to `<root>/lint.toml` and
 //! `<root>/lint-baseline.json`; a missing file means built-in defaults /
 //! empty baseline.  The JSON report defaults to
-//! `<root>/results/LINT_report.json`.
+//! `<root>/results/LINT_report.json`, and the lock-order graph is written
+//! to `LOCK_graph.dot` next to wherever the report lands.  `--format github`
+//! additionally emits `::error file=…,line=…::…` workflow-command lines so
+//! new findings annotate PR diffs in CI.
 
 // CLI binary: stdout is the product.
 #![allow(clippy::print_stdout)]
@@ -24,11 +28,18 @@ use std::process::ExitCode;
 
 use dcdb_lint::{baseline_from, config::Severity, report, Baseline, Config};
 
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Plain,
+    Github,
+}
+
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     baseline: Option<PathBuf>,
     json: Option<PathBuf>,
+    format: Format,
     check: bool,
     update_baseline: bool,
     verbose: bool,
@@ -41,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         baseline: None,
         json: None,
+        format: Format::Plain,
         check: false,
         update_baseline: false,
         verbose: false,
@@ -56,6 +68,16 @@ fn parse_args() -> Result<Args, String> {
             "--config" => args.config = Some(path_arg(&mut it)?),
             "--baseline" => args.baseline = Some(path_arg(&mut it)?),
             "--json" => args.json = Some(path_arg(&mut it)?),
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("plain") => Format::Plain,
+                    Some("github") => Format::Github,
+                    Some(other) => {
+                        return Err(format!("--format must be plain|github, got `{other}`"))
+                    }
+                    None => return Err("--format needs a value".to_string()),
+                }
+            }
             "--check" => args.check = true,
             "--update-baseline" => args.update_baseline = true,
             "--verbose" | "-v" => args.verbose = true,
@@ -63,7 +85,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "dcdb-lint [--root DIR] [--config FILE] [--baseline FILE] [--json FILE]\n\
-                     \x20         [--check] [--update-baseline] [--verbose] [--list-rules]"
+                     \x20         [--format plain|github] [--check] [--update-baseline]\n\
+                     \x20         [--verbose] [--list-rules]"
                 );
                 std::process::exit(0);
             }
@@ -128,6 +151,9 @@ fn run() -> Result<ExitCode, String> {
     }
 
     print!("{}", report::render_text(&analysis, &cfg, args.verbose));
+    if args.format == Format::Github {
+        print!("{}", report::render_github(&analysis));
+    }
 
     let json_path =
         args.json.clone().unwrap_or_else(|| args.root.join("results").join("LINT_report.json"));
@@ -137,6 +163,11 @@ fn run() -> Result<ExitCode, String> {
     let root_str = args.root.to_string_lossy().into_owned();
     std::fs::write(&json_path, report::render_json(&analysis, &cfg, &root_str))
         .map_err(|e| format!("{}: {e}", json_path.display()))?;
+    // the graph rides wherever the report goes, so `--json /tmp/x.json`
+    // (e.g. the CI fixture self-test) never writes into the scanned tree
+    let dot_path = json_path.with_file_name("LOCK_graph.dot");
+    std::fs::write(&dot_path, report::render_dot(&analysis.lock_graph))
+        .map_err(|e| format!("{}: {e}", dot_path.display()))?;
 
     let new_deny = analysis.new_deny().count();
     if args.check && new_deny > 0 {

@@ -1,11 +1,15 @@
-//! Text and JSON rendering of an [`Analysis`].
+//! Text, JSON, GitHub-workflow-command and DOT rendering of an [`Analysis`].
 //!
 //! The JSON report (`results/LINT_report.json`) carries per-rule finding
-//! counts plus the full list of *new* (non-baselined) findings, so CI
-//! artifacts show exactly what the gate saw.
+//! counts, the full list of *new* (non-baselined) findings, and the
+//! inter-procedural lock-order graph; the DOT export
+//! (`results/LOCK_graph.dot`) renders that graph with cycle edges in red.
+//! `--format github` emits `::error file=…,line=…::…` lines so findings
+//! annotate PR diffs directly.
 
 use crate::baseline::write_json_string;
 use crate::config::Severity;
+use crate::lockorder::LockGraph;
 use crate::{Analysis, Config};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -137,6 +141,130 @@ pub fn render_json(analysis: &Analysis, cfg: &Config, root: &str) -> String {
     if !first {
         out.push_str("\n  ");
     }
-    out.push_str("]\n}\n");
+    out.push_str("],\n");
+    render_lock_graph_json(&mut out, &analysis.lock_graph);
+    out.push_str("}\n");
+    out
+}
+
+/// The `"lock_graph"` section of the JSON report: nodes, witness-annotated
+/// edges and any cycles — the same data the DOT export draws, in a form the
+/// runtime subset check and dashboards can consume.
+fn render_lock_graph_json(out: &mut String, g: &LockGraph) {
+    out.push_str("  \"lock_graph\": {\n");
+    let _ = writeln!(out, "    \"fns_analyzed\": {},", g.fns_analyzed);
+    let _ = writeln!(out, "    \"resolved_acquires\": {},", g.resolved_acquires);
+    let _ = writeln!(out, "    \"unresolved_acquires\": {},", g.unresolved_acquires);
+    out.push_str("    \"nodes\": [");
+    for (i, n) in g.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_string(out, n);
+    }
+    out.push_str("],\n");
+    out.push_str("    \"edges\": [");
+    for (i, e) in g.edges.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n      {" } else { "\n      {" });
+        out.push_str("\"from\": ");
+        write_json_string(out, &e.from);
+        out.push_str(", \"to\": ");
+        write_json_string(out, &e.to);
+        out.push_str(", \"holder_fn\": ");
+        write_json_string(out, &e.holder_fn);
+        out.push_str(", \"file\": ");
+        write_json_string(out, &e.file);
+        let _ = write!(out, ", \"hold_line\": {}", e.hold_line);
+        out.push_str(", \"acq_file\": ");
+        write_json_string(out, &e.acq_file);
+        let _ = write!(out, ", \"acq_line\": {}", e.acq_line);
+        out.push_str(", \"via\": [");
+        for (k, v) in e.via.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(out, v);
+        }
+        let _ = write!(out, "], \"in_cycle\": {}}}", e.in_cycle);
+    }
+    if !g.edges.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("],\n");
+    out.push_str("    \"cycles\": [");
+    for (i, cyc) in g.cycles.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (k, n) in cyc.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(out, n);
+        }
+        out.push(']');
+    }
+    out.push_str("]\n");
+    out.push_str("  }\n");
+}
+
+/// GitHub Actions workflow-command lines: one `::error`/`::warning` per
+/// *new* finding, so the lint job annotates the PR diff in place.  Baselined
+/// findings are silent — they already gate via the summary.
+pub fn render_github(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for c in &analysis.findings {
+        if c.baselined {
+            continue;
+        }
+        let level = match c.finding.severity {
+            Severity::Deny => "error",
+            _ => "warning",
+        };
+        // workflow-command escaping: %, CR and LF in the message body
+        let msg = c.finding.message.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+        let _ = writeln!(
+            out,
+            "::{level} file={},line={},title=dcdb-lint {}::{msg}",
+            c.finding.path, c.finding.line, c.finding.rule
+        );
+    }
+    out
+}
+
+/// GraphViz DOT rendering of the lock-order graph.  Cycle edges are red and
+/// bold; every edge is labelled with its holder function (and call chain
+/// depth when inter-procedural).  View with
+/// `dot -Tsvg results/LOCK_graph.dot -o lock_graph.svg`.
+pub fn render_dot(g: &LockGraph) -> String {
+    fn quote(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("digraph lock_order {\n");
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\", fontsize=10];\n");
+    out.push_str("  edge [fontname=\"monospace\", fontsize=8];\n");
+    for n in &g.nodes {
+        let in_cycle = g.cycles.iter().any(|c| c.iter().any(|m| m == n));
+        let extra = if in_cycle { ", color=red, penwidth=2" } else { "" };
+        let _ = writeln!(out, "  \"{}\" [label=\"{}\"{extra}];", quote(n), quote(n));
+    }
+    for e in &g.edges {
+        let label = if e.via.is_empty() {
+            format!("{} ({}:{})", e.holder_fn, e.file, e.hold_line)
+        } else {
+            format!("{} (+{} calls)", e.holder_fn, e.via.len())
+        };
+        let style = if e.in_cycle { ", color=red, penwidth=2" } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}\"{style}];",
+            quote(&e.from),
+            quote(&e.to),
+            quote(&label)
+        );
+    }
+    out.push_str("}\n");
     out
 }

@@ -76,6 +76,11 @@ pub const RULES: &[RuleDef] = &[
         default_severity: Severity::Deny,
         summary: "metric family without dcdb_ prefix or required unit suffix",
     },
+    RuleDef {
+        id: "lock-order-cycle",
+        default_severity: Severity::Deny,
+        summary: "cycle in the inter-procedural lock-order graph (potential deadlock)",
+    },
 ];
 
 /// Look up a rule's built-in default severity.
@@ -97,7 +102,7 @@ pub struct FileCtx<'s> {
     pub test: Vec<bool>,
     pub file_is_test: bool,
     /// Inline allows: (first covered line, last covered line, rule ids).
-    allows: Vec<(u32, u32, Vec<String>)>,
+    pub(crate) allows: Vec<(u32, u32, Vec<String>)>,
     /// Byte offset of the start of each line (index 0 = line 1).
     line_starts: Vec<usize>,
 }
@@ -136,33 +141,33 @@ impl<'s> FileCtx<'s> {
         self.src[start..end].trim_end_matches('\n').trim()
     }
 
-    fn s(&self, i: usize) -> Option<&Token> {
+    pub(crate) fn s(&self, i: usize) -> Option<&Token> {
         self.sig.get(i).map(|&ti| &self.tokens[ti])
     }
 
-    fn s_text(&self, i: usize) -> &'s str {
+    pub(crate) fn s_text(&self, i: usize) -> &'s str {
         self.s(i).map(|t| t.text(self.src)).unwrap_or("")
     }
 
-    fn s_is(&self, i: usize, p: u8) -> bool {
+    pub(crate) fn s_is(&self, i: usize, p: u8) -> bool {
         self.s(i).is_some_and(|t| t.kind == TokenKind::Punct(p))
     }
 
-    fn s_is_ident(&self, i: usize, name: &str) -> bool {
+    pub(crate) fn s_is_ident(&self, i: usize, name: &str) -> bool {
         self.s(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.src) == name)
     }
 
     /// `::` at sig positions i, i+1.
-    fn s_is_path_sep(&self, i: usize) -> bool {
+    pub(crate) fn s_is_path_sep(&self, i: usize) -> bool {
         self.s_is(i, b':') && self.s_is(i + 1, b':')
     }
 
-    fn in_test(&self, sig_i: usize) -> bool {
+    pub(crate) fn in_test(&self, sig_i: usize) -> bool {
         self.sig.get(sig_i).is_some_and(|&ti| self.test[ti])
     }
 
     /// Sig index of the `)` matching the `(` at sig index `open`.
-    fn matching_paren(&self, open: usize) -> Option<usize> {
+    pub(crate) fn matching_paren(&self, open: usize) -> Option<usize> {
         let mut depth = 0i32;
         let mut j = open;
         while let Some(t) = self.s(j) {
@@ -181,13 +186,13 @@ impl<'s> FileCtx<'s> {
         None
     }
 
-    fn allowed(&self, rule: &str, line: u32) -> bool {
+    pub(crate) fn allowed(&self, rule: &str, line: u32) -> bool {
         self.allows.iter().any(|(start, end, rules)| {
             (*start..=*end).contains(&line) && rules.iter().any(|r| r == rule || r == "*")
         })
     }
 
-    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+    pub(crate) fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
         Finding {
             rule,
             severity: Severity::Deny, // resolved by the engine
@@ -556,6 +561,35 @@ fn rule_debug_assert(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<Finding>
     out
 }
 
+/// Operations considered "slow" by `lock-across-slow-op` — file IO, fsync
+/// and the SSTable encode/merge entry points.  Shared by the intra-procedural
+/// scope heuristic below and the inter-procedural summary propagation in
+/// [`crate::lockorder`].
+pub(crate) const DEFAULT_SLOW_OPS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "create_dir_all",
+    "File",
+    "OpenOptions",
+    "from_sorted",
+    "from_sorted_cached",
+    "read_from",
+    "read_from_cached",
+    "write_to",
+    "merge_cached",
+    "encode_framed_into",
+];
+
+/// Operations that block the calling thread (sleep, channel receive,
+/// condvar wait) — holding a lock across a call whose transitive summary
+/// contains one of these is the inter-procedural variant of
+/// `lock-across-slow-op`.
+pub(crate) const DEFAULT_BLOCKING_OPS: &[&str] =
+    &["sleep", "recv", "recv_timeout", "wait", "wait_timeout", "park"];
+
 /// Rule 4 (scope-level heuristic): a `let`-bound guard from `.lock()` /
 /// `.read()` / `.write()` whose scope also contains a configured slow
 /// operation (file IO, fsync, SSTable encode/merge) before the guard dies.
@@ -564,27 +598,7 @@ fn rule_lock_across_slow_op(ctx: &FileCtx<'_>, rc: Option<&RuleConfig>) -> Vec<F
     if rule_excluded(rc, &[], ctx.rel) {
         return Vec::new();
     }
-    let slow_ops = str_list_or(
-        rc,
-        "slow_ops",
-        &[
-            "sync_all",
-            "sync_data",
-            "write_all",
-            "read_to_end",
-            "read_to_string",
-            "create_dir_all",
-            "File",
-            "OpenOptions",
-            "from_sorted",
-            "from_sorted_cached",
-            "read_from",
-            "read_from_cached",
-            "write_to",
-            "merge_cached",
-            "encode_framed_into",
-        ],
-    );
+    let slow_ops = str_list_or(rc, "slow_ops", DEFAULT_SLOW_OPS);
     let ignore_receivers = str_list_or(rc, "ignore_receivers", &["stdout", "stderr"]);
     let mut out = Vec::new();
     let mut i = 0usize;

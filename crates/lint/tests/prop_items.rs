@@ -1,0 +1,177 @@
+//! Item-parser properties the lock-order analysis depends on.
+//!
+//! [`dcdb_lint::items::parse`] is fed (1) arbitrary token soup — including
+//! unbalanced delimiters and truncated items — and must never panic while
+//! keeping every reported span and body index in bounds, and (2) composites
+//! of well-formed item atoms, where the recovered counts must match what was
+//! generated and `fn` spans must nest or be disjoint (never partially
+//! overlap), since the lock-order extraction walks function bodies by span.
+
+use dcdb_lint::items;
+use dcdb_lint::FileCtx;
+use proptest::prelude::*;
+
+/// One well-formed item atom and the (fns, structs, statics) it contributes.
+#[derive(Debug, Clone)]
+struct Atom {
+    text: String,
+    fns: usize,
+    structs: usize,
+    statics: usize,
+}
+
+fn well_formed(variant: usize, i: usize) -> Atom {
+    match variant % 7 {
+        0 => Atom {
+            text: format!("fn free_{i}(x: u32) -> u32 {{ x + 1 }}"),
+            fns: 1,
+            structs: 0,
+            statics: 0,
+        },
+        1 => Atom {
+            text: format!("struct S{i};\nimpl S{i} {{ fn method_{i}(&self) {{}} }}"),
+            fns: 1,
+            structs: 1,
+            statics: 0,
+        },
+        2 => Atom {
+            text: format!("struct T{i} {{ a: Mutex<u32>, b: Vec<String> }}"),
+            fns: 0,
+            structs: 1,
+            statics: 0,
+        },
+        3 => Atom {
+            text: format!("static G{i}: Mutex<u32> = Mutex::new(0);"),
+            fns: 0,
+            structs: 0,
+            statics: 1,
+        },
+        4 => Atom {
+            text: format!("mod m{i} {{ fn inner_{i}() {{}} }}"),
+            fns: 1,
+            structs: 0,
+            statics: 0,
+        },
+        5 => Atom {
+            text: format!("fn outer_{i}() {{ fn nested_{i}() {{ let _ = {i}; }} }}"),
+            fns: 2,
+            structs: 0,
+            statics: 0,
+        },
+        _ => Atom {
+            text: format!("trait Tr{i} {{ fn decl_{i}(&self); }}"),
+            fns: 1,
+            structs: 0,
+            statics: 0,
+        },
+    }
+}
+
+/// Fragments that do not parse: the parser must degrade, not panic.
+fn broken() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn {".to_string()),
+        Just("fn f(".to_string()),
+        Just("impl < {".to_string()),
+        Just("struct".to_string()),
+        Just("} ) ;".to_string()),
+        Just("static : =".to_string()),
+        Just("mod broken {".to_string()),
+        Just("fn g ( } ) fn h".to_string()),
+        Just("macro_rules! m { (fn) => { struct } }".to_string()),
+        Just("enum E { A(fn()), B }".to_string()),
+    ]
+}
+
+fn well_formed_source() -> impl Strategy<Value = (String, usize, usize, usize)> {
+    prop::collection::vec(0usize..7, 0..10).prop_map(|picks| {
+        let mut src = String::new();
+        let (mut f, mut s, mut g) = (0, 0, 0);
+        for (i, &v) in picks.iter().enumerate() {
+            let a = well_formed(v, i);
+            src.push_str(&a.text);
+            src.push('\n');
+            f += a.fns;
+            s += a.structs;
+            g += a.statics;
+        }
+        (src, f, s, g)
+    })
+}
+
+fn soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![(0usize..7).prop_map(|v| well_formed(v, 0).text), broken()],
+        0..12,
+    )
+    .prop_map(|parts| parts.join("\n"))
+}
+
+proptest! {
+    /// Arbitrary token soup — broken fragments, duplicate names, truncation
+    /// mid-item — never panics, and every span/body index stays in bounds.
+    #[test]
+    fn soup_never_panics_and_spans_in_bounds(src in soup(), cut in 0usize..400) {
+        let cut = cut.min(src.len());
+        if !src.is_char_boundary(cut) {
+            return Ok(());
+        }
+        let prefix = &src[..cut];
+        let ctx = FileCtx::new("crates/x/src/soup.rs", prefix);
+        let index = items::parse(&ctx);
+        let lines = prefix.matches('\n').count() as u32 + 1;
+        for f in &index.fns {
+            prop_assert!(f.span.0 <= f.span.1 && f.span.1 <= prefix.len());
+            prop_assert!(f.line >= 1 && f.line <= lines);
+            prop_assert!(f.sig_fn < ctx.sig.len());
+            if let Some((open, close)) = f.body {
+                prop_assert!(open <= close && close < ctx.sig.len());
+            }
+        }
+        for st in &index.structs {
+            prop_assert!(st.span.0 <= st.span.1 && st.span.1 <= prefix.len());
+            prop_assert!(st.line >= 1 && st.line <= lines);
+        }
+        for g in &index.statics {
+            prop_assert!(g.line >= 1 && g.line <= lines);
+        }
+    }
+
+    /// Well-formed composites recover exactly the generated item counts.
+    #[test]
+    fn well_formed_counts_match((src, fns, structs, statics) in well_formed_source()) {
+        let ctx = FileCtx::new("crates/x/src/gen.rs", &src);
+        let index = items::parse(&ctx);
+        prop_assert_eq!(index.fns.len(), fns, "fns in {src:?}");
+        prop_assert_eq!(index.structs.len(), structs, "structs in {src:?}");
+        prop_assert_eq!(index.statics.len(), statics, "statics in {src:?}");
+    }
+
+    /// On well-formed input, `fn` byte spans nest or are disjoint — never
+    /// partially overlapping — and a body always lies inside its item span.
+    #[test]
+    fn well_formed_spans_nest_or_tile((src, _f, _s, _g) in well_formed_source()) {
+        let ctx = FileCtx::new("crates/x/src/gen.rs", &src);
+        let index = items::parse(&ctx);
+        for f in &index.fns {
+            if let Some((open, close)) = f.body {
+                let open_tok = &ctx.tokens[ctx.sig[open]];
+                let close_tok = &ctx.tokens[ctx.sig[close]];
+                prop_assert!(open_tok.start <= close_tok.end, "body order");
+                prop_assert!(f.span.0 <= open_tok.start && close_tok.end <= f.span.1);
+            }
+        }
+        for (i, a) in index.fns.iter().enumerate() {
+            for b in index.fns.iter().skip(i + 1) {
+                let disjoint = a.span.1 <= b.span.0 || b.span.1 <= a.span.0;
+                let a_in_b = b.span.0 <= a.span.0 && a.span.1 <= b.span.1;
+                let b_in_a = a.span.0 <= b.span.0 && b.span.1 <= a.span.1;
+                prop_assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "partial overlap: {:?} {:?} vs {:?} {:?}",
+                    a.name, a.span, b.name, b.span
+                );
+            }
+        }
+    }
+}

@@ -304,23 +304,32 @@ fn handle_packet(
 }
 
 fn forward_to_subscribers(shared: &Shared, from_conn: u64, topic: &str, payload: &Bytes) {
-    let subs = shared.subscribers.lock();
-    for (id, sub) in subs.iter() {
-        if *id == from_conn {
-            continue;
-        }
-        if sub.filters.iter().any(|(f, _)| filter_matches(f, topic)) {
-            let pkt = Packet::Publish {
-                topic: topic.to_string(),
-                payload: payload.clone(),
-                qos: QoS::AtMostOnce,
-                retain: false,
-                dup: false,
-                pid: None,
-            };
-            if send(&sub.writer, &pkt).is_ok() {
-                shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-            }
+    // snapshot the matching writers under the registry lock, then write
+    // after releasing it — one slow subscriber socket must not stall
+    // connects/subscribes (and every other publisher) behind the registry
+    let targets: Vec<Arc<Mutex<TcpStream>>> = {
+        let subs = shared.subscribers.lock();
+        subs.iter()
+            .filter(|(id, sub)| {
+                **id != from_conn && sub.filters.iter().any(|(f, _)| filter_matches(f, topic))
+            })
+            .map(|(_, sub)| Arc::clone(&sub.writer))
+            .collect()
+    };
+    if targets.is_empty() {
+        return;
+    }
+    let pkt = Packet::Publish {
+        topic: topic.to_string(),
+        payload: payload.clone(),
+        qos: QoS::AtMostOnce,
+        retain: false,
+        dup: false,
+        pid: None,
+    };
+    for writer in targets {
+        if send(&writer, &pkt).is_ok() {
+            shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

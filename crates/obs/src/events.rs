@@ -69,6 +69,9 @@ pub enum EventKind {
     BackpressureStall,
     /// Runtime configuration changed (rules loaded, thresholds set).
     ConfigChange,
+    /// The runtime lock tracker observed an acquisition order that closes a
+    /// cycle in the lock-order graph (`lock-trace` feature).
+    LockOrderCycle,
 }
 
 impl EventKind {
@@ -81,6 +84,7 @@ impl EventKind {
             EventKind::CorruptBlock => "corrupt_block",
             EventKind::BackpressureStall => "backpressure_stall",
             EventKind::ConfigChange => "config_change",
+            EventKind::LockOrderCycle => "lock_order_cycle",
         }
     }
 }

@@ -27,7 +27,15 @@
 //!   Both are anchored on the [`Registry`] so every layer that reaches the
 //!   metrics reaches them too.
 //!
-//! No dependencies beyond `std`: pure atomics, no vendored crates.
+//! * [`lockgraph`] — runtime lock-order tracking (`lock-trace` feature):
+//!   `lockgraph::TrackedMutex`/`lockgraph::TrackedRwLock` record the
+//!   observed acquisition-order graph, journal + panic when an acquisition
+//!   closes a cycle, and export the edges for CI to check against the
+//!   static graph from `dcdb-lint` (observed ⊆ static).
+//!
+//! No dependencies beyond `std` by default: pure atomics, no vendored
+//! crates.  The opt-in `lock-trace` feature pulls in the workspace
+//! `parking_lot` to wrap its primitives.
 //!
 //! ## Example
 //!
@@ -45,6 +53,7 @@
 //! ```
 
 pub mod events;
+pub mod lockgraph;
 pub mod metrics;
 pub mod registry;
 pub mod trace;

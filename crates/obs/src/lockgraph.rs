@@ -1,0 +1,374 @@
+//! Runtime lock-order tracking — the dynamic counterpart of `dcdb-lint`'s
+//! static lock-order analysis.
+//!
+//! With the `lock-trace` feature enabled, `TrackedMutex` and
+//! `TrackedRwLock` wrap the workspace's `parking_lot` primitives and give
+//! each lock a `&'static str` node name matching the static analysis
+//! (`"NodeCore.memtable"`, `"BlockCache.shards"`, …).  Every acquisition
+//! records one `held -> acquired` edge per lock currently held by the same
+//! thread into a process-global observed graph.  If a new edge closes a
+//! cycle the tracker records a [`LockOrderCycle`](crate::events::EventKind::LockOrderCycle)
+//! journal event
+//! (when a journal is installed via [`install_journal`]) and panics with
+//! the witness path — an actual deadlock is at most one unlucky schedule
+//! away, so tests should die loudly instead.
+//!
+//! The observed graph is exported by [`edges`] so CI can assert it is a
+//! subset of the statically derived graph in `results/LINT_report.json`
+//! (an observed edge the static analysis missed means the analysis has a
+//! resolution gap; a static edge never observed is merely untested).
+//!
+//! Without the feature this module compiles to the same public free
+//! functions returning empty/no-op results, and the wrapper types are
+//! absent entirely — adopters alias them back to plain `parking_lot`
+//! types, so the tracking is zero-cost when disabled.
+
+#[cfg(feature = "lock-trace")]
+pub use imp::{
+    TrackedMutex, TrackedMutexGuard, TrackedReadGuard, TrackedRwLock, TrackedWriteGuard,
+};
+
+#[cfg(feature = "lock-trace")]
+mod imp {
+    use crate::events::{EventJournal, EventKind, Severity};
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::Arc;
+
+    /// Observed acquisition-order edges plus the optional journal sink.
+    pub(super) struct GraphState {
+        pub(super) edges: BTreeSet<(&'static str, &'static str)>,
+        pub(super) journal: Option<Arc<EventJournal>>,
+    }
+
+    pub(super) static GRAPH: parking_lot::Mutex<GraphState> =
+        parking_lot::Mutex::new(GraphState { edges: BTreeSet::new(), journal: None });
+
+    thread_local! {
+        /// Stack of lock node names this thread currently holds.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Is `to` reachable from `from` over `edges`?  Returns the node path
+    /// (excluding `from` itself) when it is.
+    fn path_to(
+        edges: &BTreeSet<(&'static str, &'static str)>,
+        from: &'static str,
+        to: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        let mut stack: Vec<(&'static str, Vec<&'static str>)> = vec![(from, Vec::new())];
+        let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            for &(a, b) in edges.range((node, "")..) {
+                if a != node {
+                    break;
+                }
+                if b == to {
+                    let mut p = path.clone();
+                    p.push(b);
+                    return Some(p);
+                }
+                if seen.insert(b) {
+                    let mut p = path.clone();
+                    p.push(b);
+                    stack.push((b, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Record `held -> name` edges for everything this thread holds, then
+    /// check whether any new edge closed a cycle.  Called *before* blocking
+    /// on the lock, so a would-be deadlock dies with a witness instead of
+    /// hanging.
+    pub(super) fn record_acquire(name: &'static str) {
+        let held: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+        if held.is_empty() {
+            return;
+        }
+        let mut cycle: Option<String> = None;
+        let journal = {
+            let mut g = GRAPH.lock();
+            for &h in &held {
+                if !g.edges.insert((h, name)) || cycle.is_some() {
+                    continue;
+                }
+                // new edge h -> name: a path name ->* h closes a cycle
+                // (h == name is the degenerate recursive-acquisition case)
+                let back = if h == name { Some(Vec::new()) } else { path_to(&g.edges, name, h) };
+                if let Some(back) = back {
+                    let mut ring = vec![h, name];
+                    ring.extend(back);
+                    cycle = Some(ring.join(" -> "));
+                }
+            }
+            if cycle.is_some() {
+                g.journal.clone()
+            } else {
+                None
+            }
+        };
+        // the graph guard is dropped before touching the journal (which has
+        // its own lock) or unwinding
+        if let Some(ring) = cycle {
+            if let Some(j) = journal {
+                j.record(
+                    EventKind::LockOrderCycle,
+                    Severity::Error,
+                    name,
+                    format!("observed lock-order cycle: {ring}"),
+                );
+            }
+            // lint: allow(no-unwrap) -- dying loudly with a witness is this
+            // tracker's whole job: an observed cycle means a real deadlock
+            // is one unlucky schedule away
+            panic!(
+                "lock-order cycle observed at runtime while acquiring `{name}`: {ring} \
+                 (held: {held:?})"
+            );
+        }
+    }
+
+    pub(super) fn push_held(name: &'static str) {
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+
+    pub(super) fn pop_held(name: &'static str) {
+        HELD.with(|h| {
+            let mut v = h.borrow_mut();
+            if let Some(p) = v.iter().rposition(|&n| n == name) {
+                v.remove(p);
+            }
+        });
+    }
+
+    /// A `parking_lot::Mutex` that reports its acquisitions to the global
+    /// observed lock-order graph under a fixed node name.
+    #[derive(Debug)]
+    pub struct TrackedMutex<T> {
+        name: &'static str,
+        inner: parking_lot::Mutex<T>,
+    }
+
+    impl<T> TrackedMutex<T> {
+        /// Wrap `value`; `name` must match the static analysis node
+        /// (`"Struct.field"` or the static's name).
+        pub const fn new(name: &'static str, value: T) -> TrackedMutex<T> {
+            TrackedMutex { name, inner: parking_lot::Mutex::new(value) }
+        }
+
+        /// Acquire, recording `held -> self` edges first.
+        pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+            record_acquire(self.name);
+            let inner = self.inner.lock();
+            push_held(self.name);
+            TrackedMutexGuard { inner, name: self.name }
+        }
+
+        /// Non-blocking acquire; records edges only on success.
+        pub fn try_lock(&self) -> Option<TrackedMutexGuard<'_, T>> {
+            let inner = self.inner.try_lock()?;
+            record_acquire(self.name);
+            push_held(self.name);
+            Some(TrackedMutexGuard { inner, name: self.name })
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    /// Guard for [`TrackedMutex`]; pops the held stack on drop.
+    pub struct TrackedMutexGuard<'a, T> {
+        inner: parking_lot::MutexGuard<'a, T>,
+        name: &'static str,
+    }
+
+    impl<T> Deref for TrackedMutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> DerefMut for TrackedMutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T> Drop for TrackedMutexGuard<'_, T> {
+        fn drop(&mut self) {
+            pop_held(self.name);
+        }
+    }
+
+    /// A `parking_lot::RwLock` that reports its acquisitions (read and
+    /// write alike — ordering is what deadlocks, not exclusivity) to the
+    /// global observed lock-order graph.
+    #[derive(Debug)]
+    pub struct TrackedRwLock<T> {
+        name: &'static str,
+        inner: parking_lot::RwLock<T>,
+    }
+
+    impl<T> TrackedRwLock<T> {
+        /// Wrap `value` under a fixed lock-graph node name.
+        pub const fn new(name: &'static str, value: T) -> TrackedRwLock<T> {
+            TrackedRwLock { name, inner: parking_lot::RwLock::new(value) }
+        }
+
+        /// Acquire shared, recording `held -> self` edges first.
+        pub fn read(&self) -> TrackedReadGuard<'_, T> {
+            record_acquire(self.name);
+            let inner = self.inner.read();
+            push_held(self.name);
+            TrackedReadGuard { inner, name: self.name }
+        }
+
+        /// Acquire exclusive, recording `held -> self` edges first.
+        pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+            record_acquire(self.name);
+            let inner = self.inner.write();
+            push_held(self.name);
+            TrackedWriteGuard { inner, name: self.name }
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    /// Shared guard for [`TrackedRwLock`].
+    pub struct TrackedReadGuard<'a, T> {
+        inner: parking_lot::RwLockReadGuard<'a, T>,
+        name: &'static str,
+    }
+
+    impl<T> Deref for TrackedReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> Drop for TrackedReadGuard<'_, T> {
+        fn drop(&mut self) {
+            pop_held(self.name);
+        }
+    }
+
+    /// Exclusive guard for [`TrackedRwLock`].
+    pub struct TrackedWriteGuard<'a, T> {
+        inner: parking_lot::RwLockWriteGuard<'a, T>,
+        name: &'static str,
+    }
+
+    impl<T> Deref for TrackedWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> DerefMut for TrackedWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T> Drop for TrackedWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            pop_held(self.name);
+        }
+    }
+}
+
+/// Is runtime lock tracking compiled in?
+#[cfg(feature = "lock-trace")]
+pub fn enabled() -> bool {
+    true
+}
+
+/// The observed acquisition-order edges, sorted.
+#[cfg(feature = "lock-trace")]
+pub fn edges() -> Vec<(&'static str, &'static str)> {
+    imp::GRAPH.lock().edges.iter().copied().collect()
+}
+
+/// Forget all observed edges (test isolation).
+#[cfg(feature = "lock-trace")]
+pub fn clear() {
+    imp::GRAPH.lock().edges.clear();
+}
+
+/// Route cycle detections into `journal` as
+/// [`EventKind::LockOrderCycle`][crate::EventKind::LockOrderCycle] events.
+#[cfg(feature = "lock-trace")]
+pub fn install_journal(journal: std::sync::Arc<crate::events::EventJournal>) {
+    imp::GRAPH.lock().journal = Some(journal);
+}
+
+/// Is runtime lock tracking compiled in?
+#[cfg(not(feature = "lock-trace"))]
+pub fn enabled() -> bool {
+    false
+}
+
+/// The observed acquisition-order edges (always empty without the
+/// `lock-trace` feature).
+#[cfg(not(feature = "lock-trace"))]
+pub fn edges() -> Vec<(&'static str, &'static str)> {
+    Vec::new()
+}
+
+/// Forget all observed edges (no-op without the `lock-trace` feature).
+#[cfg(not(feature = "lock-trace"))]
+pub fn clear() {}
+
+/// No-op without the `lock-trace` feature.
+#[cfg(not(feature = "lock-trace"))]
+pub fn install_journal(_journal: std::sync::Arc<crate::events::EventJournal>) {}
+
+#[cfg(all(test, feature = "lock-trace"))]
+mod tests {
+    use super::*;
+
+    // the observed graph is process-global, so every assertion about it
+    // lives in this one test to avoid cross-test interference
+    #[test]
+    fn records_edges_and_panics_on_cycle() {
+        clear();
+        let a = TrackedMutex::new("T.a", 1u32);
+        let b = TrackedMutex::new("T.b", 2u32);
+        {
+            let ga = a.lock();
+            let gb = b.lock();
+            assert_eq!(*ga + *gb, 3);
+        }
+        assert!(edges().contains(&("T.a", "T.b")));
+        assert!(!edges().contains(&("T.b", "T.a")));
+
+        // same order again: no new edge, no cycle
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+
+        // reversed order closes the cycle and must panic with a witness
+        let err = std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        })
+        .join()
+        .expect_err("ABBA acquisition must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+        assert!(msg.contains("T.a") && msg.contains("T.b"), "witness names both locks: {msg}");
+        clear();
+    }
+}

@@ -15,7 +15,23 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+#[cfg(feature = "lock-trace")]
+use dcdb_obs::lockgraph::TrackedMutex as Mutex;
+#[cfg(not(feature = "lock-trace"))]
 use parking_lot::Mutex;
+
+/// One result slot, named in the observed lock-order graph when the
+/// `lock-trace` feature is on.
+#[cfg(feature = "lock-trace")]
+fn result_slot<T>() -> Mutex<Option<T>> {
+    Mutex::new("QueryExec.slots", None)
+}
+
+/// One result slot (a plain mutex without `lock-trace`).
+#[cfg(not(feature = "lock-trace"))]
+fn result_slot<T>() -> Mutex<Option<T>> {
+    Mutex::new(None)
+}
 
 /// Worker threads used when the caller does not pin a count: the machine's
 /// available parallelism.
@@ -42,7 +58,7 @@ where
     let next = AtomicUsize::new(0);
     // per-task slots (uncontended: each index is claimed by exactly one
     // worker), so output order == input order whatever the schedule
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| result_slot()).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {

@@ -37,7 +37,8 @@ use std::sync::Arc;
 
 use dcdb_obs::Counter;
 use dcdb_sid::SensorId;
-use parking_lot::Mutex;
+
+use crate::locks::{named_mutex, Mutex};
 
 use crate::reading::Reading;
 
@@ -173,7 +174,9 @@ impl BlockCache {
     pub fn new(capacity_readings: usize) -> BlockCache {
         let shards = (capacity_readings / MIN_SHARD_BUDGET).clamp(1, MAX_SHARDS);
         BlockCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards)
+                .map(|_| named_mutex("BlockCache.shards", Shard::default()))
+                .collect(),
             shard_budget: capacity_readings / shards,
             capacity: capacity_readings,
             hits: Arc::new(Counter::new()),

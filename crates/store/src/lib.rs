@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod cluster;
 pub mod csv;
+pub(crate) mod locks;
 pub mod maintenance;
 pub mod memtable;
 pub mod node;

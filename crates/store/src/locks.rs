@@ -1,0 +1,42 @@
+//! Lock constructors that switch between plain `parking_lot` primitives
+//! and the `dcdb-obs` tracked wrappers under the `lock-trace` feature.
+//!
+//! Each data lock is constructed through [`named_mutex`]/[`named_rwlock`]
+//! with the node name the static lock-order analysis uses for the same
+//! field (`"NodeCore.memtable"`, `"BlockCache.shards"`, …).  With the
+//! feature off the name is discarded and the types *are* the `parking_lot`
+//! types — zero cost, identical call sites.  With it on, every acquisition
+//! feeds the process-global observed lock-order graph
+//! ([`dcdb_obs::lockgraph`]), which tests assert is acyclic and a subset
+//! of the statically derived graph.
+
+#[cfg(feature = "lock-trace")]
+pub(crate) use dcdb_obs::lockgraph::{TrackedMutex as Mutex, TrackedRwLock as RwLock};
+#[cfg(not(feature = "lock-trace"))]
+pub(crate) use parking_lot::{Mutex, RwLock};
+
+/// A mutex carrying its static lock-graph node name.
+#[cfg(feature = "lock-trace")]
+pub(crate) fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+    Mutex::new(name, value)
+}
+
+/// A mutex; the node name is discarded without `lock-trace`.
+#[cfg(not(feature = "lock-trace"))]
+pub(crate) fn named_mutex<T>(name: &'static str, value: T) -> Mutex<T> {
+    let _ = name;
+    Mutex::new(value)
+}
+
+/// A reader-writer lock carrying its static lock-graph node name.
+#[cfg(feature = "lock-trace")]
+pub(crate) fn named_rwlock<T>(name: &'static str, value: T) -> RwLock<T> {
+    RwLock::new(name, value)
+}
+
+/// A reader-writer lock; the node name is discarded without `lock-trace`.
+#[cfg(not(feature = "lock-trace"))]
+pub(crate) fn named_rwlock<T>(name: &'static str, value: T) -> RwLock<T> {
+    let _ = name;
+    RwLock::new(value)
+}

@@ -37,7 +37,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dcdb_sid::SensorId;
-use parking_lot::RwLock;
+
+use crate::locks::{named_rwlock, RwLock};
 
 use crate::cache::{BlockCache, CacheStats};
 use crate::maintenance::{unix_ms, MaintenancePool, MaintenanceSnapshot, PoolShared};
@@ -675,12 +676,12 @@ impl StoreNode {
     ) -> Self {
         let core = Arc::new(NodeCore {
             cfg,
-            memtable: RwLock::new(MemTable::new()),
+            memtable: named_rwlock("NodeCore.memtable", MemTable::new()),
             frozen: Mutex::new(VecDeque::new()),
             frozen_cond: Condvar::new(),
             flush_active: AtomicBool::new(false),
-            sstables: RwLock::new(Vec::new()),
-            tombstones: RwLock::new(Tombstones::default()),
+            sstables: named_rwlock("NodeCore.sstables", Vec::new()),
+            tombstones: named_rwlock("NodeCore.tombstones", Tombstones::default()),
             compaction: Mutex::new(()),
             compact_queued: AtomicBool::new(false),
             ttl_enforced_to: std::sync::atomic::AtomicI64::new(i64::MIN),
@@ -782,6 +783,9 @@ impl StoreNode {
     /// outside the `sstables` write lock; see [`NodeStats::compactions`]
     /// for what is counted.
     pub fn compact(&self) {
+        // lint: allow(lock-across-slow-op) -- the compaction mutex exists to
+        // serialise whole merges; holding it across the merge is its job,
+        // and no data lock is held while waiting on it
         let _guard = self.core.compaction.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         NodeCore::compact_locked(&self.core, false);
     }
@@ -1008,24 +1012,27 @@ impl StoreNode {
     /// (duplicates included; a batch mid-flush is briefly counted in both
     /// the backlog and its freshly-pushed run).
     pub fn approx_entries(&self) -> usize {
+        // one lock per statement: summing all three in a single expression
+        // keeps the `frozen` temporary alive while `sstables` is acquired —
+        // the reverse of `compact_locked`'s sstables → frozen order (ABBA)
         let core = &self.core;
-        core.memtable.read().len()
-            + core.frozen.lock().expect("flush backlog").iter().map(|m| m.len()).sum::<usize>()
-            + core.sstables.read().iter().map(|t| t.len()).sum::<usize>()
+        let mem = core.memtable.read().len();
+        let frozen: usize =
+            core.frozen.lock().expect("flush backlog").iter().map(|m| m.len()).sum();
+        let tables: usize = core.sstables.read().iter().map(|t| t.len()).sum();
+        mem + frozen + tables
     }
 
     /// Approximate memory footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
+        // statement-per-lock for the same lock-order reason as
+        // [`StoreNode::approx_entries`]
         let core = &self.core;
-        core.memtable.read().approx_bytes()
-            + core
-                .frozen
-                .lock()
-                .expect("flush backlog")
-                .iter()
-                .map(|m| m.approx_bytes())
-                .sum::<usize>()
-            + core.sstables.read().iter().map(|t| t.approx_bytes()).sum::<usize>()
+        let mem = core.memtable.read().approx_bytes();
+        let frozen: usize =
+            core.frozen.lock().expect("flush backlog").iter().map(|m| m.approx_bytes()).sum();
+        let tables: usize = core.sstables.read().iter().map(|t| t.approx_bytes()).sum();
+        mem + frozen + tables
     }
 
     /// Node counters.

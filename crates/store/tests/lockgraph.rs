@@ -1,0 +1,157 @@
+#![cfg(feature = "lock-trace")]
+
+//! Runtime/static lock-graph cross-check (`--features lock-trace`).
+//!
+//! Drives flush/compact/query/delete churn through a `StoreNode` whose data
+//! locks are `dcdb-obs` tracked wrappers, then asserts two things about the
+//! observed acquisition-order graph:
+//!
+//! 1. it is **acyclic** — a cycle would already have panicked inside the
+//!    tracker with a witness, but the final graph is checked again here;
+//! 2. every observed edge appears in the **statically** derived lock-order
+//!    graph that `dcdb-lint` computes over this workspace — an observed
+//!    edge the static analysis missed means the analysis has a resolution
+//!    gap and must be fixed, not ignored.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dcdb_sid::SensorId;
+use dcdb_store::reading::TimeRange;
+use dcdb_store::{NodeConfig, StoreNode};
+
+fn sid(n: usize) -> SensorId {
+    SensorId::from_topic(&format!("/lockgraph/rack{}/node{}/s", n % 2, n)).unwrap()
+}
+
+/// DFS cycle check over the observed edge list.
+fn is_acyclic(edges: &[(&'static str, &'static str)]) -> bool {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new();
+    for &start in &nodes {
+        if state.get(start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        state.insert(start, 1);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let succs = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match state.get(s).copied().unwrap_or(0) {
+                    1 => return false,
+                    0 => {
+                        state.insert(s, 1);
+                        stack.push((s, 0));
+                    }
+                    _ => {}
+                }
+            } else {
+                state.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn observed_graph_is_acyclic_and_subset_of_static() {
+    dcdb_obs::lockgraph::clear();
+    assert!(dcdb_obs::lockgraph::enabled());
+
+    let node = Arc::new(StoreNode::new(NodeConfig {
+        memtable_flush_entries: 128,
+        compaction_threshold: 2,
+        block_cache_readings: 4096,
+        ..Default::default()
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // readers race the writers below: queries snapshot under the data
+    // locks and decode through the block cache
+    let readers: Vec<_> = (0..2)
+        .map(|r| {
+            let node = Arc::clone(&node);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for w in 0..4 {
+                        seen += node.query_range(sid(w), TimeRange::all()).len();
+                        let _ = node.latest(sid(w + r));
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // writers: sustained ingest with explicit flush/compact/delete churn,
+    // so freezes, table swaps and cache purges all interleave with reads
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let node = Arc::clone(&node);
+            std::thread::spawn(move || {
+                let s = sid(w);
+                for i in 0..3_000i64 {
+                    node.insert(s, i, (w as f64) + i as f64);
+                    if i % 500 == 499 {
+                        node.flush();
+                    }
+                    if i % 700 == 699 {
+                        node.compact();
+                    }
+                    if i % 1100 == 1099 {
+                        node.delete_range(s, TimeRange { start: 0, end: i / 4 });
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    node.compact();
+    node.quiesce();
+
+    let observed = dcdb_obs::lockgraph::edges();
+    assert!(
+        !observed.is_empty(),
+        "churn must exercise at least one nested acquisition (tracking broken?)"
+    );
+    assert!(is_acyclic(&observed), "observed lock-order graph has a cycle: {observed:?}");
+
+    // static side: run the workspace lock-order analysis from the repo root
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis =
+        dcdb_lint::analyze(&root, &dcdb_lint::Config::default(), &dcdb_lint::Baseline::default())
+            .expect("static analysis over the workspace");
+    let static_graph = &analysis.lock_graph;
+    assert!(
+        static_graph.fns_analyzed > 0 && !static_graph.edges.is_empty(),
+        "static analysis saw no functions/edges — wrong root?"
+    );
+    for (from, to) in &observed {
+        assert!(
+            static_graph.has_edge(from, to),
+            "observed edge {from} -> {to} is missing from the static lock-order graph; \
+             the static analysis has a resolution gap (see results/LINT_report.json)"
+        );
+    }
+}
